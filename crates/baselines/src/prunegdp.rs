@@ -1,0 +1,138 @@
+//! pruneGDP — the online insertion baseline (Tong et al. [37]).
+//!
+//! Requests are handled strictly in arrival order: each one is inserted into
+//! the current schedule of the vehicle whose total travel cost increases the
+//! least (linear insertion, no reordering).  A request that fits nowhere is
+//! rejected immediately — the online methods have no working pool, which is
+//! exactly why their service rates trail the batch methods in the paper.
+
+use structride_core::{BatchOutcome, Dispatcher};
+use structride_model::{insertion, InsertionOutcome, Request, Vehicle};
+use structride_roadnet::SpEngine;
+
+/// The pruneGDP online greedy dispatcher.
+#[derive(Debug, Default)]
+pub struct PruneGdp {
+    rejected: usize,
+}
+
+impl PruneGdp {
+    /// Creates the dispatcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of requests that could not be inserted anywhere.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+}
+
+impl Dispatcher for PruneGdp {
+    fn name(&self) -> &'static str {
+        "pruneGDP"
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        engine: &SpEngine,
+        vehicles: &mut [Vehicle],
+        new_requests: &[Request],
+        _now: f64,
+    ) -> BatchOutcome {
+        let mut outcome = BatchOutcome::empty();
+        for request in new_requests {
+            let mut best: Option<(usize, InsertionOutcome)> = None;
+            for (vi, vehicle) in vehicles.iter().enumerate() {
+                if let Some(out) = insertion::insert_request(engine, vehicle, request) {
+                    let better =
+                        best.as_ref().map(|(_, b)| out.added_cost < b.added_cost - 1e-12).unwrap_or(true);
+                    if better {
+                        best = Some((vi, out));
+                    }
+                }
+            }
+            match best {
+                Some((vi, out)) => {
+                    vehicles[vi].commit_schedule(out.schedule);
+                    outcome.assigned.push(request.id);
+                }
+                None => self.rejected += 1,
+            }
+        }
+        outcome
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Online first-come-first-serve: no batch structures beyond the
+        // vehicles' own schedules.
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structride_roadnet::{Point, RoadNetworkBuilder};
+
+    fn line_engine() -> SpEngine {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..5 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 1..5u32 {
+            b.add_bidirectional(i - 1, i, 10.0).unwrap();
+        }
+        SpEngine::new(b.build().unwrap())
+    }
+
+    fn req(id: u32, s: u32, e: u32, cost: f64, gamma: f64) -> Request {
+        Request::with_detour(id, s, e, 1, 0.0, cost, gamma, 300.0)
+    }
+
+    #[test]
+    fn assigns_to_cheapest_vehicle() {
+        let engine = line_engine();
+        let mut vehicles = vec![Vehicle::new(0, 4, 4), Vehicle::new(1, 1, 4)];
+        let mut gdp = PruneGdp::new();
+        let r = req(1, 1, 3, 20.0, 1.5);
+        let out = gdp.dispatch_batch(&engine, &mut vehicles, &[r], 0.0);
+        assert_eq!(out.assigned, vec![1]);
+        // Vehicle 1 is already at the pickup, so it gets the job.
+        assert!(vehicles[1].schedule.contains_request(1));
+        assert!(vehicles[0].schedule.is_empty());
+        assert_eq!(gdp.rejected(), 0);
+    }
+
+    #[test]
+    fn rejects_infeasible_requests_immediately() {
+        let engine = line_engine();
+        let mut vehicles = vec![Vehicle::new(0, 4, 4)];
+        let mut gdp = PruneGdp::new();
+        // Pickup deadline too tight for a vehicle 40 s away.
+        let r = req(1, 0, 2, 20.0, 1.1);
+        let out = gdp.dispatch_batch(&engine, &mut vehicles, &[r], 0.0);
+        assert!(out.assigned.is_empty());
+        assert_eq!(gdp.rejected(), 1);
+    }
+
+    #[test]
+    fn later_requests_share_existing_schedules() {
+        let engine = line_engine();
+        let mut vehicles = vec![Vehicle::new(0, 0, 4)];
+        let mut gdp = PruneGdp::new();
+        let r1 = req(1, 0, 4, 40.0, 1.6);
+        let r2 = req(2, 1, 3, 20.0, 1.6);
+        let out = gdp.dispatch_batch(&engine, &mut vehicles, &[r1, r2], 0.0);
+        assert_eq!(out.assigned, vec![1, 2]);
+        let v = &vehicles[0];
+        assert!(v.schedule.contains_request(1) && v.schedule.contains_request(2));
+        // Sharing costs no extra distance on the straight line.
+        assert!((v.planned_cost(&engine) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_footprint_is_negligible() {
+        assert!(PruneGdp::new().memory_bytes() < 1024);
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end dispatcher benchmarks: the running-time comparison of the
+//! paper's figures (pruneGDP and TicketAssign+ fastest, SARD much faster than
+//! the other batch methods GAS and RTV), measured as one full simulated run
+//! over a fixed synthetic workload per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use structride_baselines::{Gas, PruneGdp, Rtv, TicketAssignPlus};
+use structride_core::{Dispatcher, SardDispatcher, Simulator, StructRideConfig};
+use structride_datagen::{CityProfile, Workload, WorkloadParams};
+
+fn workload(city: CityProfile) -> Workload {
+    Workload::generate(WorkloadParams {
+        num_requests: 150,
+        num_vehicles: 25,
+        horizon: 300.0,
+        scale: 0.35,
+        ..WorkloadParams::small(city)
+    })
+}
+
+fn run_once(workload: &Workload, dispatcher: &mut dyn Dispatcher) -> usize {
+    let config = StructRideConfig::default();
+    workload.engine.clear_cache();
+    let report = Simulator::new(config).run(
+        &workload.engine,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        dispatcher,
+        &workload.name,
+    );
+    report.metrics.served_requests
+}
+
+fn bench_dispatchers(c: &mut Criterion) {
+    for city in [CityProfile::NycLike, CityProfile::ChengduLike] {
+        let w = workload(city);
+        let mut group = c.benchmark_group(format!("dispatch_{}", city.name()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(5));
+        group.bench_function("pruneGDP", |b| {
+            b.iter(|| run_once(&w, &mut PruneGdp::new()))
+        });
+        group.bench_function("TicketAssign+", |b| {
+            b.iter(|| run_once(&w, &mut TicketAssignPlus::default()))
+        });
+        group.bench_function("GAS", |b| b.iter(|| run_once(&w, &mut Gas::default())));
+        group.bench_function("RTV", |b| b.iter(|| run_once(&w, &mut Rtv::new(10.0))));
+        group.bench_function("SARD", |b| {
+            b.iter(|| run_once(&w, &mut SardDispatcher::new(StructRideConfig::default())))
+        });
+        group.bench_function("SARD-O_no_angle_pruning", |b| {
+            b.iter(|| {
+                run_once(
+                    &w,
+                    &mut SardDispatcher::new(StructRideConfig::default().without_angle_pruning()),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_dispatchers);
+criterion_main!(benches);

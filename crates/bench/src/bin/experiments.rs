@@ -1,0 +1,73 @@
+//! The experiment runner regenerating the paper's figures and tables.
+//!
+//! ```text
+//! experiments [EXPERIMENT ...] [--quick]
+//!
+//! EXPERIMENT ∈ { fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
+//!                fig16, table_pruning, angle_model, all }
+//! ```
+//!
+//! Output is TSV on stdout: one row per (sweep point, algorithm) with the
+//! metrics the paper plots (service rate, unified cost, running time,
+//! shortest-path queries, memory).  `--quick` shrinks the workloads for a
+//! fast smoke run.
+
+use structride_bench::harness;
+use structride_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { ExperimentScale::quick() } else { ExperimentScale::standard() };
+    let mut selected: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+    let wants = |name: &str| selected.iter().any(|s| s == name || s == "all");
+
+    eprintln!(
+        "# running {:?} at scale: {} requests / {} vehicles / horizon {}s",
+        selected, scale.requests, scale.vehicles, scale.horizon
+    );
+    harness::print_header();
+
+    if wants("fig8") {
+        harness::fig8_vary_vehicles(&scale);
+    }
+    if wants("fig9") {
+        harness::fig9_vary_requests(&scale);
+    }
+    if wants("fig10") {
+        harness::fig10_vary_gamma(&scale);
+    }
+    if wants("fig11") {
+        harness::fig11_vary_capacity(&scale);
+    }
+    if wants("fig12") {
+        harness::fig12_vary_penalty(&scale);
+    }
+    if wants("fig13") {
+        harness::fig13_vary_batch(&scale);
+    }
+    if wants("fig14") {
+        harness::fig14_memory(&scale);
+    }
+    if wants("fig15") {
+        harness::fig15_cainiao(&scale);
+    }
+    if wants("fig16") || wants("fig17") {
+        harness::fig16_fig17_capacity_distribution(&scale);
+    }
+    if wants("table_pruning") {
+        harness::table_angle_pruning(&scale);
+    }
+    if wants("insertion_order") {
+        harness::insertion_order_study(&scale);
+    }
+    if wants("ablation_candidates") {
+        harness::ablation_candidate_cap(&scale);
+    }
+    if wants("angle_model") {
+        harness::angle_probability_model();
+    }
+}

@@ -1,0 +1,103 @@
+//! Configuration of the StructRide framework (the knobs of Table III).
+
+use serde::{Deserialize, Serialize};
+use structride_model::CostParams;
+use structride_sharegraph::{AnglePruning, BuilderConfig};
+
+/// Framework-level configuration shared by SARD and the batch simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StructRideConfig {
+    /// Batch period Δ in seconds (Table III default: 5 s).
+    pub batch_period: f64,
+    /// Unified-cost parameters (α and the penalty coefficient `p_r`).
+    pub cost: CostParams,
+    /// Seat capacity assumed when testing pairwise shareability.
+    pub shareability_capacity: u32,
+    /// The angle-pruning configuration (δ, on/off).
+    pub angle: AnglePruning,
+    /// Number of grid cells per side for the spatial indexes.
+    pub grid_cells: u32,
+    /// Maximum number of candidate vehicles kept per request in SARD's
+    /// proposal queues.  The paper retrieves candidates with a radius-bounded
+    /// grid range query; capping the queue at the `k` cheapest feasible
+    /// vehicles plays the same role — the "worst vehicle first" rule then
+    /// operates within a sensible neighbourhood instead of the whole fleet.
+    pub max_candidate_vehicles: usize,
+}
+
+impl Default for StructRideConfig {
+    fn default() -> Self {
+        StructRideConfig {
+            batch_period: 5.0,
+            cost: CostParams::default(),
+            shareability_capacity: 4,
+            angle: AnglePruning::default(),
+            grid_cells: 64,
+            max_candidate_vehicles: 8,
+        }
+    }
+}
+
+impl StructRideConfig {
+    /// Derives the shareability-graph builder configuration.
+    pub fn builder_config(&self) -> BuilderConfig {
+        BuilderConfig {
+            vehicle_capacity: self.shareability_capacity,
+            angle: self.angle,
+            grid_cells: self.grid_cells,
+        }
+    }
+
+    /// Returns a copy with the angle pruning disabled (the SARD vs. SARD-O
+    /// ablation of Tables V/VI).
+    pub fn without_angle_pruning(mut self) -> Self {
+        self.angle = AnglePruning::disabled();
+        self
+    }
+
+    /// Returns a copy with a different batch period.
+    pub fn with_batch_period(mut self, delta: f64) -> Self {
+        self.batch_period = delta;
+        self
+    }
+
+    /// Returns a copy with a different penalty coefficient.
+    pub fn with_penalty(mut self, pr: f64) -> Self {
+        self.cost = CostParams::with_penalty(pr);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iii() {
+        let c = StructRideConfig::default();
+        assert_eq!(c.batch_period, 5.0);
+        assert_eq!(c.cost.penalty_coefficient, 10.0);
+        assert!(c.angle.enabled);
+        assert!((c.angle.threshold - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_config_propagates_fields() {
+        let c = StructRideConfig { shareability_capacity: 6, grid_cells: 32, ..Default::default() };
+        let b = c.builder_config();
+        assert_eq!(b.vehicle_capacity, 6);
+        assert_eq!(b.grid_cells, 32);
+        assert_eq!(b.angle, c.angle);
+    }
+
+    #[test]
+    fn fluent_modifiers() {
+        let c = StructRideConfig::default()
+            .without_angle_pruning()
+            .with_batch_period(3.0)
+            .with_penalty(20.0);
+        assert!(!c.angle.enabled);
+        assert_eq!(c.batch_period, 3.0);
+        assert_eq!(c.cost.penalty_coefficient, 20.0);
+    }
+}

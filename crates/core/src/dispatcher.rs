@@ -1,0 +1,94 @@
+//! The dispatcher interface shared by SARD and every baseline.
+//!
+//! The batched simulator feeds each dispatcher one batch at a time: the set of
+//! requests released during the batch window, the current fleet state and the
+//! simulation clock.  The dispatcher mutates vehicle schedules (via
+//! [`Vehicle::commit_schedule`](structride_model::Vehicle::commit_schedule))
+//! and reports which requests it assigned; everything else (vehicle movement,
+//! expiry, metric accounting) is the simulator's job, so online methods such
+//! as pruneGDP and batch methods such as RTV/GAS/SARD plug into the exact same
+//! harness — mirroring how the paper evaluates them side by side.
+
+use structride_model::{Request, RequestId, Vehicle};
+use structride_roadnet::SpEngine;
+
+/// What a dispatcher did with one batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Requests assigned (committed into some vehicle schedule) in this call.
+    pub assigned: Vec<RequestId>,
+}
+
+impl BatchOutcome {
+    /// An outcome with no assignments.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// A vehicle-request dispatcher (SARD or one of the baselines).
+pub trait Dispatcher {
+    /// Human-readable algorithm name, as used in the paper's plots.
+    fn name(&self) -> &'static str;
+
+    /// Processes the batch of requests released in `(now - Δ, now]`.
+    ///
+    /// `vehicles` reflects the fleet state *after* movement up to `now`.  The
+    /// dispatcher may keep requests it could not assign and retry them in
+    /// later batches (SARD's working set `R_p` does exactly that); the
+    /// simulator treats a request as served once it appears in any returned
+    /// [`BatchOutcome::assigned`] list.
+    fn dispatch_batch(
+        &mut self,
+        engine: &SpEngine,
+        vehicles: &mut [Vehicle],
+        new_requests: &[Request],
+        now: f64,
+    ) -> BatchOutcome;
+
+    /// Approximate extra memory held by the dispatcher's own structures in
+    /// bytes (RTV graph, additive index, shareability graph, …) — the
+    /// quantity compared in Fig. 14.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial dispatcher that assigns nothing — exercises the trait object
+    /// path used by the simulator and the default memory accounting.
+    struct NullDispatcher;
+
+    impl Dispatcher for NullDispatcher {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+
+        fn dispatch_batch(
+            &mut self,
+            _engine: &SpEngine,
+            _vehicles: &mut [Vehicle],
+            _new_requests: &[Request],
+            _now: f64,
+        ) -> BatchOutcome {
+            BatchOutcome::empty()
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut d: Box<dyn Dispatcher> = Box::new(NullDispatcher);
+        assert_eq!(d.name(), "null");
+        assert_eq!(d.memory_bytes(), 0);
+        let mut b = structride_roadnet::RoadNetworkBuilder::new();
+        b.add_node(structride_roadnet::Point::new(0.0, 0.0));
+        b.add_node(structride_roadnet::Point::new(1.0, 0.0));
+        b.add_bidirectional(0, 1, 1.0).unwrap();
+        let engine = SpEngine::new(b.build().unwrap());
+        let out = d.dispatch_batch(&engine, &mut [], &[], 0.0);
+        assert_eq!(out, BatchOutcome::empty());
+    }
+}

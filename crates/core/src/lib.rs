@@ -1,0 +1,35 @@
+//! StructRide core: the paper's primary contribution.
+//!
+//! This crate assembles the pieces built in the substrate crates into the
+//! StructRide framework of §II-B / Fig. 2:
+//!
+//! * [`config`] — the experiment knobs of Table III (batch period Δ, penalty
+//!   coefficient `p_r`, angle threshold δ, …);
+//! * [`dispatcher`] — the [`Dispatcher`](dispatcher::Dispatcher) trait that the
+//!   SARD algorithm and every baseline implement, so the batched simulator can
+//!   drive any of them interchangeably;
+//! * [`grouping`] — Algorithm 2, the modified additive tree that enumerates
+//!   feasible request groups per vehicle while keeping a single schedule per
+//!   node (ordered by shareability);
+//! * [`sard`] — Algorithm 3, the two-phase "proposal–acceptance" SARD
+//!   dispatcher guided by the shareability loss;
+//! * [`simulator`] — the batched dynamic simulation engine (vehicle movement,
+//!   request expiry, metric accounting) used by every experiment;
+//! * [`metrics`] — the run-level metrics the paper reports (unified cost,
+//!   service rate, running time, shortest-path queries, memory footprint).
+
+pub mod config;
+pub mod dispatcher;
+pub mod grouping;
+pub mod metrics;
+pub mod ordering;
+pub mod sard;
+pub mod simulator;
+
+pub use config::StructRideConfig;
+pub use dispatcher::{BatchOutcome, Dispatcher};
+pub use grouping::{enumerate_groups, CandidateGroup};
+pub use metrics::RunMetrics;
+pub use ordering::{InsertionOrdering, OrderingStudy};
+pub use sard::SardDispatcher;
+pub use simulator::{SimulationReport, Simulator};

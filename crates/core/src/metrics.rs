@@ -1,0 +1,120 @@
+//! Run-level metrics: the quantities reported in every figure of §V.
+
+use serde::{Deserialize, Serialize};
+use structride_model::CostParams;
+
+/// Metrics of one simulated run of one dispatcher on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Workload name.
+    pub workload: String,
+    /// Total number of requests offered.
+    pub total_requests: usize,
+    /// Requests assigned to (and served by) some vehicle.
+    pub served_requests: usize,
+    /// Total driving time of the whole fleet, in seconds.
+    pub total_travel: f64,
+    /// Summed direct cost of the unserved requests (the penalty base).
+    pub unserved_direct_cost: f64,
+    /// The unified cost `U` of Equation (3).
+    pub unified_cost: f64,
+    /// Wall-clock time spent inside the dispatcher, in seconds.
+    pub running_time: f64,
+    /// Shortest-path index queries issued during the run.
+    pub sp_queries: u64,
+    /// Approximate dispatcher memory footprint in bytes (Fig. 14).
+    pub memory_bytes: usize,
+    /// Number of batches processed.
+    pub batches: usize,
+}
+
+impl RunMetrics {
+    /// Service rate = served / total (0 when no requests were offered).
+    pub fn service_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.served_requests as f64 / self.total_requests as f64
+        }
+    }
+
+    /// Recomputes the unified cost for a different penalty coefficient without
+    /// re-running the simulation (valid because the penalty only re-weights the
+    /// already-measured unserved direct cost — exactly the argument the paper
+    /// makes for why greedy methods are insensitive to `p_r`).
+    pub fn unified_cost_with(&self, params: &CostParams) -> f64 {
+        structride_model::unified_cost(params, self.total_travel, self.unserved_direct_cost)
+    }
+
+    /// One tab-separated row used by the experiment harness output.
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{:.1}\t{:.3}\t{}\t{}",
+            self.workload,
+            self.algorithm,
+            self.total_requests,
+            self.served_requests,
+            self.service_rate(),
+            self.total_travel,
+            self.unified_cost,
+            self.running_time,
+            self.sp_queries,
+            self.memory_bytes,
+        )
+    }
+
+    /// Header matching [`RunMetrics::tsv_row`].
+    pub fn tsv_header() -> &'static str {
+        "workload\talgorithm\trequests\tserved\tservice_rate\ttravel\tunified_cost\truntime_s\tsp_queries\tmemory_bytes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            algorithm: "SARD".into(),
+            workload: "NYC".into(),
+            total_requests: 200,
+            served_requests: 150,
+            total_travel: 10_000.0,
+            unserved_direct_cost: 2_000.0,
+            unified_cost: 30_000.0,
+            running_time: 1.5,
+            sp_queries: 12_345,
+            memory_bytes: 1 << 20,
+            batches: 40,
+        }
+    }
+
+    #[test]
+    fn service_rate_and_edge_cases() {
+        let m = sample();
+        assert!((m.service_rate() - 0.75).abs() < 1e-12);
+        let empty = RunMetrics { total_requests: 0, served_requests: 0, ..sample() };
+        assert_eq!(empty.service_rate(), 0.0);
+    }
+
+    #[test]
+    fn unified_cost_reweighting() {
+        let m = sample();
+        let p5 = m.unified_cost_with(&CostParams::with_penalty(5.0));
+        let p20 = m.unified_cost_with(&CostParams::with_penalty(20.0));
+        assert_eq!(p5, 10_000.0 + 5.0 * 2_000.0);
+        assert_eq!(p20, 10_000.0 + 20.0 * 2_000.0);
+        assert!(p20 > p5);
+    }
+
+    #[test]
+    fn tsv_row_has_all_columns() {
+        let m = sample();
+        let row = m.tsv_row();
+        assert_eq!(row.split('\t').count(), RunMetrics::tsv_header().split('\t').count());
+        assert!(row.contains("SARD"));
+        assert!(row.contains("0.750"));
+    }
+}

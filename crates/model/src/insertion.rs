@@ -1,0 +1,272 @@
+//! The linear insertion operator (§IV-A, following Tong et al. [37] and
+//! Xu et al. [36]).
+//!
+//! Linear insertion places the pickup and drop-off of a *new* request into an
+//! existing schedule **without reordering** the way-points already planned,
+//! choosing the pair of positions that minimises the increase in total travel
+//! cost while keeping the schedule feasible.  The paper uses it everywhere:
+//! for the shareability test, inside the grouping tree (Algorithm 2), in SARD
+//! itself and in the pruneGDP / GAS / TicketAssign+ baselines.
+//!
+//! The search tries every `(pickup, dropoff)` position pair and evaluates the
+//! candidate with a full feasibility walk.  Buffer times (Definition 3) are
+//! used to skip position pairs that cannot possibly absorb the extra detour,
+//! which keeps the common case close to the linear behaviour the paper
+//! describes while remaining exact.
+
+use crate::request::Request;
+use crate::schedule::{Schedule, Waypoint};
+use crate::vehicle::Vehicle;
+use structride_roadnet::{NodeId, SpEngine};
+
+/// The result of a successful insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertionOutcome {
+    /// Index at which the pickup way-point was inserted.
+    pub pickup_pos: usize,
+    /// Index at which the drop-off way-point ended up (after the pickup was
+    /// inserted, so `dropoff_pos > pickup_pos`).
+    pub dropoff_pos: usize,
+    /// The new schedule including the request.
+    pub schedule: Schedule,
+    /// Increase in travel cost relative to the base schedule.
+    pub added_cost: f64,
+    /// Total travel cost of the new schedule.
+    pub new_travel_cost: f64,
+}
+
+/// Inserts `request` into `base`, starting from an explicit vehicle state.
+///
+/// Returns `None` if no feasible position pair exists (or the base schedule is
+/// itself infeasible from this state).
+pub fn insert_into(
+    engine: &SpEngine,
+    start_node: NodeId,
+    start_time: f64,
+    onboard: u32,
+    capacity: u32,
+    base: &Schedule,
+    request: &Request,
+) -> Option<InsertionOutcome> {
+    if request.riders > capacity {
+        return None;
+    }
+    let base_eval = base.evaluate(engine, start_node, start_time, onboard, capacity);
+    if !base.is_empty() && !base_eval.feasible {
+        return None;
+    }
+    let base_cost = if base.is_empty() { 0.0 } else { base_eval.travel_cost };
+    let buffers = if base.is_empty() { Vec::new() } else { base.buffer_times(&base_eval) };
+    let n = base.len();
+
+    let pickup = Waypoint::pickup(request);
+    let dropoff = Waypoint::dropoff(request);
+
+    let mut best: Option<InsertionOutcome> = None;
+
+    // An index loop is clearer here than an iterator chain: `i` addresses both
+    // the insertion position and the buffer/way-point arrays.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..=n {
+        // Cheap pruning: the earliest the vehicle could reach the pickup when
+        // it is placed at position i is the service time of way-point i-1 plus
+        // the direct leg; if that already misses the pickup deadline, no j can
+        // fix it for this i.
+        let prev_node = if i == 0 { start_node } else { base.waypoints()[i - 1].node };
+        let prev_time = if i == 0 {
+            start_time
+        } else {
+            base_eval.service_times[i - 1]
+        };
+        let reach = prev_time + engine.cost(prev_node, request.source);
+        if reach > request.pickup_deadline + crate::schedule::TIME_EPS {
+            continue;
+        }
+        // Extra detour caused just by visiting the pickup between i-1 and i.
+        if i < n {
+            let next_node = base.waypoints()[i].node;
+            let direct = engine.cost(prev_node, next_node);
+            let via = engine.cost(prev_node, request.source) + engine.cost(request.source, next_node);
+            let detour = via - direct;
+            // The detour (plus any waiting for the release) must fit into the
+            // buffer of the following way-point; waiting makes this a lower
+            // bound, so only a clearly-too-large detour is pruned.
+            if detour > buffers[i] + crate::schedule::TIME_EPS && reach >= request.release {
+                // Even the cheapest continuation breaks a later deadline.
+                continue;
+            }
+        }
+        for j in i..=n {
+            let mut wps = Vec::with_capacity(n + 2);
+            wps.extend_from_slice(&base.waypoints()[..i]);
+            wps.push(pickup);
+            wps.extend_from_slice(&base.waypoints()[i..j]);
+            wps.push(dropoff);
+            wps.extend_from_slice(&base.waypoints()[j..]);
+            let cand = Schedule::from_waypoints(wps);
+            let eval = cand.evaluate(engine, start_node, start_time, onboard, capacity);
+            if !eval.feasible {
+                continue;
+            }
+            let added = eval.travel_cost - base_cost;
+            let better = match &best {
+                None => true,
+                Some(b) => added < b.added_cost - 1e-12,
+            };
+            if better {
+                best = Some(InsertionOutcome {
+                    pickup_pos: i,
+                    dropoff_pos: j + 1,
+                    schedule: cand,
+                    added_cost: added,
+                    new_travel_cost: eval.travel_cost,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Inserts `request` into `vehicle`'s planned schedule (without committing).
+pub fn insert_request(
+    engine: &SpEngine,
+    vehicle: &Vehicle,
+    request: &Request,
+) -> Option<InsertionOutcome> {
+    insert_into(
+        engine,
+        vehicle.node,
+        vehicle.free_at,
+        vehicle.onboard,
+        vehicle.capacity,
+        &vehicle.schedule,
+        request,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use structride_roadnet::{Point, RoadNetworkBuilder};
+
+    /// 0 -10- 1 -10- 2 -10- 3 -10- 4 (bidirectional line).
+    fn line_engine() -> SpEngine {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..5 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 1..5u32 {
+            b.add_bidirectional(i - 1, i, 10.0).unwrap();
+        }
+        SpEngine::new(b.build().unwrap())
+    }
+
+    fn req(id: u32, s: NodeId, e: NodeId, cost: f64, gamma: f64) -> Request {
+        Request::with_detour(id, s, e, 1, 0.0, cost, gamma, 300.0)
+    }
+
+    #[test]
+    fn insert_into_empty_schedule_gives_direct_route() {
+        let engine = line_engine();
+        let r = req(1, 1, 3, 20.0, 1.5);
+        let out = insert_into(&engine, 0, 0.0, 0, 4, &Schedule::new(), &r).unwrap();
+        assert_eq!(out.pickup_pos, 0);
+        assert_eq!(out.dropoff_pos, 1);
+        // Travel includes the deadhead leg 0->1.
+        assert_eq!(out.new_travel_cost, 30.0);
+        assert_eq!(out.added_cost, 30.0);
+        assert!(out.schedule.is_well_formed());
+    }
+
+    #[test]
+    fn shares_trip_when_on_the_way() {
+        let engine = line_engine();
+        // Vehicle at 0 already serving 0 -> 4; new request 1 -> 3 lies on the way.
+        let r1 = req(1, 0, 4, 40.0, 1.6);
+        let r2 = req(2, 1, 3, 20.0, 1.6);
+        let base = Schedule::direct(&r1);
+        let out = insert_into(&engine, 0, 0.0, 0, 4, &base, &r2).unwrap();
+        // No extra distance is needed: 0,1,3,4 is on the straight line.
+        assert!(out.added_cost.abs() < 1e-9);
+        assert_eq!(out.new_travel_cost, 40.0);
+        assert_eq!(out.schedule.to_string(), "⟨s1, s2, e2, e1⟩");
+    }
+
+    #[test]
+    fn infeasible_when_capacity_exhausted() {
+        let engine = line_engine();
+        let r1 = Request::with_detour(1, 0, 4, 2, 0.0, 40.0, 1.6, 300.0);
+        let r2 = Request::with_detour(2, 1, 3, 1, 0.0, 20.0, 1.6, 300.0);
+        let base = Schedule::direct(&r1);
+        // Capacity 2 is already full while r1 is on board and the overlap is
+        // unavoidable (r2 lies strictly inside r1's trip).
+        assert!(insert_into(&engine, 0, 0.0, 0, 2, &base, &r2).is_none());
+        // One more seat makes it possible.
+        assert!(insert_into(&engine, 0, 0.0, 0, 3, &base, &r2).is_some());
+    }
+
+    #[test]
+    fn infeasible_when_rider_count_exceeds_capacity() {
+        let engine = line_engine();
+        let r = Request::with_detour(1, 0, 2, 5, 0.0, 20.0, 1.5, 300.0);
+        assert!(insert_into(&engine, 0, 0.0, 0, 4, &Schedule::new(), &r).is_none());
+    }
+
+    #[test]
+    fn respects_existing_deadlines() {
+        let engine = line_engine();
+        // r1 has zero detour budget beyond gamma=1.2 -> 8s slack on a 40s trip.
+        let r1 = req(1, 0, 4, 40.0, 1.2);
+        // r2 goes the other way: picking it up would require a detour.
+        let r2 = req(2, 3, 1, 20.0, 3.0);
+        let base = Schedule::direct(&r1);
+        let out = insert_into(&engine, 0, 0.0, 0, 4, &base, &r2);
+        // The only way to serve r2 with r1 would blow r1's 8-second budget.
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn picks_cheapest_among_feasible_positions() {
+        let engine = line_engine();
+        let r1 = req(1, 0, 2, 20.0, 2.0);
+        let r2 = req(2, 2, 4, 20.0, 2.0);
+        let base = Schedule::direct(&r1);
+        let out = insert_into(&engine, 0, 0.0, 0, 4, &base, &r2).unwrap();
+        // Chaining the trips costs nothing extra beyond r2's own trip (several
+        // orderings tie at +20; any of them is acceptable).
+        assert!((out.added_cost - 20.0).abs() < 1e-9);
+        assert!(out.schedule.is_well_formed());
+        assert!(out.schedule.contains_request(1) && out.schedule.contains_request(2));
+    }
+
+    #[test]
+    fn vehicle_wrapper_uses_vehicle_state() {
+        let engine = line_engine();
+        let mut v = Vehicle::new(1, 4, 4);
+        v.free_at = 5.0;
+        let r = req(1, 3, 1, 20.0, 2.0);
+        let out = insert_request(&engine, &v, &r).unwrap();
+        // Deadhead 4->3 (10s) plus the trip (20s).
+        assert_eq!(out.new_travel_cost, 30.0);
+    }
+
+    #[test]
+    fn insertion_result_always_well_formed_and_feasible() {
+        let engine = line_engine();
+        let r1 = req(1, 0, 4, 40.0, 1.8);
+        let r2 = req(2, 1, 3, 20.0, 1.8);
+        let r3 = req(3, 2, 4, 20.0, 1.8);
+        let mut sched = Schedule::direct(&r1);
+        for r in [&r2, &r3] {
+            if let Some(out) = insert_into(&engine, 0, 0.0, 0, 6, &sched, r) {
+                assert!(out.schedule.is_well_formed());
+                let eval = out.schedule.evaluate(&engine, 0, 0.0, 0, 6);
+                assert!(eval.feasible);
+                assert!((eval.travel_cost - out.new_travel_cost).abs() < 1e-9);
+                sched = out.schedule;
+            }
+        }
+        assert!(sched.contains_request(2) || sched.contains_request(3));
+    }
+}

@@ -1,0 +1,31 @@
+//! Ridesharing data model for the StructRide reproduction (§II of the paper).
+//!
+//! This crate defines the objects every dispatcher manipulates:
+//!
+//! * [`Request`] — a rider request `⟨s, e, n, t, d⟩` with its detour-based
+//!   delivery deadline and pickup (waiting-time) deadline (Definition 1);
+//! * [`Vehicle`] — a vehicle with capacity, current position/time, onboard
+//!   riders and its planned [`Schedule`];
+//! * [`Schedule`] / [`Waypoint`] — an ordered sequence of pickup/drop-off
+//!   way-points together with the coverage / order / capacity / deadline
+//!   feasibility rules and buffer times (Definitions 2–3);
+//! * [`insertion`] — the linear insertion operator (Tong et al.) that places a
+//!   new request into an existing schedule without reordering it;
+//! * [`kinetic`] — the kinetic-tree alternative that maintains *all* feasible
+//!   orderings and therefore yields the exact optimal schedule (used as the
+//!   optimality oracle in tests and as an optional scheduling backend);
+//! * [`cost`] — the unified cost function `U` of Equation (3).
+
+pub mod cost;
+pub mod insertion;
+pub mod kinetic;
+pub mod request;
+pub mod schedule;
+pub mod vehicle;
+
+pub use cost::{unified_cost, CostParams};
+pub use insertion::{insert_request, InsertionOutcome};
+pub use kinetic::KineticTree;
+pub use request::{Request, RequestId};
+pub use schedule::{Schedule, ScheduleEval, Waypoint, WaypointKind};
+pub use vehicle::{Vehicle, VehicleId};

@@ -1,0 +1,121 @@
+//! Property-based tests of the schedule-maintenance invariants.
+
+use proptest::prelude::*;
+use structride_model::insertion::insert_into;
+use structride_model::kinetic::optimal_schedule;
+use structride_model::{Request, Schedule};
+use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
+
+/// A 12-node bidirectional line with 10-second hops.
+fn line_engine() -> SpEngine {
+    let mut b = RoadNetworkBuilder::new();
+    for i in 0..12 {
+        b.add_node(Point::new(i as f64 * 100.0, 0.0));
+    }
+    for i in 1..12u32 {
+        b.add_bidirectional(i - 1, i, 10.0).unwrap();
+    }
+    SpEngine::new(b.build().unwrap())
+}
+
+fn build_request(engine: &SpEngine, id: u32, raw: (u32, u32, f64, f64)) -> Option<Request> {
+    let n = engine.node_count() as u32;
+    let (s, e, release, gamma_extra) = raw;
+    let source = s % n;
+    let destination = e % n;
+    if source == destination {
+        return None;
+    }
+    let cost = engine.cost(source, destination);
+    Some(Request::with_detour(id, source, destination, 1, release, cost, 1.0 + gamma_extra, 300.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Linear insertion, applied greedily in any order, never produces an
+    /// infeasible or malformed schedule, and never beats the kinetic-tree
+    /// optimum over the same served set.
+    #[test]
+    fn linear_insertion_is_feasible_and_never_beats_kinetic(
+        raw in proptest::collection::vec((0u32..100, 0u32..100, 0.0f64..30.0, 0.2f64..1.2), 1..5),
+        start in 0u32..12,
+        capacity in 1u32..5,
+    ) {
+        let engine = line_engine();
+        let requests: Vec<Request> = raw
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| build_request(&engine, i as u32, *r))
+            .collect();
+        prop_assume!(!requests.is_empty());
+
+        let mut schedule = Schedule::new();
+        let mut inserted: Vec<&Request> = Vec::new();
+        for r in &requests {
+            if let Some(out) = insert_into(&engine, start, 0.0, 0, capacity, &schedule, r) {
+                // The outcome accounting is consistent.
+                let eval = out.schedule.evaluate(&engine, start, 0.0, 0, capacity);
+                prop_assert!(eval.feasible);
+                prop_assert!(out.schedule.is_well_formed());
+                prop_assert!((eval.travel_cost - out.new_travel_cost).abs() < 1e-6);
+                prop_assert!(out.added_cost >= -1e-9);
+                schedule = out.schedule;
+                inserted.push(r);
+            }
+        }
+        prop_assume!(!inserted.is_empty());
+        let linear_cost = schedule.evaluate(&engine, start, 0.0, 0, capacity).travel_cost;
+        // The kinetic tree over the same request set is exact, so it can only
+        // be at least as good.
+        if let Some((best, optimal_cost)) =
+            optimal_schedule(&engine, start, 0.0, 0, capacity, &inserted)
+        {
+            prop_assert!(best.is_well_formed());
+            prop_assert!(optimal_cost <= linear_cost + 1e-6);
+        }
+    }
+
+    /// Buffer times (Definition 3) are always non-negative for feasible
+    /// schedules and non-increasing toward earlier way-points, and adding the
+    /// buffer of the first way-point as a uniform delay keeps the schedule
+    /// feasible.
+    #[test]
+    fn buffer_times_bound_the_tolerable_delay(
+        raw in proptest::collection::vec((0u32..100, 0u32..100, 0.0f64..20.0, 0.3f64..1.5), 1..4),
+        start in 0u32..12,
+    ) {
+        let engine = line_engine();
+        let requests: Vec<Request> = raw
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| build_request(&engine, i as u32, *r))
+            .collect();
+        prop_assume!(!requests.is_empty());
+        let mut schedule = Schedule::new();
+        for r in &requests {
+            if let Some(out) = insert_into(&engine, start, 0.0, 0, 4, &schedule, r) {
+                schedule = out.schedule;
+            }
+        }
+        prop_assume!(!schedule.is_empty());
+        let eval = schedule.evaluate(&engine, start, 0.0, 0, 4);
+        prop_assert!(eval.feasible);
+        let buffers = schedule.buffer_times(&eval);
+        prop_assert_eq!(buffers.len(), schedule.len());
+        for w in buffers.windows(2) {
+            // buf(o_x) = min(buf(o_x+1), slack(o_x+1)) ≤ buf(o_x+1).
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        for b in &buffers {
+            prop_assert!(*b >= -1e-9);
+        }
+        // Delaying departure by the schedule-wide slack (the first way-point's
+        // own slack combined with buf(o_1), which covers every later stop)
+        // must keep every deadline satisfied — waiting at pickups only helps.
+        let first_slack = schedule.waypoints()[0].deadline - eval.service_times[0];
+        let delay = buffers[0].min(first_slack).max(0.0);
+        let delayed = schedule.evaluate(&engine, start, delay, 0, 4);
+        prop_assert!(delayed.feasible, "delay {delay} broke the schedule");
+    }
+}

@@ -1,0 +1,293 @@
+//! The shortest-path query engine used by every dispatcher.
+//!
+//! [`SpEngine`] bundles the road network, an optional hub-label index and an
+//! LRU cache behind a single `cost(u, v)` entry point.  It also counts the
+//! number of *index* queries (cache misses that hit the labels / Dijkstra),
+//! which is the "#Shortest Path Queries" column of the paper's Table V and
+//! Table VI angle-pruning ablation.
+//!
+//! The engine takes `&self` everywhere so it can be shared freely between the
+//! dispatchers; the cache sits behind a mutex and the counters are atomic.
+
+use crate::dijkstra;
+use crate::graph::{NodeId, Point, RoadNetwork};
+use crate::hub_labels::HubLabels;
+use crate::lru::LruCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing the query workload seen by an [`SpEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpStats {
+    /// Total `cost()` calls.
+    pub total_queries: u64,
+    /// Queries answered by the LRU cache.
+    pub cache_hits: u64,
+    /// Queries that had to consult the hub labels / run Dijkstra.
+    pub index_queries: u64,
+}
+
+/// Configuration builder for [`SpEngine`].
+#[derive(Debug, Clone)]
+pub struct SpEngineBuilder {
+    cache_capacity: usize,
+    use_hub_labels: bool,
+}
+
+impl Default for SpEngineBuilder {
+    fn default() -> Self {
+        SpEngineBuilder { cache_capacity: 1 << 18, use_hub_labels: true }
+    }
+}
+
+impl SpEngineBuilder {
+    /// Starts from the default configuration (hub labels on, 256K-entry cache).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the LRU cache capacity (entries). Zero disables caching.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables the hub-label index.  Without labels, queries fall
+    /// back to point-to-point Dijkstra (slower, still exact).
+    pub fn use_hub_labels(mut self, yes: bool) -> Self {
+        self.use_hub_labels = yes;
+        self
+    }
+
+    /// Builds the engine for the given road network.
+    pub fn build(self, net: RoadNetwork) -> SpEngine {
+        let labels = if self.use_hub_labels { Some(HubLabels::build(&net)) } else { None };
+        SpEngine {
+            net,
+            labels,
+            cache: Mutex::new(LruCache::new(self.cache_capacity)),
+            total_queries: AtomicU64::new(0),
+            index_queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared shortest-path oracle: hub labels + LRU cache + query counters.
+#[derive(Debug)]
+pub struct SpEngine {
+    net: RoadNetwork,
+    labels: Option<HubLabels>,
+    cache: Mutex<LruCache<(NodeId, NodeId), f64>>,
+    total_queries: AtomicU64,
+    index_queries: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl SpEngine {
+    /// Builds an engine with default settings (hub labels + LRU cache).
+    pub fn new(net: RoadNetwork) -> Self {
+        SpEngineBuilder::default().build(net)
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// Number of nodes in the underlying road network.
+    pub fn node_count(&self) -> usize {
+        self.net.node_count()
+    }
+
+    /// Coordinate of a node (delegates to the road network).
+    pub fn coord(&self, node: NodeId) -> Point {
+        self.net.coord(node)
+    }
+
+    /// Minimum travel time (seconds) from `source` to `target`.
+    ///
+    /// Results are exact; unreachable pairs return infinity.
+    pub fn cost(&self, source: NodeId, target: NodeId) -> f64 {
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
+        if source == target {
+            return 0.0;
+        }
+        let key = (source, target);
+        {
+            let mut cache = self.cache.lock().expect("sp cache poisoned");
+            if let Some(v) = cache.get(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return v;
+            }
+        }
+        let d = self.cost_uncached(source, target);
+        let mut cache = self.cache.lock().expect("sp cache poisoned");
+        cache.insert(key, d);
+        d
+    }
+
+    /// Travel time bypassing the cache (still counted as an index query).
+    pub fn cost_uncached(&self, source: NodeId, target: NodeId) -> f64 {
+        self.index_queries.fetch_add(1, Ordering::Relaxed);
+        match &self.labels {
+            Some(labels) => labels.query(source, target),
+            None => dijkstra::p2p(&self.net, source, target),
+        }
+    }
+
+    /// Distances from `source` to every node (one full Dijkstra, counted as a
+    /// single index query).  Useful for warming batch computations.
+    pub fn one_to_all(&self, source: NodeId) -> Vec<f64> {
+        self.index_queries.fetch_add(1, Ordering::Relaxed);
+        dijkstra::sssp(&self.net, source)
+    }
+
+    /// Distances from every node to `source` (reverse Dijkstra).
+    pub fn all_to_one(&self, target: NodeId) -> Vec<f64> {
+        self.index_queries.fetch_add(1, Ordering::Relaxed);
+        dijkstra::sssp_reverse(&self.net, target)
+    }
+
+    /// Straight-line (Euclidean) distance between the coordinates of two
+    /// nodes, in meters.  Used only by geometric pruning, never as a travel
+    /// cost.
+    pub fn euclidean(&self, a: NodeId, b: NodeId) -> f64 {
+        self.net.coord(a).distance(&self.net.coord(b))
+    }
+
+    /// Snapshot of the query counters.
+    pub fn stats(&self) -> SpStats {
+        SpStats {
+            total_queries: self.total_queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            index_queries: self.index_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Empties the LRU cache (counters are kept).  Call this between
+    /// algorithm runs that share one engine so that no run benefits from the
+    /// cache its predecessor warmed up — keeping query counts and runtimes
+    /// comparable.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("sp cache poisoned").clear();
+    }
+
+    /// Resets the query counters (the cache contents are kept).
+    pub fn reset_stats(&self) {
+        self.total_queries.store(0, Ordering::Relaxed);
+        self.index_queries.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Approximate heap footprint (graph + labels + cache) in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let cache = self.cache.lock().expect("sp cache poisoned");
+        self.net.approx_bytes()
+            + self.labels.as_ref().map(HubLabels::approx_bytes).unwrap_or(0)
+            + cache.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Point, RoadNetworkBuilder};
+
+    fn line_graph(n: u32) -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..n {
+            b.add_node(Point::new(i as f64 * 10.0, 0.0));
+        }
+        for i in 1..n {
+            b.add_bidirectional(i - 1, i, 5.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cost_with_and_without_labels_agree() {
+        let net = line_graph(20);
+        let with = SpEngineBuilder::new().build(net.clone());
+        let without = SpEngineBuilder::new().use_hub_labels(false).build(net);
+        for s in 0..20u32 {
+            for t in (0..20u32).step_by(3) {
+                assert!((with.cost(s, t) - without.cost(s, t)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_reduces_index_queries() {
+        let net = line_graph(10);
+        let eng = SpEngine::new(net);
+        let a = eng.cost(0, 9);
+        let b = eng.cost(0, 9);
+        assert_eq!(a, b);
+        let stats = eng.stats();
+        assert_eq!(stats.total_queries, 2);
+        assert_eq!(stats.index_queries, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn zero_cache_capacity_always_queries_index() {
+        let net = line_graph(10);
+        let eng = SpEngineBuilder::new().cache_capacity(0).build(net);
+        eng.cost(0, 5);
+        eng.cost(0, 5);
+        let stats = eng.stats();
+        assert_eq!(stats.index_queries, 2);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn self_cost_is_free() {
+        let net = line_graph(5);
+        let eng = SpEngine::new(net);
+        assert_eq!(eng.cost(3, 3), 0.0);
+        assert_eq!(eng.stats().index_queries, 0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let net = line_graph(5);
+        let eng = SpEngine::new(net);
+        eng.cost(0, 4);
+        eng.reset_stats();
+        assert_eq!(eng.stats(), SpStats::default());
+    }
+
+    #[test]
+    fn clear_cache_forces_fresh_index_queries() {
+        let net = line_graph(6);
+        let eng = SpEngine::new(net);
+        eng.cost(0, 5);
+        eng.clear_cache();
+        eng.cost(0, 5);
+        let stats = eng.stats();
+        assert_eq!(stats.index_queries, 2);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn one_to_all_matches_point_queries() {
+        let net = line_graph(12);
+        let eng = SpEngine::new(net);
+        let all = eng.one_to_all(0);
+        for t in 0..12u32 {
+            assert!((all[t as usize] - eng.cost(0, t)).abs() < 1e-9);
+        }
+        let back = eng.all_to_one(0);
+        for s in 0..12u32 {
+            assert!((back[s as usize] - eng.cost(s, 0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn euclidean_uses_coordinates() {
+        let net = line_graph(3);
+        let eng = SpEngine::new(net);
+        assert!((eng.euclidean(0, 2) - 20.0).abs() < 1e-9);
+    }
+}

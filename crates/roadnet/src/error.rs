@@ -1,0 +1,57 @@
+//! Error types for the road-network substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or querying a road network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadNetError {
+    /// A node id referenced by an edge or query does not exist in the graph.
+    InvalidNode {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// Source node of the offending edge.
+        from: u32,
+        /// Target node of the offending edge.
+        to: u32,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// The graph is empty where a non-empty graph is required.
+    EmptyGraph,
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::InvalidNode { node, node_count } => {
+                write!(f, "node {node} is out of range (graph has {node_count} nodes)")
+            }
+            RoadNetError::InvalidWeight { from, to, weight } => {
+                write!(f, "edge {from}->{to} has invalid weight {weight}")
+            }
+            RoadNetError::EmptyGraph => write!(f, "road network has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RoadNetError::InvalidNode { node: 7, node_count: 3 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("3"));
+        let e = RoadNetError::InvalidWeight { from: 1, to: 2, weight: -4.0 };
+        assert!(e.to_string().contains("-4"));
+        assert!(RoadNetError::EmptyGraph.to_string().contains("no nodes"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Directed weighted road network in compressed-sparse-row (CSR) form.
+//!
+//! Nodes are road intersections with planar coordinates; each directed edge
+//! carries the average travel time in seconds (the paper's `cost(u, v)` edge
+//! weight, §II).  Both the forward and the reverse adjacency are materialised
+//! because hub-label construction needs backward searches.
+
+use crate::error::RoadNetError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a road-network node (intersection).
+pub type NodeId = u32;
+
+/// Identifier of a directed edge (index into the CSR edge arrays).
+pub type EdgeId = u32;
+
+/// Planar coordinate of a node, in meters (projected), used by the grid index
+/// and the angle-pruning geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point, in meters.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// A directed weighted road network with planar node coordinates.
+///
+/// The adjacency is stored in CSR form for cache-friendly traversal; the
+/// reverse adjacency is stored as well so backward Dijkstra searches (needed
+/// by hub labeling and by "which vehicles can reach this pickup in time"
+/// queries) are as cheap as forward ones.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    coords: Vec<Point>,
+    // forward CSR
+    fwd_offsets: Vec<u32>,
+    fwd_targets: Vec<NodeId>,
+    fwd_weights: Vec<f64>,
+    // reverse CSR
+    rev_offsets: Vec<u32>,
+    rev_targets: Vec<NodeId>,
+    rev_weights: Vec<f64>,
+}
+
+impl RoadNetwork {
+    /// Number of nodes (intersections).
+    pub fn node_count(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.fwd_targets.len()
+    }
+
+    /// Coordinate of a node.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn coord(&self, node: NodeId) -> Point {
+        self.coords[node as usize]
+    }
+
+    /// Checked coordinate lookup.
+    pub fn try_coord(&self, node: NodeId) -> Result<Point> {
+        self.coords
+            .get(node as usize)
+            .copied()
+            .ok_or(RoadNetError::InvalidNode { node, node_count: self.node_count() })
+    }
+
+    /// Returns true if `node` is a valid node id.
+    pub fn contains(&self, node: NodeId) -> bool {
+        (node as usize) < self.coords.len()
+    }
+
+    /// Iterator over the outgoing edges `(target, weight)` of `node`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let lo = self.fwd_offsets[node as usize] as usize;
+        let hi = self.fwd_offsets[node as usize + 1] as usize;
+        self.fwd_targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.fwd_weights[lo..hi].iter().copied())
+    }
+
+    /// Iterator over the incoming edges `(source, weight)` of `node`.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let lo = self.rev_offsets[node as usize] as usize;
+        let hi = self.rev_offsets[node as usize + 1] as usize;
+        self.rev_targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.rev_weights[lo..hi].iter().copied())
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        (self.fwd_offsets[node as usize + 1] - self.fwd_offsets[node as usize]) as usize
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        (self.rev_offsets[node as usize + 1] - self.rev_offsets[node as usize]) as usize
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.coords.len() as NodeId
+    }
+
+    /// Approximate heap footprint of the graph in bytes (used by the memory
+    /// accounting of Fig. 14).
+    pub fn approx_bytes(&self) -> usize {
+        self.coords.len() * std::mem::size_of::<Point>()
+            + (self.fwd_offsets.len() + self.rev_offsets.len()) * 4
+            + (self.fwd_targets.len() + self.rev_targets.len()) * 4
+            + (self.fwd_weights.len() + self.rev_weights.len()) * 8
+    }
+}
+
+/// Incremental builder for [`RoadNetwork`].
+///
+/// ```
+/// use structride_roadnet::{RoadNetworkBuilder, Point};
+/// let mut b = RoadNetworkBuilder::new();
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(100.0, 0.0));
+/// b.add_edge(a, c, 12.0).unwrap();
+/// b.add_edge(c, a, 12.0).unwrap();
+/// let net = b.build().unwrap();
+/// assert_eq!(net.node_count(), 2);
+/// assert_eq!(net.edge_count(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct RoadNetworkBuilder {
+    coords: Vec<Point>,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        RoadNetworkBuilder { coords: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
+    }
+
+    /// Adds a node at the given coordinate and returns its id.
+    pub fn add_node(&mut self, coord: Point) -> NodeId {
+        let id = self.coords.len() as NodeId;
+        self.coords.push(coord);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Adds a directed edge with travel time `weight` (seconds).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<()> {
+        let n = self.coords.len();
+        if from as usize >= n {
+            return Err(RoadNetError::InvalidNode { node: from, node_count: n });
+        }
+        if to as usize >= n {
+            return Err(RoadNetError::InvalidNode { node: to, node_count: n });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(RoadNetError::InvalidWeight { from, to, weight });
+        }
+        self.edges.push((from, to, weight));
+        Ok(())
+    }
+
+    /// Adds a pair of directed edges `from <-> to`, both with the same weight.
+    pub fn add_bidirectional(&mut self, a: NodeId, b: NodeId, weight: f64) -> Result<()> {
+        self.add_edge(a, b, weight)?;
+        self.add_edge(b, a, weight)
+    }
+
+    /// Finalises the CSR representation.
+    pub fn build(self) -> Result<RoadNetwork> {
+        if self.coords.is_empty() {
+            return Err(RoadNetError::EmptyGraph);
+        }
+        let n = self.coords.len();
+        let m = self.edges.len();
+
+        let mut fwd_offsets = vec![0u32; n + 1];
+        let mut rev_offsets = vec![0u32; n + 1];
+        for &(from, to, _) in &self.edges {
+            fwd_offsets[from as usize + 1] += 1;
+            rev_offsets[to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            fwd_offsets[i + 1] += fwd_offsets[i];
+            rev_offsets[i + 1] += rev_offsets[i];
+        }
+
+        let mut fwd_targets = vec![0u32; m];
+        let mut fwd_weights = vec![0f64; m];
+        let mut rev_targets = vec![0u32; m];
+        let mut rev_weights = vec![0f64; m];
+        let mut fwd_cursor = fwd_offsets.clone();
+        let mut rev_cursor = rev_offsets.clone();
+        for &(from, to, w) in &self.edges {
+            let fi = fwd_cursor[from as usize] as usize;
+            fwd_targets[fi] = to;
+            fwd_weights[fi] = w;
+            fwd_cursor[from as usize] += 1;
+
+            let ri = rev_cursor[to as usize] as usize;
+            rev_targets[ri] = from;
+            rev_weights[ri] = w;
+            rev_cursor[to as usize] += 1;
+        }
+
+        Ok(RoadNetwork {
+            coords: self.coords,
+            fwd_offsets,
+            fwd_targets,
+            fwd_weights,
+            rev_offsets,
+            rev_targets,
+            rev_weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(0.0, 1.0));
+        b.add_edge(n0, n1, 1.0).unwrap();
+        b.add_edge(n1, n2, 2.0).unwrap();
+        b.add_edge(n2, n0, 3.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_csr_adjacency() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let out0: Vec<_> = g.out_edges(0).collect();
+        assert_eq!(out0, vec![(1, 1.0)]);
+        let in0: Vec<_> = g.in_edges(0).collect();
+        assert_eq!(in0, vec![(2, 3.0)]);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.in_degree(1), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        assert!(matches!(b.add_edge(n0, 5, 1.0), Err(RoadNetError::InvalidNode { .. })));
+        assert!(matches!(b.add_edge(5, n0, 1.0), Err(RoadNetError::InvalidNode { .. })));
+        assert!(matches!(
+            b.add_edge(n0, n0, f64::NAN),
+            Err(RoadNetError::InvalidWeight { .. })
+        ));
+        assert!(matches!(b.add_edge(n0, n0, -1.0), Err(RoadNetError::InvalidWeight { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert!(matches!(RoadNetworkBuilder::new().build(), Err(RoadNetError::EmptyGraph)));
+    }
+
+    #[test]
+    fn bidirectional_adds_two_edges() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 1.0));
+        b.add_bidirectional(a, c, 5.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_edges(a).next(), Some((c, 5.0)));
+        assert_eq!(g.out_edges(c).next(), Some((a, 5.0)));
+    }
+
+    #[test]
+    fn point_distance() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(3.0, 4.0);
+        assert!((p.distance(&q) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coord_lookup_checked() {
+        let g = triangle();
+        assert!(g.try_coord(2).is_ok());
+        assert!(g.try_coord(99).is_err());
+        assert!(g.contains(0));
+        assert!(!g.contains(3));
+    }
+
+    #[test]
+    fn approx_bytes_is_positive_and_scales() {
+        let g = triangle();
+        assert!(g.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Road-network substrate for the StructRide reproduction.
+//!
+//! The paper (§II, §V-A) models the city as a directed weighted graph whose edge
+//! weights are average travel times, and answers every travel-cost query
+//! `cost(u, v)` with a hub-labeling index fronted by an LRU cache.  This crate
+//! provides exactly that substrate:
+//!
+//! * [`RoadNetwork`] — a compact CSR representation of the directed weighted
+//!   road graph together with planar node coordinates.
+//! * [`dijkstra`] — exact shortest-path search used both directly (as a
+//!   correctness oracle) and to construct the hub labels.
+//! * [`HubLabels`] — a pruned-landmark 2-hop labeling supporting exact
+//!   point-to-point travel-time queries in (near) constant time.
+//! * [`LruCache`] — a bounded least-recently-used cache for `(source, target)`
+//!   query results, mirroring the LRU cache of Huang et al. used by the paper.
+//! * [`SpEngine`] — the query façade combining labels + cache + query counters
+//!   (the counters feed the Table V / Table VI angle-pruning ablation).
+//!
+//! All distances are travel times in seconds, represented as `f64`.  A missing
+//! path is reported as [`INFINITY`](f64::INFINITY).
+
+pub mod dijkstra;
+pub mod engine;
+pub mod error;
+pub mod graph;
+pub mod hub_labels;
+pub mod lru;
+pub mod path;
+
+pub use engine::{SpEngine, SpEngineBuilder, SpStats};
+pub use error::RoadNetError;
+pub use graph::{EdgeId, NodeId, Point, RoadNetwork, RoadNetworkBuilder};
+pub use hub_labels::HubLabels;
+pub use lru::LruCache;
+pub use path::{expand_route, shortest_path, Path};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RoadNetError>;

@@ -1,0 +1,350 @@
+//! The dynamic shareability-graph builder (Algorithm 1).
+//!
+//! The builder keeps the shareability graph of all *live* requests (unassigned
+//! and unexpired) across batches.  When a batch of new requests arrives it
+//! only looks for edges incident to the new requests:
+//!
+//! 1. a **grid-index prefilter** retrieves candidate requests whose sources are
+//!    close enough (in Euclidean distance, converted with the network's
+//!    maximum speed) to possibly satisfy both pickup deadlines;
+//! 2. a **deadline / detour prefilter** discards candidates whose time windows
+//!    cannot overlap at all;
+//! 3. the **angle pruning** rule of §III-B discards candidates whose travel
+//!    direction diverges too much from the new request;
+//! 4. the surviving pairs are tested with the exact shareability check
+//!    (linear-insertion style schedule enumeration) and edges are added.
+//!
+//! Counters for candidate pairs, pruned pairs and exact checks feed the
+//! Table V / Table VI ablation.
+
+use crate::angle::AnglePruning;
+use crate::graph::ShareabilityGraph;
+use crate::shareable::pairwise_shareable;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use structride_model::{Request, RequestId};
+use structride_roadnet::SpEngine;
+use structride_spatial::GridIndex;
+
+/// Configuration of the dynamic builder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuilderConfig {
+    /// Seat capacity assumed for the hypothetical shared vehicle (the paper
+    /// uses the fleet's capacity `c`).
+    pub vehicle_capacity: u32,
+    /// The angle-pruning rule (enabled with δ = π/2 by default).
+    pub angle: AnglePruning,
+    /// Number of grid cells per side for the source index.
+    pub grid_cells: u32,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        BuilderConfig { vehicle_capacity: 4, angle: AnglePruning::default(), grid_cells: 64 }
+    }
+}
+
+/// Counters describing the work done by the builder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildStats {
+    /// Candidate pairs returned by the spatial/deadline prefilter.
+    pub candidate_pairs: u64,
+    /// Pairs discarded by the angle rule.
+    pub angle_pruned: u64,
+    /// Pairs that reached the exact shareability check.
+    pub shareability_checks: u64,
+    /// Edges added to the graph.
+    pub edges_added: u64,
+}
+
+/// Dynamic shareability-graph builder (Algorithm 1).
+#[derive(Debug)]
+pub struct ShareabilityGraphBuilder {
+    config: BuilderConfig,
+    graph: ShareabilityGraph,
+    requests: HashMap<RequestId, Request>,
+    source_index: GridIndex,
+    /// Maximum straight-line speed observed on any edge (m/s); 0 disables the
+    /// Euclidean prefilter.
+    max_speed: f64,
+    stats: BuildStats,
+}
+
+impl ShareabilityGraphBuilder {
+    /// Creates a builder for the given road network.
+    pub fn new(engine: &SpEngine, config: BuilderConfig) -> Self {
+        let net = engine.network();
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in net.nodes() {
+            let p = net.coord(v);
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if !(max_x > min_x && max_y > min_y) {
+            // Degenerate coordinates (all nodes colocated): give the grid a
+            // non-empty dummy extent; the Euclidean prefilter is disabled below.
+            max_x = min_x + 1.0;
+            max_y = min_y + 1.0;
+        }
+        let mut max_speed: f64 = 0.0;
+        for u in net.nodes() {
+            let pu = net.coord(u);
+            for (v, w) in net.out_edges(u) {
+                if w > 0.0 {
+                    let d = pu.distance(&net.coord(v));
+                    max_speed = max_speed.max(d / w);
+                }
+            }
+        }
+        ShareabilityGraphBuilder {
+            config,
+            graph: ShareabilityGraph::new(),
+            requests: HashMap::new(),
+            source_index: GridIndex::new(min_x, min_y, max_x, max_y, config.grid_cells.max(1)),
+            max_speed,
+            stats: BuildStats::default(),
+        }
+    }
+
+    /// The current shareability graph.
+    pub fn graph(&self) -> &ShareabilityGraph {
+        &self.graph
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// The live requests tracked by the builder.
+    pub fn requests(&self) -> &HashMap<RequestId, Request> {
+        &self.requests
+    }
+
+    /// Looks up a live request.
+    pub fn request(&self, id: RequestId) -> Option<&Request> {
+        self.requests.get(&id)
+    }
+
+    /// Number of live requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if no live requests are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Adds a batch of new requests and discovers their shareability edges
+    /// (Algorithm 1, lines 2–8).
+    pub fn add_batch(&mut self, engine: &SpEngine, batch: &[Request]) {
+        for r in batch {
+            self.add_request(engine, r.clone());
+        }
+    }
+
+    /// Adds a single new request and connects it to the shareable live ones.
+    pub fn add_request(&mut self, engine: &SpEngine, request: Request) {
+        let id = request.id;
+        if self.requests.contains_key(&id) {
+            return;
+        }
+        self.graph.add_node(id);
+        let src = engine.coord(request.source);
+
+        // --- candidate generation (line 4): spatial + deadline prefilter ----
+        let mut candidates: Vec<RequestId> = Vec::new();
+        if self.max_speed > 0.0 {
+            // A shared trip must visit both sources within their pickup
+            // deadlines, so the sources cannot be further apart than the
+            // widest pickup window times the maximum speed.
+            let window = (request.deadline - request.release).max(0.0)
+                + structride_model::request::DEFAULT_MAX_WAIT;
+            let radius = self.max_speed * window;
+            self.source_index.for_each_in_range(src.x, src.y, radius, |item| {
+                candidates.push(item as RequestId);
+            });
+        } else {
+            candidates.extend(self.requests.keys().copied());
+        }
+
+        for cand_id in candidates {
+            let Some(other) = self.requests.get(&cand_id) else { continue };
+            // Deadline / detour-tolerance prefilter: the later release must
+            // precede the earlier delivery deadline, otherwise no joint
+            // schedule can exist.
+            if request.release.max(other.release) > request.deadline.min(other.deadline) {
+                continue;
+            }
+            // A tighter necessary condition on the two pickups.
+            if self.max_speed > 0.0 {
+                let d = src.distance(&engine.coord(other.source));
+                let window = (other.pickup_deadline - request.release)
+                    .max(request.pickup_deadline - other.release)
+                    .max(0.0);
+                if d > self.max_speed * window {
+                    continue;
+                }
+            }
+            self.stats.candidate_pairs += 1;
+
+            // --- angle pruning (line 6) ---------------------------------
+            if !self.config.angle.keeps(engine, &request, other) {
+                self.stats.angle_pruned += 1;
+                continue;
+            }
+
+            // --- exact shareability check (line 7) ----------------------
+            self.stats.shareability_checks += 1;
+            if pairwise_shareable(engine, &request, other, self.config.vehicle_capacity) {
+                self.graph.add_edge(id, cand_id);
+                self.stats.edges_added += 1;
+            }
+        }
+
+        self.source_index.insert(id as u64, src.x, src.y);
+        self.requests.insert(id, request);
+    }
+
+    /// Removes a request (assigned or expired) from the graph and indexes.
+    pub fn remove_request(&mut self, id: RequestId) -> bool {
+        let existed = self.requests.remove(&id).is_some();
+        if existed {
+            self.graph.remove_node(id);
+            self.source_index.remove(id as u64);
+        }
+        existed
+    }
+
+    /// Removes every live request whose pickup deadline has passed at `now`.
+    /// Returns the expired request ids.
+    pub fn remove_expired(&mut self, now: f64) -> Vec<RequestId> {
+        let expired: Vec<RequestId> = self
+            .requests
+            .iter()
+            .filter(|(_, r)| r.is_expired(now))
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &expired {
+            self.remove_request(id);
+        }
+        expired
+    }
+
+    /// Approximate heap footprint (graph + request table + grid index).
+    pub fn approx_bytes(&self) -> usize {
+        self.graph.approx_bytes()
+            + self.requests.capacity() * (std::mem::size_of::<Request>() + 16)
+            + self.source_index.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structride_roadnet::{Point, RoadNetworkBuilder};
+
+    /// A 5-node west-east line with coordinates matching the travel times
+    /// (100 m apart, 10 s per hop → max speed 10 m/s).
+    fn line_engine() -> SpEngine {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..5 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 1..5u32 {
+            b.add_bidirectional(i - 1, i, 10.0).unwrap();
+        }
+        SpEngine::new(b.build().unwrap())
+    }
+
+    fn req(id: u32, s: u32, e: u32, release: f64, cost: f64, gamma: f64) -> Request {
+        Request::with_detour(id, s, e, 1, release, cost, gamma, 300.0)
+    }
+
+    #[test]
+    fn builds_edges_for_shareable_pairs() {
+        let engine = line_engine();
+        let mut builder = ShareabilityGraphBuilder::new(&engine, BuilderConfig::default());
+        let a = req(1, 0, 4, 0.0, 40.0, 1.5);
+        let b = req(2, 1, 3, 0.0, 20.0, 1.5);
+        let c = req(3, 4, 0, 0.0, 40.0, 1.1); // opposite direction, tight
+        builder.add_batch(&engine, &[a, b, c]);
+        let g = builder.graph();
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(1, 3));
+        assert!(!g.has_edge(2, 3));
+        assert_eq!(builder.len(), 3);
+        assert!(builder.stats().edges_added >= 1);
+    }
+
+    #[test]
+    fn incremental_batches_extend_the_graph() {
+        let engine = line_engine();
+        let mut builder = ShareabilityGraphBuilder::new(&engine, BuilderConfig::default());
+        builder.add_batch(&engine, &[req(1, 0, 4, 0.0, 40.0, 1.5)]);
+        assert_eq!(builder.graph().edge_count(), 0);
+        builder.add_batch(&engine, &[req(2, 1, 3, 1.0, 20.0, 1.5)]);
+        assert!(builder.graph().has_edge(1, 2));
+        // Duplicated ids are ignored.
+        builder.add_batch(&engine, &[req(2, 1, 3, 1.0, 20.0, 1.5)]);
+        assert_eq!(builder.len(), 2);
+    }
+
+    #[test]
+    fn angle_pruning_skips_checks_but_disabled_mode_keeps_them() {
+        let engine = line_engine();
+        let mut cfg = BuilderConfig::default();
+        let a = req(1, 0, 4, 0.0, 40.0, 2.0);
+        let back = req(2, 3, 1, 0.0, 20.0, 2.0); // opposite direction
+
+        // Add `back` first so that when `a` arrives, the angle is measured
+        // from back's source towards the two (opposite) destinations.
+        let mut with = ShareabilityGraphBuilder::new(&engine, cfg);
+        with.add_batch(&engine, &[back.clone(), a.clone()]);
+        assert!(with.stats().angle_pruned >= 1);
+
+        cfg.angle = AnglePruning::disabled();
+        let mut without = ShareabilityGraphBuilder::new(&engine, cfg);
+        without.add_batch(&engine, &[back, a]);
+        assert_eq!(without.stats().angle_pruned, 0);
+        // Without pruning at least as many exact checks run.
+        assert!(without.stats().shareability_checks >= with.stats().shareability_checks);
+    }
+
+    #[test]
+    fn remove_and_expire_requests() {
+        let engine = line_engine();
+        let mut builder = ShareabilityGraphBuilder::new(&engine, BuilderConfig::default());
+        let a = req(1, 0, 4, 0.0, 40.0, 1.5);
+        let b = req(2, 1, 3, 0.0, 20.0, 1.5);
+        builder.add_batch(&engine, &[a, b]);
+        assert!(builder.remove_request(1));
+        assert!(!builder.remove_request(1));
+        assert_eq!(builder.graph().node_count(), 1);
+
+        // Request 2's pickup deadline is release + min(300, slack=10) = 10.
+        let expired = builder.remove_expired(1_000.0);
+        assert_eq!(expired, vec![2]);
+        assert!(builder.is_empty());
+    }
+
+    #[test]
+    fn stats_and_memory_accounting() {
+        let engine = line_engine();
+        let mut builder = ShareabilityGraphBuilder::new(&engine, BuilderConfig::default());
+        builder.add_batch(
+            &engine,
+            &[req(1, 0, 4, 0.0, 40.0, 1.5), req(2, 1, 3, 0.0, 20.0, 1.5), req(3, 2, 4, 0.0, 20.0, 1.5)],
+        );
+        let s = builder.stats();
+        assert!(s.candidate_pairs >= s.shareability_checks);
+        assert!(s.shareability_checks >= s.edges_added);
+        assert!(builder.approx_bytes() > 0);
+        assert!(builder.request(1).is_some());
+        assert!(builder.request(42).is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! Shareability loss (Definition 6) and the supporting theorems.
+//!
+//! When a vehicle accepts a group `G` of requests, those requests leave the
+//! shareability graph as if merged into a supernode; the *shareability loss*
+//! measures how much sharing potential the remaining requests lose.  SARD's
+//! acceptance phase picks, for every vehicle, the feasible group with the
+//! minimum loss (Theorem IV.1), with ties broken by the higher sharing ratio
+//! `cost(P) / Σ_r cost(r)` (Example 4), and Theorem IV.2 justifies merging
+//! degree-1 nodes with their only neighbor eagerly.
+
+use crate::graph::ShareabilityGraph;
+use structride_model::RequestId;
+
+/// Shareability loss `SLoss(G)` of substituting a supernode for the group `G`
+/// (Definition 6):
+///
+/// ```text
+/// SLoss(G) = max_{r ∈ G} { |∩_{v ∈ G−{r}} N(v)| + |N(r)| − |∩_{v ∈ G} N(v)| − 1 }
+/// ```
+///
+/// and `SLoss({r}) = deg(r)` for singleton groups.  Nodes missing from the
+/// graph are treated as isolated (degree 0).
+pub fn shareability_loss(graph: &ShareabilityGraph, group: &[RequestId]) -> f64 {
+    match group.len() {
+        0 => 0.0,
+        1 => graph.degree(group[0]) as f64,
+        _ => {
+            let full_common = graph.common_neighbors(group);
+            let mut worst = f64::NEG_INFINITY;
+            for (i, &r) in group.iter().enumerate() {
+                let mut rest: Vec<RequestId> = Vec::with_capacity(group.len() - 1);
+                rest.extend(group.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v));
+                let rest_common = graph.common_neighbors(&rest);
+                let value =
+                    rest_common.len() as f64 + graph.degree(r) as f64 - full_common.len() as f64 - 1.0;
+                if value > worst {
+                    worst = value;
+                }
+            }
+            worst.max(0.0)
+        }
+    }
+}
+
+/// The sharing ratio used as the tie-breaker in Example 4:
+/// `cost(P) / Σ_{r ∈ G} cost(r)` where `cost(P)` is the travel cost of the
+/// group's planned schedule and the denominator is the summed direct costs.
+/// A *smaller* ratio means more saving, so vehicles prefer groups with a
+/// higher `1 / ratio`; callers compare ratios directly.
+pub fn sharing_ratio(schedule_cost: f64, direct_costs_sum: f64) -> f64 {
+    if direct_costs_sum <= 0.0 {
+        return f64::INFINITY;
+    }
+    schedule_cost / direct_costs_sum
+}
+
+/// Theorem IV.2: nodes of degree 1 can be merged with their unique neighbor
+/// into a 2-clique without reducing the achievable sharing rate.  Returns the
+/// list of such forced pairs `(degree-1 node, neighbor)`; each node appears in
+/// at most one pair.
+pub fn forced_pairs(graph: &ShareabilityGraph) -> Vec<(RequestId, RequestId)> {
+    let mut used: std::collections::HashSet<RequestId> = std::collections::HashSet::new();
+    let mut pairs = Vec::new();
+    let mut nodes: Vec<RequestId> = graph.nodes().collect();
+    nodes.sort_unstable();
+    for v in nodes {
+        if used.contains(&v) || graph.degree(v) != 1 {
+            continue;
+        }
+        let neighbor = graph.neighbors(v).next().expect("degree-1 node has a neighbor");
+        if used.contains(&neighbor) {
+            continue;
+        }
+        used.insert(v);
+        used.insert(neighbor);
+        pairs.push((v, neighbor));
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1(b): edges r1–r2, r1–r3, r2–r3, r2–r4.
+    fn figure1_graph() -> ShareabilityGraph {
+        let mut g = ShareabilityGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(2, 4);
+        g
+    }
+
+    #[test]
+    fn singleton_loss_is_degree() {
+        let g = figure1_graph();
+        assert_eq!(shareability_loss(&g, &[2]), 3.0);
+        assert_eq!(shareability_loss(&g, &[4]), 1.0);
+        assert_eq!(shareability_loss(&g, &[99]), 0.0);
+        assert_eq!(shareability_loss(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn example3_losses() {
+        // Example 3 of the paper: SLoss({r1, r3}) = 2 and SLoss({r1, r2}) = 3,
+        // so substituting {r1, r3} is the more structure-friendly choice.
+        let g = figure1_graph();
+        assert_eq!(shareability_loss(&g, &[1, 3]), 2.0);
+        assert_eq!(shareability_loss(&g, &[1, 2]), 3.0);
+        assert!(shareability_loss(&g, &[1, 3]) < shareability_loss(&g, &[1, 2]));
+    }
+
+    #[test]
+    fn triangle_group_loss() {
+        let g = figure1_graph();
+        // The 3-clique {r1, r2, r3}: common neighbors of any two members are
+        // the third plus possibly r4; the full intersection is empty.
+        let loss = shareability_loss(&g, &[1, 2, 3]);
+        assert!(loss >= 2.0);
+        // Merging everything including the pendant r4 loses all structure.
+        let loss_all = shareability_loss(&g, &[1, 2, 3, 4]);
+        assert!(loss_all >= loss - 1.0);
+    }
+
+    #[test]
+    fn loss_is_never_negative() {
+        let mut g = ShareabilityGraph::new();
+        g.add_edge(1, 2);
+        assert!(shareability_loss(&g, &[1, 2]) >= 0.0);
+        g.add_node(7);
+        assert_eq!(shareability_loss(&g, &[7]), 0.0);
+    }
+
+    #[test]
+    fn sharing_ratio_basics() {
+        assert_eq!(sharing_ratio(30.0, 60.0), 0.5);
+        assert!(sharing_ratio(10.0, 0.0).is_infinite());
+        // A schedule that saves distance has ratio < 1.
+        assert!(sharing_ratio(50.0, 80.0) < 1.0);
+    }
+
+    #[test]
+    fn forced_pairs_match_theorem_iv2() {
+        let g = figure1_graph();
+        // r4 has degree 1 and must pair with r2.
+        assert_eq!(forced_pairs(&g), vec![(4, 2)]);
+
+        // Two pendants sharing the same hub: only one of them can take it.
+        let mut g = ShareabilityGraph::new();
+        g.add_edge(1, 10);
+        g.add_edge(2, 10);
+        let pairs = forced_pairs(&g);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].1, 10);
+
+        // Isolated nodes produce no pairs.
+        let mut g = ShareabilityGraph::new();
+        g.add_node(5);
+        assert!(forced_pairs(&g).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Degree-distribution diagnostics of the shareability graph.
+//!
+//! The proof of Theorem IV.1 leans on the observation that shareability-graph
+//! degrees follow a power law; these helpers compute the degree histogram,
+//! average degree and a Hill-style estimate of the power-law exponent `η`
+//! that feeds [`crate::clique::largest_clique_estimate`].
+
+use crate::graph::ShareabilityGraph;
+
+/// Summary statistics of a shareability graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Mean degree.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Fraction of isolated nodes (degree 0) — requests with no sharing
+    /// opportunity at all.
+    pub isolated_fraction: f64,
+    /// Hill estimate of the power-law exponent `η` of the degree tail
+    /// (`None` when there are not enough positive degrees to estimate).
+    pub power_law_eta: Option<f64>,
+}
+
+/// Computes the degree histogram: `hist[d]` is the number of nodes of degree `d`.
+pub fn degree_histogram(graph: &ShareabilityGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in graph.nodes() {
+        let d = graph.degree(v);
+        if hist.len() <= d {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Hill estimator of the power-law tail exponent from the positive degrees:
+/// `η ≈ 1 + n / Σ ln(d_i / d_min)`.  Returns `None` for degenerate inputs
+/// (fewer than 5 positive degrees or all degrees equal).
+pub fn estimate_power_law_eta(degrees: &[usize]) -> Option<f64> {
+    let positive: Vec<f64> = degrees.iter().filter(|&&d| d > 0).map(|&d| d as f64).collect();
+    if positive.len() < 5 {
+        return None;
+    }
+    let d_min = positive.iter().copied().fold(f64::INFINITY, f64::min);
+    let sum_log: f64 = positive.iter().map(|&d| (d / d_min).ln()).sum();
+    if sum_log <= 1e-12 {
+        return None;
+    }
+    Some(1.0 + positive.len() as f64 / sum_log)
+}
+
+/// Computes summary statistics for a graph.
+pub fn graph_stats(graph: &ShareabilityGraph) -> GraphStats {
+    let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+    let nodes = degrees.len();
+    let edges = graph.edge_count();
+    let average_degree = if nodes == 0 {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / nodes as f64
+    };
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let isolated = degrees.iter().filter(|&&d| d == 0).count();
+    GraphStats {
+        nodes,
+        edges,
+        average_degree,
+        max_degree,
+        isolated_fraction: if nodes == 0 { 0.0 } else { isolated as f64 / nodes as f64 },
+        power_law_eta: estimate_power_law_eta(&degrees),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(leaves: u32) -> ShareabilityGraph {
+        let mut g = ShareabilityGraph::new();
+        for i in 1..=leaves {
+            g.add_edge(0, i);
+        }
+        g
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let g = star(4);
+        let hist = degree_histogram(&g);
+        // 4 leaves of degree 1, one hub of degree 4.
+        assert_eq!(hist[1], 4);
+        assert_eq!(hist[4], 1);
+    }
+
+    #[test]
+    fn stats_on_star_graph() {
+        let mut g = star(6);
+        g.add_node(99); // one isolated request
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.edges, 6);
+        assert_eq!(s.max_degree, 6);
+        assert!((s.average_degree - 12.0 / 8.0).abs() < 1e-12);
+        assert!((s.isolated_fraction - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_estimate_behaviour() {
+        // All-equal degrees: no tail to estimate.
+        assert_eq!(estimate_power_law_eta(&[2, 2, 2, 2, 2, 2]), None);
+        assert_eq!(estimate_power_law_eta(&[1, 2]), None);
+        // A heavy-tailed sample gives a finite exponent greater than 1.
+        let sample = vec![1, 1, 1, 1, 2, 2, 2, 3, 3, 4, 5, 8, 13, 21];
+        let eta = estimate_power_law_eta(&sample).unwrap();
+        assert!(eta > 1.0 && eta < 10.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = ShareabilityGraph::new();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.average_degree, 0.0);
+        assert_eq!(s.power_law_eta, None);
+    }
+}

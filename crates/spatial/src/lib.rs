@@ -1,0 +1,18 @@
+//! Spatial substrate for the StructRide reproduction.
+//!
+//! Two pieces of the paper live here:
+//!
+//! * the **grid index** of §II-B ("Index Structure") — the road network's
+//!   bounding box is partitioned into `n × n` square cells so that moving
+//!   vehicles can be re-indexed in O(1) and candidate vehicles/requests around
+//!   a location can be retrieved with a constant-time range query
+//!   ([`GridIndex`]);
+//! * the **geometry helpers** of §III-B — 2-D vectors and the angle
+//!   `θ = ∠(−→s_b e_a, −→s_b e_b)` used by the angle-pruning strategy
+//!   ([`geo`]).
+
+pub mod geo;
+pub mod grid;
+
+pub use geo::{angle_between, Vec2};
+pub use grid::{CellId, GridIndex};

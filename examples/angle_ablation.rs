@@ -1,0 +1,54 @@
+//! The angle-pruning ablation of Tables V/VI: SARD with the pruning rule of
+//! §III-B (SARD-O) versus SARD without it, on a Chengdu-like workload.
+//!
+//! The pruned variant should issue visibly fewer shortest-path queries and run
+//! faster, with essentially unchanged service rate and unified cost.
+//!
+//! Run with `cargo run --release --example angle_ablation`.
+
+use structride::prelude::*;
+
+fn main() {
+    let workload = Workload::generate(WorkloadParams {
+        num_requests: 350,
+        num_vehicles: 70,
+        horizon: 600.0,
+        scale: 0.5,
+        ..WorkloadParams::small(CityProfile::ChengduLike)
+    });
+    println!(
+        "Workload {}: {} requests, {} vehicles\n",
+        workload.name,
+        workload.requests.len(),
+        workload.vehicles.len()
+    );
+
+    println!(
+        "{:<10} {:>13} {:>13} {:>13} {:>11}",
+        "variant", "service rate", "unified cost", "sp queries", "runtime(s)"
+    );
+    for (label, config) in [
+        ("SARD-O", StructRideConfig::default()),
+        ("SARD", StructRideConfig::default().without_angle_pruning()),
+    ] {
+        let simulator = Simulator::new(config);
+        let mut sard = SardDispatcher::new(config);
+        let report = simulator.run(
+            &workload.engine,
+            &workload.requests,
+            workload.fresh_vehicles(),
+            &mut sard,
+            &workload.name,
+        );
+        let m = &report.metrics;
+        println!(
+            "{:<10} {:>12.1}% {:>13.0} {:>13} {:>11.3}",
+            label,
+            100.0 * m.service_rate(),
+            m.unified_cost,
+            m.sp_queries,
+            m.running_time
+        );
+    }
+    println!("\n(SARD-O = with angle pruning; SARD = without, matching the naming of Tables V/VI.)");
+}

@@ -1,0 +1,55 @@
+//! Route-level view of a SARD assignment: after dispatching one batch, print
+//! each vehicle's way-point schedule *and* the full node-by-node route it will
+//! drive on the road network (using the shortest-path reconstruction of
+//! `structride::roadnet::path`).
+//!
+//! Run with `cargo run --release --example vehicle_routes`.
+
+use structride::prelude::*;
+use structride::roadnet::path::expand_route;
+
+fn main() {
+    let workload = Workload::generate(WorkloadParams {
+        num_requests: 60,
+        num_vehicles: 8,
+        horizon: 120.0,
+        scale: 0.3,
+        ..WorkloadParams::small(CityProfile::ChengduLike)
+    });
+    let config = StructRideConfig::default();
+    let mut sard = SardDispatcher::new(config);
+    let mut vehicles = workload.fresh_vehicles();
+
+    // Dispatch the first batch worth of requests in one shot.
+    let batch: Vec<Request> =
+        workload.requests.iter().filter(|r| r.release <= 30.0).cloned().collect();
+    let outcome = sard.dispatch_batch(&workload.engine, &mut vehicles, &batch, 30.0);
+    println!(
+        "Dispatched {} of {} early requests onto {} vehicles\n",
+        outcome.assigned.len(),
+        batch.len(),
+        vehicles.iter().filter(|v| !v.schedule.is_empty()).count()
+    );
+
+    for vehicle in vehicles.iter().filter(|v| !v.schedule.is_empty()) {
+        let eval = vehicle.evaluate_current(&workload.engine);
+        println!(
+            "vehicle {} (capacity {}): schedule {}  — planned travel {:.0}s",
+            vehicle.id, vehicle.capacity, vehicle.schedule, eval.travel_cost
+        );
+        // Way-point node sequence, prefixed by the vehicle's current position.
+        let mut stops = vec![vehicle.node];
+        stops.extend(vehicle.schedule.iter().map(|wp| wp.node));
+        match expand_route(workload.engine.network(), &stops) {
+            Some(route) => {
+                println!(
+                    "  drives {} road nodes, {:.0}s of travel: {:?}",
+                    route.nodes.len(),
+                    route.cost,
+                    &route.nodes[..route.nodes.len().min(16)]
+                );
+            }
+            None => println!("  (route unreachable — should not happen on a connected network)"),
+        }
+    }
+}

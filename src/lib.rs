@@ -1,0 +1,126 @@
+//! # StructRide
+//!
+//! An open-source Rust reproduction of *"StructRide: A Framework to Exploit
+//! the Structure Information of Shareability Graph in Ridesharing"*
+//! (ICDE 2025).  This facade crate re-exports the whole workspace so that
+//! downstream users, the examples and the integration tests can depend on a
+//! single crate:
+//!
+//! * [`roadnet`] — road network, Dijkstra, hub labeling, LRU-cached
+//!   shortest-path engine;
+//! * [`spatial`] — grid index and the angle geometry;
+//! * [`model`] — requests, vehicles, schedules, linear insertion, kinetic
+//!   tree, unified cost;
+//! * [`sharegraph`] — the shareability graph, its dynamic builder with angle
+//!   pruning, and the shareability loss;
+//! * [`core`] — request grouping (Algorithm 2), the SARD dispatcher
+//!   (Algorithm 3), the batched simulator and the run metrics;
+//! * [`baselines`] — pruneGDP, TicketAssign+, GAS, RTV and the DARM-style
+//!   repositioning baseline;
+//! * [`datagen`] — synthetic CHD/NYC/Cainiao-like workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use structride::prelude::*;
+//!
+//! // A small NYC-like synthetic workload.
+//! let workload = Workload::generate(WorkloadParams {
+//!     num_requests: 80,
+//!     num_vehicles: 10,
+//!     ..WorkloadParams::small(CityProfile::NycLike)
+//! });
+//!
+//! // Dispatch it with SARD and with the online pruneGDP baseline.
+//! let config = StructRideConfig::default();
+//! let simulator = Simulator::new(config);
+//! let mut sard = SardDispatcher::new(config);
+//! let sard_run = simulator.run(
+//!     &workload.engine,
+//!     &workload.requests,
+//!     workload.fresh_vehicles(),
+//!     &mut sard,
+//!     &workload.name,
+//! );
+//! let mut gdp = PruneGdp::new();
+//! let gdp_run = simulator.run(
+//!     &workload.engine,
+//!     &workload.requests,
+//!     workload.fresh_vehicles(),
+//!     &mut gdp,
+//!     &workload.name,
+//! );
+//! assert!(sard_run.metrics.service_rate() >= 0.0);
+//! assert!(gdp_run.metrics.service_rate() <= 1.0);
+//! ```
+
+pub use structride_baselines as baselines;
+pub use structride_core as core;
+pub use structride_datagen as datagen;
+pub use structride_model as model;
+pub use structride_roadnet as roadnet;
+pub use structride_sharegraph as sharegraph;
+pub use structride_spatial as spatial;
+
+pub mod prelude {
+    //! The names most programs need, in one import.
+    pub use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
+    pub use structride_core::{
+        BatchOutcome, Dispatcher, RunMetrics, SardDispatcher, SimulationReport, Simulator,
+        StructRideConfig,
+    };
+    pub use structride_datagen::{CityProfile, Workload, WorkloadParams};
+    pub use structride_model::{
+        CostParams, Request, RequestId, Schedule, Vehicle, VehicleId, Waypoint, WaypointKind,
+    };
+    pub use structride_roadnet::{NodeId, Point, RoadNetwork, RoadNetworkBuilder, SpEngine};
+    pub use structride_sharegraph::{
+        AnglePruning, BuilderConfig, ShareabilityGraph, ShareabilityGraphBuilder,
+    };
+}
+
+use prelude::*;
+
+/// The set of dispatchers compared throughout the paper's evaluation, freshly
+/// constructed with the given configuration.
+///
+/// The returned order matches the legend order of the figures: RTV, pruneGDP,
+/// DARM+DPRS, GAS, TicketAssign+, SARD.
+pub fn standard_dispatcher_suite(config: StructRideConfig) -> Vec<Box<dyn Dispatcher>> {
+    vec![
+        Box::new(Rtv::new(config.cost.penalty_coefficient)),
+        Box::new(PruneGdp::new()),
+        Box::new(DemandRepositioning::new()),
+        Box::new(Gas::default()),
+        Box::new(TicketAssignPlus::default()),
+        Box::new(SardDispatcher::new(config)),
+    ]
+}
+
+/// Only the batch-based dispatchers (RTV, GAS, SARD) — the subset compared in
+/// the batching-period experiment (Fig. 13).
+pub fn batch_dispatcher_suite(config: StructRideConfig) -> Vec<Box<dyn Dispatcher>> {
+    vec![
+        Box::new(Rtv::new(config.cost.penalty_coefficient)),
+        Box::new(Gas::default()),
+        Box::new(SardDispatcher::new(config)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_members() {
+        let config = StructRideConfig::default();
+        let names: Vec<&str> =
+            standard_dispatcher_suite(config).iter().map(|d| d.name()).collect();
+        assert_eq!(
+            names,
+            vec!["RTV", "pruneGDP", "DARM+DPRS", "GAS", "TicketAssign+", "SARD"]
+        );
+        let batch: Vec<&str> = batch_dispatcher_suite(config).iter().map(|d| d.name()).collect();
+        assert_eq!(batch, vec!["RTV", "GAS", "SARD"]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Configuration-surface tests: the framework keeps working (and the metrics
+//! keep adding up) across the less common corners of the parameter space.
+
+use structride::prelude::*;
+
+fn workload(seed: u64, capacity_sigma: f64) -> Workload {
+    Workload::generate(WorkloadParams {
+        num_requests: 80,
+        num_vehicles: 10,
+        horizon: 200.0,
+        scale: 0.3,
+        capacity_sigma,
+        seed,
+        ..WorkloadParams::small(CityProfile::ChengduLike)
+    })
+}
+
+fn run(workload: &Workload, config: StructRideConfig) -> RunMetrics {
+    workload.engine.clear_cache();
+    let mut sard = SardDispatcher::new(config);
+    Simulator::new(config)
+        .run(&workload.engine, &workload.requests, workload.fresh_vehicles(), &mut sard, &workload.name)
+        .metrics
+}
+
+#[test]
+fn sard_works_with_a_single_candidate_vehicle_per_request() {
+    let w = workload(3, 0.0);
+    let config = StructRideConfig { max_candidate_vehicles: 1, ..Default::default() };
+    let m = run(&w, config);
+    assert!(m.served_requests > 0);
+    assert!((0.0..=1.0).contains(&m.service_rate()));
+    // A wider candidate neighbourhood can only help (or tie) on service rate
+    // at this deterministic instance… but it is not guaranteed, so only check
+    // both runs are sane rather than their ordering.
+    let wide = run(&w, StructRideConfig { max_candidate_vehicles: 16, ..Default::default() });
+    assert!(wide.served_requests > 0);
+}
+
+#[test]
+fn batch_period_longer_than_the_horizon_still_dispatches_everything_once() {
+    let w = workload(5, 0.0);
+    let config = StructRideConfig::default().with_batch_period(10_000.0);
+    let m = run(&w, config);
+    // Everything arrives in one giant batch; the run completes and the counts
+    // stay consistent even though most requests expire before their pickup
+    // deadline inside that single window.
+    assert!(m.batches >= 1);
+    assert_eq!(m.total_requests, w.requests.len());
+    assert!(m.served_requests <= m.total_requests);
+}
+
+#[test]
+fn sub_second_batch_periods_are_supported() {
+    let w = workload(7, 0.0);
+    let config = StructRideConfig::default().with_batch_period(0.5);
+    let m = run(&w, config);
+    assert!(m.batches > 100, "half-second batches over a 200 s horizon");
+    assert!(m.served_requests > 0);
+}
+
+#[test]
+fn heterogeneous_fleet_capacities_are_respected() {
+    let w = workload(11, 1.5);
+    let capacities: std::collections::HashSet<u32> =
+        w.vehicles.iter().map(|v| v.capacity).collect();
+    assert!(capacities.len() > 1, "sigma 1.5 produces a mixed fleet");
+    let report = {
+        let config = StructRideConfig::default();
+        let mut sard = SardDispatcher::new(config);
+        Simulator::new(config).run(
+            &w.engine,
+            &w.requests,
+            w.fresh_vehicles(),
+            &mut sard,
+            &w.name,
+        )
+    };
+    // No vehicle ever exceeded its own capacity: executed schedules would have
+    // been rejected otherwise, so it suffices that every assigned request was
+    // delivered and the run stayed consistent.
+    assert_eq!(
+        report.served.len(),
+        report.vehicles.iter().map(|v| v.completed.len()).sum::<usize>()
+    );
+}
+
+#[test]
+fn zero_vehicles_serve_nothing_but_do_not_crash() {
+    let w = workload(13, 0.0);
+    let config = StructRideConfig::default();
+    let mut sard = SardDispatcher::new(config);
+    let report =
+        Simulator::new(config).run(&w.engine, &w.requests, Vec::new(), &mut sard, &w.name);
+    assert_eq!(report.metrics.served_requests, 0);
+    assert_eq!(report.metrics.total_travel, 0.0);
+    assert!(report.metrics.unified_cost > 0.0, "all requests are penalised");
+}

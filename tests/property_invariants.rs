@@ -1,0 +1,136 @@
+//! Property-based integration tests: randomly generated mini-instances must
+//! never drive any dispatcher into violating the BDRP constraints.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use structride::prelude::*;
+
+/// A deterministic small engine: a 6×6 grid street network.
+fn grid_engine() -> SpEngine {
+    use structride::datagen::network::{synthetic_city_network, NetworkParams};
+    SpEngine::new(synthetic_city_network(&NetworkParams {
+        rows: 6,
+        cols: 6,
+        seed: 99,
+        ..Default::default()
+    }))
+}
+
+/// Builds a request from raw proptest inputs, clamping everything to the
+/// engine's node range and sane deadline parameters.
+fn build_request(engine: &SpEngine, id: u32, raw: (u32, u32, f64, f64)) -> Option<Request> {
+    let n = engine.node_count() as u32;
+    let (s, e, release, gamma) = raw;
+    let source = s % n;
+    let destination = e % n;
+    if source == destination {
+        return None;
+    }
+    let cost = engine.cost(source, destination);
+    if !cost.is_finite() || cost <= 0.0 {
+        return None;
+    }
+    Some(Request::with_detour(id, source, destination, 1, release, cost, 1.0 + gamma, 300.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Whatever the request mix, every dispatcher produces schedules that are
+    /// feasible, serve each request at most once, and report metrics that add
+    /// up.
+    #[test]
+    fn dispatchers_never_violate_constraints(
+        raw_requests in proptest::collection::vec(
+            (0u32..1000, 0u32..1000, 0.0f64..120.0, 0.1f64..1.0),
+            1..25
+        ),
+        raw_vehicles in proptest::collection::vec((0u32..1000, 2u32..5), 1..6),
+        algo in 0usize..3,
+    ) {
+        let engine = grid_engine();
+        let requests: Vec<Request> = raw_requests
+            .iter()
+            .enumerate()
+            .filter_map(|(i, raw)| build_request(&engine, i as u32, *raw))
+            .collect();
+        let vehicles: Vec<Vehicle> = raw_vehicles
+            .iter()
+            .enumerate()
+            .map(|(i, &(node, cap))| Vehicle::new(i as u32, node % engine.node_count() as u32, cap))
+            .collect();
+        let config = StructRideConfig::default();
+        let mut dispatcher: Box<dyn Dispatcher> = match algo {
+            0 => Box::new(SardDispatcher::new(config)),
+            1 => Box::new(PruneGdp::new()),
+            _ => Box::new(Gas::default()),
+        };
+        let report = Simulator::new(config).run(
+            &engine,
+            &requests,
+            vehicles,
+            dispatcher.as_mut(),
+            "proptest",
+        );
+        let m = &report.metrics;
+        prop_assert!(m.served_requests <= requests.len());
+        prop_assert!((0.0..=1.0).contains(&m.service_rate()));
+        prop_assert!(m.total_travel.is_finite() && m.total_travel >= 0.0);
+        // Served requests were delivered exactly once.
+        let delivered: Vec<RequestId> = report
+            .vehicles
+            .iter()
+            .flat_map(|v| v.completed.iter().copied())
+            .collect();
+        let unique: HashSet<RequestId> = delivered.iter().copied().collect();
+        prop_assert_eq!(unique.len(), delivered.len());
+        prop_assert_eq!(unique.len(), report.served.len());
+        for id in &report.served {
+            prop_assert!(unique.contains(id));
+        }
+        // Unified cost identity.
+        let expected = m.total_travel + config.cost.penalty_coefficient * m.unserved_direct_cost;
+        prop_assert!((m.unified_cost - expected).abs() < 1e-6);
+    }
+
+    /// The dynamic shareability-graph builder only ever adds edges between
+    /// genuinely shareable pairs, regardless of arrival order, and degrees are
+    /// consistent with the edge set.
+    #[test]
+    fn shareability_graph_edges_are_sound(
+        raw_requests in proptest::collection::vec(
+            (0u32..1000, 0u32..1000, 0.0f64..60.0, 0.1f64..1.0),
+            2..16
+        ),
+    ) {
+        let engine = grid_engine();
+        let requests: Vec<Request> = raw_requests
+            .iter()
+            .enumerate()
+            .filter_map(|(i, raw)| build_request(&engine, i as u32, *raw))
+            .collect();
+        prop_assume!(requests.len() >= 2);
+        let mut builder = ShareabilityGraphBuilder::new(
+            &engine,
+            BuilderConfig { vehicle_capacity: 4, angle: AnglePruning::disabled(), grid_cells: 16 },
+        );
+        builder.add_batch(&engine, &requests);
+        let graph = builder.graph();
+        // Every edge corresponds to a shareable pair under Definition 5.
+        let by_id: std::collections::HashMap<RequestId, &Request> =
+            requests.iter().map(|r| (r.id, r)).collect();
+        let mut degree_sum = 0usize;
+        for r in &requests {
+            for other in graph.neighbors(r.id) {
+                degree_sum += 1;
+                prop_assert!(structride::sharegraph::pairwise_shareable(
+                    &engine,
+                    by_id[&r.id],
+                    by_id[&other],
+                    4
+                ));
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * graph.edge_count());
+    }
+}
