@@ -1,0 +1,258 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: range and tuple
+//! strategies, `collection::vec`, the `proptest!` macro with an optional
+//! `proptest_config` attribute, and the `prop_assert*` / `prop_assume!`
+//! macros.  Inputs are generated from a deterministic per-test seed (derived
+//! from the test name), so failures are reproducible; there is no shrinking —
+//! a failing case panics with the ordinary assertion message.
+
+/// Deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next random word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// A value generator (upstream proptest's `Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (gen.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, gen: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + gen.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(gen),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    /// Strategy for `Vec`s with a length drawn from `len_range`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len_range: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `len_range`.
+    pub fn vec<S: Strategy>(element: S, len_range: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len_range }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Self::Value {
+            let len = gen.usize_in(self.len_range.start, self.len_range.end);
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// Returned by `prop_assume!` on rejection; skips the current case.
+#[derive(Debug)]
+pub struct TestCaseReject;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Cap on cases rejected by `prop_assume!` before the test gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// FNV-1a hash used to derive a per-test seed from the test name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines property tests.  Mirrors upstream's `proptest!` forms used here:
+/// an optional `#![proptest_config(..)]` attribute followed by `#[test]`
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let base_seed = $crate::seed_from_name(stringify!($name));
+                let mut rejected = 0u32;
+                let mut case = 0u64;
+                let mut executed = 0u32;
+                while executed < config.cases && rejected < config.max_global_rejects {
+                    let mut gen = $crate::Gen::new(base_seed ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D));
+                    case += 1;
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut gen);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::TestCaseReject> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => executed += 1,
+                        ::std::result::Result::Err(_) => rejected += 1,
+                    }
+                }
+                assert!(
+                    executed > 0,
+                    "proptest shim: every generated case was rejected by prop_assume!"
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+/// The usual `use proptest::prelude::*` import surface.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Gen, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3u32..17,
+            f in 0.5f64..2.5,
+            v in crate::collection::vec((0u32..10, 0.0f64..1.0), 1..5),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..2.5).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for (a, b) in &v {
+                prop_assert!(*a < 10);
+                prop_assert!((0.0..1.0).contains(b));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(super::seed_from_name("abc"), super::seed_from_name("abc"));
+        assert_ne!(super::seed_from_name("abc"), super::seed_from_name("abd"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline stand-in for `rayon`, implemented on `std::thread::scope`.
+//!
+//! The build environment has no crate-registry access, so this shim provides
+//! the exact parallel-iterator subset the workspace uses — `par_iter().map()`
+//! with `collect`/`reduce`/`for_each`, `par_iter_mut().for_each()` and
+//! `join` — with the same semantics the code relies on:
+//!
+//! * **Deterministic output order.** `collect` returns results in input order
+//!   and `reduce` folds contiguous chunks left-to-right, so for associative
+//!   operators the result is independent of the worker count.
+//! * **Work-chunking, not work-stealing.** The input is split into one
+//!   contiguous chunk per worker.  That is less adaptive than rayon but has
+//!   identical observable behavior, and the call sites in this workspace are
+//!   uniform-cost batches.
+//! * **Automatic sequential fallback** for tiny inputs, so trivially small
+//!   batches never pay thread-spawn overhead.
+//!
+//! `RAYON_NUM_THREADS` is honored (as upstream does); `1` forces sequential
+//! execution.  Swapping this path dependency for upstream rayon requires no
+//! source changes.
+
+use std::sync::OnceLock;
+
+/// Inputs below this length are processed sequentially.
+const MIN_PARALLEL_LEN: usize = 16;
+
+/// Number of worker threads used for parallel execution.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f(i)` for every `i in 0..n` and returns the results in index order,
+/// fanning the index range out over the worker threads.
+fn execute_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n < MIN_PARALLEL_LEN {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon-shim join arm panicked"), rb)
+    })
+}
+
+/// Shared-reference parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Mapped parallel iterator (the result of [`ParIter::map`]).
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// Mutable parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maps every item through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Applies `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        execute_indexed(self.items.len(), |i| f(&self.items[i]));
+    }
+}
+
+impl<'a, T: Sync, F, R> ParMap<'a, T, F>
+where
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Collects the mapped results, preserving input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let f = &self.f;
+        C::from(execute_indexed(self.items.len(), |i| f(&self.items[i])))
+    }
+
+    /// Reduces the mapped results with `op`, starting each chunk from
+    /// `identity()`.  Deterministic for associative `op` with an identity
+    /// element: chunks are contiguous and combined left-to-right.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let results: Vec<R> = self.collect();
+        results.into_iter().fold(identity(), &op)
+    }
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Applies `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n < MIN_PARALLEL_LEN {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let f = &f;
+            for part in self.items.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Mirrors `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+/// Mirrors `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The element type.
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// The usual `use rayon::prelude::*` import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn reduce_matches_sequential_sum() {
+        let input: Vec<u64> = (1..=500).collect();
+        let sum = input.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 500 * 501 / 2);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_item_once() {
+        let mut v = vec![1u64; 777];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn tiny_inputs_run_sequentially() {
+        let input = vec![1, 2, 3];
+        let out: Vec<i32> = input.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline `serde`
+//! shim (see `shims/serde`).  The workspace only uses serde for its derives —
+//! no serialization is performed anywhere — so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; exists so `#[derive(Serialize)]` parses.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; exists so `#[derive(Deserialize)]` parses.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in an environment without access to any crate
+//! registry, so the real serde cannot be vendored.  The codebase only uses
+//! serde for `#[derive(Serialize, Deserialize)]` markers on config and metric
+//! types (no serialization is actually performed), which this shim satisfies
+//! with marker traits and no-op derives.  Swapping this path dependency for
+//! the upstream `serde = { version = "1", features = ["derive"] }` is the only
+//! change needed once a registry is reachable.
+
+pub use serde_shim_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
