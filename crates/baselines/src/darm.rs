@@ -15,7 +15,7 @@
 //!   signature the paper reports: competitive service at small request volumes,
 //!   extra travel cost and degradation at larger volumes/state spaces.
 
-use structride_core::{BatchOutcome, Dispatcher};
+use structride_core::{BatchOutcome, DispatchContext, Dispatcher};
 use structride_model::{insertion, InsertionOutcome, Request, Vehicle};
 use structride_roadnet::{NodeId, SpEngine};
 use structride_spatial::GridIndex;
@@ -121,11 +121,12 @@ impl Dispatcher for DemandRepositioning {
 
     fn dispatch_batch(
         &mut self,
-        engine: &SpEngine,
+        ctx: &DispatchContext<'_>,
         vehicles: &mut [Vehicle],
         new_requests: &[Request],
-        now: f64,
     ) -> BatchOutcome {
+        let engine = ctx.engine;
+        let now = ctx.now;
         self.init(engine);
         let grid = self.coordinate_grid(engine);
 
@@ -145,8 +146,10 @@ impl Dispatcher for DemandRepositioning {
             let mut best: Option<(usize, InsertionOutcome)> = None;
             for (vi, vehicle) in vehicles.iter().enumerate() {
                 if let Some(out) = insertion::insert_request(engine, vehicle, request) {
-                    let better =
-                        best.as_ref().map(|(_, b)| out.added_cost < b.added_cost).unwrap_or(true);
+                    let better = best
+                        .as_ref()
+                        .map(|(_, b)| out.added_cost < b.added_cost)
+                        .unwrap_or(true);
                     if better {
                         best = Some((vi, out));
                     }
@@ -196,7 +199,12 @@ impl Dispatcher for DemandRepositioning {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use structride_core::StructRideConfig;
     use structride_roadnet::{Point, RoadNetworkBuilder};
+
+    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
+        DispatchContext::new(engine, StructRideConfig::default(), now)
+    }
 
     fn line_engine() -> SpEngine {
         let mut b = RoadNetworkBuilder::new();
@@ -218,7 +226,7 @@ mod tests {
         let engine = line_engine();
         let mut vehicles = vec![Vehicle::new(0, 0, 4), Vehicle::new(1, 9, 4)];
         let mut darm = DemandRepositioning::new();
-        let out = darm.dispatch_batch(&engine, &mut vehicles, &[req(1, 1, 3, 20.0)], 0.0);
+        let out = darm.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &[req(1, 1, 3, 20.0)]);
         assert_eq!(out.assigned, vec![1]);
         assert!(vehicles[0].schedule.contains_request(1));
     }
@@ -232,12 +240,15 @@ mod tests {
         // Several batches of demand near node 8 that vehicle 0 absorbs.
         for batch in 0..3u32 {
             let r = req(10 + batch, 8, 9, 10.0);
-            darm.dispatch_batch(&engine, &mut vehicles, &[r], batch as f64 * 5.0);
+            darm.dispatch_batch(&ctx(&engine, batch as f64 * 5.0), &mut vehicles, &[r]);
         }
         // The idle vehicle 1 was eventually pulled toward the hot area and the
         // dead-head travel was accounted for.
         assert!(darm.repositioning_travel() > 0.0);
-        assert!(vehicles[1].node >= 5, "vehicle 1 moved toward the demand hotspot");
+        assert!(
+            vehicles[1].node >= 5,
+            "vehicle 1 moved toward the demand hotspot"
+        );
         assert!(vehicles[1].executed_travel > 0.0);
     }
 
@@ -246,7 +257,7 @@ mod tests {
         let engine = line_engine();
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let mut darm = DemandRepositioning::new();
-        let out = darm.dispatch_batch(&engine, &mut vehicles, &[], 0.0);
+        let out = darm.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &[]);
         assert!(out.assigned.is_empty());
         assert_eq!(darm.repositioning_travel(), 0.0);
         assert_eq!(vehicles[0].node, 0);

@@ -11,9 +11,8 @@
 
 use crate::complete_graph;
 use std::collections::HashMap;
-use structride_core::{enumerate_groups, BatchOutcome, Dispatcher};
+use structride_core::{enumerate_groups, BatchOutcome, DispatchContext, Dispatcher};
 use structride_model::{Request, RequestId, Vehicle};
-use structride_roadnet::SpEngine;
 
 /// The GAS batch dispatcher.
 #[derive(Debug)]
@@ -29,7 +28,11 @@ pub struct Gas {
 impl Gas {
     /// Creates the dispatcher with the given ordering seed.
     pub fn new(seed: u64) -> Self {
-        Gas { pending: HashMap::new(), seed, peak_groups: 0 }
+        Gas {
+            pending: HashMap::new(),
+            seed,
+            peak_groups: 0,
+        }
     }
 
     /// Number of requests currently waiting in the pool.
@@ -68,11 +71,11 @@ impl Dispatcher for Gas {
 
     fn dispatch_batch(
         &mut self,
-        engine: &SpEngine,
+        ctx: &DispatchContext<'_>,
         vehicles: &mut [Vehicle],
         new_requests: &[Request],
-        now: f64,
     ) -> BatchOutcome {
+        let now = ctx.now;
         // Pool maintenance: add the batch, drop expired requests.
         for r in new_requests {
             self.pending.insert(r.id, r.clone());
@@ -98,7 +101,7 @@ impl Dispatcher for Gas {
             let graph = complete_graph(&pool_ids);
             let vehicle = &vehicles[vi];
             let groups = enumerate_groups(
-                engine,
+                ctx,
                 &graph,
                 &self.pending,
                 &pool_ids,
@@ -129,18 +132,26 @@ impl Dispatcher for Gas {
         outcome
     }
 
+    fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
     fn memory_bytes(&self) -> usize {
         // The pool plus the peak additive-tree size (groups hold a schedule of
         // a handful of way-points each).
-        self.pending.capacity() * (std::mem::size_of::<Request>() + 16)
-            + self.peak_groups * 256
+        self.pending.capacity() * (std::mem::size_of::<Request>() + 16) + self.peak_groups * 256
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_roadnet::{Point, RoadNetworkBuilder};
+    use structride_core::StructRideConfig;
+    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
+
+    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
+        DispatchContext::new(engine, StructRideConfig::default(), now)
+    }
 
     fn line_engine() -> SpEngine {
         let mut b = RoadNetworkBuilder::new();
@@ -169,7 +180,7 @@ mod tests {
             req(3, 5, 2, 30.0, 1.1),
         ];
         let mut gas = Gas::default();
-        let out = gas.dispatch_batch(&engine, &mut vehicles, &requests, 0.0);
+        let out = gas.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &requests);
         assert!(out.assigned.contains(&1));
         assert!(out.assigned.contains(&2));
         // Request 3 (reverse direction, tight deadline) stays pending.
@@ -183,17 +194,17 @@ mod tests {
         // No vehicles at all: everything stays pending.
         let mut gas = Gas::default();
         let r = req(1, 0, 2, 20.0, 2.0);
-        let out = gas.dispatch_batch(&engine, &mut [], std::slice::from_ref(&r), 0.0);
+        let out = gas.dispatch_batch(&ctx(&engine, 0.0), &mut [], std::slice::from_ref(&r));
         assert!(out.assigned.is_empty());
         assert_eq!(gas.pending_len(), 1);
         // Later, with a vehicle and before expiry, the request is served.
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
-        let out = gas.dispatch_batch(&engine, &mut vehicles, &[], 5.0);
+        let out = gas.dispatch_batch(&ctx(&engine, 5.0), &mut vehicles, &[]);
         assert_eq!(out.assigned, vec![1]);
         assert_eq!(gas.pending_len(), 0);
         // Expired requests are silently dropped from the pool.
         let stale = req(2, 0, 2, 20.0, 1.5);
-        let out = gas.dispatch_batch(&engine, &mut vehicles, &[stale], 10_000.0);
+        let out = gas.dispatch_batch(&ctx(&engine, 10_000.0), &mut vehicles, &[stale]);
         assert!(out.assigned.is_empty());
         assert_eq!(gas.pending_len(), 0);
     }
@@ -218,9 +229,10 @@ mod tests {
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let mut gas = Gas::default();
         let base = gas.memory_bytes();
-        let requests: Vec<Request> =
-            (0..5).map(|i| req(i, i % 3, (i % 3) + 2, 20.0, 2.0)).collect();
-        gas.dispatch_batch(&engine, &mut vehicles, &requests, 0.0);
+        let requests: Vec<Request> = (0..5)
+            .map(|i| req(i, i % 3, (i % 3) + 2, 20.0, 2.0))
+            .collect();
+        gas.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &requests);
         assert!(gas.memory_bytes() > base);
     }
 }

@@ -6,9 +6,8 @@
 //! rejected immediately — the online methods have no working pool, which is
 //! exactly why their service rates trail the batch methods in the paper.
 
-use structride_core::{BatchOutcome, Dispatcher};
+use structride_core::{BatchOutcome, DispatchContext, Dispatcher};
 use structride_model::{insertion, InsertionOutcome, Request, Vehicle};
-use structride_roadnet::SpEngine;
 
 /// The pruneGDP online greedy dispatcher.
 #[derive(Debug, Default)]
@@ -35,18 +34,20 @@ impl Dispatcher for PruneGdp {
 
     fn dispatch_batch(
         &mut self,
-        engine: &SpEngine,
+        ctx: &DispatchContext<'_>,
         vehicles: &mut [Vehicle],
         new_requests: &[Request],
-        _now: f64,
     ) -> BatchOutcome {
+        let engine = ctx.engine;
         let mut outcome = BatchOutcome::empty();
         for request in new_requests {
             let mut best: Option<(usize, InsertionOutcome)> = None;
             for (vi, vehicle) in vehicles.iter().enumerate() {
                 if let Some(out) = insertion::insert_request(engine, vehicle, request) {
-                    let better =
-                        best.as_ref().map(|(_, b)| out.added_cost < b.added_cost - 1e-12).unwrap_or(true);
+                    let better = best
+                        .as_ref()
+                        .map(|(_, b)| out.added_cost < b.added_cost - 1e-12)
+                        .unwrap_or(true);
                     if better {
                         best = Some((vi, out));
                     }
@@ -73,7 +74,12 @@ impl Dispatcher for PruneGdp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_roadnet::{Point, RoadNetworkBuilder};
+    use structride_core::StructRideConfig;
+    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
+
+    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
+        DispatchContext::new(engine, StructRideConfig::default(), now)
+    }
 
     fn line_engine() -> SpEngine {
         let mut b = RoadNetworkBuilder::new();
@@ -96,7 +102,7 @@ mod tests {
         let mut vehicles = vec![Vehicle::new(0, 4, 4), Vehicle::new(1, 1, 4)];
         let mut gdp = PruneGdp::new();
         let r = req(1, 1, 3, 20.0, 1.5);
-        let out = gdp.dispatch_batch(&engine, &mut vehicles, &[r], 0.0);
+        let out = gdp.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &[r]);
         assert_eq!(out.assigned, vec![1]);
         // Vehicle 1 is already at the pickup, so it gets the job.
         assert!(vehicles[1].schedule.contains_request(1));
@@ -111,7 +117,7 @@ mod tests {
         let mut gdp = PruneGdp::new();
         // Pickup deadline too tight for a vehicle 40 s away.
         let r = req(1, 0, 2, 20.0, 1.1);
-        let out = gdp.dispatch_batch(&engine, &mut vehicles, &[r], 0.0);
+        let out = gdp.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &[r]);
         assert!(out.assigned.is_empty());
         assert_eq!(gdp.rejected(), 1);
     }
@@ -123,7 +129,7 @@ mod tests {
         let mut gdp = PruneGdp::new();
         let r1 = req(1, 0, 4, 40.0, 1.6);
         let r2 = req(2, 1, 3, 20.0, 1.6);
-        let out = gdp.dispatch_batch(&engine, &mut vehicles, &[r1, r2], 0.0);
+        let out = gdp.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &[r1, r2]);
         assert_eq!(out.assigned, vec![1, 2]);
         let v = &vehicles[0];
         assert!(v.schedule.contains_request(1) && v.schedule.contains_request(2));

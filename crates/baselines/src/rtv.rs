@@ -16,9 +16,10 @@
 //! SARD.
 
 use std::collections::{HashMap, HashSet};
-use structride_core::{enumerate_groups, BatchOutcome, CandidateGroup, Dispatcher};
+use structride_core::{
+    enumerate_groups, BatchOutcome, CandidateGroup, DispatchContext, Dispatcher,
+};
 use structride_model::{Request, RequestId, Vehicle};
-use structride_roadnet::SpEngine;
 use structride_sharegraph::{pairwise_shareable, ShareabilityGraph};
 
 /// One candidate assignment: a trip (request group) served by a vehicle.
@@ -47,7 +48,11 @@ pub struct Rtv {
 impl Rtv {
     /// Creates the dispatcher with the given penalty coefficient.
     pub fn new(penalty_coefficient: f64) -> Self {
-        Rtv { penalty_coefficient, pending: HashMap::new(), peak_candidates: 0 }
+        Rtv {
+            penalty_coefficient,
+            pending: HashMap::new(),
+            peak_candidates: 0,
+        }
     }
 
     /// Number of requests currently waiting in the pool.
@@ -56,10 +61,7 @@ impl Rtv {
     }
 
     /// Greedy assignment + pairwise improvement over the trip candidates.
-    fn solve_assignment(
-        candidates: &[TripCandidate],
-        n_vehicles: usize,
-    ) -> Vec<usize> {
+    fn solve_assignment(candidates: &[TripCandidate], n_vehicles: usize) -> Vec<usize> {
         // Greedy: take candidates by descending gain, respecting vehicle and
         // request exclusivity.
         let mut order: Vec<usize> = (0..candidates.len()).collect();
@@ -105,9 +107,11 @@ impl Rtv {
                     // ones the current trip already holds.
                     let current_members: HashSet<RequestId> =
                         current.group.members.iter().copied().collect();
-                    let conflict = alt.group.members.iter().any(|r| {
-                        !current_members.contains(r) && request_used.contains(r)
-                    });
+                    let conflict = alt
+                        .group
+                        .members
+                        .iter()
+                        .any(|r| !current_members.contains(r) && request_used.contains(r));
                     if conflict {
                         continue;
                     }
@@ -141,11 +145,12 @@ impl Dispatcher for Rtv {
 
     fn dispatch_batch(
         &mut self,
-        engine: &SpEngine,
+        ctx: &DispatchContext<'_>,
         vehicles: &mut [Vehicle],
         new_requests: &[Request],
-        now: f64,
     ) -> BatchOutcome {
+        let engine = ctx.engine;
+        let now = ctx.now;
         for r in new_requests {
             self.pending.insert(r.id, r.clone());
         }
@@ -180,7 +185,7 @@ impl Dispatcher for Rtv {
         let mut candidates: Vec<TripCandidate> = Vec::new();
         for (vi, vehicle) in vehicles.iter().enumerate() {
             let groups = enumerate_groups(
-                engine,
+                ctx,
                 &rv,
                 &self.pending,
                 &pool_ids,
@@ -189,7 +194,11 @@ impl Dispatcher for Rtv {
             );
             for group in groups {
                 let gain = self.penalty_coefficient * group.members_direct_cost - group.added_cost;
-                candidates.push(TripCandidate { vehicle: vi, group, gain });
+                candidates.push(TripCandidate {
+                    vehicle: vi,
+                    group,
+                    gain,
+                });
             }
         }
         self.peak_candidates = self.peak_candidates.max(candidates.len());
@@ -209,18 +218,26 @@ impl Dispatcher for Rtv {
         outcome
     }
 
+    fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
     fn memory_bytes(&self) -> usize {
         // The RTV graph (trip candidates, each holding a schedule) dominates —
         // the paper reports RTV using a multiple of the other methods' memory.
-        self.pending.capacity() * (std::mem::size_of::<Request>() + 16)
-            + self.peak_candidates * 512
+        self.pending.capacity() * (std::mem::size_of::<Request>() + 16) + self.peak_candidates * 512
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_roadnet::{Point, RoadNetworkBuilder};
+    use structride_core::StructRideConfig;
+    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
+
+    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
+        DispatchContext::new(engine, StructRideConfig::default(), now)
+    }
 
     fn line_engine() -> SpEngine {
         let mut b = RoadNetworkBuilder::new();
@@ -243,7 +260,7 @@ mod tests {
         let mut vehicles = vec![Vehicle::new(0, 0, 4), Vehicle::new(1, 5, 4)];
         let requests = vec![req(1, 0, 4, 40.0, 1.6), req(2, 1, 3, 20.0, 1.6)];
         let mut rtv = Rtv::default();
-        let out = rtv.dispatch_batch(&engine, &mut vehicles, &requests, 0.0);
+        let out = rtv.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &requests);
         assert_eq!(out.assigned, vec![1, 2]);
         // Both requests ride the vehicle that starts at their corridor.
         assert!(vehicles[0].schedule.contains_request(1));
@@ -262,14 +279,17 @@ mod tests {
             req(4, 3, 5, 20.0, 1.6),
         ];
         let mut rtv = Rtv::default();
-        let out = rtv.dispatch_batch(&engine, &mut vehicles, &requests, 0.0);
+        let out = rtv.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &requests);
         // No duplicates among assigned requests.
         let mut ids = out.assigned.clone();
         ids.dedup();
         assert_eq!(ids.len(), out.assigned.len());
         // Each assigned request sits in exactly one schedule.
         for id in &out.assigned {
-            let holders = vehicles.iter().filter(|v| v.schedule.contains_request(*id)).count();
+            let holders = vehicles
+                .iter()
+                .filter(|v| v.schedule.contains_request(*id))
+                .count();
             assert_eq!(holders, 1);
         }
         // Feasibility of all committed schedules.
@@ -286,11 +306,11 @@ mod tests {
         let mut rtv = Rtv::default();
         // Nothing can be served without vehicles.
         let r = req(1, 0, 2, 20.0, 2.0);
-        let out = rtv.dispatch_batch(&engine, &mut [], &[r], 0.0);
+        let out = rtv.dispatch_batch(&ctx(&engine, 0.0), &mut [], &[r]);
         assert!(out.assigned.is_empty());
         assert_eq!(rtv.pending_len(), 1);
         // After its pickup deadline the request silently leaves the pool.
-        let out = rtv.dispatch_batch(&engine, &mut [], &[], 10_000.0);
+        let out = rtv.dispatch_batch(&ctx(&engine, 10_000.0), &mut [], &[]);
         assert!(out.assigned.is_empty());
         assert_eq!(rtv.pending_len(), 0);
     }
@@ -306,9 +326,21 @@ mod tests {
             members_direct_cost: direct,
         };
         let candidates = vec![
-            TripCandidate { vehicle: 0, group: group(vec![1], 10.0, 5.0), gain: 95.0 },
-            TripCandidate { vehicle: 0, group: group(vec![1, 2], 30.0, 12.0), gain: 288.0 },
-            TripCandidate { vehicle: 1, group: group(vec![2], 20.0, 4.0), gain: 196.0 },
+            TripCandidate {
+                vehicle: 0,
+                group: group(vec![1], 10.0, 5.0),
+                gain: 95.0,
+            },
+            TripCandidate {
+                vehicle: 0,
+                group: group(vec![1, 2], 30.0, 12.0),
+                gain: 288.0,
+            },
+            TripCandidate {
+                vehicle: 1,
+                group: group(vec![2], 20.0, 4.0),
+                gain: 196.0,
+            },
         ];
         let chosen = Rtv::solve_assignment(&candidates, 2);
         // The pair on vehicle 0 dominates; vehicle 1 must not also take r2.
@@ -321,9 +353,10 @@ mod tests {
         let engine = line_engine();
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let mut rtv = Rtv::default();
-        let requests: Vec<Request> =
-            (0..5).map(|i| req(i, i % 3, (i % 3) + 2, 20.0, 2.0)).collect();
-        rtv.dispatch_batch(&engine, &mut vehicles, &requests, 0.0);
+        let requests: Vec<Request> = (0..5)
+            .map(|i| req(i, i % 3, (i % 3) + 2, 20.0, 2.0))
+            .collect();
+        rtv.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &requests);
         assert!(rtv.memory_bytes() > 512);
     }
 }

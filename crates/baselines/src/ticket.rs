@@ -11,9 +11,8 @@
 //! at the price of contention overhead on the runtime side.
 
 use parking_lot::Mutex;
-use structride_core::{BatchOutcome, Dispatcher};
+use structride_core::{BatchOutcome, DispatchContext, Dispatcher};
 use structride_model::{insertion, Request, RequestId, Vehicle};
-use structride_roadnet::SpEngine;
 
 /// The TicketAssign+ parallel online dispatcher.
 #[derive(Debug)]
@@ -58,17 +57,22 @@ impl Dispatcher for TicketAssignPlus {
 
     fn dispatch_batch(
         &mut self,
-        engine: &SpEngine,
+        ctx: &DispatchContext<'_>,
         vehicles: &mut [Vehicle],
         new_requests: &[Request],
-        _now: f64,
     ) -> BatchOutcome {
+        let engine = ctx.engine;
         if new_requests.is_empty() || vehicles.is_empty() {
             return BatchOutcome::empty();
         }
         let slots: Vec<Mutex<Slot<'_>>> = vehicles
             .iter_mut()
-            .map(|v| Mutex::new(Slot { vehicle: v, generation: 0 }))
+            .map(|v| {
+                Mutex::new(Slot {
+                    vehicle: v,
+                    generation: 0,
+                })
+            })
             .collect();
         let assigned: Mutex<Vec<RequestId>> = Mutex::new(Vec::new());
         let conflicts = &self.conflicts;
@@ -129,7 +133,12 @@ impl Dispatcher for TicketAssignPlus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_roadnet::{Point, RoadNetworkBuilder};
+    use structride_core::StructRideConfig;
+    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
+
+    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
+        DispatchContext::new(engine, StructRideConfig::default(), now)
+    }
 
     fn line_engine() -> SpEngine {
         let mut b = RoadNetworkBuilder::new();
@@ -154,7 +163,7 @@ mod tests {
             .map(|i| req(i, i % 6, (i % 6) + 2, 20.0, 2.0))
             .collect();
         let mut ticket = TicketAssignPlus::new(3);
-        let out = ticket.dispatch_batch(&engine, &mut vehicles, &requests, 0.0);
+        let out = ticket.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &requests);
         assert!(!out.assigned.is_empty());
         // No request is assigned twice.
         let mut ids = out.assigned.clone();
@@ -169,7 +178,10 @@ mod tests {
         }
         // Every assigned request appears in exactly one schedule.
         for id in &out.assigned {
-            let holders = vehicles.iter().filter(|v| v.schedule.contains_request(*id)).count();
+            let holders = vehicles
+                .iter()
+                .filter(|v| v.schedule.contains_request(*id))
+                .count();
             assert_eq!(holders, 1, "request {id} held by {holders} vehicles");
         }
     }
@@ -180,7 +192,7 @@ mod tests {
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let requests = vec![req(1, 0, 4, 40.0, 1.6), req(2, 1, 3, 20.0, 1.6)];
         let mut ticket = TicketAssignPlus::new(1);
-        let out = ticket.dispatch_batch(&engine, &mut vehicles, &requests, 0.0);
+        let out = ticket.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &requests);
         assert_eq!(out.assigned, vec![1, 2]);
         assert!((vehicles[0].planned_cost(&engine) - 40.0).abs() < 1e-9);
     }
@@ -190,7 +202,7 @@ mod tests {
         let engine = line_engine();
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let mut ticket = TicketAssignPlus::default();
-        let out = ticket.dispatch_batch(&engine, &mut vehicles, &[], 0.0);
+        let out = ticket.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &[]);
         assert!(out.assigned.is_empty());
         assert_eq!(ticket.conflicts(), 0);
     }

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
-use structride_core::enumerate_groups;
+use structride_core::{enumerate_groups, DispatchContext, StructRideConfig};
 use structride_datagen::{CityProfile, Workload, WorkloadParams};
 use structride_model::{insertion, Request, RequestId, Schedule, Vehicle};
 use structride_roadnet::dijkstra;
@@ -29,8 +29,9 @@ fn workload() -> Workload {
 fn bench_shortest_paths(c: &mut Criterion) {
     let w = workload();
     let n = w.engine.node_count() as u32;
-    let pairs: Vec<(u32, u32)> =
-        (0..200u32).map(|i| ((i * 37) % n, (i * 91 + 13) % n)).collect();
+    let pairs: Vec<(u32, u32)> = (0..200u32)
+        .map(|i| ((i * 37) % n, (i * 91 + 13) % n))
+        .collect();
     let mut group = c.benchmark_group("shortest_path");
     group.bench_function("hub_labels_cached", |b| {
         b.iter(|| {
@@ -72,8 +73,7 @@ fn bench_insertion_and_shareability(c: &mut Criterion) {
         // Pre-build a schedule with two requests, then time inserting a third.
         let mut sched = Schedule::new();
         for r in reqs.iter().take(2) {
-            if let Some(out) =
-                insertion::insert_into(&w.engine, vehicle.node, 0.0, 0, 4, &sched, r)
+            if let Some(out) = insertion::insert_into(&w.engine, vehicle.node, 0.0, 0, 4, &sched, r)
             {
                 sched = out.schedule;
             }
@@ -113,14 +113,20 @@ fn bench_graph_build_and_grouping(c: &mut Criterion) {
     let batch: Vec<Request> = w.requests.iter().take(80).cloned().collect();
 
     let mut group = c.benchmark_group("shareability_graph");
-    for (label, angle) in [("with_angle_pruning", AnglePruning::default()),
-                           ("without_angle_pruning", AnglePruning::disabled())] {
+    for (label, angle) in [
+        ("with_angle_pruning", AnglePruning::default()),
+        ("without_angle_pruning", AnglePruning::disabled()),
+    ] {
         group.bench_function(format!("build_batch_{label}"), |b| {
             b.iter_batched(
                 || {
                     ShareabilityGraphBuilder::new(
                         &w.engine,
-                        BuilderConfig { vehicle_capacity: 4, angle, grid_cells: 32 },
+                        BuilderConfig {
+                            vehicle_capacity: 4,
+                            angle,
+                            grid_cells: 32,
+                        },
                     )
                 },
                 |mut builder| {
@@ -136,16 +142,21 @@ fn bench_graph_build_and_grouping(c: &mut Criterion) {
     // Grouping over a realistic proposal pool.
     let mut builder = ShareabilityGraphBuilder::new(
         &w.engine,
-        BuilderConfig { vehicle_capacity: 4, angle: AnglePruning::default(), grid_cells: 32 },
+        BuilderConfig {
+            vehicle_capacity: 4,
+            angle: AnglePruning::default(),
+            grid_cells: 32,
+        },
     );
     builder.add_batch(&w.engine, &batch);
     let map: HashMap<RequestId, Request> = batch.iter().map(|r| (r.id, r.clone())).collect();
     let pool: Vec<RequestId> = batch.iter().take(10).map(|r| r.id).collect();
     let vehicle = Vehicle::new(0, batch[0].source, 4);
+    let ctx = DispatchContext::new(&w.engine, StructRideConfig::default(), 0.0);
     c.bench_function("grouping_additive_tree_pool10", |b| {
         b.iter(|| {
             enumerate_groups(
-                &w.engine,
+                &ctx,
                 builder.graph(),
                 black_box(&map),
                 black_box(&pool),

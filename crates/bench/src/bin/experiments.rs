@@ -18,7 +18,11 @@ use structride_bench::ExperimentScale;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { ExperimentScale::quick() } else { ExperimentScale::standard() };
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::standard()
+    };
     let mut selected: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if selected.is_empty() {
         selected.push("all".to_string());

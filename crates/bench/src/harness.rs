@@ -1,7 +1,9 @@
 //! The experiment implementations — one function per paper figure/table.
 
 use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
-use structride_core::{Dispatcher, RunMetrics, SardDispatcher, Simulator, StructRideConfig};
+use structride_core::{
+    DispatchContext, Dispatcher, RunMetrics, SardDispatcher, Simulator, StructRideConfig,
+};
 use structride_datagen::{CityProfile, Workload, WorkloadParams};
 use structride_sharegraph::angle::{sharing_probability, LogNormal};
 
@@ -35,7 +37,13 @@ impl ExperimentScale {
 
     /// A much smaller configuration for smoke tests and CI.
     pub fn quick() -> Self {
-        ExperimentScale { requests: 180, vehicles: 40, horizon: 180.0, network_scale: 0.3, seed: 42 }
+        ExperimentScale {
+            requests: 180,
+            vehicles: 40,
+            horizon: 180.0,
+            network_scale: 0.3,
+            seed: 42,
+        }
     }
 }
 
@@ -101,10 +109,7 @@ pub fn run_suite(
 
 fn print_rows(experiment: &str, sweep: &str, value: String, rows: &[RunMetrics]) {
     for m in rows {
-        println!(
-            "{experiment}\t{sweep}={value}\t{}",
-            m.tsv_row()
-        );
+        println!("{experiment}\t{sweep}={value}\t{}", m.tsv_row());
     }
 }
 
@@ -173,8 +178,10 @@ pub fn fig11_vary_capacity(scale: &ExperimentScale) {
             let mut params = base_params(city, scale);
             params.capacity = capacity;
             let workload = Workload::generate(params);
-            let config =
-                StructRideConfig { shareability_capacity: capacity, ..Default::default() };
+            let config = StructRideConfig {
+                shareability_capacity: capacity,
+                ..Default::default()
+            };
             let rows = run_suite(&workload, config, SuiteKind::Full);
             print_rows("fig11", "c", capacity.to_string(), &rows);
         }
@@ -209,7 +216,11 @@ pub fn fig13_vary_batch(scale: &ExperimentScale) {
 pub fn fig14_memory(scale: &ExperimentScale) {
     for city in [CityProfile::ChengduLike, CityProfile::NycLike] {
         let workload = Workload::generate(base_params(city, scale));
-        let rows = run_suite(&workload, StructRideConfig::default(), SuiteKind::Traditional);
+        let rows = run_suite(
+            &workload,
+            StructRideConfig::default(),
+            SuiteKind::Traditional,
+        );
         print_rows("fig14", "memory", "default".into(), &rows);
     }
 }
@@ -221,21 +232,33 @@ pub fn fig15_cainiao(scale: &ExperimentScale) {
         let mut params = base_params(city, scale);
         params.num_vehicles = ((scale.vehicles as f64) * factor).round() as usize;
         let workload = Workload::generate(params);
-        let rows = run_suite(&workload, StructRideConfig::default(), SuiteKind::Traditional);
+        let rows = run_suite(
+            &workload,
+            StructRideConfig::default(),
+            SuiteKind::Traditional,
+        );
         print_rows("fig15", "|W|", params.num_vehicles.to_string(), &rows);
     }
     for factor in [0.5, 1.0, 1.5] {
         let mut params = base_params(city, scale);
         params.num_requests = ((scale.requests as f64) * factor).round() as usize;
         let workload = Workload::generate(params);
-        let rows = run_suite(&workload, StructRideConfig::default(), SuiteKind::Traditional);
+        let rows = run_suite(
+            &workload,
+            StructRideConfig::default(),
+            SuiteKind::Traditional,
+        );
         print_rows("fig15", "|R|", params.num_requests.to_string(), &rows);
     }
     for gamma in [1.8, 2.0, 2.2] {
         let mut params = base_params(city, scale);
         params.gamma = gamma;
         let workload = Workload::generate(params);
-        let rows = run_suite(&workload, StructRideConfig::default(), SuiteKind::Traditional);
+        let rows = run_suite(
+            &workload,
+            StructRideConfig::default(),
+            SuiteKind::Traditional,
+        );
         print_rows("fig15", "gamma", format!("{gamma}"), &rows);
     }
     for pr in [2.0, 10.0, 30.0] {
@@ -259,17 +282,32 @@ pub fn fig16_fig17_capacity_distribution(scale: &ExperimentScale) {
         let mut params = base_params(CityProfile::CainiaoLike, scale);
         params.capacity = capacity;
         let workload = Workload::generate(params);
-        let config = StructRideConfig { shareability_capacity: capacity, ..Default::default() };
+        let config = StructRideConfig {
+            shareability_capacity: capacity,
+            ..Default::default()
+        };
         let rows = run_suite(&workload, config, SuiteKind::Traditional);
         print_rows("fig16", "c", capacity.to_string(), &rows);
     }
-    for city in [CityProfile::CainiaoLike, CityProfile::ChengduLike, CityProfile::NycLike] {
+    for city in [
+        CityProfile::CainiaoLike,
+        CityProfile::ChengduLike,
+        CityProfile::NycLike,
+    ] {
         for sigma in [0.0, 0.5, 1.0, 1.5, 2.0] {
             let mut params = base_params(city, scale);
             params.capacity_sigma = sigma;
             let workload = Workload::generate(params);
-            let rows = run_suite(&workload, StructRideConfig::default(), SuiteKind::Traditional);
-            let fig = if city == CityProfile::CainiaoLike { "fig16" } else { "fig17" };
+            let rows = run_suite(
+                &workload,
+                StructRideConfig::default(),
+                SuiteKind::Traditional,
+            );
+            let fig = if city == CityProfile::CainiaoLike {
+                "fig16"
+            } else {
+                "fig17"
+            };
             print_rows(fig, "sigma", format!("{sigma}"), &rows);
         }
     }
@@ -315,7 +353,10 @@ pub fn ablation_candidate_cap(scale: &ExperimentScale) {
     for city in [CityProfile::ChengduLike, CityProfile::NycLike] {
         let workload = Workload::generate(base_params(city, scale));
         for cap in [1usize, 2, 4, 8, 16] {
-            let config = StructRideConfig { max_candidate_vehicles: cap, ..Default::default() };
+            let config = StructRideConfig {
+                max_candidate_vehicles: cap,
+                ..Default::default()
+            };
             workload.engine.clear_cache();
             let simulator = Simulator::new(config);
             let mut sard = SardDispatcher::new(config);
@@ -336,8 +377,8 @@ pub fn ablation_candidate_cap(scale: &ExperimentScale) {
 /// (The paper reports 85–89 % vs 90–91 % on the real datasets.)
 pub fn insertion_order_study(scale: &ExperimentScale) {
     use std::collections::HashMap;
-    use structride_core::ordering::{ordering_study, InsertionOrdering};
     use structride_core::enumerate_groups;
+    use structride_core::ordering::{ordering_study, InsertionOrdering};
     use structride_model::{Request, RequestId, Vehicle};
     use structride_sharegraph::{BuilderConfig, ShareabilityGraphBuilder};
 
@@ -345,26 +386,21 @@ pub fn insertion_order_study(scale: &ExperimentScale) {
     for city in [CityProfile::ChengduLike, CityProfile::NycLike] {
         let workload = Workload::generate(base_params(city, scale));
         // Shareability graph over an early slice of the request stream.
-        let slice: Vec<Request> =
-            workload.requests.iter().take(scale.requests.min(150)).cloned().collect();
-        let mut builder = ShareabilityGraphBuilder::new(
-            &workload.engine,
-            BuilderConfig::default(),
-        );
+        let slice: Vec<Request> = workload
+            .requests
+            .iter()
+            .take(scale.requests.min(150))
+            .cloned()
+            .collect();
+        let mut builder = ShareabilityGraphBuilder::new(&workload.engine, BuilderConfig::default());
         builder.add_batch(&workload.engine, &slice);
         let map: HashMap<RequestId, Request> = slice.iter().map(|r| (r.id, r.clone())).collect();
         let ids: Vec<RequestId> = slice.iter().map(|r| r.id).collect();
         // Candidate 2–4 request groups for a handful of vehicles.
+        let ctx = DispatchContext::new(&workload.engine, StructRideConfig::default(), 0.0);
         let mut groups = Vec::new();
         for vehicle in workload.vehicles.iter().take(8) {
-            let vgroups = enumerate_groups(
-                &workload.engine,
-                builder.graph(),
-                &map,
-                &ids,
-                vehicle,
-                4,
-            );
+            let vgroups = enumerate_groups(&ctx, builder.graph(), &map, &ids, vehicle, 4);
             groups.extend(vgroups.into_iter().filter(|g| g.members.len() >= 3));
         }
         let probe_vehicle = Vehicle::new(u32::MAX, workload.vehicles[0].node, 4);
@@ -373,7 +409,7 @@ pub fn insertion_order_study(scale: &ExperimentScale) {
             ("shareability", InsertionOrdering::ShareabilityOrder),
         ] {
             let study = ordering_study(
-                &workload.engine,
+                &ctx,
                 &probe_vehicle,
                 &groups,
                 &map,
@@ -395,7 +431,10 @@ pub fn insertion_order_study(scale: &ExperimentScale) {
 /// `E(θ ≥ δ)` for a sweep of angles and γ values under the log-normal
 /// trip-distance fit (the paper reports ≈ 41 % at δ = π/2, γ = 1.5).
 pub fn angle_probability_model() {
-    let dist = LogNormal { mu: 6.9, sigma: 0.55 };
+    let dist = LogNormal {
+        mu: 6.9,
+        sigma: 0.55,
+    };
     println!("experiment\tgamma\ttheta_deg\tsharing_probability");
     for gamma in [1.2, 1.5, 2.0] {
         for deg in (0..=180).step_by(15) {

@@ -83,7 +83,11 @@ mod tests {
 
     #[test]
     fn builder_config_propagates_fields() {
-        let c = StructRideConfig { shareability_capacity: 6, grid_cells: 32, ..Default::default() };
+        let c = StructRideConfig {
+            shareability_capacity: 6,
+            grid_cells: 32,
+            ..Default::default()
+        };
         let b = c.builder_config();
         assert_eq!(b.vehicle_capacity, 6);
         assert_eq!(b.grid_cells, 32);

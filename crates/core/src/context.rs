@@ -1,0 +1,160 @@
+//! The per-batch dispatch context shared by every dispatcher.
+//!
+//! [`DispatchContext`] bundles everything that is *ambient* for one batch —
+//! the shortest-path engine, the framework configuration, the simulation
+//! clock and a set of per-batch scratch counters — into a single borrow that
+//! the simulator hands to [`Dispatcher::dispatch_batch`](crate::Dispatcher).
+//! Before this type existed every dispatcher took a bare `(&SpEngine, …, now)`
+//! tuple and each new piece of ambient state meant a breaking signature change
+//! across all seven dispatchers; the context also gives batch-parallel code
+//! one `Sync` handle to close over.
+//!
+//! # Parallel invariants
+//!
+//! The context is immutable apart from [`BatchScratch`], whose counters are
+//! atomics.  A `&DispatchContext` is therefore `Sync` and may be captured by
+//! rayon workers: SARD's candidate-queue construction and per-vehicle group
+//! enumeration, the shareability builder's exact checks and the simulator's
+//! vehicle sweep all fan out under a shared `&DispatchContext` (or
+//! `&SpEngine`) without additional locking.  The engine's shortest-path cache
+//! is sharded internally (see `structride_roadnet::sharded`), so concurrent
+//! `cost()` calls do not serialise on a global lock.
+
+use crate::config::StructRideConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use structride_roadnet::SpEngine;
+
+/// Per-batch scratch counters, updated atomically by (possibly parallel)
+/// dispatch code and drained by the simulator after each batch.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Tentative insertions evaluated while building candidate queues.
+    pub insertion_evaluations: AtomicU64,
+    /// Candidate groups produced by `enumerate_groups`.
+    pub groups_enumerated: AtomicU64,
+}
+
+/// A plain-data snapshot of [`BatchScratch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Tentative insertions evaluated while building candidate queues.
+    pub insertion_evaluations: u64,
+    /// Candidate groups produced by `enumerate_groups`.
+    pub groups_enumerated: u64,
+}
+
+impl BatchScratch {
+    /// Records `n` insertion evaluations.
+    pub fn count_insertion_evaluations(&self, n: u64) {
+        self.insertion_evaluations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` enumerated candidate groups.
+    pub fn count_groups(&self, n: u64) {
+        self.groups_enumerated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> ScratchStats {
+        ScratchStats {
+            insertion_evaluations: self.insertion_evaluations.load(Ordering::Relaxed),
+            groups_enumerated: self.groups_enumerated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything a dispatcher needs to process one batch: engine, configuration,
+/// clock and scratch counters.  See the module docs for the parallel
+/// invariants.
+#[derive(Debug)]
+pub struct DispatchContext<'a> {
+    /// The shared shortest-path oracle (sharded cache, thread-safe).
+    pub engine: &'a SpEngine,
+    /// The framework configuration the simulator runs with.  Note that
+    /// dispatchers constructed with their own configuration (e.g.
+    /// `SardDispatcher::new`) dispatch with *that* one; keep the two
+    /// identical — as the simulator suites do — or the context copy is
+    /// informational only.
+    pub config: StructRideConfig,
+    /// The current simulation time (the end of the batch window).
+    pub now: f64,
+    /// Zero-based index of this batch within the run (diagnostics/logging;
+    /// the bundled dispatchers do not branch on it).
+    pub batch_index: usize,
+    /// Per-batch scratch counters (atomics; shared with parallel workers).
+    pub scratch: BatchScratch,
+}
+
+impl<'a> DispatchContext<'a> {
+    /// Creates a context for a stand-alone dispatch call (batch index 0).
+    pub fn new(engine: &'a SpEngine, config: StructRideConfig, now: f64) -> Self {
+        Self::for_batch(engine, config, now, 0)
+    }
+
+    /// Creates the context for batch `batch_index` at simulation time `now`.
+    pub fn for_batch(
+        engine: &'a SpEngine,
+        config: StructRideConfig,
+        now: f64,
+        batch_index: usize,
+    ) -> Self {
+        DispatchContext {
+            engine,
+            config,
+            now,
+            batch_index,
+            scratch: BatchScratch::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structride_roadnet::{Point, RoadNetworkBuilder};
+
+    fn tiny_engine() -> SpEngine {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(10.0, 0.0));
+        b.add_bidirectional(0, 1, 5.0).unwrap();
+        SpEngine::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn context_carries_clock_and_config() {
+        let engine = tiny_engine();
+        let config = StructRideConfig::default();
+        let ctx = DispatchContext::for_batch(&engine, config, 42.0, 7);
+        assert_eq!(ctx.now, 42.0);
+        assert_eq!(ctx.batch_index, 7);
+        assert_eq!(ctx.config.batch_period, config.batch_period);
+        assert_eq!(ctx.engine.cost(0, 1), 5.0);
+    }
+
+    #[test]
+    fn scratch_counters_accumulate_atomically_across_threads() {
+        let engine = tiny_engine();
+        let ctx = DispatchContext::new(&engine, StructRideConfig::default(), 0.0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        ctx.scratch.count_insertion_evaluations(1);
+                    }
+                    ctx.scratch.count_groups(5);
+                });
+            }
+        });
+        let stats = ctx.scratch.snapshot();
+        assert_eq!(stats.insertion_evaluations, 4000);
+        assert_eq!(stats.groups_enumerated, 20);
+    }
+
+    #[test]
+    fn context_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<DispatchContext<'_>>();
+    }
+}

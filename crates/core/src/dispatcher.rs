@@ -1,16 +1,33 @@
 //! The dispatcher interface shared by SARD and every baseline.
 //!
-//! The batched simulator feeds each dispatcher one batch at a time: the set of
-//! requests released during the batch window, the current fleet state and the
-//! simulation clock.  The dispatcher mutates vehicle schedules (via
+//! The batched simulator feeds each dispatcher one batch at a time: a
+//! [`DispatchContext`] carrying the ambient state (shortest-path engine,
+//! framework configuration, simulation clock and per-batch scratch counters),
+//! the current fleet state, and the set of requests released during the batch
+//! window.  The dispatcher mutates vehicle schedules (via
 //! [`Vehicle::commit_schedule`](structride_model::Vehicle::commit_schedule))
 //! and reports which requests it assigned; everything else (vehicle movement,
 //! expiry, metric accounting) is the simulator's job, so online methods such
 //! as pruneGDP and batch methods such as RTV/GAS/SARD plug into the exact same
 //! harness — mirroring how the paper evaluates them side by side.
+//!
+//! # Parallel invariants
+//!
+//! `dispatch_batch` is called from one thread, but dispatchers are encouraged
+//! to fan batch-scoped work out internally.  The context is `Sync`; the
+//! engine's shortest-path cache is sharded, so worker threads can issue
+//! `cost()` queries without serialising on a global lock.  Parallelism
+//! introduced by this pipeline must stay *deterministic*: given the same
+//! inputs, `dispatch_batch` must produce the same assignments and schedules
+//! regardless of the worker count — SARD's parallel stages therefore reduce
+//! into canonically ordered results (stable tie-breaks on
+//! `(cost, vehicle_id)` / request id) before any decision is taken.  The one
+//! deliberate exception is TicketAssign+, whose commit-order races *are* the
+//! algorithm being reproduced (its `conflicts` counter measures them); don't
+//! use it where run-for-run reproducibility matters.
 
+use crate::context::DispatchContext;
 use structride_model::{Request, RequestId, Vehicle};
-use structride_roadnet::SpEngine;
 
 /// What a dispatcher did with one batch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -31,20 +48,31 @@ pub trait Dispatcher {
     /// Human-readable algorithm name, as used in the paper's plots.
     fn name(&self) -> &'static str;
 
-    /// Processes the batch of requests released in `(now - Δ, now]`.
+    /// Processes the batch of requests released in `(ctx.now - Δ, ctx.now]`.
     ///
-    /// `vehicles` reflects the fleet state *after* movement up to `now`.  The
-    /// dispatcher may keep requests it could not assign and retry them in
+    /// `vehicles` reflects the fleet state *after* movement up to `ctx.now`.
+    /// The dispatcher may keep requests it could not assign and retry them in
     /// later batches (SARD's working set `R_p` does exactly that); the
     /// simulator treats a request as served once it appears in any returned
     /// [`BatchOutcome::assigned`] list.
     fn dispatch_batch(
         &mut self,
-        engine: &SpEngine,
+        ctx: &DispatchContext<'_>,
         vehicles: &mut [Vehicle],
         new_requests: &[Request],
-        now: f64,
     ) -> BatchOutcome;
+
+    /// Number of requests the dispatcher is still holding for later batches
+    /// (carried-over working pools).  The simulator uses this to stop issuing
+    /// empty batches once the request stream is exhausted and nothing is
+    /// waiting.  Dispatchers without a carry-over pool keep the default `0`;
+    /// a dispatcher that *does* carry requests across batches **must**
+    /// override this — otherwise the simulator may stop before its held
+    /// requests get another chance, silently dropping them instead of
+    /// retrying.
+    fn pending_requests(&self) -> usize {
+        0
+    }
 
     /// Approximate extra memory held by the dispatcher's own structures in
     /// bytes (RTV graph, additive index, shareability graph, …) — the
@@ -57,9 +85,10 @@ pub trait Dispatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::StructRideConfig;
 
     /// A trivial dispatcher that assigns nothing — exercises the trait object
-    /// path used by the simulator and the default memory accounting.
+    /// path used by the simulator and the default accounting.
     struct NullDispatcher;
 
     impl Dispatcher for NullDispatcher {
@@ -69,10 +98,9 @@ mod tests {
 
         fn dispatch_batch(
             &mut self,
-            _engine: &SpEngine,
+            _ctx: &DispatchContext<'_>,
             _vehicles: &mut [Vehicle],
             _new_requests: &[Request],
-            _now: f64,
         ) -> BatchOutcome {
             BatchOutcome::empty()
         }
@@ -83,12 +111,14 @@ mod tests {
         let mut d: Box<dyn Dispatcher> = Box::new(NullDispatcher);
         assert_eq!(d.name(), "null");
         assert_eq!(d.memory_bytes(), 0);
+        assert_eq!(d.pending_requests(), 0);
         let mut b = structride_roadnet::RoadNetworkBuilder::new();
         b.add_node(structride_roadnet::Point::new(0.0, 0.0));
         b.add_node(structride_roadnet::Point::new(1.0, 0.0));
         b.add_bidirectional(0, 1, 1.0).unwrap();
-        let engine = SpEngine::new(b.build().unwrap());
-        let out = d.dispatch_batch(&engine, &mut [], &[], 0.0);
+        let engine = structride_roadnet::SpEngine::new(b.build().unwrap());
+        let ctx = DispatchContext::new(&engine, StructRideConfig::default(), 0.0);
+        let out = d.dispatch_batch(&ctx, &mut [], &[]);
         assert_eq!(out, BatchOutcome::empty());
     }
 }

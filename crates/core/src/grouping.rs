@@ -11,10 +11,10 @@
 //! sub-schedule first — is inserted into its parent group's schedule with the
 //! linear-insertion operator.
 
+use crate::context::DispatchContext;
 use std::collections::HashMap;
 use structride_model::insertion::insert_into;
 use structride_model::{Request, RequestId, Schedule, Vehicle};
-use structride_roadnet::SpEngine;
 use structride_sharegraph::clique::is_clique;
 use structride_sharegraph::ShareabilityGraph;
 
@@ -57,14 +57,19 @@ impl CandidateGroup {
 ///
 /// The result contains every level (singletons included), each with exactly
 /// one maintained schedule.
+///
+/// Takes the batch's [`DispatchContext`] (for the engine and the scratch
+/// counters); the function itself is read-only apart from the atomic counters,
+/// so SARD calls it from parallel per-vehicle workers.
 pub fn enumerate_groups(
-    engine: &SpEngine,
+    ctx: &DispatchContext<'_>,
     graph: &ShareabilityGraph,
     requests: &HashMap<RequestId, Request>,
     pool: &[RequestId],
     vehicle: &Vehicle,
     max_group_size: usize,
 ) -> Vec<CandidateGroup> {
+    let engine = ctx.engine;
     let base_cost = vehicle.planned_cost(engine);
     if !base_cost.is_finite() {
         return Vec::new();
@@ -78,8 +83,11 @@ pub fn enumerate_groups(
     pool_sorted.sort_unstable();
     pool_sorted.dedup();
     for &id in &pool_sorted {
-        let Some(request) = requests.get(&id) else { continue };
-        let Some(out) = structride_model::insertion::insert_request(engine, vehicle, request) else {
+        let Some(request) = requests.get(&id) else {
+            continue;
+        };
+        let Some(out) = structride_model::insertion::insert_request(engine, vehicle, request)
+        else {
             continue;
         };
         current.push(CandidateGroup {
@@ -99,8 +107,11 @@ pub fn enumerate_groups(
             break;
         }
         // Index of the previous level by member set for parent lookups.
-        let parent_index: HashMap<Vec<RequestId>, usize> =
-            current.iter().enumerate().map(|(i, g)| (g.members.clone(), i)).collect();
+        let parent_index: HashMap<Vec<RequestId>, usize> = current
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.members.clone(), i))
+            .collect();
         let mut next: Vec<CandidateGroup> = Vec::new();
         let mut seen: HashMap<Vec<RequestId>, ()> = HashMap::new();
 
@@ -131,13 +142,20 @@ pub fn enumerate_groups(
                     .iter()
                     .max_by_key(|&&id| (graph.degree(id), std::cmp::Reverse(id)))
                     .expect("non-empty group");
-                let mut parent_members: Vec<RequestId> =
-                    union.iter().copied().filter(|&m| m != insert_last).collect();
+                let mut parent_members: Vec<RequestId> = union
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != insert_last)
+                    .collect();
                 parent_members.sort_unstable();
                 // Lemma IV.1(a): the parent group must itself be valid; if the
                 // previous level does not contain it, the group is pruned.
-                let Some(&parent_idx) = parent_index.get(&parent_members) else { continue };
-                let Some(request) = requests.get(&insert_last) else { continue };
+                let Some(&parent_idx) = parent_index.get(&parent_members) else {
+                    continue;
+                };
+                let Some(request) = requests.get(&insert_last) else {
+                    continue;
+                };
                 let parent = &current[parent_idx];
                 let Some(out) = insert_into(
                     engine,
@@ -162,13 +180,19 @@ pub fn enumerate_groups(
         all.extend(next.iter().cloned());
         current = next;
     }
+    ctx.scratch.count_groups(all.len() as u64);
     all
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_roadnet::{Point, RoadNetworkBuilder};
+    use crate::config::StructRideConfig;
+    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
+
+    fn ctx(engine: &SpEngine) -> DispatchContext<'_> {
+        DispatchContext::new(engine, StructRideConfig::default(), 0.0)
+    }
     use structride_sharegraph::{pairwise_shareable, ShareabilityGraph};
 
     fn line_engine() -> SpEngine {
@@ -212,7 +236,7 @@ mod tests {
         let graph = build_graph(&engine, &reqs);
         let vehicle = Vehicle::new(0, 0, 4);
         let groups = enumerate_groups(
-            &engine,
+            &ctx(&engine),
             &graph,
             &request_map(&reqs),
             &[1, 2],
@@ -242,9 +266,17 @@ mod tests {
         let graph = build_graph(&engine, &reqs);
         assert!(!graph.has_edge(1, 3));
         let vehicle = Vehicle::new(0, 0, 4);
-        let groups =
-            enumerate_groups(&engine, &graph, &request_map(&reqs), &[1, 2, 3], &vehicle, 4);
-        assert!(groups.iter().all(|g| !(g.members.contains(&1) && g.members.contains(&3))));
+        let groups = enumerate_groups(
+            &ctx(&engine),
+            &graph,
+            &request_map(&reqs),
+            &[1, 2, 3],
+            &vehicle,
+            4,
+        );
+        assert!(groups
+            .iter()
+            .all(|g| !(g.members.contains(&1) && g.members.contains(&3))));
     }
 
     #[test]
@@ -257,8 +289,14 @@ mod tests {
         ];
         let graph = build_graph(&engine, &reqs);
         let vehicle = Vehicle::new(0, 0, 6);
-        let groups =
-            enumerate_groups(&engine, &graph, &request_map(&reqs), &[1, 2, 3], &vehicle, 2);
+        let groups = enumerate_groups(
+            &ctx(&engine),
+            &graph,
+            &request_map(&reqs),
+            &[1, 2, 3],
+            &vehicle,
+            2,
+        );
         assert!(groups.iter().all(|g| g.members.len() <= 2));
     }
 
@@ -276,7 +314,14 @@ mod tests {
         };
         // Capacity 3 cannot hold the overlapping 2+2 riders.
         let vehicle = Vehicle::new(0, 0, 3);
-        let groups = enumerate_groups(&engine, &graph, &request_map(&reqs), &[1, 2], &vehicle, 4);
+        let groups = enumerate_groups(
+            &ctx(&engine),
+            &graph,
+            &request_map(&reqs),
+            &[1, 2],
+            &vehicle,
+            4,
+        );
         assert!(groups.iter().all(|g| g.members.len() == 1));
     }
 
@@ -292,8 +337,14 @@ mod tests {
             g.add_node(1);
             g
         };
-        let groups =
-            enumerate_groups(&engine, &graph, &request_map(&[newcomer]), &[1], &vehicle, 4);
+        let groups = enumerate_groups(
+            &ctx(&engine),
+            &graph,
+            &request_map(&[newcomer]),
+            &[1],
+            &vehicle,
+            4,
+        );
         assert_eq!(groups.len(), 1);
         // Appending the new trip adds exactly its own 20 s.
         assert!((groups[0].added_cost - 20.0).abs() < 1e-9);
@@ -306,9 +357,9 @@ mod tests {
         let engine = line_engine();
         let graph = ShareabilityGraph::new();
         let vehicle = Vehicle::new(0, 0, 4);
-        let groups = enumerate_groups(&engine, &graph, &HashMap::new(), &[], &vehicle, 4);
+        let groups = enumerate_groups(&ctx(&engine), &graph, &HashMap::new(), &[], &vehicle, 4);
         assert!(groups.is_empty());
-        let groups = enumerate_groups(&engine, &graph, &HashMap::new(), &[7, 8], &vehicle, 4);
+        let groups = enumerate_groups(&ctx(&engine), &graph, &HashMap::new(), &[7, 8], &vehicle, 4);
         assert!(groups.is_empty());
     }
 
@@ -318,8 +369,14 @@ mod tests {
         let reqs = vec![req(1, 0, 4, 40.0, 1.8), req(2, 1, 3, 20.0, 1.8)];
         let graph = build_graph(&engine, &reqs);
         let vehicle = Vehicle::new(0, 0, 4);
-        let groups =
-            enumerate_groups(&engine, &graph, &request_map(&reqs), &[1, 2], &vehicle, 4);
+        let groups = enumerate_groups(
+            &ctx(&engine),
+            &graph,
+            &request_map(&reqs),
+            &[1, 2],
+            &vehicle,
+            4,
+        );
         let pair = groups.iter().find(|g| g.members.len() == 2).unwrap();
         // Serving both for ~40 s of driving vs. 60 s of direct cost.
         assert!(pair.sharing_ratio() < 1.0);

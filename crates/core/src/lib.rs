@@ -5,6 +5,11 @@
 //!
 //! * [`config`] — the experiment knobs of Table III (batch period Δ, penalty
 //!   coefficient `p_r`, angle threshold δ, …);
+//! * [`context`] — the per-batch [`DispatchContext`](context::DispatchContext)
+//!   bundling engine + configuration + clock + scratch counters that the
+//!   simulator hands to every dispatcher; it is `Sync`, so batch-parallel
+//!   dispatch code closes over one shared borrow (see the module docs for the
+//!   parallel invariants);
 //! * [`dispatcher`] — the [`Dispatcher`](dispatcher::Dispatcher) trait that the
 //!   SARD algorithm and every baseline implement, so the batched simulator can
 //!   drive any of them interchangeably;
@@ -19,6 +24,7 @@
 //!   service rate, running time, shortest-path queries, memory footprint).
 
 pub mod config;
+pub mod context;
 pub mod dispatcher;
 pub mod grouping;
 pub mod metrics;
@@ -27,6 +33,7 @@ pub mod sard;
 pub mod simulator;
 
 pub use config::StructRideConfig;
+pub use context::{BatchScratch, DispatchContext, ScratchStats};
 pub use dispatcher::{BatchOutcome, Dispatcher};
 pub use grouping::{enumerate_groups, CandidateGroup};
 pub use metrics::RunMetrics;

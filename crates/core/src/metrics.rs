@@ -22,12 +22,22 @@ pub struct RunMetrics {
     pub unified_cost: f64,
     /// Wall-clock time spent inside the dispatcher, in seconds.
     pub running_time: f64,
-    /// Shortest-path index queries issued during the run.
+    /// Shortest-path index queries issued during the run.  With more than one
+    /// worker thread this can differ by a handful between otherwise identical
+    /// runs: two workers racing on the same missing cache key both consult
+    /// the index (see the `structride_roadnet::engine` docs).  Dispatch
+    /// decisions are unaffected.
     pub sp_queries: u64,
     /// Approximate dispatcher memory footprint in bytes (Fig. 14).
     pub memory_bytes: usize,
     /// Number of batches processed.
     pub batches: usize,
+    /// Tentative insertions evaluated while building candidate queues
+    /// (aggregated from the per-batch scratch counters; best-effort — only
+    /// dispatchers that report through the context contribute).
+    pub insertion_evaluations: u64,
+    /// Candidate groups enumerated by the grouping tree (same caveat).
+    pub groups_enumerated: u64,
 }
 
 impl RunMetrics {
@@ -88,6 +98,8 @@ mod tests {
             sp_queries: 12_345,
             memory_bytes: 1 << 20,
             batches: 40,
+            insertion_evaluations: 900,
+            groups_enumerated: 321,
         }
     }
 
@@ -95,7 +107,11 @@ mod tests {
     fn service_rate_and_edge_cases() {
         let m = sample();
         assert!((m.service_rate() - 0.75).abs() < 1e-12);
-        let empty = RunMetrics { total_requests: 0, served_requests: 0, ..sample() };
+        let empty = RunMetrics {
+            total_requests: 0,
+            served_requests: 0,
+            ..sample()
+        };
         assert_eq!(empty.service_rate(), 0.0);
     }
 
@@ -113,7 +129,10 @@ mod tests {
     fn tsv_row_has_all_columns() {
         let m = sample();
         let row = m.tsv_row();
-        assert_eq!(row.split('\t').count(), RunMetrics::tsv_header().split('\t').count());
+        assert_eq!(
+            row.split('\t').count(),
+            RunMetrics::tsv_header().split('\t').count()
+        );
         assert!(row.contains("SARD"));
         assert!(row.contains("0.750"));
     }

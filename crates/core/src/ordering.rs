@@ -9,12 +9,12 @@
 //! This module reproduces that measurement on any request sample so the claim
 //! can be checked on the synthetic workloads (`experiments insertion_order`).
 
+use crate::context::DispatchContext;
 use crate::grouping::CandidateGroup;
 use std::collections::HashMap;
 use structride_model::insertion::insert_into;
 use structride_model::kinetic::optimal_schedule;
 use structride_model::{Request, RequestId, Schedule, Vehicle};
-use structride_roadnet::SpEngine;
 use structride_sharegraph::ShareabilityGraph;
 
 /// How the members of a group are fed to the linear-insertion operator.
@@ -80,7 +80,9 @@ fn ordered_members(
             ids.sort_by(|a, b| {
                 let ra = requests[a].release;
                 let rb = requests[b].release;
-                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+                ra.partial_cmp(&rb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(b))
             });
         }
         InsertionOrdering::ShareabilityOrder => {
@@ -94,16 +96,19 @@ fn ordered_members(
 /// given order, starting from `vehicle`'s state.  Returns the schedule cost,
 /// or infinity when some member cannot be inserted.
 pub fn linear_schedule_cost(
-    engine: &SpEngine,
+    ctx: &DispatchContext<'_>,
     vehicle: &Vehicle,
     members: &[RequestId],
     requests: &HashMap<RequestId, Request>,
     graph: &ShareabilityGraph,
     ordering: InsertionOrdering,
 ) -> f64 {
+    let engine = ctx.engine;
     let mut schedule = Schedule::new();
     for id in ordered_members(members, requests, graph, ordering) {
-        let Some(request) = requests.get(&id) else { return f64::INFINITY };
+        let Some(request) = requests.get(&id) else {
+            return f64::INFINITY;
+        };
         match insert_into(
             engine,
             vehicle.node,
@@ -118,13 +123,19 @@ pub fn linear_schedule_cost(
         }
     }
     schedule
-        .evaluate(engine, vehicle.node, vehicle.free_at, vehicle.onboard, vehicle.capacity)
+        .evaluate(
+            engine,
+            vehicle.node,
+            vehicle.free_at,
+            vehicle.onboard,
+            vehicle.capacity,
+        )
         .travel_cost
 }
 
 /// Compares one group under one ordering policy against the exact optimum.
 pub fn compare_group(
-    engine: &SpEngine,
+    ctx: &DispatchContext<'_>,
     vehicle: &Vehicle,
     members: &[RequestId],
     requests: &HashMap<RequestId, Request>,
@@ -133,7 +144,7 @@ pub fn compare_group(
 ) -> OrderingOutcome {
     let refs: Vec<&Request> = members.iter().filter_map(|id| requests.get(id)).collect();
     let optimal = optimal_schedule(
-        engine,
+        ctx.engine,
         vehicle.node,
         vehicle.free_at,
         vehicle.onboard,
@@ -142,14 +153,17 @@ pub fn compare_group(
     )
     .map(|(_, c)| c)
     .unwrap_or(f64::INFINITY);
-    let linear = linear_schedule_cost(engine, vehicle, members, requests, graph, ordering);
-    OrderingOutcome { linear_cost: linear, optimal_cost: optimal }
+    let linear = linear_schedule_cost(ctx, vehicle, members, requests, graph, ordering);
+    OrderingOutcome {
+        linear_cost: linear,
+        optimal_cost: optimal,
+    }
 }
 
 /// Runs the §IV-A study over a set of candidate groups (typically the 3- and
 /// 4-request groups produced by [`crate::grouping::enumerate_groups`]).
 pub fn ordering_study(
-    engine: &SpEngine,
+    ctx: &DispatchContext<'_>,
     vehicle: &Vehicle,
     groups: &[CandidateGroup],
     requests: &HashMap<RequestId, Request>,
@@ -158,7 +172,7 @@ pub fn ordering_study(
 ) -> OrderingStudy {
     let mut study = OrderingStudy::default();
     for group in groups {
-        let outcome = compare_group(engine, vehicle, &group.members, requests, graph, ordering);
+        let outcome = compare_group(ctx, vehicle, &group.members, requests, graph, ordering);
         if !outcome.optimal_cost.is_finite() {
             continue;
         }
@@ -176,8 +190,13 @@ pub fn ordering_study(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_roadnet::{Point, RoadNetworkBuilder};
+    use crate::config::StructRideConfig;
+    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
     use structride_sharegraph::pairwise_shareable;
+
+    fn ctx(engine: &SpEngine) -> DispatchContext<'_> {
+        DispatchContext::new(engine, StructRideConfig::default(), 0.0)
+    }
 
     fn line_engine() -> SpEngine {
         let mut b = RoadNetworkBuilder::new();
@@ -222,8 +241,11 @@ mod tests {
         let (map, graph) = setup(&reqs);
         let vehicle = Vehicle::new(0, 0, 6);
         let members: Vec<RequestId> = reqs.iter().map(|r| r.id).collect();
-        for ordering in [InsertionOrdering::ReleaseOrder, InsertionOrdering::ShareabilityOrder] {
-            let outcome = compare_group(&engine, &vehicle, &members, &map, &graph, ordering);
+        for ordering in [
+            InsertionOrdering::ReleaseOrder,
+            InsertionOrdering::ShareabilityOrder,
+        ] {
+            let outcome = compare_group(&ctx(&engine), &vehicle, &members, &map, &graph, ordering);
             assert!(outcome.is_optimal(), "{ordering:?}: {outcome:?}");
             assert!((outcome.optimal_cost - 70.0).abs() < 1e-9);
         }
@@ -240,8 +262,11 @@ mod tests {
         let (map, graph) = setup(&reqs);
         let vehicle = Vehicle::new(0, 0, 6);
         let members: Vec<RequestId> = reqs.iter().map(|r| r.id).collect();
-        for ordering in [InsertionOrdering::ReleaseOrder, InsertionOrdering::ShareabilityOrder] {
-            let outcome = compare_group(&engine, &vehicle, &members, &map, &graph, ordering);
+        for ordering in [
+            InsertionOrdering::ReleaseOrder,
+            InsertionOrdering::ShareabilityOrder,
+        ] {
+            let outcome = compare_group(&ctx(&engine), &vehicle, &members, &map, &graph, ordering);
             if outcome.optimal_cost.is_finite() && outcome.linear_cost.is_finite() {
                 assert!(outcome.linear_cost >= outcome.optimal_cost - 1e-9);
             }
@@ -276,7 +301,7 @@ mod tests {
             },
         ];
         let study = ordering_study(
-            &engine,
+            &ctx(&engine),
             &vehicle,
             &groups,
             &map,
@@ -298,7 +323,7 @@ mod tests {
         let (map, graph) = setup(&[]);
         let vehicle = Vehicle::new(0, 0, 4);
         let cost = linear_schedule_cost(
-            &engine,
+            &ctx(&engine),
             &vehicle,
             &[99],
             &map,

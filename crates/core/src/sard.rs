@@ -16,6 +16,13 @@
 //! then committed to the vehicles, assigned requests leave the shareability
 //! graph and expired ones are dropped (Algorithm 3, lines 14–17).
 //!
+//! Batch-scoped work fans out across worker threads: candidate-queue
+//! construction par-maps over the request pool and each acceptance round
+//! par-maps the per-vehicle group enumeration, both reducing into canonically
+//! ordered results (stable `(cost, vehicle_id)` / ascending-vehicle-order
+//! tie-breaks) so the dispatch decisions are bit-identical to the sequential
+//! sweep regardless of the worker count.
+//!
 //! One deliberate deviation from the paper's prose is documented here: taken
 //! literally, "minimum shareability loss" would always favour singleton groups
 //! (a singleton's loss is just its degree, usually smaller than any merged
@@ -26,11 +33,12 @@
 //! any feasible one exists, and only then minimises the loss.
 
 use crate::config::StructRideConfig;
+use crate::context::DispatchContext;
 use crate::dispatcher::{BatchOutcome, Dispatcher};
 use crate::grouping::{enumerate_groups, CandidateGroup};
+use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use structride_model::{insertion, Request, RequestId, Vehicle};
-use structride_roadnet::SpEngine;
 use structride_sharegraph::{shareability_loss, ShareabilityGraph, ShareabilityGraphBuilder};
 
 /// The SARD dispatcher (the paper's contribution).
@@ -46,7 +54,11 @@ pub struct SardDispatcher {
 impl SardDispatcher {
     /// Creates a SARD dispatcher with the given framework configuration.
     pub fn new(config: StructRideConfig) -> Self {
-        SardDispatcher { config, builder: None, peak_memory: 0 }
+        SardDispatcher {
+            config,
+            builder: None,
+            peak_memory: 0,
+        }
     }
 
     /// Read access to the current shareability graph (for diagnostics/tests).
@@ -79,8 +91,7 @@ impl SardDispatcher {
                 Some((_, bl, br, bs)) => {
                     loss < bl - 1e-9
                         || (loss <= bl + 1e-9
-                            && (ratio < br - 1e-9
-                                || (ratio <= br + 1e-9 && g.members.len() > bs)))
+                            && (ratio < br - 1e-9 || (ratio <= br + 1e-9 && g.members.len() > bs)))
                 }
             };
             if better {
@@ -98,13 +109,15 @@ impl Dispatcher for SardDispatcher {
 
     fn dispatch_batch(
         &mut self,
-        engine: &SpEngine,
+        ctx: &DispatchContext<'_>,
         vehicles: &mut [Vehicle],
         new_requests: &[Request],
-        now: f64,
     ) -> BatchOutcome {
+        let engine = ctx.engine;
+        let now = ctx.now;
+        let config = self.config;
         // Lazily create the builder the first time we see the engine.
-        let builder_config = self.config.builder_config();
+        let builder_config = config.builder_config();
         let builder = self
             .builder
             .get_or_insert_with(|| ShareabilityGraphBuilder::new(engine, builder_config));
@@ -113,33 +126,53 @@ impl Dispatcher for SardDispatcher {
         // served — drop them before they pollute the candidate queues.
         builder.remove_expired(now);
 
-        // Line 3: extend the shareability graph with the batch's requests.
+        // Line 3: extend the shareability graph with the batch's requests
+        // (edge discovery fans out internally; see the sharegraph builder).
         builder.add_batch(engine, new_requests);
 
+        // From here until the commit phase the builder and the fleet are only
+        // read, so parallel workers may share them.
+        let builder_view: &ShareabilityGraphBuilder = builder;
+        let vehicles_view: &[Vehicle] = vehicles;
+
         // Lines 4–6: per-request candidate-vehicle queues ordered so that the
-        // *worst* vehicle (largest added cost) is proposed to first.
+        // *worst* vehicle (largest added cost) is proposed to first.  Each
+        // request's queue is independent, so the fleet scan fans out across
+        // requests; within a queue candidates are reduced into a canonical
+        // order by the stable (added_cost, vehicle_id) tie-break, making the
+        // result identical to the sequential sweep.
         let pool: Vec<RequestId> = {
-            let mut ids: Vec<RequestId> = builder.requests().keys().copied().collect();
+            let mut ids: Vec<RequestId> = builder_view.requests().keys().copied().collect();
             ids.sort_unstable();
             ids
         };
-        let mut queues: HashMap<RequestId, Vec<usize>> = HashMap::new();
-        for &rid in &pool {
-            let request = builder.request(rid).expect("pooled request exists").clone();
-            let mut candidates: Vec<(f64, usize)> = Vec::new();
-            for (vi, vehicle) in vehicles.iter().enumerate() {
-                if let Some(out) = insertion::insert_request(engine, vehicle, &request) {
-                    candidates.push((out.added_cost, vi));
+        let queue_entries: Vec<(RequestId, Vec<usize>)> = pool
+            .par_iter()
+            .map(|&rid| {
+                let request = builder_view.request(rid).expect("pooled request exists");
+                let mut candidates: Vec<(f64, usize)> = Vec::new();
+                for (vi, vehicle) in vehicles_view.iter().enumerate() {
+                    if let Some(out) = insertion::insert_request(engine, vehicle, request) {
+                        candidates.push((out.added_cost, vi));
+                    }
                 }
-            }
-            // Ascending by added cost; only the `k` cheapest vehicles stay in
-            // the queue (the grid-range candidate retrieval of §II-B), and the
-            // request proposes from the back of that list — the worst of its
-            // candidate neighbourhood first, as in Algorithm 3 line 9.
-            candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
-            candidates.truncate(self.config.max_candidate_vehicles.max(1));
-            queues.insert(rid, candidates.into_iter().map(|(_, vi)| vi).collect());
-        }
+                ctx.scratch
+                    .count_insertion_evaluations(vehicles_view.len() as u64);
+                // Ascending by (added cost, vehicle id); only the `k` cheapest
+                // vehicles stay in the queue (the grid-range candidate
+                // retrieval of §II-B), and the request proposes from the back
+                // of that list — the worst of its candidate neighbourhood
+                // first, as in Algorithm 3 line 9.
+                candidates.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("finite costs")
+                        .then(a.1.cmp(&b.1))
+                });
+                candidates.truncate(config.max_candidate_vehicles.max(1));
+                (rid, candidates.into_iter().map(|(_, vi)| vi).collect())
+            })
+            .collect();
+        let mut queues: HashMap<RequestId, Vec<usize>> = queue_entries.into_iter().collect();
 
         // Proposal / acceptance rounds.
         let mut unassigned: HashSet<RequestId> = pool.iter().copied().collect();
@@ -164,6 +197,13 @@ impl Dispatcher for SardDispatcher {
             }
 
             // --- acceptance phase (lines 11–16) ---
+            // Within one round each proposed-to vehicle enumerates groups over
+            // its own pool only: the inputs (builder graph, fleet state, this
+            // round's proposals, the vehicle's previously accepted group) are
+            // all fixed for the round, so the per-vehicle work is embarrassingly
+            // parallel.  Decisions are applied afterwards in ascending vehicle
+            // order — exactly the order the sequential sweep used.
+            let mut jobs: Vec<(usize, Vec<RequestId>)> = Vec::new();
             let vehicle_indices: Vec<usize> = {
                 let mut v: Vec<usize> = proposals.keys().copied().collect();
                 v.sort_unstable();
@@ -176,21 +216,31 @@ impl Dispatcher for SardDispatcher {
                 }
                 pooled.sort_unstable();
                 pooled.dedup();
-                if pooled.is_empty() {
-                    continue;
+                if !pooled.is_empty() {
+                    jobs.push((vi, pooled));
                 }
-                let vehicle = &vehicles[vi];
-                let groups = enumerate_groups(
-                    engine,
-                    builder.graph(),
-                    builder.requests(),
-                    &pooled,
-                    vehicle,
-                    vehicle.capacity as usize,
-                );
-                match Self::select_group(builder.graph(), &groups) {
-                    Some(best_idx) => {
-                        let best = groups[best_idx].clone();
+            }
+            let decisions: Vec<(usize, Vec<RequestId>, Option<CandidateGroup>)> = jobs
+                .par_iter()
+                .map(|(vi, pooled)| {
+                    let vehicle = &vehicles_view[*vi];
+                    let groups = enumerate_groups(
+                        ctx,
+                        builder_view.graph(),
+                        builder_view.requests(),
+                        pooled,
+                        vehicle,
+                        vehicle.capacity as usize,
+                    );
+                    let best = Self::select_group(builder_view.graph(), &groups)
+                        .map(|best_idx| groups[best_idx].clone());
+                    (*vi, pooled.clone(), best)
+                })
+                .collect();
+
+            for (vi, pooled, best) in decisions {
+                match best {
+                    Some(best) => {
                         // Members of the accepted group are (tentatively) off
                         // the market; everything else returns to the pool.
                         for rid in &pooled {
@@ -247,6 +297,10 @@ impl Dispatcher for SardDispatcher {
         outcome
     }
 
+    fn pending_requests(&self) -> usize {
+        self.builder.as_ref().map(|b| b.len()).unwrap_or(0)
+    }
+
     fn memory_bytes(&self) -> usize {
         self.peak_memory
             .max(self.builder.as_ref().map(|b| b.approx_bytes()).unwrap_or(0))
@@ -256,20 +310,20 @@ impl Dispatcher for SardDispatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_roadnet::{Point, RoadNetworkBuilder};
+    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
 
     /// The Figure 1(a) road network: a..g = 0..6 with the figure's weights.
     fn figure1_engine() -> SpEngine {
         let mut b = RoadNetworkBuilder::new();
         // Rough planar coordinates so the angle pruning sees sensible vectors.
         let coords = [
-            (0.0, 0.0),     // a
-            (200.0, 0.0),   // b
-            (500.0, 0.0),   // c
-            (0.0, 400.0),   // d
-            (500.0, 400.0), // e
-            (700.0, 100.0), // f
-            (700.0, -100.0),// g
+            (0.0, 0.0),      // a
+            (200.0, 0.0),    // b
+            (500.0, 0.0),    // c
+            (0.0, 400.0),    // d
+            (500.0, 400.0),  // e
+            (700.0, 100.0),  // f
+            (700.0, -100.0), // g
         ];
         for (x, y) in coords {
             b.add_node(Point::new(x, y));
@@ -317,7 +371,8 @@ mod tests {
             ..Default::default()
         };
         let mut sard = SardDispatcher::new(config);
-        let outcome = sard.dispatch_batch(&engine, &mut vehicles, &requests, 5.0);
+        let ctx = DispatchContext::new(&engine, config, 5.0);
+        let outcome = sard.dispatch_batch(&ctx, &mut vehicles, &requests);
         // The whole point of the example: all four requests can be served.
         assert_eq!(outcome.assigned, vec![1, 2, 3, 4]);
         // Both vehicles received work and their schedules are feasible.
@@ -341,16 +396,23 @@ mod tests {
             ..Default::default()
         };
         let mut sard = SardDispatcher::new(config);
-        let first = sard.dispatch_batch(&engine, &mut vehicles, &requests, 4.0);
+        let ctx = DispatchContext::new(&engine, config, 4.0);
+        let first = sard.dispatch_batch(&ctx, &mut vehicles, &requests);
         assert!(!first.assigned.is_empty());
         assert!(first.assigned.len() < requests.len());
         // The rest stay in the working pool (some may expire later).
         let graph = sard.shareability_graph().unwrap();
         assert_eq!(graph.node_count(), requests.len() - first.assigned.len());
+        assert_eq!(
+            sard.pending_requests(),
+            requests.len() - first.assigned.len()
+        );
         // A later empty batch past every deadline clears the pool.
-        let second = sard.dispatch_batch(&engine, &mut vehicles, &[], 1_000.0);
+        let late_ctx = DispatchContext::new(&engine, config, 1_000.0);
+        let second = sard.dispatch_batch(&late_ctx, &mut vehicles, &[]);
         assert!(second.assigned.is_empty());
         assert_eq!(sard.shareability_graph().unwrap().node_count(), 0);
+        assert_eq!(sard.pending_requests(), 0);
     }
 
     #[test]
@@ -375,8 +437,8 @@ mod tests {
 
         // Among equal-loss groups the smaller sharing ratio wins (round 2).
         let groups = vec![
-            mk(vec![1, 3], 21.0, 40.0),     // ratio 0.525
-            mk(vec![1, 2, 3], 40.0, 60.0),  // ratio 0.667
+            mk(vec![1, 3], 21.0, 40.0),    // ratio 0.525
+            mk(vec![1, 2, 3], 40.0, 60.0), // ratio 0.667
         ];
         let mut triangle = ShareabilityGraph::new();
         triangle.add_edge(1, 2);

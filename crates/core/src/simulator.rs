@@ -2,15 +2,21 @@
 //!
 //! The simulator owns the clock: it partitions the request stream into batches
 //! of Δ seconds, moves vehicles along their committed schedules between
-//! batches, hands every batch to the configured [`Dispatcher`], keeps running
-//! empty batches while carried-over requests may still be assignable, and
+//! batches (fanning the per-vehicle sweep out over worker threads — each
+//! vehicle's movement is independent of every other's), hands every batch to
+//! the configured [`Dispatcher`] through a fresh
+//! [`DispatchContext`](crate::DispatchContext), keeps running empty batches
+//! while carried-over requests may still be assignable, stops as soon as the
+//! request stream is exhausted and no dispatcher-held request is waiting, and
 //! finally executes all remaining schedules and produces the [`RunMetrics`]
 //! the paper reports (unified cost, service rate, running time, #shortest-path
 //! queries, memory).
 
 use crate::config::StructRideConfig;
+use crate::context::DispatchContext;
 use crate::dispatcher::Dispatcher;
 use crate::metrics::RunMetrics;
+use rayon::prelude::*;
 use std::collections::HashSet;
 use std::time::Instant;
 use structride_model::{unified_cost, Request, RequestId, Vehicle};
@@ -57,7 +63,11 @@ impl Simulator {
         workload_name: &str,
     ) -> SimulationReport {
         let mut ordered: Vec<Request> = requests.to_vec();
-        ordered.sort_by(|a, b| a.release.partial_cmp(&b.release).expect("finite release times"));
+        ordered.sort_by(|a, b| {
+            a.release
+                .partial_cmp(&b.release)
+                .expect("finite release times")
+        });
 
         let sp_before = engine.stats().index_queries;
         let delta = self.config.batch_period.max(1e-3);
@@ -73,24 +83,42 @@ impl Simulator {
         let mut now = 0.0;
         let mut batches = 0usize;
         let mut dispatch_time = 0.0f64;
+        let mut insertion_evaluations = 0u64;
+        let mut groups_enumerated = 0u64;
 
         while next < ordered.len() || now < horizon_end {
             now += delta;
-            // Vehicles move along their committed schedules up to the batch end.
-            for v in vehicles.iter_mut() {
+            // Vehicles move along their committed schedules up to the batch
+            // end.  Each vehicle only reads the shared engine and mutates its
+            // own state, so the sweep fans out over the fleet.
+            vehicles.par_iter_mut().for_each(|v| {
                 v.advance_to(engine, now);
-            }
+            });
             // Collect the requests released during this batch window.
             let start = next;
             while next < ordered.len() && ordered[next].release <= now {
                 next += 1;
             }
             let batch = &ordered[start..next];
+            let ctx = DispatchContext::for_batch(engine, self.config, now, batches);
             let t0 = Instant::now();
-            let outcome = dispatcher.dispatch_batch(engine, &mut vehicles, batch, now);
+            let outcome = dispatcher.dispatch_batch(&ctx, &mut vehicles, batch);
             dispatch_time += t0.elapsed().as_secs_f64();
+            let scratch = ctx.scratch.snapshot();
+            insertion_evaluations += scratch.insertion_evaluations;
+            groups_enumerated += scratch.groups_enumerated;
             batches += 1;
             served.extend(outcome.assigned);
+            // Once the request stream is exhausted and the dispatcher holds no
+            // carried-over request, no later batch can assign anything — stop
+            // instead of spinning until the last pickup deadline.  Side
+            // effect (intended): dispatchers that do per-batch background
+            // work, such as DARM's idle-vehicle repositioning, no longer run
+            // it over the empty tail — where it could only add dead-head
+            // travel, never serve a request.
+            if next == ordered.len() && dispatcher.pending_requests() == 0 {
+                break;
+            }
             // Safety valve: Δ is positive, so this always terminates, but guard
             // against pathological configurations anyway.
             if batches > 10_000_000 {
@@ -100,9 +128,9 @@ impl Simulator {
 
         // Let every committed schedule play out.
         let drain_until = now + horizon_end + 1.0e6;
-        for v in vehicles.iter_mut() {
+        vehicles.par_iter_mut().for_each(|v| {
             v.advance_to(engine, drain_until);
-        }
+        });
 
         let total_travel: f64 = vehicles.iter().map(|v| v.executed_travel).sum();
         let unserved_direct_cost: f64 = ordered
@@ -122,8 +150,14 @@ impl Simulator {
             sp_queries: engine.stats().index_queries.saturating_sub(sp_before),
             memory_bytes: dispatcher.memory_bytes(),
             batches,
+            insertion_evaluations,
+            groups_enumerated,
         };
-        SimulationReport { metrics, vehicles, served }
+        SimulationReport {
+            metrics,
+            vehicles,
+            served,
+        }
     }
 }
 
@@ -146,11 +180,11 @@ mod tests {
 
         fn dispatch_batch(
             &mut self,
-            engine: &SpEngine,
+            ctx: &DispatchContext<'_>,
             vehicles: &mut [Vehicle],
             new_requests: &[Request],
-            _now: f64,
         ) -> BatchOutcome {
+            let engine = ctx.engine;
             let mut outcome = BatchOutcome::empty();
             for r in new_requests {
                 let mut best: Option<(usize, structride_model::InsertionOutcome)> = None;
@@ -210,7 +244,10 @@ mod tests {
             .flat_map(|v| v.completed.iter().copied())
             .collect();
         for id in &report.served {
-            assert!(completed.contains(id), "assigned request {id} was delivered");
+            assert!(
+                completed.contains(id),
+                "assigned request {id} was delivered"
+            );
         }
         // Vehicles finished their schedules.
         assert!(report.vehicles.iter().all(|v| v.schedule.is_empty()));
@@ -229,7 +266,13 @@ mod tests {
             &w.name,
         );
         let mut sard = SardDispatcher::new(config);
-        let sard_report = sim.run(&w.engine, &w.requests, w.fresh_vehicles(), &mut sard, &w.name);
+        let sard_report = sim.run(
+            &w.engine,
+            &w.requests,
+            w.fresh_vehicles(),
+            &mut sard,
+            &w.name,
+        );
         // The batch-mode, structure-aware dispatcher should never serve fewer
         // requests than the myopic per-request greedy on this easy workload.
         assert!(
@@ -253,10 +296,73 @@ mod tests {
     }
 
     #[test]
+    fn stops_issuing_batches_once_stream_drained_and_nothing_pending() {
+        // Requests all release within the first 10 s but have pickup deadlines
+        // hundreds of batches away.  Before the early exit the simulator kept
+        // spinning empty batches until the last deadline; now it stops as soon
+        // as the stream is drained and the dispatcher holds nothing.
+        let w = tiny_workload();
+        let released_by = w.requests.iter().map(|r| r.release).fold(0.0_f64, f64::max);
+        let horizon_end = w
+            .requests
+            .iter()
+            .map(|r| r.pickup_deadline)
+            .fold(0.0_f64, f64::max);
+        let config = StructRideConfig::default();
+        assert!(
+            horizon_end > released_by + 10.0 * config.batch_period,
+            "workload must leave a tail worth skipping ({released_by} .. {horizon_end})"
+        );
+        let sim = Simulator::new(config);
+        // GreedyInsertion holds no pool, so the run must end right after the
+        // batch that consumes the last release.
+        let report = sim.run(
+            &w.engine,
+            &w.requests,
+            w.fresh_vehicles(),
+            &mut GreedyInsertion,
+            &w.name,
+        );
+        let release_batches = (released_by / config.batch_period).ceil() as usize + 1;
+        assert!(
+            report.metrics.batches <= release_batches,
+            "{} batches for a stream drained after ~{release_batches}",
+            report.metrics.batches
+        );
+        // SARD carries a working pool; it may run longer, but never past the
+        // last pickup deadline.
+        let mut sard = SardDispatcher::new(config);
+        let sard_report = sim.run(
+            &w.engine,
+            &w.requests,
+            w.fresh_vehicles(),
+            &mut sard,
+            &w.name,
+        );
+        let deadline_batches = (horizon_end / config.batch_period).ceil() as usize + 1;
+        assert!(sard_report.metrics.batches <= deadline_batches);
+        // Every assigned rider is still delivered despite the early exit.
+        let delivered: HashSet<RequestId> = sard_report
+            .vehicles
+            .iter()
+            .flat_map(|v| v.completed.iter().copied())
+            .collect();
+        for id in &sard_report.served {
+            assert!(delivered.contains(id));
+        }
+    }
+
+    #[test]
     fn zero_requests_runs_cleanly() {
         let w = tiny_workload();
         let sim = Simulator::new(StructRideConfig::default());
-        let report = sim.run(&w.engine, &[], w.fresh_vehicles(), &mut GreedyInsertion, "empty");
+        let report = sim.run(
+            &w.engine,
+            &[],
+            w.fresh_vehicles(),
+            &mut GreedyInsertion,
+            "empty",
+        );
         assert_eq!(report.metrics.total_requests, 0);
         assert_eq!(report.metrics.served_requests, 0);
         assert_eq!(report.metrics.service_rate(), 0.0);

@@ -81,7 +81,7 @@ impl CityProfile {
                 hotspots: 5,
                 hotspot_concentration: 0.6,
                 hotspot_radius_frac: 0.12,
-                trip_log_mean: 7.0,   // exp(7.0) ≈ 1.1 km typical trip
+                trip_log_mean: 7.0, // exp(7.0) ≈ 1.1 km typical trip
                 trip_log_sigma: 0.55,
                 riders_multi_prob: 0.15,
                 gamma: 1.5,
@@ -134,7 +134,11 @@ impl CityProfile {
 
     /// All three profiles.
     pub fn all() -> [CityProfile; 3] {
-        [CityProfile::ChengduLike, CityProfile::NycLike, CityProfile::CainiaoLike]
+        [
+            CityProfile::ChengduLike,
+            CityProfile::NycLike,
+            CityProfile::CainiaoLike,
+        ]
     }
 }
 

@@ -54,7 +54,9 @@ mod tests {
     #[test]
     fn log_normal_is_positive_and_skewed() {
         let mut rng = StdRng::seed_from_u64(8);
-        let samples: Vec<f64> = (0..10_000).map(|_| log_normal(&mut rng, 0.0, 0.7)).collect();
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| log_normal(&mut rng, 0.0, 0.7))
+            .collect();
         assert!(samples.iter().all(|&x| x > 0.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let mut sorted = samples.clone();

@@ -61,15 +61,18 @@ impl NetworkParams {
 /// configured jitter and arterial speed-ups, so the network is connected and
 /// strongly connected by construction.
 pub fn synthetic_city_network(params: &NetworkParams) -> RoadNetwork {
-    assert!(params.rows >= 2 && params.cols >= 2, "need at least a 2x2 grid");
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut b = RoadNetworkBuilder::with_capacity(
-        params.node_count(),
-        params.node_count() * 4,
+    assert!(
+        params.rows >= 2 && params.cols >= 2,
+        "need at least a 2x2 grid"
     );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = RoadNetworkBuilder::with_capacity(params.node_count(), params.node_count() * 4);
     for r in 0..params.rows {
         for c in 0..params.cols {
-            b.add_node(Point::new(c as f64 * params.spacing_m, r as f64 * params.spacing_m));
+            b.add_node(Point::new(
+                c as f64 * params.spacing_m,
+                r as f64 * params.spacing_m,
+            ));
         }
     }
     let id = |r: u32, c: u32| r * params.cols + c;
@@ -88,14 +91,16 @@ pub fn synthetic_city_network(params: &NetworkParams) -> RoadNetwork {
                 let arterial = params.arterial_every > 0 && r % params.arterial_every == 0;
                 let speed = edge_speed(&mut rng, arterial);
                 let w = params.spacing_m / speed;
-                b.add_bidirectional(id(r, c), id(r, c + 1), w).expect("valid grid edge");
+                b.add_bidirectional(id(r, c), id(r, c + 1), w)
+                    .expect("valid grid edge");
             }
             // Northward street.
             if r + 1 < params.rows {
                 let arterial = params.arterial_every > 0 && c % params.arterial_every == 0;
                 let speed = edge_speed(&mut rng, arterial);
                 let w = params.spacing_m / speed;
-                b.add_bidirectional(id(r, c), id(r + 1, c), w).expect("valid grid edge");
+                b.add_bidirectional(id(r, c), id(r + 1, c), w)
+                    .expect("valid grid edge");
             }
         }
     }
@@ -109,7 +114,11 @@ mod tests {
 
     #[test]
     fn generates_expected_size() {
-        let p = NetworkParams { rows: 5, cols: 7, ..Default::default() };
+        let p = NetworkParams {
+            rows: 5,
+            cols: 7,
+            ..Default::default()
+        };
         let net = synthetic_city_network(&p);
         assert_eq!(net.node_count(), 35);
         // A 5x7 grid has 5*6 + 4*7 = 58 undirected streets = 116 directed edges.
@@ -118,7 +127,12 @@ mod tests {
 
     #[test]
     fn network_is_strongly_connected() {
-        let p = NetworkParams { rows: 6, cols: 6, seed: 3, ..Default::default() };
+        let p = NetworkParams {
+            rows: 6,
+            cols: 6,
+            seed: 3,
+            ..Default::default()
+        };
         let net = synthetic_city_network(&p);
         let d = dijkstra::sssp(&net, 0);
         assert!(d.iter().all(|x| x.is_finite()));
@@ -128,7 +142,12 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let p = NetworkParams { rows: 4, cols: 4, seed: 9, ..Default::default() };
+        let p = NetworkParams {
+            rows: 4,
+            cols: 4,
+            seed: 9,
+            ..Default::default()
+        };
         let a = synthetic_city_network(&p);
         let b = synthetic_city_network(&p);
         let da = dijkstra::sssp(&a, 0);
@@ -146,7 +165,11 @@ mod tests {
             seed: 5,
             ..Default::default()
         };
-        let fast = NetworkParams { arterial_every: 3, arterial_speedup: 2.0, ..slow };
+        let fast = NetworkParams {
+            arterial_every: 3,
+            arterial_speedup: 2.0,
+            ..slow
+        };
         let net_slow = synthetic_city_network(&slow);
         let net_fast = synthetic_city_network(&fast);
         let d_slow = dijkstra::p2p(&net_slow, 0, 99);
@@ -157,7 +180,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "2x2")]
     fn rejects_degenerate_grids() {
-        let p = NetworkParams { rows: 1, cols: 5, ..Default::default() };
+        let p = NetworkParams {
+            rows: 1,
+            cols: 5,
+            ..Default::default()
+        };
         synthetic_city_network(&p);
     }
 }

@@ -123,8 +123,9 @@ pub fn generate_requests(
     let n_nodes = net.node_count() as u32;
 
     // Hotspot centres.
-    let centers: Vec<NodeId> =
-        (0..params.hotspots.max(1)).map(|_| rng.gen_range(0..n_nodes)).collect();
+    let centers: Vec<NodeId> = (0..params.hotspots.max(1))
+        .map(|_| rng.gen_range(0..n_nodes))
+        .collect();
     let hotspot_radius = locator.extent * params.hotspot_radius_frac.max(0.01);
 
     // Release times: Poisson arrivals at the average rate, clamped to horizon.
@@ -153,8 +154,9 @@ pub fn generate_requests(
         let mut destination = source;
         let mut shortest = 0.0;
         for _attempt in 0..12 {
-            let dist = distributions::log_normal(&mut rng, params.trip_log_mean, params.trip_log_sigma)
-                .clamp(locator.extent * 0.02, locator.extent * 1.5);
+            let dist =
+                distributions::log_normal(&mut rng, params.trip_log_mean, params.trip_log_sigma)
+                    .clamp(locator.extent * 0.02, locator.extent * 1.5);
             let angle = rng.gen::<f64>() * std::f64::consts::TAU;
             let sp = engine.coord(source);
             let cand =
@@ -213,7 +215,10 @@ mod tests {
     #[test]
     fn generates_requested_count_with_ordered_releases() {
         let engine = small_engine();
-        let params = RequestGenParams { trip_log_mean: 6.5, ..Default::default() };
+        let params = RequestGenParams {
+            trip_log_mean: 6.5,
+            ..Default::default()
+        };
         let reqs = generate_requests(&engine, &params, 200, 600.0, 0);
         assert!(reqs.len() >= 195, "almost all requests materialise");
         for w in reqs.windows(2) {
@@ -241,7 +246,10 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let engine = small_engine();
-        let params = RequestGenParams { seed: 77, ..Default::default() };
+        let params = RequestGenParams {
+            seed: 77,
+            ..Default::default()
+        };
         let a = generate_requests(&engine, &params, 50, 300.0, 0);
         let b = generate_requests(&engine, &params, 50, 300.0, 0);
         assert_eq!(a, b);
@@ -276,8 +284,16 @@ mod tests {
     #[test]
     fn gamma_controls_deadlines() {
         let engine = small_engine();
-        let tight = RequestGenParams { gamma: 1.2, seed: 6, ..Default::default() };
-        let loose = RequestGenParams { gamma: 2.0, seed: 6, ..Default::default() };
+        let tight = RequestGenParams {
+            gamma: 1.2,
+            seed: 6,
+            ..Default::default()
+        };
+        let loose = RequestGenParams {
+            gamma: 2.0,
+            seed: 6,
+            ..Default::default()
+        };
         let a = generate_requests(&engine, &tight, 30, 100.0, 0);
         let b = generate_requests(&engine, &loose, 30, 100.0, 0);
         for (ra, rb) in a.iter().zip(&b) {

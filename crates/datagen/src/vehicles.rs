@@ -27,7 +27,12 @@ pub struct FleetParams {
 
 impl Default for FleetParams {
     fn default() -> Self {
-        FleetParams { count: 100, capacity_mean: 4, capacity_sigma: 0.0, seed: 1 }
+        FleetParams {
+            count: 100,
+            capacity_mean: 4,
+            capacity_sigma: 0.0,
+            seed: 1,
+        }
     }
 }
 
@@ -71,7 +76,13 @@ mod tests {
     #[test]
     fn fixed_capacity_fleet() {
         let e = engine();
-        let fleet = generate_vehicles(&e, &FleetParams { count: 25, ..Default::default() });
+        let fleet = generate_vehicles(
+            &e,
+            &FleetParams {
+                count: 25,
+                ..Default::default()
+            },
+        );
         assert_eq!(fleet.len(), 25);
         assert!(fleet.iter().all(|v| v.capacity == 4));
         assert!(fleet.iter().all(|v| (v.node as usize) < e.node_count()));
@@ -86,22 +97,40 @@ mod tests {
         let e = engine();
         let fleet = generate_vehicles(
             &e,
-            &FleetParams { count: 200, capacity_sigma: 1.5, seed: 3, ..Default::default() },
+            &FleetParams {
+                count: 200,
+                capacity_sigma: 1.5,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let distinct: std::collections::HashSet<u32> = fleet.iter().map(|v| v.capacity).collect();
-        assert!(distinct.len() > 1, "sigma > 0 must produce varied capacities");
+        assert!(
+            distinct.len() > 1,
+            "sigma > 0 must produce varied capacities"
+        );
         assert!(fleet.iter().all(|v| (1..=8).contains(&v.capacity)));
         let mean: f64 = fleet.iter().map(|v| v.capacity as f64).sum::<f64>() / fleet.len() as f64;
-        assert!((mean - 4.0).abs() < 0.5, "mean capacity stays near 4 (got {mean})");
+        assert!(
+            (mean - 4.0).abs() < 0.5,
+            "mean capacity stays near 4 (got {mean})"
+        );
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
         let e = engine();
-        let p = FleetParams { count: 10, capacity_sigma: 1.0, seed: 9, ..Default::default() };
+        let p = FleetParams {
+            count: 10,
+            capacity_sigma: 1.0,
+            seed: 9,
+            ..Default::default()
+        };
         let a = generate_vehicles(&e, &p);
         let b = generate_vehicles(&e, &p);
-        assert_eq!(a.iter().map(|v| (v.node, v.capacity)).collect::<Vec<_>>(),
-                   b.iter().map(|v| (v.node, v.capacity)).collect::<Vec<_>>());
+        assert_eq!(
+            a.iter().map(|v| (v.node, v.capacity)).collect::<Vec<_>>(),
+            b.iter().map(|v| (v.node, v.capacity)).collect::<Vec<_>>()
+        );
     }
 }

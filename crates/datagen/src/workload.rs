@@ -111,7 +111,13 @@ impl Workload {
             params.capacity,
             params.gamma
         );
-        Workload { name, params, engine, requests, vehicles }
+        Workload {
+            name,
+            params,
+            engine,
+            requests,
+            vehicles,
+        }
     }
 
     /// Sum of the direct travel costs of all requests (denominator of several

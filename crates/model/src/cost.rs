@@ -22,14 +22,20 @@ pub struct CostParams {
 impl Default for CostParams {
     fn default() -> Self {
         // Defaults from Table III: α = 1, p_r = 10.
-        CostParams { alpha: 1.0, penalty_coefficient: 10.0 }
+        CostParams {
+            alpha: 1.0,
+            penalty_coefficient: 10.0,
+        }
     }
 }
 
 impl CostParams {
     /// Creates cost parameters with `α = 1` and the given penalty coefficient.
     pub fn with_penalty(penalty_coefficient: f64) -> Self {
-        CostParams { alpha: 1.0, penalty_coefficient }
+        CostParams {
+            alpha: 1.0,
+            penalty_coefficient,
+        }
     }
 
     /// The penalty incurred by leaving a request with direct cost
@@ -72,7 +78,10 @@ mod tests {
 
     #[test]
     fn alpha_scales_travel_term() {
-        let p = CostParams { alpha: 2.0, penalty_coefficient: 1.0 };
+        let p = CostParams {
+            alpha: 2.0,
+            penalty_coefficient: 1.0,
+        };
         assert_eq!(unified_cost(&p, 10.0, 3.0), 23.0);
     }
 }

@@ -55,8 +55,16 @@ pub fn insert_into(
     if !base.is_empty() && !base_eval.feasible {
         return None;
     }
-    let base_cost = if base.is_empty() { 0.0 } else { base_eval.travel_cost };
-    let buffers = if base.is_empty() { Vec::new() } else { base.buffer_times(&base_eval) };
+    let base_cost = if base.is_empty() {
+        0.0
+    } else {
+        base_eval.travel_cost
+    };
+    let buffers = if base.is_empty() {
+        Vec::new()
+    } else {
+        base.buffer_times(&base_eval)
+    };
     let n = base.len();
 
     let pickup = Waypoint::pickup(request);
@@ -72,7 +80,11 @@ pub fn insert_into(
         // it is placed at position i is the service time of way-point i-1 plus
         // the direct leg; if that already misses the pickup deadline, no j can
         // fix it for this i.
-        let prev_node = if i == 0 { start_node } else { base.waypoints()[i - 1].node };
+        let prev_node = if i == 0 {
+            start_node
+        } else {
+            base.waypoints()[i - 1].node
+        };
         let prev_time = if i == 0 {
             start_time
         } else {
@@ -86,7 +98,8 @@ pub fn insert_into(
         if i < n {
             let next_node = base.waypoints()[i].node;
             let direct = engine.cost(prev_node, next_node);
-            let via = engine.cost(prev_node, request.source) + engine.cost(request.source, next_node);
+            let via =
+                engine.cost(prev_node, request.source) + engine.cost(request.source, next_node);
             let detour = via - direct;
             // The detour (plus any waiting for the release) must fit into the
             // buffer of the following way-point; waiting makes this a lower

@@ -33,14 +33,17 @@ impl KineticTree {
             start_time,
             onboard,
             capacity,
-            schedules: vec![(Schedule::new(), ScheduleEval {
-                feasible: true,
-                violated_at: None,
-                service_times: Vec::new(),
-                travel_cost: 0.0,
-                completion_time: start_time,
-                max_onboard: onboard,
-            })],
+            schedules: vec![(
+                Schedule::new(),
+                ScheduleEval {
+                    feasible: true,
+                    violated_at: None,
+                    service_times: Vec::new(),
+                    travel_cost: 0.0,
+                    completion_time: start_time,
+                    max_onboard: onboard,
+                },
+            )],
         }
     }
 
@@ -120,7 +123,11 @@ impl KineticTree {
         self.schedules
             .iter()
             .filter(|(s, _)| !s.is_empty())
-            .min_by(|a, b| a.1.travel_cost.partial_cmp(&b.1.travel_cost).expect("finite costs"))
+            .min_by(|a, b| {
+                a.1.travel_cost
+                    .partial_cmp(&b.1.travel_cost)
+                    .expect("finite costs")
+            })
             .map(|(s, e)| (s, e.travel_cost))
     }
 

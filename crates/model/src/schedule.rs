@@ -113,7 +113,9 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule.
     pub fn new() -> Self {
-        Schedule { waypoints: Vec::new() }
+        Schedule {
+            waypoints: Vec::new(),
+        }
     }
 
     /// Builds a schedule from way-points (validity is *not* checked here; use
@@ -124,7 +126,9 @@ impl Schedule {
 
     /// The schedule serving a single request directly: `⟨s, e⟩`.
     pub fn direct(r: &Request) -> Self {
-        Schedule { waypoints: vec![Waypoint::pickup(r), Waypoint::dropoff(r)] }
+        Schedule {
+            waypoints: vec![Waypoint::pickup(r), Waypoint::dropoff(r)],
+        }
     }
 
     /// Number of way-points.
@@ -314,7 +318,14 @@ mod tests {
         SpEngine::new(b.build().unwrap())
     }
 
-    fn request(id: RequestId, s: NodeId, e: NodeId, release: f64, cost: f64, gamma: f64) -> Request {
+    fn request(
+        id: RequestId,
+        s: NodeId,
+        e: NodeId,
+        release: f64,
+        cost: f64,
+        gamma: f64,
+    ) -> Request {
         Request::with_detour(id, s, e, 1, release, cost, gamma, 300.0)
     }
 

@@ -27,7 +27,16 @@ fn build_request(engine: &SpEngine, id: u32, raw: (u32, u32, f64, f64)) -> Optio
         return None;
     }
     let cost = engine.cost(source, destination);
-    Some(Request::with_detour(id, source, destination, 1, release, cost, 1.0 + gamma_extra, 300.0))
+    Some(Request::with_detour(
+        id,
+        source,
+        destination,
+        1,
+        release,
+        cost,
+        1.0 + gamma_extra,
+        300.0,
+    ))
 }
 
 proptest! {

@@ -82,7 +82,10 @@ fn search(
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::with_capacity(64);
     dist[source as usize] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
 
     while let Some(HeapEntry { dist: d, node }) = heap.pop() {
         if settled[node as usize] {

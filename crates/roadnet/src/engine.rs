@@ -1,20 +1,33 @@
 //! The shortest-path query engine used by every dispatcher.
 //!
-//! [`SpEngine`] bundles the road network, an optional hub-label index and an
-//! LRU cache behind a single `cost(u, v)` entry point.  It also counts the
-//! number of *index* queries (cache misses that hit the labels / Dijkstra),
-//! which is the "#Shortest Path Queries" column of the paper's Table V and
-//! Table VI angle-pruning ablation.
+//! [`SpEngine`] bundles the road network, an optional hub-label index and a
+//! sharded LRU cache behind a single `cost(u, v)` entry point.  It also counts
+//! the number of *index* queries (cache misses that hit the labels /
+//! Dijkstra), which is the "#Shortest Path Queries" column of the paper's
+//! Table V and Table VI angle-pruning ablation.
 //!
 //! The engine takes `&self` everywhere so it can be shared freely between the
-//! dispatchers; the cache sits behind a mutex and the counters are atomic.
+//! dispatchers *and between the worker threads of the parallel batch
+//! pipeline*: the `(source, target)` key is hashed to one of N independently
+//! locked cache shards (see [`ShardedLruCache`]), so concurrent `cost()`
+//! calls only contend when they hit the same shard, and the counters are
+//! atomics.  Under concurrency two threads may race on the same missing key
+//! and both consult the index; the counters report exactly what happened and
+//! both threads obtain the same exact distance.  Consequently every
+//! *non-trivial* `cost()` call (source ≠ target) records exactly one cache
+//! hit or one index query — trivial self-queries return early and touch
+//! neither counter, and direct `cost_uncached()` calls add index queries
+//! without total queries, so no global identity ties the three counters
+//! together.  Note the race also means `index_queries` (the paper's
+//! "#Shortest Path Queries") can differ by a handful between runs when more
+//! than one worker thread is active, even though dispatch decisions are
+//! bit-deterministic.
 
 use crate::dijkstra;
 use crate::graph::{NodeId, Point, RoadNetwork};
 use crate::hub_labels::HubLabels;
-use crate::lru::LruCache;
+use crate::sharded::{ShardedLruCache, DEFAULT_SHARDS};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Counters describing the query workload seen by an [`SpEngine`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,17 +44,23 @@ pub struct SpStats {
 #[derive(Debug, Clone)]
 pub struct SpEngineBuilder {
     cache_capacity: usize,
+    cache_shards: usize,
     use_hub_labels: bool,
 }
 
 impl Default for SpEngineBuilder {
     fn default() -> Self {
-        SpEngineBuilder { cache_capacity: 1 << 18, use_hub_labels: true }
+        SpEngineBuilder {
+            cache_capacity: 1 << 18,
+            cache_shards: DEFAULT_SHARDS,
+            use_hub_labels: true,
+        }
     }
 }
 
 impl SpEngineBuilder {
-    /// Starts from the default configuration (hub labels on, 256K-entry cache).
+    /// Starts from the default configuration (hub labels on, 256K-entry cache
+    /// split over 16 shards).
     pub fn new() -> Self {
         Self::default()
     }
@@ -49,6 +68,13 @@ impl SpEngineBuilder {
     /// Sets the LRU cache capacity (entries). Zero disables caching.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the number of cache shards (rounded up to a power of two).  More
+    /// shards reduce lock contention between concurrent `cost()` callers.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
         self
     }
 
@@ -61,11 +87,15 @@ impl SpEngineBuilder {
 
     /// Builds the engine for the given road network.
     pub fn build(self, net: RoadNetwork) -> SpEngine {
-        let labels = if self.use_hub_labels { Some(HubLabels::build(&net)) } else { None };
+        let labels = if self.use_hub_labels {
+            Some(HubLabels::build(&net))
+        } else {
+            None
+        };
         SpEngine {
             net,
             labels,
-            cache: Mutex::new(LruCache::new(self.cache_capacity)),
+            cache: ShardedLruCache::new(self.cache_capacity, self.cache_shards),
             total_queries: AtomicU64::new(0),
             index_queries: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -73,12 +103,13 @@ impl SpEngineBuilder {
     }
 }
 
-/// Shared shortest-path oracle: hub labels + LRU cache + query counters.
+/// Shared shortest-path oracle: hub labels + sharded LRU cache + query
+/// counters.
 #[derive(Debug)]
 pub struct SpEngine {
     net: RoadNetwork,
     labels: Option<HubLabels>,
-    cache: Mutex<LruCache<(NodeId, NodeId), f64>>,
+    cache: ShardedLruCache<(NodeId, NodeId), f64>,
     total_queries: AtomicU64,
     index_queries: AtomicU64,
     cache_hits: AtomicU64,
@@ -114,17 +145,18 @@ impl SpEngine {
             return 0.0;
         }
         let key = (source, target);
-        {
-            let mut cache = self.cache.lock().expect("sp cache poisoned");
-            if let Some(v) = cache.get(&key) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return v;
-            }
+        if let Some(v) = self.cache.get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
         }
         let d = self.cost_uncached(source, target);
-        let mut cache = self.cache.lock().expect("sp cache poisoned");
-        cache.insert(key, d);
+        self.cache.insert(key, d);
         d
+    }
+
+    /// Number of independently locked cache shards.
+    pub fn cache_shards(&self) -> usize {
+        self.cache.shard_count()
     }
 
     /// Travel time bypassing the cache (still counted as an index query).
@@ -170,7 +202,7 @@ impl SpEngine {
     /// cache its predecessor warmed up — keeping query counts and runtimes
     /// comparable.
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("sp cache poisoned").clear();
+        self.cache.clear();
     }
 
     /// Resets the query counters (the cache contents are kept).
@@ -182,10 +214,13 @@ impl SpEngine {
 
     /// Approximate heap footprint (graph + labels + cache) in bytes.
     pub fn approx_bytes(&self) -> usize {
-        let cache = self.cache.lock().expect("sp cache poisoned");
         self.net.approx_bytes()
-            + self.labels.as_ref().map(HubLabels::approx_bytes).unwrap_or(0)
-            + cache.approx_bytes()
+            + self
+                .labels
+                .as_ref()
+                .map(HubLabels::approx_bytes)
+                .unwrap_or(0)
+            + self.cache.approx_bytes()
     }
 }
 
@@ -289,5 +324,65 @@ mod tests {
         let net = line_graph(3);
         let eng = SpEngine::new(net);
         assert!((eng.euclidean(0, 2) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_engine_has_at_least_eight_cache_shards() {
+        let eng = SpEngine::new(line_graph(4));
+        assert!(eng.cache_shards() >= 8, "got {} shards", eng.cache_shards());
+        let two = SpEngineBuilder::new().cache_shards(2).build(line_graph(4));
+        assert_eq!(two.cache_shards(), 2);
+    }
+
+    /// The sharded cache must agree with `cost_uncached` under concurrent
+    /// access, and the atomic counters must stay exact: every `cost()` call
+    /// either hits the cache or performs exactly one index query, even when
+    /// two threads race on the same missing key.
+    #[test]
+    fn concurrent_cost_agrees_with_uncached_and_counters_stay_exact() {
+        let net = line_graph(64);
+        let eng = SpEngine::new(net);
+        let n_threads = 8u32;
+        let per_thread = 1_500u32;
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let eng = &eng;
+                scope.spawn(move || {
+                    // Overlapping key streams so threads race on shared keys.
+                    for i in 0..per_thread {
+                        let s = (i * 7 + t) % 64;
+                        let d = (i * 13 + t * 3) % 64;
+                        let cached = eng.cost(s, d);
+                        let exact = if s == d { 0.0 } else { eng.cost_uncached(s, d) };
+                        assert!(
+                            (cached - exact).abs() < 1e-9,
+                            "cached {cached} != exact {exact} for ({s}, {d})"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = eng.stats();
+        assert_eq!(stats.total_queries, (n_threads * per_thread) as u64);
+        // Every non-trivial cost() call resolves to exactly one cache hit or
+        // one index query.  Trivial (source == target) calls return early and
+        // touch neither counter; the verification `cost_uncached` calls add
+        // index queries but no total queries.  Both are excluded below.
+        let non_trivial_queries: u64 = (0..n_threads)
+            .map(|t| {
+                (0..per_thread)
+                    .filter(|i| (i * 7 + t) % 64 != (i * 13 + t * 3) % 64)
+                    .count() as u64
+            })
+            .sum();
+        let verification_queries = non_trivial_queries;
+        assert_eq!(
+            stats.cache_hits + (stats.index_queries - verification_queries),
+            non_trivial_queries
+        );
+        assert!(
+            stats.cache_hits > 0,
+            "overlapping streams must produce hits"
+        );
     }
 }

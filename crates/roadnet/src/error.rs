@@ -29,7 +29,10 @@ impl fmt::Display for RoadNetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RoadNetError::InvalidNode { node, node_count } => {
-                write!(f, "node {node} is out of range (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node {node} is out of range (graph has {node_count} nodes)"
+                )
             }
             RoadNetError::InvalidWeight { from, to, weight } => {
                 write!(f, "edge {from}->{to} has invalid weight {weight}")
@@ -47,10 +50,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = RoadNetError::InvalidNode { node: 7, node_count: 3 };
+        let e = RoadNetError::InvalidNode {
+            node: 7,
+            node_count: 3,
+        };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("3"));
-        let e = RoadNetError::InvalidWeight { from: 1, to: 2, weight: -4.0 };
+        let e = RoadNetError::InvalidWeight {
+            from: 1,
+            to: 2,
+            weight: -4.0,
+        };
         assert!(e.to_string().contains("-4"));
         assert!(RoadNetError::EmptyGraph.to_string().contains("no nodes"));
     }

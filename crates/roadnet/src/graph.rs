@@ -82,7 +82,10 @@ impl RoadNetwork {
         self.coords
             .get(node as usize)
             .copied()
-            .ok_or(RoadNetError::InvalidNode { node, node_count: self.node_count() })
+            .ok_or(RoadNetError::InvalidNode {
+                node,
+                node_count: self.node_count(),
+            })
     }
 
     /// Returns true if `node` is a valid node id.
@@ -162,7 +165,10 @@ impl RoadNetworkBuilder {
 
     /// Creates a builder pre-sized for `nodes` nodes and `edges` edges.
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
-        RoadNetworkBuilder { coords: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
+        RoadNetworkBuilder {
+            coords: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
     }
 
     /// Adds a node at the given coordinate and returns its id.
@@ -181,10 +187,16 @@ impl RoadNetworkBuilder {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<()> {
         let n = self.coords.len();
         if from as usize >= n {
-            return Err(RoadNetError::InvalidNode { node: from, node_count: n });
+            return Err(RoadNetError::InvalidNode {
+                node: from,
+                node_count: n,
+            });
         }
         if to as usize >= n {
-            return Err(RoadNetError::InvalidNode { node: to, node_count: n });
+            return Err(RoadNetError::InvalidNode {
+                node: to,
+                node_count: n,
+            });
         }
         if !weight.is_finite() || weight < 0.0 {
             return Err(RoadNetError::InvalidWeight { from, to, weight });
@@ -280,18 +292,30 @@ mod tests {
     fn rejects_invalid_edges() {
         let mut b = RoadNetworkBuilder::new();
         let n0 = b.add_node(Point::new(0.0, 0.0));
-        assert!(matches!(b.add_edge(n0, 5, 1.0), Err(RoadNetError::InvalidNode { .. })));
-        assert!(matches!(b.add_edge(5, n0, 1.0), Err(RoadNetError::InvalidNode { .. })));
+        assert!(matches!(
+            b.add_edge(n0, 5, 1.0),
+            Err(RoadNetError::InvalidNode { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(5, n0, 1.0),
+            Err(RoadNetError::InvalidNode { .. })
+        ));
         assert!(matches!(
             b.add_edge(n0, n0, f64::NAN),
             Err(RoadNetError::InvalidWeight { .. })
         ));
-        assert!(matches!(b.add_edge(n0, n0, -1.0), Err(RoadNetError::InvalidWeight { .. })));
+        assert!(matches!(
+            b.add_edge(n0, n0, -1.0),
+            Err(RoadNetError::InvalidWeight { .. })
+        ));
     }
 
     #[test]
     fn rejects_empty_graph() {
-        assert!(matches!(RoadNetworkBuilder::new().build(), Err(RoadNetError::EmptyGraph)));
+        assert!(matches!(
+            RoadNetworkBuilder::new().build(),
+            Err(RoadNetError::EmptyGraph)
+        ));
     }
 
     #[test]

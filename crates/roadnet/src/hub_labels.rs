@@ -80,9 +80,25 @@ impl HubLabels {
 
         for &landmark in &order {
             // Forward pruned Dijkstra: adds landmark to in-labels of settled nodes.
-            Self::pruned_search(net, landmark, &rank, true, &mut labels, &mut dist, &mut touched);
+            Self::pruned_search(
+                net,
+                landmark,
+                &rank,
+                true,
+                &mut labels,
+                &mut dist,
+                &mut touched,
+            );
             // Backward pruned Dijkstra: adds landmark to out-labels of settled nodes.
-            Self::pruned_search(net, landmark, &rank, false, &mut labels, &mut dist, &mut touched);
+            Self::pruned_search(
+                net,
+                landmark,
+                &rank,
+                false,
+                &mut labels,
+                &mut dist,
+                &mut touched,
+            );
         }
         labels
     }
@@ -101,7 +117,10 @@ impl HubLabels {
         let mut heap = BinaryHeap::new();
         dist[landmark as usize] = 0.0;
         touched.push(landmark);
-        heap.push(HeapEntry { dist: 0.0, node: landmark });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: landmark,
+        });
 
         while let Some(HeapEntry { dist: d, node }) = heap.pop() {
             if d > dist[node as usize] {
@@ -111,18 +130,30 @@ impl HubLabels {
             // the landmark to this node (or node to landmark for backward),
             // nothing new is learned by continuing through `node`.
             let certified = if forward {
-                labels.query_with(&labels.out_labels[landmark as usize], &labels.in_labels[node as usize])
+                labels.query_with(
+                    &labels.out_labels[landmark as usize],
+                    &labels.in_labels[node as usize],
+                )
             } else {
-                labels.query_with(&labels.out_labels[node as usize], &labels.in_labels[landmark as usize])
+                labels.query_with(
+                    &labels.out_labels[node as usize],
+                    &labels.in_labels[landmark as usize],
+                )
             };
             if certified <= d {
                 continue;
             }
             // Record the label on `node`.
             if forward {
-                labels.in_labels[node as usize].push(LabelEntry { hub: lrank, dist: d });
+                labels.in_labels[node as usize].push(LabelEntry {
+                    hub: lrank,
+                    dist: d,
+                });
             } else {
-                labels.out_labels[node as usize].push(LabelEntry { hub: lrank, dist: d });
+                labels.out_labels[node as usize].push(LabelEntry {
+                    hub: lrank,
+                    dist: d,
+                });
             }
             // Relax.
             let edges: Box<dyn Iterator<Item = (NodeId, f64)>> = if forward {
@@ -172,7 +203,10 @@ impl HubLabels {
         if source == target {
             return 0.0;
         }
-        self.query_with(&self.out_labels[source as usize], &self.in_labels[target as usize])
+        self.query_with(
+            &self.out_labels[source as usize],
+            &self.in_labels[target as usize],
+        )
     }
 
     /// Average number of label entries per node (an index-size diagnostic).
@@ -196,7 +230,8 @@ impl HubLabels {
             .chain(self.in_labels.iter().map(Vec::len))
             .sum();
         entries * std::mem::size_of::<LabelEntry>()
-            + (self.out_labels.len() + self.in_labels.len()) * std::mem::size_of::<Vec<LabelEntry>>()
+            + (self.out_labels.len() + self.in_labels.len())
+                * std::mem::size_of::<Vec<LabelEntry>>()
     }
 }
 

@@ -13,8 +13,12 @@
 //!   point-to-point travel-time queries in (near) constant time.
 //! * [`LruCache`] — a bounded least-recently-used cache for `(source, target)`
 //!   query results, mirroring the LRU cache of Huang et al. used by the paper.
-//! * [`SpEngine`] — the query façade combining labels + cache + query counters
-//!   (the counters feed the Table V / Table VI angle-pruning ablation).
+//! * [`ShardedLruCache`] — the N-way sharded concurrent wrapper around
+//!   [`LruCache`] that the engine uses so parallel dispatch workers don't
+//!   serialise on a single cache lock.
+//! * [`SpEngine`] — the query façade combining labels + sharded cache + query
+//!   counters (the counters feed the Table V / Table VI angle-pruning
+//!   ablation).  Safe to share (`&SpEngine`) across worker threads.
 //!
 //! All distances are travel times in seconds, represented as `f64`.  A missing
 //! path is reported as [`INFINITY`](f64::INFINITY).
@@ -26,6 +30,7 @@ pub mod graph;
 pub mod hub_labels;
 pub mod lru;
 pub mod path;
+pub mod sharded;
 
 pub use engine::{SpEngine, SpEngineBuilder, SpStats};
 pub use error::RoadNetError;
@@ -33,6 +38,7 @@ pub use graph::{EdgeId, NodeId, Point, RoadNetwork, RoadNetworkBuilder};
 pub use hub_labels::HubLabels;
 pub use lru::LruCache;
 pub use path::{expand_route, shortest_path, Path};
+pub use sharded::ShardedLruCache;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, RoadNetError>;

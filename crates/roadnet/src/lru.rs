@@ -138,7 +138,12 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             victim
         } else {
             let idx = self.slots.len() as u32;
-            self.slots.push(Slot { key: key.clone(), value, prev: NIL, next: NIL });
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
             idx
         };
         self.map.insert(key, idx);

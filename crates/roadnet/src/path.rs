@@ -51,7 +51,10 @@ impl Path {
 /// sequence.  Returns `None` if the target is unreachable.
 pub fn shortest_path(net: &RoadNetwork, source: NodeId, target: NodeId) -> Option<Path> {
     if source == target {
-        return Some(Path { nodes: vec![source], cost: 0.0 });
+        return Some(Path {
+            nodes: vec![source],
+            cost: 0.0,
+        });
     }
     let n = net.node_count();
     let mut dist = vec![f64::INFINITY; n];
@@ -59,7 +62,10 @@ pub fn shortest_path(net: &RoadNetwork, source: NodeId, target: NodeId) -> Optio
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source as usize] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node }) = heap.pop() {
         if settled[node as usize] {
             continue;
@@ -88,7 +94,10 @@ pub fn shortest_path(net: &RoadNetwork, source: NodeId, target: NodeId) -> Optio
         nodes.push(cur);
     }
     nodes.reverse();
-    Some(Path { nodes, cost: dist[target as usize] })
+    Some(Path {
+        nodes,
+        cost: dist[target as usize],
+    })
 }
 
 /// Expands an ordered list of way-point nodes (e.g. a vehicle schedule's
@@ -96,8 +105,14 @@ pub fn shortest_path(net: &RoadNetwork, source: NodeId, target: NodeId) -> Optio
 /// once.  Returns `None` if any leg is unreachable.
 pub fn expand_route(net: &RoadNetwork, waypoints: &[NodeId]) -> Option<Path> {
     match waypoints {
-        [] => Some(Path { nodes: Vec::new(), cost: 0.0 }),
-        [single] => Some(Path { nodes: vec![*single], cost: 0.0 }),
+        [] => Some(Path {
+            nodes: Vec::new(),
+            cost: 0.0,
+        }),
+        [single] => Some(Path {
+            nodes: vec![*single],
+            cost: 0.0,
+        }),
         _ => {
             let mut nodes = vec![waypoints[0]];
             let mut cost = 0.0;

@@ -1,0 +1,196 @@
+//! An N-way sharded wrapper around [`LruCache`] for concurrent callers.
+//!
+//! The original engine kept its whole shortest-path cache behind one
+//! `Mutex<LruCache>`, which serialises every `cost()` call — exactly the hot
+//! path the batch-parallel dispatch pipeline hammers from every worker thread.
+//! [`ShardedLruCache`] hashes each key to one of `N` independently locked
+//! shards, so concurrent lookups only contend when they land on the same
+//! shard.  With the default 16 shards and uniformly distributed
+//! `(source, target)` keys, contention on an 8–16 core batch sweep is
+//! negligible while single-threaded overhead stays within noise of the
+//! unsharded cache.
+//!
+//! Sharding affects *eviction locality* only: each shard runs its own LRU over
+//! its slice of the capacity, so the set of retained entries can differ from a
+//! single global LRU.  Lookup results are unaffected — the cache stores exact
+//! values and a miss merely recomputes.
+
+use crate::lru::LruCache;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Default shard count used by the engine (must be ≥ 8 per the scaling plan;
+/// 16 keeps per-shard contention negligible on common core counts).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent LRU cache split into independently locked shards.
+#[derive(Debug)]
+pub struct ShardedLruCache<K: Hash + Eq + Clone, V: Clone> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+    /// Bit mask selecting a shard from a key hash (`shards.len() - 1`).
+    mask: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries in total, spread
+    /// over `shards` shards.  The shard count is rounded up to a power of two
+    /// (minimum 1); a zero capacity disables storage entirely, as in
+    /// [`LruCache`].
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(n)
+        };
+        ShardedLruCache {
+            shards: (0..n)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("sp cache shard poisoned").capacity())
+            .sum()
+    }
+
+    /// Number of currently cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("sp cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() & self.mask) as usize]
+    }
+
+    /// Looks up `key`, refreshing its recency within its shard on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("sp cache shard poisoned")
+            .get(key)
+    }
+
+    /// Inserts `key -> value` into the key's shard, evicting that shard's
+    /// least-recently-used entry if the shard is full.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("sp cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Empties every shard (capacities are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("sp cache shard poisoned").clear();
+        }
+    }
+
+    /// Approximate heap footprint across all shards, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("sp cache shard poisoned").approx_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        let c: ShardedLruCache<u32, u32> = ShardedLruCache::new(1024, 10);
+        assert_eq!(c.shard_count(), 16);
+        let c: ShardedLruCache<u32, u32> = ShardedLruCache::new(1024, 0);
+        assert_eq!(c.shard_count(), 1);
+        let c: ShardedLruCache<u32, u32> = ShardedLruCache::new(1024, 8);
+        assert_eq!(c.shard_count(), 8);
+    }
+
+    #[test]
+    fn get_insert_clear_roundtrip() {
+        let c: ShardedLruCache<(u32, u32), f64> = ShardedLruCache::new(1 << 10, 8);
+        assert!(c.is_empty());
+        for i in 0..100u32 {
+            c.insert((i, i + 1), i as f64);
+        }
+        assert_eq!(c.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(c.get(&(i, i + 1)), Some(i as f64));
+        }
+        assert_eq!(c.get(&(500, 501)), None);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&(0, 1)), None);
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let c: ShardedLruCache<u32, u32> = ShardedLruCache::new(0, 8);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn capacity_is_spread_over_shards() {
+        let c: ShardedLruCache<u32, u32> = ShardedLruCache::new(1 << 10, 8);
+        assert!(c.capacity() >= 1 << 10);
+        // Overfill: per-shard LRUs evict, the total stays bounded.
+        for i in 0..(1 << 12) {
+            c.insert(i, i);
+        }
+        assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        use std::sync::Arc;
+        let cache: Arc<ShardedLruCache<(u32, u32), f64>> =
+            Arc::new(ShardedLruCache::new(1 << 12, 16));
+        let threads: Vec<_> = (0..8u32)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u32 {
+                        let key = ((i + t) % 257, (i * 7 + t) % 263);
+                        let expect = (key.0 * 1000 + key.1) as f64;
+                        if let Some(v) = cache.get(&key) {
+                            assert_eq!(v, expect, "cached value must match what was stored");
+                        } else {
+                            cache.insert(key, expect);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(!cache.is_empty());
+        assert!(cache.approx_bytes() > 0);
+    }
+}

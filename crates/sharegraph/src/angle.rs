@@ -28,14 +28,20 @@ pub struct AnglePruning {
 
 impl Default for AnglePruning {
     fn default() -> Self {
-        AnglePruning { enabled: true, threshold: std::f64::consts::FRAC_PI_2 }
+        AnglePruning {
+            enabled: true,
+            threshold: std::f64::consts::FRAC_PI_2,
+        }
     }
 }
 
 impl AnglePruning {
     /// The configuration used by the SARD variant *without* pruning.
     pub fn disabled() -> Self {
-        AnglePruning { enabled: false, threshold: std::f64::consts::PI }
+        AnglePruning {
+            enabled: false,
+            threshold: std::f64::consts::PI,
+        }
     }
 
     /// The angle `θ` between `−→s_b e_a` and `−→s_b e_b` for a new request `a`
@@ -203,7 +209,10 @@ mod tests {
 
     #[test]
     fn lognormal_pdf_cdf_consistency() {
-        let d = LogNormal { mu: 0.0, sigma: 0.5 };
+        let d = LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        };
         assert_eq!(d.pdf(-1.0), 0.0);
         assert_eq!(d.cdf(0.0), 0.0);
         // Median of a log-normal is exp(mu).
@@ -215,7 +224,10 @@ mod tests {
 
     #[test]
     fn sharing_probability_decreases_with_angle() {
-        let d = LogNormal { mu: 6.0, sigma: 0.6 };
+        let d = LogNormal {
+            mu: 6.0,
+            sigma: 0.6,
+        };
         let p0 = sharing_probability(0.2, 1.5, d);
         let p90 = sharing_probability(FRAC_PI_2, 1.5, d);
         let p180 = sharing_probability(PI * 0.95, 1.5, d);
@@ -231,14 +243,20 @@ mod tests {
         // With a distance distribution of the same flavour the paper fits, the
         // right-angle sharing probability sits in the tens of percent (the
         // paper reports ≈ 41 % on CHD/NYC for γ = 1.5).
-        let d = LogNormal { mu: 6.2, sigma: 0.55 };
+        let d = LogNormal {
+            mu: 6.2,
+            sigma: 0.55,
+        };
         let p = sharing_probability(FRAC_PI_2, 1.5, d);
         assert!(p > 0.1 && p < 0.9, "p = {p}");
     }
 
     #[test]
     fn larger_gamma_increases_sharing_probability() {
-        let d = LogNormal { mu: 6.0, sigma: 0.6 };
+        let d = LogNormal {
+            mu: 6.0,
+            sigma: 0.6,
+        };
         let tight = sharing_probability(FRAC_PI_2, 1.2, d);
         let loose = sharing_probability(FRAC_PI_2, 2.0, d);
         assert!(loose >= tight);

@@ -16,10 +16,27 @@
 //!
 //! Counters for candidate pairs, pruned pairs and exact checks feed the
 //! Table V / Table VI ablation.
+//!
+//! # Parallel batch builds
+//!
+//! [`ShareabilityGraphBuilder::add_batch`] runs the expensive step — the
+//! exact shareability checks, each a small schedule enumeration issuing
+//! shortest-path queries — in parallel: a sequential prefilter pass registers
+//! the batch's requests and collects the surviving candidate pairs *in the
+//! exact order the sequential algorithm would visit them*, the checks are
+//! par-mapped over that list, the batch's [`BuildStats`] delta is folded into
+//! the running totals, and edges are inserted afterwards in the recorded
+//! order.  Because the
+//! prefilters never consult the edge set, deferring the insertions does not
+//! change any decision, so the resulting graph and counters are bit-identical
+//! to [`ShareabilityGraphBuilder::add_batch_sequential`] regardless of the
+//! worker count (a property locked in by the `parallel_determinism`
+//! integration test).
 
 use crate::angle::AnglePruning;
 use crate::graph::ShareabilityGraph;
 use crate::shareable::pairwise_shareable;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use structride_model::{Request, RequestId};
@@ -40,7 +57,11 @@ pub struct BuilderConfig {
 
 impl Default for BuilderConfig {
     fn default() -> Self {
-        BuilderConfig { vehicle_capacity: 4, angle: AnglePruning::default(), grid_cells: 64 }
+        BuilderConfig {
+            vehicle_capacity: 4,
+            angle: AnglePruning::default(),
+            grid_cells: 64,
+        }
     }
 }
 
@@ -55,6 +76,19 @@ pub struct BuildStats {
     pub shareability_checks: u64,
     /// Edges added to the graph.
     pub edges_added: u64,
+}
+
+impl BuildStats {
+    /// Field-wise sum; used to fold a batch's aggregated stats delta into the
+    /// running totals.
+    pub fn merged(self, other: BuildStats) -> BuildStats {
+        BuildStats {
+            candidate_pairs: self.candidate_pairs + other.candidate_pairs,
+            angle_pruned: self.angle_pruned + other.angle_pruned,
+            shareability_checks: self.shareability_checks + other.shareability_checks,
+            edges_added: self.edges_added + other.edges_added,
+        }
+    }
 }
 
 /// Dynamic shareability-graph builder (Algorithm 1).
@@ -140,8 +174,54 @@ impl ShareabilityGraphBuilder {
     }
 
     /// Adds a batch of new requests and discovers their shareability edges
-    /// (Algorithm 1, lines 2–8).
+    /// (Algorithm 1, lines 2–8), fanning the exact shareability checks out
+    /// over the rayon workers.  Bit-identical to
+    /// [`ShareabilityGraphBuilder::add_batch_sequential`]; see the module docs
+    /// for why.
     pub fn add_batch(&mut self, engine: &SpEngine, batch: &[Request]) {
+        // --- phase 1 (sequential): register requests and prefilter, keeping
+        //     the surviving pairs in sequential visit order. -----------------
+        let mut jobs: Vec<(RequestId, RequestId)> = Vec::new();
+        for r in batch {
+            let id = r.id;
+            if self.requests.contains_key(&id) {
+                continue;
+            }
+            self.graph.add_node(id);
+            for cand_id in self.prefilter_candidates(engine, r) {
+                jobs.push((id, cand_id));
+            }
+            let src = engine.coord(r.source);
+            self.source_index.insert(id as u64, src.x, src.y);
+            self.requests.insert(id, r.clone());
+        }
+
+        // --- phase 2 (parallel): the exact checks (line 7).  Every id in
+        //     `jobs` is registered by now and the table is only read. --------
+        let capacity = self.config.vehicle_capacity;
+        let requests = &self.requests;
+        let verdicts: Vec<bool> = jobs
+            .par_iter()
+            .map(|&(a, b)| pairwise_shareable(engine, &requests[&a], &requests[&b], capacity))
+            .collect();
+        self.stats = self.stats.merged(BuildStats {
+            shareability_checks: jobs.len() as u64,
+            edges_added: verdicts.iter().filter(|&&v| v).count() as u64,
+            ..BuildStats::default()
+        });
+
+        // --- phase 3 (sequential): insert edges in the recorded order, which
+        //     is exactly the order the sequential build would use. -----------
+        for (&(a, b), shareable) in jobs.iter().zip(verdicts) {
+            if shareable {
+                self.graph.add_edge(a, b);
+            }
+        }
+    }
+
+    /// Adds a batch one request at a time on the calling thread — the
+    /// reference path the parallel build is checked against.
+    pub fn add_batch_sequential(&mut self, engine: &SpEngine, batch: &[Request]) {
         for r in batch {
             self.add_request(engine, r.clone());
         }
@@ -154,6 +234,28 @@ impl ShareabilityGraphBuilder {
             return;
         }
         self.graph.add_node(id);
+
+        for cand_id in self.prefilter_candidates(engine, &request) {
+            // --- exact shareability check (line 7) ----------------------
+            self.stats.shareability_checks += 1;
+            let other = &self.requests[&cand_id];
+            if pairwise_shareable(engine, &request, other, self.config.vehicle_capacity) {
+                self.graph.add_edge(id, cand_id);
+                self.stats.edges_added += 1;
+            }
+        }
+
+        let src = engine.coord(request.source);
+        self.source_index.insert(id as u64, src.x, src.y);
+        self.requests.insert(id, request);
+    }
+
+    /// Candidate generation and cheap pruning for one incoming request
+    /// (Algorithm 1, lines 4–6): grid range query, deadline/detour window
+    /// checks and the angle rule.  Returns, in deterministic visit order, the
+    /// live request ids that must undergo the exact shareability check, and
+    /// accounts the `candidate_pairs` / `angle_pruned` counters.
+    fn prefilter_candidates(&mut self, engine: &SpEngine, request: &Request) -> Vec<RequestId> {
         let src = engine.coord(request.source);
 
         // --- candidate generation (line 4): spatial + deadline prefilter ----
@@ -165,15 +267,19 @@ impl ShareabilityGraphBuilder {
             let window = (request.deadline - request.release).max(0.0)
                 + structride_model::request::DEFAULT_MAX_WAIT;
             let radius = self.max_speed * window;
-            self.source_index.for_each_in_range(src.x, src.y, radius, |item| {
-                candidates.push(item as RequestId);
-            });
+            self.source_index
+                .for_each_in_range(src.x, src.y, radius, |item| {
+                    candidates.push(item as RequestId);
+                });
         } else {
             candidates.extend(self.requests.keys().copied());
         }
 
+        let mut survivors: Vec<RequestId> = Vec::new();
         for cand_id in candidates {
-            let Some(other) = self.requests.get(&cand_id) else { continue };
+            let Some(other) = self.requests.get(&cand_id) else {
+                continue;
+            };
             // Deadline / detour-tolerance prefilter: the later release must
             // precede the earlier delivery deadline, otherwise no joint
             // schedule can exist.
@@ -193,21 +299,13 @@ impl ShareabilityGraphBuilder {
             self.stats.candidate_pairs += 1;
 
             // --- angle pruning (line 6) ---------------------------------
-            if !self.config.angle.keeps(engine, &request, other) {
+            if !self.config.angle.keeps(engine, request, other) {
                 self.stats.angle_pruned += 1;
                 continue;
             }
-
-            // --- exact shareability check (line 7) ----------------------
-            self.stats.shareability_checks += 1;
-            if pairwise_shareable(engine, &request, other, self.config.vehicle_capacity) {
-                self.graph.add_edge(id, cand_id);
-                self.stats.edges_added += 1;
-            }
+            survivors.push(cand_id);
         }
-
-        self.source_index.insert(id as u64, src.x, src.y);
-        self.requests.insert(id, request);
+        survivors
     }
 
     /// Removes a request (assigned or expired) from the graph and indexes.
@@ -338,7 +436,11 @@ mod tests {
         let mut builder = ShareabilityGraphBuilder::new(&engine, BuilderConfig::default());
         builder.add_batch(
             &engine,
-            &[req(1, 0, 4, 0.0, 40.0, 1.5), req(2, 1, 3, 0.0, 20.0, 1.5), req(3, 2, 4, 0.0, 20.0, 1.5)],
+            &[
+                req(1, 0, 4, 0.0, 40.0, 1.5),
+                req(2, 1, 3, 0.0, 20.0, 1.5),
+                req(3, 2, 4, 0.0, 20.0, 1.5),
+            ],
         );
         let s = builder.stats();
         assert!(s.candidate_pairs >= s.shareability_checks);

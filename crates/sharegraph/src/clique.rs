@@ -164,7 +164,10 @@ mod tests {
         let loose = bounded_clique_partition_upper_bound(100, 300, 1.0, 6);
         let tight = bounded_clique_partition_upper_bound(100, 300, 1.0, 2);
         assert!(tight >= loose);
-        assert_eq!(bounded_clique_partition_upper_bound(10, 5, 2.5, 0), usize::MAX);
+        assert_eq!(
+            bounded_clique_partition_upper_bound(10, 5, 2.5, 0),
+            usize::MAX
+        );
     }
 
     #[test]

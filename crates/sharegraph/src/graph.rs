@@ -61,7 +61,10 @@ impl ShareabilityGraph {
 
     /// True if the undirected edge exists.
     pub fn has_edge(&self, a: RequestId, b: RequestId) -> bool {
-        self.adjacency.get(&a).map(|n| n.contains(&b)).unwrap_or(false)
+        self.adjacency
+            .get(&a)
+            .map(|n| n.contains(&b))
+            .unwrap_or(false)
     }
 
     /// Removes a node and all incident edges.  Returns true if it existed.
@@ -88,7 +91,10 @@ impl ShareabilityGraph {
 
     /// Neighbor set of a node (empty for missing nodes).
     pub fn neighbors(&self, id: RequestId) -> impl Iterator<Item = RequestId> + '_ {
-        self.adjacency.get(&id).into_iter().flat_map(|s| s.iter().copied())
+        self.adjacency
+            .get(&id)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
     }
 
     /// Neighbor set as a `HashSet` clone (handy for set algebra in the
@@ -160,8 +166,12 @@ impl ShareabilityGraph {
     /// Removes every node not in `keep` (used when a batch ends and expired
     /// requests must leave the graph).
     pub fn retain_nodes(&mut self, keep: &HashSet<RequestId>) {
-        let to_remove: Vec<RequestId> =
-            self.adjacency.keys().copied().filter(|id| !keep.contains(id)).collect();
+        let to_remove: Vec<RequestId> = self
+            .adjacency
+            .keys()
+            .copied()
+            .filter(|id| !keep.contains(id))
+            .collect();
         for id in to_remove {
             self.remove_node(id);
         }

@@ -29,10 +29,17 @@ pub fn shareability_loss(graph: &ShareabilityGraph, group: &[RequestId]) -> f64 
             let mut worst = f64::NEG_INFINITY;
             for (i, &r) in group.iter().enumerate() {
                 let mut rest: Vec<RequestId> = Vec::with_capacity(group.len() - 1);
-                rest.extend(group.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v));
+                rest.extend(
+                    group
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, &v)| v),
+                );
                 let rest_common = graph.common_neighbors(&rest);
-                let value =
-                    rest_common.len() as f64 + graph.degree(r) as f64 - full_common.len() as f64 - 1.0;
+                let value = rest_common.len() as f64 + graph.degree(r) as f64
+                    - full_common.len() as f64
+                    - 1.0;
                 if value > worst {
                     worst = value;
                 }
@@ -67,7 +74,10 @@ pub fn forced_pairs(graph: &ShareabilityGraph) -> Vec<(RequestId, RequestId)> {
         if used.contains(&v) || graph.degree(v) != 1 {
             continue;
         }
-        let neighbor = graph.neighbors(v).next().expect("degree-1 node has a neighbor");
+        let neighbor = graph
+            .neighbors(v)
+            .next()
+            .expect("degree-1 node has a neighbor");
         if used.contains(&neighbor) {
             continue;
         }

@@ -60,7 +60,8 @@ pub fn pairwise_shareable_from(
 /// Symmetric shareability test (Definition 5): true if the two requests can be
 /// served together by one vehicle of seat capacity `capacity`, in any order.
 pub fn pairwise_shareable(engine: &SpEngine, a: &Request, b: &Request, capacity: u32) -> bool {
-    pairwise_shareable_from(engine, a, b, capacity) || pairwise_shareable_from(engine, b, a, capacity)
+    pairwise_shareable_from(engine, a, b, capacity)
+        || pairwise_shareable_from(engine, b, a, capacity)
 }
 
 #[cfg(test)]
@@ -159,6 +160,10 @@ mod tests {
         let sb = Waypoint::pickup(&b);
         let eb = Waypoint::dropoff(&b);
         let interleaved = Schedule::from_waypoints(vec![sa, sb, eb, ea]);
-        assert!(!interleaved.evaluate(&engine, a.source, a.release, 0, 4).feasible);
+        assert!(
+            !interleaved
+                .evaluate(&engine, a.source, a.release, 0, 4)
+                .feasible
+        );
     }
 }

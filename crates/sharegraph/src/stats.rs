@@ -43,7 +43,11 @@ pub fn degree_histogram(graph: &ShareabilityGraph) -> Vec<usize> {
 /// `η ≈ 1 + n / Σ ln(d_i / d_min)`.  Returns `None` for degenerate inputs
 /// (fewer than 5 positive degrees or all degrees equal).
 pub fn estimate_power_law_eta(degrees: &[usize]) -> Option<f64> {
-    let positive: Vec<f64> = degrees.iter().filter(|&&d| d > 0).map(|&d| d as f64).collect();
+    let positive: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d > 0)
+        .map(|&d| d as f64)
+        .collect();
     if positive.len() < 5 {
         return None;
     }
@@ -72,7 +76,11 @@ pub fn graph_stats(graph: &ShareabilityGraph) -> GraphStats {
         edges,
         average_degree,
         max_degree,
-        isolated_fraction: if nodes == 0 { 0.0 } else { isolated as f64 / nodes as f64 },
+        isolated_fraction: if nodes == 0 {
+            0.0
+        } else {
+            isolated as f64 / nodes as f64
+        },
         power_law_eta: estimate_power_law_eta(&degrees),
     }
 }

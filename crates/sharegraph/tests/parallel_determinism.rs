@@ -1,0 +1,109 @@
+//! Locks in the contract of the parallel batch build: on any workload, the
+//! rayon-parallel `add_batch` must produce exactly the same shareability
+//! graph and `BuildStats` as the forced-sequential reference path, batch by
+//! batch.
+
+use structride_datagen::{CityProfile, Workload, WorkloadParams};
+use structride_model::RequestId;
+use structride_sharegraph::builder::BuilderConfig;
+use structride_sharegraph::{AnglePruning, ShareabilityGraphBuilder};
+
+/// The full edge set as a sorted list of normalised `(min, max)` pairs.
+fn edge_set(builder: &ShareabilityGraphBuilder) -> Vec<(RequestId, RequestId)> {
+    let graph = builder.graph();
+    let mut edges: Vec<(RequestId, RequestId)> = Vec::new();
+    for node in graph.nodes() {
+        for neighbor in graph.neighbors(node) {
+            if node < neighbor {
+                edges.push((node, neighbor));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+fn seeded_workload(seed: u64) -> Workload {
+    Workload::generate(WorkloadParams {
+        num_requests: 220,
+        num_vehicles: 10,
+        horizon: 400.0,
+        scale: 0.4,
+        seed,
+        ..WorkloadParams::small(CityProfile::NycLike)
+    })
+}
+
+#[test]
+fn parallel_batch_build_matches_sequential_build() {
+    for (seed, angle) in [
+        (41u64, AnglePruning::default()),
+        (42, AnglePruning::disabled()),
+    ] {
+        let w = seeded_workload(seed);
+        let config = BuilderConfig {
+            vehicle_capacity: 4,
+            angle,
+            grid_cells: 32,
+        };
+
+        let mut parallel = ShareabilityGraphBuilder::new(&w.engine, config);
+        parallel.add_batch(&w.engine, &w.requests);
+
+        let mut sequential = ShareabilityGraphBuilder::new(&w.engine, config);
+        sequential.add_batch_sequential(&w.engine, &w.requests);
+
+        assert_eq!(
+            edge_set(&parallel),
+            edge_set(&sequential),
+            "seed {seed}: edge sets differ"
+        );
+        assert_eq!(
+            parallel.stats(),
+            sequential.stats(),
+            "seed {seed}: stats differ"
+        );
+        assert_eq!(
+            parallel.stats().edges_added as usize,
+            edge_set(&parallel).len(),
+            "edges_added must count exactly the edges present"
+        );
+        assert!(
+            parallel.graph().edge_count() > 0,
+            "workload must be non-trivial"
+        );
+        for node in parallel.graph().nodes() {
+            assert_eq!(
+                parallel.graph().degree(node),
+                sequential.graph().degree(node)
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_parallel_batches_match_sequential_batches() {
+    let w = seeded_workload(7);
+    let config = BuilderConfig::default();
+    let mut parallel = ShareabilityGraphBuilder::new(&w.engine, config);
+    let mut sequential = ShareabilityGraphBuilder::new(&w.engine, config);
+
+    // Feed the stream in uneven batches, checking equality after every batch —
+    // the live working set (carried-over requests) must stay in lockstep too.
+    for chunk in w.requests.chunks(37) {
+        parallel.add_batch(&w.engine, chunk);
+        sequential.add_batch_sequential(&w.engine, chunk);
+        assert_eq!(edge_set(&parallel), edge_set(&sequential));
+        assert_eq!(parallel.stats(), sequential.stats());
+    }
+
+    // Removals keep the two in lockstep as well.
+    let victims: Vec<RequestId> = w.requests.iter().take(40).map(|r| r.id).collect();
+    for id in victims {
+        assert_eq!(parallel.remove_request(id), sequential.remove_request(id));
+    }
+    parallel.remove_expired(200.0);
+    sequential.remove_expired(200.0);
+    assert_eq!(edge_set(&parallel), edge_set(&sequential));
+    assert_eq!(parallel.len(), sequential.len());
+}

@@ -19,7 +19,10 @@ impl Vec2 {
 
     /// The vector pointing from `from` to `to`, given as `(x, y)` pairs.
     pub fn from_points(from: (f64, f64), to: (f64, f64)) -> Self {
-        Vec2 { x: to.0 - from.0, y: to.1 - from.1 }
+        Vec2 {
+            x: to.0 - from.0,
+            y: to.1 - from.1,
+        }
     }
 
     /// Dot product.

@@ -34,7 +34,10 @@ impl GridIndex {
     /// Panics if the extent is empty or `cells_per_side == 0`.
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64, cells_per_side: u32) -> Self {
         assert!(cells_per_side > 0, "grid needs at least one cell per side");
-        assert!(max_x > min_x && max_y > min_y, "grid extent must be non-empty");
+        assert!(
+            max_x > min_x && max_y > min_y,
+            "grid extent must be non-empty"
+        );
         let extent = (max_x - min_x).max(max_y - min_y);
         GridIndex {
             min_x,

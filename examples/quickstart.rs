@@ -76,14 +76,23 @@ fn main() {
     // Inspect the shareability graph the SARD builder constructs (Fig. 1(b)).
     let mut builder = ShareabilityGraphBuilder::new(
         &engine,
-        BuilderConfig { vehicle_capacity: 3, angle: AnglePruning::disabled(), grid_cells: 8 },
+        BuilderConfig {
+            vehicle_capacity: 3,
+            angle: AnglePruning::disabled(),
+            grid_cells: 8,
+        },
     );
     builder.add_batch(&engine, &requests);
     println!("\n== Shareability graph ==");
     for r in &requests {
         let mut neighbors: Vec<_> = builder.graph().neighbors(r.id).collect();
         neighbors.sort_unstable();
-        println!("  r{} (degree {}): shares with {:?}", r.id, builder.graph().degree(r.id), neighbors);
+        println!(
+            "  r{} (degree {}): shares with {:?}",
+            r.id,
+            builder.graph().degree(r.id),
+            neighbors
+        );
     }
 
     // Dispatch the batch with the online baseline and with SARD.
@@ -94,13 +103,15 @@ fn main() {
     };
     let vehicles = || vec![Vehicle::new(1, 0, 3), Vehicle::new(2, 2, 3)];
 
+    let ctx = DispatchContext::new(&engine, config, 5.0);
+
     let mut gdp = PruneGdp::new();
     let mut gdp_vehicles = vehicles();
-    let gdp_out = gdp.dispatch_batch(&engine, &mut gdp_vehicles, &requests, 5.0);
+    let gdp_out = gdp.dispatch_batch(&ctx, &mut gdp_vehicles, &requests);
 
     let mut sard = SardDispatcher::new(config);
     let mut sard_vehicles = vehicles();
-    let sard_out = sard.dispatch_batch(&engine, &mut sard_vehicles, &requests, 5.0);
+    let sard_out = sard.dispatch_batch(&ctx, &mut sard_vehicles, &requests);
 
     println!("\n== Dispatch results ==");
     println!("  pruneGDP serves {:?}", gdp_out.assigned);

@@ -21,9 +21,14 @@ fn main() {
     let mut vehicles = workload.fresh_vehicles();
 
     // Dispatch the first batch worth of requests in one shot.
-    let batch: Vec<Request> =
-        workload.requests.iter().filter(|r| r.release <= 30.0).cloned().collect();
-    let outcome = sard.dispatch_batch(&workload.engine, &mut vehicles, &batch, 30.0);
+    let batch: Vec<Request> = workload
+        .requests
+        .iter()
+        .filter(|r| r.release <= 30.0)
+        .cloned()
+        .collect();
+    let ctx = DispatchContext::new(&workload.engine, config, 30.0);
+    let outcome = sard.dispatch_batch(&ctx, &mut vehicles, &batch);
     println!(
         "Dispatched {} of {} early requests onto {} vehicles\n",
         outcome.assigned.len(),

@@ -13,11 +13,38 @@
 //!   tree, unified cost;
 //! * [`sharegraph`] — the shareability graph, its dynamic builder with angle
 //!   pruning, and the shareability loss;
-//! * [`core`] — request grouping (Algorithm 2), the SARD dispatcher
-//!   (Algorithm 3), the batched simulator and the run metrics;
+//! * [`core`] — the per-batch [`DispatchContext`](prelude::DispatchContext),
+//!   request grouping (Algorithm 2), the SARD dispatcher (Algorithm 3), the
+//!   batched simulator and the run metrics;
 //! * [`baselines`] — pruneGDP, TicketAssign+, GAS, RTV and the DARM-style
 //!   repositioning baseline;
 //! * [`datagen`] — synthetic CHD/NYC/Cainiao-like workload generators.
+//!
+//! ## The parallel batch pipeline
+//!
+//! Every batch-scoped hot path fans out across worker threads while staying
+//! **deterministic** — the same inputs produce the same assignments and the
+//! same shareability graph regardless of the worker count:
+//!
+//! * [`SpEngine`](prelude::SpEngine) shards its shortest-path LRU cache
+//!   (16 ways by default), so concurrent `cost()` queries from dispatch
+//!   workers don't serialise on a global lock;
+//! * [`ShareabilityGraphBuilder`](prelude::ShareabilityGraphBuilder)
+//!   par-maps the exact pairwise shareability checks of Algorithm 1 over the
+//!   prefiltered candidate list and inserts the discovered edges in
+//!   sequential order (bit-identical to its `add_batch_sequential` reference
+//!   path);
+//! * [`SardDispatcher`](prelude::SardDispatcher) par-maps its per-request
+//!   candidate-queue construction and the per-vehicle group enumeration of
+//!   each acceptance round, reducing with stable `(cost, vehicle_id)`
+//!   tie-breaks;
+//! * the [`Simulator`](prelude::Simulator) moves vehicles between batches in
+//!   parallel and hands each batch to the dispatcher through a
+//!   [`DispatchContext`](prelude::DispatchContext) — the engine + config +
+//!   clock + scratch-counter bundle whose module docs state the parallel
+//!   invariants dispatchers must preserve.
+//!
+//! Set `RAYON_NUM_THREADS=1` to force the whole pipeline sequential.
 //!
 //! ## Quickstart
 //!
@@ -66,8 +93,8 @@ pub mod prelude {
     //! The names most programs need, in one import.
     pub use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
     pub use structride_core::{
-        BatchOutcome, Dispatcher, RunMetrics, SardDispatcher, SimulationReport, Simulator,
-        StructRideConfig,
+        BatchOutcome, DispatchContext, Dispatcher, RunMetrics, SardDispatcher, SimulationReport,
+        Simulator, StructRideConfig,
     };
     pub use structride_datagen::{CityProfile, Workload, WorkloadParams};
     pub use structride_model::{
@@ -114,13 +141,25 @@ mod tests {
     #[test]
     fn suites_have_expected_members() {
         let config = StructRideConfig::default();
-        let names: Vec<&str> =
-            standard_dispatcher_suite(config).iter().map(|d| d.name()).collect();
+        let names: Vec<&str> = standard_dispatcher_suite(config)
+            .iter()
+            .map(|d| d.name())
+            .collect();
         assert_eq!(
             names,
-            vec!["RTV", "pruneGDP", "DARM+DPRS", "GAS", "TicketAssign+", "SARD"]
+            vec![
+                "RTV",
+                "pruneGDP",
+                "DARM+DPRS",
+                "GAS",
+                "TicketAssign+",
+                "SARD"
+            ]
         );
-        let batch: Vec<&str> = batch_dispatcher_suite(config).iter().map(|d| d.name()).collect();
+        let batch: Vec<&str> = batch_dispatcher_suite(config)
+            .iter()
+            .map(|d| d.name())
+            .collect();
         assert_eq!(batch, vec!["RTV", "GAS", "SARD"]);
     }
 }

@@ -19,21 +19,36 @@ fn run(workload: &Workload, config: StructRideConfig) -> RunMetrics {
     workload.engine.clear_cache();
     let mut sard = SardDispatcher::new(config);
     Simulator::new(config)
-        .run(&workload.engine, &workload.requests, workload.fresh_vehicles(), &mut sard, &workload.name)
+        .run(
+            &workload.engine,
+            &workload.requests,
+            workload.fresh_vehicles(),
+            &mut sard,
+            &workload.name,
+        )
         .metrics
 }
 
 #[test]
 fn sard_works_with_a_single_candidate_vehicle_per_request() {
     let w = workload(3, 0.0);
-    let config = StructRideConfig { max_candidate_vehicles: 1, ..Default::default() };
+    let config = StructRideConfig {
+        max_candidate_vehicles: 1,
+        ..Default::default()
+    };
     let m = run(&w, config);
     assert!(m.served_requests > 0);
     assert!((0.0..=1.0).contains(&m.service_rate()));
     // A wider candidate neighbourhood can only help (or tie) on service rate
     // at this deterministic instance… but it is not guaranteed, so only check
     // both runs are sane rather than their ordering.
-    let wide = run(&w, StructRideConfig { max_candidate_vehicles: 16, ..Default::default() });
+    let wide = run(
+        &w,
+        StructRideConfig {
+            max_candidate_vehicles: 16,
+            ..Default::default()
+        },
+    );
     assert!(wide.served_requests > 0);
 }
 
@@ -81,7 +96,11 @@ fn heterogeneous_fleet_capacities_are_respected() {
     // delivered and the run stayed consistent.
     assert_eq!(
         report.served.len(),
-        report.vehicles.iter().map(|v| v.completed.len()).sum::<usize>()
+        report
+            .vehicles
+            .iter()
+            .map(|v| v.completed.len())
+            .sum::<usize>()
     );
 }
 
@@ -90,9 +109,11 @@ fn zero_vehicles_serve_nothing_but_do_not_crash() {
     let w = workload(13, 0.0);
     let config = StructRideConfig::default();
     let mut sard = SardDispatcher::new(config);
-    let report =
-        Simulator::new(config).run(&w.engine, &w.requests, Vec::new(), &mut sard, &w.name);
+    let report = Simulator::new(config).run(&w.engine, &w.requests, Vec::new(), &mut sard, &w.name);
     assert_eq!(report.metrics.served_requests, 0);
     assert_eq!(report.metrics.total_travel, 0.0);
-    assert!(report.metrics.unified_cost > 0.0, "all requests are penalised");
+    assert!(
+        report.metrics.unified_cost > 0.0,
+        "all requests are penalised"
+    );
 }

@@ -18,7 +18,11 @@ fn small_workload(city: CityProfile, seed: u64) -> Workload {
     })
 }
 
-fn run(workload: &Workload, dispatcher: &mut dyn Dispatcher, config: StructRideConfig) -> SimulationReport {
+fn run(
+    workload: &Workload,
+    dispatcher: &mut dyn Dispatcher,
+    config: StructRideConfig,
+) -> SimulationReport {
     // Each algorithm run starts from a cold shortest-path cache so that query
     // counts and runtimes are comparable across runs sharing one engine.
     workload.engine.clear_cache();
@@ -41,21 +45,37 @@ fn every_dispatcher_produces_consistent_metrics() {
         assert_eq!(m.total_requests, workload.requests.len(), "{}", m.algorithm);
         assert!(m.served_requests <= m.total_requests, "{}", m.algorithm);
         assert!((0.0..=1.0).contains(&m.service_rate()), "{}", m.algorithm);
-        assert!(m.total_travel >= 0.0 && m.total_travel.is_finite(), "{}", m.algorithm);
+        assert!(
+            m.total_travel >= 0.0 && m.total_travel.is_finite(),
+            "{}",
+            m.algorithm
+        );
         // Unified cost decomposes exactly into travel + penalties.
         let expected = m.total_travel + config.cost.penalty_coefficient * m.unserved_direct_cost;
         assert!((m.unified_cost - expected).abs() < 1e-6, "{}", m.algorithm);
         // Each served request is delivered exactly once across the fleet.
-        let mut delivered: Vec<RequestId> =
-            report.vehicles.iter().flat_map(|v| v.completed.iter().copied()).collect();
+        let mut delivered: Vec<RequestId> = report
+            .vehicles
+            .iter()
+            .flat_map(|v| v.completed.iter().copied())
+            .collect();
         let unique: HashSet<RequestId> = delivered.iter().copied().collect();
-        assert_eq!(unique.len(), delivered.len(), "{}: no double deliveries", m.algorithm);
+        assert_eq!(
+            unique.len(),
+            delivered.len(),
+            "{}: no double deliveries",
+            m.algorithm
+        );
         delivered.sort_unstable();
         let mut served: Vec<RequestId> = report.served.iter().copied().collect();
         served.sort_unstable();
         assert_eq!(delivered, served, "{}: assigned == delivered", m.algorithm);
         // Schedules are fully executed by the end of the simulation.
-        assert!(report.vehicles.iter().all(|v| v.schedule.is_empty()), "{}", m.algorithm);
+        assert!(
+            report.vehicles.iter().all(|v| v.schedule.is_empty()),
+            "{}",
+            m.algorithm
+        );
     }
 }
 
@@ -64,10 +84,15 @@ fn batch_methods_serve_at_least_as_many_as_the_online_greedy() {
     let workload = small_workload(CityProfile::ChengduLike, 11);
     let config = StructRideConfig::default();
 
-    let gdp_served = run(&workload, &mut PruneGdp::new(), config).metrics.served_requests;
-    let sard_served =
-        run(&workload, &mut SardDispatcher::new(config), config).metrics.served_requests;
-    let gas_served = run(&workload, &mut Gas::default(), config).metrics.served_requests;
+    let gdp_served = run(&workload, &mut PruneGdp::new(), config)
+        .metrics
+        .served_requests;
+    let sard_served = run(&workload, &mut SardDispatcher::new(config), config)
+        .metrics
+        .served_requests;
+    let gas_served = run(&workload, &mut Gas::default(), config)
+        .metrics
+        .served_requests;
 
     // The paper's headline qualitative result (Figs. 8–13): batch-based
     // methods achieve service rates at least as high as the online insertion
@@ -76,7 +101,10 @@ fn batch_methods_serve_at_least_as_many_as_the_online_greedy() {
         sard_served + 3 >= gdp_served,
         "SARD served {sard_served}, pruneGDP {gdp_served}"
     );
-    assert!(gas_served + 3 >= gdp_served, "GAS served {gas_served}, pruneGDP {gdp_served}");
+    assert!(
+        gas_served + 3 >= gdp_served,
+        "GAS served {gas_served}, pruneGDP {gdp_served}"
+    );
     // And at least someone gets served at all.
     assert!(gdp_served > 0 && sard_served > 0);
 }
@@ -98,10 +126,12 @@ fn looser_deadlines_never_hurt_sard_service_rate() {
     let config = StructRideConfig::default();
     let tight = Workload::generate(tight_params);
     let loose = Workload::generate(loose_params);
-    let tight_rate =
-        run(&tight, &mut SardDispatcher::new(config), config).metrics.service_rate();
-    let loose_rate =
-        run(&loose, &mut SardDispatcher::new(config), config).metrics.service_rate();
+    let tight_rate = run(&tight, &mut SardDispatcher::new(config), config)
+        .metrics
+        .service_rate();
+    let loose_rate = run(&loose, &mut SardDispatcher::new(config), config)
+        .metrics
+        .service_rate();
     // Fig. 10: relaxing γ increases (or preserves) the service rate.
     assert!(
         loose_rate + 0.05 >= tight_rate,
@@ -143,7 +173,9 @@ fn penalty_coefficient_scales_unified_cost_monotonically() {
     // decisions; the unified cost simply re-weights the unserved penalty.
     let mut last = f64::NEG_INFINITY;
     for pr in [2.0, 5.0, 10.0, 20.0, 30.0] {
-        let cost = report.metrics.unified_cost_with(&CostParams::with_penalty(pr));
+        let cost = report
+            .metrics
+            .unified_cost_with(&CostParams::with_penalty(pr));
         assert!(cost >= last);
         last = cost;
     }
@@ -153,10 +185,19 @@ fn penalty_coefficient_scales_unified_cost_monotonically() {
 fn rtv_memory_footprint_exceeds_the_online_methods() {
     let workload = small_workload(CityProfile::NycLike, 19);
     let config = StructRideConfig::default();
-    let rtv_mem = run(&workload, &mut Rtv::new(config.cost.penalty_coefficient), config)
+    let rtv_mem = run(
+        &workload,
+        &mut Rtv::new(config.cost.penalty_coefficient),
+        config,
+    )
+    .metrics
+    .memory_bytes;
+    let gdp_mem = run(&workload, &mut PruneGdp::new(), config)
         .metrics
         .memory_bytes;
-    let gdp_mem = run(&workload, &mut PruneGdp::new(), config).metrics.memory_bytes;
     // Fig. 14: the RTV graph dominates the memory comparison.
-    assert!(rtv_mem > gdp_mem, "RTV {rtv_mem} bytes vs pruneGDP {gdp_mem} bytes");
+    assert!(
+        rtv_mem > gdp_mem,
+        "RTV {rtv_mem} bytes vs pruneGDP {gdp_mem} bytes"
+    );
 }

@@ -59,7 +59,11 @@ fn figure1_shareability_graph_contains_the_papers_edges() {
     let requests = table1_requests(&engine);
     let mut builder = ShareabilityGraphBuilder::new(
         &engine,
-        BuilderConfig { vehicle_capacity: 3, angle: AnglePruning::disabled(), grid_cells: 8 },
+        BuilderConfig {
+            vehicle_capacity: 3,
+            angle: AnglePruning::disabled(),
+            grid_cells: 8,
+        },
     );
     builder.add_batch(&engine, &requests);
     let g = builder.graph();
@@ -108,20 +112,18 @@ fn example2_grouping_tree_prunes_infeasible_combinations() {
 
     let mut builder = ShareabilityGraphBuilder::new(
         &engine,
-        BuilderConfig { vehicle_capacity: 3, angle: AnglePruning::disabled(), grid_cells: 8 },
+        BuilderConfig {
+            vehicle_capacity: 3,
+            angle: AnglePruning::disabled(),
+            grid_cells: 8,
+        },
     );
     builder.add_batch(&engine, &requests);
 
     // A hypothetical vehicle at node a with capacity 3, as in Example 2.
     let vehicle = Vehicle::new(1, 0, 3);
-    let groups = enumerate_groups(
-        &engine,
-        builder.graph(),
-        &map,
-        &[1, 2, 3, 4],
-        &vehicle,
-        3,
-    );
+    let ctx = DispatchContext::new(&engine, StructRideConfig::default(), 0.0);
+    let groups = enumerate_groups(&ctx, builder.graph(), &map, &[1, 2, 3, 4], &vehicle, 3);
     // Every group is a clique of the shareability graph (Lemma IV.1b)…
     for g in &groups {
         assert!(clique::is_clique(builder.graph(), &g.members));
@@ -133,7 +135,10 @@ fn example2_grouping_tree_prunes_infeasible_combinations() {
         .iter()
         .all(|g| !(g.members.contains(&3) && g.members.contains(&4))));
     // The example's key group {r1, r3} exists and shares the trip efficiently.
-    let pair = groups.iter().find(|g| g.members == vec![1, 3]).expect("{r1, r3} is feasible");
+    let pair = groups
+        .iter()
+        .find(|g| g.members == vec![1, 3])
+        .expect("{r1, r3} is feasible");
     assert!(pair.sharing_ratio() <= 1.0);
 }
 
@@ -148,8 +153,13 @@ fn example1_sard_serves_all_four_requests() {
         ..Default::default()
     };
     let mut sard = SardDispatcher::new(config);
-    let out = sard.dispatch_batch(&engine, &mut vehicles, &requests, 5.0);
-    assert_eq!(out.assigned, vec![1, 2, 3, 4], "SARD serves every request of Example 1");
+    let ctx = DispatchContext::new(&engine, config, 5.0);
+    let out = sard.dispatch_batch(&ctx, &mut vehicles, &requests);
+    assert_eq!(
+        out.assigned,
+        vec![1, 2, 3, 4],
+        "SARD serves every request of Example 1"
+    );
     for v in &vehicles {
         assert!(v.evaluate_current(&engine).feasible);
     }
@@ -159,6 +169,6 @@ fn example1_sard_serves_all_four_requests() {
     // weights are close but not identical, so only the ordering is asserted).
     let mut vehicles = vec![Vehicle::new(1, 0, 3), Vehicle::new(2, 2, 3)];
     let mut gdp = PruneGdp::new();
-    let gdp_out = gdp.dispatch_batch(&engine, &mut vehicles, &requests, 5.0);
+    let gdp_out = gdp.dispatch_batch(&ctx, &mut vehicles, &requests);
     assert!(gdp_out.assigned.len() <= out.assigned.len());
 }

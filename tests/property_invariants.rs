@@ -30,7 +30,16 @@ fn build_request(engine: &SpEngine, id: u32, raw: (u32, u32, f64, f64)) -> Optio
     if !cost.is_finite() || cost <= 0.0 {
         return None;
     }
-    Some(Request::with_detour(id, source, destination, 1, release, cost, 1.0 + gamma, 300.0))
+    Some(Request::with_detour(
+        id,
+        source,
+        destination,
+        1,
+        release,
+        cost,
+        1.0 + gamma,
+        300.0,
+    ))
 }
 
 proptest! {
