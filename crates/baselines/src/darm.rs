@@ -199,47 +199,31 @@ impl Dispatcher for DemandRepositioning {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_core::StructRideConfig;
-    use structride_roadnet::{Point, RoadNetworkBuilder};
-
-    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
-        DispatchContext::new(engine, StructRideConfig::default(), now)
-    }
-
-    fn line_engine() -> SpEngine {
-        let mut b = RoadNetworkBuilder::new();
-        for i in 0..10 {
-            b.add_node(Point::new(i as f64 * 100.0, 0.0));
-        }
-        for i in 1..10u32 {
-            b.add_bidirectional(i - 1, i, 10.0).unwrap();
-        }
-        SpEngine::new(b.build().unwrap())
-    }
-
-    fn req(id: u32, s: u32, e: u32, cost: f64) -> Request {
-        Request::with_detour(id, s, e, 1, 0.0, cost, 2.0, 300.0)
-    }
+    use crate::testutil::{ctx, line_engine, req};
 
     #[test]
     fn matches_requests_like_a_greedy_baseline() {
-        let engine = line_engine();
+        let engine = line_engine(10);
         let mut vehicles = vec![Vehicle::new(0, 0, 4), Vehicle::new(1, 9, 4)];
         let mut darm = DemandRepositioning::new();
-        let out = darm.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &[req(1, 1, 3, 20.0)]);
+        let out = darm.dispatch_batch(
+            &ctx(&engine, 0.0),
+            &mut vehicles,
+            &[req(1, 1, 3, 20.0, 2.0)],
+        );
         assert_eq!(out.assigned, vec![1]);
         assert!(vehicles[0].schedule.contains_request(1));
     }
 
     #[test]
     fn repositions_idle_vehicles_toward_demand() {
-        let engine = line_engine();
+        let engine = line_engine(10);
         // Vehicle 1 stays idle far from the demand concentrated at node 8.
         let mut vehicles = vec![Vehicle::new(0, 8, 4), Vehicle::new(1, 0, 4)];
         let mut darm = DemandRepositioning::new();
         // Several batches of demand near node 8 that vehicle 0 absorbs.
         for batch in 0..3u32 {
-            let r = req(10 + batch, 8, 9, 10.0);
+            let r = req(10 + batch, 8, 9, 10.0, 2.0);
             darm.dispatch_batch(&ctx(&engine, batch as f64 * 5.0), &mut vehicles, &[r]);
         }
         // The idle vehicle 1 was eventually pulled toward the hot area and the
@@ -254,7 +238,7 @@ mod tests {
 
     #[test]
     fn no_demand_means_no_repositioning() {
-        let engine = line_engine();
+        let engine = line_engine(10);
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let mut darm = DemandRepositioning::new();
         let out = darm.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &[]);

@@ -146,31 +146,11 @@ impl Dispatcher for Gas {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_core::StructRideConfig;
-    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
-
-    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
-        DispatchContext::new(engine, StructRideConfig::default(), now)
-    }
-
-    fn line_engine() -> SpEngine {
-        let mut b = RoadNetworkBuilder::new();
-        for i in 0..6 {
-            b.add_node(Point::new(i as f64 * 100.0, 0.0));
-        }
-        for i in 1..6u32 {
-            b.add_bidirectional(i - 1, i, 10.0).unwrap();
-        }
-        SpEngine::new(b.build().unwrap())
-    }
-
-    fn req(id: u32, s: u32, e: u32, cost: f64, gamma: f64) -> Request {
-        Request::with_detour(id, s, e, 1, 0.0, cost, gamma, 300.0)
-    }
+    use crate::testutil::{ctx, line_engine, req};
 
     #[test]
     fn picks_the_most_profitable_group() {
-        let engine = line_engine();
+        let engine = line_engine(6);
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         // A long request plus a compatible short one versus a lone medium one:
         // the pair has the larger total length, so GAS serves the pair.
@@ -190,7 +170,7 @@ mod tests {
 
     #[test]
     fn pending_requests_retry_and_expire() {
-        let engine = line_engine();
+        let engine = line_engine(6);
         // No vehicles at all: everything stays pending.
         let mut gas = Gas::default();
         let r = req(1, 0, 2, 20.0, 2.0);
@@ -225,7 +205,7 @@ mod tests {
 
     #[test]
     fn memory_grows_with_enumeration() {
-        let engine = line_engine();
+        let engine = line_engine(6);
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let mut gas = Gas::default();
         let base = gas.memory_bytes();

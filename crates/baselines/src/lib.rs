@@ -27,6 +27,8 @@ pub mod darm;
 pub mod gas;
 pub mod prunegdp;
 pub mod rtv;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod ticket;
 
 pub use darm::DemandRepositioning;

@@ -74,31 +74,11 @@ impl Dispatcher for PruneGdp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_core::StructRideConfig;
-    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
-
-    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
-        DispatchContext::new(engine, StructRideConfig::default(), now)
-    }
-
-    fn line_engine() -> SpEngine {
-        let mut b = RoadNetworkBuilder::new();
-        for i in 0..5 {
-            b.add_node(Point::new(i as f64 * 100.0, 0.0));
-        }
-        for i in 1..5u32 {
-            b.add_bidirectional(i - 1, i, 10.0).unwrap();
-        }
-        SpEngine::new(b.build().unwrap())
-    }
-
-    fn req(id: u32, s: u32, e: u32, cost: f64, gamma: f64) -> Request {
-        Request::with_detour(id, s, e, 1, 0.0, cost, gamma, 300.0)
-    }
+    use crate::testutil::{ctx, line_engine, req};
 
     #[test]
     fn assigns_to_cheapest_vehicle() {
-        let engine = line_engine();
+        let engine = line_engine(5);
         let mut vehicles = vec![Vehicle::new(0, 4, 4), Vehicle::new(1, 1, 4)];
         let mut gdp = PruneGdp::new();
         let r = req(1, 1, 3, 20.0, 1.5);
@@ -112,7 +92,7 @@ mod tests {
 
     #[test]
     fn rejects_infeasible_requests_immediately() {
-        let engine = line_engine();
+        let engine = line_engine(5);
         let mut vehicles = vec![Vehicle::new(0, 4, 4)];
         let mut gdp = PruneGdp::new();
         // Pickup deadline too tight for a vehicle 40 s away.
@@ -124,7 +104,7 @@ mod tests {
 
     #[test]
     fn later_requests_share_existing_schedules() {
-        let engine = line_engine();
+        let engine = line_engine(5);
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let mut gdp = PruneGdp::new();
         let r1 = req(1, 0, 4, 40.0, 1.6);

@@ -232,31 +232,11 @@ impl Dispatcher for Rtv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_core::StructRideConfig;
-    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
-
-    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
-        DispatchContext::new(engine, StructRideConfig::default(), now)
-    }
-
-    fn line_engine() -> SpEngine {
-        let mut b = RoadNetworkBuilder::new();
-        for i in 0..6 {
-            b.add_node(Point::new(i as f64 * 100.0, 0.0));
-        }
-        for i in 1..6u32 {
-            b.add_bidirectional(i - 1, i, 10.0).unwrap();
-        }
-        SpEngine::new(b.build().unwrap())
-    }
-
-    fn req(id: u32, s: u32, e: u32, cost: f64, gamma: f64) -> Request {
-        Request::with_detour(id, s, e, 1, 0.0, cost, gamma, 300.0)
-    }
+    use crate::testutil::{ctx, line_engine, req};
 
     #[test]
     fn assigns_shareable_requests_to_one_vehicle() {
-        let engine = line_engine();
+        let engine = line_engine(6);
         let mut vehicles = vec![Vehicle::new(0, 0, 4), Vehicle::new(1, 5, 4)];
         let requests = vec![req(1, 0, 4, 40.0, 1.6), req(2, 1, 3, 20.0, 1.6)];
         let mut rtv = Rtv::default();
@@ -270,7 +250,7 @@ mod tests {
 
     #[test]
     fn each_request_and_vehicle_used_at_most_once() {
-        let engine = line_engine();
+        let engine = line_engine(6);
         let mut vehicles = vec![Vehicle::new(0, 0, 2), Vehicle::new(1, 2, 2)];
         let requests = vec![
             req(1, 0, 3, 30.0, 1.6),
@@ -302,7 +282,7 @@ mod tests {
 
     #[test]
     fn pending_pool_carries_and_expires() {
-        let engine = line_engine();
+        let engine = line_engine(6);
         let mut rtv = Rtv::default();
         // Nothing can be served without vehicles.
         let r = req(1, 0, 2, 20.0, 2.0);
@@ -350,7 +330,7 @@ mod tests {
 
     #[test]
     fn memory_reflects_rtv_graph_size() {
-        let engine = line_engine();
+        let engine = line_engine(6);
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let mut rtv = Rtv::default();
         let requests: Vec<Request> = (0..5)

@@ -1,0 +1,57 @@
+//! Shared test fixtures for the baseline dispatcher suites.
+//!
+//! Every baseline used to carry its own copy of the same bidirectional
+//! line-graph engine (`0 -10- 1 -10- … `), request constructor and context
+//! helper; a bug fixed in one copy could silently survive in the others.
+//! They now all share this module — parameterised by node count, since the
+//! suites exercise lines of different lengths.
+
+use structride_core::{DispatchContext, StructRideConfig};
+use structride_model::Request;
+use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
+
+/// A bidirectional line of `nodes` nodes, 100 m apart, 10 s per hop:
+/// `0 -10- 1 -10- 2 -10- …`.
+pub(crate) fn line_engine(nodes: u32) -> SpEngine {
+    assert!(nodes >= 2, "a line needs at least two nodes");
+    let mut b = RoadNetworkBuilder::new();
+    for i in 0..nodes {
+        b.add_node(Point::new(i as f64 * 100.0, 0.0));
+    }
+    for i in 1..nodes {
+        b.add_bidirectional(i - 1, i, 10.0).unwrap();
+    }
+    SpEngine::new(b.build().unwrap())
+}
+
+/// A single-rider request released at t=0 with the paper's deadline model.
+pub(crate) fn req(id: u32, s: u32, e: u32, cost: f64, gamma: f64) -> Request {
+    Request::with_detour(id, s, e, 1, 0.0, cost, gamma, 300.0)
+}
+
+/// A stand-alone dispatch context with the default configuration.
+pub(crate) fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
+    DispatchContext::new(engine, StructRideConfig::default(), now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_engine_has_expected_geometry() {
+        let engine = line_engine(6);
+        assert_eq!(engine.node_count(), 6);
+        assert_eq!(engine.cost(0, 5), 50.0);
+        assert_eq!(engine.cost(5, 0), 50.0);
+        assert_eq!(engine.cost(2, 3), 10.0);
+    }
+
+    #[test]
+    fn req_uses_paper_deadline_model() {
+        let r = req(1, 0, 2, 20.0, 1.5);
+        assert_eq!(r.release, 0.0);
+        assert_eq!(r.deadline, 30.0);
+        assert_eq!(r.riders, 1);
+    }
+}

@@ -133,31 +133,11 @@ impl Dispatcher for TicketAssignPlus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use structride_core::StructRideConfig;
-    use structride_roadnet::{Point, RoadNetworkBuilder, SpEngine};
-
-    fn ctx(engine: &SpEngine, now: f64) -> DispatchContext<'_> {
-        DispatchContext::new(engine, StructRideConfig::default(), now)
-    }
-
-    fn line_engine() -> SpEngine {
-        let mut b = RoadNetworkBuilder::new();
-        for i in 0..8 {
-            b.add_node(Point::new(i as f64 * 100.0, 0.0));
-        }
-        for i in 1..8u32 {
-            b.add_bidirectional(i - 1, i, 10.0).unwrap();
-        }
-        SpEngine::new(b.build().unwrap())
-    }
-
-    fn req(id: u32, s: u32, e: u32, cost: f64, gamma: f64) -> Request {
-        Request::with_detour(id, s, e, 1, 0.0, cost, gamma, 300.0)
-    }
+    use crate::testutil::{ctx, line_engine, req};
 
     #[test]
     fn assigns_requests_in_parallel_without_violating_schedules() {
-        let engine = line_engine();
+        let engine = line_engine(8);
         let mut vehicles: Vec<Vehicle> = (0..4).map(|i| Vehicle::new(i, i * 2, 4)).collect();
         let requests: Vec<Request> = (0..12)
             .map(|i| req(i, i % 6, (i % 6) + 2, 20.0, 2.0))
@@ -188,7 +168,7 @@ mod tests {
 
     #[test]
     fn single_thread_matches_sequential_greedy_semantics() {
-        let engine = line_engine();
+        let engine = line_engine(8);
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let requests = vec![req(1, 0, 4, 40.0, 1.6), req(2, 1, 3, 20.0, 1.6)];
         let mut ticket = TicketAssignPlus::new(1);
@@ -199,7 +179,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_noop() {
-        let engine = line_engine();
+        let engine = line_engine(8);
         let mut vehicles = vec![Vehicle::new(0, 0, 4)];
         let mut ticket = TicketAssignPlus::default();
         let out = ticket.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &[]);

@@ -1,0 +1,253 @@
+//! Record/replay front end for the dispatcher-determinism harness.
+//!
+//! ```text
+//! replay record  [--quick] [--algo KEY] [--out PATH]
+//! replay replay  --trace PATH [--algo KEY] [--threads N]
+//! replay verify  [--quick] [--algo KEY] [--threads N]
+//! ```
+//!
+//! * `record` runs the quickstart-style workload under the chosen dispatcher
+//!   and writes the `(batch, fleet-state, outcome)` trace to `--out`.
+//! * `replay` loads a trace, regenerates the identical workload from the
+//!   trace metadata and replays it with a fresh dispatcher (optionally under
+//!   an explicit worker-thread count); exits non-zero on any drift.
+//! * `verify` is the CI smoke flow: record in-process, replay under 1 and N
+//!   worker threads asserting zero drift, then replay with a *different*
+//!   dispatcher and assert the harness flags the drift (self-test).
+//!
+//! `KEY` ∈ {sard, rtv, prunegdp, gas, darm, ticket}; `ticket` records fine
+//! but is exempt from `verify` — its commit-order races are the algorithm
+//! being reproduced.
+
+use std::process::ExitCode;
+use structride_bench::replay_cli::{
+    dispatcher_by_name, quickstart_params, record_run, regenerate_workload, replay_run,
+    trace_dispatcher_key, DETERMINISTIC_KEYS, DISPATCHER_KEYS,
+};
+use structride_core::replay::Trace;
+use structride_core::StructRideConfig;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: replay record [--quick] [--algo KEY] [--out PATH]\n\
+         \x20      replay replay --trace PATH [--algo KEY] [--threads N]\n\
+         \x20      replay verify [--quick] [--algo KEY] [--threads N]\n\
+         KEY: {}",
+        DISPATCHER_KEYS.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    quick: bool,
+    algo: Option<String>,
+    out: Option<String>,
+    trace: Option<String>,
+    threads: Option<usize>,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
+    let subcommand = argv.next()?;
+    let mut args = Args {
+        quick: false,
+        algo: None,
+        out: None,
+        trace: None,
+        threads: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--algo" => args.algo = Some(argv.next()?),
+            "--out" => args.out = Some(argv.next()?),
+            "--trace" => args.trace = Some(argv.next()?),
+            "--threads" => args.threads = Some(argv.next()?.parse().ok()?),
+            _ => return None,
+        }
+    }
+    Some((subcommand, args))
+}
+
+fn print_trace_summary(trace: &Trace) {
+    let assigned: usize = trace.batches.iter().map(|b| b.assigned.len()).sum();
+    eprintln!(
+        "# trace: algorithm={} workload={} batches={} assigned={}",
+        trace.meta.algorithm,
+        trace.meta.workload,
+        trace.batches.len(),
+        assigned
+    );
+    if let Some(s) = trace.meta.sp_stats {
+        eprintln!(
+            "# sp queries: total={} hits={} index={}",
+            s.total_queries, s.cache_hits, s.index_queries
+        );
+    }
+    if let Some(s) = trace.meta.build_stats {
+        eprintln!("# sharegraph: {s}");
+    }
+}
+
+fn cmd_record(args: &Args) -> ExitCode {
+    let algo = args.algo.as_deref().unwrap_or("sard");
+    let out = args.out.as_deref().unwrap_or("replay-trace.txt");
+    let Some((_workload, trace)) = record_run(
+        quickstart_params(args.quick),
+        StructRideConfig::default(),
+        algo,
+    ) else {
+        eprintln!("unknown dispatcher {algo:?}");
+        return ExitCode::from(2);
+    };
+    print_trace_summary(&trace);
+    if let Err(e) = trace.save(out) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn replay_in_pool(
+    workload: &structride_datagen::Workload,
+    algo: &str,
+    trace: &Trace,
+    threads: Option<usize>,
+) -> Option<structride_core::replay::DriftReport> {
+    match threads {
+        Some(n) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("thread pool");
+            pool.install(|| replay_run(workload, algo, trace))
+        }
+        None => replay_run(workload, algo, trace),
+    }
+}
+
+fn cmd_replay(args: &Args) -> ExitCode {
+    let Some(path) = args.trace.as_deref() else {
+        return usage();
+    };
+    let trace = match Trace::load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_trace_summary(&trace);
+    let algo = match args
+        .algo
+        .as_deref()
+        .or_else(|| trace_dispatcher_key(&trace))
+    {
+        Some(a) => a.to_string(),
+        None => {
+            eprintln!("trace names no dispatcher; pass --algo");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(workload) = regenerate_workload(&trace.meta) else {
+        eprintln!("trace metadata lacks regeneration parameters");
+        return ExitCode::FAILURE;
+    };
+    let Some(report) = replay_in_pool(&workload, &algo, &trace, args.threads) else {
+        eprintln!("unknown dispatcher {algo:?}");
+        return ExitCode::from(2);
+    };
+    println!("{report}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_verify(args: &Args) -> ExitCode {
+    let algo = args.algo.as_deref().unwrap_or("sard").to_ascii_lowercase();
+    if !DETERMINISTIC_KEYS.contains(&algo.as_str()) {
+        eprintln!(
+            "{algo:?} is exempt from the replay invariant; verify accepts {}",
+            DETERMINISTIC_KEYS.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    let config = StructRideConfig::default();
+    let Some((workload, trace)) = record_run(quickstart_params(args.quick), config, &algo) else {
+        eprintln!("unknown dispatcher {algo:?}");
+        return ExitCode::from(2);
+    };
+    print_trace_summary(&trace);
+
+    // Exercise the on-disk path too: everything below replays the parsed
+    // form, so a codec regression fails verify rather than hiding.
+    let trace = match Trace::parse(&trace.to_text()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("self-test FAILED: trace does not round-trip: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let many = args
+        .threads
+        .unwrap_or_else(rayon::current_num_threads)
+        .max(2);
+    for threads in [1, many] {
+        let Some(report) = replay_in_pool(&workload, &algo, &trace, Some(threads)) else {
+            eprintln!("unknown dispatcher {algo:?}");
+            return ExitCode::from(2);
+        };
+        println!("threads={threads}: {report}");
+        if !report.is_clean() {
+            eprintln!("verify FAILED: drift under {threads} worker thread(s)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Self-test: a different dispatcher must be flagged, otherwise the
+    // harness itself is broken.
+    let other = if algo == "prunegdp" {
+        "gas"
+    } else {
+        "prunegdp"
+    };
+    let Some(report) = replay_in_pool(&workload, other, &trace, None) else {
+        eprintln!("unknown dispatcher {other:?}");
+        return ExitCode::from(2);
+    };
+    if report.is_clean() {
+        eprintln!("self-test FAILED: replaying {other} against a {algo} trace reported no drift");
+        return ExitCode::FAILURE;
+    }
+    let first = report
+        .first_divergence()
+        .map(|d| d.batch_index)
+        .expect("non-clean report has a divergence");
+    println!("self-test: {other} drift detected at batch {first}, as expected");
+    println!("verify OK: zero drift across 1 and {many} worker threads");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args();
+    argv.next(); // program name
+    let Some((subcommand, args)) = parse_args(argv) else {
+        return usage();
+    };
+    // Fail fast on a bad --algo in any subcommand.
+    if let Some(algo) = args.algo.as_deref() {
+        if dispatcher_by_name(algo, StructRideConfig::default()).is_none() {
+            eprintln!("unknown dispatcher {algo:?}");
+            return usage();
+        }
+    }
+    match subcommand.as_str() {
+        "record" => cmd_record(&args),
+        "replay" => cmd_replay(&args),
+        "verify" => cmd_verify(&args),
+        _ => usage(),
+    }
+}

@@ -13,5 +13,6 @@
 //! harness reproduces (see `EXPERIMENTS.md`).
 
 pub mod harness;
+pub mod replay_cli;
 
 pub use harness::{ExperimentScale, SuiteKind};

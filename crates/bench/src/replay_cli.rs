@@ -1,0 +1,193 @@
+//! Plumbing behind the `replay` binary: dispatcher lookup by name, workload
+//! regeneration from trace metadata, and the record/replay/verify flows.
+//!
+//! A trace does not ship its road network — it stores the
+//! [`WorkloadParams`] that generated it (all generation is seeded and
+//! deterministic), so `replay` regenerates an identical engine from the
+//! metadata.  Floats in the metadata round-trip exactly through the text
+//! format, making cross-process replays bit-identical.
+
+use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
+use structride_core::replay::{replay_trace, DriftReport, Trace, TraceMeta, TraceRecorder};
+use structride_core::{Dispatcher, SardDispatcher, Simulator, StructRideConfig};
+use structride_datagen::{CityProfile, Workload, WorkloadParams};
+
+/// The dispatcher keys `--algo` accepts.  `ticket` is deliberately absent
+/// from `verify`'s reach: TicketAssign+'s commit-order races are the
+/// algorithm under study, so it is exempt from the replay invariant (see the
+/// `structride_core::replay` module docs).
+pub const DISPATCHER_KEYS: &[&str] = &["sard", "rtv", "prunegdp", "gas", "darm", "ticket"];
+
+/// Deterministic dispatchers — the ones the replay invariant applies to.
+pub const DETERMINISTIC_KEYS: &[&str] = &["sard", "rtv", "prunegdp", "gas", "darm"];
+
+/// Constructs a fresh dispatcher from its CLI key.
+pub fn dispatcher_by_name(key: &str, config: StructRideConfig) -> Option<Box<dyn Dispatcher>> {
+    match key.to_ascii_lowercase().as_str() {
+        "sard" => Some(Box::new(SardDispatcher::new(config))),
+        "rtv" => Some(Box::new(Rtv::new(config.cost.penalty_coefficient))),
+        "prunegdp" | "gdp" => Some(Box::new(PruneGdp::new())),
+        "gas" => Some(Box::new(Gas::default())),
+        "darm" => Some(Box::new(DemandRepositioning::new())),
+        "ticket" => Some(Box::new(TicketAssignPlus::default())),
+        _ => None,
+    }
+}
+
+/// The quickstart-style workload the `record`/`verify` subcommands use.
+pub fn quickstart_params(quick: bool) -> WorkloadParams {
+    WorkloadParams {
+        num_requests: if quick { 80 } else { 240 },
+        num_vehicles: if quick { 12 } else { 40 },
+        horizon: if quick { 120.0 } else { 300.0 },
+        scale: 0.3,
+        ..WorkloadParams::small(CityProfile::NycLike)
+    }
+}
+
+fn city_from_name(name: &str) -> Option<CityProfile> {
+    [
+        CityProfile::ChengduLike,
+        CityProfile::NycLike,
+        CityProfile::CainiaoLike,
+    ]
+    .into_iter()
+    .find(|c| c.name() == name)
+}
+
+/// Serializes workload-generation parameters into trace metadata pairs.
+pub fn params_to_meta(params: &WorkloadParams) -> Vec<(String, String)> {
+    vec![
+        ("city".to_string(), params.city.name().to_string()),
+        ("num_requests".to_string(), params.num_requests.to_string()),
+        ("num_vehicles".to_string(), params.num_vehicles.to_string()),
+        ("capacity".to_string(), params.capacity.to_string()),
+        (
+            "capacity_sigma".to_string(),
+            params.capacity_sigma.to_string(),
+        ),
+        ("gamma".to_string(), params.gamma.to_string()),
+        ("horizon".to_string(), params.horizon.to_string()),
+        ("scale".to_string(), params.scale.to_string()),
+        ("seed".to_string(), params.seed.to_string()),
+    ]
+}
+
+/// Reconstructs the workload-generation parameters from trace metadata.
+pub fn params_from_meta(meta: &TraceMeta) -> Option<WorkloadParams> {
+    Some(WorkloadParams {
+        city: city_from_name(meta.param("city")?)?,
+        num_requests: meta.param("num_requests")?.parse().ok()?,
+        num_vehicles: meta.param("num_vehicles")?.parse().ok()?,
+        capacity: meta.param("capacity")?.parse().ok()?,
+        capacity_sigma: meta.param("capacity_sigma")?.parse().ok()?,
+        gamma: meta.param("gamma")?.parse().ok()?,
+        horizon: meta.param("horizon")?.parse().ok()?,
+        scale: meta.param("scale")?.parse().ok()?,
+        seed: meta.param("seed")?.parse().ok()?,
+    })
+}
+
+/// Regenerates the exact workload a trace was recorded on.
+pub fn regenerate_workload(meta: &TraceMeta) -> Option<Workload> {
+    params_from_meta(meta).map(Workload::generate)
+}
+
+/// Records a run of `algo_key` on the workload described by `params`.
+///
+/// Returns the workload (for immediate in-process replays) and the trace,
+/// with the generation parameters, the dispatcher key, the engine's
+/// shortest-path counters and — for SARD — the shareability-graph build
+/// counters captured into the metadata.
+pub fn record_run(
+    params: WorkloadParams,
+    config: StructRideConfig,
+    algo_key: &str,
+) -> Option<(Workload, Trace)> {
+    let workload = Workload::generate(params);
+    let simulator = Simulator::new(config);
+    let mut recorder = TraceRecorder::new();
+    // SARD is handled concretely so its build stats can be captured; every
+    // other dispatcher goes through the trait object.
+    let (algorithm, build_stats) = if algo_key.eq_ignore_ascii_case("sard") {
+        let mut sard = SardDispatcher::new(config);
+        simulator.run_recorded(
+            &workload.engine,
+            &workload.requests,
+            workload.fresh_vehicles(),
+            &mut sard,
+            &workload.name,
+            &mut recorder,
+        );
+        (sard.name().to_string(), sard.build_stats())
+    } else {
+        let mut dispatcher = dispatcher_by_name(algo_key, config)?;
+        simulator.run_recorded(
+            &workload.engine,
+            &workload.requests,
+            workload.fresh_vehicles(),
+            dispatcher.as_mut(),
+            &workload.name,
+            &mut recorder,
+        );
+        (dispatcher.name().to_string(), None)
+    };
+    let mut meta = TraceMeta::new(algorithm, &workload.name, config);
+    meta.params = params_to_meta(&params);
+    meta.params
+        .push(("dispatcher".to_string(), algo_key.to_ascii_lowercase()));
+    meta.sp_stats = Some(workload.engine.stats());
+    meta.build_stats = build_stats;
+    Some((workload, recorder.into_trace(meta)))
+}
+
+/// The dispatcher key a trace should be replayed with by default.
+pub fn trace_dispatcher_key(trace: &Trace) -> Option<&str> {
+    trace.meta.param("dispatcher")
+}
+
+/// Replays `trace` on `workload` with a fresh dispatcher built from
+/// `algo_key`.
+pub fn replay_run(workload: &Workload, algo_key: &str, trace: &Trace) -> Option<DriftReport> {
+    let mut dispatcher = dispatcher_by_name(algo_key, trace.meta.config)?;
+    Some(replay_trace(&workload.engine, dispatcher.as_mut(), trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_key_builds_a_dispatcher() {
+        let config = StructRideConfig::default();
+        for key in DISPATCHER_KEYS {
+            assert!(dispatcher_by_name(key, config).is_some(), "{key}");
+        }
+        assert!(dispatcher_by_name("nope", config).is_none());
+        // Deterministic keys are a strict subset excluding ticket.
+        assert!(DETERMINISTIC_KEYS
+            .iter()
+            .all(|k| DISPATCHER_KEYS.contains(k)));
+        assert!(!DETERMINISTIC_KEYS.contains(&"ticket"));
+    }
+
+    #[test]
+    fn workload_params_roundtrip_through_meta() {
+        let params = quickstart_params(true);
+        let mut meta = TraceMeta::new("SARD", "w", StructRideConfig::default());
+        meta.params = params_to_meta(&params);
+        assert_eq!(params_from_meta(&meta), Some(params));
+    }
+
+    #[test]
+    fn regenerated_workload_is_identical() {
+        let params = quickstart_params(true);
+        let original = Workload::generate(params);
+        let mut meta = TraceMeta::new("SARD", &original.name, StructRideConfig::default());
+        meta.params = params_to_meta(&params);
+        let regenerated = regenerate_workload(&meta).expect("params round-trip");
+        assert_eq!(regenerated.requests, original.requests);
+        assert_eq!(regenerated.vehicles.len(), original.vehicles.len());
+        assert_eq!(regenerated.name, original.name);
+    }
+}

@@ -1,0 +1,64 @@
+//! The replay invariant across the whole deterministic dispatcher suite:
+//! every bundled dispatcher except TicketAssign+ must reproduce its own
+//! recorded trace bit-identically, from the in-memory trace and from the
+//! text form, under 1 and N worker threads.
+
+use structride_bench::replay_cli::{
+    quickstart_params, record_run, regenerate_workload, replay_run, trace_dispatcher_key,
+    DETERMINISTIC_KEYS,
+};
+use structride_core::replay::Trace;
+use structride_core::StructRideConfig;
+
+#[test]
+fn every_deterministic_dispatcher_replays_its_own_trace_clean() {
+    let config = StructRideConfig::default();
+    for key in DETERMINISTIC_KEYS {
+        let (workload, trace) =
+            record_run(quickstart_params(true), config, key).expect("known dispatcher");
+        assert!(!trace.batches.is_empty(), "{key}: nothing recorded");
+        assert_eq!(trace_dispatcher_key(&trace), Some(*key));
+        let report = replay_run(&workload, key, &trace).expect("known dispatcher");
+        assert!(
+            report.is_clean(),
+            "{key} drifted from its own recording:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn trace_replays_clean_from_text_on_regenerated_workload() {
+    // The cross-process path the CI smoke job uses: serialize, parse,
+    // regenerate the workload from metadata alone, replay under explicit
+    // worker counts.
+    let config = StructRideConfig::default();
+    let (_original, trace) =
+        record_run(quickstart_params(true), config, "sard").expect("known dispatcher");
+    let parsed = Trace::parse(&trace.to_text()).expect("round-trip");
+    assert_eq!(parsed, trace);
+    let workload = regenerate_workload(&parsed.meta).expect("regeneration params recorded");
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let report = pool
+            .install(|| replay_run(&workload, "sard", &parsed))
+            .expect("known dispatcher");
+        assert!(
+            report.is_clean(),
+            "drift with {threads} worker thread(s):\n{report}"
+        );
+    }
+}
+
+#[test]
+fn replaying_a_different_dispatcher_is_flagged() {
+    let config = StructRideConfig::default();
+    let (workload, trace) =
+        record_run(quickstart_params(true), config, "sard").expect("known dispatcher");
+    let report = replay_run(&workload, "prunegdp", &trace).expect("known dispatcher");
+    assert!(!report.is_clean(), "pruneGDP cannot match a SARD trace");
+    let first = report.first_divergence().expect("divergence");
+    assert!(!first.deltas.is_empty());
+}

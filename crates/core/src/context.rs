@@ -19,6 +19,20 @@
 //! `&SpEngine`) without additional locking.  The engine's shortest-path cache
 //! is sharded internally (see `structride_roadnet::sharded`), so concurrent
 //! `cost()` calls do not serialise on a global lock.
+//!
+//! # The replay invariant
+//!
+//! Determinism is not just documented, it is *enforced*: the
+//! [`replay`](crate::replay) harness records `(batch, fleet-state, outcome)`
+//! traces through this context and a recorded trace must replay
+//! **bit-identically** — same assignments, same committed schedules, same
+//! scratch counters — regardless of the worker-thread count and across
+//! processes.  Any dispatcher consuming a `DispatchContext` must therefore
+//! reduce its parallel stages into canonically ordered results before taking
+//! decisions; shortest-path *query counts* are the only tolerated
+//! worker-count-dependent observable (cache-miss races, excluded from the
+//! drift diff).  CI records a quickstart trace and replays it under 1 and N
+//! workers, failing on any drift (`replay verify`).
 
 use crate::config::StructRideConfig;
 use std::sync::atomic::{AtomicU64, Ordering};

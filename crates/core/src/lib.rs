@@ -16,6 +16,12 @@
 //! * [`grouping`] — Algorithm 2, the modified additive tree that enumerates
 //!   feasible request groups per vehicle while keeping a single schedule per
 //!   node (ordered by shareability);
+//! * [`replay`] — the record/replay harness: a
+//!   [`TraceRecorder`](replay::TraceRecorder) capturing per-batch
+//!   `(inputs, fleet-state, outcome)` tuples from the simulator, and
+//!   [`replay_trace`](replay::replay_trace) diffing any dispatcher against a
+//!   recorded trace into a structured drift report — the enforcement of the
+//!   "deterministic regardless of worker count" invariant;
 //! * [`sard`] — Algorithm 3, the two-phase "proposal–acceptance" SARD
 //!   dispatcher guided by the shareability loss;
 //! * [`simulator`] — the batched dynamic simulation engine (vehicle movement,
@@ -29,6 +35,7 @@ pub mod dispatcher;
 pub mod grouping;
 pub mod metrics;
 pub mod ordering;
+pub mod replay;
 pub mod sard;
 pub mod simulator;
 
@@ -38,5 +45,9 @@ pub use dispatcher::{BatchOutcome, Dispatcher};
 pub use grouping::{enumerate_groups, CandidateGroup};
 pub use metrics::RunMetrics;
 pub use ordering::{InsertionOrdering, OrderingStudy};
+pub use replay::{
+    replay_trace, BatchDivergence, BatchRecord, DriftReport, FieldDelta, Trace, TraceMeta,
+    TraceParseError, TraceRecorder, VehicleState,
+};
 pub use sard::SardDispatcher;
 pub use simulator::{SimulationReport, Simulator};

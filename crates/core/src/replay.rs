@@ -1,0 +1,1108 @@
+//! Record/replay harness pinning dispatcher behavior.
+//!
+//! PR 1 made the whole batch-dispatch pipeline parallel and promised
+//! determinism regardless of worker count; this module turns that promise
+//! into an enforced invariant.  A [`TraceRecorder`] hooks into the simulator
+//! (see [`Simulator::run_recorded`](crate::Simulator::run_recorded)) and
+//! captures, per batch, the released requests, the full pre-dispatch fleet
+//! state and the dispatch outcome (assignments, post-dispatch fleet state,
+//! scratch-counter deltas).  [`replay_trace`] re-feeds the recorded batches
+//! to any [`Dispatcher`] through a fresh
+//! [`DispatchContext`](crate::DispatchContext) and diffs the outcomes batch
+//! by batch into a structured [`DriftReport`] (first divergent batch,
+//! per-field deltas).
+//!
+//! # The replay invariant
+//!
+//! A recorded trace must replay **bit-identically** — same assignment lists,
+//! same committed schedules, same scratch counters — against the same
+//! dispatcher on the same road network, *regardless of the worker-thread
+//! count* and across processes.  Because every batch starts from the
+//! recorded pre-dispatch fleet state, a divergence cannot cascade: the
+//! report pins the exact batch (and field) where a refactored dispatcher
+//! first drifts from the recorded behavior.  Shortest-path *query counts*
+//! are deliberately excluded from the diff — under concurrency two workers
+//! may race on the same missing cache key and both consult the index (see
+//! `structride_roadnet::engine`), which perturbs the counters but never the
+//! decisions.  The one bundled dispatcher exempt from the invariant is
+//! TicketAssign+, whose commit-order races are the algorithm under study.
+//!
+//! Traces serialize to a versioned, line-oriented text format whose floats
+//! round-trip exactly (Rust's shortest-representation formatting), so a
+//! trace recorded on one machine replays bit-identically on another.
+
+use crate::config::StructRideConfig;
+use crate::context::{DispatchContext, ScratchStats};
+use crate::dispatcher::{BatchOutcome, Dispatcher};
+use std::fmt;
+use std::str::FromStr;
+use structride_model::{Request, RequestId, Schedule, Vehicle, Waypoint, WaypointKind};
+use structride_roadnet::{SpEngine, SpStats};
+use structride_sharegraph::builder::BuildStats;
+
+/// Magic first line of the trace text format.
+const TRACE_HEADER: &str = "structride-trace v1";
+
+/// A plain-data snapshot of one [`Vehicle`], captured before and after each
+/// dispatch call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VehicleState {
+    /// Vehicle identifier.
+    pub id: u32,
+    /// Seat capacity.
+    pub capacity: u32,
+    /// Node the vehicle plans from.
+    pub node: u32,
+    /// Time the vehicle is free at `node`.
+    pub free_at: f64,
+    /// Riders currently on board.
+    pub onboard: u32,
+    /// Travel time accumulated by executed way-points.
+    pub executed_travel: f64,
+    /// Requests assigned so far.
+    pub assigned: Vec<RequestId>,
+    /// Requests fully served so far.
+    pub completed: Vec<RequestId>,
+    /// The planned, not-yet-executed schedule.
+    pub schedule: Vec<Waypoint>,
+}
+
+impl VehicleState {
+    /// Captures the state of `vehicle`.
+    pub fn capture(vehicle: &Vehicle) -> Self {
+        VehicleState {
+            id: vehicle.id,
+            capacity: vehicle.capacity,
+            node: vehicle.node,
+            free_at: vehicle.free_at,
+            onboard: vehicle.onboard,
+            executed_travel: vehicle.executed_travel,
+            assigned: vehicle.assigned.clone(),
+            completed: vehicle.completed.clone(),
+            schedule: vehicle.schedule.waypoints().to_vec(),
+        }
+    }
+
+    /// Reconstructs a [`Vehicle`] in exactly this state.
+    pub fn restore(&self) -> Vehicle {
+        let mut v = Vehicle::new(self.id, self.node, self.capacity);
+        v.free_at = self.free_at;
+        v.onboard = self.onboard;
+        v.executed_travel = self.executed_travel;
+        v.assigned = self.assigned.clone();
+        v.completed = self.completed.clone();
+        v.schedule = Schedule::from_waypoints(self.schedule.clone());
+        v
+    }
+}
+
+/// Everything recorded about one batch: the inputs the dispatcher saw and
+/// the outcome it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Zero-based batch index within the run.
+    pub index: usize,
+    /// Simulation time at the end of the batch window.
+    pub now: f64,
+    /// Requests released during this batch window, in dispatch order.
+    pub requests: Vec<Request>,
+    /// Fleet state after movement, immediately before the dispatch call.
+    pub fleet_before: Vec<VehicleState>,
+    /// Request ids the dispatcher assigned in this batch.
+    pub assigned: Vec<RequestId>,
+    /// Fleet state immediately after the dispatch call.
+    pub fleet_after: Vec<VehicleState>,
+    /// Scratch-counter snapshot after the dispatch call.
+    pub scratch: ScratchStats,
+}
+
+/// Run-level metadata stored alongside the recorded batches.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceMeta {
+    /// Name of the dispatcher that produced the trace.
+    pub algorithm: String,
+    /// Workload name (as passed to the simulator).
+    pub workload: String,
+    /// The framework configuration the run used (also used by replay).
+    pub config: StructRideConfig,
+    /// Free-form key/value pairs — the bench harness stores the workload
+    /// generation parameters here so `replay` can regenerate the road
+    /// network without shipping it inside the trace.
+    pub params: Vec<(String, String)>,
+    /// Shortest-path engine counters at the end of the recording
+    /// (informational: query *counts* are excluded from the drift diff, see
+    /// the module docs).
+    pub sp_stats: Option<SpStats>,
+    /// Shareability-graph build counters at the end of the recording, when
+    /// the recorded dispatcher exposes them (SARD).
+    pub build_stats: Option<BuildStats>,
+}
+
+impl TraceMeta {
+    /// Creates metadata for a run of `algorithm` on `workload`.
+    pub fn new(
+        algorithm: impl Into<String>,
+        workload: impl Into<String>,
+        config: StructRideConfig,
+    ) -> Self {
+        TraceMeta {
+            algorithm: algorithm.into(),
+            workload: workload.into(),
+            config,
+            params: Vec::new(),
+            sp_stats: None,
+            build_stats: None,
+        }
+    }
+
+    /// Looks up a free-form parameter by key.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A recorded run: metadata plus one [`BatchRecord`] per dispatched batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Run-level metadata.
+    pub meta: TraceMeta,
+    /// The recorded batches, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+}
+
+/// Records `(batch, fleet-state, outcome)` tuples while the simulator runs.
+///
+/// Hand one to [`Simulator::run_recorded`](crate::Simulator::run_recorded),
+/// or drive it manually via [`TraceRecorder::batch_started`] /
+/// [`TraceRecorder::batch_finished`] from a custom batch loop.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    batches: Vec<BatchRecord>,
+    pending: Option<BatchRecord>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of completed batch records.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Captures the inputs of a batch about to be dispatched.
+    pub fn batch_started(
+        &mut self,
+        index: usize,
+        now: f64,
+        requests: &[Request],
+        fleet: &[Vehicle],
+    ) {
+        debug_assert!(self.pending.is_none(), "previous batch was never finished");
+        self.pending = Some(BatchRecord {
+            index,
+            now,
+            requests: requests.to_vec(),
+            fleet_before: fleet.iter().map(VehicleState::capture).collect(),
+            assigned: Vec::new(),
+            fleet_after: Vec::new(),
+            scratch: ScratchStats::default(),
+        });
+    }
+
+    /// Captures the outcome of the batch opened by the last
+    /// [`TraceRecorder::batch_started`] call.
+    pub fn batch_finished(
+        &mut self,
+        outcome: &BatchOutcome,
+        fleet: &[Vehicle],
+        scratch: ScratchStats,
+    ) {
+        let mut record = self
+            .pending
+            .take()
+            .expect("batch_finished without batch_started");
+        record.assigned = outcome.assigned.clone();
+        record.fleet_after = fleet.iter().map(VehicleState::capture).collect();
+        record.scratch = scratch;
+        self.batches.push(record);
+    }
+
+    /// Consumes the recorder into a [`Trace`] with the given metadata.
+    pub fn into_trace(self, meta: TraceMeta) -> Trace {
+        debug_assert!(self.pending.is_none(), "last batch was never finished");
+        Trace {
+            meta,
+            batches: self.batches,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drift detection
+// ---------------------------------------------------------------------------
+
+/// One field that differed between the recorded and the replayed outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDelta {
+    /// Dotted path of the differing field (e.g. `vehicle[3].schedule`).
+    pub field: String,
+    /// The recorded value, rendered for display.
+    pub recorded: String,
+    /// The replayed value, rendered for display.
+    pub replayed: String,
+}
+
+/// All deltas observed in one divergent batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchDivergence {
+    /// Index of the divergent batch.
+    pub batch_index: usize,
+    /// The differing fields.
+    pub deltas: Vec<FieldDelta>,
+}
+
+/// The outcome of replaying a trace: either clean, or a batch-by-batch list
+/// of divergences.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DriftReport {
+    /// Number of batches replayed and compared.
+    pub batches_compared: usize,
+    /// Batches whose replayed outcome differed from the recording.
+    pub divergences: Vec<BatchDivergence>,
+}
+
+impl DriftReport {
+    /// True when every batch replayed bit-identically.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// The first divergent batch, if any.
+    pub fn first_divergence(&self) -> Option<&BatchDivergence> {
+        self.divergences.first()
+    }
+}
+
+impl fmt::Display for DriftReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(
+                f,
+                "replay clean: {} batches, zero drift",
+                self.batches_compared
+            );
+        }
+        writeln!(
+            f,
+            "replay DRIFTED: {} of {} batches diverged (first at batch {})",
+            self.divergences.len(),
+            self.batches_compared,
+            self.divergences[0].batch_index
+        )?;
+        for div in &self.divergences {
+            writeln!(f, "  batch {}:", div.batch_index)?;
+            for delta in &div.deltas {
+                writeln!(
+                    f,
+                    "    {}: recorded {} != replayed {}",
+                    delta.field, delta.recorded, delta.replayed
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fmt_ids(ids: &[RequestId]) -> String {
+    let strs: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", strs.join(","))
+}
+
+fn fmt_schedule(wps: &[Waypoint]) -> String {
+    let strs: Vec<String> = wps.iter().map(waypoint_to_token).collect();
+    format!("[{}]", strs.join(";"))
+}
+
+fn diff_vehicle(deltas: &mut Vec<FieldDelta>, recorded: &VehicleState, replayed: &VehicleState) {
+    let prefix = format!("vehicle[{}]", recorded.id);
+    let mut push = |field: &str, rec: String, rep: String| {
+        deltas.push(FieldDelta {
+            field: format!("{prefix}.{field}"),
+            recorded: rec,
+            replayed: rep,
+        });
+    };
+    if recorded.id != replayed.id {
+        push("id", recorded.id.to_string(), replayed.id.to_string());
+    }
+    if recorded.capacity != replayed.capacity {
+        push(
+            "capacity",
+            recorded.capacity.to_string(),
+            replayed.capacity.to_string(),
+        );
+    }
+    if recorded.node != replayed.node {
+        push("node", recorded.node.to_string(), replayed.node.to_string());
+    }
+    if recorded.free_at.to_bits() != replayed.free_at.to_bits() {
+        push(
+            "free_at",
+            recorded.free_at.to_string(),
+            replayed.free_at.to_string(),
+        );
+    }
+    if recorded.onboard != replayed.onboard {
+        push(
+            "onboard",
+            recorded.onboard.to_string(),
+            replayed.onboard.to_string(),
+        );
+    }
+    if recorded.executed_travel.to_bits() != replayed.executed_travel.to_bits() {
+        push(
+            "executed_travel",
+            recorded.executed_travel.to_string(),
+            replayed.executed_travel.to_string(),
+        );
+    }
+    if recorded.assigned != replayed.assigned {
+        push(
+            "assigned",
+            fmt_ids(&recorded.assigned),
+            fmt_ids(&replayed.assigned),
+        );
+    }
+    if recorded.completed != replayed.completed {
+        push(
+            "completed",
+            fmt_ids(&recorded.completed),
+            fmt_ids(&replayed.completed),
+        );
+    }
+    if recorded.schedule != replayed.schedule {
+        push(
+            "schedule",
+            fmt_schedule(&recorded.schedule),
+            fmt_schedule(&replayed.schedule),
+        );
+    }
+}
+
+/// Replays `trace` against `dispatcher` on `engine` and reports drift.
+///
+/// Every batch starts from the recorded pre-dispatch fleet state, so the
+/// dispatcher's own cross-batch state (e.g. SARD's working pool) evolves
+/// exactly as during recording *as long as it keeps making the recorded
+/// decisions* — and the first deviation is pinned to its batch instead of
+/// cascading.  The dispatcher must be freshly constructed (no batches
+/// dispatched yet) and configured identically to the recording; the context
+/// is rebuilt from `trace.meta.config`.
+pub fn replay_trace(
+    engine: &SpEngine,
+    dispatcher: &mut dyn Dispatcher,
+    trace: &Trace,
+) -> DriftReport {
+    let mut report = DriftReport::default();
+    for batch in &trace.batches {
+        let mut vehicles: Vec<Vehicle> = batch
+            .fleet_before
+            .iter()
+            .map(VehicleState::restore)
+            .collect();
+        let ctx = DispatchContext::for_batch(engine, trace.meta.config, batch.now, batch.index);
+        let outcome = dispatcher.dispatch_batch(&ctx, &mut vehicles, &batch.requests);
+        let scratch = ctx.scratch.snapshot();
+        report.batches_compared += 1;
+
+        let mut deltas = Vec::new();
+        if outcome.assigned != batch.assigned {
+            deltas.push(FieldDelta {
+                field: "outcome.assigned".to_string(),
+                recorded: fmt_ids(&batch.assigned),
+                replayed: fmt_ids(&outcome.assigned),
+            });
+        }
+        if scratch.insertion_evaluations != batch.scratch.insertion_evaluations {
+            deltas.push(FieldDelta {
+                field: "scratch.insertion_evaluations".to_string(),
+                recorded: batch.scratch.insertion_evaluations.to_string(),
+                replayed: scratch.insertion_evaluations.to_string(),
+            });
+        }
+        if scratch.groups_enumerated != batch.scratch.groups_enumerated {
+            deltas.push(FieldDelta {
+                field: "scratch.groups_enumerated".to_string(),
+                recorded: batch.scratch.groups_enumerated.to_string(),
+                replayed: scratch.groups_enumerated.to_string(),
+            });
+        }
+        if vehicles.len() != batch.fleet_after.len() {
+            deltas.push(FieldDelta {
+                field: "fleet.len".to_string(),
+                recorded: batch.fleet_after.len().to_string(),
+                replayed: vehicles.len().to_string(),
+            });
+        } else {
+            for (recorded, vehicle) in batch.fleet_after.iter().zip(&vehicles) {
+                let replayed = VehicleState::capture(vehicle);
+                if *recorded != replayed {
+                    diff_vehicle(&mut deltas, recorded, &replayed);
+                }
+            }
+        }
+        if !deltas.is_empty() {
+            report.divergences.push(BatchDivergence {
+                batch_index: batch.index,
+                deltas,
+            });
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Text codec
+// ---------------------------------------------------------------------------
+
+/// Error parsing a trace from its text form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParseError {
+    /// 1-based line number the error was detected at.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn waypoint_to_token(wp: &Waypoint) -> String {
+    let kind = match wp.kind {
+        WaypointKind::Pickup => 'P',
+        WaypointKind::Dropoff => 'D',
+    };
+    format!(
+        "{kind}:{}:{}:{}:{}:{}",
+        wp.request, wp.node, wp.deadline, wp.earliest, wp.riders
+    )
+}
+
+fn ids_to_token(ids: &[RequestId]) -> String {
+    ids.iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn vehicle_to_line(v: &VehicleState) -> String {
+    let sched = v
+        .schedule
+        .iter()
+        .map(waypoint_to_token)
+        .collect::<Vec<_>>()
+        .join(";");
+    format!(
+        "vehicle {} {} {} {} {} {} a={} c={} s={}",
+        v.id,
+        v.capacity,
+        v.node,
+        v.free_at,
+        v.onboard,
+        v.executed_travel,
+        ids_to_token(&v.assigned),
+        ids_to_token(&v.completed),
+        sched
+    )
+}
+
+impl Trace {
+    /// Serializes the trace to its versioned text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let m = &self.meta;
+        out.push_str(TRACE_HEADER);
+        out.push('\n');
+        out.push_str(&format!("algorithm {}\n", m.algorithm));
+        out.push_str(&format!("workload {}\n", m.workload));
+        let c = &m.config;
+        out.push_str(&format!(
+            "config batch_period={} alpha={} penalty={} shareability_capacity={} \
+             angle_enabled={} angle_threshold={} grid_cells={} max_candidate_vehicles={}\n",
+            c.batch_period,
+            c.cost.alpha,
+            c.cost.penalty_coefficient,
+            c.shareability_capacity,
+            c.angle.enabled,
+            c.angle.threshold,
+            c.grid_cells,
+            c.max_candidate_vehicles
+        ));
+        for (k, v) in &m.params {
+            out.push_str(&format!("param {k} {v}\n"));
+        }
+        if let Some(s) = m.sp_stats {
+            out.push_str(&format!(
+                "sp_stats total={} hits={} index={}\n",
+                s.total_queries, s.cache_hits, s.index_queries
+            ));
+        }
+        if let Some(s) = m.build_stats {
+            // BuildStats's Display is the trace rendering (single source of
+            // truth shared with the replay binary's summary output).
+            out.push_str(&format!("build_stats {s}\n"));
+        }
+        for b in &self.batches {
+            out.push_str(&format!("batch {} now={}\n", b.index, b.now));
+            for r in &b.requests {
+                out.push_str(&format!(
+                    "request {} {} {} {} {} {} {} {}\n",
+                    r.id,
+                    r.source,
+                    r.destination,
+                    r.riders,
+                    r.release,
+                    r.deadline,
+                    r.pickup_deadline,
+                    r.shortest_cost
+                ));
+            }
+            out.push_str("fleet before\n");
+            for v in &b.fleet_before {
+                out.push_str(&vehicle_to_line(v));
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "outcome assigned={} insertion_evaluations={} groups_enumerated={}\n",
+                ids_to_token(&b.assigned),
+                b.scratch.insertion_evaluations,
+                b.scratch.groups_enumerated
+            ));
+            out.push_str("fleet after\n");
+            for v in &b.fleet_after {
+                out.push_str(&vehicle_to_line(v));
+                out.push('\n');
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Parses a trace from its text form.
+    pub fn parse(text: &str) -> Result<Trace, TraceParseError> {
+        Parser::new(text).parse()
+    }
+
+    /// Writes the trace to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a trace from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Trace> {
+        let text = std::fs::read_to_string(path)?;
+        Trace::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+struct Parser<'a> {
+    lines: std::iter::Peekable<std::str::Lines<'a>>,
+    line_no: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            lines: text.lines().peekable(),
+            line_no: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> TraceParseError {
+        TraceParseError {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    fn next_line(&mut self) -> Option<&'a str> {
+        let line = self.lines.next();
+        if line.is_some() {
+            self.line_no += 1;
+        }
+        line
+    }
+
+    fn peek(&mut self) -> Option<&'a str> {
+        self.lines.peek().copied()
+    }
+
+    fn parse_scalar<T: FromStr>(&self, token: &str, what: &str) -> Result<T, TraceParseError> {
+        token
+            .parse::<T>()
+            .map_err(|_| self.err(format!("invalid {what}: {token:?}")))
+    }
+
+    /// Parses `key=value` out of a token, checking the key.
+    fn parse_kv<T: FromStr>(&self, token: &str, key: &str) -> Result<T, TraceParseError> {
+        let value = token
+            .strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+            .ok_or_else(|| self.err(format!("expected {key}=..., got {token:?}")))?;
+        self.parse_scalar(value, key)
+    }
+
+    fn parse_ids(&self, token: &str) -> Result<Vec<RequestId>, TraceParseError> {
+        if token.is_empty() {
+            return Ok(Vec::new());
+        }
+        token
+            .split(',')
+            .map(|t| self.parse_scalar(t, "request id"))
+            .collect()
+    }
+
+    fn parse_waypoint(&self, token: &str) -> Result<Waypoint, TraceParseError> {
+        let parts: Vec<&str> = token.split(':').collect();
+        if parts.len() != 6 {
+            return Err(self.err(format!("malformed waypoint token {token:?}")));
+        }
+        let kind = match parts[0] {
+            "P" => WaypointKind::Pickup,
+            "D" => WaypointKind::Dropoff,
+            other => return Err(self.err(format!("unknown waypoint kind {other:?}"))),
+        };
+        Ok(Waypoint {
+            request: self.parse_scalar(parts[1], "waypoint request")?,
+            node: self.parse_scalar(parts[2], "waypoint node")?,
+            kind,
+            deadline: self.parse_scalar(parts[3], "waypoint deadline")?,
+            earliest: self.parse_scalar(parts[4], "waypoint earliest")?,
+            riders: self.parse_scalar(parts[5], "waypoint riders")?,
+        })
+    }
+
+    fn parse_vehicle(&self, line: &str) -> Result<VehicleState, TraceParseError> {
+        let rest = line
+            .strip_prefix("vehicle ")
+            .ok_or_else(|| self.err("expected a vehicle line"))?;
+        let tokens: Vec<&str> = rest.split(' ').collect();
+        if tokens.len() != 9 {
+            return Err(self.err(format!("vehicle line needs 9 fields, got {}", tokens.len())));
+        }
+        let assigned = tokens[6]
+            .strip_prefix("a=")
+            .ok_or_else(|| self.err("expected a=<ids>"))?;
+        let completed = tokens[7]
+            .strip_prefix("c=")
+            .ok_or_else(|| self.err("expected c=<ids>"))?;
+        let sched = tokens[8]
+            .strip_prefix("s=")
+            .ok_or_else(|| self.err("expected s=<waypoints>"))?;
+        let schedule = if sched.is_empty() {
+            Vec::new()
+        } else {
+            sched
+                .split(';')
+                .map(|t| self.parse_waypoint(t))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        Ok(VehicleState {
+            id: self.parse_scalar(tokens[0], "vehicle id")?,
+            capacity: self.parse_scalar(tokens[1], "vehicle capacity")?,
+            node: self.parse_scalar(tokens[2], "vehicle node")?,
+            free_at: self.parse_scalar(tokens[3], "vehicle free_at")?,
+            onboard: self.parse_scalar(tokens[4], "vehicle onboard")?,
+            executed_travel: self.parse_scalar(tokens[5], "vehicle executed_travel")?,
+            assigned: self.parse_ids(assigned)?,
+            completed: self.parse_ids(completed)?,
+            schedule,
+        })
+    }
+
+    fn parse_fleet(&mut self, expected_marker: &str) -> Result<Vec<VehicleState>, TraceParseError> {
+        let marker = self
+            .next_line()
+            .ok_or_else(|| self.err(format!("missing {expected_marker:?} marker")))?;
+        if marker != expected_marker {
+            return Err(self.err(format!("expected {expected_marker:?}, got {marker:?}")));
+        }
+        let mut fleet = Vec::new();
+        while let Some(line) = self.peek() {
+            if !line.starts_with("vehicle ") {
+                break;
+            }
+            let line = self.next_line().expect("peeked line exists");
+            fleet.push(self.parse_vehicle(line)?);
+        }
+        Ok(fleet)
+    }
+
+    fn parse(mut self) -> Result<Trace, TraceParseError> {
+        let header = self.next_line().ok_or_else(|| self.err("empty trace"))?;
+        if header != TRACE_HEADER {
+            return Err(self.err(format!("unsupported trace header {header:?}")));
+        }
+        let mut meta = TraceMeta::default();
+        // Metadata lines, until the first `batch`.
+        while let Some(line) = self.peek() {
+            if line.starts_with("batch ") {
+                break;
+            }
+            let line = self.next_line().expect("peeked line exists");
+            if let Some(rest) = line.strip_prefix("algorithm ") {
+                meta.algorithm = rest.to_string();
+            } else if let Some(rest) = line.strip_prefix("workload ") {
+                meta.workload = rest.to_string();
+            } else if let Some(rest) = line.strip_prefix("config ") {
+                let tokens: Vec<&str> = rest.split(' ').collect();
+                if tokens.len() != 8 {
+                    return Err(self.err("config line needs 8 fields"));
+                }
+                meta.config = StructRideConfig {
+                    batch_period: self.parse_kv(tokens[0], "batch_period")?,
+                    cost: structride_model::CostParams {
+                        alpha: self.parse_kv(tokens[1], "alpha")?,
+                        penalty_coefficient: self.parse_kv(tokens[2], "penalty")?,
+                    },
+                    shareability_capacity: self.parse_kv(tokens[3], "shareability_capacity")?,
+                    angle: structride_sharegraph::AnglePruning {
+                        enabled: self.parse_kv(tokens[4], "angle_enabled")?,
+                        threshold: self.parse_kv(tokens[5], "angle_threshold")?,
+                    },
+                    grid_cells: self.parse_kv(tokens[6], "grid_cells")?,
+                    max_candidate_vehicles: self.parse_kv(tokens[7], "max_candidate_vehicles")?,
+                };
+            } else if let Some(rest) = line.strip_prefix("param ") {
+                let (key, value) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| self.err("param line needs a key and a value"))?;
+                meta.params.push((key.to_string(), value.to_string()));
+            } else if let Some(rest) = line.strip_prefix("sp_stats ") {
+                let tokens: Vec<&str> = rest.split(' ').collect();
+                if tokens.len() != 3 {
+                    return Err(self.err("sp_stats line needs 3 fields"));
+                }
+                meta.sp_stats = Some(SpStats {
+                    total_queries: self.parse_kv(tokens[0], "total")?,
+                    cache_hits: self.parse_kv(tokens[1], "hits")?,
+                    index_queries: self.parse_kv(tokens[2], "index")?,
+                });
+            } else if let Some(rest) = line.strip_prefix("build_stats ") {
+                let tokens: Vec<&str> = rest.split(' ').collect();
+                if tokens.len() != 4 {
+                    return Err(self.err("build_stats line needs 4 fields"));
+                }
+                meta.build_stats = Some(BuildStats {
+                    candidate_pairs: self.parse_kv(tokens[0], "candidate_pairs")?,
+                    angle_pruned: self.parse_kv(tokens[1], "angle_pruned")?,
+                    shareability_checks: self.parse_kv(tokens[2], "shareability_checks")?,
+                    edges_added: self.parse_kv(tokens[3], "edges_added")?,
+                });
+            } else if !line.trim().is_empty() {
+                return Err(self.err(format!("unexpected metadata line {line:?}")));
+            }
+        }
+
+        let mut batches = Vec::new();
+        while let Some(line) = self.next_line() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("batch ")
+                .ok_or_else(|| self.err(format!("expected a batch header, got {line:?}")))?;
+            let (index_tok, now_tok) = rest
+                .split_once(' ')
+                .ok_or_else(|| self.err("batch header needs an index and now=..."))?;
+            let index: usize = self.parse_scalar(index_tok, "batch index")?;
+            let now: f64 = self.parse_kv(now_tok, "now")?;
+
+            let mut requests = Vec::new();
+            while let Some(line) = self.peek() {
+                if !line.starts_with("request ") {
+                    break;
+                }
+                let line = self.next_line().expect("peeked line exists");
+                let tokens: Vec<&str> = line["request ".len()..].split(' ').collect();
+                if tokens.len() != 8 {
+                    return Err(self.err("request line needs 8 fields"));
+                }
+                requests.push(Request::new(
+                    self.parse_scalar(tokens[0], "request id")?,
+                    self.parse_scalar(tokens[1], "request source")?,
+                    self.parse_scalar(tokens[2], "request destination")?,
+                    self.parse_scalar(tokens[3], "request riders")?,
+                    self.parse_scalar(tokens[4], "request release")?,
+                    self.parse_scalar(tokens[5], "request deadline")?,
+                    self.parse_scalar(tokens[6], "request pickup_deadline")?,
+                    self.parse_scalar(tokens[7], "request shortest_cost")?,
+                ));
+            }
+
+            let fleet_before = self.parse_fleet("fleet before")?;
+
+            let outcome_line = self
+                .next_line()
+                .ok_or_else(|| self.err("missing outcome line"))?;
+            let rest = outcome_line.strip_prefix("outcome ").ok_or_else(|| {
+                self.err(format!("expected an outcome line, got {outcome_line:?}"))
+            })?;
+            let tokens: Vec<&str> = rest.split(' ').collect();
+            if tokens.len() != 3 {
+                return Err(self.err("outcome line needs 3 fields"));
+            }
+            let assigned_tok = tokens[0]
+                .strip_prefix("assigned=")
+                .ok_or_else(|| self.err("expected assigned=<ids>"))?;
+            let assigned = self.parse_ids(assigned_tok)?;
+            let scratch = ScratchStats {
+                insertion_evaluations: self.parse_kv(tokens[1], "insertion_evaluations")?,
+                groups_enumerated: self.parse_kv(tokens[2], "groups_enumerated")?,
+            };
+
+            let fleet_after = self.parse_fleet("fleet after")?;
+
+            let end = self
+                .next_line()
+                .ok_or_else(|| self.err("missing end marker"))?;
+            if end != "end" {
+                return Err(self.err(format!("expected \"end\", got {end:?}")));
+            }
+
+            batches.push(BatchRecord {
+                index,
+                now,
+                requests,
+                fleet_before,
+                assigned,
+                fleet_after,
+                scratch,
+            });
+        }
+
+        Ok(Trace { meta, batches })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structride_model::insertion;
+    use structride_roadnet::{Point, RoadNetworkBuilder};
+
+    fn line_engine() -> SpEngine {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..6 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 1..6u32 {
+            b.add_bidirectional(i - 1, i, 10.0).unwrap();
+        }
+        SpEngine::new(b.build().unwrap())
+    }
+
+    fn req(id: u32, s: u32, e: u32, release: f64, cost: f64) -> Request {
+        Request::with_detour(id, s, e, 1, release, cost, 2.0, 300.0)
+    }
+
+    /// Greedy insertion with a configurable preference, used to produce
+    /// recorded traces and deliberately perturbed replays.
+    struct Greedy {
+        /// `false`: min added cost (sane); `true`: max added cost (perturbed).
+        invert: bool,
+    }
+
+    impl Dispatcher for Greedy {
+        fn name(&self) -> &'static str {
+            "greedy"
+        }
+
+        fn dispatch_batch(
+            &mut self,
+            ctx: &DispatchContext<'_>,
+            vehicles: &mut [Vehicle],
+            new_requests: &[Request],
+        ) -> BatchOutcome {
+            let mut outcome = BatchOutcome::empty();
+            for r in new_requests {
+                let mut best: Option<(usize, structride_model::InsertionOutcome)> = None;
+                for (vi, v) in vehicles.iter().enumerate() {
+                    if let Some(out) = insertion::insert_request(ctx.engine, v, r) {
+                        ctx.scratch.count_insertion_evaluations(1);
+                        let better = match &best {
+                            None => true,
+                            Some((_, b)) => {
+                                if self.invert {
+                                    out.added_cost > b.added_cost
+                                } else {
+                                    out.added_cost < b.added_cost
+                                }
+                            }
+                        };
+                        if better {
+                            best = Some((vi, out));
+                        }
+                    }
+                }
+                if let Some((vi, out)) = best {
+                    vehicles[vi].commit_schedule(out.schedule);
+                    outcome.assigned.push(r.id);
+                }
+            }
+            outcome
+        }
+    }
+
+    fn record_greedy() -> (SpEngine, Trace) {
+        let engine = line_engine();
+        let config = StructRideConfig::default();
+        let mut recorder = TraceRecorder::new();
+        let mut dispatcher = Greedy { invert: false };
+        // Both vehicles can serve every request, at different added costs, so
+        // an inverted cost preference genuinely changes the commitments.
+        let mut vehicles = vec![Vehicle::new(1, 0, 4), Vehicle::new(2, 1, 4)];
+        // Two hand-driven batches (the simulator integration is exercised by
+        // the crate-level tests; here the recorder is driven directly).
+        for (index, batch) in [vec![req(1, 1, 3, 0.0, 20.0)], vec![req(3, 2, 5, 4.0, 30.0)]]
+            .into_iter()
+            .enumerate()
+        {
+            let now = 5.0 * (index + 1) as f64;
+            for v in vehicles.iter_mut() {
+                v.advance_to(&engine, now);
+            }
+            recorder.batch_started(index, now, &batch, &vehicles);
+            let ctx = DispatchContext::for_batch(&engine, config, now, index);
+            let outcome = dispatcher.dispatch_batch(&ctx, &mut vehicles, &batch);
+            recorder.batch_finished(&outcome, &vehicles, ctx.scratch.snapshot());
+        }
+        let mut meta = TraceMeta::new("greedy", "unit-line", config);
+        meta.params.push(("nodes".to_string(), "6".to_string()));
+        meta.sp_stats = Some(engine.stats());
+        (engine, recorder.into_trace(meta))
+    }
+
+    #[test]
+    fn vehicle_state_roundtrips_through_capture_restore() {
+        let engine = line_engine();
+        let mut v = Vehicle::new(7, 0, 4);
+        let r = req(1, 1, 3, 0.0, 20.0);
+        let out = insertion::insert_request(&engine, &v, &r).unwrap();
+        v.commit_schedule(out.schedule);
+        v.advance_to(&engine, 15.0);
+        let state = VehicleState::capture(&v);
+        let restored = state.restore();
+        assert_eq!(VehicleState::capture(&restored), state);
+        assert_eq!(restored.schedule, v.schedule);
+        assert_eq!(restored.free_at, v.free_at);
+        assert_eq!(restored.onboard, v.onboard);
+    }
+
+    #[test]
+    fn trace_text_roundtrips_exactly() {
+        let (_engine, trace) = record_greedy();
+        let text = trace.to_text();
+        let parsed = Trace::parse(&text).expect("parse recorded trace");
+        assert_eq!(parsed, trace);
+        // Serialization is stable: text -> trace -> text is the identity.
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::parse("").is_err());
+        assert!(Trace::parse("not a trace\n").is_err());
+        let (_engine, trace) = record_greedy();
+        let text = trace.to_text();
+        // Truncated body (drop the final `end`): parse must fail, not panic.
+        let truncated = text.trim_end().trim_end_matches("end");
+        assert!(Trace::parse(truncated).is_err());
+    }
+
+    #[test]
+    fn faithful_replay_is_clean() {
+        let (engine, trace) = record_greedy();
+        let mut dispatcher = Greedy { invert: false };
+        let report = replay_trace(&engine, &mut dispatcher, &trace);
+        assert!(report.is_clean(), "unexpected drift:\n{report}");
+        assert_eq!(report.batches_compared, trace.batches.len());
+        assert!(report.to_string().contains("zero drift"));
+    }
+
+    #[test]
+    fn perturbed_replay_is_flagged_with_first_divergent_batch() {
+        let (engine, trace) = record_greedy();
+        let mut dispatcher = Greedy { invert: true };
+        let report = replay_trace(&engine, &mut dispatcher, &trace);
+        assert!(!report.is_clean(), "inverted preference must drift");
+        let first = report.first_divergence().expect("a divergence");
+        // The two requests of batch 0 tie on nothing — the inverted greedy
+        // picks the worse vehicle immediately.
+        assert_eq!(first.batch_index, 0);
+        assert!(!first.deltas.is_empty());
+        let fields: Vec<&str> = first.deltas.iter().map(|d| d.field.as_str()).collect();
+        assert!(
+            fields.iter().any(|f| f.starts_with("vehicle[")),
+            "expected a vehicle-level delta, got {fields:?}"
+        );
+        let rendered = report.to_string();
+        assert!(rendered.contains("first at batch 0"), "{rendered}");
+    }
+
+    #[test]
+    fn vehicle_diff_covers_identity_fields() {
+        // A replay that reorders the fleet can differ *only* in id/capacity
+        // (two otherwise-identical vehicles swapped); the diff must surface
+        // that rather than silently producing zero deltas.
+        let a = VehicleState {
+            id: 1,
+            capacity: 4,
+            node: 0,
+            free_at: 0.0,
+            onboard: 0,
+            executed_travel: 0.0,
+            assigned: Vec::new(),
+            completed: Vec::new(),
+            schedule: Vec::new(),
+        };
+        let b = VehicleState {
+            id: 2,
+            capacity: 3,
+            ..a.clone()
+        };
+        let mut deltas = Vec::new();
+        diff_vehicle(&mut deltas, &a, &b);
+        let fields: Vec<&str> = deltas.iter().map(|d| d.field.as_str()).collect();
+        assert!(fields.contains(&"vehicle[1].id"), "{fields:?}");
+        assert!(fields.contains(&"vehicle[1].capacity"), "{fields:?}");
+    }
+
+    #[test]
+    fn meta_param_lookup() {
+        let (_engine, trace) = record_greedy();
+        assert_eq!(trace.meta.param("nodes"), Some("6"));
+        assert_eq!(trace.meta.param("missing"), None);
+    }
+}

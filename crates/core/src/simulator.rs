@@ -16,6 +16,7 @@ use crate::config::StructRideConfig;
 use crate::context::DispatchContext;
 use crate::dispatcher::Dispatcher;
 use crate::metrics::RunMetrics;
+use crate::replay::TraceRecorder;
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -58,9 +59,45 @@ impl Simulator {
         &self,
         engine: &SpEngine,
         requests: &[Request],
+        vehicles: Vec<Vehicle>,
+        dispatcher: &mut dyn Dispatcher,
+        workload_name: &str,
+    ) -> SimulationReport {
+        self.run_impl(engine, requests, vehicles, dispatcher, workload_name, None)
+    }
+
+    /// Like [`Simulator::run`], but records every `(batch, fleet-state,
+    /// outcome)` tuple into `recorder` for the replay harness (see
+    /// [`crate::replay`]).  Recording captures full fleet snapshots around
+    /// every dispatch call, so use it on replay-sized workloads, not in the
+    /// benchmark hot path.
+    pub fn run_recorded(
+        &self,
+        engine: &SpEngine,
+        requests: &[Request],
+        vehicles: Vec<Vehicle>,
+        dispatcher: &mut dyn Dispatcher,
+        workload_name: &str,
+        recorder: &mut TraceRecorder,
+    ) -> SimulationReport {
+        self.run_impl(
+            engine,
+            requests,
+            vehicles,
+            dispatcher,
+            workload_name,
+            Some(recorder),
+        )
+    }
+
+    fn run_impl(
+        &self,
+        engine: &SpEngine,
+        requests: &[Request],
         mut vehicles: Vec<Vehicle>,
         dispatcher: &mut dyn Dispatcher,
         workload_name: &str,
+        mut recorder: Option<&mut TraceRecorder>,
     ) -> SimulationReport {
         let mut ordered: Vec<Request> = requests.to_vec();
         ordered.sort_by(|a, b| {
@@ -100,11 +137,17 @@ impl Simulator {
                 next += 1;
             }
             let batch = &ordered[start..next];
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.batch_started(batches, now, batch, &vehicles);
+            }
             let ctx = DispatchContext::for_batch(engine, self.config, now, batches);
             let t0 = Instant::now();
             let outcome = dispatcher.dispatch_batch(&ctx, &mut vehicles, batch);
             dispatch_time += t0.elapsed().as_secs_f64();
             let scratch = ctx.scratch.snapshot();
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.batch_finished(&outcome, &vehicles, scratch);
+            }
             insertion_evaluations += scratch.insertion_evaluations;
             groups_enumerated += scratch.groups_enumerated;
             batches += 1;

@@ -94,18 +94,19 @@ pub fn insert_into(
         if reach > request.pickup_deadline + crate::schedule::TIME_EPS {
             continue;
         }
-        // Extra detour caused just by visiting the pickup between i-1 and i.
+        // Extra delay caused just by visiting the pickup between i-1 and i:
+        // the detour distance plus any waiting for the request release at the
+        // new pickup.  `buffers[i]` is the exact maximum arrival delay
+        // way-point i can take (downstream waiting absorption included, see
+        // `Schedule::buffer_times`), and inserting the drop-off can only add
+        // further delay, so exceeding the buffer rules out every j for this i.
         if i < n {
             let next_node = base.waypoints()[i].node;
             let direct = engine.cost(prev_node, next_node);
             let via =
                 engine.cost(prev_node, request.source) + engine.cost(request.source, next_node);
-            let detour = via - direct;
-            // The detour (plus any waiting for the release) must fit into the
-            // buffer of the following way-point; waiting makes this a lower
-            // bound, so only a clearly-too-large detour is pruned.
-            if detour > buffers[i] + crate::schedule::TIME_EPS && reach >= request.release {
-                // Even the cheapest continuation breaks a later deadline.
+            let delay = (via - direct) + (request.release - reach).max(0.0);
+            if delay > buffers[i] + crate::schedule::TIME_EPS {
                 continue;
             }
         }
@@ -262,6 +263,45 @@ mod tests {
         let out = insert_request(&engine, &v, &r).unwrap();
         // Deadhead 4->3 (10s) plus the trip (20s).
         assert_eq!(out.new_travel_cost, 30.0);
+    }
+
+    #[test]
+    fn release_boundary_insertion_with_absorbed_detour_is_not_pruned() {
+        let engine = line_engine();
+        // Vehicle idles at node 1.  Base: r1 from 2 to 4, released at t=100 —
+        // the vehicle reaches the pickup at t=10 and waits 90 s, and that
+        // waiting can absorb a detour taken beforehand.
+        let r1 = Request::new(1, 2, 4, 1, 100.0, 130.0, 112.0, 20.0);
+        let base = Schedule::direct(&r1);
+        assert!(base.evaluate(&engine, 1, 0.0, 0, 4).feasible);
+        // r2 starts behind the vehicle (detour 1->0->2 costs 20 s extra) and
+        // is released at t=10 — exactly when the vehicle can reach it.  This
+        // is the boundary case the old guard (`reach >= release` switches the
+        // naive slack cutoff on) wrongly pruned: 20 s exceeds r1's 10–12 s of
+        // naive slack, but the 90 s wait at r1's pickup absorbs it entirely.
+        let r2 = Request::new(2, 0, 2, 1, 10.0, 90.0, 40.0, 20.0);
+        let out = insert_into(&engine, 1, 0.0, 0, 4, &base, &r2)
+            .expect("feasible insertion at the release boundary must not be pruned");
+        assert!(out.schedule.is_well_formed());
+        assert!(out.schedule.contains_request(2));
+        let eval = out.schedule.evaluate(&engine, 1, 0.0, 0, 4);
+        assert!(eval.feasible);
+        // The cheapest placement serves r2 on the way to r1's pickup.
+        assert_eq!(out.pickup_pos, 0);
+        assert!((out.added_cost - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_still_rejects_unabsorbable_detours() {
+        let engine = line_engine();
+        // Same shape as above but r1 is released immediately: no waiting, so
+        // a 20 s detour genuinely breaks r1's deadlines and the guard (and
+        // the exact evaluation) must reject every placement.
+        let r1 = Request::new(1, 2, 4, 1, 0.0, 35.0, 15.0, 20.0);
+        let base = Schedule::direct(&r1);
+        assert!(base.evaluate(&engine, 1, 0.0, 0, 4).feasible);
+        let r2 = Request::new(2, 0, 2, 1, 10.0, 90.0, 40.0, 20.0);
+        assert!(insert_into(&engine, 1, 0.0, 0, 4, &base, &r2).is_none());
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl KineticTree {
                     feasible: true,
                     violated_at: None,
                     service_times: Vec::new(),
+                    waiting: Vec::new(),
                     travel_cost: 0.0,
                     completion_time: start_time,
                     max_onboard: onboard,

@@ -82,6 +82,9 @@ pub struct ScheduleEval {
     pub violated_at: Option<usize>,
     /// Service time at each way-point (arrival plus any waiting for release).
     pub service_times: Vec<f64>,
+    /// Waiting time at each way-point (service minus arrival; positive only
+    /// at pickups the vehicle reaches before the request release).
+    pub waiting: Vec<f64>,
     /// Total driving time over the schedule (waiting excluded).
     pub travel_cost: f64,
     /// Time at which the last way-point is served (equals the start time for
@@ -97,6 +100,7 @@ impl ScheduleEval {
             feasible: false,
             violated_at: Some(idx),
             service_times: Vec::new(),
+            waiting: Vec::new(),
             travel_cost: f64::INFINITY,
             completion_time: f64::INFINITY,
             max_onboard: 0,
@@ -216,6 +220,7 @@ impl Schedule {
         capacity: u32,
     ) -> ScheduleEval {
         let mut service_times = Vec::with_capacity(self.waypoints.len());
+        let mut waiting = Vec::with_capacity(self.waypoints.len());
         let mut travel = 0.0;
         let mut now = start_time;
         let mut node = start_node;
@@ -246,6 +251,7 @@ impl Schedule {
                 }
             }
             service_times.push(service);
+            waiting.push(service - arrive);
             now = service;
             node = wp.node;
         }
@@ -255,17 +261,31 @@ impl Schedule {
             violated_at: None,
             completion_time: now,
             service_times,
+            waiting,
             travel_cost: travel,
             max_onboard,
         }
     }
 
-    /// Buffer times of Definition 3: `buf(o_x)` is the maximum extra detour
-    /// that can be inserted *before* way-point `o_x+1` without violating any
-    /// later deadline.  Requires a feasible evaluation of this schedule.
+    /// Buffer times of Definition 3, extended with waiting absorption:
+    /// `buf[x]` is the maximum extra *arrival delay* at way-point `o_x` that
+    /// keeps every deadline from `o_x` onwards satisfiable.
     ///
-    /// The returned vector has one entry per way-point; `buf[last]` is the
-    /// slack of the last way-point itself.
+    /// A way-point whose base service waits for a release
+    /// (`service > arrival`) absorbs delay before any of it propagates to
+    /// later way-points, so the recursion adds the waiting at each step:
+    ///
+    /// ```text
+    /// buf[n-1] = slack(n-1) + wait(n-1)
+    /// buf[x]   = min(slack(x), buf[x+1]) + wait(x)
+    /// ```
+    ///
+    /// where `slack(x) = ddl(o_x) − service(o_x)` and
+    /// `wait(x) = service(o_x) − arrival(o_x)`.  This is exact: a delay `d`
+    /// in the arrival at `o_x` is feasible for `o_x..` iff `d ≤ buf[x]`
+    /// (delays up to `wait(x)` vanish entirely; beyond that the remainder
+    /// must fit both `o_x`'s own slack and the downstream buffer).  Requires
+    /// a feasible evaluation of this schedule.
     pub fn buffer_times(&self, eval: &ScheduleEval) -> Vec<f64> {
         debug_assert!(eval.feasible);
         let n = self.waypoints.len();
@@ -273,10 +293,10 @@ impl Schedule {
         if n == 0 {
             return buf;
         }
-        buf[n - 1] = self.waypoints[n - 1].deadline - eval.service_times[n - 1];
+        let slack = |x: usize| self.waypoints[x].deadline - eval.service_times[x];
+        buf[n - 1] = slack(n - 1) + eval.waiting[n - 1];
         for x in (0..n - 1).rev() {
-            let slack_next = self.waypoints[x + 1].deadline - eval.service_times[x + 1];
-            buf[x] = buf[x + 1].min(slack_next);
+            buf[x] = slack(x).min(buf[x + 1]) + eval.waiting[x];
         }
         buf
     }
@@ -425,9 +445,31 @@ mod tests {
         // is release+min(wait, slack): r1 slack=30 -> 30; r2 slack=20 -> 20.
         // dropoff ddls: 60 and 30.
         let buf = s.buffer_times(&eval);
-        // buf[3] = 60 - 30 = 30; buf[2] = min(buf[3], 60-30)=30;
-        // buf[1] = min(buf[2], 30-20)=10; buf[0] = min(buf[1], 20-10)=10.
-        assert_eq!(buf, vec![10.0, 10.0, 30.0, 30.0]);
+        // No waiting anywhere, so buf[x] = min slack over way-points x..:
+        // slacks are [30, 10, 10, 30] -> buf[3] = 30; buf[2] = min(10, 30);
+        // buf[1] = min(10, 10); buf[0] = min(30, 10).
+        assert_eq!(buf, vec![10.0, 10.0, 10.0, 30.0]);
+    }
+
+    #[test]
+    fn buffer_times_absorb_downstream_waiting() {
+        let engine = line_engine();
+        // r released at t=100: the vehicle arrives at the pickup at t=10 and
+        // waits 90 s.  That waiting absorbs up to 90 s of upstream delay
+        // before any deadline from the pickup onwards is threatened.
+        let r = request(1, 1, 2, 100.0, 10.0, 2.0);
+        let s = Schedule::direct(&r);
+        let eval = s.evaluate(&engine, 0, 0.0, 0, 4);
+        assert!(eval.feasible);
+        assert_eq!(eval.waiting, vec![90.0, 0.0]);
+        let buf = s.buffer_times(&eval);
+        // Slacks: pickup ddl−service, drop-off ddl−service; the pickup's
+        // buffer additionally gains the 90 s of absorbed waiting.
+        let pickup_slack = s.waypoints()[0].deadline - 100.0;
+        let dropoff_slack = s.waypoints()[1].deadline - 110.0;
+        assert_eq!(buf[1], dropoff_slack);
+        assert_eq!(buf[0], pickup_slack.min(buf[1]) + 90.0);
+        assert!(buf[0] > 90.0, "waiting must enlarge the buffer");
     }
 
     #[test]

@@ -85,10 +85,10 @@ proptest! {
         }
     }
 
-    /// Buffer times (Definition 3) are always non-negative for feasible
-    /// schedules and non-increasing toward earlier way-points, and adding the
-    /// buffer of the first way-point as a uniform delay keeps the schedule
-    /// feasible.
+    /// Buffer times are exact: for a feasible schedule, `buf[0]` is
+    /// precisely the largest extra departure delay that keeps every deadline
+    /// satisfiable — delaying by `buf[0]` stays feasible, delaying by any
+    /// visible margin more does not (waiting absorption included).
     #[test]
     fn buffer_times_bound_the_tolerable_delay(
         raw in proptest::collection::vec((0u32..100, 0u32..100, 0.0f64..20.0, 0.3f64..1.5), 1..4),
@@ -112,19 +112,23 @@ proptest! {
         prop_assert!(eval.feasible);
         let buffers = schedule.buffer_times(&eval);
         prop_assert_eq!(buffers.len(), schedule.len());
-        for w in buffers.windows(2) {
-            // buf(o_x) = min(buf(o_x+1), slack(o_x+1)) ≤ buf(o_x+1).
-            prop_assert!(w[0] <= w[1] + 1e-9);
+        for (x, b) in buffers.iter().enumerate() {
+            // Never negative (modulo the feasibility tolerance), and at least
+            // the waiting already present at the way-point.
+            prop_assert!(*b >= -1e-7);
+            prop_assert!(*b + 1e-9 >= eval.waiting[x]);
         }
-        for b in &buffers {
-            prop_assert!(*b >= -1e-9);
+        // Monotone once each way-point's own absorbed waiting is taken out:
+        // buf[x] − wait(x) = min(slack(x), buf[x+1]) ≤ buf[x+1].
+        for (x, w) in buffers.windows(2).enumerate() {
+            prop_assert!(w[0] - eval.waiting[x] <= w[1] + 1e-9);
         }
-        // Delaying departure by the schedule-wide slack (the first way-point's
-        // own slack combined with buf(o_1), which covers every later stop)
-        // must keep every deadline satisfied — waiting at pickups only helps.
-        let first_slack = schedule.waypoints()[0].deadline - eval.service_times[0];
-        let delay = buffers[0].min(first_slack).max(0.0);
+        // Delaying departure by exactly buf[0] keeps every deadline…
+        let delay = buffers[0].max(0.0);
         let delayed = schedule.evaluate(&engine, start, delay, 0, 4);
         prop_assert!(delayed.feasible, "delay {delay} broke the schedule");
+        // …and the bound is tight: any visible margin beyond it breaks one.
+        let broken = schedule.evaluate(&engine, start, delay + 1e-3, 0, 4);
+        prop_assert!(!broken.feasible, "delay {delay} + 1e-3 should violate a deadline");
     }
 }

@@ -28,11 +28,17 @@ pub struct LruCache<K: std::hash::Hash + Eq + Clone, V: Clone> {
     capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
-    /// Creates a cache holding at most `capacity` entries.  A capacity of 0 is
-    /// treated as a cache that never stores anything.
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// A capacity of 0 disables storage entirely: [`LruCache::insert`] is a
+    /// silent no-op (never a panic, never an eviction) and every lookup
+    /// misses.  [`crate::sharded::ShardedLruCache`] guarantees the same
+    /// semantics, so a zero-capacity engine cache behaves identically whether
+    /// sharded or not.
     pub fn new(capacity: usize) -> Self {
         LruCache {
             map: HashMap::with_capacity(capacity.min(1 << 20)),
@@ -42,6 +48,7 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             capacity,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -68,6 +75,14 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     /// Number of lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of entries evicted to make room for an insert.  Exact: between
+    /// [`LruCache::clear`] calls, `new-key inserts − len()` (replacing an
+    /// existing key and capacity-0 no-op inserts evict nothing).  Cumulative
+    /// across clears, like [`LruCache::hits`] / [`LruCache::misses`].
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn detach(&mut self, idx: u32) {
@@ -131,6 +146,7 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.detach(victim);
+            self.evictions += 1;
             let old_key = self.slots[victim as usize].key.clone();
             self.map.remove(&old_key);
             self.slots[victim as usize].key = key.clone();
@@ -207,11 +223,35 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_stores_nothing() {
+    fn zero_capacity_inserts_are_silent_noops() {
         let mut c: LruCache<u32, u32> = LruCache::new(0);
-        c.insert(1, 1);
+        // Repeated inserts neither panic nor store nor evict.
+        for i in 0..100 {
+            c.insert(i, i);
+        }
         assert_eq!(c.get(&1), None);
         assert_eq!(c.len(), 0);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn eviction_counter_is_exact() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..10 {
+            c.insert(i, i);
+        }
+        // 10 distinct keys into 4 slots: exactly 6 evictions.
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.evictions(), 10 - 4);
+        // Replacing an existing key never evicts.
+        c.insert(9, 99);
+        assert_eq!(c.evictions(), 6);
+        // A new key evicts exactly one.
+        c.insert(100, 100);
+        assert_eq!(c.evictions(), 7);
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

@@ -34,8 +34,13 @@ pub struct ShardedLruCache<K: Hash + Eq + Clone, V: Clone> {
 impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     /// Creates a cache holding at most `capacity` entries in total, spread
     /// over `shards` shards.  The shard count is rounded up to a power of two
-    /// (minimum 1); a zero capacity disables storage entirely, as in
-    /// [`LruCache`].
+    /// (minimum 1).
+    ///
+    /// A zero capacity disables storage entirely, with exactly the
+    /// [`LruCache`] semantics: every shard gets capacity 0, so inserts are
+    /// silent no-ops (never a panic, never an eviction) and every lookup
+    /// misses.  The per-shard counters stay exact under sharding — see
+    /// [`ShardedLruCache::evictions`].
     pub fn new(capacity: usize, shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         let per_shard = if capacity == 0 {
@@ -75,6 +80,34 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     /// True when no shard holds any entry.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lookups that hit, summed over all shards.
+    pub fn hits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("sp cache shard poisoned").hits())
+            .sum()
+    }
+
+    /// Lookups that missed, summed over all shards.
+    pub fn misses(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("sp cache shard poisoned").misses())
+            .sum()
+    }
+
+    /// Entries evicted, summed over all shards.  Exact under sharding: every
+    /// key maps to exactly one shard, so between clears the sum equals
+    /// `new-key inserts − len()` just as for a single [`LruCache`] — sharding
+    /// changes *which* entries are evicted (per-shard LRU order), never how
+    /// many are accounted.
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("sp cache shard poisoned").evictions())
+            .sum()
     }
 
     fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
@@ -148,11 +181,57 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_stores_nothing() {
+    fn zero_capacity_inserts_are_silent_noops() {
+        // Capacity-0 semantics must agree with the unsharded LruCache: inserts
+        // are no-ops (no panic, no storage, no eviction) on every shard.
         let c: ShardedLruCache<u32, u32> = ShardedLruCache::new(0, 8);
-        c.insert(1, 1);
+        for i in 0..200 {
+            c.insert(i, i);
+        }
         assert_eq!(c.get(&1), None);
         assert_eq!(c.capacity(), 0);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn eviction_counters_stay_exact_under_sharding() {
+        let c: ShardedLruCache<u32, u32> = ShardedLruCache::new(64, 8);
+        let inserts = 1_000u64;
+        for i in 0..inserts as u32 {
+            c.insert(i, i);
+        }
+        // Every key hashes to exactly one shard, so the summed counter obeys
+        // the same identity as a single LRU: evictions = inserts − len.
+        assert_eq!(c.evictions(), inserts - c.len() as u64);
+        // Replacing existing keys never evicts: re-insert everything currently
+        // cached (whatever survived) and check the counter is unchanged.
+        let before = c.evictions();
+        for i in 0..inserts as u32 {
+            if c.get(&i).is_some() {
+                c.insert(i, i + 1);
+            }
+        }
+        assert_eq!(c.evictions(), before);
+        assert_eq!(c.evictions(), inserts - c.len() as u64);
+    }
+
+    #[test]
+    fn hit_miss_counters_aggregate_across_shards() {
+        let c: ShardedLruCache<u32, u32> = ShardedLruCache::new(1 << 10, 4);
+        for i in 0..100u32 {
+            c.insert(i, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(c.get(&i), Some(i));
+        }
+        for i in 1000..1010u32 {
+            assert_eq!(c.get(&i), None);
+        }
+        assert_eq!(c.hits(), 100);
+        assert_eq!(c.misses(), 10);
     }
 
     #[test]

@@ -74,8 +74,38 @@ impl GridIndex {
         idx.clamp(0.0, (self.cells_per_side - 1) as f64) as u32
     }
 
-    /// Cell containing the point `(x, y)` (points outside the extent are
-    /// clamped to the border cells).
+    /// True if `(x, y)` lies inside the rectangle the grid covers.
+    ///
+    /// Points on the max border count as inside (they fall into the last
+    /// cell), matching [`GridIndex::cell_of`]'s clamping.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        let extent = self.cell_size * self.cells_per_side as f64;
+        x >= self.min_x && x <= self.min_x + extent && y >= self.min_y && y <= self.min_y + extent
+    }
+
+    /// Cell containing the point `(x, y)`, or `None` if the point lies
+    /// outside the grid extent (including NaN coordinates).
+    ///
+    /// Use this where an out-of-bounds coordinate indicates a bug worth
+    /// surfacing; [`GridIndex::cell_of`] silently clamps instead.
+    pub fn try_cell_of(&self, x: f64, y: f64) -> Option<CellId> {
+        if self.contains(x, y) {
+            Some(self.cell_of(x, y))
+        } else {
+            None
+        }
+    }
+
+    /// Cell containing the point `(x, y)`.
+    ///
+    /// **Clamping is intended behavior here**: points outside the extent
+    /// (vehicles drifting past the network bounding box, query discs poking
+    /// over the border) are clamped to the nearest border cell, so every
+    /// coordinate maps to a valid cell and [`GridIndex::insert`] /
+    /// [`GridIndex::range_query`] never panic.  Range queries stay correct
+    /// because the Euclidean distance filter uses the *true* stored
+    /// coordinates, not the cell.  Callers that need out-of-bounds surfaced
+    /// distinctly should use [`GridIndex::try_cell_of`].
     pub fn cell_of(&self, x: f64, y: f64) -> CellId {
         let cx = self.clamp_coord(x, self.min_x);
         let cy = self.clamp_coord(y, self.min_y);
@@ -218,6 +248,61 @@ mod tests {
         assert!(g.range_query(0.0, 99.0, 5.0).is_empty());
         // …but a large radius does.
         assert_eq!(g.range_query(0.0, 99.0, 1000.0), vec![1]);
+    }
+
+    #[test]
+    fn negative_coordinates_clamp_to_first_cells() {
+        let g = grid();
+        // cell_of clamps (documented): any negative coordinate lands in the
+        // matching border cell instead of panicking or wrapping.
+        assert_eq!(g.cell_of(-1.0, -1.0), g.cell_of(0.0, 0.0));
+        assert_eq!(g.cell_of(-1e12, 55.0), g.cell_of(0.0, 55.0));
+        // try_cell_of surfaces the same points as out of bounds.
+        assert_eq!(g.try_cell_of(-1.0, -1.0), None);
+        assert_eq!(g.try_cell_of(-1e12, 55.0), None);
+        assert_eq!(g.try_cell_of(-0.0, 55.0), Some(g.cell_of(0.0, 55.0)));
+        assert!(!g.contains(-1.0, 50.0));
+    }
+
+    #[test]
+    fn past_max_coordinates_clamp_to_last_cells() {
+        let g = grid();
+        // Inside, on the max border, and past it.
+        let last = g.cell_of(99.9, 99.9);
+        assert_eq!(g.cell_of(100.0, 100.0), last);
+        assert_eq!(g.cell_of(101.0, 1e12), last);
+        // The max border itself is in bounds; anything beyond is surfaced.
+        assert_eq!(g.try_cell_of(100.0, 100.0), Some(last));
+        assert_eq!(g.try_cell_of(100.0 + 1e-9, 100.0), None);
+        assert_eq!(g.try_cell_of(50.0, 101.0), None);
+        assert!(g.contains(100.0, 100.0));
+        assert!(!g.contains(100.1, 50.0));
+    }
+
+    #[test]
+    fn nan_coordinates_are_out_of_bounds_not_a_panic() {
+        let mut g = grid();
+        assert_eq!(g.try_cell_of(f64::NAN, 5.0), None);
+        assert_eq!(g.try_cell_of(5.0, f64::NAN), None);
+        assert!(!g.contains(f64::NAN, f64::NAN));
+        // The clamping path maps NaN to a valid cell (saturating cast), so an
+        // insert with garbage coordinates never corrupts the index structure.
+        g.insert(1, f64::NAN, f64::NAN);
+        assert_eq!(g.len(), 1);
+        assert!(g.remove(1));
+    }
+
+    #[test]
+    fn out_of_bounds_inserts_are_still_indexed_and_queryable() {
+        let mut g = grid();
+        g.insert(1, -50.0, 50.0);
+        g.insert(2, 150.0, 50.0);
+        // Stored under border cells (documented clamping), retrievable by true
+        // Euclidean distance.
+        let mut far = g.range_query(50.0, 50.0, 200.0);
+        far.sort_unstable();
+        assert_eq!(far, vec![1, 2]);
+        assert!(g.range_query(50.0, 50.0, 40.0).is_empty());
     }
 
     #[test]

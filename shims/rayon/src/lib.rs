@@ -16,16 +16,34 @@
 //!   batches never pay thread-spawn overhead.
 //!
 //! `RAYON_NUM_THREADS` is honored (as upstream does); `1` forces sequential
-//! execution.  Swapping this path dependency for upstream rayon requires no
+//! execution.  [`ThreadPoolBuilder`]/[`ThreadPool::install`] mirror the
+//! upstream API for scoping a different worker count dynamically — the replay
+//! harness uses it to run the same trace under 1 and N workers in one
+//! process.  Swapping this path dependency for upstream rayon requires no
 //! source changes.
 
+use std::cell::Cell;
 use std::sync::OnceLock;
 
 /// Inputs below this length are processed sequentially.
 const MIN_PARALLEL_LEN: usize = 16;
 
+thread_local! {
+    /// Worker count forced by an enclosing [`ThreadPool::install`], if any.
+    /// Propagated into spawned workers so nested parallel regions see the
+    /// same count as the installing thread.
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
 /// Number of worker threads used for parallel execution.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n;
+    }
+    default_num_threads()
+}
+
+fn default_num_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
         if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
@@ -41,6 +59,94 @@ pub fn current_num_threads() -> usize {
     })
 }
 
+/// Restores the previous override when dropped (panic-safe).
+struct OverrideGuard {
+    previous: Option<usize>,
+}
+
+fn set_thread_override(n: Option<usize>) -> OverrideGuard {
+    let previous = THREAD_OVERRIDE.with(|c| c.replace(n));
+    OverrideGuard { previous }
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        THREAD_OVERRIDE.with(|c| c.set(previous));
+    }
+}
+
+/// Error building a [`ThreadPool`] (mirrors `rayon::ThreadPoolBuildError`;
+/// this shim's pools cannot actually fail to build).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder`: configures a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts from the defaults (worker count = `current_num_threads()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` (the default) keeps the ambient count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.  Infallible in this shim, `Result` for upstream
+    /// signature compatibility.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Mirrors `rayon::ThreadPool`: a scoped worker-count context.
+///
+/// Unlike upstream there are no persistent pool threads — `install` simply
+/// forces `current_num_threads()` to this pool's count for the duration of
+/// the closure (including inside spawned workers), which is exactly the
+/// observable property the workspace's determinism tests exercise.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The worker count this pool runs with.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's worker count in effect.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let _guard = set_thread_override(Some(self.threads));
+        op()
+    }
+}
+
 /// Runs `f(i)` for every `i in 0..n` and returns the results in index order,
 /// fanning the index range out over the worker threads.
 fn execute_indexed<R, F>(n: usize, f: F) -> Vec<R>
@@ -52,6 +158,7 @@ where
     if threads <= 1 || n < MIN_PARALLEL_LEN {
         return (0..n).map(f).collect();
     }
+    let effective = current_num_threads();
     let chunk = n.div_ceil(threads);
     let chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
         let f = &f;
@@ -59,7 +166,10 @@ where
             .map(|t| {
                 let start = t * chunk;
                 let end = ((t + 1) * chunk).min(n);
-                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+                scope.spawn(move || {
+                    let _guard = set_thread_override(Some(effective));
+                    (start..end).map(f).collect::<Vec<R>>()
+                })
             })
             .collect();
         handles
@@ -87,8 +197,12 @@ where
         let rb = b();
         return (ra, rb);
     }
+    let effective = current_num_threads();
     std::thread::scope(|scope| {
-        let ha = scope.spawn(a);
+        let ha = scope.spawn(move || {
+            let _guard = set_thread_override(Some(effective));
+            a()
+        });
         let rb = b();
         (ha.join().expect("rayon-shim join arm panicked"), rb)
     })
@@ -180,11 +294,13 @@ impl<'a, T: Send> ParIterMut<'a, T> {
             }
             return;
         }
+        let effective = current_num_threads();
         let chunk = n.div_ceil(threads);
         std::thread::scope(|scope| {
             let f = &f;
             for part in self.items.chunks_mut(chunk) {
                 scope.spawn(move || {
+                    let _guard = set_thread_override(Some(effective));
                     for item in part {
                         f(item);
                     }
@@ -282,5 +398,66 @@ mod tests {
         let input = vec![1, 2, 3];
         let out: Vec<i32> = input.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn install_scopes_the_worker_count() {
+        let ambient = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(super::current_num_threads);
+        assert_eq!(seen, 3);
+        // Restored once install returns.
+        assert_eq!(super::current_num_threads(), ambient);
+        // Nesting: the innermost install wins, then unwinds.
+        let inner = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let (outer_seen, inner_seen) = pool.install(|| {
+            let i = inner.install(super::current_num_threads);
+            (super::current_num_threads(), i)
+        });
+        assert_eq!(outer_seen, 3);
+        assert_eq!(inner_seen, 1);
+    }
+
+    #[test]
+    fn install_propagates_into_workers() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let input: Vec<u64> = (0..1000).collect();
+        let counts: Vec<usize> = pool.install(|| {
+            input
+                .par_iter()
+                .map(|_| super::current_num_threads())
+                .collect()
+        });
+        // Every worker (not just the installing thread) sees the pool's count,
+        // so nested parallel regions inside workers stay consistent.
+        assert!(counts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn install_with_one_thread_matches_parallel_results() {
+        let input: Vec<u64> = (0..500).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|&x| x * 3 + 1).collect();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let sequential: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 3 + 1).collect());
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn builder_default_keeps_ambient_count() {
+        let pool = super::ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), super::current_num_threads());
     }
 }

@@ -46,6 +46,15 @@
 //!
 //! Set `RAYON_NUM_THREADS=1` to force the whole pipeline sequential.
 //!
+//! Determinism is *enforced* by the record/replay harness
+//! ([`core::replay`](structride_core::replay)): the simulator can record
+//! `(batch, fleet-state, outcome)` traces
+//! ([`Simulator::run_recorded`](prelude::Simulator::run_recorded)) and
+//! [`replay_trace`](structride_core::replay::replay_trace) diffs any
+//! dispatcher against a recording batch-by-batch — CI replays a quickstart
+//! trace under 1 and N worker threads and fails on any drift (see the
+//! `replay` binary in `structride-bench`).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -93,8 +102,9 @@ pub mod prelude {
     //! The names most programs need, in one import.
     pub use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
     pub use structride_core::{
-        BatchOutcome, DispatchContext, Dispatcher, RunMetrics, SardDispatcher, SimulationReport,
-        Simulator, StructRideConfig,
+        replay_trace, BatchOutcome, DispatchContext, Dispatcher, DriftReport, RunMetrics,
+        SardDispatcher, SimulationReport, Simulator, StructRideConfig, Trace, TraceMeta,
+        TraceRecorder,
     };
     pub use structride_datagen::{CityProfile, Workload, WorkloadParams};
     pub use structride_model::{
