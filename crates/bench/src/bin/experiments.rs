@@ -4,15 +4,23 @@
 //! experiments [EXPERIMENT ...] [--quick]
 //!
 //! EXPERIMENT ∈ { fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
-//!                fig16, table_pruning, angle_model, all }
+//!                fig16, table_pruning, angle_model, sharded, all }
 //! ```
 //!
 //! Output is TSV on stdout: one row per (sweep point, algorithm) with the
 //! metrics the paper plots (service rate, unified cost, running time,
 //! shortest-path queries, memory).  `--quick` shrinks the workloads for a
 //! fast smoke run.
+//!
+//! `sharded` goes beyond the paper: it compares the monolithic pipeline with
+//! the multi-region sharded one on a three-city workload and additionally
+//! writes the machine-readable `BENCH_sharded.json` (throughput, per-batch
+//! wall-clock, service rate) consumed by the perf-trajectory tooling.  It
+//! prints its own TSV schema, so it is **not** implied by `all` — name it
+//! explicitly (the figure header is suppressed when `sharded` runs alone).
 
 use structride_bench::harness;
+use structride_bench::shardbench;
 use structride_bench::ExperimentScale;
 
 fn main() {
@@ -28,12 +36,26 @@ fn main() {
         selected.push("all".to_string());
     }
     let wants = |name: &str| selected.iter().any(|s| s == name || s == "all");
+    // `sharded` emits its own TSV schema (ShardBenchRow): it is never
+    // implied by `all` and refuses to share a stdout stream with the figure
+    // experiments — two header shapes in one stream would break downstream
+    // TSV consumers.
+    let wants_sharded = selected.iter().any(|s| s == "sharded");
+    if wants_sharded && !selected.iter().all(|s| s == "sharded") {
+        eprintln!(
+            "`sharded` prints its own TSV schema and cannot be combined with \
+             other experiments; run it in a separate invocation"
+        );
+        std::process::exit(2);
+    }
 
     eprintln!(
         "# running {:?} at scale: {} requests / {} vehicles / horizon {}s",
         selected, scale.requests, scale.vehicles, scale.horizon
     );
-    harness::print_header();
+    if !wants_sharded {
+        harness::print_header();
+    }
 
     if wants("fig8") {
         harness::fig8_vary_vehicles(&scale);
@@ -73,5 +95,12 @@ fn main() {
     }
     if wants("angle_model") {
         harness::angle_probability_model();
+    }
+    if wants_sharded {
+        let shard_counts = [1usize, 3];
+        if let Err(e) = shardbench::run_and_write(&scale, &shard_counts, "BENCH_sharded.json") {
+            eprintln!("failed to write BENCH_sharded.json: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -1,9 +1,9 @@
 //! Record/replay front end for the dispatcher-determinism harness.
 //!
 //! ```text
-//! replay record  [--quick] [--algo KEY] [--out PATH]
+//! replay record  [--quick] [--algo KEY] [--out PATH] [--shards N]
 //! replay replay  --trace PATH [--algo KEY] [--threads N]
-//! replay verify  [--quick] [--algo KEY] [--threads N]
+//! replay verify  [--quick] [--algo KEY] [--threads N] [--shards N]
 //! ```
 //!
 //! * `record` runs the quickstart-style workload under the chosen dispatcher
@@ -15,23 +15,33 @@
 //!   worker threads asserting zero drift, then replay with a *different*
 //!   dispatcher and assert the harness flags the drift (self-test).
 //!
+//! `--shards N` switches `record`/`verify` to the **sharded** pipeline: a
+//! two-city multi-region workload dispatched by `N` parallel shards with one
+//! `KEY` dispatcher each.  A sharded trace records the canonical global view
+//! (release-ordered batches, id-sorted union fleet, shard-ordered merged
+//! outcomes); `replay` detects such traces by their metadata, re-runs the
+//! whole sharded pipeline and diffs the two traces — the sharded form of the
+//! replay invariant (bit-identical across worker counts).
+//!
 //! `KEY` ∈ {sard, rtv, prunegdp, gas, darm, ticket}; `ticket` records fine
 //! but is exempt from `verify` — its commit-order races are the algorithm
 //! being reproduced.
 
 use std::process::ExitCode;
 use structride_bench::replay_cli::{
-    dispatcher_by_name, quickstart_params, record_run, regenerate_workload, replay_run,
-    trace_dispatcher_key, DETERMINISTIC_KEYS, DISPATCHER_KEYS,
+    dispatcher_by_name, is_sharded_trace, quickstart_params, record_run, record_sharded_run,
+    regenerate_multi_workload, regenerate_workload, replay_run, rerun_sharded,
+    sharded_quickstart_params, trace_dispatcher_key, trace_shards, DETERMINISTIC_KEYS,
+    DISPATCHER_KEYS,
 };
 use structride_core::replay::Trace;
 use structride_core::StructRideConfig;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: replay record [--quick] [--algo KEY] [--out PATH]\n\
+        "usage: replay record [--quick] [--algo KEY] [--out PATH] [--shards N]\n\
          \x20      replay replay --trace PATH [--algo KEY] [--threads N]\n\
-         \x20      replay verify [--quick] [--algo KEY] [--threads N]\n\
+         \x20      replay verify [--quick] [--algo KEY] [--threads N] [--shards N]\n\
          KEY: {}",
         DISPATCHER_KEYS.join(", ")
     );
@@ -44,6 +54,7 @@ struct Args {
     out: Option<String>,
     trace: Option<String>,
     threads: Option<usize>,
+    shards: Option<usize>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
@@ -54,6 +65,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         out: None,
         trace: None,
         threads: None,
+        shards: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -62,6 +74,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
             "--out" => args.out = Some(argv.next()?),
             "--trace" => args.trace = Some(argv.next()?),
             "--threads" => args.threads = Some(argv.next()?.parse().ok()?),
+            "--shards" => args.shards = Some(argv.next()?.parse().ok()?),
             _ => return None,
         }
     }
@@ -91,11 +104,22 @@ fn print_trace_summary(trace: &Trace) {
 fn cmd_record(args: &Args) -> ExitCode {
     let algo = args.algo.as_deref().unwrap_or("sard");
     let out = args.out.as_deref().unwrap_or("replay-trace.txt");
-    let Some((_workload, trace)) = record_run(
-        quickstart_params(args.quick),
-        StructRideConfig::default(),
-        algo,
-    ) else {
+    let recorded = match args.shards {
+        Some(shards) => record_sharded_run(
+            sharded_quickstart_params(args.quick),
+            StructRideConfig::default(),
+            algo,
+            shards,
+        )
+        .map(|(_, trace)| trace),
+        None => record_run(
+            quickstart_params(args.quick),
+            StructRideConfig::default(),
+            algo,
+        )
+        .map(|(_, trace)| trace),
+    };
+    let Some(trace) = recorded else {
         eprintln!("unknown dispatcher {algo:?}");
         return ExitCode::from(2);
     };
@@ -108,22 +132,28 @@ fn cmd_record(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn replay_in_pool(
-    workload: &structride_datagen::Workload,
-    algo: &str,
-    trace: &Trace,
-    threads: Option<usize>,
-) -> Option<structride_core::replay::DriftReport> {
+/// Runs `op` under an explicit worker-thread count (or the ambient one when
+/// `threads` is `None`) — the one place the pool-building pattern lives.
+fn in_pool<R: Send>(threads: Option<usize>, op: impl FnOnce() -> R + Send) -> R {
     match threads {
         Some(n) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build()
                 .expect("thread pool");
-            pool.install(|| replay_run(workload, algo, trace))
+            pool.install(op)
         }
-        None => replay_run(workload, algo, trace),
+        None => op(),
     }
+}
+
+fn replay_in_pool(
+    workload: &structride_datagen::Workload,
+    algo: &str,
+    trace: &Trace,
+    threads: Option<usize>,
+) -> Option<structride_core::replay::DriftReport> {
+    in_pool(threads, || replay_run(workload, algo, trace))
 }
 
 fn cmd_replay(args: &Args) -> ExitCode {
@@ -149,6 +179,27 @@ fn cmd_replay(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if is_sharded_trace(&trace) {
+        let Some(workload) = regenerate_multi_workload(&trace.meta) else {
+            eprintln!("sharded trace metadata lacks regeneration parameters");
+            return ExitCode::FAILURE;
+        };
+        eprintln!(
+            "# sharded trace: shards={}",
+            trace_shards(&trace).unwrap_or(0)
+        );
+        let report = in_pool(args.threads, || rerun_sharded(&workload, &algo, &trace));
+        let Some(report) = report else {
+            eprintln!("unknown dispatcher {algo:?} or malformed sharded metadata");
+            return ExitCode::from(2);
+        };
+        println!("{report}");
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     let Some(workload) = regenerate_workload(&trace.meta) else {
         eprintln!("trace metadata lacks regeneration parameters");
         return ExitCode::FAILURE;
@@ -165,6 +216,66 @@ fn cmd_replay(args: &Args) -> ExitCode {
     }
 }
 
+/// The sharded verify flow: record a sharded trace in-process, re-run the
+/// pipeline under 1 and N worker threads asserting zero drift, then re-run
+/// with a different per-shard dispatcher and assert the drift is flagged.
+fn cmd_verify_sharded(args: &Args, algo: &str, shards: usize) -> ExitCode {
+    let config = StructRideConfig::default();
+    let Some((workload, trace)) =
+        record_sharded_run(sharded_quickstart_params(args.quick), config, algo, shards)
+    else {
+        eprintln!("unknown dispatcher {algo:?}");
+        return ExitCode::from(2);
+    };
+    print_trace_summary(&trace);
+    // Exercise the codec: the parsed form must re-verify identically.
+    let trace = match Trace::parse(&trace.to_text()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("self-test FAILED: sharded trace does not round-trip: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let many = args
+        .threads
+        .unwrap_or_else(rayon::current_num_threads)
+        .max(2);
+    for threads in [1, many] {
+        let Some(report) = in_pool(Some(threads), || rerun_sharded(&workload, algo, &trace)) else {
+            eprintln!("unknown dispatcher {algo:?}");
+            return ExitCode::from(2);
+        };
+        println!("shards={shards} threads={threads}: {report}");
+        if !report.is_clean() {
+            eprintln!("verify FAILED: sharded drift under {threads} worker thread(s)");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Self-test: a different per-shard dispatcher must be flagged.
+    let other = if algo == "prunegdp" {
+        "gas"
+    } else {
+        "prunegdp"
+    };
+    let Some(report) = rerun_sharded(&workload, other, &trace) else {
+        eprintln!("unknown dispatcher {other:?}");
+        return ExitCode::from(2);
+    };
+    if report.is_clean() {
+        eprintln!(
+            "self-test FAILED: sharded re-run with {other} against a {algo} trace reported no drift"
+        );
+        return ExitCode::FAILURE;
+    }
+    let first = report
+        .first_divergence()
+        .map(|d| d.batch_index)
+        .expect("non-clean report has a divergence");
+    println!("self-test: sharded {other} drift detected at batch {first}, as expected");
+    println!("verify OK: sharded run bit-identical across 1 and {many} worker threads");
+    ExitCode::SUCCESS
+}
+
 fn cmd_verify(args: &Args) -> ExitCode {
     let algo = args.algo.as_deref().unwrap_or("sard").to_ascii_lowercase();
     if !DETERMINISTIC_KEYS.contains(&algo.as_str()) {
@@ -173,6 +284,9 @@ fn cmd_verify(args: &Args) -> ExitCode {
             DETERMINISTIC_KEYS.join(", ")
         );
         return ExitCode::from(2);
+    }
+    if let Some(shards) = args.shards {
+        return cmd_verify_sharded(args, &algo, shards);
     }
     let config = StructRideConfig::default();
     let Some((workload, trace)) = record_run(quickstart_params(args.quick), config, &algo) else {

@@ -14,5 +14,7 @@
 
 pub mod harness;
 pub mod replay_cli;
+pub mod shardbench;
 
 pub use harness::{ExperimentScale, SuiteKind};
+pub use shardbench::ShardBenchRow;

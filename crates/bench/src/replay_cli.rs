@@ -8,9 +8,14 @@
 //! format, making cross-process replays bit-identical.
 
 use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
-use structride_core::replay::{replay_trace, DriftReport, Trace, TraceMeta, TraceRecorder};
+use structride_core::replay::{
+    diff_traces, replay_trace, DriftReport, Trace, TraceMeta, TraceRecorder,
+};
+use structride_core::shard::{region_strips_for, ShardedSimulator, ShardingConfig};
 use structride_core::{Dispatcher, SardDispatcher, Simulator, StructRideConfig};
-use structride_datagen::{CityProfile, Workload, WorkloadParams};
+use structride_datagen::{
+    CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
+};
 
 /// The dispatcher keys `--algo` accepts.  `ticket` is deliberately absent
 /// from `verify`'s reach: TicketAssign+'s commit-order races are the
@@ -21,8 +26,12 @@ pub const DISPATCHER_KEYS: &[&str] = &["sard", "rtv", "prunegdp", "gas", "darm",
 /// Deterministic dispatchers — the ones the replay invariant applies to.
 pub const DETERMINISTIC_KEYS: &[&str] = &["sard", "rtv", "prunegdp", "gas", "darm"];
 
-/// Constructs a fresh dispatcher from its CLI key.
-pub fn dispatcher_by_name(key: &str, config: StructRideConfig) -> Option<Box<dyn Dispatcher>> {
+/// Constructs a fresh dispatcher from its CLI key.  The box is `Send` so
+/// the sharded pipeline can hand one dispatcher to each shard's worker.
+pub fn dispatcher_by_name(
+    key: &str,
+    config: StructRideConfig,
+) -> Option<Box<dyn Dispatcher + Send>> {
     match key.to_ascii_lowercase().as_str() {
         "sard" => Some(Box::new(SardDispatcher::new(config))),
         "rtv" => Some(Box::new(Rtv::new(config.cost.penalty_coefficient))),
@@ -153,6 +162,167 @@ pub fn replay_run(workload: &Workload, algo_key: &str, trace: &Trace) -> Option<
     Some(replay_trace(&workload.engine, dispatcher.as_mut(), trace))
 }
 
+// ---------------------------------------------------------------------------
+// Sharded traces
+// ---------------------------------------------------------------------------
+
+/// The quickstart-style multi-region workload the sharded `record`/`verify`
+/// subcommands use: a Chengdu-like and an NYC-like region side by side.
+pub fn sharded_quickstart_params(quick: bool) -> MultiRegionParams {
+    MultiRegionParams {
+        cities: vec![CityProfile::ChengduLike, CityProfile::NycLike],
+        requests_per_region: if quick { 50 } else { 110 },
+        vehicles_per_region: if quick { 8 } else { 18 },
+        capacity: 4,
+        horizon: if quick { 120.0 } else { 280.0 },
+        scale: 0.3,
+        seed: 42,
+    }
+}
+
+/// Serializes multi-region generation parameters, the shard count and the
+/// sharding knobs into trace metadata pairs.  `mode=sharded` marks the trace
+/// as a sharded one.  The [`ShardingConfig`] is recorded for the same reason
+/// `StructRideConfig` is serialized into every trace: replay must rebuild
+/// the *recorded* pipeline, not whatever the defaults are at replay time.
+pub fn multi_params_to_meta(
+    params: &MultiRegionParams,
+    shards: usize,
+    sharding: &ShardingConfig,
+) -> Vec<(String, String)> {
+    let cities: Vec<&str> = params.cities.iter().map(|c| c.name()).collect();
+    vec![
+        ("mode".to_string(), "sharded".to_string()),
+        ("shards".to_string(), shards.to_string()),
+        (
+            "handoff_band".to_string(),
+            sharding.handoff_band.to_string(),
+        ),
+        ("rebalance".to_string(), sharding.rebalance.to_string()),
+        (
+            "max_migrations_per_batch".to_string(),
+            sharding.max_migrations_per_batch.to_string(),
+        ),
+        ("cities".to_string(), cities.join(",")),
+        (
+            "requests_per_region".to_string(),
+            params.requests_per_region.to_string(),
+        ),
+        (
+            "vehicles_per_region".to_string(),
+            params.vehicles_per_region.to_string(),
+        ),
+        ("capacity".to_string(), params.capacity.to_string()),
+        ("horizon".to_string(), params.horizon.to_string()),
+        ("scale".to_string(), params.scale.to_string()),
+        ("seed".to_string(), params.seed.to_string()),
+    ]
+}
+
+/// True when `trace` was recorded by the sharded pipeline.
+pub fn is_sharded_trace(trace: &Trace) -> bool {
+    trace.meta.param("mode") == Some("sharded")
+}
+
+/// The shard count a sharded trace was recorded with.
+pub fn trace_shards(trace: &Trace) -> Option<usize> {
+    trace.meta.param("shards")?.parse().ok()
+}
+
+/// The sharding knobs a sharded trace was recorded with.
+pub fn trace_sharding(trace: &Trace) -> Option<ShardingConfig> {
+    Some(ShardingConfig {
+        handoff_band: trace.meta.param("handoff_band")?.parse().ok()?,
+        rebalance: trace.meta.param("rebalance")?.parse().ok()?,
+        max_migrations_per_batch: trace.meta.param("max_migrations_per_batch")?.parse().ok()?,
+    })
+}
+
+/// Reconstructs the multi-region generation parameters from trace metadata.
+pub fn multi_params_from_meta(meta: &TraceMeta) -> Option<MultiRegionParams> {
+    let cities: Vec<CityProfile> = meta
+        .param("cities")?
+        .split(',')
+        .map(city_from_name)
+        .collect::<Option<Vec<_>>>()?;
+    Some(MultiRegionParams {
+        cities,
+        requests_per_region: meta.param("requests_per_region")?.parse().ok()?,
+        vehicles_per_region: meta.param("vehicles_per_region")?.parse().ok()?,
+        capacity: meta.param("capacity")?.parse().ok()?,
+        horizon: meta.param("horizon")?.parse().ok()?,
+        scale: meta.param("scale")?.parse().ok()?,
+        seed: meta.param("seed")?.parse().ok()?,
+    })
+}
+
+/// Regenerates the exact multi-region workload a sharded trace was recorded
+/// on.
+pub fn regenerate_multi_workload(meta: &TraceMeta) -> Option<MultiRegionWorkload> {
+    multi_params_from_meta(meta).map(MultiRegionWorkload::generate)
+}
+
+/// Records a sharded run: one `algo_key` dispatcher per shard over `shards`
+/// vertical strips of the multi-region workload described by `params`.
+pub fn record_sharded_run(
+    params: MultiRegionParams,
+    config: StructRideConfig,
+    algo_key: &str,
+    shards: usize,
+) -> Option<(MultiRegionWorkload, Trace)> {
+    // Validate the key once up front (each shard gets a fresh instance).
+    let probe = dispatcher_by_name(algo_key, config)?;
+    let algorithm = probe.name().to_string();
+    let workload = MultiRegionWorkload::generate(params.clone());
+    let regions = region_strips_for(workload.network(), shards.max(1) as u32);
+    let sharding = ShardingConfig::default();
+    let mut recorder = TraceRecorder::new();
+    ShardedSimulator::with_sharding(config, sharding).run_recorded(
+        workload.network(),
+        &regions,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        |_| dispatcher_by_name(algo_key, config).expect("validated dispatcher key"),
+        &workload.name,
+        &mut recorder,
+    );
+    let mut meta = TraceMeta::new(algorithm, &workload.name, config);
+    meta.params = multi_params_to_meta(&params, shards.max(1), &sharding);
+    meta.params
+        .push(("dispatcher".to_string(), algo_key.to_ascii_lowercase()));
+    Some((workload, recorder.into_trace(meta)))
+}
+
+/// Re-runs the sharded pipeline a trace was recorded from and diffs the two
+/// global traces ([`diff_traces`]) — sharded runs cannot be replayed through
+/// a single dispatcher, so verification is an end-to-end re-run.
+pub fn rerun_sharded(
+    workload: &MultiRegionWorkload,
+    algo_key: &str,
+    trace: &Trace,
+) -> Option<DriftReport> {
+    dispatcher_by_name(algo_key, trace.meta.config)?;
+    let shards = trace_shards(trace)?;
+    // Rebuild the *recorded* sharding configuration, never the current
+    // defaults — a default that drifts after recording must not turn into a
+    // false replay failure.
+    let sharding = trace_sharding(trace)?;
+    let config = trace.meta.config;
+    let regions = region_strips_for(workload.network(), shards.max(1) as u32);
+    let mut recorder = TraceRecorder::new();
+    ShardedSimulator::with_sharding(config, sharding).run_recorded(
+        workload.network(),
+        &regions,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        |_| dispatcher_by_name(algo_key, config).expect("validated dispatcher key"),
+        &workload.name,
+        &mut recorder,
+    );
+    let rerun = recorder.into_trace(trace.meta.clone());
+    Some(diff_traces(trace, &rerun))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +347,39 @@ mod tests {
         let mut meta = TraceMeta::new("SARD", "w", StructRideConfig::default());
         meta.params = params_to_meta(&params);
         assert_eq!(params_from_meta(&meta), Some(params));
+    }
+
+    #[test]
+    fn multi_region_params_roundtrip_through_meta() {
+        let params = sharded_quickstart_params(true);
+        let sharding = ShardingConfig {
+            handoff_band: 312.5,
+            rebalance: false,
+            max_migrations_per_batch: 7,
+        };
+        let mut meta = TraceMeta::new("SARD", "w", StructRideConfig::default());
+        meta.params = multi_params_to_meta(&params, 2, &sharding);
+        assert_eq!(multi_params_from_meta(&meta), Some(params));
+        let trace = Trace {
+            meta,
+            batches: Vec::new(),
+        };
+        assert!(is_sharded_trace(&trace));
+        assert_eq!(trace_shards(&trace), Some(2));
+        // The sharding knobs round-trip too — replay rebuilds the recorded
+        // pipeline, not the current defaults.
+        assert_eq!(trace_sharding(&trace), Some(sharding));
+    }
+
+    #[test]
+    fn regenerated_multi_workload_is_identical() {
+        let params = sharded_quickstart_params(true);
+        let original = MultiRegionWorkload::generate(params.clone());
+        let mut meta = TraceMeta::new("SARD", &original.name, StructRideConfig::default());
+        meta.params = multi_params_to_meta(&params, 2, &ShardingConfig::default());
+        let regenerated = regenerate_multi_workload(&meta).expect("params round-trip");
+        assert_eq!(regenerated.requests, original.requests);
+        assert_eq!(regenerated.name, original.name);
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Sharded-vs-unsharded throughput benchmark with machine-readable output.
+//!
+//! [`bench_sharded`] runs one multi-region workload through the monolithic
+//! [`Simulator`] and through the [`ShardedSimulator`] at each requested
+//! shard count, measuring end-to-end wall-clock per run, and renders the
+//! rows both as TSV (stdout, like every other experiment) and as a
+//! `BENCH_*.json` document — the machine-readable series seeding the
+//! project's performance trajectory (throughput, per-batch wall-clock,
+//! service rate; parsed by tooling, so the schema below is append-only).
+
+use std::time::Instant;
+use structride_core::shard::{region_strips_for, ShardedSimulator};
+use structride_core::{SardDispatcher, Simulator, StructRideConfig};
+use structride_datagen::{CityProfile, MultiRegionParams, MultiRegionWorkload};
+
+use crate::harness::ExperimentScale;
+
+/// One benchmark row: one pipeline configuration over the shared workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBenchRow {
+    /// `"unsharded"` (monolithic simulator) or `"sharded"`.
+    pub mode: String,
+    /// Shard count (1 for the unsharded baseline).
+    pub shards: usize,
+    /// Worker threads the run executed with.
+    pub threads: usize,
+    /// Requests offered.
+    pub requests: usize,
+    /// Requests served.
+    pub served: usize,
+    /// served / requests.
+    pub service_rate: f64,
+    /// Batches processed.
+    pub batches: usize,
+    /// Wall-clock of the batch loop + drain, seconds (setup excluded so
+    /// sharded and unsharded runs compare steady-state dispatching).
+    pub wall_s: f64,
+    /// One-off setup wall-clock (per-shard engine builds), seconds.
+    pub setup_s: f64,
+    /// Mean wall-clock per batch, milliseconds.
+    pub per_batch_ms: f64,
+    /// Requests processed per wall-clock second.
+    pub throughput_rps: f64,
+    /// Unified cost of the (aggregate) run.
+    pub unified_cost: f64,
+    /// Cross-shard handoffs (0 for unsharded).
+    pub handoffs: u64,
+    /// Idle-vehicle migrations (0 for unsharded).
+    pub migrations: u64,
+}
+
+impl ShardBenchRow {
+    /// The TSV header matching [`ShardBenchRow::tsv_row`].
+    pub fn tsv_header() -> &'static str {
+        "mode\tshards\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations"
+    }
+
+    /// One tab-separated row.
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}",
+            self.mode,
+            self.shards,
+            self.threads,
+            self.requests,
+            self.served,
+            self.service_rate,
+            self.batches,
+            self.wall_s,
+            self.setup_s,
+            self.per_batch_ms,
+            self.throughput_rps,
+            self.unified_cost,
+            self.handoffs,
+            self.migrations,
+        )
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"shards\":{},\"threads\":{},\"requests\":{},\"served\":{},\
+             \"service_rate\":{:.6},\"batches\":{},\"wall_s\":{:.6},\"setup_s\":{:.6},\
+             \"per_batch_ms\":{:.6},\"throughput_rps\":{:.3},\"unified_cost\":{:.3},\
+             \"handoffs\":{},\"migrations\":{}}}",
+            self.mode,
+            self.shards,
+            self.threads,
+            self.requests,
+            self.served,
+            self.service_rate,
+            self.batches,
+            self.wall_s,
+            self.setup_s,
+            self.per_batch_ms,
+            self.throughput_rps,
+            self.unified_cost,
+            self.handoffs,
+            self.migrations,
+        )
+    }
+}
+
+/// Renders the full `BENCH_*.json` document.
+pub fn render_bench_json(workload_name: &str, rows: &[ShardBenchRow]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| format!("    {}", r.to_json()))
+        .collect();
+    format!
+        ("{{\n  \"bench\": \"sharded_dispatch\",\n  \"schema_version\": 1,\n  \"workload\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        workload_name,
+        body.join(",\n")
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row(
+    mode: &str,
+    shards: usize,
+    requests: usize,
+    served: usize,
+    batches: usize,
+    wall_s: f64,
+    setup_s: f64,
+    unified_cost: f64,
+    handoffs: u64,
+    migrations: u64,
+) -> ShardBenchRow {
+    ShardBenchRow {
+        mode: mode.to_string(),
+        shards,
+        threads: rayon::current_num_threads(),
+        requests,
+        served,
+        service_rate: if requests == 0 {
+            0.0
+        } else {
+            served as f64 / requests as f64
+        },
+        batches,
+        wall_s,
+        setup_s,
+        per_batch_ms: if batches == 0 {
+            0.0
+        } else {
+            wall_s * 1000.0 / batches as f64
+        },
+        throughput_rps: if wall_s > 0.0 {
+            requests as f64 / wall_s
+        } else {
+            0.0
+        },
+        unified_cost,
+        handoffs,
+        migrations,
+    }
+}
+
+/// The multi-region workload the sharded benchmark runs on: all three city
+/// profiles side by side, sized from `scale`.
+pub fn bench_workload(scale: &ExperimentScale) -> MultiRegionWorkload {
+    MultiRegionWorkload::generate(MultiRegionParams {
+        cities: vec![
+            CityProfile::ChengduLike,
+            CityProfile::NycLike,
+            CityProfile::CainiaoLike,
+        ],
+        requests_per_region: (scale.requests / 3).max(30),
+        vehicles_per_region: (scale.vehicles / 3).max(6),
+        capacity: 4,
+        horizon: scale.horizon,
+        scale: scale.network_scale,
+        seed: scale.seed,
+    })
+}
+
+/// Runs the sharded-vs-unsharded comparison and returns `(workload name,
+/// rows)`: one unsharded baseline plus one sharded run per entry of
+/// `shard_counts`.  Every run starts from a fresh fleet and a cold cache.
+pub fn bench_sharded(
+    scale: &ExperimentScale,
+    shard_counts: &[usize],
+) -> (String, Vec<ShardBenchRow>) {
+    let workload = bench_workload(scale);
+    let config = StructRideConfig::default();
+    let mut rows = Vec::new();
+
+    // Unsharded baseline: one SARD over the whole fleet and stream.
+    workload.engine.clear_cache();
+    let mut sard = SardDispatcher::new(config);
+    let t0 = Instant::now();
+    let mono = Simulator::new(config).run(
+        &workload.engine,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        &mut sard,
+        &workload.name,
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    rows.push(row(
+        "unsharded",
+        1,
+        mono.metrics.total_requests,
+        mono.metrics.served_requests,
+        mono.metrics.batches,
+        wall,
+        0.0,
+        mono.metrics.unified_cost,
+        0,
+        0,
+    ));
+
+    // Sharded runs.  `wall_s` is the batch loop + drain; the one-off
+    // per-shard engine construction is reported as `setup_s`, mirroring the
+    // pre-built engine the unsharded baseline starts from.
+    for &k in shard_counts {
+        let regions = region_strips_for(workload.network(), k.max(1) as u32);
+        let sim = ShardedSimulator::new(config);
+        let report = sim.run(
+            workload.network(),
+            &regions,
+            &workload.requests,
+            workload.fresh_vehicles(),
+            |_| Box::new(SardDispatcher::new(config)),
+            &workload.name,
+        );
+        rows.push(row(
+            "sharded",
+            k.max(1),
+            report.aggregate.total_requests,
+            report.aggregate.served_requests,
+            report.aggregate.batches,
+            report.run_seconds,
+            report.setup_seconds,
+            report.aggregate.unified_cost,
+            report.handoffs,
+            report.migrations,
+        ));
+    }
+    (workload.name, rows)
+}
+
+/// Runs [`bench_sharded`], prints the TSV rows and writes the JSON document
+/// to `out_path`.
+pub fn run_and_write(
+    scale: &ExperimentScale,
+    shard_counts: &[usize],
+    out_path: &str,
+) -> std::io::Result<()> {
+    let (name, rows) = bench_sharded(scale, shard_counts);
+    println!("{}", ShardBenchRow::tsv_header());
+    for r in &rows {
+        println!("{}", r.tsv_row());
+    }
+    std::fs::write(out_path, render_bench_json(&name, &rows))?;
+    eprintln!("# wrote {out_path}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rows_cover_all_modes_and_serialize() {
+        let scale = ExperimentScale {
+            requests: 90,
+            vehicles: 18,
+            horizon: 120.0,
+            network_scale: 0.25,
+            seed: 42,
+        };
+        let (name, rows) = bench_sharded(&scale, &[1, 3]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].mode, "unsharded");
+        assert!(rows.iter().skip(1).all(|r| r.mode == "sharded"));
+        assert_eq!(rows[1].shards, 1);
+        assert_eq!(rows[2].shards, 3);
+        for r in &rows {
+            assert!(r.requests > 0);
+            assert!(r.wall_s > 0.0);
+            assert!(r.throughput_rps > 0.0);
+            assert!(r.service_rate > 0.0 && r.service_rate <= 1.0);
+            assert_eq!(
+                r.tsv_row().split('\t').count(),
+                ShardBenchRow::tsv_header().split('\t').count()
+            );
+        }
+        // A 1-shard sharded run serves exactly what the unsharded one does.
+        assert_eq!(rows[0].served, rows[1].served);
+        assert_eq!(rows[0].batches, rows[1].batches);
+
+        let json = render_bench_json(&name, &rows);
+        assert!(json.contains("\"bench\": \"sharded_dispatch\""));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"mode\":\"unsharded\""));
+        assert!(json.contains("\"mode\":\"sharded\""));
+        assert_eq!(json.matches("\"throughput_rps\"").count(), 3);
+        // Minimal well-formedness: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -4,8 +4,9 @@
 //! text form, under 1 and N worker threads.
 
 use structride_bench::replay_cli::{
-    quickstart_params, record_run, regenerate_workload, replay_run, trace_dispatcher_key,
-    DETERMINISTIC_KEYS,
+    is_sharded_trace, quickstart_params, record_run, record_sharded_run, regenerate_multi_workload,
+    regenerate_workload, replay_run, rerun_sharded, sharded_quickstart_params,
+    trace_dispatcher_key, trace_shards, DETERMINISTIC_KEYS,
 };
 use structride_core::replay::Trace;
 use structride_core::StructRideConfig;
@@ -50,6 +51,49 @@ fn trace_replays_clean_from_text_on_regenerated_workload() {
             "drift with {threads} worker thread(s):\n{report}"
         );
     }
+}
+
+#[test]
+fn sharded_trace_reruns_clean_from_text_under_1_and_n_threads() {
+    // The sharded arm of the CI smoke job: record a 2-shard trace, push it
+    // through the text codec, regenerate the multi-region workload from
+    // metadata alone and re-run the whole sharded pipeline under explicit
+    // worker counts — zero drift either way.
+    let config = StructRideConfig::default();
+    let (_original, trace) = record_sharded_run(sharded_quickstart_params(true), config, "sard", 2)
+        .expect("known dispatcher");
+    assert!(is_sharded_trace(&trace));
+    assert_eq!(trace_shards(&trace), Some(2));
+    assert!(!trace.batches.is_empty());
+    let parsed = Trace::parse(&trace.to_text()).expect("round-trip");
+    assert_eq!(parsed, trace);
+    let workload = regenerate_multi_workload(&parsed.meta).expect("regeneration params recorded");
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let report = pool
+            .install(|| rerun_sharded(&workload, "sard", &parsed))
+            .expect("known dispatcher");
+        assert!(
+            report.is_clean(),
+            "sharded drift with {threads} worker thread(s):\n{report}"
+        );
+    }
+}
+
+#[test]
+fn sharded_rerun_with_a_different_dispatcher_is_flagged() {
+    let config = StructRideConfig::default();
+    let (workload, trace) = record_sharded_run(sharded_quickstart_params(true), config, "sard", 2)
+        .expect("known dispatcher");
+    let report = rerun_sharded(&workload, "prunegdp", &trace).expect("known dispatcher");
+    assert!(
+        !report.is_clean(),
+        "pruneGDP shards cannot match a SARD-sharded trace"
+    );
+    assert!(report.first_divergence().is_some());
 }
 
 #[test]

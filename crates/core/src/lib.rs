@@ -24,6 +24,12 @@
 //!   "deterministic regardless of worker count" invariant;
 //! * [`sard`] — Algorithm 3, the two-phase "proposal–acceptance" SARD
 //!   dispatcher guided by the shareability loss;
+//! * [`shard`] — multi-region sharded dispatch: a
+//!   [`ShardedSimulator`](shard::ShardedSimulator) partitioning the fleet
+//!   and request stream by region into parallel per-shard pipelines (one
+//!   `SpEngine` + dispatcher per shard), with deterministic best-bid
+//!   cross-shard handoff, idle-vehicle rebalancing, and shard-merged
+//!   metrics; with one shard it reduces exactly to [`simulator`];
 //! * [`simulator`] — the batched dynamic simulation engine (vehicle movement,
 //!   request expiry, metric accounting) used by every experiment;
 //! * [`metrics`] — the run-level metrics the paper reports (unified cost,
@@ -37,6 +43,7 @@ pub mod metrics;
 pub mod ordering;
 pub mod replay;
 pub mod sard;
+pub mod shard;
 pub mod simulator;
 
 pub use config::StructRideConfig;
@@ -46,8 +53,11 @@ pub use grouping::{enumerate_groups, CandidateGroup};
 pub use metrics::RunMetrics;
 pub use ordering::{InsertionOrdering, OrderingStudy};
 pub use replay::{
-    replay_trace, BatchDivergence, BatchRecord, DriftReport, FieldDelta, Trace, TraceMeta,
-    TraceParseError, TraceRecorder, VehicleState,
+    diff_traces, replay_trace, BatchDivergence, BatchRecord, DriftReport, FieldDelta, Trace,
+    TraceMeta, TraceParseError, TraceRecorder, VehicleState,
 };
 pub use sard::SardDispatcher;
+pub use shard::{
+    region_strips_for, ShardDispatcher, ShardedReport, ShardedSimulator, ShardingConfig,
+};
 pub use simulator::{SimulationReport, Simulator};

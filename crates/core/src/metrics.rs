@@ -58,6 +58,59 @@ impl RunMetrics {
         structride_model::unified_cost(params, self.total_travel, self.unserved_direct_cost)
     }
 
+    /// Merges the metrics of two *disjoint* parts of one logical run — the
+    /// shard-aggregation operation of the multi-region sharded simulator.
+    ///
+    /// Counts, travel, unserved direct cost, shortest-path queries, memory
+    /// and the scratch counters add; `batches` takes the maximum (shards are
+    /// batch-synchronous, so parts of one run share the batch clock);
+    /// `running_time` adds (aggregate dispatcher CPU time — shards dispatch
+    /// concurrently, so wall-clock is reported separately by the bench
+    /// harness).  The unified cost is **recomputed** from the merged travel
+    /// and unserved components via `params` — Equation (3) is linear in both,
+    /// which is exactly why merge-of-parts equals the whole (see the unit
+    /// tests).  String fields are kept when identical and joined with `+`
+    /// otherwise.
+    pub fn merge(&self, other: &RunMetrics, params: &CostParams) -> RunMetrics {
+        let join = |a: &str, b: &str| {
+            if a == b {
+                a.to_string()
+            } else {
+                format!("{a}+{b}")
+            }
+        };
+        let total_travel = self.total_travel + other.total_travel;
+        let unserved_direct_cost = self.unserved_direct_cost + other.unserved_direct_cost;
+        RunMetrics {
+            algorithm: join(&self.algorithm, &other.algorithm),
+            workload: join(&self.workload, &other.workload),
+            total_requests: self.total_requests + other.total_requests,
+            served_requests: self.served_requests + other.served_requests,
+            total_travel,
+            unserved_direct_cost,
+            unified_cost: structride_model::unified_cost(
+                params,
+                total_travel,
+                unserved_direct_cost,
+            ),
+            running_time: self.running_time + other.running_time,
+            sp_queries: self.sp_queries + other.sp_queries,
+            memory_bytes: self.memory_bytes + other.memory_bytes,
+            batches: self.batches.max(other.batches),
+            insertion_evaluations: self.insertion_evaluations + other.insertion_evaluations,
+            groups_enumerated: self.groups_enumerated + other.groups_enumerated,
+        }
+    }
+
+    /// Folds [`RunMetrics::merge`] over all `parts` (`None` when empty).
+    pub fn merge_all(parts: &[RunMetrics], params: &CostParams) -> Option<RunMetrics> {
+        let (first, rest) = parts.split_first()?;
+        Some(
+            rest.iter()
+                .fold(first.clone(), |acc, part| acc.merge(part, params)),
+        )
+    }
+
     /// One tab-separated row used by the experiment harness output.
     pub fn tsv_row(&self) -> String {
         format!(
@@ -84,6 +137,7 @@ impl RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use structride_model::unified_cost;
 
     fn sample() -> RunMetrics {
         RunMetrics {
@@ -123,6 +177,85 @@ mod tests {
         assert_eq!(p5, 10_000.0 + 5.0 * 2_000.0);
         assert_eq!(p20, 10_000.0 + 20.0 * 2_000.0);
         assert!(p20 > p5);
+    }
+
+    /// Splits a "whole run" into per-shard parts and checks the merge
+    /// reconstructs the whole exactly — the property shard aggregation
+    /// relies on.
+    #[test]
+    fn merge_of_parts_equals_the_whole() {
+        let params = CostParams::with_penalty(10.0);
+        // The whole: one run over 300 requests.
+        let whole = RunMetrics {
+            algorithm: "SARD".into(),
+            workload: "multi".into(),
+            total_requests: 300,
+            served_requests: 210,
+            total_travel: 15_000.0,
+            unserved_direct_cost: 3_000.0,
+            unified_cost: unified_cost(&params, 15_000.0, 3_000.0),
+            running_time: 2.5,
+            sp_queries: 20_000,
+            memory_bytes: 3 << 20,
+            batches: 50,
+            insertion_evaluations: 1_500,
+            groups_enumerated: 600,
+        };
+        // Three disjoint parts of the same run (batch-synchronous shards:
+        // every part saw all 50 batches).
+        let parts = [
+            (100, 80, 5_000.0, 1_000.0, 0.5, 4_000, 1 << 20, 500, 100),
+            (120, 90, 6_000.0, 1_250.0, 1.25, 9_000, 1 << 20, 700, 350),
+            (80, 40, 4_000.0, 750.0, 0.75, 7_000, 1 << 20, 300, 150),
+        ]
+        .map(
+            |(req, srv, travel, unserved, rt, sp, mem, ins, grp)| RunMetrics {
+                algorithm: "SARD".into(),
+                workload: "multi".into(),
+                total_requests: req,
+                served_requests: srv,
+                total_travel: travel,
+                unserved_direct_cost: unserved,
+                unified_cost: unified_cost(&params, travel, unserved),
+                running_time: rt,
+                sp_queries: sp,
+                memory_bytes: mem,
+                batches: 50,
+                insertion_evaluations: ins,
+                groups_enumerated: grp,
+            },
+        );
+        let merged = RunMetrics::merge_all(&parts, &params).expect("non-empty parts");
+        assert_eq!(merged, whole);
+        // Merging a single part is the identity.
+        let one = RunMetrics::merge_all(&parts[..1], &params).unwrap();
+        assert_eq!(one, parts[0]);
+        assert_eq!(RunMetrics::merge_all(&[], &params), None);
+    }
+
+    #[test]
+    fn merge_joins_mismatched_names_and_keeps_batch_max() {
+        let params = CostParams::default();
+        let a = RunMetrics {
+            batches: 40,
+            ..sample()
+        };
+        let b = RunMetrics {
+            algorithm: "GAS".into(),
+            batches: 55,
+            ..sample()
+        };
+        let m = a.merge(&b, &params);
+        assert_eq!(m.algorithm, "SARD+GAS");
+        assert_eq!(m.workload, "NYC");
+        assert_eq!(m.batches, 55);
+        assert_eq!(m.total_requests, 400);
+        // The unified cost is recomputed from the merged components, not
+        // summed from the (possibly stale) part values.
+        assert_eq!(
+            m.unified_cost,
+            unified_cost(&params, m.total_travel, m.unserved_direct_cost)
+        );
     }
 
     #[test]

@@ -472,6 +472,105 @@ pub fn replay_trace(
     report
 }
 
+fn diff_fleet(
+    deltas: &mut Vec<FieldDelta>,
+    label: &str,
+    recorded: &[VehicleState],
+    replayed: &[VehicleState],
+) {
+    if recorded.len() != replayed.len() {
+        deltas.push(FieldDelta {
+            field: format!("{label}.len"),
+            recorded: recorded.len().to_string(),
+            replayed: replayed.len().to_string(),
+        });
+        return;
+    }
+    for (rec, rep) in recorded.iter().zip(replayed) {
+        if rec != rep {
+            diff_vehicle(deltas, rec, rep);
+        }
+    }
+}
+
+/// Diffs two traces of the *same pipeline* batch by batch into a
+/// [`DriftReport`].
+///
+/// Where [`replay_trace`] re-feeds a dispatcher through the recorded
+/// per-batch inputs, `diff_traces` compares two complete recordings — the
+/// comparison the **sharded** pipeline uses: a sharded run cannot be
+/// replayed through a single `Dispatcher` (each shard owns one), so the
+/// sharded simulator re-runs end to end and the two global traces are
+/// required to be bit-identical.  Inputs (`now`, released requests,
+/// pre-dispatch fleet) are diffed too: in an end-to-end re-run a decision
+/// divergence *does* cascade into later batch inputs, and surfacing the
+/// first divergent field pins where.
+pub fn diff_traces(recorded: &Trace, replayed: &Trace) -> DriftReport {
+    let mut report = DriftReport::default();
+    if recorded.batches.len() != replayed.batches.len() {
+        report.divergences.push(BatchDivergence {
+            batch_index: recorded.batches.len().min(replayed.batches.len()),
+            deltas: vec![FieldDelta {
+                field: "trace.batches".to_string(),
+                recorded: recorded.batches.len().to_string(),
+                replayed: replayed.batches.len().to_string(),
+            }],
+        });
+    }
+    for (rec, rep) in recorded.batches.iter().zip(&replayed.batches) {
+        report.batches_compared += 1;
+        let mut deltas = Vec::new();
+        if rec.now.to_bits() != rep.now.to_bits() {
+            deltas.push(FieldDelta {
+                field: "batch.now".to_string(),
+                recorded: rec.now.to_string(),
+                replayed: rep.now.to_string(),
+            });
+        }
+        if rec.requests != rep.requests {
+            deltas.push(FieldDelta {
+                field: "batch.requests".to_string(),
+                recorded: fmt_ids(&rec.requests.iter().map(|r| r.id).collect::<Vec<_>>()),
+                replayed: fmt_ids(&rep.requests.iter().map(|r| r.id).collect::<Vec<_>>()),
+            });
+        }
+        diff_fleet(
+            &mut deltas,
+            "fleet_before",
+            &rec.fleet_before,
+            &rep.fleet_before,
+        );
+        if rec.assigned != rep.assigned {
+            deltas.push(FieldDelta {
+                field: "outcome.assigned".to_string(),
+                recorded: fmt_ids(&rec.assigned),
+                replayed: fmt_ids(&rep.assigned),
+            });
+        }
+        if rec.scratch != rep.scratch {
+            deltas.push(FieldDelta {
+                field: "scratch".to_string(),
+                recorded: format!("{:?}", rec.scratch),
+                replayed: format!("{:?}", rep.scratch),
+            });
+        }
+        diff_fleet(
+            &mut deltas,
+            "fleet_after",
+            &rec.fleet_after,
+            &rep.fleet_after,
+        );
+        if !deltas.is_empty() {
+            report.divergences.push(BatchDivergence {
+                batch_index: rec.index,
+                deltas,
+            });
+        }
+    }
+    report.divergences.sort_by_key(|d| d.batch_index);
+    report
+}
+
 // ---------------------------------------------------------------------------
 // Text codec
 // ---------------------------------------------------------------------------
@@ -1097,6 +1196,44 @@ mod tests {
         let fields: Vec<&str> = deltas.iter().map(|d| d.field.as_str()).collect();
         assert!(fields.contains(&"vehicle[1].id"), "{fields:?}");
         assert!(fields.contains(&"vehicle[1].capacity"), "{fields:?}");
+    }
+
+    #[test]
+    fn diff_traces_is_clean_on_identical_and_flags_perturbations() {
+        let (_engine, trace) = record_greedy();
+        let clean = diff_traces(&trace, &trace.clone());
+        assert!(clean.is_clean(), "{clean}");
+        assert_eq!(clean.batches_compared, trace.batches.len());
+
+        // Perturb one late-batch outcome: flagged at exactly that batch.
+        let mut perturbed = trace.clone();
+        perturbed.batches[1].assigned.push(999);
+        let report = diff_traces(&trace, &perturbed);
+        assert!(!report.is_clean());
+        assert_eq!(report.first_divergence().unwrap().batch_index, 1);
+        assert!(report.first_divergence().unwrap().deltas[0]
+            .field
+            .contains("assigned"));
+
+        // A truncated re-run (missing tail batches) is drift, not silence.
+        let mut truncated = trace.clone();
+        truncated.batches.pop();
+        let report = diff_traces(&trace, &truncated);
+        assert!(!report.is_clean());
+        assert!(report
+            .divergences
+            .iter()
+            .any(|d| d.deltas.iter().any(|x| x.field == "trace.batches")));
+
+        // Input divergence (cascaded fleet state) is surfaced too.
+        let mut shifted = trace.clone();
+        shifted.batches[1].fleet_before[0].free_at += 1.0;
+        let report = diff_traces(&trace, &shifted);
+        assert!(!report.is_clean());
+        assert!(report.divergences[0]
+            .deltas
+            .iter()
+            .any(|d| d.field.contains("free_at")));
     }
 
     #[test]

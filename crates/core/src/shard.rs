@@ -1,0 +1,645 @@
+//! Multi-region sharded dispatch: parallel per-shard pipelines with
+//! cross-shard handoff.
+//!
+//! The [`Simulator`](crate::Simulator) drives one monolithic pipeline — one
+//! dispatcher over the whole fleet and the whole request stream.  This
+//! module partitions both by *region*: a
+//! [`RegionGrid`](structride_spatial::RegionGrid) divides the road network's
+//! bounding box into `k` regions, each region maps 1:1 to a **shard** owning
+//! its own [`SpEngine`] (independent shortest-path cache), its own
+//! [`Dispatcher`] instance and the slice of the fleet currently homed there.
+//! [`ShardedSimulator`] advances all shards **batch-synchronously**: every
+//! batch, all shards move their vehicles to the shared clock, the released
+//! requests are routed to shards, every shard dispatches its sub-batch in
+//! parallel (shard-level fan-out via recursive [`rayon::join`], plus each
+//! dispatcher's own internal parallelism), and the per-shard outcomes are
+//! merged in shard order.  Per-shard [`RunMetrics`] are aggregated with
+//! [`RunMetrics::merge`] into one report.
+//!
+//! # Cross-shard handoff
+//!
+//! Requests are routed to the shard of their pickup region.  A request whose
+//! origin lies within [`ShardingConfig::handoff_band`] of another region is a
+//! *boundary request*: it is offered to every shard whose region the band
+//! reaches, each candidate shard bids the cheapest exact insertion cost over
+//! its current fleet, and the **best bid wins deterministically** (strictly
+//! lower `added_cost` wins; ties go to the lowest shard id; if no candidate
+//! has a feasible insertion the home shard keeps the request).  Idle
+//! vehicles migrate between adjacent shards to rebalance load when
+//! [`ShardingConfig::rebalance`] is on: after each batch, a shard whose
+//! dispatcher holds no pending requests donates its lowest-id idle vehicles
+//! (up to [`ShardingConfig::max_migrations_per_batch`]) to adjacent shards
+//! holding more pending requests than vehicles.  Migration transfers
+//! *dispatch ownership only* — the vehicle keeps its position and committed
+//! schedule; the receiving shard's insertion costs naturally price the
+//! distance.
+//!
+//! # Determinism and the replay invariant
+//!
+//! Sharding preserves the pipeline's replay invariant (see
+//! [`crate::replay`]):
+//!
+//! * **Worker-count independence.** Every parallel stage reduces into
+//!   canonically ordered results: routing bids are pure reads of exact
+//!   shortest-path costs, sub-batch order preserves release order, outcome
+//!   merging walks shards in ascending id order, and migration is a
+//!   sequential deterministic rule.  A sharded run is bit-identical across
+//!   rayon worker counts (enforced by `replay verify --shards` in CI and by
+//!   the `sharding` integration tests).
+//! * **Single-shard reduction.** With one region the router degenerates to
+//!   the identity, no bids or migrations happen, and the batch loop is
+//!   exactly the monolithic [`Simulator`](crate::Simulator) loop — the
+//!   aggregate report matches field for field (wall-clock `running_time`
+//!   and the racy shortest-path query counters excepted, as documented on
+//!   [`RunMetrics`]).
+//! * **Recording.** [`ShardedSimulator::run_recorded`] captures a *global*
+//!   trace (released requests in release order, the union fleet sorted by
+//!   vehicle id, merged outcomes in shard order).  A sharded run cannot be
+//!   replayed through a single `Dispatcher`, so verification re-runs the
+//!   whole pipeline and diffs the two traces with
+//!   [`diff_traces`](crate::replay::diff_traces).
+
+use crate::config::StructRideConfig;
+use crate::context::{DispatchContext, ScratchStats};
+use crate::dispatcher::{BatchOutcome, Dispatcher};
+use crate::metrics::RunMetrics;
+use crate::replay::TraceRecorder;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::time::Instant;
+use structride_model::{insertion, unified_cost, Request, RequestId, Vehicle};
+use structride_roadnet::{RoadNetwork, SpEngine, SpEngineBuilder};
+use structride_spatial::{RegionGrid, RegionId};
+
+/// A dispatcher owned by one shard (must be `Send`: shards dispatch on
+/// worker threads).
+pub type ShardDispatcher = Box<dyn Dispatcher + Send>;
+
+/// Knobs of the sharding layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardingConfig {
+    /// Width of the boundary band, in coordinate units (meters).  A request
+    /// whose origin lies within this distance of another region is offered
+    /// to that region's shard too; `0.0` disables cross-shard handoff.
+    pub handoff_band: f64,
+    /// Enables idle-vehicle migration between adjacent shards.
+    pub rebalance: bool,
+    /// Maximum idle vehicles one shard donates per batch.
+    pub max_migrations_per_batch: usize,
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        ShardingConfig {
+            // Roughly one road-network block at the synthetic city spacings
+            // (220–300 m).
+            handoff_band: 250.0,
+            rebalance: true,
+            max_migrations_per_batch: 2,
+        }
+    }
+}
+
+impl ShardingConfig {
+    /// A configuration with handoff and rebalancing disabled — shards become
+    /// fully independent pipelines.
+    pub fn isolated() -> Self {
+        ShardingConfig {
+            handoff_band: 0.0,
+            rebalance: false,
+            max_migrations_per_batch: 0,
+        }
+    }
+}
+
+/// The output of one sharded run.
+#[derive(Debug)]
+pub struct ShardedReport {
+    /// The merged run-level metrics (see [`RunMetrics::merge`]).
+    pub aggregate: RunMetrics,
+    /// Per-shard metrics, indexed by shard id.
+    pub per_shard: Vec<RunMetrics>,
+    /// The whole fleet after all schedules executed, sorted by vehicle id.
+    pub vehicles: Vec<Vehicle>,
+    /// Requests assigned to some vehicle, across all shards.
+    pub served: HashSet<RequestId>,
+    /// Boundary requests won by a shard other than their home shard.
+    pub handoffs: u64,
+    /// Feasible insertion bids evaluated while routing boundary requests.
+    pub handoff_bids: u64,
+    /// Idle vehicles that changed shard ownership for load balancing.
+    pub migrations: u64,
+    /// Wall-clock spent building the per-shard engines (network clones +
+    /// hub-label builds), seconds.  One-off cost, amortised over a long run;
+    /// benchmarks report it separately from the steady-state batch loop.
+    pub setup_seconds: f64,
+    /// Wall-clock of the batch loop and final drain, seconds.
+    pub run_seconds: f64,
+}
+
+/// One shard: engine + dispatcher + the fleet slice it currently owns.
+struct Shard {
+    engine: SpEngine,
+    dispatcher: ShardDispatcher,
+    vehicles: Vec<Vehicle>,
+    /// Requests routed to this shard for the current batch (release order).
+    inbox: Vec<Request>,
+    /// Every request ever routed here, with its direct cost (for the
+    /// per-shard unserved penalty), in routing order.
+    routed: Vec<(RequestId, f64)>,
+    served: HashSet<RequestId>,
+    dispatch_time: f64,
+    insertion_evaluations: u64,
+    groups_enumerated: u64,
+    /// Outcome of the current batch (drained during merging).
+    last_assigned: Vec<RequestId>,
+    last_scratch: ScratchStats,
+}
+
+/// Where the router sent one request.
+struct RouteDecision {
+    winner: usize,
+    home: usize,
+    bids: u64,
+}
+
+/// The read-only slice of one shard the router needs — `Sync`, unlike
+/// [`Shard`] itself (whose dispatcher is only `Send`), so routing can fan
+/// out over worker threads.
+struct ShardView<'a> {
+    engine: &'a SpEngine,
+    vehicles: &'a [Vehicle],
+}
+
+/// Applies `f` to every shard, fanning out even for small shard counts
+/// (recursive split via [`rayon::join`]; the slice-level `par_iter_mut`
+/// falls back to sequential below its chunking threshold).
+fn for_each_shard<F: Fn(&mut Shard) + Sync>(shards: &mut [Shard], f: &F) {
+    match shards.len() {
+        0 => {}
+        1 => f(&mut shards[0]),
+        n => {
+            let (a, b) = shards.split_at_mut(n / 2);
+            rayon::join(|| for_each_shard(a, f), || for_each_shard(b, f));
+        }
+    }
+}
+
+/// Routes one request: home region, plus a best-bid auction over every shard
+/// the boundary band reaches.  Pure reads — exact costs, stable tie-breaks —
+/// so the decision is independent of the worker count.
+fn route_request(
+    request: &Request,
+    network: &RoadNetwork,
+    regions: &RegionGrid,
+    shards: &[ShardView<'_>],
+    band: f64,
+) -> RouteDecision {
+    let p = network.coord(request.source);
+    let home = regions.region_of(p.x, p.y) as usize;
+    if band <= 0.0 {
+        return RouteDecision {
+            winner: home,
+            home,
+            bids: 0,
+        };
+    }
+    let candidates = regions.regions_within(p.x, p.y, band);
+    if candidates.len() <= 1 {
+        return RouteDecision {
+            winner: home,
+            home,
+            bids: 0,
+        };
+    }
+    let mut bids = 0u64;
+    // Strictly-lower cost wins; candidates ascend, so ties keep the lowest
+    // shard id.
+    let mut best: Option<(f64, usize)> = None;
+    for &c in &candidates {
+        let c = c as usize;
+        let shard = &shards[c];
+        for vehicle in shard.vehicles {
+            if let Some(out) = insertion::insert_request(shard.engine, vehicle, request) {
+                bids += 1;
+                if best.map(|(cost, _)| out.added_cost < cost).unwrap_or(true) {
+                    best = Some((out.added_cost, c));
+                }
+            }
+        }
+    }
+    RouteDecision {
+        winner: best.map(|(_, c)| c).unwrap_or(home),
+        home,
+        bids,
+    }
+}
+
+/// Moves idle vehicles from relaxed shards to overloaded adjacent shards.
+///
+/// Deterministic rule, evaluated in ascending shard order against the
+/// pending counts captured *before* any move: a shard with zero pending
+/// requests donates its lowest-id idle vehicles (up to `max_moves`) to each
+/// adjacent shard holding more pending requests than vehicles.  Donated
+/// vehicles append to the receiving fleet, keeping both fleets' orders
+/// deterministic.
+fn rebalance(shards: &mut [Shard], regions: &RegionGrid, max_moves: usize) -> u64 {
+    let pending: Vec<usize> = shards
+        .iter()
+        .map(|s| s.dispatcher.pending_requests())
+        .collect();
+    let mut moved_total = 0u64;
+    for donor in 0..shards.len() {
+        if pending[donor] > 0 {
+            continue;
+        }
+        let mut budget = max_moves;
+        'targets: for t in regions.adjacent(donor as RegionId) {
+            let t = t as usize;
+            while budget > 0 && pending[t] > shards[t].vehicles.len() {
+                let Some(pos) = shards[donor]
+                    .vehicles
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.is_idle())
+                    .min_by_key(|(_, v)| v.id)
+                    .map(|(i, _)| i)
+                else {
+                    break 'targets;
+                };
+                let vehicle = shards[donor].vehicles.remove(pos);
+                shards[t].vehicles.push(vehicle);
+                budget -= 1;
+                moved_total += 1;
+            }
+        }
+    }
+    moved_total
+}
+
+/// The union fleet, cloned and sorted by vehicle id — the canonical global
+/// view recorded into sharded traces.
+fn fleet_snapshot(shards: &[Shard]) -> Vec<Vehicle> {
+    let mut all: Vec<Vehicle> = shards
+        .iter()
+        .flat_map(|s| s.vehicles.iter().cloned())
+        .collect();
+    all.sort_by_key(|v| v.id);
+    all
+}
+
+/// A vertical-strip region layout covering `network`'s bounding box with
+/// `shards` regions — the default layout for side-by-side city workloads.
+/// Delegates to [`RegionGrid::strips_covering`], the same constructor the
+/// multi-region workload generator uses, so a workload and the simulator
+/// sharding it always agree on the strip layout.
+pub fn region_strips_for(network: &RoadNetwork, shards: u32) -> RegionGrid {
+    RegionGrid::strips_covering(network.bounding_box(), shards)
+}
+
+/// The batch-synchronous multi-shard simulation driver.  See the module docs
+/// for the handoff and determinism invariants.
+pub struct ShardedSimulator {
+    config: StructRideConfig,
+    sharding: ShardingConfig,
+}
+
+impl ShardedSimulator {
+    /// Creates a sharded simulator with the default [`ShardingConfig`].
+    pub fn new(config: StructRideConfig) -> Self {
+        Self::with_sharding(config, ShardingConfig::default())
+    }
+
+    /// Creates a sharded simulator with explicit sharding knobs.
+    pub fn with_sharding(config: StructRideConfig, sharding: ShardingConfig) -> Self {
+        ShardedSimulator { config, sharding }
+    }
+
+    /// The framework configuration every shard runs with.
+    pub fn config(&self) -> &StructRideConfig {
+        &self.config
+    }
+
+    /// The sharding knobs.
+    pub fn sharding(&self) -> &ShardingConfig {
+        &self.sharding
+    }
+
+    /// Runs one dispatcher per region of `regions` over the partitioned
+    /// fleet and request stream.
+    ///
+    /// `make_dispatcher(shard_id)` constructs each shard's dispatcher —
+    /// typically `|_| Box::new(SardDispatcher::new(config))`.  Every shard
+    /// gets its own [`SpEngine`] over a clone of `network` (independent
+    /// shortest-path caches), so `network` is the *whole* road network:
+    /// shards partition the fleet and the demand, not the map.
+    pub fn run<F>(
+        &self,
+        network: &RoadNetwork,
+        regions: &RegionGrid,
+        requests: &[Request],
+        vehicles: Vec<Vehicle>,
+        make_dispatcher: F,
+        workload_name: &str,
+    ) -> ShardedReport
+    where
+        F: Fn(usize) -> ShardDispatcher,
+    {
+        self.run_impl(
+            network,
+            regions,
+            requests,
+            vehicles,
+            &make_dispatcher,
+            workload_name,
+            None,
+        )
+    }
+
+    /// Like [`ShardedSimulator::run`], but records the canonical global
+    /// trace (release-ordered batches, id-sorted union fleet, shard-ordered
+    /// merged outcomes) into `recorder` for
+    /// [`diff_traces`](crate::replay::diff_traces)-based verification.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_recorded<F>(
+        &self,
+        network: &RoadNetwork,
+        regions: &RegionGrid,
+        requests: &[Request],
+        vehicles: Vec<Vehicle>,
+        make_dispatcher: F,
+        workload_name: &str,
+        recorder: &mut TraceRecorder,
+    ) -> ShardedReport
+    where
+        F: Fn(usize) -> ShardDispatcher,
+    {
+        self.run_impl(
+            network,
+            regions,
+            requests,
+            vehicles,
+            &make_dispatcher,
+            workload_name,
+            Some(recorder),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_impl(
+        &self,
+        network: &RoadNetwork,
+        regions: &RegionGrid,
+        requests: &[Request],
+        vehicles: Vec<Vehicle>,
+        make_dispatcher: &dyn Fn(usize) -> ShardDispatcher,
+        workload_name: &str,
+        mut recorder: Option<&mut TraceRecorder>,
+    ) -> ShardedReport {
+        let k = regions.len();
+        let setup_t0 = Instant::now();
+        let mut shards: Vec<Shard> = (0..k)
+            .map(|i| Shard {
+                engine: SpEngineBuilder::new().build(network.clone()),
+                dispatcher: make_dispatcher(i),
+                vehicles: Vec::new(),
+                inbox: Vec::new(),
+                routed: Vec::new(),
+                served: HashSet::new(),
+                dispatch_time: 0.0,
+                insertion_evaluations: 0,
+                groups_enumerated: 0,
+                last_assigned: Vec::new(),
+                last_scratch: ScratchStats::default(),
+            })
+            .collect();
+        let setup_seconds = setup_t0.elapsed().as_secs_f64();
+        let run_t0 = Instant::now();
+
+        // Stable initial partition: each vehicle goes to the shard of its
+        // starting node, preserving the input order within each shard (with
+        // one shard this is exactly the monolithic simulator's fleet order).
+        for vehicle in vehicles {
+            let p = network.coord(vehicle.node);
+            let home = regions.region_of(p.x, p.y) as usize;
+            shards[home].vehicles.push(vehicle);
+        }
+
+        let mut ordered: Vec<Request> = requests.to_vec();
+        ordered.sort_by(|a, b| {
+            a.release
+                .partial_cmp(&b.release)
+                .expect("finite release times")
+        });
+        let delta = self.config.batch_period.max(1e-3);
+        let horizon_end = ordered
+            .iter()
+            .map(|r| r.pickup_deadline)
+            .fold(0.0_f64, f64::max);
+
+        let mut served: HashSet<RequestId> = HashSet::new();
+        let mut next = 0usize;
+        let mut now = 0.0;
+        let mut batches = 0usize;
+        let mut handoffs = 0u64;
+        let mut handoff_bids = 0u64;
+        let mut migrations = 0u64;
+
+        while next < ordered.len() || now < horizon_end {
+            now += delta;
+            // Batch-synchronous movement: every shard advances its fleet to
+            // the shared clock (shard-level fan-out, per-vehicle fan-out
+            // within each shard).
+            for_each_shard(&mut shards, &|s| {
+                s.vehicles.par_iter_mut().for_each(|v| {
+                    v.advance_to(&s.engine, now);
+                });
+            });
+
+            let start = next;
+            while next < ordered.len() && ordered[next].release <= now {
+                next += 1;
+            }
+            let batch = &ordered[start..next];
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.batch_started(batches, now, batch, &fleet_snapshot(&shards));
+            }
+
+            // Route the batch: home region or best-bid handoff.  Pure reads
+            // over the pre-dispatch shard states; order-preserving collect.
+            let decisions: Vec<RouteDecision> = {
+                let views: Vec<ShardView<'_>> = shards
+                    .iter()
+                    .map(|s| ShardView {
+                        engine: &s.engine,
+                        vehicles: &s.vehicles,
+                    })
+                    .collect();
+                let views = &views;
+                let band = self.sharding.handoff_band;
+                batch
+                    .par_iter()
+                    .map(|r| route_request(r, network, regions, views, band))
+                    .collect()
+            };
+            for (request, decision) in batch.iter().zip(&decisions) {
+                if decision.winner != decision.home {
+                    handoffs += 1;
+                }
+                handoff_bids += decision.bids;
+                let shard = &mut shards[decision.winner];
+                shard.routed.push((request.id, request.direct_cost()));
+                shard.inbox.push(request.clone());
+            }
+
+            // Dispatch every shard's sub-batch in parallel.
+            let config = self.config;
+            let batch_index = batches;
+            for_each_shard(&mut shards, &|s| {
+                let inbox = std::mem::take(&mut s.inbox);
+                let ctx = DispatchContext::for_batch(&s.engine, config, now, batch_index);
+                let t0 = Instant::now();
+                let outcome = s.dispatcher.dispatch_batch(&ctx, &mut s.vehicles, &inbox);
+                s.dispatch_time += t0.elapsed().as_secs_f64();
+                let scratch = ctx.scratch.snapshot();
+                s.insertion_evaluations += scratch.insertion_evaluations;
+                s.groups_enumerated += scratch.groups_enumerated;
+                s.last_scratch = scratch;
+                s.last_assigned = outcome.assigned;
+            });
+
+            // Merge per-shard outcomes in ascending shard order (canonical).
+            let mut merged = BatchOutcome::empty();
+            let mut merged_scratch = ScratchStats::default();
+            for s in shards.iter_mut() {
+                served.extend(s.last_assigned.iter().copied());
+                s.served.extend(s.last_assigned.iter().copied());
+                merged_scratch.insertion_evaluations += s.last_scratch.insertion_evaluations;
+                merged_scratch.groups_enumerated += s.last_scratch.groups_enumerated;
+                merged.assigned.append(&mut s.last_assigned);
+            }
+            batches += 1;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.batch_finished(&merged, &fleet_snapshot(&shards), merged_scratch);
+            }
+
+            if self.sharding.rebalance && k > 1 {
+                migrations +=
+                    rebalance(&mut shards, regions, self.sharding.max_migrations_per_batch);
+            }
+
+            // Same early exit as the monolithic simulator: stream drained
+            // and no shard holds a carried-over request.
+            if next == ordered.len() && shards.iter().all(|s| s.dispatcher.pending_requests() == 0)
+            {
+                break;
+            }
+            if batches > 10_000_000 {
+                break;
+            }
+        }
+
+        // Let every committed schedule play out.
+        let drain_until = now + horizon_end + 1.0e6;
+        for_each_shard(&mut shards, &|s| {
+            s.vehicles.par_iter_mut().for_each(|v| {
+                v.advance_to(&s.engine, drain_until);
+            });
+        });
+
+        let per_shard: Vec<RunMetrics> = shards
+            .iter()
+            .map(|s| {
+                let total_travel: f64 = s.vehicles.iter().map(|v| v.executed_travel).sum();
+                let unserved_direct_cost: f64 = s
+                    .routed
+                    .iter()
+                    .filter(|(id, _)| !s.served.contains(id))
+                    .map(|(_, cost)| cost)
+                    .sum();
+                RunMetrics {
+                    algorithm: s.dispatcher.name().to_string(),
+                    workload: workload_name.to_string(),
+                    total_requests: s.routed.len(),
+                    served_requests: s.served.len(),
+                    total_travel,
+                    unserved_direct_cost,
+                    unified_cost: unified_cost(
+                        &self.config.cost,
+                        total_travel,
+                        unserved_direct_cost,
+                    ),
+                    running_time: s.dispatch_time,
+                    sp_queries: s.engine.stats().index_queries,
+                    memory_bytes: s.dispatcher.memory_bytes(),
+                    batches,
+                    insertion_evaluations: s.insertion_evaluations,
+                    groups_enumerated: s.groups_enumerated,
+                }
+            })
+            .collect();
+        let aggregate =
+            RunMetrics::merge_all(&per_shard, &self.config.cost).expect("at least one shard");
+        let vehicles = fleet_snapshot(&shards);
+        ShardedReport {
+            aggregate,
+            per_shard,
+            vehicles,
+            served,
+            handoffs,
+            handoff_bids,
+            migrations,
+            setup_seconds,
+            run_seconds: run_t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structride_roadnet::{Point, RoadNetworkBuilder};
+
+    fn two_cluster_network() -> RoadNetwork {
+        // Two 3-node clusters 1000 m apart, bridged by one slow edge.
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..3 {
+            b.add_node(Point::new(i as f64 * 50.0, 0.0));
+        }
+        for i in 0..3 {
+            b.add_node(Point::new(1000.0 + i as f64 * 50.0, 0.0));
+        }
+        for i in 1..3u32 {
+            b.add_bidirectional(i - 1, i, 10.0).unwrap();
+            b.add_bidirectional(3 + i - 1, 3 + i, 10.0).unwrap();
+        }
+        b.add_bidirectional(2, 3, 200.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn region_strips_cover_the_network() {
+        let net = two_cluster_network();
+        let grid = region_strips_for(&net, 2);
+        assert_eq!(grid.len(), 2);
+        // The west cluster's nodes are in region 0, the east one's in 1.
+        for v in [0u32, 1, 2] {
+            let p = net.coord(v);
+            assert_eq!(grid.region_of(p.x, p.y), 0);
+        }
+        for v in [3u32, 4, 5] {
+            let p = net.coord(v);
+            assert_eq!(grid.region_of(p.x, p.y), 1);
+        }
+    }
+
+    #[test]
+    fn isolated_config_disables_handoff_and_rebalance() {
+        let c = ShardingConfig::isolated();
+        assert_eq!(c.handoff_band, 0.0);
+        assert!(!c.rebalance);
+        let d = ShardingConfig::default();
+        assert!(d.handoff_band > 0.0);
+        assert!(d.rebalance);
+    }
+}

@@ -1,0 +1,361 @@
+//! Integration tests for the multi-region sharded dispatch pipeline:
+//! single-shard reduction to the monolithic simulator, worker-count
+//! determinism of sharded runs, shard-merge accounting, and the partitioner
+//! boundary cases (empty shard, all vehicles in one shard).
+
+use std::collections::HashSet;
+use structride_core::replay::{diff_traces, TraceMeta, TraceRecorder};
+use structride_core::shard::{
+    region_strips_for, ShardDispatcher, ShardedSimulator, ShardingConfig,
+};
+use structride_core::{RunMetrics, SardDispatcher, Simulator, StructRideConfig};
+use structride_datagen::{
+    CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
+};
+
+fn sard_factory(config: StructRideConfig) -> impl Fn(usize) -> ShardDispatcher {
+    move |_| Box::new(SardDispatcher::new(config))
+}
+
+fn single_city_workload() -> Workload {
+    Workload::generate(WorkloadParams {
+        num_requests: 90,
+        num_vehicles: 12,
+        horizon: 240.0,
+        scale: 0.3,
+        ..WorkloadParams::small(CityProfile::NycLike)
+    })
+}
+
+fn multi_workload(regions: usize) -> MultiRegionWorkload {
+    let cities = [
+        CityProfile::ChengduLike,
+        CityProfile::NycLike,
+        CityProfile::CainiaoLike,
+    ];
+    MultiRegionWorkload::generate(MultiRegionParams {
+        requests_per_region: 60,
+        vehicles_per_region: 8,
+        horizon: 200.0,
+        scale: 0.3,
+        ..MultiRegionParams::small(cities.iter().cycle().take(regions).copied().collect())
+    })
+}
+
+/// The fields of [`RunMetrics`] that must match bit for bit between a
+/// 1-shard sharded run and the monolithic simulator.  Excluded diagnostics:
+/// `running_time` is wall-clock, `sp_queries` is the one documented
+/// worker-count-dependent counter (cache-miss races), and `memory_bytes`
+/// approximates container *capacities*, which shift with parallel chunking.
+fn deterministic_fields(
+    m: &RunMetrics,
+) -> (String, String, usize, usize, u64, u64, u64, usize, u64, u64) {
+    (
+        m.algorithm.clone(),
+        m.workload.clone(),
+        m.total_requests,
+        m.served_requests,
+        m.total_travel.to_bits(),
+        m.unserved_direct_cost.to_bits(),
+        m.unified_cost.to_bits(),
+        m.batches,
+        m.insertion_evaluations,
+        m.groups_enumerated,
+    )
+}
+
+#[test]
+fn single_shard_reduces_exactly_to_the_monolithic_simulator() {
+    let w = single_city_workload();
+    let config = StructRideConfig::default();
+
+    let mut sard = SardDispatcher::new(config);
+    let mono = Simulator::new(config).run(
+        &w.engine,
+        &w.requests,
+        w.fresh_vehicles(),
+        &mut sard,
+        &w.name,
+    );
+
+    let regions = region_strips_for(w.engine.network(), 1);
+    let sharded = ShardedSimulator::new(config).run(
+        w.engine.network(),
+        &regions,
+        &w.requests,
+        w.fresh_vehicles(),
+        sard_factory(config),
+        &w.name,
+    );
+
+    assert_eq!(sharded.per_shard.len(), 1);
+    assert_eq!(sharded.handoffs, 0);
+    assert_eq!(sharded.handoff_bids, 0);
+    assert_eq!(sharded.migrations, 0);
+    assert_eq!(
+        deterministic_fields(&sharded.aggregate),
+        deterministic_fields(&mono.metrics),
+        "1-shard aggregate must equal the monolithic run"
+    );
+    assert_eq!(sharded.served, mono.served);
+    // The executed fleets agree vehicle by vehicle.
+    let mut mono_fleet = mono.vehicles.clone();
+    mono_fleet.sort_by_key(|v| v.id);
+    assert_eq!(mono_fleet.len(), sharded.vehicles.len());
+    for (a, b) in mono_fleet.iter().zip(&sharded.vehicles) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.executed_travel.to_bits(), b.executed_travel.to_bits());
+        assert_eq!(a.completed, b.completed);
+    }
+}
+
+#[test]
+fn sharded_run_is_deterministic_across_worker_counts() {
+    let w = multi_workload(3);
+    let config = StructRideConfig::default();
+    let sim = ShardedSimulator::new(config);
+
+    let run_with = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let mut recorder = TraceRecorder::new();
+            let report = sim.run_recorded(
+                w.network(),
+                &w.regions,
+                &w.requests,
+                w.fresh_vehicles(),
+                sard_factory(config),
+                &w.name,
+                &mut recorder,
+            );
+            let trace = recorder.into_trace(TraceMeta::new("SARD", &w.name, config));
+            (report, trace)
+        })
+    };
+
+    let (report1, trace1) = run_with(1);
+    let (report8, trace8) = run_with(8);
+
+    let drift = diff_traces(&trace1, &trace8);
+    assert!(drift.is_clean(), "1-vs-8 workers drifted:\n{drift}");
+    assert!(trace1.batches.len() > 1, "trace must cover several batches");
+    assert_eq!(
+        deterministic_fields(&report1.aggregate),
+        deterministic_fields(&report8.aggregate)
+    );
+    for (a, b) in report1.per_shard.iter().zip(&report8.per_shard) {
+        assert_eq!(deterministic_fields(a), deterministic_fields(b));
+    }
+    assert_eq!(report1.handoffs, report8.handoffs);
+    assert_eq!(report1.migrations, report8.migrations);
+    assert_eq!(report1.served, report8.served);
+    // The canonical text codec round-trips the sharded trace exactly.
+    let reparsed = structride_core::Trace::parse(&trace1.to_text()).expect("codec");
+    assert!(diff_traces(&trace1, &reparsed).is_clean());
+}
+
+#[test]
+fn aggregate_is_the_merge_of_the_per_shard_parts() {
+    let w = multi_workload(3);
+    let config = StructRideConfig::default();
+    let report = ShardedSimulator::new(config).run(
+        w.network(),
+        &w.regions,
+        &w.requests,
+        w.fresh_vehicles(),
+        sard_factory(config),
+        &w.name,
+    );
+    assert_eq!(report.per_shard.len(), 3);
+    let merged = RunMetrics::merge_all(&report.per_shard, &config.cost).expect("parts");
+    assert_eq!(merged, report.aggregate);
+    // Every request was routed to exactly one shard, and the global served
+    // set is the disjoint union of the per-shard ones.
+    let routed: usize = report.per_shard.iter().map(|m| m.total_requests).sum();
+    assert_eq!(routed, w.requests.len());
+    let served: usize = report.per_shard.iter().map(|m| m.served_requests).sum();
+    assert_eq!(served, report.served.len());
+    assert!(served > 0, "the multi-region run must serve something");
+    // Delivered requests match the served bookkeeping.
+    let delivered: HashSet<u32> = report
+        .vehicles
+        .iter()
+        .flat_map(|v| v.completed.iter().copied())
+        .collect();
+    for id in &report.served {
+        assert!(
+            delivered.contains(id),
+            "assigned request {id} was delivered"
+        );
+    }
+}
+
+#[test]
+fn empty_shards_are_harmless() {
+    // Strip layout three times wider than the network: every node, vehicle
+    // and request sits in region 0; regions 1 and 2 stay empty for the whole
+    // run.
+    let w = single_city_workload();
+    let net = w.engine.network();
+    let (min_x, min_y, max_x, max_y) = net.bounding_box();
+    let width = max_x - min_x;
+    let regions = structride_spatial::RegionGrid::strips(
+        min_x,
+        min_y,
+        min_x + width * 3.0 + 3.0,
+        max_y.max(min_y + 1.0),
+        3,
+    );
+    let config = StructRideConfig::default();
+    let report = ShardedSimulator::new(config).run(
+        net,
+        &regions,
+        &w.requests,
+        w.fresh_vehicles(),
+        sard_factory(config),
+        &w.name,
+    );
+    assert_eq!(report.per_shard[0].total_requests, w.requests.len());
+    for empty in [1, 2] {
+        let m = &report.per_shard[empty];
+        assert_eq!(m.total_requests, 0);
+        assert_eq!(m.served_requests, 0);
+        assert_eq!(m.total_travel, 0.0);
+        assert_eq!(m.unified_cost, 0.0);
+    }
+    assert!(report.aggregate.served_requests > 0);
+    assert_eq!(report.migrations, 0, "nothing pends in an empty shard");
+    // The populated shard matches the monolithic run (the empty shards are
+    // pure identity elements of the merge).
+    let mut sard = SardDispatcher::new(config);
+    let mono = Simulator::new(config).run(
+        &w.engine,
+        &w.requests,
+        w.fresh_vehicles(),
+        &mut sard,
+        &w.name,
+    );
+    assert_eq!(
+        report.aggregate.served_requests,
+        mono.metrics.served_requests
+    );
+    assert_eq!(
+        report.aggregate.total_travel.to_bits(),
+        mono.metrics.total_travel.to_bits()
+    );
+}
+
+#[test]
+fn handoff_lets_a_vehicleless_shard_borrow_neighbours() {
+    // Two regions, but the entire fleet starts in region 0.  Without
+    // handoff, shard 1 can never serve anything; with the boundary band its
+    // border requests are auctioned to shard 0's fleet.
+    let w = multi_workload(2);
+    let config = StructRideConfig::default();
+    let west_fleet: Vec<_> = w
+        .fresh_vehicles()
+        .into_iter()
+        .filter(|v| {
+            let p = w.network().coord(v.node);
+            w.regions.region_of(p.x, p.y) == 0
+        })
+        .collect();
+    assert!(!west_fleet.is_empty());
+
+    let isolated = ShardedSimulator::with_sharding(config, ShardingConfig::isolated()).run(
+        w.network(),
+        &w.regions,
+        &w.requests,
+        west_fleet.clone(),
+        sard_factory(config),
+        &w.name,
+    );
+    assert_eq!(
+        isolated.per_shard[1].served_requests, 0,
+        "no fleet and no handoff: the east shard serves nothing"
+    );
+    assert_eq!(isolated.handoffs, 0);
+
+    let banded = ShardedSimulator::with_sharding(
+        config,
+        ShardingConfig {
+            handoff_band: 600.0,
+            rebalance: false,
+            max_migrations_per_batch: 0,
+        },
+    )
+    .run(
+        w.network(),
+        &w.regions,
+        &w.requests,
+        west_fleet,
+        sard_factory(config),
+        &w.name,
+    );
+    assert!(
+        banded.handoffs > 0,
+        "east-side boundary requests must be handed to the west shard"
+    );
+    assert!(banded.handoff_bids > 0);
+    assert!(
+        banded.aggregate.served_requests >= isolated.aggregate.served_requests,
+        "handoff must not lose service ({} vs {})",
+        banded.aggregate.served_requests,
+        isolated.aggregate.served_requests
+    );
+}
+
+#[test]
+fn sharded_recording_flags_a_different_pipeline() {
+    // The end-to-end self-test behind `replay verify --shards`: a re-run
+    // with a different sharding configuration produces a trace that
+    // diff_traces flags (while a faithful re-run stays clean).  The whole
+    // fleet starts in region 0, so a wide handoff band provably reroutes
+    // east-border requests to the west shard's dispatcher.
+    let w = multi_workload(2);
+    let config = StructRideConfig::default();
+    let west_fleet: Vec<_> = w
+        .fresh_vehicles()
+        .into_iter()
+        .filter(|v| {
+            let p = w.network().coord(v.node);
+            w.regions.region_of(p.x, p.y) == 0
+        })
+        .collect();
+    let banded = ShardingConfig {
+        handoff_band: 600.0,
+        rebalance: false,
+        max_migrations_per_batch: 0,
+    };
+    let record = |sharding: ShardingConfig| {
+        let mut recorder = TraceRecorder::new();
+        let report = ShardedSimulator::with_sharding(config, sharding).run_recorded(
+            w.network(),
+            &w.regions,
+            &w.requests,
+            west_fleet.clone(),
+            sard_factory(config),
+            &w.name,
+            &mut recorder,
+        );
+        (
+            report,
+            recorder.into_trace(TraceMeta::new("SARD", &w.name, config)),
+        )
+    };
+    let (report_a, a) = record(banded);
+    let (_, b) = record(banded);
+    assert!(diff_traces(&a, &b).is_clean());
+    assert!(report_a.handoffs > 0, "scenario must exercise handoff");
+
+    let (_, isolated) = record(ShardingConfig::isolated());
+    let drift = diff_traces(&a, &isolated);
+    assert!(
+        !drift.is_clean(),
+        "disabling handoff must change the recorded pipeline"
+    );
+}

@@ -20,17 +20,23 @@
 //! * [`vehicles`] — fleet generation with fixed or normally-distributed
 //!   capacities (the σ sweep of Fig. 16/17);
 //! * [`workload`] — the bundled [`Workload`] (engine + requests + vehicles)
-//!   consumed by every dispatcher and experiment.
+//!   consumed by every dispatcher and experiment;
+//! * [`regions`] — multi-region workloads: several city profiles composed
+//!   side by side into one stream over one shared network, each region
+//!   generated from a derived RNG seed so the stream is identical no matter
+//!   how many regions are populated or how the consumer later shards it.
 
 pub mod city;
 pub mod distributions;
 pub mod network;
+pub mod regions;
 pub mod requests;
 pub mod vehicles;
 pub mod workload;
 
 pub use city::CityProfile;
 pub use network::{synthetic_city_network, NetworkParams};
+pub use regions::{derive_region_seed, MultiRegionParams, MultiRegionWorkload};
 pub use requests::RequestGenParams;
 pub use vehicles::FleetParams;
 pub use workload::{Workload, WorkloadParams};

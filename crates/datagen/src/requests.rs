@@ -54,6 +54,36 @@ impl Default for RequestGenParams {
     }
 }
 
+/// Candidate nodes for bounded generation: the whole network with
+/// `bounds = None`, otherwise the nodes inside the rectangle
+/// `(min_x, min_y, max_x, max_y)` (borders inclusive, matching
+/// `RegionGrid::bounds` rectangles), falling back to the whole network when
+/// the rectangle holds no node.  One shared helper so request origins and
+/// vehicle starts can never disagree on the boundary convention.
+pub(crate) fn nodes_in_bounds(
+    net: &structride_roadnet::RoadNetwork,
+    bounds: Option<(f64, f64, f64, f64)>,
+) -> Vec<NodeId> {
+    let all = || (0..net.node_count() as NodeId).collect::<Vec<NodeId>>();
+    match bounds {
+        None => all(),
+        Some((x0, y0, x1, y1)) => {
+            let inside: Vec<NodeId> = net
+                .nodes()
+                .filter(|&v| {
+                    let p = net.coord(v);
+                    p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1
+                })
+                .collect();
+            if inside.is_empty() {
+                all()
+            } else {
+                inside
+            }
+        }
+    }
+}
+
 /// Internal helper: nearest-node lookup via a grid over node coordinates.
 struct NodeLocator {
     grid: GridIndex,
@@ -116,15 +146,40 @@ pub fn generate_requests(
     horizon: f64,
     first_id: u32,
 ) -> Vec<Request> {
+    generate_requests_in(engine, params, count, horizon, first_id, None)
+}
+
+/// Like [`generate_requests`], but confines *origins* to the rectangle
+/// `(min_x, min_y, max_x, max_y)` — the per-region generator behind
+/// multi-region workloads.  Hotspot centres and the uniform background are
+/// drawn from the nodes inside the bounds (a hotspot origin may still snap
+/// to a nearest node just across the border — those become natural boundary
+/// requests).  Destinations are unconstrained, so trips near a region border
+/// cross into neighbouring regions: the handoff pressure the sharded
+/// pipeline is built for.  With `bounds = None` this is exactly
+/// `generate_requests` (bit-identical RNG stream).
+///
+/// The RNG is seeded solely from `params.seed`, so a region's stream depends
+/// only on `(engine, bounds, params)` — never on how many other regions are
+/// generated around it.
+pub fn generate_requests_in(
+    engine: &SpEngine,
+    params: &RequestGenParams,
+    count: usize,
+    horizon: f64,
+    first_id: u32,
+    bounds: Option<(f64, f64, f64, f64)>,
+) -> Vec<Request> {
     assert!(horizon > 0.0, "horizon must be positive");
     let mut rng = StdRng::seed_from_u64(params.seed);
     let locator = NodeLocator::new(engine);
     let net = engine.network();
     let n_nodes = net.node_count() as u32;
+    let origin_nodes = nodes_in_bounds(net, bounds);
 
     // Hotspot centres.
     let centers: Vec<NodeId> = (0..params.hotspots.max(1))
-        .map(|_| rng.gen_range(0..n_nodes))
+        .map(|_| origin_nodes[rng.gen_range(0..origin_nodes.len() as u32) as usize])
         .collect();
     let hotspot_radius = locator.extent * params.hotspot_radius_frac.max(0.01);
 
@@ -148,7 +203,7 @@ pub fn generate_requests(
             let r = rng.gen::<f64>() * hotspot_radius;
             locator.nearest(engine, cp.x + r * angle.cos(), cp.y + r * angle.sin())
         } else {
-            rng.gen_range(0..n_nodes)
+            origin_nodes[rng.gen_range(0..origin_nodes.len() as u32) as usize]
         };
         // Destination: log-normal distance in a random direction, snapped.
         let mut destination = source;

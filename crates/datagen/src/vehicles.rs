@@ -39,11 +39,26 @@ impl Default for FleetParams {
 /// Generates the fleet: vehicles at random nodes with the configured capacity
 /// distribution (capacities are clamped to `[1, 2 · capacity_mean]`).
 pub fn generate_vehicles(engine: &SpEngine, params: &FleetParams) -> Vec<Vehicle> {
+    generate_vehicles_in(engine, params, None, 0)
+}
+
+/// Like [`generate_vehicles`], but starts vehicles only at nodes inside the
+/// rectangle `(min_x, min_y, max_x, max_y)` and numbers them from
+/// `first_id` — the per-region fleet generator behind multi-region
+/// workloads.  An empty rectangle falls back to the whole network.  With
+/// `bounds = None` and `first_id = 0` this is exactly `generate_vehicles`
+/// (bit-identical RNG stream).
+pub fn generate_vehicles_in(
+    engine: &SpEngine,
+    params: &FleetParams,
+    bounds: Option<(f64, f64, f64, f64)>,
+    first_id: u32,
+) -> Vec<Vehicle> {
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let n_nodes = engine.node_count() as u32;
+    let start_nodes = crate::requests::nodes_in_bounds(engine.network(), bounds);
     (0..params.count)
         .map(|i| {
-            let node = rng.gen_range(0..n_nodes);
+            let node = start_nodes[rng.gen_range(0..start_nodes.len() as u32) as usize];
             let capacity = if params.capacity_sigma > 0.0 {
                 let c = distributions::normal(
                     &mut rng,
@@ -55,7 +70,7 @@ pub fn generate_vehicles(engine: &SpEngine, params: &FleetParams) -> Vec<Vehicle
             } else {
                 params.capacity_mean
             };
-            Vehicle::new(i as u32, node, capacity.max(1))
+            Vehicle::new(first_id + i as u32, node, capacity.max(1))
         })
         .collect()
 }

@@ -128,6 +128,25 @@ impl RoadNetwork {
         0..self.coords.len() as NodeId
     }
 
+    /// The axis-aligned bounding box `(min_x, min_y, max_x, max_y)` of all
+    /// node coordinates — what the spatial indexes and the region
+    /// partitioner cover.
+    ///
+    /// # Panics
+    /// Panics if the network has no nodes (`build` never produces one).
+    pub fn bounding_box(&self) -> (f64, f64, f64, f64) {
+        assert!(!self.coords.is_empty(), "bounding box of an empty network");
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in &self.coords {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        (min_x, min_y, max_x, max_y)
+    }
+
     /// Approximate heap footprint of the graph in bytes (used by the memory
     /// accounting of Fig. 14).
     pub fn approx_bytes(&self) -> usize {

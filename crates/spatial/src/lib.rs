@@ -9,10 +9,16 @@
 //!   ([`GridIndex`]);
 //! * the **geometry helpers** of §III-B — 2-D vectors and the angle
 //!   `θ = ∠(−→s_b e_a, −→s_b e_b)` used by the angle-pruning strategy
-//!   ([`geo`]).
+//!   ([`geo`]);
+//! * the **region partitioner** behind multi-region sharded dispatch — a
+//!   coarse `rows × cols` partition of the same bounding box into dispatch
+//!   regions, with boundary-band classification for cross-shard handoff
+//!   ([`RegionGrid`]).
 
 pub mod geo;
 pub mod grid;
+pub mod region;
 
 pub use geo::{angle_between, Vec2};
 pub use grid::{CellId, GridIndex};
+pub use region::{RegionGrid, RegionId};

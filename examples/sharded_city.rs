@@ -1,0 +1,108 @@
+//! Sharded quickstart: three city regions dispatched by parallel shards.
+//!
+//! Generates a multi-region workload (Chengdu-, NYC- and Cainiao-like demand
+//! side by side on one road network), then dispatches it three ways:
+//!
+//! 1. the monolithic [`Simulator`] — one SARD over the whole fleet;
+//! 2. a [`ShardedSimulator`] with a **single** shard — which must reproduce
+//!    the monolithic run exactly (the single-shard reduction invariant);
+//! 3. a [`ShardedSimulator`] with one shard per region — independent
+//!    pipelines with cross-shard handoff and idle-vehicle rebalancing.
+//!
+//! Run with `cargo run --example sharded_city`.
+
+use structride::prelude::*;
+
+fn main() {
+    let workload = MultiRegionWorkload::generate(MultiRegionParams {
+        requests_per_region: 100,
+        vehicles_per_region: 12,
+        horizon: 240.0,
+        scale: 0.3,
+        ..MultiRegionParams::small(vec![
+            CityProfile::ChengduLike,
+            CityProfile::NycLike,
+            CityProfile::CainiaoLike,
+        ])
+    });
+    let config = StructRideConfig::default();
+    println!("== workload: {} ==", workload.name);
+    println!(
+        "  {} requests / {} vehicles over {} regions",
+        workload.requests.len(),
+        workload.vehicles.len(),
+        workload.regions.len()
+    );
+
+    // 1. The monolithic pipeline.
+    let mut sard = SardDispatcher::new(config);
+    let mono = Simulator::new(config).run(
+        &workload.engine,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        &mut sard,
+        &workload.name,
+    );
+    println!("\n== monolithic SARD ==");
+    println!(
+        "  served {}/{} (service rate {:.3}), unified cost {:.0}",
+        mono.metrics.served_requests,
+        mono.metrics.total_requests,
+        mono.metrics.service_rate(),
+        mono.metrics.unified_cost
+    );
+
+    // 2. One shard: must reduce exactly to the monolithic run.
+    let single = region_strips_for(workload.network(), 1);
+    let reduced = ShardedSimulator::new(config).run(
+        workload.network(),
+        &single,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        |_| Box::new(SardDispatcher::new(config)),
+        &workload.name,
+    );
+    println!("\n== sharded, 1 shard (reduction check) ==");
+    println!(
+        "  served {} (monolithic {}), unified cost {:.0} (monolithic {:.0})",
+        reduced.aggregate.served_requests,
+        mono.metrics.served_requests,
+        reduced.aggregate.unified_cost,
+        mono.metrics.unified_cost
+    );
+    assert_eq!(
+        reduced.aggregate.served_requests, mono.metrics.served_requests,
+        "single-shard run must reduce to the monolithic simulator"
+    );
+
+    // 3. One shard per region.
+    let sharded = ShardedSimulator::new(config).run(
+        workload.network(),
+        &workload.regions,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        |_| Box::new(SardDispatcher::new(config)),
+        &workload.name,
+    );
+    println!("\n== sharded, {} shards ==", sharded.per_shard.len());
+    for (i, m) in sharded.per_shard.iter().enumerate() {
+        println!(
+            "  shard {i}: {:>3}/{:<3} served (rate {:.3}), travel {:.0}s",
+            m.served_requests,
+            m.total_requests,
+            m.service_rate(),
+            m.total_travel
+        );
+    }
+    println!(
+        "  aggregate: served {}/{} (rate {:.3}), unified cost {:.0}",
+        sharded.aggregate.served_requests,
+        sharded.aggregate.total_requests,
+        sharded.aggregate.service_rate(),
+        sharded.aggregate.unified_cost
+    );
+    println!(
+        "  cross-shard: {} handoffs ({} bids), {} idle-vehicle migrations",
+        sharded.handoffs, sharded.handoff_bids, sharded.migrations
+    );
+}

@@ -102,11 +102,14 @@ pub mod prelude {
     //! The names most programs need, in one import.
     pub use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
     pub use structride_core::{
-        replay_trace, BatchOutcome, DispatchContext, Dispatcher, DriftReport, RunMetrics,
-        SardDispatcher, SimulationReport, Simulator, StructRideConfig, Trace, TraceMeta,
+        diff_traces, region_strips_for, replay_trace, BatchOutcome, DispatchContext, Dispatcher,
+        DriftReport, RunMetrics, SardDispatcher, ShardDispatcher, ShardedReport, ShardedSimulator,
+        ShardingConfig, SimulationReport, Simulator, StructRideConfig, Trace, TraceMeta,
         TraceRecorder,
     };
-    pub use structride_datagen::{CityProfile, Workload, WorkloadParams};
+    pub use structride_datagen::{
+        CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
+    };
     pub use structride_model::{
         CostParams, Request, RequestId, Schedule, Vehicle, VehicleId, Waypoint, WaypointKind,
     };
@@ -114,6 +117,7 @@ pub mod prelude {
     pub use structride_sharegraph::{
         AnglePruning, BuilderConfig, ShareabilityGraph, ShareabilityGraphBuilder,
     };
+    pub use structride_spatial::{RegionGrid, RegionId};
 }
 
 use prelude::*;
