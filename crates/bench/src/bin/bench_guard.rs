@@ -1,0 +1,97 @@
+//! Perf-trajectory regression gate.
+//!
+//! ```text
+//! bench_guard --baseline PATH --current PATH [--max-regression FRACTION]
+//!             [--max-latency-increase FRACTION]
+//! ```
+//!
+//! Compares the `throughput_rps` of every row of a committed
+//! `bench-baselines/BENCH_*.json` against the same row of a freshly
+//! generated `BENCH_*.json` (rows matched by bench name +
+//! profile/mode/shards; thread counts deliberately ignored).  Exits non-zero
+//! when any row regressed by more than the margin (default 20%) or a
+//! baseline row is missing from the current run.  With
+//! `--max-latency-increase`, rows carrying `batch_latency_p99_ms`
+//! additionally fail when that latency rose beyond its own margin — the
+//! dispatcher-sensitive check for the arrival-paced ingest bench.
+
+use std::process::ExitCode;
+use structride_bench::perf::guard_throughput;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_guard --baseline PATH --current PATH [--max-regression FRACTION] \
+         [--max-latency-increase FRACTION]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut max_regression = 0.20f64;
+    let mut max_latency_increase: Option<f64> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--baseline" => baseline = argv.next(),
+            "--current" => current = argv.next(),
+            "--max-regression" => {
+                let Some(raw) = argv.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                max_regression = raw;
+            }
+            "--max-latency-increase" => {
+                let Some(raw) = argv.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                max_latency_increase = Some(raw);
+            }
+            _ => return usage(),
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline, current) else {
+        return usage();
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline_text), Some(current_text)) = (read(&baseline_path), read(&current_path))
+    else {
+        return ExitCode::FAILURE;
+    };
+    match guard_throughput(
+        &baseline_text,
+        &current_text,
+        max_regression,
+        max_latency_increase,
+    ) {
+        Ok(report) => {
+            for cmp in &report.comparisons {
+                println!("{cmp}");
+            }
+            if report.is_pass() {
+                println!(
+                    "bench_guard OK: {} row(s) within the {:.0}% regression margin",
+                    report.comparisons.len(),
+                    max_regression * 100.0
+                );
+                ExitCode::SUCCESS
+            } else {
+                for failure in &report.failures {
+                    eprintln!("REGRESSION: {failure}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_guard error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

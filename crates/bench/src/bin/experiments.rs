@@ -4,7 +4,7 @@
 //! experiments [EXPERIMENT ...] [--quick]
 //!
 //! EXPERIMENT ∈ { fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
-//!                fig16, table_pruning, angle_model, sharded, all }
+//!                fig16, table_pruning, angle_model, sharded, ingest, all }
 //! ```
 //!
 //! Output is TSV on stdout: one row per (sweep point, algorithm) with the
@@ -12,14 +12,19 @@
 //! shortest-path queries, memory).  `--quick` shrinks the workloads for a
 //! fast smoke run.
 //!
-//! `sharded` goes beyond the paper: it compares the monolithic pipeline with
-//! the multi-region sharded one on a three-city workload and additionally
-//! writes the machine-readable `BENCH_sharded.json` (throughput, per-batch
-//! wall-clock, service rate) consumed by the perf-trajectory tooling.  It
-//! prints its own TSV schema, so it is **not** implied by `all` — name it
-//! explicitly (the figure header is suppressed when `sharded` runs alone).
+//! `sharded` and `ingest` go beyond the paper: `sharded` compares the
+//! monolithic pipeline with the multi-region sharded one on a three-city
+//! workload and writes the machine-readable `BENCH_sharded.json`
+//! (throughput, per-batch wall-clock, service rate); `ingest` drives the
+//! async ingest front end over Poisson and bursty-surge arrival streams and
+//! writes `BENCH_ingest.json` (sustained throughput, p50/p99 batch latency,
+//! queue depth, drop/timeout counts).  Both are consumed by the
+//! perf-trajectory tooling (`bench_guard`), print their own TSV schemas, and
+//! are therefore **not** implied by `all` — name them explicitly (the figure
+//! header is suppressed when either runs alone).
 
 use structride_bench::harness;
+use structride_bench::ingestbench;
 use structride_bench::shardbench;
 use structride_bench::ExperimentScale;
 
@@ -36,15 +41,16 @@ fn main() {
         selected.push("all".to_string());
     }
     let wants = |name: &str| selected.iter().any(|s| s == name || s == "all");
-    // `sharded` emits its own TSV schema (ShardBenchRow): it is never
-    // implied by `all` and refuses to share a stdout stream with the figure
-    // experiments — two header shapes in one stream would break downstream
-    // TSV consumers.
+    // `sharded` and `ingest` emit their own TSV schemas (ShardBenchRow /
+    // IngestBenchRow): they are never implied by `all` and refuse to share a
+    // stdout stream with the figure experiments — two header shapes in one
+    // stream would break downstream TSV consumers.
     let wants_sharded = selected.iter().any(|s| s == "sharded");
-    if wants_sharded && !selected.iter().all(|s| s == "sharded") {
+    let wants_ingest = selected.iter().any(|s| s == "ingest");
+    if (wants_sharded || wants_ingest) && selected.len() != 1 {
         eprintln!(
-            "`sharded` prints its own TSV schema and cannot be combined with \
-             other experiments; run it in a separate invocation"
+            "`sharded` and `ingest` print their own TSV schemas and cannot be \
+             combined with other experiments; run each in a separate invocation"
         );
         std::process::exit(2);
     }
@@ -53,7 +59,7 @@ fn main() {
         "# running {:?} at scale: {} requests / {} vehicles / horizon {}s",
         selected, scale.requests, scale.vehicles, scale.horizon
     );
-    if !wants_sharded {
+    if !wants_sharded && !wants_ingest {
         harness::print_header();
     }
 
@@ -100,6 +106,12 @@ fn main() {
         let shard_counts = [1usize, 3];
         if let Err(e) = shardbench::run_and_write(&scale, &shard_counts, "BENCH_sharded.json") {
             eprintln!("failed to write BENCH_sharded.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if wants_ingest {
+        if let Err(e) = ingestbench::run_and_write(&scale, "BENCH_ingest.json") {
+            eprintln!("failed to write BENCH_ingest.json: {e}");
             std::process::exit(1);
         }
     }

@@ -1,9 +1,9 @@
 //! Record/replay front end for the dispatcher-determinism harness.
 //!
 //! ```text
-//! replay record  [--quick] [--algo KEY] [--out PATH] [--shards N]
+//! replay record  [--quick] [--algo KEY] [--out PATH] [--shards N] [--ingest]
 //! replay replay  --trace PATH [--algo KEY] [--threads N]
-//! replay verify  [--quick] [--algo KEY] [--threads N] [--shards N]
+//! replay verify  [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest]
 //! ```
 //!
 //! * `record` runs the quickstart-style workload under the chosen dispatcher
@@ -23,25 +23,35 @@
 //! whole sharded pipeline and diffs the two traces — the sharded form of the
 //! replay invariant (bit-identical across worker counts).
 //!
+//! `--ingest` switches `record`/`verify` to the **ingested** pipeline
+//! (`core::ingest`): the workload's request stream is replayed in compressed
+//! wall clock through the bounded arrival queue, and batches close on the
+//! adaptive deadline/size-cap rule instead of the simulated Δ.  The realized
+//! batch boundaries land in the trace, so a monolithic ingested trace
+//! replays through the ordinary `replay` path; a sharded ingested trace
+//! (`--ingest --shards N`) is verified by re-running the sharded pipeline
+//! *from the recorded boundaries* and diffing the global traces.
+//!
 //! `KEY` ∈ {sard, rtv, prunegdp, gas, darm, ticket}; `ticket` records fine
 //! but is exempt from `verify` — its commit-order races are the algorithm
 //! being reproduced.
 
 use std::process::ExitCode;
 use structride_bench::replay_cli::{
-    dispatcher_by_name, is_sharded_trace, quickstart_params, record_run, record_sharded_run,
-    regenerate_multi_workload, regenerate_workload, replay_run, rerun_sharded,
-    sharded_quickstart_params, trace_dispatcher_key, trace_shards, DETERMINISTIC_KEYS,
-    DISPATCHER_KEYS,
+    dispatcher_by_name, ingest_quickstart_config, is_sharded_ingested_trace, is_sharded_trace,
+    quickstart_params, record_ingested_run, record_run, record_sharded_ingested_run,
+    record_sharded_run, regenerate_multi_workload, regenerate_workload, replay_run, rerun_sharded,
+    rerun_sharded_ingested, sharded_quickstart_params, trace_dispatcher_key, trace_shards,
+    DETERMINISTIC_KEYS, DISPATCHER_KEYS,
 };
 use structride_core::replay::Trace;
 use structride_core::StructRideConfig;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: replay record [--quick] [--algo KEY] [--out PATH] [--shards N]\n\
+        "usage: replay record [--quick] [--algo KEY] [--out PATH] [--shards N] [--ingest]\n\
          \x20      replay replay --trace PATH [--algo KEY] [--threads N]\n\
-         \x20      replay verify [--quick] [--algo KEY] [--threads N] [--shards N]\n\
+         \x20      replay verify [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest]\n\
          KEY: {}",
         DISPATCHER_KEYS.join(", ")
     );
@@ -55,6 +65,7 @@ struct Args {
     trace: Option<String>,
     threads: Option<usize>,
     shards: Option<usize>,
+    ingest: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
@@ -66,6 +77,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         trace: None,
         threads: None,
         shards: None,
+        ingest: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -75,10 +87,21 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
             "--trace" => args.trace = Some(argv.next()?),
             "--threads" => args.threads = Some(argv.next()?.parse().ok()?),
             "--shards" => args.shards = Some(argv.next()?.parse().ok()?),
+            "--ingest" => args.ingest = true,
             _ => return None,
         }
     }
     Some((subcommand, args))
+}
+
+/// The framework configuration `record`/`verify` run with: defaults, plus
+/// the quickstart ingest knobs when `--ingest` is on.
+fn run_config(args: &Args) -> StructRideConfig {
+    if args.ingest {
+        StructRideConfig::default().with_ingest(ingest_quickstart_config(args.quick))
+    } else {
+        StructRideConfig::default()
+    }
 }
 
 fn print_trace_summary(trace: &Trace) {
@@ -104,20 +127,22 @@ fn print_trace_summary(trace: &Trace) {
 fn cmd_record(args: &Args) -> ExitCode {
     let algo = args.algo.as_deref().unwrap_or("sard");
     let out = args.out.as_deref().unwrap_or("replay-trace.txt");
-    let recorded = match args.shards {
-        Some(shards) => record_sharded_run(
-            sharded_quickstart_params(args.quick),
-            StructRideConfig::default(),
-            algo,
-            shards,
-        )
-        .map(|(_, trace)| trace),
-        None => record_run(
-            quickstart_params(args.quick),
-            StructRideConfig::default(),
-            algo,
-        )
-        .map(|(_, trace)| trace),
+    let config = run_config(args);
+    let recorded = match (args.ingest, args.shards) {
+        (true, Some(shards)) => {
+            record_sharded_ingested_run(sharded_quickstart_params(args.quick), config, algo, shards)
+                .map(|(_, trace)| trace)
+        }
+        (true, None) => {
+            record_ingested_run(quickstart_params(args.quick), config, algo).map(|(_, trace)| trace)
+        }
+        (false, Some(shards)) => {
+            record_sharded_run(sharded_quickstart_params(args.quick), config, algo, shards)
+                .map(|(_, trace)| trace)
+        }
+        (false, None) => {
+            record_run(quickstart_params(args.quick), config, algo).map(|(_, trace)| trace)
+        }
     };
     let Some(trace) = recorded else {
         eprintln!("unknown dispatcher {algo:?}");
@@ -179,16 +204,25 @@ fn cmd_replay(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if is_sharded_trace(&trace) {
+    if is_sharded_trace(&trace) || is_sharded_ingested_trace(&trace) {
         let Some(workload) = regenerate_multi_workload(&trace.meta) else {
             eprintln!("sharded trace metadata lacks regeneration parameters");
             return ExitCode::FAILURE;
         };
+        let ingested = is_sharded_ingested_trace(&trace);
         eprintln!(
-            "# sharded trace: shards={}",
+            "# sharded trace: shards={} ingested={ingested}",
             trace_shards(&trace).unwrap_or(0)
         );
-        let report = in_pool(args.threads, || rerun_sharded(&workload, &algo, &trace));
+        // A clock-driven sharded trace re-runs the whole pipeline; an
+        // ingested one re-runs it from the recorded realized boundaries.
+        let report = in_pool(args.threads, || {
+            if ingested {
+                rerun_sharded_ingested(&workload, &algo, &trace)
+            } else {
+                rerun_sharded(&workload, &algo, &trace)
+            }
+        });
         let Some(report) = report else {
             eprintln!("unknown dispatcher {algo:?} or malformed sharded metadata");
             return ExitCode::from(2);
@@ -216,14 +250,19 @@ fn cmd_replay(args: &Args) -> ExitCode {
     }
 }
 
-/// The sharded verify flow: record a sharded trace in-process, re-run the
-/// pipeline under 1 and N worker threads asserting zero drift, then re-run
-/// with a different per-shard dispatcher and assert the drift is flagged.
+/// The sharded verify flow: record a sharded trace in-process (clock-driven,
+/// or ingested with `--ingest`), re-run the pipeline under 1 and N worker
+/// threads asserting zero drift, then re-run with a different per-shard
+/// dispatcher and assert the drift is flagged.
 fn cmd_verify_sharded(args: &Args, algo: &str, shards: usize) -> ExitCode {
-    let config = StructRideConfig::default();
-    let Some((workload, trace)) =
-        record_sharded_run(sharded_quickstart_params(args.quick), config, algo, shards)
-    else {
+    let config = run_config(args);
+    let params = sharded_quickstart_params(args.quick);
+    let recorded = if args.ingest {
+        record_sharded_ingested_run(params, config, algo, shards)
+    } else {
+        record_sharded_run(params, config, algo, shards)
+    };
+    let Some((workload, trace)) = recorded else {
         eprintln!("unknown dispatcher {algo:?}");
         return ExitCode::from(2);
     };
@@ -236,12 +275,19 @@ fn cmd_verify_sharded(args: &Args, algo: &str, shards: usize) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let rerun = |key: &str, trace: &Trace| {
+        if args.ingest {
+            rerun_sharded_ingested(&workload, key, trace)
+        } else {
+            rerun_sharded(&workload, key, trace)
+        }
+    };
     let many = args
         .threads
         .unwrap_or_else(rayon::current_num_threads)
         .max(2);
     for threads in [1, many] {
-        let Some(report) = in_pool(Some(threads), || rerun_sharded(&workload, algo, &trace)) else {
+        let Some(report) = in_pool(Some(threads), || rerun(algo, &trace)) else {
             eprintln!("unknown dispatcher {algo:?}");
             return ExitCode::from(2);
         };
@@ -257,7 +303,7 @@ fn cmd_verify_sharded(args: &Args, algo: &str, shards: usize) -> ExitCode {
     } else {
         "prunegdp"
     };
-    let Some(report) = rerun_sharded(&workload, other, &trace) else {
+    let Some(report) = rerun(other, &trace) else {
         eprintln!("unknown dispatcher {other:?}");
         return ExitCode::from(2);
     };
@@ -288,8 +334,15 @@ fn cmd_verify(args: &Args) -> ExitCode {
     if let Some(shards) = args.shards {
         return cmd_verify_sharded(args, &algo, shards);
     }
-    let config = StructRideConfig::default();
-    let Some((workload, trace)) = record_run(quickstart_params(args.quick), config, &algo) else {
+    let config = run_config(args);
+    // An ingested recording goes through the same 1-vs-N replay loop below:
+    // the realized boundaries are in the trace, and replay re-feeds them.
+    let recorded = if args.ingest {
+        record_ingested_run(quickstart_params(args.quick), config, &algo)
+    } else {
+        record_run(quickstart_params(args.quick), config, &algo)
+    };
+    let Some((workload, trace)) = recorded else {
         eprintln!("unknown dispatcher {algo:?}");
         return ExitCode::from(2);
     };

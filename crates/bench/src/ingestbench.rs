@@ -1,0 +1,262 @@
+//! Ingest-pipeline benchmark with machine-readable output.
+//!
+//! [`bench_ingest`] drives the async ingest front end
+//! (`structride_core::ingest`) over streamed arrival processes — a
+//! homogeneous Poisson profile and a bursty-surge profile from
+//! `structride_datagen::arrivals` — through the monolithic and the sharded
+//! pipeline, and renders the rows both as TSV (stdout) and as the
+//! `BENCH_ingest.json` document (schema_version 1): sustained throughput,
+//! p50/p99 batch latency, queue depth and drop/timeout counts.  Together
+//! with `BENCH_sharded.json` this is the perf-trajectory series CI uploads
+//! and guards (see `bench_guard`).
+
+use structride_core::shard::{region_strips_for, ShardedSimulator};
+use structride_core::{IngestConfig, IngestStats, SardDispatcher, Simulator, StructRideConfig};
+use structride_datagen::{
+    ArrivalProfile, ArrivalStream, ArrivalStreamParams, CityProfile, Workload, WorkloadParams,
+};
+
+use crate::harness::ExperimentScale;
+
+/// One benchmark row: one (arrival profile, pipeline) combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestBenchRow {
+    /// Arrival profile key: `"poisson"` or `"bursty"`.
+    pub profile: String,
+    /// `"monolithic"` or `"sharded"`.
+    pub mode: String,
+    /// Shard count (1 for monolithic).
+    pub shards: usize,
+    /// Worker threads the run executed with.
+    pub threads: usize,
+    /// served / arrivals — the denominator includes load-shed and timed-out
+    /// arrivals in *both* modes, so monolithic and sharded rows compare.
+    pub service_rate: f64,
+    /// The ingest-level statistics of the run.
+    pub stats: IngestStats,
+}
+
+impl IngestBenchRow {
+    /// The TSV header matching [`IngestBenchRow::tsv_row`].
+    pub fn tsv_header() -> &'static str {
+        "profile\tmode\tshards\tthreads\tarrivals\tdispatched\tdropped\ttimed_out\tbatches\
+         \tmean_batch\tservice_rate\tthroughput_rps\tp50_ms\tp99_ms\tmax_queue\tmean_queue\twall_s"
+    }
+
+    /// One tab-separated row.
+    pub fn tsv_row(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.2}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{}\t{:.2}\t{:.3}",
+            self.profile,
+            self.mode,
+            self.shards,
+            self.threads,
+            s.arrivals,
+            s.dispatched,
+            s.dropped_queue_full,
+            s.timed_out,
+            s.batches,
+            s.mean_batch_size,
+            self.service_rate,
+            s.throughput_rps,
+            s.batch_latency_p50_ms,
+            s.batch_latency_p99_ms,
+            s.max_queue_depth,
+            s.mean_queue_depth,
+            s.wall_seconds,
+        )
+    }
+
+    fn to_json(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "{{\"profile\":\"{}\",\"mode\":\"{}\",\"shards\":{},\"threads\":{},\
+             \"arrivals\":{},\"dispatched\":{},\"dropped_queue_full\":{},\"timed_out\":{},\
+             \"batches\":{},\"mean_batch_size\":{:.6},\"service_rate\":{:.6},\
+             \"throughput_rps\":{:.3},\"batch_latency_p50_ms\":{:.6},\
+             \"batch_latency_p99_ms\":{:.6},\"max_queue_depth\":{},\"mean_queue_depth\":{:.6},\
+             \"wall_s\":{:.6}}}",
+            self.profile,
+            self.mode,
+            self.shards,
+            self.threads,
+            s.arrivals,
+            s.dispatched,
+            s.dropped_queue_full,
+            s.timed_out,
+            s.batches,
+            s.mean_batch_size,
+            self.service_rate,
+            s.throughput_rps,
+            s.batch_latency_p50_ms,
+            s.batch_latency_p99_ms,
+            s.max_queue_depth,
+            s.mean_queue_depth,
+            s.wall_seconds,
+        )
+    }
+}
+
+/// Renders the full `BENCH_ingest.json` document through the shared
+/// skeleton in [`crate::perf`] (kept in lockstep with its parser).  The
+/// schema is append-only: tooling parses it across PRs.
+pub fn render_bench_json(workload_name: &str, rows: &[IngestBenchRow]) -> String {
+    let row_jsons: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
+    crate::perf::render_bench_doc("ingest", workload_name, &row_jsons)
+}
+
+/// The ingest knobs the benchmark runs with: compress the stream hard so a
+/// quick run stays fast, with a deadline short enough that batching is
+/// latency-driven rather than cap-driven at the offered rates.
+pub fn bench_ingest_config(scale: &ExperimentScale) -> IngestConfig {
+    IngestConfig {
+        max_batch_size: 48,
+        batch_deadline: 0.015,
+        queue_capacity: 2048,
+        // Replay the whole horizon in roughly 1.5 wall seconds.
+        time_scale: (scale.horizon / 1.5).max(1.0),
+    }
+}
+
+/// The arrival-stream parameters for one profile over `workload`'s engine.
+fn arrival_params(
+    profile_key: &str,
+    workload: &Workload,
+    scale: &ExperimentScale,
+) -> ArrivalStreamParams {
+    let rate = scale.requests as f64 / scale.horizon;
+    let profile = match profile_key {
+        "bursty" => ArrivalProfile::BurstySurge {
+            base_rate: rate * 0.5,
+            surge_rate: rate * 3.0,
+            period: scale.horizon / 4.0,
+            surge_fraction: 0.25,
+        },
+        _ => ArrivalProfile::Poisson { rate },
+    };
+    ArrivalStreamParams {
+        profile,
+        request: workload.params.city.request_params(workload.params.seed),
+        count: scale.requests,
+        first_id: 0,
+    }
+}
+
+/// Runs the ingest benchmark and returns `(workload name, rows)`: the
+/// monolithic pipeline under a Poisson and a bursty-surge stream, plus a
+/// two-shard sharded run under the Poisson stream.
+pub fn bench_ingest(scale: &ExperimentScale) -> (String, Vec<IngestBenchRow>) {
+    let workload = Workload::generate(WorkloadParams {
+        num_requests: scale.requests,
+        num_vehicles: scale.vehicles,
+        horizon: scale.horizon,
+        scale: scale.network_scale,
+        seed: scale.seed,
+        ..WorkloadParams::small(CityProfile::NycLike)
+    });
+    let config = StructRideConfig::default().with_ingest(bench_ingest_config(scale));
+    let threads = rayon::current_num_threads();
+    let mut rows = Vec::new();
+
+    for profile_key in ["poisson", "bursty"] {
+        let params = arrival_params(profile_key, &workload, scale);
+        workload.engine.clear_cache();
+        let mut sard = SardDispatcher::new(config);
+        let report = Simulator::new(config).run_ingested(
+            &workload.engine,
+            ArrivalStream::new(&workload.engine, &params),
+            workload.fresh_vehicles(),
+            &mut sard,
+            &workload.name,
+        );
+        rows.push(IngestBenchRow {
+            profile: profile_key.to_string(),
+            mode: "monolithic".to_string(),
+            shards: 1,
+            threads,
+            service_rate: report.metrics.service_rate(),
+            stats: report.ingest,
+        });
+    }
+
+    // The sharded pipeline under the Poisson stream: realized batches routed
+    // through the RegionGrid into two per-shard inboxes.
+    let params = arrival_params("poisson", &workload, scale);
+    let regions = region_strips_for(workload.engine.network(), 2);
+    let sharded = ShardedSimulator::new(config).run_ingested(
+        workload.engine.network(),
+        &regions,
+        ArrivalStream::new(&workload.engine, &params),
+        workload.fresh_vehicles(),
+        |_| Box::new(SardDispatcher::new(config)),
+        &workload.name,
+    );
+    // Uniform denominator across rows: the sharded aggregate only counts
+    // *routed* requests (load-shed and timed-out arrivals never reach a
+    // shard), so divide by arrivals here, exactly like the monolithic rows.
+    let served = sharded.report.aggregate.served_requests;
+    rows.push(IngestBenchRow {
+        profile: "poisson".to_string(),
+        mode: "sharded".to_string(),
+        shards: regions.len(),
+        threads,
+        service_rate: served as f64 / sharded.ingest.arrivals.max(1) as f64,
+        stats: sharded.ingest,
+    });
+
+    (workload.name, rows)
+}
+
+/// Runs [`bench_ingest`], prints the TSV rows and writes the JSON document
+/// to `out_path`.
+pub fn run_and_write(scale: &ExperimentScale, out_path: &str) -> std::io::Result<()> {
+    let (name, rows) = bench_ingest(scale);
+    println!("{}", IngestBenchRow::tsv_header());
+    for r in &rows {
+        println!("{}", r.tsv_row());
+    }
+    std::fs::write(out_path, render_bench_json(&name, &rows))?;
+    eprintln!("# wrote {out_path}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_rows_cover_profiles_and_serialize() {
+        let scale = ExperimentScale {
+            requests: 80,
+            vehicles: 16,
+            horizon: 90.0,
+            network_scale: 0.25,
+            seed: 42,
+        };
+        let (name, rows) = bench_ingest(&scale);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].profile, "poisson");
+        assert_eq!(rows[1].profile, "bursty");
+        assert_eq!(rows[2].mode, "sharded");
+        assert_eq!(rows[2].shards, 2);
+        for r in &rows {
+            assert_eq!(r.stats.arrivals, 80);
+            assert!(r.stats.batches > 0);
+            assert!(r.stats.throughput_rps > 0.0);
+            assert!(r.service_rate > 0.0 && r.service_rate <= 1.0);
+            assert_eq!(
+                r.tsv_row().split('\t').count(),
+                IngestBenchRow::tsv_header().split('\t').count()
+            );
+        }
+        let json = render_bench_json(&name, &rows);
+        assert!(json.contains("\"bench\": \"ingest\""));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"profile\":\"bursty\""));
+        assert!(json.contains("\"mode\":\"sharded\""));
+        assert_eq!(json.matches("\"throughput_rps\"").count(), 3);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -13,8 +13,11 @@
 //! harness reproduces (see `EXPERIMENTS.md`).
 
 pub mod harness;
+pub mod ingestbench;
+pub mod perf;
 pub mod replay_cli;
 pub mod shardbench;
 
 pub use harness::{ExperimentScale, SuiteKind};
+pub use ingestbench::IngestBenchRow;
 pub use shardbench::ShardBenchRow;

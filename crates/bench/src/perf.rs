@@ -1,0 +1,432 @@
+//! The perf-trajectory regression guard behind the `bench_guard` binary.
+//!
+//! `BENCH_*.json` documents (emitted by [`crate::shardbench`] and
+//! [`crate::ingestbench`], schema_version 1) carry a flat `rows` array of
+//! objects with string and number fields.  This module parses that shape
+//! with a deliberately small scanner — the workspace is offline, so no JSON
+//! crate is available, and the emitters guarantee flat objects with no
+//! escapes — and compares each row's `throughput_rps` against a committed
+//! baseline, failing when the current value regresses by more than the
+//! allowed fraction.
+//!
+//! Rows are matched by a stable identity key (the document's `bench` name
+//! plus the row's `profile`/`mode`/`shards` fields when present).  Worker
+//! thread counts are deliberately *excluded* from the key: the baseline and
+//! the CI runner need not have the same core count, and absolute throughput
+//! comparisons already absorb that noise inside the regression margin.
+
+use std::fmt;
+
+/// Row fields that identify a row across runs (besides the bench name).
+/// `threads` is excluded on purpose — see the module docs.
+const KEY_FIELDS: &[&str] = &["profile", "mode", "shards"];
+
+/// The throughput metric the guard compares (higher is better).
+const METRIC: &str = "throughput_rps";
+
+/// The optional latency metric (lower is better).  The ingest bench's
+/// throughput is arrival-paced — the stream replays at a fixed compression,
+/// so a slower dispatcher does not move `throughput_rps` until it blows the
+/// whole deadline budget.  Batch latency (open → dispatch complete) *does*
+/// move with dispatcher cost, which is why the ingest gate guards it too.
+const LATENCY_METRIC: &str = "batch_latency_p99_ms";
+
+/// Renders the shared `BENCH_*.json` document skeleton.  Both emitters
+/// ([`crate::shardbench`], [`crate::ingestbench`]) go through this one
+/// function so the shape stays in lockstep with [`parse_bench_doc`]: flat
+/// row objects, no escapes or commas inside string values, scalar metadata
+/// before the `rows` array.
+pub fn render_bench_doc(bench: &str, workload_name: &str, row_jsons: &[String]) -> String {
+    let body: Vec<String> = row_jsons.iter().map(|r| format!("    {r}")).collect();
+    format!(
+        "{{\n  \"bench\": \"{}\",\n  \"schema_version\": 1,\n  \"workload\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        bench,
+        workload_name,
+        body.join(",\n")
+    )
+}
+
+/// One parsed `BENCH_*.json` row: flat `key -> raw value` pairs (quotes
+/// stripped from string values).
+pub type BenchRow = Vec<(String, String)>;
+
+/// A parsed benchmark document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// The `bench` name field.
+    pub bench: String,
+    /// The `schema_version` field.
+    pub schema_version: u32,
+    /// The flat rows.
+    pub rows: Vec<BenchRow>,
+}
+
+fn field<'a>(row: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    row.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Parses the flat-object subset the bench emitters produce.
+pub fn parse_bench_doc(doc: &str) -> Result<BenchDoc, String> {
+    let bench = top_level_string(doc, "bench")?;
+    let schema_version: u32 = top_level_raw(doc, "schema_version")?
+        .parse()
+        .map_err(|_| "schema_version is not an integer".to_string())?;
+    let rows_key = doc
+        .find("\"rows\"")
+        .ok_or_else(|| "missing \"rows\"".to_string())?;
+    let arr_start = doc[rows_key..]
+        .find('[')
+        .map(|i| rows_key + i)
+        .ok_or_else(|| "rows is not an array".to_string())?;
+    // Row objects are flat, so the first ']' after the '[' closes the array.
+    let arr_end = doc[arr_start..]
+        .find(']')
+        .map(|i| arr_start + i)
+        .ok_or_else(|| "unterminated rows array".to_string())?;
+    let mut rows = Vec::new();
+    let mut rest = &doc[arr_start + 1..arr_end];
+    while let Some(obj_start) = rest.find('{') {
+        let obj_end = rest[obj_start..]
+            .find('}')
+            .map(|i| obj_start + i)
+            .ok_or_else(|| "unterminated row object".to_string())?;
+        rows.push(parse_flat_object(&rest[obj_start + 1..obj_end])?);
+        rest = &rest[obj_end + 1..];
+    }
+    Ok(BenchDoc {
+        bench,
+        schema_version,
+        rows,
+    })
+}
+
+fn parse_flat_object(body: &str) -> Result<BenchRow, String> {
+    let mut fields = Vec::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("malformed field {pair:?}"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim().trim_matches('"').to_string();
+        fields.push((key, value));
+    }
+    Ok(fields)
+}
+
+fn top_level_string(doc: &str, key: &str) -> Result<String, String> {
+    let raw = top_level_raw(doc, key)?;
+    Ok(raw.trim_matches('"').to_string())
+}
+
+/// The raw token following `"key":` at the document's top level (before the
+/// rows array, where our emitters place all scalar metadata).
+fn top_level_raw(doc: &str, key: &str) -> Result<String, String> {
+    let needle = format!("\"{key}\"");
+    let at = doc
+        .find(&needle)
+        .ok_or_else(|| format!("missing \"{key}\""))?;
+    let rest = &doc[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("\"{key}\" has no value"))?;
+    let rest = rest.trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    Ok(rest[..end].trim().to_string())
+}
+
+/// The stable identity of one row within its document.
+pub fn row_key(bench: &str, row: &BenchRow) -> String {
+    let mut parts = vec![bench.to_string()];
+    for key in KEY_FIELDS {
+        if let Some(value) = field(row, key) {
+            parts.push(format!("{key}={value}"));
+        }
+    }
+    parts.join(" ")
+}
+
+/// One baseline-vs-current throughput comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The row identity ([`row_key`]).
+    pub key: String,
+    /// Baseline throughput, requests per second.
+    pub baseline: f64,
+    /// Current throughput, requests per second.
+    pub current: f64,
+}
+
+impl Comparison {
+    /// current / baseline (∞-safe: 0 baseline compares as 1.0).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.current / self.baseline
+        } else {
+            1.0
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: baseline {:.1} rps, current {:.1} rps ({:+.1}%)",
+            self.key,
+            self.baseline,
+            self.current,
+            (self.ratio() - 1.0) * 100.0
+        )
+    }
+}
+
+/// The guard verdict: every comparison made, plus the subset that failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardReport {
+    /// All matched rows.
+    pub comparisons: Vec<Comparison>,
+    /// Human-readable failure descriptions (empty = pass).
+    pub failures: Vec<String>,
+}
+
+impl GuardReport {
+    /// True when no row regressed beyond the margin and no baseline row was
+    /// missing from the current run.
+    pub fn is_pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `current` against `baseline` (both raw `BENCH_*.json` text),
+/// failing any row whose throughput dropped by more than `max_regression`
+/// (e.g. `0.20` = 20%) and any baseline row missing from the current run.
+/// Rows present only in the current run are allowed — the trajectory grows.
+///
+/// With `max_latency_increase = Some(m)`, rows carrying
+/// `batch_latency_p99_ms` additionally fail when the current latency exceeds
+/// the baseline by more than the fraction `m` — the dispatcher-sensitive
+/// check for arrival-paced benches whose throughput alone cannot regress
+/// (see [`LATENCY_METRIC`]).
+pub fn guard_throughput(
+    baseline: &str,
+    current: &str,
+    max_regression: f64,
+    max_latency_increase: Option<f64>,
+) -> Result<GuardReport, String> {
+    let baseline = parse_bench_doc(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let current = parse_bench_doc(current).map_err(|e| format!("current: {e}"))?;
+    if baseline.bench != current.bench {
+        return Err(format!(
+            "bench mismatch: baseline {:?} vs current {:?}",
+            baseline.bench, current.bench
+        ));
+    }
+    let metric_of = |row: &BenchRow, name: &str| -> Option<f64> {
+        field(row, name).and_then(|v| v.parse::<f64>().ok())
+    };
+    let mut comparisons = Vec::new();
+    let mut failures = Vec::new();
+    let floor = 1.0 - max_regression;
+    for base_row in &baseline.rows {
+        let key = row_key(&baseline.bench, base_row);
+        let Some(base_tp) = metric_of(base_row, METRIC) else {
+            continue;
+        };
+        let current_row = current
+            .rows
+            .iter()
+            .find(|row| row_key(&current.bench, row) == key);
+        let Some(current_row) = current_row else {
+            failures.push(format!("{key}: row missing from current run"));
+            continue;
+        };
+        let Some(cur_tp) = metric_of(current_row, METRIC) else {
+            failures.push(format!("{key}: current row lacks {METRIC}"));
+            continue;
+        };
+        let cmp = Comparison {
+            key: key.clone(),
+            baseline: base_tp,
+            current: cur_tp,
+        };
+        if base_tp > 0.0 && cmp.ratio() < floor {
+            failures.push(format!(
+                "{cmp} — regressed beyond the {:.0}% margin",
+                max_regression * 100.0
+            ));
+        }
+        if let Some(margin) = max_latency_increase {
+            if let (Some(base_lat), Some(cur_lat)) = (
+                metric_of(base_row, LATENCY_METRIC),
+                metric_of(current_row, LATENCY_METRIC),
+            ) {
+                if base_lat > 0.0 && cur_lat > base_lat * (1.0 + margin) {
+                    failures.push(format!(
+                        "{key}: {LATENCY_METRIC} rose {:.1} -> {:.1} ms, beyond the {:.0}% margin",
+                        base_lat,
+                        cur_lat,
+                        margin * 100.0
+                    ));
+                }
+            }
+        }
+        comparisons.push(cmp);
+    }
+    Ok(GuardReport {
+        comparisons,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[&str]) -> String {
+        format!(
+            "{{\n  \"bench\": \"ingest\",\n  \"schema_version\": 1,\n  \"workload\": \"w\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            rows.iter()
+                .map(|r| format!("    {r}"))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        )
+    }
+
+    const ROW_A: &str =
+        "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":8,\"throughput_rps\":100.0}";
+    const ROW_B: &str =
+        "{\"profile\":\"bursty\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":8,\"throughput_rps\":50.0}";
+
+    #[test]
+    fn parses_emitted_documents() {
+        let parsed = parse_bench_doc(&doc(&[ROW_A, ROW_B])).unwrap();
+        assert_eq!(parsed.bench, "ingest");
+        assert_eq!(parsed.schema_version, 1);
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(field(&parsed.rows[0], "profile"), Some("poisson"));
+        assert_eq!(field(&parsed.rows[1], "throughput_rps"), Some("50.0"));
+        assert_eq!(
+            row_key("ingest", &parsed.rows[0]),
+            "ingest profile=poisson mode=monolithic shards=1"
+        );
+    }
+
+    #[test]
+    fn parses_real_renderer_output() {
+        // The actual shardbench renderer, not a lookalike.
+        let row = crate::shardbench::ShardBenchRow {
+            mode: "sharded".into(),
+            shards: 3,
+            threads: 8,
+            requests: 90,
+            served: 80,
+            service_rate: 0.88,
+            batches: 20,
+            wall_s: 0.5,
+            setup_s: 0.1,
+            per_batch_ms: 25.0,
+            throughput_rps: 180.0,
+            unified_cost: 1234.5,
+            handoffs: 3,
+            migrations: 1,
+        };
+        let json = crate::shardbench::render_bench_json("w", std::slice::from_ref(&row));
+        let parsed = parse_bench_doc(&json).unwrap();
+        assert_eq!(parsed.bench, "sharded_dispatch");
+        assert_eq!(field(&parsed.rows[0], "throughput_rps"), Some("180.000"));
+        assert_eq!(
+            row_key(&parsed.bench, &parsed.rows[0]),
+            "sharded_dispatch mode=sharded shards=3"
+        );
+    }
+
+    #[test]
+    fn passes_within_margin_and_ignores_thread_counts() {
+        let baseline = doc(&[ROW_A, ROW_B]);
+        // 10% slower, different thread count: still within the 20% margin.
+        let current = doc(&[
+            "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":2,\"throughput_rps\":90.0}",
+            "{\"profile\":\"bursty\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":2,\"throughput_rps\":55.0}",
+        ]);
+        let report = guard_throughput(&baseline, &current, 0.20, None).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        assert_eq!(report.comparisons.len(), 2);
+    }
+
+    #[test]
+    fn fails_beyond_margin_with_named_row() {
+        let baseline = doc(&[ROW_A, ROW_B]);
+        let current = doc(&[
+            "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":8,\"throughput_rps\":70.0}",
+            ROW_B,
+        ]);
+        let report = guard_throughput(&baseline, &current, 0.20, None).unwrap();
+        assert!(!report.is_pass());
+        assert_eq!(report.failures.len(), 1);
+        assert!(
+            report.failures[0].contains("profile=poisson"),
+            "{}",
+            report.failures[0]
+        );
+    }
+
+    #[test]
+    fn missing_row_and_new_row_semantics() {
+        let baseline = doc(&[ROW_A, ROW_B]);
+        // Baseline bursty row gone, a brand-new sharded row appeared.
+        let current = doc(&[
+            ROW_A,
+            "{\"profile\":\"poisson\",\"mode\":\"sharded\",\"shards\":2,\"threads\":8,\"throughput_rps\":10.0}",
+        ]);
+        let report = guard_throughput(&baseline, &current, 0.20, None).unwrap();
+        assert!(!report.is_pass());
+        assert!(report.failures[0].contains("missing"));
+        // The new row is not compared (the trajectory may grow freely).
+        assert_eq!(report.comparisons.len(), 1);
+    }
+
+    /// The ingest bench's throughput is arrival-paced: a slower dispatcher
+    /// leaves `throughput_rps` untouched until it blows the whole deadline
+    /// budget.  The latency ceiling is what actually catches that class of
+    /// regression — pinned here: same throughput, fatter p99, guarded.
+    #[test]
+    fn latency_ceiling_catches_dispatcher_slowdowns_throughput_misses() {
+        let base =
+            "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"throughput_rps\":128.0,\"batch_latency_p99_ms\":16.5}";
+        let slow =
+            "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"throughput_rps\":128.0,\"batch_latency_p99_ms\":40.0}";
+        // Throughput-only guard: blind to the slowdown.
+        let report = guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, None).unwrap();
+        assert!(report.is_pass());
+        // With the latency ceiling the same documents fail.
+        let report = guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, Some(0.5)).unwrap();
+        assert!(!report.is_pass());
+        assert!(
+            report.failures[0].contains("batch_latency_p99_ms"),
+            "{}",
+            report.failures[0]
+        );
+        // Within the ceiling (16.5 -> 20 ms < +50%): passes.
+        let ok =
+            "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"throughput_rps\":128.0,\"batch_latency_p99_ms\":20.0}";
+        let report = guard_throughput(&doc(&[base]), &doc(&[ok]), 0.20, Some(0.5)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        // Rows without the latency field (the sharded bench) are unaffected.
+        let report = guard_throughput(&doc(&[ROW_A]), &doc(&[ROW_A]), 0.20, Some(0.5)).unwrap();
+        assert!(report.is_pass());
+    }
+
+    #[test]
+    fn parse_and_mismatch_errors() {
+        assert!(parse_bench_doc("not json").is_err());
+        assert!(parse_bench_doc("{\"bench\": \"x\"}").is_err());
+        let sharded = doc(&[ROW_A]).replace("\"ingest\"", "\"sharded_dispatch\"");
+        let err = guard_throughput(&doc(&[ROW_A]), &sharded, 0.2, None).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+}

@@ -12,10 +12,11 @@ use structride_core::replay::{
     diff_traces, replay_trace, DriftReport, Trace, TraceMeta, TraceRecorder,
 };
 use structride_core::shard::{region_strips_for, ShardedSimulator, ShardingConfig};
-use structride_core::{Dispatcher, SardDispatcher, Simulator, StructRideConfig};
+use structride_core::{Dispatcher, IngestConfig, SardDispatcher, Simulator, StructRideConfig};
 use structride_datagen::{
     CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
 };
+use structride_model::Request;
 
 /// The dispatcher keys `--algo` accepts.  `ticket` is deliberately absent
 /// from `verify`'s reach: TicketAssign+'s commit-order races are the
@@ -323,6 +324,135 @@ pub fn rerun_sharded(
     Some(diff_traces(trace, &rerun))
 }
 
+// ---------------------------------------------------------------------------
+// Ingested traces
+// ---------------------------------------------------------------------------
+
+/// The ingest knobs the `record --ingest` / `verify --ingest` flows use:
+/// compress the quickstart stream into well under a second of wall clock so
+/// CI record steps stay fast.
+pub fn ingest_quickstart_config(quick: bool) -> IngestConfig {
+    IngestConfig {
+        max_batch_size: 32,
+        batch_deadline: 0.01,
+        queue_capacity: 4096,
+        time_scale: if quick { 240.0 } else { 120.0 },
+    }
+}
+
+/// True when `trace` was recorded by the monolithic ingested pipeline.
+/// Such traces *replay* exactly like clock-driven ones — the realized batch
+/// boundaries are in the trace — so this marker is informational.
+pub fn is_ingested_trace(trace: &Trace) -> bool {
+    trace.meta.param("mode") == Some("ingested")
+}
+
+/// True when `trace` was recorded by the **sharded** ingested pipeline:
+/// verification re-runs the sharded pipeline from the recorded boundaries
+/// ([`rerun_sharded_ingested`]) instead of re-slicing by the batch clock.
+pub fn is_sharded_ingested_trace(trace: &Trace) -> bool {
+    trace.meta.param("mode") == Some("sharded-ingested")
+}
+
+/// Records an ingested run of `algo_key` on the workload described by
+/// `params`, using the workload's own (fixed, regenerable) request stream as
+/// the arrival source.  `config.ingest` controls the batching and is
+/// serialized into the trace.
+pub fn record_ingested_run(
+    params: WorkloadParams,
+    config: StructRideConfig,
+    algo_key: &str,
+) -> Option<(Workload, Trace)> {
+    let mut dispatcher = dispatcher_by_name(algo_key, config)?;
+    let workload = Workload::generate(params);
+    let mut recorder = TraceRecorder::new();
+    Simulator::new(config).run_ingested_recorded(
+        &workload.engine,
+        workload.requests.iter().cloned(),
+        workload.fresh_vehicles(),
+        dispatcher.as_mut(),
+        &workload.name,
+        &mut recorder,
+    );
+    let mut meta = TraceMeta::new(dispatcher.name(), &workload.name, config);
+    meta.params = params_to_meta(&params);
+    meta.params
+        .push(("mode".to_string(), "ingested".to_string()));
+    meta.params
+        .push(("dispatcher".to_string(), algo_key.to_ascii_lowercase()));
+    meta.sp_stats = Some(workload.engine.stats());
+    Some((workload, recorder.into_trace(meta)))
+}
+
+/// Records a **sharded** ingested run: realized batches routed through the
+/// region grid into `shards` per-shard pipelines.
+pub fn record_sharded_ingested_run(
+    params: MultiRegionParams,
+    config: StructRideConfig,
+    algo_key: &str,
+    shards: usize,
+) -> Option<(MultiRegionWorkload, Trace)> {
+    let probe = dispatcher_by_name(algo_key, config)?;
+    let algorithm = probe.name().to_string();
+    let workload = MultiRegionWorkload::generate(params.clone());
+    let regions = region_strips_for(workload.network(), shards.max(1) as u32);
+    let sharding = ShardingConfig::default();
+    let mut recorder = TraceRecorder::new();
+    ShardedSimulator::with_sharding(config, sharding).run_ingested_recorded(
+        workload.network(),
+        &regions,
+        workload.requests.iter().cloned(),
+        workload.fresh_vehicles(),
+        |_| dispatcher_by_name(algo_key, config).expect("validated dispatcher key"),
+        &workload.name,
+        &mut recorder,
+    );
+    let mut meta = TraceMeta::new(algorithm, &workload.name, config);
+    meta.params = multi_params_to_meta(&params, shards.max(1), &sharding);
+    // multi_params_to_meta marks mode=sharded; this trace needs the
+    // boundary-fed re-run path instead.
+    for (key, value) in meta.params.iter_mut() {
+        if key == "mode" {
+            *value = "sharded-ingested".to_string();
+        }
+    }
+    meta.params
+        .push(("dispatcher".to_string(), algo_key.to_ascii_lowercase()));
+    Some((workload, recorder.into_trace(meta)))
+}
+
+/// Re-runs the sharded pipeline from the *recorded* realized batch
+/// boundaries of an ingested trace and diffs the two global traces.  The
+/// boundaries are the nondeterministic part; given them, the pipeline must
+/// be bit-identical under any worker count.
+pub fn rerun_sharded_ingested(
+    workload: &MultiRegionWorkload,
+    algo_key: &str,
+    trace: &Trace,
+) -> Option<DriftReport> {
+    dispatcher_by_name(algo_key, trace.meta.config)?;
+    let shards = trace_shards(trace)?;
+    let config = trace.meta.config;
+    let regions = region_strips_for(workload.network(), shards.max(1) as u32);
+    let boundaries: Vec<(f64, Vec<Request>)> = trace
+        .batches
+        .iter()
+        .map(|b| (b.now, b.requests.clone()))
+        .collect();
+    let mut recorder = TraceRecorder::new();
+    ShardedSimulator::with_sharding(config, trace_sharding(trace)?).run_fed_recorded(
+        workload.network(),
+        &regions,
+        &boundaries,
+        workload.fresh_vehicles(),
+        |_| dispatcher_by_name(algo_key, config).expect("validated dispatcher key"),
+        &workload.name,
+        &mut recorder,
+    );
+    let rerun = recorder.into_trace(trace.meta.clone());
+    Some(diff_traces(trace, &rerun))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +510,43 @@ mod tests {
         let regenerated = regenerate_multi_workload(&meta).expect("params round-trip");
         assert_eq!(regenerated.requests, original.requests);
         assert_eq!(regenerated.name, original.name);
+    }
+
+    #[test]
+    fn ingested_record_replays_clean_through_the_standard_path() {
+        let config = StructRideConfig::default().with_ingest(ingest_quickstart_config(true));
+        let (workload, trace) =
+            record_ingested_run(quickstart_params(true), config, "prunegdp").expect("record");
+        assert!(is_ingested_trace(&trace));
+        assert!(!is_sharded_trace(&trace));
+        assert!(!trace.batches.is_empty());
+        // The realized boundaries are in the trace, so the ordinary replay
+        // path verifies an ingested recording unchanged.
+        let report = replay_run(&workload, "prunegdp", &trace).expect("replay");
+        assert!(report.is_clean(), "{report}");
+        // The ingest knobs round-trip through the trace text.
+        let parsed = Trace::parse(&trace.to_text()).expect("parse");
+        assert_eq!(parsed.meta.config.ingest, config.ingest);
+        // A regenerated workload replays the same trace clean too (the
+        // cross-process flow).
+        let regenerated = regenerate_workload(&trace.meta).expect("regenerate");
+        let report = replay_run(&regenerated, "prunegdp", &trace).expect("replay");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn sharded_ingested_rerun_is_clean_and_flags_a_different_dispatcher() {
+        let config = StructRideConfig::default().with_ingest(ingest_quickstart_config(true));
+        let (workload, trace) =
+            record_sharded_ingested_run(sharded_quickstart_params(true), config, "prunegdp", 2)
+                .expect("record");
+        assert!(is_sharded_ingested_trace(&trace));
+        assert!(!is_sharded_trace(&trace));
+        assert!(!trace.batches.is_empty());
+        let report = rerun_sharded_ingested(&workload, "prunegdp", &trace).expect("rerun");
+        assert!(report.is_clean(), "{report}");
+        let drift = rerun_sharded_ingested(&workload, "gas", &trace).expect("rerun");
+        assert!(!drift.is_clean(), "a different dispatcher must drift");
     }
 
     #[test]

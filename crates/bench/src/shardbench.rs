@@ -100,17 +100,11 @@ impl ShardBenchRow {
     }
 }
 
-/// Renders the full `BENCH_*.json` document.
+/// Renders the full `BENCH_sharded.json` document through the shared
+/// skeleton in [`crate::perf`] (kept in lockstep with its parser).
 pub fn render_bench_json(workload_name: &str, rows: &[ShardBenchRow]) -> String {
-    let body: Vec<String> = rows
-        .iter()
-        .map(|r| format!("    {}", r.to_json()))
-        .collect();
-    format!
-        ("{{\n  \"bench\": \"sharded_dispatch\",\n  \"schema_version\": 1,\n  \"workload\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        workload_name,
-        body.join(",\n")
-    )
+    let row_jsons: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
+    crate::perf::render_bench_doc("sharded_dispatch", workload_name, &row_jsons)
 }
 
 #[allow(clippy::too_many_arguments)]

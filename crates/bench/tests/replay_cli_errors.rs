@@ -1,0 +1,160 @@
+//! Error-path coverage for the `replay` and `bench_guard` binaries: bad
+//! arguments, missing/malformed traces and exempt dispatchers must exit
+//! non-zero with a diagnostic, never panic or succeed silently.
+
+use std::process::{Command, Output};
+
+fn replay(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_replay"))
+        .args(args)
+        .output()
+        .expect("spawn replay binary")
+}
+
+fn bench_guard(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_guard"))
+        .args(args)
+        .output()
+        .expect("spawn bench_guard binary")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).to_string()
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("binary exited with a code")
+}
+
+#[test]
+fn no_subcommand_prints_usage_and_exits_2() {
+    let out = replay(&[]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_2() {
+    let out = replay(&["bogus"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn unknown_flag_prints_usage_and_exits_2() {
+    let out = replay(&["record", "--frobnicate"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn unknown_dispatcher_is_rejected_before_any_work() {
+    let out = replay(&["record", "--quick", "--algo", "nope"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        stderr(&out).contains("unknown dispatcher"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn non_numeric_flag_values_are_rejected() {
+    for args in [
+        ["verify", "--threads", "many"],
+        ["verify", "--shards", "two"],
+    ] {
+        let out = replay(&args);
+        assert_eq!(exit_code(&out), 2, "{args:?}");
+        assert!(stderr(&out).contains("usage:"), "{args:?}");
+    }
+}
+
+#[test]
+fn replay_without_trace_flag_prints_usage() {
+    let out = replay(&["replay"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn replay_missing_trace_file_fails_with_diagnostic() {
+    let out = replay(&["replay", "--trace", "/nonexistent/replay-trace.txt"]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(stderr(&out).contains("failed to load"), "{}", stderr(&out));
+}
+
+#[test]
+fn replay_malformed_trace_fails_with_parse_diagnostic() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("structride-malformed-trace.txt");
+    std::fs::write(&path, "this is not a trace\n").unwrap();
+    let out = replay(&["replay", "--trace", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(stderr(&out).contains("failed to load"), "{}", stderr(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_trace_without_metadata_asks_for_algo() {
+    // A structurally valid trace with no params: replay cannot regenerate
+    // the workload and must say so (after the dispatcher default fails).
+    let dir = std::env::temp_dir();
+    let path = dir.join("structride-bare-trace.txt");
+    std::fs::write(&path, "structride-trace v1\nalgorithm X\nworkload w\n").unwrap();
+    let out = replay(&["replay", "--trace", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        stderr(&out).contains("names no dispatcher"),
+        "{}",
+        stderr(&out)
+    );
+    // With --algo the next failure is the missing regeneration parameters.
+    let out = replay(&[
+        "replay",
+        "--trace",
+        path.to_str().unwrap(),
+        "--algo",
+        "prunegdp",
+    ]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(
+        stderr(&out).contains("lacks regeneration parameters"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn verify_rejects_the_exempt_ticket_dispatcher() {
+    let out = replay(&["verify", "--quick", "--algo", "ticket"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("exempt"), "{}", stderr(&out));
+}
+
+#[test]
+fn bench_guard_usage_and_missing_files() {
+    let out = bench_guard(&[]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("usage:"));
+
+    let out = bench_guard(&[
+        "--baseline",
+        "/nonexistent/a.json",
+        "--current",
+        "/nonexistent/b.json",
+    ]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(stderr(&out).contains("failed to read"), "{}", stderr(&out));
+
+    let out = bench_guard(&[
+        "--baseline",
+        "x",
+        "--current",
+        "y",
+        "--max-regression",
+        "abc",
+    ]);
+    assert_eq!(exit_code(&out), 2);
+}

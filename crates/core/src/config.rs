@@ -1,5 +1,6 @@
 //! Configuration of the StructRide framework (the knobs of Table III).
 
+use crate::ingest::IngestConfig;
 use serde::{Deserialize, Serialize};
 use structride_model::CostParams;
 use structride_sharegraph::{AnglePruning, BuilderConfig};
@@ -23,6 +24,10 @@ pub struct StructRideConfig {
     /// vehicles plays the same role — the "worst vehicle first" rule then
     /// operates within a sensible neighbourhood instead of the whole fleet.
     pub max_candidate_vehicles: usize,
+    /// Knobs of the ingest front end (only read by the `run_ingested` mode,
+    /// where wall-clock adaptive batching replaces the fixed Δ cadence; see
+    /// [`crate::ingest`]).
+    pub ingest: IngestConfig,
 }
 
 impl Default for StructRideConfig {
@@ -34,6 +39,7 @@ impl Default for StructRideConfig {
             angle: AnglePruning::default(),
             grid_cells: 64,
             max_candidate_vehicles: 8,
+            ingest: IngestConfig::default(),
         }
     }
 }
@@ -64,6 +70,12 @@ impl StructRideConfig {
     /// Returns a copy with a different penalty coefficient.
     pub fn with_penalty(mut self, pr: f64) -> Self {
         self.cost = CostParams::with_penalty(pr);
+        self
+    }
+
+    /// Returns a copy with different ingest-front-end knobs.
+    pub fn with_ingest(mut self, ingest: IngestConfig) -> Self {
+        self.ingest = ingest;
         self
     }
 }

@@ -16,6 +16,12 @@
 //! * [`grouping`] — Algorithm 2, the modified additive tree that enumerates
 //!   feasible request groups per vehicle while keeping a single schedule per
 //!   node (ordered by shareability);
+//! * [`ingest`] — the async ingest front end: a bounded arrival queue fed by
+//!   a wall-clock producer thread and an adaptive batcher that closes
+//!   batches on a latency deadline or a size cap, so batch cadence tracks
+//!   dispatcher latency instead of the simulated Δ
+//!   ([`Simulator::run_ingested`](simulator::Simulator) and the sharded
+//!   equivalent);
 //! * [`replay`] — the record/replay harness: a
 //!   [`TraceRecorder`](replay::TraceRecorder) capturing per-batch
 //!   `(inputs, fleet-state, outcome)` tuples from the simulator, and
@@ -39,6 +45,7 @@ pub mod config;
 pub mod context;
 pub mod dispatcher;
 pub mod grouping;
+pub mod ingest;
 pub mod metrics;
 pub mod ordering;
 pub mod replay;
@@ -50,6 +57,7 @@ pub use config::StructRideConfig;
 pub use context::{BatchScratch, DispatchContext, ScratchStats};
 pub use dispatcher::{BatchOutcome, Dispatcher};
 pub use grouping::{enumerate_groups, CandidateGroup};
+pub use ingest::{AdaptiveBatcher, IngestConfig, IngestReport, IngestStats, ShardedIngestReport};
 pub use metrics::RunMetrics;
 pub use ordering::{InsertionOrdering, OrderingStudy};
 pub use replay::{

@@ -258,6 +258,118 @@ mod tests {
         );
     }
 
+    /// A zeroed part (an empty shard: no requests routed, no travel) must be
+    /// the identity of `merge` on every numeric field — the property that
+    /// lets the sharded simulator keep empty shards in the aggregation
+    /// without skewing the report.
+    #[test]
+    fn merge_with_empty_metrics_is_numeric_identity() {
+        let params = CostParams::with_penalty(10.0);
+        let mut a = sample();
+        a.unified_cost = a.unified_cost_with(&params);
+        let empty = RunMetrics {
+            algorithm: a.algorithm.clone(),
+            workload: a.workload.clone(),
+            total_requests: 0,
+            served_requests: 0,
+            total_travel: 0.0,
+            unserved_direct_cost: 0.0,
+            unified_cost: 0.0,
+            running_time: 0.0,
+            sp_queries: 0,
+            memory_bytes: 0,
+            batches: 0,
+            insertion_evaluations: 0,
+            groups_enumerated: 0,
+        };
+        let merged = a.merge(&empty, &params);
+        assert_eq!(merged, a);
+        // Identity holds from the left too.
+        assert_eq!(empty.merge(&a, &params), a);
+        // Two empties merge into an empty with a recomputed (zero) cost.
+        let both = empty.merge(&empty, &params);
+        assert_eq!(both.total_requests, 0);
+        assert_eq!(both.unified_cost, 0.0);
+        assert_eq!(both.service_rate(), 0.0);
+    }
+
+    /// Merging a run with itself doubles every additive field, keeps
+    /// `batches` (max of equals) and recomputes the unified cost from the
+    /// doubled components — a self-consistency check that would catch a
+    /// field accidentally taken from only one side.
+    #[test]
+    fn merge_with_self_doubles_additive_fields() {
+        let params = CostParams::with_penalty(10.0);
+        let a = sample();
+        let doubled = a.merge(&a, &params);
+        assert_eq!(doubled.algorithm, a.algorithm, "same name joins to itself");
+        assert_eq!(doubled.total_requests, 2 * a.total_requests);
+        assert_eq!(doubled.served_requests, 2 * a.served_requests);
+        assert_eq!(doubled.total_travel, 2.0 * a.total_travel);
+        assert_eq!(doubled.unserved_direct_cost, 2.0 * a.unserved_direct_cost);
+        assert_eq!(doubled.running_time, 2.0 * a.running_time);
+        assert_eq!(doubled.sp_queries, 2 * a.sp_queries);
+        assert_eq!(doubled.memory_bytes, 2 * a.memory_bytes);
+        assert_eq!(doubled.insertion_evaluations, 2 * a.insertion_evaluations);
+        assert_eq!(doubled.groups_enumerated, 2 * a.groups_enumerated);
+        assert_eq!(doubled.batches, a.batches, "batches is a max, not a sum");
+        assert_eq!(
+            doubled.unified_cost,
+            unified_cost(&params, doubled.total_travel, doubled.unserved_direct_cost)
+        );
+        // Service rate is invariant under self-merge.
+        assert_eq!(doubled.service_rate(), a.service_rate());
+    }
+
+    /// Every numeric field of `merge` is commutative; the *string* fields
+    /// are the one documented exception (they join in argument order:
+    /// `"SARD+GAS"` vs `"GAS+SARD"`).  Pinning both directions keeps a
+    /// refactor from silently making a numeric field order-dependent — the
+    /// regression that would break shard-order-independent aggregation.
+    #[test]
+    fn merge_numeric_fields_are_commutative_strings_are_not() {
+        let params = CostParams::with_penalty(7.0);
+        let a = sample();
+        let b = RunMetrics {
+            algorithm: "GAS".into(),
+            workload: "CHD".into(),
+            total_requests: 17,
+            served_requests: 5,
+            total_travel: 123.5,
+            unserved_direct_cost: 88.25,
+            unified_cost: 0.0,
+            running_time: 0.75,
+            sp_queries: 999,
+            memory_bytes: 4096,
+            batches: 77,
+            insertion_evaluations: 13,
+            groups_enumerated: 2,
+        };
+        let ab = a.merge(&b, &params);
+        let ba = b.merge(&a, &params);
+        let numeric = |m: &RunMetrics| {
+            (
+                m.total_requests,
+                m.served_requests,
+                m.total_travel.to_bits(),
+                m.unserved_direct_cost.to_bits(),
+                m.unified_cost.to_bits(),
+                m.running_time.to_bits(),
+                m.sp_queries,
+                m.memory_bytes,
+                m.batches,
+                m.insertion_evaluations,
+                m.groups_enumerated,
+            )
+        };
+        assert_eq!(numeric(&ab), numeric(&ba));
+        // The documented non-commutative fields.
+        assert_eq!(ab.algorithm, "SARD+GAS");
+        assert_eq!(ba.algorithm, "GAS+SARD");
+        assert_eq!(ab.workload, "NYC+CHD");
+        assert_eq!(ba.workload, "CHD+NYC");
+    }
+
     #[test]
     fn tsv_row_has_all_columns() {
         let m = sample();

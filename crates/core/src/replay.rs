@@ -647,7 +647,8 @@ impl Trace {
         let c = &m.config;
         out.push_str(&format!(
             "config batch_period={} alpha={} penalty={} shareability_capacity={} \
-             angle_enabled={} angle_threshold={} grid_cells={} max_candidate_vehicles={}\n",
+             angle_enabled={} angle_threshold={} grid_cells={} max_candidate_vehicles={} \
+             ingest_max_batch={} ingest_deadline={} ingest_queue={} ingest_time_scale={}\n",
             c.batch_period,
             c.cost.alpha,
             c.cost.penalty_coefficient,
@@ -655,7 +656,11 @@ impl Trace {
             c.angle.enabled,
             c.angle.threshold,
             c.grid_cells,
-            c.max_candidate_vehicles
+            c.max_candidate_vehicles,
+            c.ingest.max_batch_size,
+            c.ingest.batch_deadline,
+            c.ingest.queue_capacity,
+            c.ingest.time_scale
         ));
         for (k, v) in &m.params {
             out.push_str(&format!("param {k} {v}\n"));
@@ -876,9 +881,21 @@ impl<'a> Parser<'a> {
                 meta.workload = rest.to_string();
             } else if let Some(rest) = line.strip_prefix("config ") {
                 let tokens: Vec<&str> = rest.split(' ').collect();
-                if tokens.len() != 8 {
-                    return Err(self.err("config line needs 8 fields"));
+                // 8 fields is the pre-ingest (v1 without ingest knobs) shape;
+                // those traces parse with the default ingest configuration.
+                if tokens.len() != 8 && tokens.len() != 12 {
+                    return Err(self.err("config line needs 8 or 12 fields"));
                 }
+                let ingest = if tokens.len() == 12 {
+                    crate::ingest::IngestConfig {
+                        max_batch_size: self.parse_kv(tokens[8], "ingest_max_batch")?,
+                        batch_deadline: self.parse_kv(tokens[9], "ingest_deadline")?,
+                        queue_capacity: self.parse_kv(tokens[10], "ingest_queue")?,
+                        time_scale: self.parse_kv(tokens[11], "ingest_time_scale")?,
+                    }
+                } else {
+                    crate::ingest::IngestConfig::default()
+                };
                 meta.config = StructRideConfig {
                     batch_period: self.parse_kv(tokens[0], "batch_period")?,
                     cost: structride_model::CostParams {
@@ -892,6 +909,7 @@ impl<'a> Parser<'a> {
                     },
                     grid_cells: self.parse_kv(tokens[6], "grid_cells")?,
                     max_candidate_vehicles: self.parse_kv(tokens[7], "max_candidate_vehicles")?,
+                    ingest,
                 };
             } else if let Some(rest) = line.strip_prefix("param ") {
                 let (key, value) = rest

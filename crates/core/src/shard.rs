@@ -297,6 +297,245 @@ pub fn region_strips_for(network: &RoadNetwork, shards: u32) -> RegionGrid {
     RegionGrid::strips_covering(network.bounding_box(), shards)
 }
 
+/// The in-flight state of one sharded run: the shards plus every cross-batch
+/// counter, with the per-batch pipeline body factored into
+/// [`ShardedRun::step`] so the three drive modes — clock-driven
+/// ([`ShardedSimulator::run`]), fed from recorded boundaries
+/// ([`ShardedSimulator::run_fed_recorded`]) and ingested
+/// ([`ShardedSimulator::run_ingested`](crate::ingest)) — execute the
+/// *identical* routing/dispatch/merge/rebalance sequence.  That sharing is
+/// what makes a recorded ingested run re-runnable: determinism holds per
+/// step, whatever produced the batch boundaries.
+pub(crate) struct ShardedRun<'a> {
+    config: StructRideConfig,
+    sharding: ShardingConfig,
+    network: &'a RoadNetwork,
+    regions: &'a RegionGrid,
+    shards: Vec<Shard>,
+    served: HashSet<RequestId>,
+    batches: usize,
+    now: f64,
+    handoffs: u64,
+    handoff_bids: u64,
+    migrations: u64,
+    setup_seconds: f64,
+    run_t0: Instant,
+}
+
+impl<'a> ShardedRun<'a> {
+    /// Builds the shards (one engine + dispatcher per region) and homes each
+    /// vehicle to the shard of its starting node, preserving input order
+    /// within each shard.
+    pub(crate) fn new(
+        sim: &ShardedSimulator,
+        network: &'a RoadNetwork,
+        regions: &'a RegionGrid,
+        vehicles: Vec<Vehicle>,
+        make_dispatcher: &dyn Fn(usize) -> ShardDispatcher,
+    ) -> Self {
+        let k = regions.len();
+        let setup_t0 = Instant::now();
+        let mut shards: Vec<Shard> = (0..k)
+            .map(|i| Shard {
+                engine: SpEngineBuilder::new().build(network.clone()),
+                dispatcher: make_dispatcher(i),
+                vehicles: Vec::new(),
+                inbox: Vec::new(),
+                routed: Vec::new(),
+                served: HashSet::new(),
+                dispatch_time: 0.0,
+                insertion_evaluations: 0,
+                groups_enumerated: 0,
+                last_assigned: Vec::new(),
+                last_scratch: ScratchStats::default(),
+            })
+            .collect();
+        let setup_seconds = setup_t0.elapsed().as_secs_f64();
+        for vehicle in vehicles {
+            let p = network.coord(vehicle.node);
+            let home = regions.region_of(p.x, p.y) as usize;
+            shards[home].vehicles.push(vehicle);
+        }
+        ShardedRun {
+            config: *sim.config(),
+            sharding: *sim.sharding(),
+            network,
+            regions,
+            shards,
+            served: HashSet::new(),
+            batches: 0,
+            now: 0.0,
+            handoffs: 0,
+            handoff_bids: 0,
+            migrations: 0,
+            setup_seconds,
+            run_t0: Instant::now(),
+        }
+    }
+
+    /// Number of batches stepped so far.
+    pub(crate) fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Requests currently held across all shard dispatchers.
+    pub(crate) fn pending(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.dispatcher.pending_requests())
+            .sum()
+    }
+
+    /// Executes one batch at simulated time `now`: advance every shard's
+    /// fleet to the shared clock, route the batch (home region or best-bid
+    /// handoff), dispatch every shard's sub-batch in parallel, merge the
+    /// outcomes in ascending shard order, and rebalance idle vehicles.
+    pub(crate) fn step(
+        &mut self,
+        now: f64,
+        batch: &[Request],
+        recorder: &mut Option<&mut TraceRecorder>,
+    ) {
+        self.now = now;
+        for_each_shard(&mut self.shards, &|s| {
+            s.vehicles.par_iter_mut().for_each(|v| {
+                v.advance_to(&s.engine, now);
+            });
+        });
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.batch_started(self.batches, now, batch, &fleet_snapshot(&self.shards));
+        }
+
+        // Route the batch: home region or best-bid handoff.  Pure reads
+        // over the pre-dispatch shard states; order-preserving collect.
+        let decisions: Vec<RouteDecision> = {
+            let views: Vec<ShardView<'_>> = self
+                .shards
+                .iter()
+                .map(|s| ShardView {
+                    engine: &s.engine,
+                    vehicles: &s.vehicles,
+                })
+                .collect();
+            let views = &views;
+            let band = self.sharding.handoff_band;
+            let network = self.network;
+            let regions = self.regions;
+            batch
+                .par_iter()
+                .map(|r| route_request(r, network, regions, views, band))
+                .collect()
+        };
+        for (request, decision) in batch.iter().zip(&decisions) {
+            if decision.winner != decision.home {
+                self.handoffs += 1;
+            }
+            self.handoff_bids += decision.bids;
+            let shard = &mut self.shards[decision.winner];
+            shard.routed.push((request.id, request.direct_cost()));
+            shard.inbox.push(request.clone());
+        }
+
+        // Dispatch every shard's sub-batch in parallel.
+        let config = self.config;
+        let batch_index = self.batches;
+        for_each_shard(&mut self.shards, &|s| {
+            let inbox = std::mem::take(&mut s.inbox);
+            let ctx = DispatchContext::for_batch(&s.engine, config, now, batch_index);
+            let t0 = Instant::now();
+            let outcome = s.dispatcher.dispatch_batch(&ctx, &mut s.vehicles, &inbox);
+            s.dispatch_time += t0.elapsed().as_secs_f64();
+            let scratch = ctx.scratch.snapshot();
+            s.insertion_evaluations += scratch.insertion_evaluations;
+            s.groups_enumerated += scratch.groups_enumerated;
+            s.last_scratch = scratch;
+            s.last_assigned = outcome.assigned;
+        });
+
+        // Merge per-shard outcomes in ascending shard order (canonical).
+        let mut merged = BatchOutcome::empty();
+        let mut merged_scratch = ScratchStats::default();
+        for s in self.shards.iter_mut() {
+            self.served.extend(s.last_assigned.iter().copied());
+            s.served.extend(s.last_assigned.iter().copied());
+            merged_scratch.insertion_evaluations += s.last_scratch.insertion_evaluations;
+            merged_scratch.groups_enumerated += s.last_scratch.groups_enumerated;
+            merged.assigned.append(&mut s.last_assigned);
+        }
+        self.batches += 1;
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.batch_finished(&merged, &fleet_snapshot(&self.shards), merged_scratch);
+        }
+
+        if self.sharding.rebalance && self.shards.len() > 1 {
+            self.migrations += rebalance(
+                &mut self.shards,
+                self.regions,
+                self.sharding.max_migrations_per_batch,
+            );
+        }
+    }
+
+    /// Drains every committed schedule and assembles the report.
+    pub(crate) fn finish(mut self, workload_name: &str, horizon_end: f64) -> ShardedReport {
+        let drain_until = self.now + horizon_end + 1.0e6;
+        for_each_shard(&mut self.shards, &|s| {
+            s.vehicles.par_iter_mut().for_each(|v| {
+                v.advance_to(&s.engine, drain_until);
+            });
+        });
+
+        let batches = self.batches;
+        let per_shard: Vec<RunMetrics> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let total_travel: f64 = s.vehicles.iter().map(|v| v.executed_travel).sum();
+                let unserved_direct_cost: f64 = s
+                    .routed
+                    .iter()
+                    .filter(|(id, _)| !s.served.contains(id))
+                    .map(|(_, cost)| cost)
+                    .sum();
+                RunMetrics {
+                    algorithm: s.dispatcher.name().to_string(),
+                    workload: workload_name.to_string(),
+                    total_requests: s.routed.len(),
+                    served_requests: s.served.len(),
+                    total_travel,
+                    unserved_direct_cost,
+                    unified_cost: unified_cost(
+                        &self.config.cost,
+                        total_travel,
+                        unserved_direct_cost,
+                    ),
+                    running_time: s.dispatch_time,
+                    sp_queries: s.engine.stats().index_queries,
+                    memory_bytes: s.dispatcher.memory_bytes(),
+                    batches,
+                    insertion_evaluations: s.insertion_evaluations,
+                    groups_enumerated: s.groups_enumerated,
+                }
+            })
+            .collect();
+        let aggregate =
+            RunMetrics::merge_all(&per_shard, &self.config.cost).expect("at least one shard");
+        let vehicles = fleet_snapshot(&self.shards);
+        let served = std::mem::take(&mut self.served);
+        ShardedReport {
+            aggregate,
+            per_shard,
+            vehicles,
+            served,
+            handoffs: self.handoffs,
+            handoff_bids: self.handoff_bids,
+            migrations: self.migrations,
+            setup_seconds: self.setup_seconds,
+            run_seconds: self.run_t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
 /// The batch-synchronous multi-shard simulation driver.  See the module docs
 /// for the handoff and determinism invariants.
 pub struct ShardedSimulator {
@@ -385,6 +624,43 @@ impl ShardedSimulator {
         )
     }
 
+    /// Re-runs the pipeline from *explicit* batch boundaries — each entry is
+    /// `(now, released requests)` — recording the canonical global trace.
+    ///
+    /// This is the verification path for **ingested** sharded runs (see
+    /// [`crate::ingest`]): realized wall-clock boundaries are not
+    /// reproducible, but given the recorded boundaries the pipeline is
+    /// deterministic, so re-running from them under a different worker count
+    /// and diffing the traces ([`diff_traces`](crate::replay::diff_traces))
+    /// enforces the replay invariant.  No early exit and no carried-over
+    /// tail: exactly the fed batches are stepped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_fed_recorded<F>(
+        &self,
+        network: &RoadNetwork,
+        regions: &RegionGrid,
+        batches: &[(f64, Vec<Request>)],
+        vehicles: Vec<Vehicle>,
+        make_dispatcher: F,
+        workload_name: &str,
+        recorder: &mut TraceRecorder,
+    ) -> ShardedReport
+    where
+        F: Fn(usize) -> ShardDispatcher,
+    {
+        let mut run = ShardedRun::new(self, network, regions, vehicles, &make_dispatcher);
+        let mut rec = Some(recorder);
+        let mut horizon_end = 0.0_f64;
+        for (now, batch) in batches {
+            horizon_end = batch
+                .iter()
+                .map(|r| r.pickup_deadline)
+                .fold(horizon_end, f64::max);
+            run.step(*now, batch, &mut rec);
+        }
+        run.finish(workload_name, horizon_end)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn run_impl(
         &self,
@@ -396,34 +672,7 @@ impl ShardedSimulator {
         workload_name: &str,
         mut recorder: Option<&mut TraceRecorder>,
     ) -> ShardedReport {
-        let k = regions.len();
-        let setup_t0 = Instant::now();
-        let mut shards: Vec<Shard> = (0..k)
-            .map(|i| Shard {
-                engine: SpEngineBuilder::new().build(network.clone()),
-                dispatcher: make_dispatcher(i),
-                vehicles: Vec::new(),
-                inbox: Vec::new(),
-                routed: Vec::new(),
-                served: HashSet::new(),
-                dispatch_time: 0.0,
-                insertion_evaluations: 0,
-                groups_enumerated: 0,
-                last_assigned: Vec::new(),
-                last_scratch: ScratchStats::default(),
-            })
-            .collect();
-        let setup_seconds = setup_t0.elapsed().as_secs_f64();
-        let run_t0 = Instant::now();
-
-        // Stable initial partition: each vehicle goes to the shard of its
-        // starting node, preserving the input order within each shard (with
-        // one shard this is exactly the monolithic simulator's fleet order).
-        for vehicle in vehicles {
-            let p = network.coord(vehicle.node);
-            let home = regions.region_of(p.x, p.y) as usize;
-            shards[home].vehicles.push(vehicle);
-        }
+        let mut run = ShardedRun::new(self, network, regions, vehicles, make_dispatcher);
 
         let mut ordered: Vec<Request> = requests.to_vec();
         ordered.sort_by(|a, b| {
@@ -437,161 +686,27 @@ impl ShardedSimulator {
             .map(|r| r.pickup_deadline)
             .fold(0.0_f64, f64::max);
 
-        let mut served: HashSet<RequestId> = HashSet::new();
         let mut next = 0usize;
         let mut now = 0.0;
-        let mut batches = 0usize;
-        let mut handoffs = 0u64;
-        let mut handoff_bids = 0u64;
-        let mut migrations = 0u64;
-
         while next < ordered.len() || now < horizon_end {
             now += delta;
-            // Batch-synchronous movement: every shard advances its fleet to
-            // the shared clock (shard-level fan-out, per-vehicle fan-out
-            // within each shard).
-            for_each_shard(&mut shards, &|s| {
-                s.vehicles.par_iter_mut().for_each(|v| {
-                    v.advance_to(&s.engine, now);
-                });
-            });
-
             let start = next;
             while next < ordered.len() && ordered[next].release <= now {
                 next += 1;
             }
-            let batch = &ordered[start..next];
-            if let Some(rec) = recorder.as_deref_mut() {
-                rec.batch_started(batches, now, batch, &fleet_snapshot(&shards));
-            }
-
-            // Route the batch: home region or best-bid handoff.  Pure reads
-            // over the pre-dispatch shard states; order-preserving collect.
-            let decisions: Vec<RouteDecision> = {
-                let views: Vec<ShardView<'_>> = shards
-                    .iter()
-                    .map(|s| ShardView {
-                        engine: &s.engine,
-                        vehicles: &s.vehicles,
-                    })
-                    .collect();
-                let views = &views;
-                let band = self.sharding.handoff_band;
-                batch
-                    .par_iter()
-                    .map(|r| route_request(r, network, regions, views, band))
-                    .collect()
-            };
-            for (request, decision) in batch.iter().zip(&decisions) {
-                if decision.winner != decision.home {
-                    handoffs += 1;
-                }
-                handoff_bids += decision.bids;
-                let shard = &mut shards[decision.winner];
-                shard.routed.push((request.id, request.direct_cost()));
-                shard.inbox.push(request.clone());
-            }
-
-            // Dispatch every shard's sub-batch in parallel.
-            let config = self.config;
-            let batch_index = batches;
-            for_each_shard(&mut shards, &|s| {
-                let inbox = std::mem::take(&mut s.inbox);
-                let ctx = DispatchContext::for_batch(&s.engine, config, now, batch_index);
-                let t0 = Instant::now();
-                let outcome = s.dispatcher.dispatch_batch(&ctx, &mut s.vehicles, &inbox);
-                s.dispatch_time += t0.elapsed().as_secs_f64();
-                let scratch = ctx.scratch.snapshot();
-                s.insertion_evaluations += scratch.insertion_evaluations;
-                s.groups_enumerated += scratch.groups_enumerated;
-                s.last_scratch = scratch;
-                s.last_assigned = outcome.assigned;
-            });
-
-            // Merge per-shard outcomes in ascending shard order (canonical).
-            let mut merged = BatchOutcome::empty();
-            let mut merged_scratch = ScratchStats::default();
-            for s in shards.iter_mut() {
-                served.extend(s.last_assigned.iter().copied());
-                s.served.extend(s.last_assigned.iter().copied());
-                merged_scratch.insertion_evaluations += s.last_scratch.insertion_evaluations;
-                merged_scratch.groups_enumerated += s.last_scratch.groups_enumerated;
-                merged.assigned.append(&mut s.last_assigned);
-            }
-            batches += 1;
-            if let Some(rec) = recorder.as_deref_mut() {
-                rec.batch_finished(&merged, &fleet_snapshot(&shards), merged_scratch);
-            }
-
-            if self.sharding.rebalance && k > 1 {
-                migrations +=
-                    rebalance(&mut shards, regions, self.sharding.max_migrations_per_batch);
-            }
+            run.step(now, &ordered[start..next], &mut recorder);
 
             // Same early exit as the monolithic simulator: stream drained
             // and no shard holds a carried-over request.
-            if next == ordered.len() && shards.iter().all(|s| s.dispatcher.pending_requests() == 0)
-            {
+            if next == ordered.len() && run.pending() == 0 {
                 break;
             }
-            if batches > 10_000_000 {
+            if run.batches() > 10_000_000 {
                 break;
             }
         }
 
-        // Let every committed schedule play out.
-        let drain_until = now + horizon_end + 1.0e6;
-        for_each_shard(&mut shards, &|s| {
-            s.vehicles.par_iter_mut().for_each(|v| {
-                v.advance_to(&s.engine, drain_until);
-            });
-        });
-
-        let per_shard: Vec<RunMetrics> = shards
-            .iter()
-            .map(|s| {
-                let total_travel: f64 = s.vehicles.iter().map(|v| v.executed_travel).sum();
-                let unserved_direct_cost: f64 = s
-                    .routed
-                    .iter()
-                    .filter(|(id, _)| !s.served.contains(id))
-                    .map(|(_, cost)| cost)
-                    .sum();
-                RunMetrics {
-                    algorithm: s.dispatcher.name().to_string(),
-                    workload: workload_name.to_string(),
-                    total_requests: s.routed.len(),
-                    served_requests: s.served.len(),
-                    total_travel,
-                    unserved_direct_cost,
-                    unified_cost: unified_cost(
-                        &self.config.cost,
-                        total_travel,
-                        unserved_direct_cost,
-                    ),
-                    running_time: s.dispatch_time,
-                    sp_queries: s.engine.stats().index_queries,
-                    memory_bytes: s.dispatcher.memory_bytes(),
-                    batches,
-                    insertion_evaluations: s.insertion_evaluations,
-                    groups_enumerated: s.groups_enumerated,
-                }
-            })
-            .collect();
-        let aggregate =
-            RunMetrics::merge_all(&per_shard, &self.config.cost).expect("at least one shard");
-        let vehicles = fleet_snapshot(&shards);
-        ShardedReport {
-            aggregate,
-            per_shard,
-            vehicles,
-            served,
-            handoffs,
-            handoff_bids,
-            migrations,
-            setup_seconds,
-            run_seconds: run_t0.elapsed().as_secs_f64(),
-        }
+        run.finish(workload_name, horizon_end)
     }
 }
 

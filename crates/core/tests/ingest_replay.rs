@@ -1,0 +1,168 @@
+//! The ingested form of the replay invariant.
+//!
+//! Wall-clock adaptive batching makes the *boundaries* of an ingested run
+//! nondeterministic — but a recorded run captures the realized boundaries,
+//! and given those the pipeline must replay bit-identically under any
+//! worker count.  These tests record ingested runs (monolithic and sharded)
+//! once and verify them under 1 and 8 worker threads.
+
+use structride_core::replay::{diff_traces, replay_trace, TraceMeta, TraceRecorder};
+use structride_core::shard::region_strips_for;
+use structride_core::{
+    IngestConfig, SardDispatcher, ShardedSimulator, Simulator, StructRideConfig,
+};
+use structride_datagen::{
+    CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
+};
+
+fn in_pool<R: Send>(threads: usize, op: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+        .install(op)
+}
+
+fn ingest_config() -> IngestConfig {
+    IngestConfig {
+        max_batch_size: 24,
+        batch_deadline: 0.005,
+        queue_capacity: 4096,
+        // Compress the ~120 s stream into well under a second of wall clock.
+        time_scale: 600.0,
+    }
+}
+
+fn small_workload() -> Workload {
+    Workload::generate(WorkloadParams {
+        num_requests: 70,
+        num_vehicles: 10,
+        horizon: 120.0,
+        scale: 0.3,
+        ..WorkloadParams::small(CityProfile::NycLike)
+    })
+}
+
+#[test]
+fn ingested_run_accounts_for_every_arrival() {
+    let w = small_workload();
+    let config = StructRideConfig::default().with_ingest(ingest_config());
+    let mut sard = SardDispatcher::new(config);
+    let report = Simulator::new(config).run_ingested(
+        &w.engine,
+        w.requests.iter().cloned(),
+        w.fresh_vehicles(),
+        &mut sard,
+        &w.name,
+    );
+    let stats = &report.ingest;
+    assert_eq!(stats.arrivals, w.requests.len());
+    assert_eq!(
+        stats.dispatched + stats.dropped_queue_full + stats.timed_out,
+        stats.arrivals,
+        "every arrival is dispatched, load-shed or timed out"
+    );
+    assert_eq!(report.metrics.total_requests, w.requests.len());
+    assert!(report.metrics.served_requests > 0, "some requests served");
+    assert!(report.metrics.served_requests <= stats.dispatched);
+    assert!(stats.batches > 0);
+    assert!(stats.wall_seconds > 0.0);
+    assert!(stats.throughput_rps > 0.0);
+    assert!(stats.batch_latency_p99_ms >= stats.batch_latency_p50_ms);
+    // The size cap was respected.
+    assert!(stats.mean_batch_size <= config.ingest.max_batch_size as f64);
+}
+
+#[test]
+fn recorded_ingested_run_replays_bit_identically_across_worker_counts() {
+    let w = small_workload();
+    let config = StructRideConfig::default().with_ingest(ingest_config());
+    let mut recorder = TraceRecorder::new();
+    let mut sard = SardDispatcher::new(config);
+    Simulator::new(config).run_ingested_recorded(
+        &w.engine,
+        w.requests.iter().cloned(),
+        w.fresh_vehicles(),
+        &mut sard,
+        &w.name,
+        &mut recorder,
+    );
+    let trace = recorder.into_trace(TraceMeta::new("SARD", &w.name, config));
+    assert!(!trace.batches.is_empty());
+
+    for threads in [1usize, 8] {
+        let report = in_pool(threads, || {
+            let mut fresh = SardDispatcher::new(config);
+            replay_trace(&w.engine, &mut fresh, &trace)
+        });
+        assert!(
+            report.is_clean(),
+            "ingested replay drifted under {threads} threads:\n{report}"
+        );
+        assert_eq!(report.batches_compared, trace.batches.len());
+    }
+
+    // The codec handles ingested traces (including the ingest config
+    // fields) exactly.
+    let text = trace.to_text();
+    let parsed = structride_core::Trace::parse(&text).expect("parse ingested trace");
+    assert_eq!(parsed, trace);
+    assert_eq!(parsed.meta.config.ingest, config.ingest);
+}
+
+#[test]
+fn sharded_ingested_run_reruns_bit_identically_from_recorded_boundaries() {
+    let workload = MultiRegionWorkload::generate(MultiRegionParams {
+        requests_per_region: 40,
+        vehicles_per_region: 7,
+        horizon: 100.0,
+        scale: 0.3,
+        ..MultiRegionParams::small(vec![CityProfile::ChengduLike, CityProfile::NycLike])
+    });
+    let config = StructRideConfig::default().with_ingest(ingest_config());
+    let regions = region_strips_for(workload.network(), 2);
+    let sim = ShardedSimulator::new(config);
+
+    let mut recorder = TraceRecorder::new();
+    let ingested = sim.run_ingested_recorded(
+        workload.network(),
+        &regions,
+        workload.requests.iter().cloned(),
+        workload.fresh_vehicles(),
+        |_| Box::new(SardDispatcher::new(config)),
+        &workload.name,
+        &mut recorder,
+    );
+    assert!(ingested.report.aggregate.served_requests > 0);
+    let trace = recorder.into_trace(TraceMeta::new("SARD", &workload.name, config));
+    assert!(!trace.batches.is_empty());
+
+    // The recorded realized boundaries, as the re-run feed.
+    let boundaries: Vec<(f64, Vec<structride_model::Request>)> = trace
+        .batches
+        .iter()
+        .map(|b| (b.now, b.requests.clone()))
+        .collect();
+
+    for threads in [1usize, 8] {
+        let rerun_trace = in_pool(threads, || {
+            let mut rec = TraceRecorder::new();
+            sim.run_fed_recorded(
+                workload.network(),
+                &regions,
+                &boundaries,
+                workload.fresh_vehicles(),
+                |_| Box::new(SardDispatcher::new(config)),
+                &workload.name,
+                &mut rec,
+            );
+            rec.into_trace(trace.meta.clone())
+        });
+        let report = diff_traces(&trace, &rerun_trace);
+        assert!(
+            report.is_clean(),
+            "sharded ingested re-run drifted under {threads} threads:\n{report}"
+        );
+        assert_eq!(report.batches_compared, trace.batches.len());
+    }
+}

@@ -24,8 +24,12 @@
 //! * [`regions`] — multi-region workloads: several city profiles composed
 //!   side by side into one stream over one shared network, each region
 //!   generated from a derived RNG seed so the stream is identical no matter
-//!   how many regions are populated or how the consumer later shards it.
+//!   how many regions are populated or how the consumer later shards it;
+//! * [`arrivals`] — streaming arrival processes (homogeneous Poisson and
+//!   bursty-surge profiles) emitting timestamped requests one at a time for
+//!   the ingest front end, instead of pre-materialised batches.
 
+pub mod arrivals;
 pub mod city;
 pub mod distributions;
 pub mod network;
@@ -34,6 +38,7 @@ pub mod requests;
 pub mod vehicles;
 pub mod workload;
 
+pub use arrivals::{stream_requests, ArrivalProfile, ArrivalStream, ArrivalStreamParams};
 pub use city::CityProfile;
 pub use network::{synthetic_city_network, NetworkParams};
 pub use regions::{derive_region_seed, MultiRegionParams, MultiRegionWorkload};

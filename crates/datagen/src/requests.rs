@@ -133,6 +133,113 @@ impl NodeLocator {
     }
 }
 
+/// Samples the *spatial* part of a request — hotspot-mixture origin,
+/// log-normal-distance destination, rider count — independent of how release
+/// times are produced.  [`generate_requests_in`] draws releases up front from
+/// a homogeneous Poisson process; `crate::arrivals` streams them one at a
+/// time from a (possibly non-homogeneous) arrival profile.  Both share this
+/// sampler so the two paths can never disagree on the trip model.
+pub struct TripSampler {
+    centers: Vec<NodeId>,
+    hotspot_radius: f64,
+    origin_nodes: Vec<NodeId>,
+    locator: NodeLocator,
+    params: RequestGenParams,
+}
+
+impl TripSampler {
+    /// Builds a sampler for `engine`, drawing the hotspot centres from `rng`
+    /// (the caller owns the RNG so the overall stream stays a pure function
+    /// of its seed).
+    pub fn new(
+        engine: &SpEngine,
+        params: &RequestGenParams,
+        bounds: Option<(f64, f64, f64, f64)>,
+        rng: &mut StdRng,
+    ) -> Self {
+        let locator = NodeLocator::new(engine);
+        let origin_nodes = nodes_in_bounds(engine.network(), bounds);
+        let centers: Vec<NodeId> = (0..params.hotspots.max(1))
+            .map(|_| origin_nodes[rng.gen_range(0..origin_nodes.len() as u32) as usize])
+            .collect();
+        let hotspot_radius = locator.extent * params.hotspot_radius_frac.max(0.01);
+        TripSampler {
+            centers,
+            hotspot_radius,
+            origin_nodes,
+            locator,
+            params: *params,
+        }
+    }
+
+    /// Samples one request with the given id and release time, or `None` when
+    /// the trip degenerates (no reachable distinct destination).
+    pub fn sample(
+        &self,
+        engine: &SpEngine,
+        rng: &mut StdRng,
+        id: u32,
+        release: f64,
+    ) -> Option<Request> {
+        let params = &self.params;
+        let n_nodes = engine.network().node_count() as u32;
+        // Origin: hotspot mixture.
+        let source = if rng.gen::<f64>() < params.hotspot_concentration {
+            let center = self.centers[rng.gen_range(0..self.centers.len())];
+            let cp = engine.coord(center);
+            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+            let r = rng.gen::<f64>() * self.hotspot_radius;
+            self.locator
+                .nearest(engine, cp.x + r * angle.cos(), cp.y + r * angle.sin())
+        } else {
+            self.origin_nodes[rng.gen_range(0..self.origin_nodes.len() as u32) as usize]
+        };
+        // Destination: log-normal distance in a random direction, snapped.
+        let mut destination = source;
+        let mut shortest = 0.0;
+        for _attempt in 0..12 {
+            let dist = distributions::log_normal(rng, params.trip_log_mean, params.trip_log_sigma)
+                .clamp(self.locator.extent * 0.02, self.locator.extent * 1.5);
+            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+            let sp = engine.coord(source);
+            let cand =
+                self.locator
+                    .nearest(engine, sp.x + dist * angle.cos(), sp.y + dist * angle.sin());
+            if cand != source {
+                let c = engine.cost(source, cand);
+                if c.is_finite() && c > 0.0 {
+                    destination = cand;
+                    shortest = c;
+                    break;
+                }
+            }
+        }
+        if destination == source {
+            // Degenerate fallback: ride to an arbitrary different node.
+            destination = (source + 1) % n_nodes;
+            shortest = engine.cost(source, destination);
+            if !shortest.is_finite() || shortest <= 0.0 {
+                return None;
+            }
+        }
+        let riders = if rng.gen::<f64>() < params.riders_multi_prob {
+            rng.gen_range(2..=3)
+        } else {
+            1
+        };
+        Some(Request::with_detour(
+            id,
+            source,
+            destination,
+            riders,
+            release,
+            shortest,
+            params.gamma,
+            params.max_wait,
+        ))
+    }
+}
+
 /// Generates `count` requests released over `[0, horizon]` seconds.
 ///
 /// Releases follow a Poisson process whose rate is `count / horizon`
@@ -172,16 +279,10 @@ pub fn generate_requests_in(
 ) -> Vec<Request> {
     assert!(horizon > 0.0, "horizon must be positive");
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let locator = NodeLocator::new(engine);
-    let net = engine.network();
-    let n_nodes = net.node_count() as u32;
-    let origin_nodes = nodes_in_bounds(net, bounds);
-
-    // Hotspot centres.
-    let centers: Vec<NodeId> = (0..params.hotspots.max(1))
-        .map(|_| origin_nodes[rng.gen_range(0..origin_nodes.len() as u32) as usize])
-        .collect();
-    let hotspot_radius = locator.extent * params.hotspot_radius_frac.max(0.01);
+    // Draw order is part of the determinism contract: hotspot centres first,
+    // then every release, then each request's spatial sample — regenerating a
+    // workload from recorded parameters must reproduce the stream bit for bit.
+    let sampler = TripSampler::new(engine, params, bounds, &mut rng);
 
     // Release times: Poisson arrivals at the average rate, clamped to horizon.
     let rate = count as f64 / horizon;
@@ -195,59 +296,9 @@ pub fn generate_requests_in(
     let mut requests = Vec::with_capacity(count);
     for (i, &release) in releases.iter().enumerate() {
         let id = first_id + i as u32;
-        // Origin: hotspot mixture.
-        let source = if rng.gen::<f64>() < params.hotspot_concentration {
-            let center = centers[rng.gen_range(0..centers.len())];
-            let cp = engine.coord(center);
-            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
-            let r = rng.gen::<f64>() * hotspot_radius;
-            locator.nearest(engine, cp.x + r * angle.cos(), cp.y + r * angle.sin())
-        } else {
-            origin_nodes[rng.gen_range(0..origin_nodes.len() as u32) as usize]
-        };
-        // Destination: log-normal distance in a random direction, snapped.
-        let mut destination = source;
-        let mut shortest = 0.0;
-        for _attempt in 0..12 {
-            let dist =
-                distributions::log_normal(&mut rng, params.trip_log_mean, params.trip_log_sigma)
-                    .clamp(locator.extent * 0.02, locator.extent * 1.5);
-            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
-            let sp = engine.coord(source);
-            let cand =
-                locator.nearest(engine, sp.x + dist * angle.cos(), sp.y + dist * angle.sin());
-            if cand != source {
-                let c = engine.cost(source, cand);
-                if c.is_finite() && c > 0.0 {
-                    destination = cand;
-                    shortest = c;
-                    break;
-                }
-            }
+        if let Some(request) = sampler.sample(engine, &mut rng, id, release) {
+            requests.push(request);
         }
-        if destination == source {
-            // Degenerate fallback: ride to an arbitrary different node.
-            destination = (source + 1) % n_nodes;
-            shortest = engine.cost(source, destination);
-            if !shortest.is_finite() || shortest <= 0.0 {
-                continue;
-            }
-        }
-        let riders = if rng.gen::<f64>() < params.riders_multi_prob {
-            rng.gen_range(2..=3)
-        } else {
-            1
-        };
-        requests.push(Request::with_detour(
-            id,
-            source,
-            destination,
-            riders,
-            release,
-            shortest,
-            params.gamma,
-            params.max_wait,
-        ));
     }
     requests
 }

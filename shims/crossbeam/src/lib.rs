@@ -1,8 +1,13 @@
-//! Offline stand-in for `crossbeam`'s scoped threads, backed by
-//! `std::thread::scope` (stable since Rust 1.63, which removed the original
-//! need for crossbeam here).  Only the `scope`/`spawn` shape this workspace
-//! uses is provided; child panics propagate out of `scope` as they would from
-//! `std::thread::scope`, so the `Result` is always `Ok`.
+//! Offline stand-in for the `crossbeam` subset this workspace uses.
+//!
+//! * [`scope`]/[`Scope::spawn`] — scoped threads, backed by
+//!   `std::thread::scope` (stable since Rust 1.63, which removed the original
+//!   need for crossbeam here).  Child panics propagate out of `scope` as they
+//!   would from `std::thread::scope`, so the `Result` is always `Ok`.
+//! * [`channel`] — MPMC channels with the upstream
+//!   `bounded`/`unbounded`/`recv_timeout`/`try_iter` shape, backed by a
+//!   `Mutex<VecDeque>` + two `Condvar`s.  The ingest front end
+//!   (`structride_core::ingest`) is built on this subset.
 
 /// Handle passed to the scope closure; mirrors `crossbeam::thread::Scope`.
 pub struct Scope<'scope, 'env: 'scope> {
@@ -30,6 +35,326 @@ where
     Ok(std::thread::scope(|s| f(&Scope { inner: s })))
 }
 
+pub mod channel {
+    //! MPMC channels mirroring `crossbeam-channel`'s API subset:
+    //! [`bounded`] / [`unbounded`] constructors, blocking [`Sender::send`],
+    //! non-blocking [`Sender::try_send`], and [`Receiver::recv`] /
+    //! [`Receiver::try_recv`] / [`Receiver::recv_timeout`] /
+    //! [`Receiver::try_iter`].  Disconnection semantics match upstream: a
+    //! receive on a channel whose senders are all gone drains the buffer
+    //! first and only then reports `Disconnected`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when an item is pushed or all senders disconnect.
+        not_empty: Condvar,
+        /// Signalled when an item is popped or all receivers disconnect.
+        not_full: Condvar,
+    }
+
+    /// Error of [`Sender::send`]: every receiver is gone; the unsent message
+    /// is handed back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error of [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded buffer is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// True for the [`TrySendError::Full`] variant.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    /// Error of [`Receiver::recv`]: the buffer is empty and every sender is
+    /// gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The buffer is currently empty (senders remain).
+        Empty,
+        /// The buffer is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error of [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No item arrived within the timeout (senders remain).
+        Timeout,
+        /// The buffer is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half; clone freely (MPMC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a channel buffering at most `cap` messages; `send` blocks (and
+    /// `try_send` returns `Full`) while the buffer is at capacity.  A `cap`
+    /// of 0 is rounded up to 1 (upstream's rendezvous channels are not part
+    /// of the subset this workspace uses).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    /// Creates a channel with an unbounded buffer; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is buffered or every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = state
+                    .capacity
+                    .map(|cap| state.queue.len() >= cap)
+                    .unwrap_or(false);
+                if !full {
+                    state.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Buffers the message without blocking, or reports why it cannot.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let full = state
+                .capacity
+                .map(|cap| state.queue.len() >= cap)
+                .unwrap_or(false);
+            if full {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// True when nothing is buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone (buffered
+        /// messages are still delivered after disconnection).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Pops a buffered message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if let Some(value) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocks for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, result) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel poisoned");
+                state = next;
+                if result.timed_out() && state.queue.is_empty() {
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// A non-blocking iterator draining whatever is buffered right now;
+        /// stops at the first would-block instead of waiting.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// True when nothing is buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Iterator of [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,5 +372,100 @@ mod tests {
         })
         .unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    mod channel {
+        use crate::channel::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_fifo_and_try_iter() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(rx.len(), 5);
+            let drained: Vec<i32> = rx.try_iter().collect();
+            assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+            assert!(rx.is_empty());
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_then_drains() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert!(tx.try_send(3).unwrap_err().is_full());
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+        }
+
+        #[test]
+        fn disconnect_drains_buffer_before_erroring() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_fails() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_succeeds_cross_thread() {
+            let (tx, rx) = bounded(4);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(10));
+                    tx.send(42u32).unwrap();
+                });
+                assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+            });
+        }
+
+        #[test]
+        fn blocking_send_waits_for_capacity() {
+            let (tx, rx) = bounded(1);
+            tx.send(1u32).unwrap();
+            std::thread::scope(|s| {
+                let tx2 = tx.clone();
+                s.spawn(move || {
+                    // Blocks until the consumer below pops the first item.
+                    tx2.send(2).unwrap();
+                });
+                std::thread::sleep(Duration::from_millis(5));
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(2));
+            });
+        }
+
+        #[test]
+        fn cloned_senders_all_count_toward_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(9).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
     }
 }

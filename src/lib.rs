@@ -103,12 +103,13 @@ pub mod prelude {
     pub use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
     pub use structride_core::{
         diff_traces, region_strips_for, replay_trace, BatchOutcome, DispatchContext, Dispatcher,
-        DriftReport, RunMetrics, SardDispatcher, ShardDispatcher, ShardedReport, ShardedSimulator,
-        ShardingConfig, SimulationReport, Simulator, StructRideConfig, Trace, TraceMeta,
-        TraceRecorder,
+        DriftReport, IngestConfig, IngestReport, IngestStats, RunMetrics, SardDispatcher,
+        ShardDispatcher, ShardedIngestReport, ShardedReport, ShardedSimulator, ShardingConfig,
+        SimulationReport, Simulator, StructRideConfig, Trace, TraceMeta, TraceRecorder,
     };
     pub use structride_datagen::{
-        CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
+        ArrivalProfile, ArrivalStream, ArrivalStreamParams, CityProfile, MultiRegionParams,
+        MultiRegionWorkload, Workload, WorkloadParams,
     };
     pub use structride_model::{
         CostParams, Request, RequestId, Schedule, Vehicle, VehicleId, Waypoint, WaypointKind,
