@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_guard --baseline PATH --current PATH [--max-regression FRACTION]
-//!             [--max-latency-increase FRACTION]
+//!             [--max-latency-increase FRACTION] [--max-setup-increase FRACTION]
 //! ```
 //!
 //! Compares the `throughput_rps` of every row of a committed
@@ -13,7 +13,10 @@
 //! baseline row is missing from the current run.  With
 //! `--max-latency-increase`, rows carrying `batch_latency_p99_ms`
 //! additionally fail when that latency rose beyond its own margin — the
-//! dispatcher-sensitive check for the arrival-paced ingest bench.
+//! dispatcher-sensitive check for the arrival-paced ingest bench.  With
+//! `--max-setup-increase`, rows whose baseline carries a positive `setup_s`
+//! additionally fail when the current setup time rose beyond its own margin
+//! — the preprocessing ceiling locking in the sub-network-engine setup win.
 
 use std::process::ExitCode;
 use structride_bench::perf::guard_throughput;
@@ -21,7 +24,7 @@ use structride_bench::perf::guard_throughput;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_guard --baseline PATH --current PATH [--max-regression FRACTION] \
-         [--max-latency-increase FRACTION]"
+         [--max-latency-increase FRACTION] [--max-setup-increase FRACTION]"
     );
     ExitCode::from(2)
 }
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
     let mut current: Option<String> = None;
     let mut max_regression = 0.20f64;
     let mut max_latency_increase: Option<f64> = None;
+    let mut max_setup_increase: Option<f64> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -47,6 +51,12 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 max_latency_increase = Some(raw);
+            }
+            "--max-setup-increase" => {
+                let Some(raw) = argv.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                max_setup_increase = Some(raw);
             }
             _ => return usage(),
         }
@@ -70,6 +80,7 @@ fn main() -> ExitCode {
         &current_text,
         max_regression,
         max_latency_increase,
+        max_setup_increase,
     ) {
         Ok(report) => {
             for cmp in &report.comparisons {

@@ -103,8 +103,10 @@ fn main() {
         harness::angle_probability_model();
     }
     if wants_sharded {
-        let shard_counts = [1usize, 3];
-        if let Err(e) = shardbench::run_and_write(&scale, &shard_counts, "BENCH_sharded.json") {
+        // Strip layouts at 1 and 3 shards, plus a 2×3 = 6-region grid so
+        // the k-scaling of setup cost stays visible in the trajectory.
+        let layouts = [(1u32, 1u32), (1, 3), (2, 3)];
+        if let Err(e) = shardbench::run_and_write(&scale, &layouts, "BENCH_sharded.json") {
             eprintln!("failed to write BENCH_sharded.json: {e}");
             std::process::exit(1);
         }

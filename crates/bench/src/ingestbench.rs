@@ -103,7 +103,7 @@ impl IngestBenchRow {
 /// schema is append-only: tooling parses it across PRs.
 pub fn render_bench_json(workload_name: &str, rows: &[IngestBenchRow]) -> String {
     let row_jsons: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
-    crate::perf::render_bench_doc("ingest", workload_name, &row_jsons)
+    crate::perf::render_bench_doc("ingest", 1, workload_name, &row_jsons)
 }
 
 /// The ingest knobs the benchmark runs with: compress the stream hard so a

@@ -1,8 +1,9 @@
 //! The perf-trajectory regression guard behind the `bench_guard` binary.
 //!
-//! `BENCH_*.json` documents (emitted by [`crate::shardbench`] and
-//! [`crate::ingestbench`], schema_version 1) carry a flat `rows` array of
-//! objects with string and number fields.  This module parses that shape
+//! `BENCH_*.json` documents (emitted by [`crate::shardbench`], schema
+//! version 2, and [`crate::ingestbench`], schema version 1 — the parser
+//! accepts any version) carry a flat `rows` array of objects with string
+//! and number fields.  This module parses that shape
 //! with a deliberately small scanner — the workspace is offline, so no JSON
 //! crate is available, and the emitters guarantee flat objects with no
 //! escapes — and compares each row's `throughput_rps` against a committed
@@ -31,16 +32,31 @@ const METRIC: &str = "throughput_rps";
 /// move with dispatcher cost, which is why the ingest gate guards it too.
 const LATENCY_METRIC: &str = "batch_latency_p99_ms";
 
+/// The optional setup-time metric (lower is better).  Preprocessing cost —
+/// for the sharded bench, the shared hub-label build plus per-shard halo
+/// slicing — is invisible to both throughput (which excludes setup) and
+/// batch latency; its own ceiling is what locks in the sub-network-engine
+/// preprocessing win.  Rows whose baseline setup is 0 (the unsharded
+/// baseline, pre-built engines) are skipped.
+const SETUP_METRIC: &str = "setup_s";
+
 /// Renders the shared `BENCH_*.json` document skeleton.  Both emitters
 /// ([`crate::shardbench`], [`crate::ingestbench`]) go through this one
 /// function so the shape stays in lockstep with [`parse_bench_doc`]: flat
 /// row objects, no escapes or commas inside string values, scalar metadata
-/// before the `rows` array.
-pub fn render_bench_doc(bench: &str, workload_name: &str, row_jsons: &[String]) -> String {
+/// before the `rows` array.  `schema_version` is append-only per bench;
+/// the parser accepts every version.
+pub fn render_bench_doc(
+    bench: &str,
+    schema_version: u32,
+    workload_name: &str,
+    row_jsons: &[String],
+) -> String {
     let body: Vec<String> = row_jsons.iter().map(|r| format!("    {r}")).collect();
     format!(
-        "{{\n  \"bench\": \"{}\",\n  \"schema_version\": 1,\n  \"workload\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{}\",\n  \"schema_version\": {},\n  \"workload\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
         bench,
+        schema_version,
         workload_name,
         body.join(",\n")
     )
@@ -212,11 +228,17 @@ impl GuardReport {
 /// the baseline by more than the fraction `m` — the dispatcher-sensitive
 /// check for arrival-paced benches whose throughput alone cannot regress
 /// (see [`LATENCY_METRIC`]).
+///
+/// With `max_setup_increase = Some(m)`, rows whose baseline carries a
+/// positive `setup_s` additionally fail when the current setup time exceeds
+/// the baseline by more than the fraction `m` — the preprocessing ceiling
+/// (see [`SETUP_METRIC`]).
 pub fn guard_throughput(
     baseline: &str,
     current: &str,
     max_regression: f64,
     max_latency_increase: Option<f64>,
+    max_setup_increase: Option<f64>,
 ) -> Result<GuardReport, String> {
     let baseline = parse_bench_doc(baseline).map_err(|e| format!("baseline: {e}"))?;
     let current = parse_bench_doc(current).map_err(|e| format!("current: {e}"))?;
@@ -275,6 +297,21 @@ pub fn guard_throughput(
                 }
             }
         }
+        if let Some(margin) = max_setup_increase {
+            if let (Some(base_setup), Some(cur_setup)) = (
+                metric_of(base_row, SETUP_METRIC),
+                metric_of(current_row, SETUP_METRIC),
+            ) {
+                if base_setup > 0.0 && cur_setup > base_setup * (1.0 + margin) {
+                    failures.push(format!(
+                        "{key}: {SETUP_METRIC} rose {:.3} -> {:.3} s, beyond the {:.0}% margin",
+                        base_setup,
+                        cur_setup,
+                        margin * 100.0
+                    ));
+                }
+            }
+        }
         comparisons.push(cmp);
     }
     Ok(GuardReport {
@@ -316,12 +353,11 @@ mod tests {
         );
     }
 
-    #[test]
-    fn parses_real_renderer_output() {
-        // The actual shardbench renderer, not a lookalike.
-        let row = crate::shardbench::ShardBenchRow {
+    fn sample_shard_row() -> crate::shardbench::ShardBenchRow {
+        crate::shardbench::ShardBenchRow {
             mode: "sharded".into(),
             shards: 3,
+            layout: "1x3".into(),
             threads: 8,
             requests: 90,
             served: 80,
@@ -329,20 +365,85 @@ mod tests {
             batches: 20,
             wall_s: 0.5,
             setup_s: 0.1,
+            setup_reduction: 2.8,
+            label_bytes: 123_456,
             per_batch_ms: 25.0,
             throughput_rps: 180.0,
             unified_cost: 1234.5,
             handoffs: 3,
             migrations: 1,
-        };
+        }
+    }
+
+    #[test]
+    fn parses_real_renderer_output() {
+        // The actual shardbench renderer, not a lookalike.
+        let row = sample_shard_row();
         let json = crate::shardbench::render_bench_json("w", std::slice::from_ref(&row));
         let parsed = parse_bench_doc(&json).unwrap();
         assert_eq!(parsed.bench, "sharded_dispatch");
+        assert_eq!(
+            parsed.schema_version,
+            crate::shardbench::SHARDED_SCHEMA_VERSION
+        );
         assert_eq!(field(&parsed.rows[0], "throughput_rps"), Some("180.000"));
+        assert_eq!(field(&parsed.rows[0], "label_bytes"), Some("123456"));
+        assert_eq!(field(&parsed.rows[0], "setup_reduction"), Some("2.800"));
         assert_eq!(
             row_key(&parsed.bench, &parsed.rows[0]),
             "sharded_dispatch mode=sharded shards=3"
         );
+    }
+
+    /// A committed schema-version-1 baseline (no layout/label_bytes/
+    /// setup_reduction columns) must keep guarding a schema-version-2 run:
+    /// row identity ignores the added columns.
+    #[test]
+    fn v1_baselines_guard_v2_documents() {
+        let v1_baseline = "{\n  \"bench\": \"sharded_dispatch\",\n  \"schema_version\": 1,\n  \"workload\": \"w\",\n  \"rows\": [\n    {\"mode\":\"sharded\",\"shards\":3,\"threads\":1,\"throughput_rps\":200.0,\"setup_s\":0.780000}\n  ]\n}\n";
+        let row = sample_shard_row();
+        let v2_current = crate::shardbench::render_bench_json("w", std::slice::from_ref(&row));
+        let report = guard_throughput(v1_baseline, &v2_current, 0.20, None, Some(1.0)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        assert_eq!(report.comparisons.len(), 1);
+        // And the other direction (fresh v2 baseline, v2 current).
+        let report = guard_throughput(&v2_current, &v2_current, 0.20, None, Some(1.0)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+    }
+
+    /// The setup ceiling mirrors the latency ceiling: throughput excludes
+    /// setup entirely, so only this gate can catch a preprocessing
+    /// regression (e.g. reverting to one label build per shard).
+    #[test]
+    fn setup_ceiling_catches_preprocessing_regressions() {
+        let base =
+            "{\"mode\":\"sharded\",\"shards\":3,\"throughput_rps\":128.0,\"setup_s\":0.270000}";
+        let slow =
+            "{\"mode\":\"sharded\",\"shards\":3,\"throughput_rps\":128.0,\"setup_s\":0.950000}";
+        let mk = |rows: &[&str]| doc(rows).replace("\"ingest\"", "\"sharded_dispatch\"");
+        // Throughput-only guard: blind to the 3.5x setup regression.
+        let report = guard_throughput(&mk(&[base]), &mk(&[slow]), 0.20, None, None).unwrap();
+        assert!(report.is_pass());
+        // With the ceiling the same documents fail.
+        let report = guard_throughput(&mk(&[base]), &mk(&[slow]), 0.20, None, Some(1.0)).unwrap();
+        assert!(!report.is_pass());
+        assert!(
+            report.failures[0].contains("setup_s"),
+            "{}",
+            report.failures[0]
+        );
+        // Within the ceiling (0.27 -> 0.4 s < +100%): passes.
+        let ok =
+            "{\"mode\":\"sharded\",\"shards\":3,\"throughput_rps\":128.0,\"setup_s\":0.400000}";
+        let report = guard_throughput(&mk(&[base]), &mk(&[ok]), 0.20, None, Some(1.0)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        // Zero-setup baselines (the unsharded row) are skipped.
+        let free =
+            "{\"mode\":\"unsharded\",\"shards\":1,\"throughput_rps\":128.0,\"setup_s\":0.000000}";
+        let cur =
+            "{\"mode\":\"unsharded\",\"shards\":1,\"throughput_rps\":128.0,\"setup_s\":0.500000}";
+        let report = guard_throughput(&mk(&[free]), &mk(&[cur]), 0.20, None, Some(1.0)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
     }
 
     #[test]
@@ -353,7 +454,7 @@ mod tests {
             "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":2,\"throughput_rps\":90.0}",
             "{\"profile\":\"bursty\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":2,\"throughput_rps\":55.0}",
         ]);
-        let report = guard_throughput(&baseline, &current, 0.20, None).unwrap();
+        let report = guard_throughput(&baseline, &current, 0.20, None, None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         assert_eq!(report.comparisons.len(), 2);
     }
@@ -365,7 +466,7 @@ mod tests {
             "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":8,\"throughput_rps\":70.0}",
             ROW_B,
         ]);
-        let report = guard_throughput(&baseline, &current, 0.20, None).unwrap();
+        let report = guard_throughput(&baseline, &current, 0.20, None, None).unwrap();
         assert!(!report.is_pass());
         assert_eq!(report.failures.len(), 1);
         assert!(
@@ -383,7 +484,7 @@ mod tests {
             ROW_A,
             "{\"profile\":\"poisson\",\"mode\":\"sharded\",\"shards\":2,\"threads\":8,\"throughput_rps\":10.0}",
         ]);
-        let report = guard_throughput(&baseline, &current, 0.20, None).unwrap();
+        let report = guard_throughput(&baseline, &current, 0.20, None, None).unwrap();
         assert!(!report.is_pass());
         assert!(report.failures[0].contains("missing"));
         // The new row is not compared (the trajectory may grow freely).
@@ -401,10 +502,10 @@ mod tests {
         let slow =
             "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"throughput_rps\":128.0,\"batch_latency_p99_ms\":40.0}";
         // Throughput-only guard: blind to the slowdown.
-        let report = guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, None).unwrap();
+        let report = guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, None, None).unwrap();
         assert!(report.is_pass());
         // With the latency ceiling the same documents fail.
-        let report = guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, Some(0.5)).unwrap();
+        let report = guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, Some(0.5), None).unwrap();
         assert!(!report.is_pass());
         assert!(
             report.failures[0].contains("batch_latency_p99_ms"),
@@ -414,10 +515,11 @@ mod tests {
         // Within the ceiling (16.5 -> 20 ms < +50%): passes.
         let ok =
             "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"throughput_rps\":128.0,\"batch_latency_p99_ms\":20.0}";
-        let report = guard_throughput(&doc(&[base]), &doc(&[ok]), 0.20, Some(0.5)).unwrap();
+        let report = guard_throughput(&doc(&[base]), &doc(&[ok]), 0.20, Some(0.5), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         // Rows without the latency field (the sharded bench) are unaffected.
-        let report = guard_throughput(&doc(&[ROW_A]), &doc(&[ROW_A]), 0.20, Some(0.5)).unwrap();
+        let report =
+            guard_throughput(&doc(&[ROW_A]), &doc(&[ROW_A]), 0.20, Some(0.5), None).unwrap();
         assert!(report.is_pass());
     }
 
@@ -426,7 +528,7 @@ mod tests {
         assert!(parse_bench_doc("not json").is_err());
         assert!(parse_bench_doc("{\"bench\": \"x\"}").is_err());
         let sharded = doc(&[ROW_A]).replace("\"ingest\"", "\"sharded_dispatch\"");
-        let err = guard_throughput(&doc(&[ROW_A]), &sharded, 0.2, None).unwrap_err();
+        let err = guard_throughput(&doc(&[ROW_A]), &sharded, 0.2, None, None).unwrap_err();
         assert!(err.contains("mismatch"), "{err}");
     }
 }

@@ -204,6 +204,7 @@ pub fn multi_params_to_meta(
             "max_migrations_per_batch".to_string(),
             sharding.max_migrations_per_batch.to_string(),
         ),
+        ("top_m".to_string(), sharding.top_m.to_string()),
         ("cities".to_string(), cities.join(",")),
         (
             "requests_per_region".to_string(),
@@ -230,12 +231,20 @@ pub fn trace_shards(trace: &Trace) -> Option<usize> {
     trace.meta.param("shards")?.parse().ok()
 }
 
-/// The sharding knobs a sharded trace was recorded with.
+/// The sharding knobs a sharded trace was recorded with.  Traces predating
+/// the top-m shortlist carry no `top_m` parameter and replay with the
+/// default cap (which reproduces the old full-scan outcomes for every fleet
+/// that fits under it).
 pub fn trace_sharding(trace: &Trace) -> Option<ShardingConfig> {
     Some(ShardingConfig {
         handoff_band: trace.meta.param("handoff_band")?.parse().ok()?,
         rebalance: trace.meta.param("rebalance")?.parse().ok()?,
         max_migrations_per_batch: trace.meta.param("max_migrations_per_batch")?.parse().ok()?,
+        top_m: trace
+            .meta
+            .param("top_m")
+            .and_then(|raw| raw.parse().ok())
+            .unwrap_or(ShardingConfig::default().top_m),
     })
 }
 
@@ -486,6 +495,7 @@ mod tests {
             handoff_band: 312.5,
             rebalance: false,
             max_migrations_per_batch: 7,
+            top_m: 9,
         };
         let mut meta = TraceMeta::new("SARD", "w", StructRideConfig::default());
         meta.params = multi_params_to_meta(&params, 2, &sharding);
@@ -499,6 +509,14 @@ mod tests {
         // The sharding knobs round-trip too — replay rebuilds the recorded
         // pipeline, not the current defaults.
         assert_eq!(trace_sharding(&trace), Some(sharding));
+        // Legacy traces (recorded before the top-m shortlist) have no top_m
+        // parameter and must fall back to the default cap, not fail.
+        let mut legacy = trace;
+        legacy.meta.params.retain(|(k, _)| k != "top_m");
+        assert_eq!(
+            trace_sharding(&legacy).map(|s| s.top_m),
+            Some(ShardingConfig::default().top_m)
+        );
     }
 
     #[test]

@@ -9,11 +9,18 @@
 //! service rate; parsed by tooling, so the schema below is append-only).
 
 use std::time::Instant;
-use structride_core::shard::{region_strips_for, ShardedSimulator};
+use structride_core::shard::{region_grid_for, ShardedSimulator};
 use structride_core::{SardDispatcher, Simulator, StructRideConfig};
 use structride_datagen::{CityProfile, MultiRegionParams, MultiRegionWorkload};
 
 use crate::harness::ExperimentScale;
+
+/// The `schema_version` of `BENCH_sharded.json`.  Version 2 added the
+/// `layout`, `setup_reduction` and `label_bytes` columns (the per-shard
+/// sub-network engine work); [`crate::perf::parse_bench_doc`] parses both
+/// versions, and row identity (`mode` + `shards`) is unchanged, so version-1
+/// baselines still guard version-2 runs.
+pub const SHARDED_SCHEMA_VERSION: u32 = 2;
 
 /// One benchmark row: one pipeline configuration over the shared workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +29,9 @@ pub struct ShardBenchRow {
     pub mode: String,
     /// Shard count (1 for the unsharded baseline).
     pub shards: usize,
+    /// Region layout, `"<rows>x<cols>"` (informational; `shards` is the row
+    /// identity).
+    pub layout: String,
     /// Worker threads the run executed with.
     pub threads: usize,
     /// Requests offered.
@@ -35,8 +45,15 @@ pub struct ShardBenchRow {
     /// Wall-clock of the batch loop + drain, seconds (setup excluded so
     /// sharded and unsharded runs compare steady-state dispatching).
     pub wall_s: f64,
-    /// One-off setup wall-clock (per-shard engine builds), seconds.
+    /// One-off setup wall-clock (shared label build + per-shard halo
+    /// extraction and slicing), seconds.
     pub setup_s: f64,
+    /// Estimated setup speed-up versus the pre-sub-network design (one full
+    /// label build *per shard*): `shards × full_build_s / setup_s`.
+    pub setup_reduction: f64,
+    /// Actual label-index bytes resident for the run (shared global index +
+    /// per-shard halo slices; the full index for the unsharded baseline).
+    pub label_bytes: usize,
     /// Mean wall-clock per batch, milliseconds.
     pub per_batch_ms: f64,
     /// Requests processed per wall-clock second.
@@ -52,15 +69,16 @@ pub struct ShardBenchRow {
 impl ShardBenchRow {
     /// The TSV header matching [`ShardBenchRow::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "mode\tshards\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations"
+        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations"
     }
 
     /// One tab-separated row.
     pub fn tsv_row(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}",
             self.mode,
             self.shards,
+            self.layout,
             self.threads,
             self.requests,
             self.served,
@@ -68,6 +86,8 @@ impl ShardBenchRow {
             self.batches,
             self.wall_s,
             self.setup_s,
+            self.setup_reduction,
+            self.label_bytes,
             self.per_batch_ms,
             self.throughput_rps,
             self.unified_cost,
@@ -78,12 +98,14 @@ impl ShardBenchRow {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"mode\":\"{}\",\"shards\":{},\"threads\":{},\"requests\":{},\"served\":{},\
-             \"service_rate\":{:.6},\"batches\":{},\"wall_s\":{:.6},\"setup_s\":{:.6},\
+            "{{\"mode\":\"{}\",\"shards\":{},\"layout\":\"{}\",\"threads\":{},\"requests\":{},\
+             \"served\":{},\"service_rate\":{:.6},\"batches\":{},\"wall_s\":{:.6},\
+             \"setup_s\":{:.6},\"setup_reduction\":{:.3},\"label_bytes\":{},\
              \"per_batch_ms\":{:.6},\"throughput_rps\":{:.3},\"unified_cost\":{:.3},\
              \"handoffs\":{},\"migrations\":{}}}",
             self.mode,
             self.shards,
+            self.layout,
             self.threads,
             self.requests,
             self.served,
@@ -91,6 +113,8 @@ impl ShardBenchRow {
             self.batches,
             self.wall_s,
             self.setup_s,
+            self.setup_reduction,
+            self.label_bytes,
             self.per_batch_ms,
             self.throughput_rps,
             self.unified_cost,
@@ -104,49 +128,58 @@ impl ShardBenchRow {
 /// skeleton in [`crate::perf`] (kept in lockstep with its parser).
 pub fn render_bench_json(workload_name: &str, rows: &[ShardBenchRow]) -> String {
     let row_jsons: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
-    crate::perf::render_bench_doc("sharded_dispatch", workload_name, &row_jsons)
+    crate::perf::render_bench_doc(
+        "sharded_dispatch",
+        SHARDED_SCHEMA_VERSION,
+        workload_name,
+        &row_jsons,
+    )
 }
 
-#[allow(clippy::too_many_arguments)]
-fn row(
-    mode: &str,
-    shards: usize,
+struct RowStats {
     requests: usize,
     served: usize,
     batches: usize,
     wall_s: f64,
     setup_s: f64,
+    setup_reduction: f64,
+    label_bytes: usize,
     unified_cost: f64,
     handoffs: u64,
     migrations: u64,
-) -> ShardBenchRow {
+}
+
+fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRow {
     ShardBenchRow {
         mode: mode.to_string(),
         shards,
+        layout: layout.to_string(),
         threads: rayon::current_num_threads(),
-        requests,
-        served,
-        service_rate: if requests == 0 {
+        requests: stats.requests,
+        served: stats.served,
+        service_rate: if stats.requests == 0 {
             0.0
         } else {
-            served as f64 / requests as f64
+            stats.served as f64 / stats.requests as f64
         },
-        batches,
-        wall_s,
-        setup_s,
-        per_batch_ms: if batches == 0 {
+        batches: stats.batches,
+        wall_s: stats.wall_s,
+        setup_s: stats.setup_s,
+        setup_reduction: stats.setup_reduction,
+        label_bytes: stats.label_bytes,
+        per_batch_ms: if stats.batches == 0 {
             0.0
         } else {
-            wall_s * 1000.0 / batches as f64
+            stats.wall_s * 1000.0 / stats.batches as f64
         },
-        throughput_rps: if wall_s > 0.0 {
-            requests as f64 / wall_s
+        throughput_rps: if stats.wall_s > 0.0 {
+            stats.requests as f64 / stats.wall_s
         } else {
             0.0
         },
-        unified_cost,
-        handoffs,
-        migrations,
+        unified_cost: stats.unified_cost,
+        handoffs: stats.handoffs,
+        migrations: stats.migrations,
     }
 }
 
@@ -169,11 +202,13 @@ pub fn bench_workload(scale: &ExperimentScale) -> MultiRegionWorkload {
 }
 
 /// Runs the sharded-vs-unsharded comparison and returns `(workload name,
-/// rows)`: one unsharded baseline plus one sharded run per entry of
-/// `shard_counts`.  Every run starts from a fresh fleet and a cold cache.
+/// rows)`: one unsharded baseline plus one sharded run per `(rows, cols)`
+/// region layout (strip layouts are `(1, k)`; the six-region CI row is
+/// `(2, 3)`, making the k-scaling of setup cost visible in the trajectory).
+/// Every run starts from a fresh fleet and a cold cache.
 pub fn bench_sharded(
     scale: &ExperimentScale,
-    shard_counts: &[usize],
+    layouts: &[(u32, u32)],
 ) -> (String, Vec<ShardBenchRow>) {
     let workload = bench_workload(scale);
     let config = StructRideConfig::default();
@@ -194,21 +229,29 @@ pub fn bench_sharded(
     rows.push(row(
         "unsharded",
         1,
-        mono.metrics.total_requests,
-        mono.metrics.served_requests,
-        mono.metrics.batches,
-        wall,
-        0.0,
-        mono.metrics.unified_cost,
-        0,
-        0,
+        "1x1",
+        RowStats {
+            requests: mono.metrics.total_requests,
+            served: mono.metrics.served_requests,
+            batches: mono.metrics.batches,
+            wall_s: wall,
+            setup_s: 0.0,
+            setup_reduction: 1.0,
+            label_bytes: workload.engine.index_bytes(),
+            unified_cost: mono.metrics.unified_cost,
+            handoffs: 0,
+            migrations: 0,
+        },
     ));
 
     // Sharded runs.  `wall_s` is the batch loop + drain; the one-off
-    // per-shard engine construction is reported as `setup_s`, mirroring the
-    // pre-built engine the unsharded baseline starts from.
-    for &k in shard_counts {
-        let regions = region_strips_for(workload.network(), k.max(1) as u32);
+    // engine construction (shared label build + halo slicing) is reported
+    // as `setup_s`, mirroring the pre-built engine the unsharded baseline
+    // starts from.
+    for &(grid_rows, grid_cols) in layouts {
+        let (grid_rows, grid_cols) = (grid_rows.max(1), grid_cols.max(1));
+        let k = (grid_rows * grid_cols) as usize;
+        let regions = region_grid_for(workload.network(), grid_rows, grid_cols);
         let sim = ShardedSimulator::new(config);
         let report = sim.run(
             workload.network(),
@@ -218,17 +261,30 @@ pub fn bench_sharded(
             |_| Box::new(SardDispatcher::new(config)),
             &workload.name,
         );
+        // What the pre-sub-network design would have paid: one full label
+        // build per shard (measured, not guessed, from this run's single
+        // shared build).
+        let setup_reduction = if report.setup_seconds > 0.0 {
+            k as f64 * report.full_build_seconds / report.setup_seconds
+        } else {
+            1.0
+        };
         rows.push(row(
             "sharded",
-            k.max(1),
-            report.aggregate.total_requests,
-            report.aggregate.served_requests,
-            report.aggregate.batches,
-            report.run_seconds,
-            report.setup_seconds,
-            report.aggregate.unified_cost,
-            report.handoffs,
-            report.migrations,
+            k,
+            &format!("{grid_rows}x{grid_cols}"),
+            RowStats {
+                requests: report.aggregate.total_requests,
+                served: report.aggregate.served_requests,
+                batches: report.aggregate.batches,
+                wall_s: report.run_seconds,
+                setup_s: report.setup_seconds,
+                setup_reduction,
+                label_bytes: report.label_bytes,
+                unified_cost: report.aggregate.unified_cost,
+                handoffs: report.handoffs,
+                migrations: report.migrations,
+            },
         ));
     }
     (workload.name, rows)
@@ -238,10 +294,10 @@ pub fn bench_sharded(
 /// to `out_path`.
 pub fn run_and_write(
     scale: &ExperimentScale,
-    shard_counts: &[usize],
+    layouts: &[(u32, u32)],
     out_path: &str,
 ) -> std::io::Result<()> {
-    let (name, rows) = bench_sharded(scale, shard_counts);
+    let (name, rows) = bench_sharded(scale, layouts);
     println!("{}", ShardBenchRow::tsv_header());
     for r in &rows {
         println!("{}", r.tsv_row());
@@ -264,17 +320,21 @@ mod tests {
             network_scale: 0.25,
             seed: 42,
         };
-        let (name, rows) = bench_sharded(&scale, &[1, 3]);
-        assert_eq!(rows.len(), 3);
+        let (name, rows) = bench_sharded(&scale, &[(1, 1), (1, 3), (2, 3)]);
+        assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].mode, "unsharded");
         assert!(rows.iter().skip(1).all(|r| r.mode == "sharded"));
         assert_eq!(rows[1].shards, 1);
         assert_eq!(rows[2].shards, 3);
+        assert_eq!(rows[3].shards, 6);
+        assert_eq!(rows[3].layout, "2x3");
         for r in &rows {
             assert!(r.requests > 0);
             assert!(r.wall_s > 0.0);
             assert!(r.throughput_rps > 0.0);
             assert!(r.service_rate > 0.0 && r.service_rate <= 1.0);
+            assert!(r.label_bytes > 0, "labels are always resident");
+            assert!(r.setup_reduction > 0.0);
             assert_eq!(
                 r.tsv_row().split('\t').count(),
                 ShardBenchRow::tsv_header().split('\t').count()
@@ -283,13 +343,32 @@ mod tests {
         // A 1-shard sharded run serves exactly what the unsharded one does.
         assert_eq!(rows[0].served, rows[1].served);
         assert_eq!(rows[0].batches, rows[1].batches);
+        // The shared-build design: multi-shard setup must stay in the same
+        // ballpark as one full build, not scale with the shard count.  The
+        // reduction is a ratio of two wall-clock measurements, so assert
+        // only the conservative structural fact (> 1 requires halo slicing
+        // to cost less than two extra full builds — true with huge margin)
+        // rather than tight thresholds that could flake on a noisy runner.
+        assert!(
+            rows[2].setup_reduction > 1.0,
+            "3-shard setup_reduction = {}",
+            rows[2].setup_reduction
+        );
+        assert!(
+            rows[3].setup_reduction > 1.0,
+            "6-shard setup_reduction = {}",
+            rows[3].setup_reduction
+        );
 
         let json = render_bench_json(&name, &rows);
         assert!(json.contains("\"bench\": \"sharded_dispatch\""));
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"mode\":\"unsharded\""));
         assert!(json.contains("\"mode\":\"sharded\""));
-        assert_eq!(json.matches("\"throughput_rps\"").count(), 3);
+        assert!(json.contains("\"layout\":\"2x3\""));
+        assert_eq!(json.matches("\"throughput_rps\"").count(), 4);
+        assert_eq!(json.matches("\"label_bytes\"").count(), 4);
+        assert_eq!(json.matches("\"setup_reduction\"").count(), 4);
         // Minimal well-formedness: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -16,15 +16,47 @@
 //! merged in shard order.  Per-shard [`RunMetrics`] are aggregated with
 //! [`RunMetrics::merge`] into one report.
 //!
+//! # Per-shard sub-network engines
+//!
+//! Every shard owns a **halo-clipped** [`SpEngine`] instead of a clone of
+//! the whole network: the global road network and one canonical hub-label
+//! index are built **once** per run (the label construction itself is
+//! parallel, see [`HubLabels::build`]) and shared across shards via `Arc`;
+//! each shard additionally carries the [`SubNetwork`] induced by its
+//! *halo* — its region plus every vertex within
+//! [`ShardingConfig::handoff_band`] of it ([`halo_vertices`]) — and a
+//! compact restriction of the label index to those vertices.  Setup cost and
+//! label memory therefore no longer scale as `k×|V|`.
+//!
+//! The **halo-correctness invariant**: any query a shard issues against its
+//! *local* traffic (its own region's requests plus boundary requests offered
+//! through the handoff band) has both endpoints inside the halo and is
+//! answered by the per-shard slice.  Queries that legally leave the halo —
+//! trip destinations in another region, vehicles that drove or migrated
+//! across a border — fall back to the `Arc`-shared global index.  Both paths
+//! return **bit-identical** floats to a whole-network engine (the slice
+//! vectors are verbatim copies), which is what keeps sharded runs
+//! replay-exact across this refactor; see
+//! [`SpEngineBuilder::build_clipped`](structride_roadnet::SpEngineBuilder).
+//!
 //! # Cross-shard handoff
 //!
 //! Requests are routed to the shard of their pickup region.  A request whose
 //! origin lies within [`ShardingConfig::handoff_band`] of another region is a
 //! *boundary request*: it is offered to every shard whose region the band
 //! reaches, each candidate shard bids the cheapest exact insertion cost over
-//! its current fleet, and the **best bid wins deterministically** (strictly
-//! lower `added_cost` wins; ties go to the lowest shard id; if no candidate
-//! has a feasible insertion the home shard keeps the request).  Idle
+//! a **top-m shortlist** of its fleet, and the **best bid wins
+//! deterministically** (strictly lower `added_cost` wins; ties go to the
+//! lowest shard id; if no candidate has a feasible insertion the home shard
+//! keeps the request).  The shortlist replaces the old full-fleet exact
+//! insertion scan: a per-batch [`GridIndex`] over vehicle positions is range
+//! queried with the certified reachability radius derived from
+//! [`RoadNetwork::min_time_per_meter`] — a vehicle outside it provably
+//! cannot meet the pickup deadline from its release state, so dropping it
+//! cannot change any bid — and the survivors are ranked by that lower bound
+//! and capped at [`ShardingConfig::top_m`].  The radius prescreen is exact;
+//! only the cap can (deliberately, for bounded bidding work on very large
+//! fleets) exclude a feasible bidder.  Idle
 //! vehicles migrate between adjacent shards to rebalance load when
 //! [`ShardingConfig::rebalance`] is on: after each batch, a shard whose
 //! dispatcher holds no pending requests donates its lowest-id idle vehicles
@@ -66,10 +98,11 @@ use crate::metrics::RunMetrics;
 use crate::replay::TraceRecorder;
 use rayon::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 use structride_model::{insertion, unified_cost, Request, RequestId, Vehicle};
-use structride_roadnet::{RoadNetwork, SpEngine, SpEngineBuilder};
-use structride_spatial::{RegionGrid, RegionId};
+use structride_roadnet::{HubLabels, NodeId, RoadNetwork, SpEngine, SpEngineBuilder};
+use structride_spatial::{GridIndex, RegionGrid, RegionId};
 
 /// A dispatcher owned by one shard (must be `Send`: shards dispatch on
 /// worker threads).
@@ -80,12 +113,21 @@ pub type ShardDispatcher = Box<dyn Dispatcher + Send>;
 pub struct ShardingConfig {
     /// Width of the boundary band, in coordinate units (meters).  A request
     /// whose origin lies within this distance of another region is offered
-    /// to that region's shard too; `0.0` disables cross-shard handoff.
+    /// to that region's shard too; `0.0` disables cross-shard handoff.  The
+    /// band also sets the halo width of the per-shard sub-network engines.
     pub handoff_band: f64,
     /// Enables idle-vehicle migration between adjacent shards.
     pub rebalance: bool,
     /// Maximum idle vehicles one shard donates per batch.
     pub max_migrations_per_batch: usize,
+    /// Maximum exact insertion bids one candidate shard evaluates per
+    /// boundary request (`0` = unlimited).  Candidates are the vehicles that
+    /// pass the exact reachability prescreen, ranked by their certified
+    /// travel-time lower bound to the pickup; the cap only changes outcomes
+    /// when more than `top_m` *feasible-looking* vehicles compete in one
+    /// shard, which the default leaves out of reach for every workload in
+    /// this repository.
+    pub top_m: usize,
 }
 
 impl Default for ShardingConfig {
@@ -96,6 +138,7 @@ impl Default for ShardingConfig {
             handoff_band: 250.0,
             rebalance: true,
             max_migrations_per_batch: 2,
+            top_m: 64,
         }
     }
 }
@@ -108,6 +151,7 @@ impl ShardingConfig {
             handoff_band: 0.0,
             rebalance: false,
             max_migrations_per_batch: 0,
+            ..ShardingConfig::default()
         }
     }
 }
@@ -129,10 +173,23 @@ pub struct ShardedReport {
     pub handoff_bids: u64,
     /// Idle vehicles that changed shard ownership for load balancing.
     pub migrations: u64,
-    /// Wall-clock spent building the per-shard engines (network clones +
-    /// hub-label builds), seconds.  One-off cost, amortised over a long run;
-    /// benchmarks report it separately from the steady-state batch loop.
+    /// Wall-clock of the whole setup — the single shared hub-label build
+    /// plus the halo extraction and label slicing of every shard — in
+    /// seconds.  One-off cost, amortised over a long run; benchmarks report
+    /// it separately from the steady-state batch loop.
     pub setup_seconds: f64,
+    /// Wall-clock of the one shared hub-label build alone, seconds.  The
+    /// pre-sub-network design paid roughly `shards ×` this (one build per
+    /// shard), which is what the bench's `setup_reduction` column reports.
+    pub full_build_seconds: f64,
+    /// Actual label-index bytes resident for the run: the shared global
+    /// index plus every shard's halo slice (summed
+    /// [`HubLabels::approx_bytes`], not container capacities).
+    pub label_bytes: usize,
+    /// Index queries that left a shard's halo and were answered by the
+    /// shared global index.  Diagnostic only — like the shortest-path query
+    /// counter it is subject to cache-miss races under concurrency.
+    pub sp_fallback_queries: u64,
     /// Wall-clock of the batch loop and final drain, seconds.
     pub run_seconds: f64,
 }
@@ -163,12 +220,111 @@ struct RouteDecision {
     bids: u64,
 }
 
+/// Extra slack added on top of a pickup deadline before the reachability
+/// prescreen rules a vehicle out, in seconds.  The certified lower bound
+/// (`min_time_per_meter × euclidean`) and the exact feasibility walk hold in
+/// exact arithmetic; one second of grace dwarfs any accumulated float
+/// rounding, so the prescreen can never drop a vehicle the exact insertion
+/// would have accepted.
+const REACH_GRACE: f64 = 1.0;
+
 /// The read-only slice of one shard the router needs — `Sync`, unlike
 /// [`Shard`] itself (whose dispatcher is only `Send`), so routing can fan
-/// out over worker threads.
+/// out over worker threads.  Carries the per-batch vehicle-position grid the
+/// top-m shortlist queries.
 struct ShardView<'a> {
     engine: &'a SpEngine,
     vehicles: &'a [Vehicle],
+    /// Vehicle *indexes* (into `vehicles`) keyed by current position.
+    grid: GridIndex,
+    /// Earliest `free_at` across the fleet slice (∞ when empty): the most
+    /// optimistic release time any reachability radius may assume.
+    free_floor: f64,
+}
+
+impl<'a> ShardView<'a> {
+    fn new(shard: &'a Shard, network: &RoadNetwork, bbox: (f64, f64, f64, f64)) -> Self {
+        let (min_x, min_y, max_x, max_y) = bbox;
+        let mut grid = GridIndex::new(min_x, min_y, max_x, max_y, 16);
+        let mut free_floor = f64::INFINITY;
+        for (idx, vehicle) in shard.vehicles.iter().enumerate() {
+            let p = network.coord(vehicle.node);
+            grid.insert(idx as u64, p.x, p.y);
+            free_floor = free_floor.min(vehicle.free_at);
+        }
+        ShardView {
+            engine: &shard.engine,
+            vehicles: &shard.vehicles,
+            grid,
+            free_floor,
+        }
+    }
+
+    /// The top-m candidate shortlist for `request`: every vehicle that could
+    /// possibly meet the pickup deadline (exact prescreen — a vehicle whose
+    /// `free_at` plus the certified travel-time lower bound to the pickup
+    /// already misses the deadline can never produce a feasible insertion),
+    /// ranked by that lower bound (ties to the lower fleet index) and capped
+    /// at `top_m` entries (`0` = uncapped).  Deterministic: the grid is
+    /// filled in fleet order and the ranking is a total order.
+    fn shortlist(
+        &self,
+        network: &RoadNetwork,
+        request: &Request,
+        top_m: usize,
+        min_tpm: f64,
+    ) -> Vec<usize> {
+        let p = network.coord(request.source);
+        let mut candidates: Vec<(f64, usize)> = Vec::new();
+        let mut consider = |idx: usize| {
+            let vehicle = &self.vehicles[idx];
+            let lb = min_tpm * network.coord(vehicle.node).distance(&p);
+            if vehicle.free_at + lb <= request.pickup_deadline + REACH_GRACE {
+                candidates.push((lb, idx));
+            }
+        };
+        let slack = request.pickup_deadline + REACH_GRACE - self.free_floor;
+        if min_tpm > 0.0 && slack.is_finite() {
+            if slack < 0.0 {
+                // Even the earliest-free vehicle standing on the pickup
+                // would miss the deadline: nothing can bid.
+                return Vec::new();
+            }
+            self.grid
+                .for_each_in_range(p.x, p.y, slack / min_tpm, |item| consider(item as usize));
+        } else {
+            // No certified per-meter rate (or no vehicles): fall back to
+            // prescreening the whole fleet slice without a radius.
+            (0..self.vehicles.len()).for_each(&mut consider);
+        }
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        if top_m > 0 {
+            candidates.truncate(top_m);
+        }
+        candidates.into_iter().map(|(_, idx)| idx).collect()
+    }
+}
+
+/// The halo vertex sets of every region: vertex `v` belongs to region `r`'s
+/// halo when `v` lies in `r` or within `band` of `r`'s rectangle (the same
+/// [`RegionGrid::regions_within`] classification that makes a request a
+/// boundary request).  Each set is ascending; the union covers every vertex
+/// at least once, so the per-shard sub-networks tile the network with
+/// band-wide overlaps.
+pub fn halo_vertices(network: &RoadNetwork, regions: &RegionGrid, band: f64) -> Vec<Vec<NodeId>> {
+    let mut halos: Vec<Vec<NodeId>> = vec![Vec::new(); regions.len()];
+    let band = band.max(0.0);
+    for v in network.nodes() {
+        let p = network.coord(v);
+        for r in regions.regions_within(p.x, p.y, band) {
+            halos[r as usize].push(v);
+        }
+    }
+    halos
 }
 
 /// Applies `f` to every shard, fanning out even for small shard counts
@@ -185,15 +341,30 @@ fn for_each_shard<F: Fn(&mut Shard) + Sync>(shards: &mut [Shard], f: &F) {
     }
 }
 
+/// The no-auction decision: the request stays in its pickup region.
+fn home_decision(request: &Request, network: &RoadNetwork, regions: &RegionGrid) -> RouteDecision {
+    let p = network.coord(request.source);
+    let home = regions.region_of(p.x, p.y) as usize;
+    RouteDecision {
+        winner: home,
+        home,
+        bids: 0,
+    }
+}
+
 /// Routes one request: home region, plus a best-bid auction over every shard
-/// the boundary band reaches.  Pure reads — exact costs, stable tie-breaks —
-/// so the decision is independent of the worker count.
+/// the boundary band reaches.  Each candidate shard evaluates exact
+/// insertions only over its top-m shortlist (see [`ShardView::shortlist`])
+/// instead of its whole fleet.  Pure reads — exact costs, stable tie-breaks
+/// — so the decision is independent of the worker count.
 fn route_request(
     request: &Request,
     network: &RoadNetwork,
     regions: &RegionGrid,
     shards: &[ShardView<'_>],
     band: f64,
+    top_m: usize,
+    min_tpm: f64,
 ) -> RouteDecision {
     let p = network.coord(request.source);
     let home = regions.region_of(p.x, p.y) as usize;
@@ -219,7 +390,8 @@ fn route_request(
     for &c in &candidates {
         let c = c as usize;
         let shard = &shards[c];
-        for vehicle in shard.vehicles {
+        for idx in shard.shortlist(network, request, top_m, min_tpm) {
+            let vehicle = &shard.vehicles[idx];
             if let Some(out) = insertion::insert_request(shard.engine, vehicle, request) {
                 bids += 1;
                 if best.map(|(cost, _)| out.added_cost < cost).unwrap_or(true) {
@@ -297,6 +469,13 @@ pub fn region_strips_for(network: &RoadNetwork, shards: u32) -> RegionGrid {
     RegionGrid::strips_covering(network.bounding_box(), shards)
 }
 
+/// A `rows × cols` region layout covering `network`'s bounding box — the
+/// general form of [`region_strips_for`] for two-dimensional shard layouts
+/// (e.g. the 2×3 six-region bench row).
+pub fn region_grid_for(network: &RoadNetwork, rows: u32, cols: u32) -> RegionGrid {
+    RegionGrid::covering(network.bounding_box(), rows, cols)
+}
+
 /// The in-flight state of one sharded run: the shards plus every cross-batch
 /// counter, with the per-batch pipeline body factored into
 /// [`ShardedRun::step`] so the three drive modes — clock-driven
@@ -319,13 +498,26 @@ pub(crate) struct ShardedRun<'a> {
     handoff_bids: u64,
     migrations: u64,
     setup_seconds: f64,
+    full_build_seconds: f64,
+    /// Shared global index + per-shard halo slices, bytes.
+    label_bytes: usize,
+    /// The network's certified seconds-per-meter floor (0 = no bound).
+    min_tpm: f64,
+    /// Bounding box the per-batch shortlist grids cover.
+    grid_bbox: (f64, f64, f64, f64),
     run_t0: Instant,
 }
 
 impl<'a> ShardedRun<'a> {
-    /// Builds the shards (one engine + dispatcher per region) and homes each
-    /// vehicle to the shard of its starting node, preserving input order
-    /// within each shard.
+    /// Builds the shards and homes each vehicle to the shard of its starting
+    /// node, preserving input order within each shard.
+    ///
+    /// Setup builds the global hub-label index **once** (in parallel) and
+    /// shares it — together with a single `Arc`'d copy of the network —
+    /// across all shards; each shard then extracts its halo sub-network and
+    /// slices the shared labels down to it.  This replaces the pre-PR-5
+    /// per-shard whole-network clone + from-scratch label build, whose cost
+    /// scaled as `k×|V|`.
     pub(crate) fn new(
         sim: &ShardedSimulator,
         network: &'a RoadNetwork,
@@ -333,11 +525,30 @@ impl<'a> ShardedRun<'a> {
         vehicles: Vec<Vehicle>,
         make_dispatcher: &dyn Fn(usize) -> ShardDispatcher,
     ) -> Self {
-        let k = regions.len();
         let setup_t0 = Instant::now();
-        let mut shards: Vec<Shard> = (0..k)
-            .map(|i| Shard {
-                engine: SpEngineBuilder::new().build(network.clone()),
+        let shared_net = Arc::new(network.clone());
+        let full_t0 = Instant::now();
+        let full_labels = Arc::new(HubLabels::build(&shared_net));
+        let full_build_seconds = full_t0.elapsed().as_secs_f64();
+        let halos = halo_vertices(network, regions, sim.sharding().handoff_band);
+        // Clipped engines are independent per shard: extract + slice in
+        // parallel, collected in shard order (deterministic).
+        let engines: Vec<SpEngine> = halos
+            .par_iter()
+            .map(|halo| {
+                SpEngineBuilder::new().build_clipped(shared_net.clone(), full_labels.clone(), halo)
+            })
+            .collect();
+        let label_bytes = full_labels.approx_bytes()
+            + engines
+                .iter()
+                .map(|e| if e.is_clipped() { e.index_bytes() } else { 0 })
+                .sum::<usize>();
+        let mut shards: Vec<Shard> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine)| Shard {
+                engine,
                 dispatcher: make_dispatcher(i),
                 vehicles: Vec::new(),
                 inbox: Vec::new(),
@@ -356,6 +567,10 @@ impl<'a> ShardedRun<'a> {
             let home = regions.region_of(p.x, p.y) as usize;
             shards[home].vehicles.push(vehicle);
         }
+        let min_tpm = network.min_time_per_meter();
+        // Padded the same way the region constructors pad, so the shortlist
+        // grid is always valid and lines up with the region layout.
+        let grid_bbox = RegionGrid::padded_bbox(network.bounding_box());
         ShardedRun {
             config: *sim.config(),
             sharding: *sim.sharding(),
@@ -369,6 +584,10 @@ impl<'a> ShardedRun<'a> {
             handoff_bids: 0,
             migrations: 0,
             setup_seconds,
+            full_build_seconds,
+            label_bytes,
+            min_tpm,
+            grid_bbox,
             run_t0: Instant::now(),
         }
     }
@@ -408,22 +627,35 @@ impl<'a> ShardedRun<'a> {
 
         // Route the batch: home region or best-bid handoff.  Pure reads
         // over the pre-dispatch shard states; order-preserving collect.
-        let decisions: Vec<RouteDecision> = {
+        // The per-shard position grids behind the top-m shortlist are only
+        // worth building when an auction can actually happen — i.e. the
+        // batch holds at least one boundary request (interior requests
+        // route home with zero bids either way).
+        let band = self.sharding.handoff_band;
+        let has_boundary_request = band > 0.0
+            && batch.iter().any(|r| {
+                let p = self.network.coord(r.source);
+                self.regions.is_boundary(p.x, p.y, band)
+            });
+        let decisions: Vec<RouteDecision> = if has_boundary_request {
             let views: Vec<ShardView<'_>> = self
                 .shards
                 .iter()
-                .map(|s| ShardView {
-                    engine: &s.engine,
-                    vehicles: &s.vehicles,
-                })
+                .map(|s| ShardView::new(s, self.network, self.grid_bbox))
                 .collect();
             let views = &views;
-            let band = self.sharding.handoff_band;
+            let top_m = self.sharding.top_m;
+            let min_tpm = self.min_tpm;
             let network = self.network;
             let regions = self.regions;
             batch
                 .par_iter()
-                .map(|r| route_request(r, network, regions, views, band))
+                .map(|r| route_request(r, network, regions, views, band, top_m, min_tpm))
+                .collect()
+        } else {
+            batch
+                .iter()
+                .map(|r| home_decision(r, self.network, self.regions))
                 .collect()
         };
         for (request, decision) in batch.iter().zip(&decisions) {
@@ -511,7 +743,10 @@ impl<'a> ShardedRun<'a> {
                     ),
                     running_time: s.dispatch_time,
                     sp_queries: s.engine.stats().index_queries,
-                    memory_bytes: s.dispatcher.memory_bytes(),
+                    // Actual label bytes of the shard's own index (the halo
+                    // slice; the whole index for a single covering shard) —
+                    // not a container-capacity estimate.
+                    memory_bytes: s.engine.index_bytes(),
                     batches,
                     insertion_evaluations: s.insertion_evaluations,
                     groups_enumerated: s.groups_enumerated,
@@ -520,6 +755,11 @@ impl<'a> ShardedRun<'a> {
             .collect();
         let aggregate =
             RunMetrics::merge_all(&per_shard, &self.config.cost).expect("at least one shard");
+        let sp_fallback_queries = self
+            .shards
+            .iter()
+            .map(|s| s.engine.fallback_queries())
+            .sum();
         let vehicles = fleet_snapshot(&self.shards);
         let served = std::mem::take(&mut self.served);
         ShardedReport {
@@ -531,6 +771,9 @@ impl<'a> ShardedRun<'a> {
             handoff_bids: self.handoff_bids,
             migrations: self.migrations,
             setup_seconds: self.setup_seconds,
+            full_build_seconds: self.full_build_seconds,
+            label_bytes: self.label_bytes,
+            sp_fallback_queries,
             run_seconds: self.run_t0.elapsed().as_secs_f64(),
         }
     }
@@ -569,9 +812,10 @@ impl ShardedSimulator {
     ///
     /// `make_dispatcher(shard_id)` constructs each shard's dispatcher —
     /// typically `|_| Box::new(SardDispatcher::new(config))`.  Every shard
-    /// gets its own [`SpEngine`] over a clone of `network` (independent
-    /// shortest-path caches), so `network` is the *whole* road network:
-    /// shards partition the fleet and the demand, not the map.
+    /// gets its own halo-clipped [`SpEngine`] (independent shortest-path
+    /// cache, compact label slice) over the `Arc`-shared global network and
+    /// index, so `network` is the *whole* road network: shards partition the
+    /// fleet and the demand, not the map.
     pub fn run<F>(
         &self,
         network: &RoadNetwork,

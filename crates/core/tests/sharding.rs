@@ -1,17 +1,23 @@
 //! Integration tests for the multi-region sharded dispatch pipeline:
 //! single-shard reduction to the monolithic simulator, worker-count
-//! determinism of sharded runs, shard-merge accounting, and the partitioner
-//! boundary cases (empty shard, all vehicles in one shard).
+//! determinism of sharded runs, shard-merge accounting, the partitioner
+//! boundary cases (empty shard, all vehicles in one shard), the
+//! halo-clipped sub-network engine equivalence and the top-m handoff
+//! shortlist.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use structride_core::replay::{diff_traces, TraceMeta, TraceRecorder};
 use structride_core::shard::{
-    region_strips_for, ShardDispatcher, ShardedSimulator, ShardingConfig,
+    halo_vertices, region_grid_for, region_strips_for, ShardDispatcher, ShardedSimulator,
+    ShardingConfig,
 };
 use structride_core::{RunMetrics, SardDispatcher, Simulator, StructRideConfig};
 use structride_datagen::{
     CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
 };
+use structride_model::insertion;
+use structride_roadnet::{HubLabels, SpEngineBuilder};
 
 fn sard_factory(config: StructRideConfig) -> impl Fn(usize) -> ShardDispatcher {
     move |_| Box::new(SardDispatcher::new(config))
@@ -46,7 +52,8 @@ fn multi_workload(regions: usize) -> MultiRegionWorkload {
 /// 1-shard sharded run and the monolithic simulator.  Excluded diagnostics:
 /// `running_time` is wall-clock, `sp_queries` is the one documented
 /// worker-count-dependent counter (cache-miss races), and `memory_bytes`
-/// approximates container *capacities*, which shift with parallel chunking.
+/// deliberately measures different things (dispatcher working set in the
+/// monolithic run, per-shard label-index bytes in the sharded one).
 fn deterministic_fields(
     m: &RunMetrics,
 ) -> (String, String, usize, usize, u64, u64, u64, usize, u64, u64) {
@@ -286,6 +293,7 @@ fn handoff_lets_a_vehicleless_shard_borrow_neighbours() {
             handoff_band: 600.0,
             rebalance: false,
             max_migrations_per_batch: 0,
+            ..ShardingConfig::default()
         },
     )
     .run(
@@ -309,6 +317,201 @@ fn handoff_lets_a_vehicleless_shard_borrow_neighbours() {
     );
 }
 
+/// The halo-correctness property behind the sub-network engines: for every
+/// shard of a real multi-region workload, the halo-clipped engine answers
+/// **every** origin–destination pair — both endpoints in the halo (served by
+/// the per-shard label slice) or not (served by the shared-index fallback) —
+/// bit-identically to a whole-network engine.
+#[test]
+fn halo_clipped_engines_answer_bit_identically_to_the_full_engine() {
+    let w = multi_workload(3);
+    let network = w.network();
+    let shared = Arc::new(network.clone());
+    let labels = Arc::new(HubLabels::build(&shared));
+    let full = SpEngineBuilder::new().build_with_index(shared.clone(), labels.clone());
+    let band = ShardingConfig::default().handoff_band;
+    let halos = halo_vertices(network, &w.regions, band);
+    assert_eq!(halos.len(), 3);
+
+    let n = network.node_count() as u32;
+    for (shard, halo) in halos.iter().enumerate() {
+        assert!(!halo.is_empty(), "strip regions always hold vertices");
+        let clipped = SpEngineBuilder::new().build_clipped(shared.clone(), labels.clone(), halo);
+        assert!(clipped.is_clipped(), "3-strip halos never cover everything");
+        let clip = clipped.clip().expect("clipped engine exposes its halo");
+        assert_eq!(clip.len(), halo.len());
+        // Every vertex of the shard's own region is inside its halo.
+        for v in network.nodes() {
+            let p = network.coord(v);
+            if w.regions.region_of(p.x, p.y) as usize == shard {
+                assert!(clip.contains(v), "region vertex {v} missing from halo");
+            }
+        }
+        // All pairs over a deterministic sample of sources (halo + outside),
+        // all destinations: bit-identical to the full engine.
+        let sources: Vec<u32> = (0..n).step_by(7).collect();
+        for &s in &sources {
+            for t in (0..n).step_by(5) {
+                let c = clipped.cost_uncached(s, t);
+                let f = full.cost_uncached(s, t);
+                assert_eq!(
+                    c.to_bits(),
+                    f.to_bits(),
+                    "shard {shard}: ({s},{t}) clipped={c} full={f}"
+                );
+            }
+        }
+        assert!(
+            clipped.index_bytes() < full.index_bytes(),
+            "a 3-strip halo slice must be smaller than the full index"
+        );
+    }
+}
+
+/// The exactness of the handoff-shortlist prescreen: whenever an exact
+/// insertion is feasible, the vehicle's certified reachability lower bound
+/// (`free_at + min_time_per_meter × euclidean(vehicle, pickup)`) meets the
+/// pickup deadline within the one-second grace — so prescreening on that
+/// bound can never drop a feasible bidder, and `handoff_bids` is invariant
+/// under the shortlist refactor.
+#[test]
+fn reachability_prescreen_never_drops_a_feasible_bidder() {
+    let w = multi_workload(2);
+    let network = w.network();
+    let min_tpm = network.min_time_per_meter();
+    assert!(
+        min_tpm > 0.0,
+        "city networks have a positive per-meter rate"
+    );
+    let vehicles = w.fresh_vehicles();
+    let mut feasible = 0u32;
+    let mut prescreen_would_keep = 0u32;
+    for request in &w.requests {
+        let rp = network.coord(request.source);
+        for vehicle in &vehicles {
+            let lb = min_tpm * network.coord(vehicle.node).distance(&rp);
+            let passes = vehicle.free_at + lb <= request.pickup_deadline + 1.0;
+            if insertion::insert_request(&w.engine, vehicle, request).is_some() {
+                feasible += 1;
+                assert!(
+                    passes,
+                    "request {} / vehicle {}: feasible insertion but prescreen fails \
+                     (free_at={}, lb={}, deadline={})",
+                    request.id, vehicle.id, vehicle.free_at, lb, request.pickup_deadline
+                );
+            }
+            if passes {
+                prescreen_would_keep += 1;
+            }
+        }
+    }
+    assert!(
+        feasible > 0,
+        "the workload must exercise feasible insertions"
+    );
+    assert!(
+        prescreen_would_keep < w.requests.len() as u32 * vehicles.len() as u32,
+        "the prescreen must actually prune something on a multi-region map"
+    );
+}
+
+/// The top-m cap: uncapped (`top_m: 0`) bidding equals the default (the cap
+/// is out of reach for these fleets), a tiny cap still yields a
+/// deterministic worker-count-independent run, and capping can only reduce
+/// the number of evaluated bids.
+#[test]
+fn top_m_shortlist_caps_bids_deterministically() {
+    let w = multi_workload(2);
+    let config = StructRideConfig::default();
+    // The whole fleet starts west so east-border requests must be auctioned
+    // across the boundary (the same setup as the handoff tests).
+    let west_fleet: Vec<_> = w
+        .fresh_vehicles()
+        .into_iter()
+        .filter(|v| {
+            let p = w.network().coord(v.node);
+            w.regions.region_of(p.x, p.y) == 0
+        })
+        .collect();
+    let run = |top_m: usize, threads: usize| {
+        let sharding = ShardingConfig {
+            handoff_band: 600.0,
+            rebalance: false,
+            max_migrations_per_batch: 0,
+            top_m,
+        };
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let mut recorder = TraceRecorder::new();
+            let report = ShardedSimulator::with_sharding(config, sharding).run_recorded(
+                w.network(),
+                &w.regions,
+                &w.requests,
+                west_fleet.clone(),
+                sard_factory(config),
+                &w.name,
+                &mut recorder,
+            );
+            (
+                report,
+                recorder.into_trace(TraceMeta::new("SARD", &w.name, config)),
+            )
+        })
+    };
+
+    let (default_cap, trace_default) = run(ShardingConfig::default().top_m, 4);
+    let (uncapped, trace_uncapped) = run(0, 4);
+    assert!(default_cap.handoff_bids > 0);
+    assert!(
+        diff_traces(&trace_default, &trace_uncapped).is_clean(),
+        "the default cap must be out of reach for this fleet"
+    );
+    assert_eq!(default_cap.handoff_bids, uncapped.handoff_bids);
+    assert_eq!(default_cap.handoffs, uncapped.handoffs);
+
+    let (tiny1, trace_tiny1) = run(1, 1);
+    let (tiny8, trace_tiny8) = run(1, 8);
+    assert!(
+        diff_traces(&trace_tiny1, &trace_tiny8).is_clean(),
+        "a binding cap must stay worker-count deterministic"
+    );
+    assert_eq!(tiny1.handoff_bids, tiny8.handoff_bids);
+    assert!(
+        tiny1.handoff_bids <= uncapped.handoff_bids,
+        "capping can only reduce evaluated bids"
+    );
+}
+
+/// Six regions in a 2×3 grid (the higher-shard-count CI bench row): the run
+/// completes, every shard is accounted for, and the aggregate still merges.
+#[test]
+fn two_by_three_grid_sharding_runs_and_merges() {
+    let w = multi_workload(3);
+    let config = StructRideConfig::default();
+    let regions = region_grid_for(w.network(), 2, 3);
+    assert_eq!(regions.len(), 6);
+    let report = ShardedSimulator::new(config).run(
+        w.network(),
+        &regions,
+        &w.requests,
+        w.fresh_vehicles(),
+        sard_factory(config),
+        &w.name,
+    );
+    assert_eq!(report.per_shard.len(), 6);
+    let routed: usize = report.per_shard.iter().map(|m| m.total_requests).sum();
+    assert_eq!(routed, w.requests.len());
+    assert!(report.aggregate.served_requests > 0);
+    let merged = RunMetrics::merge_all(&report.per_shard, &config.cost).expect("parts");
+    assert_eq!(merged, report.aggregate);
+    assert!(report.label_bytes > 0);
+    assert!(report.full_build_seconds > 0.0);
+    assert!(report.setup_seconds >= report.full_build_seconds);
+}
+
 #[test]
 fn sharded_recording_flags_a_different_pipeline() {
     // The end-to-end self-test behind `replay verify --shards`: a re-run
@@ -330,6 +533,7 @@ fn sharded_recording_flags_a_different_pipeline() {
         handoff_band: 600.0,
         rebalance: false,
         max_migrations_per_batch: 0,
+        ..ShardingConfig::default()
     };
     let record = |sharding: ShardingConfig| {
         let mut recorder = TraceRecorder::new();

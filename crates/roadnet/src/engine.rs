@@ -27,7 +27,9 @@ use crate::dijkstra;
 use crate::graph::{NodeId, Point, RoadNetwork};
 use crate::hub_labels::HubLabels;
 use crate::sharded::{ShardedLruCache, DEFAULT_SHARDS};
+use crate::subnet::SubNetwork;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counters describing the query workload seen by an [`SpEngine`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -87,32 +89,119 @@ impl SpEngineBuilder {
 
     /// Builds the engine for the given road network.
     pub fn build(self, net: RoadNetwork) -> SpEngine {
-        let labels = if self.use_hub_labels {
-            Some(HubLabels::build(&net))
+        self.build_shared(Arc::new(net))
+    }
+
+    /// Builds the engine over an [`Arc`]-shared road network (no clone) —
+    /// the per-shard engines of the sharded pipeline all point at one global
+    /// network this way.
+    pub fn build_shared(self, net: Arc<RoadNetwork>) -> SpEngine {
+        let index = if self.use_hub_labels {
+            SpIndex::Full(Arc::new(HubLabels::build(&net)))
         } else {
-            None
+            SpIndex::Dijkstra
         };
+        self.assemble(net, index)
+    }
+
+    /// Builds the engine around a prebuilt (shared) hub-label index instead
+    /// of constructing labels from scratch.  `labels` must have been built
+    /// over `net`.
+    pub fn build_with_index(self, net: Arc<RoadNetwork>, labels: Arc<HubLabels>) -> SpEngine {
+        let index = if self.use_hub_labels {
+            SpIndex::Full(labels)
+        } else {
+            SpIndex::Dijkstra
+        };
+        self.assemble(net, index)
+    }
+
+    /// Builds a **halo-clipped** engine: the sub-network induced by `halo`
+    /// is extracted from `net` and the shared `labels` are restricted to it
+    /// ([`HubLabels::restrict_to`]), giving the engine a compact local index
+    /// over just the clip.  Queries translate global vertex ids at the
+    /// boundary, so callers are unchanged; queries with an endpoint outside
+    /// the halo fall back to the shared full index (counted by
+    /// [`SpEngine::fallback_queries`]).  Every answer — local or fallback —
+    /// is bit-identical to what a whole-network engine returns, because the
+    /// restricted label vectors are verbatim copies of the full ones.
+    ///
+    /// An empty `halo` yields an engine that answers everything through the
+    /// fallback; a `halo` covering the whole network yields a plain full
+    /// engine sharing `labels` (no duplication).
+    ///
+    /// # Panics
+    /// Panics if `halo` names a vertex outside `net`.
+    pub fn build_clipped(
+        self,
+        net: Arc<RoadNetwork>,
+        labels: Arc<HubLabels>,
+        halo: &[NodeId],
+    ) -> SpEngine {
+        if !self.use_hub_labels {
+            return self.assemble(net, SpIndex::Dijkstra);
+        }
+        if halo.is_empty() {
+            return self.assemble(net, SpIndex::FallbackOnly { full: labels });
+        }
+        let sub = SubNetwork::extract(&net, halo).expect("halo vertices must be in range");
+        if sub.covers_parent() {
+            return self.assemble(net, SpIndex::Full(labels));
+        }
+        let slice = labels.restrict_to(sub.to_global());
+        self.assemble(
+            net,
+            SpIndex::Clipped {
+                sub: Box::new(sub),
+                slice,
+                full: labels,
+            },
+        )
+    }
+
+    fn assemble(self, net: Arc<RoadNetwork>, index: SpIndex) -> SpEngine {
         SpEngine {
             net,
-            labels,
+            index,
             cache: ShardedLruCache::new(self.cache_capacity, self.cache_shards),
             total_queries: AtomicU64::new(0),
             index_queries: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            fallback_queries: AtomicU64::new(0),
         }
     }
+}
+
+/// How an [`SpEngine`] resolves index queries (cache misses).
+#[derive(Debug)]
+enum SpIndex {
+    /// No labels: exact point-to-point Dijkstra on the full network.
+    Dijkstra,
+    /// A hub-label index over the whole network (possibly shared).
+    Full(Arc<HubLabels>),
+    /// A halo-clipped engine: a compact label slice over the clip answers
+    /// in-halo pairs; everything else goes to the shared full index.
+    Clipped {
+        sub: Box<SubNetwork>,
+        slice: HubLabels,
+        full: Arc<HubLabels>,
+    },
+    /// A clipped engine whose halo is empty (e.g. a shard whose region holds
+    /// no road-network vertex): every query uses the shared full index.
+    FallbackOnly { full: Arc<HubLabels> },
 }
 
 /// Shared shortest-path oracle: hub labels + sharded LRU cache + query
 /// counters.
 #[derive(Debug)]
 pub struct SpEngine {
-    net: RoadNetwork,
-    labels: Option<HubLabels>,
+    net: Arc<RoadNetwork>,
+    index: SpIndex,
     cache: ShardedLruCache<(NodeId, NodeId), f64>,
     total_queries: AtomicU64,
     index_queries: AtomicU64,
     cache_hits: AtomicU64,
+    fallback_queries: AtomicU64,
 }
 
 impl SpEngine {
@@ -162,9 +251,58 @@ impl SpEngine {
     /// Travel time bypassing the cache (still counted as an index query).
     pub fn cost_uncached(&self, source: NodeId, target: NodeId) -> f64 {
         self.index_queries.fetch_add(1, Ordering::Relaxed);
-        match &self.labels {
-            Some(labels) => labels.query(source, target),
-            None => dijkstra::p2p(&self.net, source, target),
+        match &self.index {
+            SpIndex::Dijkstra => dijkstra::p2p(&self.net, source, target),
+            SpIndex::Full(labels) => labels.query(source, target),
+            SpIndex::Clipped { sub, slice, full } => match (sub.local(source), sub.local(target)) {
+                (Some(ls), Some(lt)) => slice.query(ls, lt),
+                _ => {
+                    self.fallback_queries.fetch_add(1, Ordering::Relaxed);
+                    full.query(source, target)
+                }
+            },
+            SpIndex::FallbackOnly { full } => {
+                self.fallback_queries.fetch_add(1, Ordering::Relaxed);
+                full.query(source, target)
+            }
+        }
+    }
+
+    /// The halo clip this engine answers locally, if it is a clipped engine.
+    pub fn clip(&self) -> Option<&SubNetwork> {
+        match &self.index {
+            SpIndex::Clipped { sub, .. } => Some(sub.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// True for engines built by [`SpEngineBuilder::build_clipped`] with a
+    /// proper (non-covering) halo, including the empty-halo degenerate case.
+    pub fn is_clipped(&self) -> bool {
+        matches!(
+            self.index,
+            SpIndex::Clipped { .. } | SpIndex::FallbackOnly { .. }
+        )
+    }
+
+    /// Index queries that left the halo and were answered by the shared full
+    /// index (always 0 for non-clipped engines).  Like
+    /// [`SpStats::index_queries`], this counter is subject to cache-miss
+    /// races under concurrency and is excluded from replay comparisons.
+    pub fn fallback_queries(&self) -> u64 {
+        self.fallback_queries.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of the hub-label index this engine queries locally: the halo
+    /// slice for clipped engines, the full label index otherwise (0 without
+    /// labels or with an empty halo).  Shared full indexes reached only via
+    /// fallback are *not* counted — sum them once per pipeline, not per
+    /// shard.
+    pub fn index_bytes(&self) -> usize {
+        match &self.index {
+            SpIndex::Dijkstra | SpIndex::FallbackOnly { .. } => 0,
+            SpIndex::Full(labels) => labels.approx_bytes(),
+            SpIndex::Clipped { slice, .. } => slice.approx_bytes(),
         }
     }
 
@@ -212,15 +350,12 @@ impl SpEngine {
         self.cache_hits.store(0, Ordering::Relaxed);
     }
 
-    /// Approximate heap footprint (graph + labels + cache) in bytes.
+    /// Approximate heap footprint (graph + locally queried labels + clip
+    /// maps + cache) in bytes.  The network and any shared full index may be
+    /// `Arc`-shared with other engines; they are counted here as if owned.
     pub fn approx_bytes(&self) -> usize {
-        self.net.approx_bytes()
-            + self
-                .labels
-                .as_ref()
-                .map(HubLabels::approx_bytes)
-                .unwrap_or(0)
-            + self.cache.approx_bytes()
+        let clip_bytes = self.clip().map(SubNetwork::approx_bytes).unwrap_or(0);
+        self.net.approx_bytes() + self.index_bytes() + clip_bytes + self.cache.approx_bytes()
     }
 }
 
@@ -332,6 +467,51 @@ mod tests {
         assert!(eng.cache_shards() >= 8, "got {} shards", eng.cache_shards());
         let two = SpEngineBuilder::new().cache_shards(2).build(line_graph(4));
         assert_eq!(two.cache_shards(), 2);
+    }
+
+    #[test]
+    fn clipped_engine_is_bit_identical_to_the_full_engine_everywhere() {
+        let net = Arc::new(line_graph(24));
+        let full = SpEngineBuilder::new().build_shared(net.clone());
+        let labels = match &full.index {
+            SpIndex::Full(l) => l.clone(),
+            _ => unreachable!("default build uses labels"),
+        };
+        // Halo = nodes 4..=11; queries inside hit the slice, any endpoint
+        // outside falls back to the shared full index.
+        let halo: Vec<u32> = (4..12).collect();
+        let clipped = SpEngineBuilder::new().build_clipped(net.clone(), labels.clone(), &halo);
+        assert!(clipped.is_clipped());
+        assert_eq!(clipped.clip().unwrap().len(), 8);
+        for s in 0..24u32 {
+            for t in 0..24u32 {
+                assert_eq!(
+                    clipped.cost_uncached(s, t).to_bits(),
+                    full.cost_uncached(s, t).to_bits(),
+                    "({s},{t}) must be bit-identical, in or out of the halo"
+                );
+            }
+        }
+        assert!(clipped.fallback_queries() > 0);
+        assert_eq!(full.fallback_queries(), 0);
+        assert!(clipped.index_bytes() < full.index_bytes());
+        // Cached path agrees too.
+        assert_eq!(clipped.cost(2, 20).to_bits(), full.cost(2, 20).to_bits());
+
+        // A halo covering everything degenerates to a full engine sharing
+        // the index; an empty halo to a fallback-only engine.
+        let all: Vec<u32> = (0..24).collect();
+        let covering = SpEngineBuilder::new().build_clipped(net.clone(), labels.clone(), &all);
+        assert!(!covering.is_clipped());
+        assert_eq!(covering.index_bytes(), full.index_bytes());
+        let empty = SpEngineBuilder::new().build_clipped(net.clone(), labels, &[]);
+        assert!(empty.is_clipped());
+        assert_eq!(empty.index_bytes(), 0);
+        assert_eq!(
+            empty.cost_uncached(0, 23).to_bits(),
+            full.cost_uncached(0, 23).to_bits()
+        );
+        assert_eq!(empty.fallback_queries(), 1);
     }
 
     /// The sharded cache must agree with `cost_uncached` under concurrent

@@ -147,6 +147,36 @@ impl RoadNetwork {
         (min_x, min_y, max_x, max_y)
     }
 
+    /// The minimum travel time per meter of geometric edge length over all
+    /// edges (seconds per meter), ignoring edges of (near-)zero length.
+    ///
+    /// This is the certified lower-bound rate behind geometric reachability
+    /// pruning: for any pair of nodes, `travel_time(u, v) >=
+    /// min_time_per_meter() * euclidean(u, v)` holds in exact arithmetic,
+    /// because every path is at least as long as the straight line and every
+    /// edge costs at least this rate per meter of its own length.  Returns
+    /// `0.0` (a trivially sound bound) when no edge has positive length.
+    pub fn min_time_per_meter(&self) -> f64 {
+        let mut best = f64::INFINITY;
+        for node in self.nodes() {
+            let from = self.coord(node);
+            for (to, w) in self.out_edges(node) {
+                let len = from.distance(&self.coord(to));
+                if len > 1e-9 {
+                    let rate = w / len;
+                    if rate < best {
+                        best = rate;
+                    }
+                }
+            }
+        }
+        if best.is_finite() {
+            best
+        } else {
+            0.0
+        }
+    }
+
     /// Approximate heap footprint of the graph in bytes (used by the memory
     /// accounting of Fig. 14).
     pub fn approx_bytes(&self) -> usize {
@@ -369,5 +399,40 @@ mod tests {
     fn approx_bytes_is_positive_and_scales() {
         let g = triangle();
         assert!(g.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn min_time_per_meter_lower_bounds_every_shortest_path() {
+        let g = triangle();
+        // Edges: 0->1 len 1 w 1, 1->2 len sqrt(2) w 2, 2->0 len 1 w 3.
+        let rate = g.min_time_per_meter();
+        assert!((rate - 1.0).abs() < 1e-12);
+        let d = crate::dijkstra::sssp(&g, 0);
+        for t in g.nodes() {
+            let lb = rate * g.coord(0).distance(&g.coord(t));
+            assert!(
+                d[t as usize] + 1e-9 >= lb,
+                "lb {lb} exceeds true distance {}",
+                d[t as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn min_time_per_meter_ignores_zero_length_edges() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(0.0, 0.0)); // coincident
+        let d = b.add_node(Point::new(10.0, 0.0));
+        b.add_edge(a, c, 5.0).unwrap(); // zero length: no per-meter rate
+        b.add_edge(c, d, 20.0).unwrap();
+        let g = b.build().unwrap();
+        assert!((g.min_time_per_meter() - 2.0).abs() < 1e-12);
+        // A graph with only zero-length edges degrades to the trivial bound.
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(1.0, 1.0));
+        let c = b.add_node(Point::new(1.0, 1.0));
+        b.add_edge(a, c, 7.0).unwrap();
+        assert_eq!(b.build().unwrap().min_time_per_meter(), 0.0);
     }
 }

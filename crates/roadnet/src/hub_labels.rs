@@ -8,6 +8,29 @@
 //! settles, and a pruned backward Dijkstra adds `(v, d)` to the **out-labels**.
 //! A query `dist(s, t)` is then the minimum of `out(s)[h] + in(t)[h]` over the
 //! hubs `h` common to both label sets.  The labeling is exact.
+//!
+//! # Parallel construction
+//!
+//! [`HubLabels::build`] runs the forward and backward searches of each root
+//! in parallel ([`rayon::join`]) and merges their results in a fixed order
+//! (forward entries, then backward entries).  This is **bit-identical** to
+//! the sequential reference ([`HubLabels::build_sequential`]) for every
+//! worker count, because the two searches of one root are independent:
+//!
+//! * the forward search reads `out(root)` and the `in` labels of the nodes it
+//!   settles, and writes only `in` labels;
+//! * the backward search reads `in(root)` and the `out` labels of the nodes
+//!   it settles, and writes only `out` labels;
+//! * the only overlap — the root's own `(root, 0)` self-entries — cannot
+//!   influence either search's pruning, since a self-entry only certifies a
+//!   distance once the *matching* side carries the same hub, which each
+//!   search writes strictly after its own prune check.
+//!
+//! Neither search ever re-reads a label vector it has already extended (each
+//! node is settled at most once, and the prune check precedes the label
+//! push), so running both against the immutable snapshot of the labels from
+//! all previous roots produces exactly the sequential result.  The
+//! equivalence is pinned by the `parallel_build_matches_sequential` test.
 
 use crate::graph::{NodeId, RoadNetwork};
 use serde::{Deserialize, Serialize};
@@ -22,7 +45,7 @@ struct LabelEntry {
 }
 
 /// A 2-hop hub labeling of a directed weighted graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HubLabels {
     /// `out_labels[v]` — hubs reachable *from* v, sorted by hub rank.
     out_labels: Vec<Vec<LabelEntry>>,
@@ -51,13 +74,28 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable per-search scratch: a distance array reset via the touched list.
+struct SearchScratch {
+    dist: Vec<f64>,
+    touched: Vec<NodeId>,
+    /// `(node, settled distance)` pairs in settle order — the label entries
+    /// the search produced, merged into the labeling after the join.
+    settled: Vec<(NodeId, f64)>,
+}
+
+impl SearchScratch {
+    fn new(n: usize) -> Self {
+        SearchScratch {
+            dist: vec![f64::INFINITY; n],
+            touched: Vec::new(),
+            settled: Vec::new(),
+        }
+    }
+}
+
 impl HubLabels {
-    /// Builds the labeling for `net`.
-    ///
-    /// Construction cost is roughly `O(n · (m + n log n))` in the worst case
-    /// but heavily pruned in practice; for the road networks used in this
-    /// repository (thousands of nodes) it takes well under a second.
-    pub fn build(net: &RoadNetwork) -> HubLabels {
+    /// The degree-descending processing order and its inverse rank array.
+    fn ordering(net: &RoadNetwork) -> (Vec<NodeId>, Vec<u32>) {
         let n = net.node_count();
         // Order vertices by total degree descending — a standard, effective
         // ordering heuristic for road networks.
@@ -68,6 +106,68 @@ impl HubLabels {
         for (i, &v) in order.iter().enumerate() {
             rank[v as usize] = i as u32;
         }
+        (order, rank)
+    }
+
+    /// Builds the labeling for `net`.
+    ///
+    /// Construction cost is roughly `O(n · (m + n log n))` in the worst case
+    /// but heavily pruned in practice; for the road networks used in this
+    /// repository (thousands of nodes) it takes well under a second.
+    ///
+    /// The forward and backward pruned searches of each root run in parallel
+    /// (see the module docs for why that is exactly equivalent to the
+    /// sequential reference); the result is bit-identical to
+    /// [`HubLabels::build_sequential`] under every rayon worker count.
+    pub fn build(net: &RoadNetwork) -> HubLabels {
+        let n = net.node_count();
+        let (order, rank) = Self::ordering(net);
+
+        let mut labels = HubLabels {
+            out_labels: vec![Vec::new(); n],
+            in_labels: vec![Vec::new(); n],
+        };
+
+        // One scratch per search direction, reused across roots.
+        let mut fwd = SearchScratch::new(n);
+        let mut bwd = SearchScratch::new(n);
+
+        for &landmark in &order {
+            let lrank = rank[landmark as usize];
+            {
+                // Both searches read the labels of all *previous* roots; the
+                // snapshot borrow ends before the merge below mutates them.
+                let snapshot = &labels;
+                let (fwd, bwd) = (&mut fwd, &mut bwd);
+                rayon::join(
+                    || Self::collect_search(net, landmark, true, snapshot, fwd),
+                    || Self::collect_search(net, landmark, false, snapshot, bwd),
+                );
+            }
+            // Deterministic merge order: forward entries (in-labels) first,
+            // then backward entries (out-labels) — the sequential order.
+            for &(node, d) in &fwd.settled {
+                labels.in_labels[node as usize].push(LabelEntry {
+                    hub: lrank,
+                    dist: d,
+                });
+            }
+            for &(node, d) in &bwd.settled {
+                labels.out_labels[node as usize].push(LabelEntry {
+                    hub: lrank,
+                    dist: d,
+                });
+            }
+        }
+        labels
+    }
+
+    /// The sequential reference construction: identical output to
+    /// [`HubLabels::build`], kept (and tested) as the baseline the parallel
+    /// build must reproduce bit for bit.
+    pub fn build_sequential(net: &RoadNetwork) -> HubLabels {
+        let n = net.node_count();
+        let (order, rank) = Self::ordering(net);
 
         let mut labels = HubLabels {
             out_labels: vec![Vec::new(); n],
@@ -101,6 +201,70 @@ impl HubLabels {
             );
         }
         labels
+    }
+
+    /// The read-only form of [`HubLabels::pruned_search`]: identical search,
+    /// but the produced label entries are recorded into `scratch.settled`
+    /// instead of being pushed into `labels` — the caller merges them after
+    /// both directions of the root complete.  A pruned search never reads a
+    /// label vector it extends (the prune check precedes the push and every
+    /// node settles at most once), so recording instead of pushing cannot
+    /// change the search.
+    fn collect_search(
+        net: &RoadNetwork,
+        landmark: NodeId,
+        forward: bool,
+        labels: &HubLabels,
+        scratch: &mut SearchScratch,
+    ) {
+        scratch.settled.clear();
+        let dist = &mut scratch.dist;
+        let touched = &mut scratch.touched;
+        let mut heap = BinaryHeap::new();
+        dist[landmark as usize] = 0.0;
+        touched.push(landmark);
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: landmark,
+        });
+
+        while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+            if d > dist[node as usize] {
+                continue;
+            }
+            let certified = if forward {
+                labels.query_with(
+                    &labels.out_labels[landmark as usize],
+                    &labels.in_labels[node as usize],
+                )
+            } else {
+                labels.query_with(
+                    &labels.out_labels[node as usize],
+                    &labels.in_labels[landmark as usize],
+                )
+            };
+            if certified <= d {
+                continue;
+            }
+            scratch.settled.push((node, d));
+            let edges: Box<dyn Iterator<Item = (NodeId, f64)>> = if forward {
+                Box::new(net.out_edges(node))
+            } else {
+                Box::new(net.in_edges(node))
+            };
+            for (to, w) in edges {
+                let nd = d + w;
+                if nd < dist[to as usize] {
+                    dist[to as usize] = nd;
+                    touched.push(to);
+                    heap.push(HeapEntry { dist: nd, node: to });
+                }
+            }
+        }
+        for &v in touched.iter() {
+            dist[v as usize] = f64::INFINITY;
+        }
+        touched.clear();
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -221,6 +385,31 @@ impl HubLabels {
         total as f64 / n as f64
     }
 
+    /// Restricts the labeling to the vertex subset `nodes`, producing a
+    /// compact index over local ids `0..nodes.len()` where local id `i`
+    /// stands for global vertex `nodes[i]`.
+    ///
+    /// The per-vertex label vectors are copied **verbatim** (hub ids keep
+    /// their global ranks), so a query through the restriction returns the
+    /// *bit-identical* float the full index returns for the corresponding
+    /// global pair — the property the halo-clipped per-shard engines rely on
+    /// to keep sharded runs replay-exact.
+    ///
+    /// # Panics
+    /// Panics if any id in `nodes` is out of range.
+    pub fn restrict_to(&self, nodes: &[NodeId]) -> HubLabels {
+        HubLabels {
+            out_labels: nodes
+                .iter()
+                .map(|&g| self.out_labels[g as usize].clone())
+                .collect(),
+            in_labels: nodes
+                .iter()
+                .map(|&g| self.in_labels[g as usize].clone())
+                .collect(),
+        }
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn approx_bytes(&self) -> usize {
         let entries: usize = self
@@ -299,6 +488,60 @@ mod tests {
         let labels = HubLabels::build(&g);
         assert!(labels.average_label_size() > 0.0);
         assert!(labels.approx_bytes() > 0);
+    }
+
+    /// The parallel fwd/bwd-joined build must reproduce the sequential
+    /// reference bit for bit, whatever the worker count — the property the
+    /// replay invariant (and every committed trace) rests on.
+    #[test]
+    fn parallel_build_matches_sequential_across_worker_counts() {
+        for seed in 0..6u64 {
+            let g = random_graph(70, 150, seed);
+            let reference = HubLabels::build_sequential(&g);
+            for threads in [1usize, 4, 8] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool");
+                let parallel = pool.install(|| HubLabels::build(&g));
+                assert_eq!(
+                    parallel, reference,
+                    "seed {seed}: parallel build ({threads} workers) drifted from sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_answers_bit_identically_to_the_full_index() {
+        let g = random_graph(50, 100, 7);
+        let labels = HubLabels::build(&g);
+        // An arbitrary, non-contiguous vertex subset.
+        let subset: Vec<NodeId> = (0..50u32).filter(|v| v % 3 != 1).collect();
+        let slice = labels.restrict_to(&subset);
+        for (ls, &gs) in subset.iter().enumerate().map(|(i, g)| (i as NodeId, g)) {
+            for (lt, &gt) in subset.iter().enumerate().map(|(i, g)| (i as NodeId, g)) {
+                let full = labels.query(gs, gt);
+                let restricted = slice.query(ls, lt);
+                if full.is_infinite() {
+                    assert!(restricted.is_infinite(), "{gs}->{gt}");
+                } else {
+                    assert_eq!(
+                        restricted.to_bits(),
+                        full.to_bits(),
+                        "{gs}->{gt}: restriction must be bit-identical"
+                    );
+                }
+            }
+        }
+        assert!(slice.approx_bytes() < labels.approx_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn restriction_rejects_out_of_range_ids() {
+        let g = random_graph(10, 10, 3);
+        HubLabels::build(&g).restrict_to(&[0, 99]);
     }
 
     #[test]

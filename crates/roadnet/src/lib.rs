@@ -16,9 +16,15 @@
 //! * [`ShardedLruCache`] — the N-way sharded concurrent wrapper around
 //!   [`LruCache`] that the engine uses so parallel dispatch workers don't
 //!   serialise on a single cache lock.
+//! * [`SubNetwork`] — induced subgraph extraction with an old↔new vertex-id
+//!   mapping, the substrate of the sharded pipeline's halo-clipped per-shard
+//!   engines.
 //! * [`SpEngine`] — the query façade combining labels + sharded cache + query
 //!   counters (the counters feed the Table V / Table VI angle-pruning
-//!   ablation).  Safe to share (`&SpEngine`) across worker threads.
+//!   ablation).  Safe to share (`&SpEngine`) across worker threads; the road
+//!   network and the hub-label index can be `Arc`-shared between engines
+//!   (see [`SpEngineBuilder::build_shared`] /
+//!   [`SpEngineBuilder::build_clipped`]).
 //!
 //! All distances are travel times in seconds, represented as `f64`.  A missing
 //! path is reported as [`INFINITY`](f64::INFINITY).
@@ -31,6 +37,7 @@ pub mod hub_labels;
 pub mod lru;
 pub mod path;
 pub mod sharded;
+pub mod subnet;
 
 pub use engine::{SpEngine, SpEngineBuilder, SpStats};
 pub use error::RoadNetError;
@@ -39,6 +46,7 @@ pub use hub_labels::HubLabels;
 pub use lru::LruCache;
 pub use path::{expand_route, shortest_path, Path};
 pub use sharded::ShardedLruCache;
+pub use subnet::SubNetwork;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, RoadNetError>;

@@ -71,12 +71,11 @@ impl RegionGrid {
         RegionGrid::new(min_x, min_y, max_x, max_y, 1, k)
     }
 
-    /// [`RegionGrid::strips`] over a `(min_x, min_y, max_x, max_y)` bounding
-    /// box, padding degenerate (single-point or collinear) extents so the
-    /// grid is always valid.  This is the one constructor both workload
-    /// generation and the sharded simulator use, so the two always agree on
-    /// the strip layout of a given network.
-    pub fn strips_covering(bbox: (f64, f64, f64, f64), k: u32) -> Self {
+    /// Pads a degenerate (single-point or collinear) bounding box so a grid
+    /// over it is always valid — the one padding rule every `*_covering`
+    /// constructor (and any index that must line up with them, e.g. the
+    /// handoff shortlist grid) uses.
+    pub fn padded_bbox(bbox: (f64, f64, f64, f64)) -> (f64, f64, f64, f64) {
         let (min_x, min_y, mut max_x, mut max_y) = bbox;
         if max_x <= min_x {
             max_x = min_x + 1.0;
@@ -84,7 +83,26 @@ impl RegionGrid {
         if max_y <= min_y {
             max_y = min_y + 1.0;
         }
-        RegionGrid::strips(min_x, min_y, max_x, max_y, k)
+        (min_x, min_y, max_x, max_y)
+    }
+
+    /// A `rows × cols` grid over a `(min_x, min_y, max_x, max_y)` bounding
+    /// box, padded via [`RegionGrid::padded_bbox`] so the grid is always
+    /// valid.  The general form of [`RegionGrid::strips_covering`];
+    /// higher-shard-count layouts (e.g. the 2×3 six-region sharded bench
+    /// row) go through this constructor.
+    pub fn covering(bbox: (f64, f64, f64, f64), rows: u32, cols: u32) -> Self {
+        let (min_x, min_y, max_x, max_y) = Self::padded_bbox(bbox);
+        RegionGrid::new(min_x, min_y, max_x, max_y, rows, cols)
+    }
+
+    /// [`RegionGrid::strips`] over a `(min_x, min_y, max_x, max_y)` bounding
+    /// box, padding degenerate (single-point or collinear) extents so the
+    /// grid is always valid.  This is the one constructor both workload
+    /// generation and the sharded simulator use, so the two always agree on
+    /// the strip layout of a given network.
+    pub fn strips_covering(bbox: (f64, f64, f64, f64), k: u32) -> Self {
+        Self::covering(bbox, 1, k)
     }
 
     /// Number of regions.
@@ -354,6 +372,25 @@ mod tests {
         // Interior regions keep their computed width.
         let (x0, _, x1, _) = g.bounds(0);
         assert_eq!(x1 - x0, g.bounds(1).2 - g.bounds(1).0);
+    }
+
+    #[test]
+    fn covering_builds_general_grids_and_matches_strips() {
+        let bbox = (0.0, 0.0, 300.0, 200.0);
+        let g = RegionGrid::covering(bbox, 2, 3);
+        assert_eq!(g.len(), 6);
+        assert_eq!((g.rows(), g.cols()), (2, 3));
+        // Row-major ids: south row 0..3, north row 3..6.
+        assert_eq!(g.region_of(50.0, 50.0), 0);
+        assert_eq!(g.region_of(250.0, 150.0), 5);
+        assert_eq!(
+            RegionGrid::covering(bbox, 1, 3),
+            RegionGrid::strips_covering(bbox, 3)
+        );
+        // Degenerate extents are padded like strips_covering.
+        let point = RegionGrid::covering((5.0, 5.0, 5.0, 5.0), 2, 2);
+        assert_eq!(point.len(), 4);
+        assert_eq!(point.region_of(5.0, 5.0), 0);
     }
 
     #[test]
