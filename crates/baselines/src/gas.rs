@@ -91,15 +91,36 @@ impl Dispatcher for Gas {
             if self.pending.is_empty() {
                 break;
             }
-            let pool_ids: Vec<RequestId> = {
+            let mut pool_ids: Vec<RequestId> = {
                 let mut ids: Vec<RequestId> = self.pending.keys().copied().collect();
                 ids.sort_unstable();
                 ids
             };
+            let vehicle = &vehicles[vi];
+            if let Some(index) = ctx.fleet_index {
+                // Certified prescreen: a request whose pickup deadline cannot
+                // be met even at the network-wide fastest speed from the
+                // vehicle's position would fail level-1 insertion feasibility
+                // anyway, so dropping it leaves the enumerated groups — and
+                // their count — unchanged.
+                let min_tpm = index.min_time_per_meter();
+                if min_tpm > 0.0 {
+                    let network = ctx.engine.network();
+                    let vp = network.coord(vehicle.node);
+                    let before = pool_ids.len();
+                    pool_ids.retain(|rid| {
+                        let r = &self.pending[rid];
+                        let dist = network.coord(r.source).distance(&vp);
+                        vehicle.free_at + min_tpm * dist
+                            <= r.pickup_deadline + structride_core::REACH_GRACE
+                    });
+                    ctx.scratch
+                        .count_prescreen_pruned((before - pool_ids.len()) as u64);
+                }
+            }
             // The additive tree enumerates all combinations; the complete graph
             // disables clique pruning so only schedule feasibility filters.
             let graph = complete_graph(&pool_ids);
-            let vehicle = &vehicles[vi];
             let groups = enumerate_groups(
                 ctx,
                 &graph,

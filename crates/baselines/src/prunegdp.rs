@@ -42,7 +42,8 @@ impl Dispatcher for PruneGdp {
         let mut outcome = BatchOutcome::empty();
         for request in new_requests {
             let mut best: Option<(usize, InsertionOutcome)> = None;
-            for (vi, vehicle) in vehicles.iter().enumerate() {
+            let mut consider = |vi: usize| {
+                let vehicle = &vehicles[vi];
                 if let Some(out) = insertion::insert_request(engine, vehicle, request) {
                     let better = best
                         .as_ref()
@@ -51,6 +52,35 @@ impl Dispatcher for PruneGdp {
                     if better {
                         best = Some((vi, out));
                     }
+                }
+            };
+            if let Some(index) = ctx.fleet_index {
+                // Certified prescreen: vehicles outside the reachability
+                // radius provably cannot meet the pickup deadline, so
+                // skipping them cannot change which insertion wins (the
+                // survivors keep ascending fleet order, preserving the
+                // first-within-epsilon tie-break).
+                let network = engine.network();
+                let p = network.coord(request.source);
+                let survivors = index.certified_candidates(
+                    network,
+                    vehicles,
+                    p.x,
+                    p.y,
+                    request.pickup_deadline,
+                );
+                ctx.scratch
+                    .count_prescreen_pruned((vehicles.len() - survivors.len()) as u64);
+                ctx.scratch
+                    .count_insertion_evaluations(survivors.len() as u64);
+                for vi in survivors {
+                    consider(vi);
+                }
+            } else {
+                ctx.scratch
+                    .count_insertion_evaluations(vehicles.len() as u64);
+                for vi in 0..vehicles.len() {
+                    consider(vi);
                 }
             }
             match best {

@@ -1,7 +1,7 @@
 //! The perf-trajectory regression guard behind the `bench_guard` binary.
 //!
 //! `BENCH_*.json` documents (emitted by [`crate::shardbench`], schema
-//! version 2, and [`crate::ingestbench`], schema version 1 — the parser
+//! version 3, and [`crate::ingestbench`], schema version 1 — the parser
 //! accepts any version) carry a flat `rows` array of objects with string
 //! and number fields.  This module parses that shape
 //! with a deliberately small scanner — the workspace is offline, so no JSON
@@ -372,6 +372,8 @@ mod tests {
             unified_cost: 1234.5,
             handoffs: 3,
             migrations: 1,
+            candidates_evaluated: 4_500,
+            prescreen_pruned: 12_000,
         }
     }
 
@@ -389,6 +391,8 @@ mod tests {
         assert_eq!(field(&parsed.rows[0], "throughput_rps"), Some("180.000"));
         assert_eq!(field(&parsed.rows[0], "label_bytes"), Some("123456"));
         assert_eq!(field(&parsed.rows[0], "setup_reduction"), Some("2.800"));
+        assert_eq!(field(&parsed.rows[0], "candidates_evaluated"), Some("4500"));
+        assert_eq!(field(&parsed.rows[0], "prescreen_pruned"), Some("12000"));
         assert_eq!(
             row_key(&parsed.bench, &parsed.rows[0]),
             "sharded_dispatch mode=sharded shards=3"
@@ -409,6 +413,28 @@ mod tests {
         // And the other direction (fresh v2 baseline, v2 current).
         let report = guard_throughput(&v2_current, &v2_current, 0.20, None, Some(1.0)).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
+    }
+
+    /// A committed schema-version-2 baseline (no candidates_evaluated/
+    /// prescreen_pruned columns, no megafleet row) must keep guarding a
+    /// schema-version-3 run: row identity ignores the added columns, and the
+    /// megafleet row is a new row the trajectory may grow freely.
+    #[test]
+    fn v2_baselines_guard_v3_documents() {
+        let v2_baseline = "{\n  \"bench\": \"sharded_dispatch\",\n  \"schema_version\": 2,\n  \"workload\": \"w\",\n  \"rows\": [\n    {\"mode\":\"sharded\",\"shards\":3,\"layout\":\"1x3\",\"threads\":1,\"throughput_rps\":200.0,\"setup_s\":0.090000,\"label_bytes\":123456}\n  ]\n}\n";
+        let mut mega = sample_shard_row();
+        mega.mode = "megafleet".into();
+        let rows = [sample_shard_row(), mega];
+        let v3_current = crate::shardbench::render_bench_json("w", &rows);
+        let report = guard_throughput(v2_baseline, &v3_current, 0.20, None, Some(1.0)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        // Only the pre-existing row is compared; megafleet is new.
+        assert_eq!(report.comparisons.len(), 1);
+        // And the other direction (fresh v3 baseline, v3 current) guards
+        // both rows, including the new one.
+        let report = guard_throughput(&v3_current, &v3_current, 0.20, None, Some(1.0)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        assert_eq!(report.comparisons.len(), 2);
     }
 
     /// The setup ceiling mirrors the latency ceiling: throughput excludes

@@ -17,10 +17,13 @@ use crate::harness::ExperimentScale;
 
 /// The `schema_version` of `BENCH_sharded.json`.  Version 2 added the
 /// `layout`, `setup_reduction` and `label_bytes` columns (the per-shard
-/// sub-network engine work); [`crate::perf::parse_bench_doc`] parses both
-/// versions, and row identity (`mode` + `shards`) is unchanged, so version-1
-/// baselines still guard version-2 runs.
-pub const SHARDED_SCHEMA_VERSION: u32 = 2;
+/// sub-network engine work); version 3 added the `candidates_evaluated` and
+/// `prescreen_pruned` columns plus the `megafleet` large-fleet row (the
+/// persistent fleet-index candidate retrieval work).
+/// [`crate::perf::parse_bench_doc`] parses all versions, and row identity
+/// (`mode` + `shards`) is unchanged for pre-existing rows, so version-1 and
+/// version-2 baselines still guard version-3 runs.
+pub const SHARDED_SCHEMA_VERSION: u32 = 3;
 
 /// One benchmark row: one pipeline configuration over the shared workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,18 +67,22 @@ pub struct ShardBenchRow {
     pub handoffs: u64,
     /// Idle-vehicle migrations (0 for unsharded).
     pub migrations: u64,
+    /// Insertion evaluations actually performed (post-prescreen candidates).
+    pub candidates_evaluated: u64,
+    /// Vehicles skipped by the certified fleet-index prescreen.
+    pub prescreen_pruned: u64,
 }
 
 impl ShardBenchRow {
     /// The TSV header matching [`ShardBenchRow::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations"
+        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations\tcandidates_evaluated\tprescreen_pruned"
     }
 
     /// One tab-separated row.
     pub fn tsv_row(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}\t{}\t{}",
             self.mode,
             self.shards,
             self.layout,
@@ -93,6 +100,8 @@ impl ShardBenchRow {
             self.unified_cost,
             self.handoffs,
             self.migrations,
+            self.candidates_evaluated,
+            self.prescreen_pruned,
         )
     }
 
@@ -102,7 +111,8 @@ impl ShardBenchRow {
              \"served\":{},\"service_rate\":{:.6},\"batches\":{},\"wall_s\":{:.6},\
              \"setup_s\":{:.6},\"setup_reduction\":{:.3},\"label_bytes\":{},\
              \"per_batch_ms\":{:.6},\"throughput_rps\":{:.3},\"unified_cost\":{:.3},\
-             \"handoffs\":{},\"migrations\":{}}}",
+             \"handoffs\":{},\"migrations\":{},\
+             \"candidates_evaluated\":{},\"prescreen_pruned\":{}}}",
             self.mode,
             self.shards,
             self.layout,
@@ -120,6 +130,8 @@ impl ShardBenchRow {
             self.unified_cost,
             self.handoffs,
             self.migrations,
+            self.candidates_evaluated,
+            self.prescreen_pruned,
         )
     }
 }
@@ -147,6 +159,8 @@ struct RowStats {
     unified_cost: f64,
     handoffs: u64,
     migrations: u64,
+    candidates_evaluated: u64,
+    prescreen_pruned: u64,
 }
 
 fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRow {
@@ -180,6 +194,8 @@ fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRo
         unified_cost: stats.unified_cost,
         handoffs: stats.handoffs,
         migrations: stats.migrations,
+        candidates_evaluated: stats.candidates_evaluated,
+        prescreen_pruned: stats.prescreen_pruned,
     }
 }
 
@@ -204,7 +220,9 @@ pub fn bench_workload(scale: &ExperimentScale) -> MultiRegionWorkload {
 /// Runs the sharded-vs-unsharded comparison and returns `(workload name,
 /// rows)`: one unsharded baseline plus one sharded run per `(rows, cols)`
 /// region layout (strip layouts are `(1, k)`; the six-region CI row is
-/// `(2, 3)`, making the k-scaling of setup cost visible in the trajectory).
+/// `(2, 3)`, making the k-scaling of setup cost visible in the trajectory),
+/// plus one `megafleet` row — the same stream against a ten-times fleet —
+/// tracking the fleet-index prescreen's sublinear candidate retrieval.
 /// Every run starts from a fresh fleet and a cold cache.
 pub fn bench_sharded(
     scale: &ExperimentScale,
@@ -241,6 +259,8 @@ pub fn bench_sharded(
             unified_cost: mono.metrics.unified_cost,
             handoffs: 0,
             migrations: 0,
+            candidates_evaluated: mono.metrics.insertion_evaluations,
+            prescreen_pruned: mono.metrics.prescreen_pruned,
         },
     ));
 
@@ -284,9 +304,64 @@ pub fn bench_sharded(
                 unified_cost: report.aggregate.unified_cost,
                 handoffs: report.handoffs,
                 migrations: report.migrations,
+                candidates_evaluated: report.aggregate.insertion_evaluations,
+                prescreen_pruned: report.aggregate.prescreen_pruned,
             },
         ));
     }
+
+    // Large-fleet row: same request stream, ten times the fleet, three
+    // shards.  With the certified fleet-index prescreen the per-batch cost
+    // tracks the *local* vehicle density around each pickup rather than the
+    // fleet size, so this row makes the sublinear scaling (and the pruned
+    // fraction) visible in the trajectory.
+    let mega = MultiRegionWorkload::generate(MultiRegionParams {
+        cities: vec![
+            CityProfile::ChengduLike,
+            CityProfile::NycLike,
+            CityProfile::CainiaoLike,
+        ],
+        requests_per_region: (scale.requests / 3).max(30),
+        vehicles_per_region: ((scale.vehicles * 10) / 3).max(60),
+        capacity: 4,
+        horizon: scale.horizon,
+        scale: scale.network_scale,
+        seed: scale.seed,
+    });
+    let regions = region_grid_for(mega.network(), 1, 3);
+    let sim = ShardedSimulator::new(config);
+    let report = sim.run(
+        mega.network(),
+        &regions,
+        &mega.requests,
+        mega.fresh_vehicles(),
+        |_| Box::new(SardDispatcher::new(config)),
+        &mega.name,
+    );
+    let setup_reduction = if report.setup_seconds > 0.0 {
+        3.0 * report.full_build_seconds / report.setup_seconds
+    } else {
+        1.0
+    };
+    rows.push(row(
+        "megafleet",
+        3,
+        "1x3",
+        RowStats {
+            requests: report.aggregate.total_requests,
+            served: report.aggregate.served_requests,
+            batches: report.aggregate.batches,
+            wall_s: report.run_seconds,
+            setup_s: report.setup_seconds,
+            setup_reduction,
+            label_bytes: report.label_bytes,
+            unified_cost: report.aggregate.unified_cost,
+            handoffs: report.handoffs,
+            migrations: report.migrations,
+            candidates_evaluated: report.aggregate.insertion_evaluations,
+            prescreen_pruned: report.aggregate.prescreen_pruned,
+        },
+    ));
     (workload.name, rows)
 }
 
@@ -321,13 +396,16 @@ mod tests {
             seed: 42,
         };
         let (name, rows) = bench_sharded(&scale, &[(1, 1), (1, 3), (2, 3)]);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].mode, "unsharded");
-        assert!(rows.iter().skip(1).all(|r| r.mode == "sharded"));
+        assert!(rows.iter().skip(1).take(3).all(|r| r.mode == "sharded"));
         assert_eq!(rows[1].shards, 1);
         assert_eq!(rows[2].shards, 3);
         assert_eq!(rows[3].shards, 6);
         assert_eq!(rows[3].layout, "2x3");
+        assert_eq!(rows[4].mode, "megafleet");
+        assert_eq!(rows[4].shards, 3);
+        assert_eq!(rows[4].layout, "1x3");
         for r in &rows {
             assert!(r.requests > 0);
             assert!(r.wall_s > 0.0);
@@ -360,15 +438,26 @@ mod tests {
             rows[3].setup_reduction
         );
 
+        // Every row dispatches with the fleet index: evaluations happen and
+        // the prescreen actually prunes; the ten-times megafleet row prunes
+        // far more vehicles per evaluation than the matching 3-shard row.
+        for r in &rows {
+            assert!(r.candidates_evaluated > 0, "{} evaluated nothing", r.mode);
+        }
+        assert!(rows[4].prescreen_pruned > rows[2].prescreen_pruned);
+
         let json = render_bench_json(&name, &rows);
         assert!(json.contains("\"bench\": \"sharded_dispatch\""));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"mode\":\"unsharded\""));
         assert!(json.contains("\"mode\":\"sharded\""));
+        assert!(json.contains("\"mode\":\"megafleet\""));
         assert!(json.contains("\"layout\":\"2x3\""));
-        assert_eq!(json.matches("\"throughput_rps\"").count(), 4);
-        assert_eq!(json.matches("\"label_bytes\"").count(), 4);
-        assert_eq!(json.matches("\"setup_reduction\"").count(), 4);
+        assert_eq!(json.matches("\"throughput_rps\"").count(), 5);
+        assert_eq!(json.matches("\"label_bytes\"").count(), 5);
+        assert_eq!(json.matches("\"setup_reduction\"").count(), 5);
+        assert_eq!(json.matches("\"candidates_evaluated\"").count(), 5);
+        assert_eq!(json.matches("\"prescreen_pruned\"").count(), 5);
         // Minimal well-formedness: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

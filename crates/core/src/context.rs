@@ -35,6 +35,7 @@
 //! workers, failing on any drift (`replay verify`).
 
 use crate::config::StructRideConfig;
+use crate::fleet_index::FleetIndex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use structride_roadnet::SpEngine;
 
@@ -42,19 +43,27 @@ use structride_roadnet::SpEngine;
 /// dispatch code and drained by the simulator after each batch.
 #[derive(Debug, Default)]
 pub struct BatchScratch {
-    /// Tentative insertions evaluated while building candidate queues.
+    /// Tentative insertions actually evaluated while building candidate
+    /// queues (post-prescreen: vehicles pruned by the certified
+    /// reachability bound are *not* counted here).
     pub insertion_evaluations: AtomicU64,
     /// Candidate groups produced by `enumerate_groups`.
     pub groups_enumerated: AtomicU64,
+    /// `(request, vehicle)` pairs pruned by the certified candidate
+    /// prescreen before any exact insertion was attempted.
+    pub prescreen_pruned: AtomicU64,
 }
 
 /// A plain-data snapshot of [`BatchScratch`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScratchStats {
-    /// Tentative insertions evaluated while building candidate queues.
+    /// Tentative insertions actually evaluated while building candidate
+    /// queues (post-prescreen).
     pub insertion_evaluations: u64,
     /// Candidate groups produced by `enumerate_groups`.
     pub groups_enumerated: u64,
+    /// `(request, vehicle)` pairs pruned by the certified prescreen.
+    pub prescreen_pruned: u64,
 }
 
 impl BatchScratch {
@@ -68,11 +77,17 @@ impl BatchScratch {
         self.groups_enumerated.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` prescreen-pruned `(request, vehicle)` pairs.
+    pub fn count_prescreen_pruned(&self, n: u64) {
+        self.prescreen_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> ScratchStats {
         ScratchStats {
             insertion_evaluations: self.insertion_evaluations.load(Ordering::Relaxed),
             groups_enumerated: self.groups_enumerated.load(Ordering::Relaxed),
+            prescreen_pruned: self.prescreen_pruned.load(Ordering::Relaxed),
         }
     }
 }
@@ -97,6 +112,11 @@ pub struct DispatchContext<'a> {
     pub batch_index: usize,
     /// Per-batch scratch counters (atomics; shared with parallel workers).
     pub scratch: BatchScratch,
+    /// The persistent fleet index, when the caller maintains one.  Dispatchers
+    /// use it for the certified candidate prescreen; with `None` they fall
+    /// back to the full-fleet scan (the two paths are bit-identical in
+    /// dispatch decisions — the index only prunes provably infeasible pairs).
+    pub fleet_index: Option<&'a FleetIndex>,
 }
 
 impl<'a> DispatchContext<'a> {
@@ -118,7 +138,15 @@ impl<'a> DispatchContext<'a> {
             now,
             batch_index,
             scratch: BatchScratch::default(),
+            fleet_index: None,
         }
+    }
+
+    /// Attaches a persistent fleet index, enabling the certified candidate
+    /// prescreen in dispatchers that support it.
+    pub fn with_fleet_index(mut self, index: &'a FleetIndex) -> Self {
+        self.fleet_index = Some(index);
+        self
     }
 }
 

@@ -431,16 +431,21 @@ impl Simulator {
         let start = Instant::now();
         let mut clock = IngestClock::new(start, icfg.time_scale);
         let mut collector = IngestCollector::default();
+        let bbox = structride_spatial::RegionGrid::padded_bbox(engine.network().bounding_box());
+        let fleet_index =
+            crate::FleetIndex::build(bbox, config.grid_cells, engine.network(), &vehicles);
         let mut run = IngestedRun {
             engine,
             config,
             vehicles,
+            fleet_index,
             dispatcher,
             served: HashSet::new(),
             batches: 0,
             dispatch_time: 0.0,
             insertion_evaluations: 0,
             groups_enumerated: 0,
+            prescreen_pruned: 0,
         };
 
         let arrivals = arrivals.into_iter();
@@ -510,6 +515,7 @@ impl Simulator {
             batches: run.batches,
             insertion_evaluations: run.insertion_evaluations,
             groups_enumerated: run.groups_enumerated,
+            prescreen_pruned: run.prescreen_pruned,
         };
         let ingest = collector.finish(&produced, wall_seconds);
         IngestReport {
@@ -530,12 +536,14 @@ struct IngestedRun<'a> {
     engine: &'a SpEngine,
     config: crate::config::StructRideConfig,
     vehicles: Vec<Vehicle>,
+    fleet_index: crate::FleetIndex,
     dispatcher: &'a mut dyn Dispatcher,
     served: HashSet<RequestId>,
     batches: usize,
     dispatch_time: f64,
     insertion_evaluations: u64,
     groups_enumerated: u64,
+    prescreen_pruned: u64,
 }
 
 impl IngestedRun<'_> {
@@ -543,10 +551,12 @@ impl IngestedRun<'_> {
         self.vehicles.par_iter_mut().for_each(|v| {
             v.advance_to(self.engine, now);
         });
+        self.fleet_index.sync(self.engine.network(), &self.vehicles);
         if let Some(rec) = recorder.as_deref_mut() {
             rec.batch_started(self.batches, now, batch, &self.vehicles);
         }
-        let ctx = DispatchContext::for_batch(self.engine, self.config, now, self.batches);
+        let ctx = DispatchContext::for_batch(self.engine, self.config, now, self.batches)
+            .with_fleet_index(&self.fleet_index);
         let t0 = Instant::now();
         let outcome = self
             .dispatcher
@@ -556,8 +566,13 @@ impl IngestedRun<'_> {
         if let Some(rec) = recorder.as_deref_mut() {
             rec.batch_finished(&outcome, &self.vehicles, scratch);
         }
+        self.fleet_index.sync(self.engine.network(), &self.vehicles);
+        #[cfg(debug_assertions)]
+        self.fleet_index
+            .check_consistency(self.engine.network(), &self.vehicles);
         self.insertion_evaluations += scratch.insertion_evaluations;
         self.groups_enumerated += scratch.groups_enumerated;
+        self.prescreen_pruned += scratch.prescreen_pruned;
         self.batches += 1;
         self.served.extend(outcome.assigned);
     }

@@ -44,6 +44,7 @@
 pub mod config;
 pub mod context;
 pub mod dispatcher;
+pub mod fleet_index;
 pub mod grouping;
 pub mod ingest;
 pub mod metrics;
@@ -56,6 +57,7 @@ pub mod simulator;
 pub use config::StructRideConfig;
 pub use context::{BatchScratch, DispatchContext, ScratchStats};
 pub use dispatcher::{BatchOutcome, Dispatcher};
+pub use fleet_index::{FleetIndex, REACH_GRACE};
 pub use grouping::{enumerate_groups, CandidateGroup};
 pub use ingest::{AdaptiveBatcher, IngestConfig, IngestReport, IngestStats, ShardedIngestReport};
 pub use metrics::RunMetrics;

@@ -32,12 +32,16 @@ pub struct RunMetrics {
     pub memory_bytes: usize,
     /// Number of batches processed.
     pub batches: usize,
-    /// Tentative insertions evaluated while building candidate queues
-    /// (aggregated from the per-batch scratch counters; best-effort — only
-    /// dispatchers that report through the context contribute).
+    /// Tentative insertions actually evaluated while building candidate
+    /// queues — post-prescreen (aggregated from the per-batch scratch
+    /// counters; best-effort — only dispatchers that report through the
+    /// context contribute).
     pub insertion_evaluations: u64,
     /// Candidate groups enumerated by the grouping tree (same caveat).
     pub groups_enumerated: u64,
+    /// `(request, vehicle)` pairs pruned by the certified candidate
+    /// prescreen before any exact insertion was attempted (same caveat).
+    pub prescreen_pruned: u64,
 }
 
 impl RunMetrics {
@@ -99,6 +103,7 @@ impl RunMetrics {
             batches: self.batches.max(other.batches),
             insertion_evaluations: self.insertion_evaluations + other.insertion_evaluations,
             groups_enumerated: self.groups_enumerated + other.groups_enumerated,
+            prescreen_pruned: self.prescreen_pruned + other.prescreen_pruned,
         }
     }
 
@@ -154,6 +159,7 @@ mod tests {
             batches: 40,
             insertion_evaluations: 900,
             groups_enumerated: 321,
+            prescreen_pruned: 4_100,
         }
     }
 
@@ -200,16 +206,50 @@ mod tests {
             batches: 50,
             insertion_evaluations: 1_500,
             groups_enumerated: 600,
+            prescreen_pruned: 9_000,
         };
         // Three disjoint parts of the same run (batch-synchronous shards:
         // every part saw all 50 batches).
         let parts = [
-            (100, 80, 5_000.0, 1_000.0, 0.5, 4_000, 1 << 20, 500, 100),
-            (120, 90, 6_000.0, 1_250.0, 1.25, 9_000, 1 << 20, 700, 350),
-            (80, 40, 4_000.0, 750.0, 0.75, 7_000, 1 << 20, 300, 150),
+            (
+                100,
+                80,
+                5_000.0,
+                1_000.0,
+                0.5,
+                4_000,
+                1 << 20,
+                500,
+                100,
+                3_000,
+            ),
+            (
+                120,
+                90,
+                6_000.0,
+                1_250.0,
+                1.25,
+                9_000,
+                1 << 20,
+                700,
+                350,
+                4_000,
+            ),
+            (
+                80,
+                40,
+                4_000.0,
+                750.0,
+                0.75,
+                7_000,
+                1 << 20,
+                300,
+                150,
+                2_000,
+            ),
         ]
         .map(
-            |(req, srv, travel, unserved, rt, sp, mem, ins, grp)| RunMetrics {
+            |(req, srv, travel, unserved, rt, sp, mem, ins, grp, pre)| RunMetrics {
                 algorithm: "SARD".into(),
                 workload: "multi".into(),
                 total_requests: req,
@@ -223,6 +263,7 @@ mod tests {
                 batches: 50,
                 insertion_evaluations: ins,
                 groups_enumerated: grp,
+                prescreen_pruned: pre,
             },
         );
         let merged = RunMetrics::merge_all(&parts, &params).expect("non-empty parts");
@@ -281,6 +322,7 @@ mod tests {
             batches: 0,
             insertion_evaluations: 0,
             groups_enumerated: 0,
+            prescreen_pruned: 0,
         };
         let merged = a.merge(&empty, &params);
         assert_eq!(merged, a);
@@ -312,6 +354,7 @@ mod tests {
         assert_eq!(doubled.memory_bytes, 2 * a.memory_bytes);
         assert_eq!(doubled.insertion_evaluations, 2 * a.insertion_evaluations);
         assert_eq!(doubled.groups_enumerated, 2 * a.groups_enumerated);
+        assert_eq!(doubled.prescreen_pruned, 2 * a.prescreen_pruned);
         assert_eq!(doubled.batches, a.batches, "batches is a max, not a sum");
         assert_eq!(
             doubled.unified_cost,
@@ -344,6 +387,7 @@ mod tests {
             batches: 77,
             insertion_evaluations: 13,
             groups_enumerated: 2,
+            prescreen_pruned: 41,
         };
         let ab = a.merge(&b, &params);
         let ba = b.merge(&a, &params);
@@ -360,6 +404,7 @@ mod tests {
                 m.batches,
                 m.insertion_evaluations,
                 m.groups_enumerated,
+                m.prescreen_pruned,
             )
         };
         assert_eq!(numeric(&ab), numeric(&ba));

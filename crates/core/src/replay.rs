@@ -40,8 +40,16 @@ use structride_model::{Request, RequestId, Schedule, Vehicle, Waypoint, Waypoint
 use structride_roadnet::{SpEngine, SpStats};
 use structride_sharegraph::builder::BuildStats;
 
-/// Magic first line of the trace text format.
-const TRACE_HEADER: &str = "structride-trace v1";
+/// Magic first line of the v1 trace text format (pre-prescreen: 3-token
+/// outcome lines, no `prescreen_pruned` counter).
+const TRACE_HEADER_V1: &str = "structride-trace v1";
+
+/// Magic first line of the current (v2) trace text format, whose outcome
+/// lines carry the `prescreen_pruned` scratch counter.
+const TRACE_HEADER_V2: &str = "structride-trace v2";
+
+/// The trace format version new recordings are written at.
+const TRACE_VERSION: u32 = 2;
 
 /// A plain-data snapshot of one [`Vehicle`], captured before and after each
 /// dispatch call.
@@ -117,8 +125,13 @@ pub struct BatchRecord {
 }
 
 /// Run-level metadata stored alongside the recorded batches.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
+    /// Trace format version (1 = pre-prescreen, 2 = current).  Set from the
+    /// header on parse; [`TraceMeta::new`] stamps the current version.
+    /// [`replay_trace`] only compares the scratch counters whose semantics
+    /// the recorded version actually pins (see the field docs there).
+    pub version: u32,
     /// Name of the dispatcher that produced the trace.
     pub algorithm: String,
     /// Workload name (as passed to the simulator).
@@ -138,6 +151,20 @@ pub struct TraceMeta {
     pub build_stats: Option<BuildStats>,
 }
 
+impl Default for TraceMeta {
+    fn default() -> Self {
+        TraceMeta {
+            version: TRACE_VERSION,
+            algorithm: String::new(),
+            workload: String::new(),
+            config: StructRideConfig::default(),
+            params: Vec::new(),
+            sp_stats: None,
+            build_stats: None,
+        }
+    }
+}
+
 impl TraceMeta {
     /// Creates metadata for a run of `algorithm` on `workload`.
     pub fn new(
@@ -146,6 +173,7 @@ impl TraceMeta {
         config: StructRideConfig,
     ) -> Self {
         TraceMeta {
+            version: TRACE_VERSION,
             algorithm: algorithm.into(),
             workload: workload.into(),
             config,
@@ -415,13 +443,26 @@ pub fn replay_trace(
     trace: &Trace,
 ) -> DriftReport {
     let mut report = DriftReport::default();
+    let bbox = structride_spatial::RegionGrid::padded_bbox(engine.network().bounding_box());
     for batch in &trace.batches {
         let mut vehicles: Vec<Vehicle> = batch
             .fleet_before
             .iter()
             .map(VehicleState::restore)
             .collect();
-        let ctx = DispatchContext::for_batch(engine, trace.meta.config, batch.now, batch.index);
+        // Rebuild the persistent fleet index from the recorded pre-dispatch
+        // state so the prescreen takes the same path as during recording.
+        // The certified survivor set depends only on vehicle positions (the
+        // grid granularity never changes which vehicles survive), so a
+        // fresh per-batch index reproduces the recorded counters.
+        let index = crate::fleet_index::FleetIndex::build(
+            bbox,
+            trace.meta.config.grid_cells,
+            engine.network(),
+            &vehicles,
+        );
+        let ctx = DispatchContext::for_batch(engine, trace.meta.config, batch.now, batch.index)
+            .with_fleet_index(&index);
         let outcome = dispatcher.dispatch_batch(&ctx, &mut vehicles, &batch.requests);
         let scratch = ctx.scratch.snapshot();
         report.batches_compared += 1;
@@ -434,12 +475,27 @@ pub fn replay_trace(
                 replayed: fmt_ids(&outcome.assigned),
             });
         }
-        if scratch.insertion_evaluations != batch.scratch.insertion_evaluations {
-            deltas.push(FieldDelta {
-                field: "scratch.insertion_evaluations".to_string(),
-                recorded: batch.scratch.insertion_evaluations.to_string(),
-                replayed: scratch.insertion_evaluations.to_string(),
-            });
+        // v1 traces predate the certified prescreen: their recorded
+        // `insertion_evaluations` counted the full-fleet sweep and they have
+        // no `prescreen_pruned` at all, so those two counters are only
+        // compared for v2+ traces.  Decisions (assignments, fleet state) and
+        // `groups_enumerated` are compared for every version — the prescreen
+        // provably never changes them.
+        if trace.meta.version >= 2 {
+            if scratch.insertion_evaluations != batch.scratch.insertion_evaluations {
+                deltas.push(FieldDelta {
+                    field: "scratch.insertion_evaluations".to_string(),
+                    recorded: batch.scratch.insertion_evaluations.to_string(),
+                    replayed: scratch.insertion_evaluations.to_string(),
+                });
+            }
+            if scratch.prescreen_pruned != batch.scratch.prescreen_pruned {
+                deltas.push(FieldDelta {
+                    field: "scratch.prescreen_pruned".to_string(),
+                    recorded: batch.scratch.prescreen_pruned.to_string(),
+                    replayed: scratch.prescreen_pruned.to_string(),
+                });
+            }
         }
         if scratch.groups_enumerated != batch.scratch.groups_enumerated {
             deltas.push(FieldDelta {
@@ -507,6 +563,12 @@ fn diff_fleet(
 /// first divergent field pins where.
 pub fn diff_traces(recorded: &Trace, replayed: &Trace) -> DriftReport {
     let mut report = DriftReport::default();
+    // A v1 trace predates the certified prescreen: its
+    // `insertion_evaluations` counted every vehicle scanned and it carries
+    // no `prescreen_pruned`, so those two counters are not comparable across
+    // the version boundary.  `groups_enumerated` kept its meaning and is
+    // always compared, as are all decisions and fleet states.
+    let counters_comparable = recorded.meta.version >= 2 && replayed.meta.version >= 2;
     if recorded.batches.len() != replayed.batches.len() {
         report.divergences.push(BatchDivergence {
             batch_index: recorded.batches.len().min(replayed.batches.len()),
@@ -547,7 +609,12 @@ pub fn diff_traces(recorded: &Trace, replayed: &Trace) -> DriftReport {
                 replayed: fmt_ids(&rep.assigned),
             });
         }
-        if rec.scratch != rep.scratch {
+        let scratch_drifted = if counters_comparable {
+            rec.scratch != rep.scratch
+        } else {
+            rec.scratch.groups_enumerated != rep.scratch.groups_enumerated
+        };
+        if scratch_drifted {
             deltas.push(FieldDelta {
                 field: "scratch".to_string(),
                 recorded: format!("{:?}", rec.scratch),
@@ -640,7 +707,11 @@ impl Trace {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         let m = &self.meta;
-        out.push_str(TRACE_HEADER);
+        out.push_str(if m.version >= 2 {
+            TRACE_HEADER_V2
+        } else {
+            TRACE_HEADER_V1
+        });
         out.push('\n');
         out.push_str(&format!("algorithm {}\n", m.algorithm));
         out.push_str(&format!("workload {}\n", m.workload));
@@ -696,12 +767,23 @@ impl Trace {
                 out.push_str(&vehicle_to_line(v));
                 out.push('\n');
             }
-            out.push_str(&format!(
-                "outcome assigned={} insertion_evaluations={} groups_enumerated={}\n",
-                ids_to_token(&b.assigned),
-                b.scratch.insertion_evaluations,
-                b.scratch.groups_enumerated
-            ));
+            if m.version >= 2 {
+                out.push_str(&format!(
+                    "outcome assigned={} insertion_evaluations={} groups_enumerated={} \
+                     prescreen_pruned={}\n",
+                    ids_to_token(&b.assigned),
+                    b.scratch.insertion_evaluations,
+                    b.scratch.groups_enumerated,
+                    b.scratch.prescreen_pruned
+                ));
+            } else {
+                out.push_str(&format!(
+                    "outcome assigned={} insertion_evaluations={} groups_enumerated={}\n",
+                    ids_to_token(&b.assigned),
+                    b.scratch.insertion_evaluations,
+                    b.scratch.groups_enumerated
+                ));
+            }
             out.push_str("fleet after\n");
             for v in &b.fleet_after {
                 out.push_str(&vehicle_to_line(v));
@@ -865,10 +947,15 @@ impl<'a> Parser<'a> {
 
     fn parse(mut self) -> Result<Trace, TraceParseError> {
         let header = self.next_line().ok_or_else(|| self.err("empty trace"))?;
-        if header != TRACE_HEADER {
-            return Err(self.err(format!("unsupported trace header {header:?}")));
-        }
-        let mut meta = TraceMeta::default();
+        let version = match header {
+            TRACE_HEADER_V1 => 1,
+            TRACE_HEADER_V2 => 2,
+            _ => return Err(self.err(format!("unsupported trace header {header:?}"))),
+        };
+        let mut meta = TraceMeta {
+            version,
+            ..TraceMeta::default()
+        };
         // Metadata lines, until the first `batch`.
         while let Some(line) = self.peek() {
             if line.starts_with("batch ") {
@@ -987,8 +1074,10 @@ impl<'a> Parser<'a> {
                 self.err(format!("expected an outcome line, got {outcome_line:?}"))
             })?;
             let tokens: Vec<&str> = rest.split(' ').collect();
-            if tokens.len() != 3 {
-                return Err(self.err("outcome line needs 3 fields"));
+            // 3 fields is the v1 shape (no prescreen counter); v2 adds
+            // `prescreen_pruned` as a fourth.
+            if tokens.len() != 3 && tokens.len() != 4 {
+                return Err(self.err("outcome line needs 3 or 4 fields"));
             }
             let assigned_tok = tokens[0]
                 .strip_prefix("assigned=")
@@ -997,6 +1086,11 @@ impl<'a> Parser<'a> {
             let scratch = ScratchStats {
                 insertion_evaluations: self.parse_kv(tokens[1], "insertion_evaluations")?,
                 groups_enumerated: self.parse_kv(tokens[2], "groups_enumerated")?,
+                prescreen_pruned: if tokens.len() == 4 {
+                    self.parse_kv(tokens[3], "prescreen_pruned")?
+                } else {
+                    0
+                },
             };
 
             let fleet_after = self.parse_fleet("fleet after")?;
@@ -1166,6 +1260,94 @@ mod tests {
         assert!(report.is_clean(), "unexpected drift:\n{report}");
         assert_eq!(report.batches_compared, trace.batches.len());
         assert!(report.to_string().contains("zero drift"));
+    }
+
+    #[test]
+    fn v1_traces_roundtrip_and_replay_with_counter_comparison_gated() {
+        let (engine, mut trace) = record_greedy();
+        // Render the recording in the legacy v1 format: 3-token outcome
+        // lines, no prescreen counter.
+        trace.meta.version = 1;
+        for b in &mut trace.batches {
+            b.scratch.prescreen_pruned = 0;
+        }
+        let text = trace.to_text();
+        assert!(text.starts_with("structride-trace v1\n"), "{text}");
+        assert!(!text.contains("prescreen_pruned"), "{text}");
+        let parsed = Trace::parse(&text).expect("parse v1 trace");
+        assert_eq!(parsed.meta.version, 1);
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.to_text(), text);
+
+        // A v1 recording predates the prescreen, so its evaluation counters
+        // are not comparable — replay must ignore them...
+        let mut stale = parsed.clone();
+        for b in &mut stale.batches {
+            b.scratch.insertion_evaluations += 1000;
+        }
+        let mut dispatcher = Greedy { invert: false };
+        let report = replay_trace(&engine, &mut dispatcher, &stale);
+        assert!(report.is_clean(), "v1 counters must not drift:\n{report}");
+
+        // ...while the same perturbation in a v2 recording is drift.
+        let (engine, mut v2) = record_greedy();
+        assert_eq!(v2.meta.version, 2);
+        for b in &mut v2.batches {
+            b.scratch.insertion_evaluations += 1000;
+        }
+        let mut dispatcher = Greedy { invert: false };
+        let report = replay_trace(&engine, &mut dispatcher, &v2);
+        assert!(!report.is_clean());
+        assert!(report
+            .first_divergence()
+            .unwrap()
+            .deltas
+            .iter()
+            .any(|d| d.field == "scratch.insertion_evaluations"));
+    }
+
+    #[test]
+    fn diff_traces_gates_evaluation_counters_across_the_version_boundary() {
+        // The sharded pipeline diffs a *recorded* trace against a fresh
+        // end-to-end re-run.  Against a v1 recording, the re-run's (v2)
+        // evaluation counters use the post-prescreen semantics and must not
+        // count as drift; group enumeration and decisions always must.
+        let (_engine, v2) = record_greedy();
+        let mut v1 = v2.clone();
+        v1.meta.version = 1;
+        for b in &mut v1.batches {
+            b.scratch.insertion_evaluations += 1000;
+            b.scratch.prescreen_pruned = 0;
+        }
+        assert!(diff_traces(&v1, &v2).is_clean());
+        assert!(diff_traces(&v2, &v1).is_clean());
+        // groups_enumerated kept its meaning: still compared across versions.
+        let mut v1_groups = v1.clone();
+        v1_groups.batches[0].scratch.groups_enumerated += 1;
+        assert!(!diff_traces(&v1_groups, &v2).is_clean());
+        // Two v2 traces diff fully strictly.
+        let mut v2_pruned = v2.clone();
+        v2_pruned.batches[0].scratch.prescreen_pruned += 1;
+        let report = diff_traces(&v2, &v2_pruned);
+        assert!(!report.is_clean());
+        assert!(report
+            .first_divergence()
+            .unwrap()
+            .deltas
+            .iter()
+            .any(|d| d.field == "scratch"));
+    }
+
+    #[test]
+    fn v2_header_and_prescreen_counter_roundtrip() {
+        let (_engine, mut trace) = record_greedy();
+        trace.batches[0].scratch.prescreen_pruned = 17;
+        let text = trace.to_text();
+        assert!(text.starts_with("structride-trace v2\n"), "{text}");
+        assert!(text.contains("prescreen_pruned=17"), "{text}");
+        let parsed = Trace::parse(&text).expect("parse v2 trace");
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.to_text(), text);
     }
 
     #[test]

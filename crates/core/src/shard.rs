@@ -94,6 +94,7 @@
 use crate::config::StructRideConfig;
 use crate::context::{DispatchContext, ScratchStats};
 use crate::dispatcher::{BatchOutcome, Dispatcher};
+use crate::fleet_index::{FleetIndex, REACH_GRACE};
 use crate::metrics::RunMetrics;
 use crate::replay::TraceRecorder;
 use rayon::prelude::*;
@@ -102,7 +103,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use structride_model::{insertion, unified_cost, Request, RequestId, Vehicle};
 use structride_roadnet::{HubLabels, NodeId, RoadNetwork, SpEngine, SpEngineBuilder};
-use structride_spatial::{GridIndex, RegionGrid, RegionId};
+use structride_spatial::{RegionGrid, RegionId};
 
 /// A dispatcher owned by one shard (must be `Send`: shards dispatch on
 /// worker threads).
@@ -199,6 +200,11 @@ struct Shard {
     engine: SpEngine,
     dispatcher: ShardDispatcher,
     vehicles: Vec<Vehicle>,
+    /// Persistent spatial index over `vehicles` (keyed by slot index):
+    /// synced incrementally as the fleet advances and commits, rebuilt only
+    /// when migration reorders the slice.  Feeds both the handoff shortlist
+    /// and the dispatcher's certified candidate prescreen.
+    fleet_index: FleetIndex,
     /// Requests routed to this shard for the current batch (release order).
     inbox: Vec<Request>,
     /// Every request ever routed here, with its direct cost (for the
@@ -208,6 +214,7 @@ struct Shard {
     dispatch_time: f64,
     insertion_evaluations: u64,
     groups_enumerated: u64,
+    prescreen_pruned: u64,
     /// Outcome of the current batch (drained during merging).
     last_assigned: Vec<RequestId>,
     last_scratch: ScratchStats,
@@ -220,43 +227,29 @@ struct RouteDecision {
     bids: u64,
 }
 
-/// Extra slack added on top of a pickup deadline before the reachability
-/// prescreen rules a vehicle out, in seconds.  The certified lower bound
-/// (`min_time_per_meter × euclidean`) and the exact feasibility walk hold in
-/// exact arithmetic; one second of grace dwarfs any accumulated float
-/// rounding, so the prescreen can never drop a vehicle the exact insertion
-/// would have accepted.
-const REACH_GRACE: f64 = 1.0;
+/// Cells per axis of each shard's persistent vehicle-position index (the
+/// granularity the pre-persistent per-batch grids used; range queries check
+/// exact coordinates, so the cell count only affects constant factors).
+const SHARD_GRID_CELLS: u32 = 16;
 
 /// The read-only slice of one shard the router needs — `Sync`, unlike
 /// [`Shard`] itself (whose dispatcher is only `Send`), so routing can fan
-/// out over worker threads.  Carries the per-batch vehicle-position grid the
-/// top-m shortlist queries.
+/// out over worker threads.  Borrows the shard's persistent fleet index for
+/// the top-m shortlist instead of rebuilding a position grid per batch.
 struct ShardView<'a> {
     engine: &'a SpEngine,
     vehicles: &'a [Vehicle],
-    /// Vehicle *indexes* (into `vehicles`) keyed by current position.
-    grid: GridIndex,
-    /// Earliest `free_at` across the fleet slice (∞ when empty): the most
-    /// optimistic release time any reachability radius may assume.
-    free_floor: f64,
+    /// The shard's persistent vehicle-position index (slot-index keyed,
+    /// synced to `vehicles` before routing).
+    index: &'a FleetIndex,
 }
 
 impl<'a> ShardView<'a> {
-    fn new(shard: &'a Shard, network: &RoadNetwork, bbox: (f64, f64, f64, f64)) -> Self {
-        let (min_x, min_y, max_x, max_y) = bbox;
-        let mut grid = GridIndex::new(min_x, min_y, max_x, max_y, 16);
-        let mut free_floor = f64::INFINITY;
-        for (idx, vehicle) in shard.vehicles.iter().enumerate() {
-            let p = network.coord(vehicle.node);
-            grid.insert(idx as u64, p.x, p.y);
-            free_floor = free_floor.min(vehicle.free_at);
-        }
+    fn new(shard: &'a Shard) -> Self {
         ShardView {
             engine: &shard.engine,
             vehicles: &shard.vehicles,
-            grid,
-            free_floor,
+            index: &shard.fleet_index,
         }
     }
 
@@ -283,14 +276,14 @@ impl<'a> ShardView<'a> {
                 candidates.push((lb, idx));
             }
         };
-        let slack = request.pickup_deadline + REACH_GRACE - self.free_floor;
+        let slack = request.pickup_deadline + REACH_GRACE - self.index.free_floor();
         if min_tpm > 0.0 && slack.is_finite() {
             if slack < 0.0 {
                 // Even the earliest-free vehicle standing on the pickup
                 // would miss the deadline: nothing can bid.
                 return Vec::new();
             }
-            self.grid
+            self.index
                 .for_each_in_range(p.x, p.y, slack / min_tpm, |item| consider(item as usize));
         } else {
             // No certified per-meter rate (or no vehicles): fall back to
@@ -503,8 +496,6 @@ pub(crate) struct ShardedRun<'a> {
     label_bytes: usize,
     /// The network's certified seconds-per-meter floor (0 = no bound).
     min_tpm: f64,
-    /// Bounding box the per-batch shortlist grids cover.
-    grid_bbox: (f64, f64, f64, f64),
     run_t0: Instant,
 }
 
@@ -544,6 +535,9 @@ impl<'a> ShardedRun<'a> {
                 .iter()
                 .map(|e| if e.is_clipped() { e.index_bytes() } else { 0 })
                 .sum::<usize>();
+        // Padded the same way the region constructors pad, so the shortlist
+        // grid is always valid and lines up with the region layout.
+        let grid_bbox = RegionGrid::padded_bbox(network.bounding_box());
         let mut shards: Vec<Shard> = engines
             .into_iter()
             .enumerate()
@@ -551,12 +545,14 @@ impl<'a> ShardedRun<'a> {
                 engine,
                 dispatcher: make_dispatcher(i),
                 vehicles: Vec::new(),
+                fleet_index: FleetIndex::build(grid_bbox, SHARD_GRID_CELLS, network, &[]),
                 inbox: Vec::new(),
                 routed: Vec::new(),
                 served: HashSet::new(),
                 dispatch_time: 0.0,
                 insertion_evaluations: 0,
                 groups_enumerated: 0,
+                prescreen_pruned: 0,
                 last_assigned: Vec::new(),
                 last_scratch: ScratchStats::default(),
             })
@@ -567,10 +563,10 @@ impl<'a> ShardedRun<'a> {
             let home = regions.region_of(p.x, p.y) as usize;
             shards[home].vehicles.push(vehicle);
         }
+        for shard in &mut shards {
+            shard.fleet_index.rebuild(network, &shard.vehicles);
+        }
         let min_tpm = network.min_time_per_meter();
-        // Padded the same way the region constructors pad, so the shortlist
-        // grid is always valid and lines up with the region layout.
-        let grid_bbox = RegionGrid::padded_bbox(network.bounding_box());
         ShardedRun {
             config: *sim.config(),
             sharding: *sim.sharding(),
@@ -587,7 +583,6 @@ impl<'a> ShardedRun<'a> {
             full_build_seconds,
             label_bytes,
             min_tpm,
-            grid_bbox,
             run_t0: Instant::now(),
         }
     }
@@ -616,10 +611,12 @@ impl<'a> ShardedRun<'a> {
         recorder: &mut Option<&mut TraceRecorder>,
     ) {
         self.now = now;
+        let network = self.network;
         for_each_shard(&mut self.shards, &|s| {
             s.vehicles.par_iter_mut().for_each(|v| {
                 v.advance_to(&s.engine, now);
             });
+            s.fleet_index.sync(network, &s.vehicles);
         });
         if let Some(rec) = recorder.as_deref_mut() {
             rec.batch_started(self.batches, now, batch, &fleet_snapshot(&self.shards));
@@ -638,11 +635,7 @@ impl<'a> ShardedRun<'a> {
                 self.regions.is_boundary(p.x, p.y, band)
             });
         let decisions: Vec<RouteDecision> = if has_boundary_request {
-            let views: Vec<ShardView<'_>> = self
-                .shards
-                .iter()
-                .map(|s| ShardView::new(s, self.network, self.grid_bbox))
-                .collect();
+            let views: Vec<ShardView<'_>> = self.shards.iter().map(ShardView::new).collect();
             let views = &views;
             let top_m = self.sharding.top_m;
             let min_tpm = self.min_tpm;
@@ -673,13 +666,24 @@ impl<'a> ShardedRun<'a> {
         let batch_index = self.batches;
         for_each_shard(&mut self.shards, &|s| {
             let inbox = std::mem::take(&mut s.inbox);
-            let ctx = DispatchContext::for_batch(&s.engine, config, now, batch_index);
-            let t0 = Instant::now();
-            let outcome = s.dispatcher.dispatch_batch(&ctx, &mut s.vehicles, &inbox);
-            s.dispatch_time += t0.elapsed().as_secs_f64();
-            let scratch = ctx.scratch.snapshot();
+            // Scoped so the context's borrow of the fleet index ends before
+            // the post-dispatch resync below.
+            let (outcome, scratch) = {
+                let ctx = DispatchContext::for_batch(&s.engine, config, now, batch_index)
+                    .with_fleet_index(&s.fleet_index);
+                let t0 = Instant::now();
+                let outcome = s.dispatcher.dispatch_batch(&ctx, &mut s.vehicles, &inbox);
+                s.dispatch_time += t0.elapsed().as_secs_f64();
+                (outcome, ctx.scratch.snapshot())
+            };
+            // Commits moved `free_at` forward; resync (positions unchanged)
+            // so the next routing pass sees a consistent index.
+            s.fleet_index.sync(network, &s.vehicles);
+            #[cfg(debug_assertions)]
+            s.fleet_index.check_consistency(network, &s.vehicles);
             s.insertion_evaluations += scratch.insertion_evaluations;
             s.groups_enumerated += scratch.groups_enumerated;
+            s.prescreen_pruned += scratch.prescreen_pruned;
             s.last_scratch = scratch;
             s.last_assigned = outcome.assigned;
         });
@@ -692,6 +696,7 @@ impl<'a> ShardedRun<'a> {
             s.served.extend(s.last_assigned.iter().copied());
             merged_scratch.insertion_evaluations += s.last_scratch.insertion_evaluations;
             merged_scratch.groups_enumerated += s.last_scratch.groups_enumerated;
+            merged_scratch.prescreen_pruned += s.last_scratch.prescreen_pruned;
             merged.assigned.append(&mut s.last_assigned);
         }
         self.batches += 1;
@@ -700,11 +705,19 @@ impl<'a> ShardedRun<'a> {
         }
 
         if self.sharding.rebalance && self.shards.len() > 1 {
-            self.migrations += rebalance(
+            let moved = rebalance(
                 &mut self.shards,
                 self.regions,
                 self.sharding.max_migrations_per_batch,
             );
+            if moved > 0 {
+                // Migration removes/appends across fleet slices, shifting
+                // the slot indexes the grids are keyed by: rebuild.
+                for s in self.shards.iter_mut() {
+                    s.fleet_index.rebuild(network, &s.vehicles);
+                }
+            }
+            self.migrations += moved;
         }
     }
 
@@ -750,6 +763,7 @@ impl<'a> ShardedRun<'a> {
                     batches,
                     insertion_evaluations: s.insertion_evaluations,
                     groups_enumerated: s.groups_enumerated,
+                    prescreen_pruned: s.prescreen_pruned,
                 }
             })
             .collect();

@@ -15,6 +15,7 @@
 use crate::config::StructRideConfig;
 use crate::context::DispatchContext;
 use crate::dispatcher::Dispatcher;
+use crate::fleet_index::FleetIndex;
 use crate::metrics::RunMetrics;
 use crate::replay::TraceRecorder;
 use rayon::prelude::*;
@@ -122,6 +123,13 @@ impl Simulator {
         let mut dispatch_time = 0.0f64;
         let mut insertion_evaluations = 0u64;
         let mut groups_enumerated = 0u64;
+        let mut prescreen_pruned = 0u64;
+
+        // The persistent fleet index: built once, then kept in sync with the
+        // fleet incrementally batch over batch instead of being rebuilt.
+        let bbox = structride_spatial::RegionGrid::padded_bbox(engine.network().bounding_box());
+        let mut fleet_index =
+            FleetIndex::build(bbox, self.config.grid_cells, engine.network(), &vehicles);
 
         while next < ordered.len() || now < horizon_end {
             now += delta;
@@ -131,6 +139,7 @@ impl Simulator {
             vehicles.par_iter_mut().for_each(|v| {
                 v.advance_to(engine, now);
             });
+            fleet_index.sync(engine.network(), &vehicles);
             // Collect the requests released during this batch window.
             let start = next;
             while next < ordered.len() && ordered[next].release <= now {
@@ -140,7 +149,8 @@ impl Simulator {
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.batch_started(batches, now, batch, &vehicles);
             }
-            let ctx = DispatchContext::for_batch(engine, self.config, now, batches);
+            let ctx = DispatchContext::for_batch(engine, self.config, now, batches)
+                .with_fleet_index(&fleet_index);
             let t0 = Instant::now();
             let outcome = dispatcher.dispatch_batch(&ctx, &mut vehicles, batch);
             dispatch_time += t0.elapsed().as_secs_f64();
@@ -148,8 +158,16 @@ impl Simulator {
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.batch_finished(&outcome, &vehicles, scratch);
             }
+            // The dispatcher commits schedules (changing `free_at` but not
+            // positions: vehicles only move in the advance sweep), so the
+            // index resyncs before the *next* prescreen consumes it.  In
+            // debug builds verify it never drifted from the fleet.
+            fleet_index.sync(engine.network(), &vehicles);
+            #[cfg(debug_assertions)]
+            fleet_index.check_consistency(engine.network(), &vehicles);
             insertion_evaluations += scratch.insertion_evaluations;
             groups_enumerated += scratch.groups_enumerated;
+            prescreen_pruned += scratch.prescreen_pruned;
             batches += 1;
             served.extend(outcome.assigned);
             // Once the request stream is exhausted and the dispatcher holds no
@@ -195,6 +213,7 @@ impl Simulator {
             batches,
             insertion_evaluations,
             groups_enumerated,
+            prescreen_pruned,
         };
         SimulationReport {
             metrics,

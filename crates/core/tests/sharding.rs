@@ -12,7 +12,10 @@ use structride_core::shard::{
     halo_vertices, region_grid_for, region_strips_for, ShardDispatcher, ShardedSimulator,
     ShardingConfig,
 };
-use structride_core::{RunMetrics, SardDispatcher, Simulator, StructRideConfig};
+use structride_core::{
+    DispatchContext, Dispatcher, FleetIndex, RunMetrics, SardDispatcher, Simulator,
+    StructRideConfig,
+};
 use structride_datagen::{
     CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
 };
@@ -413,6 +416,98 @@ fn reachability_prescreen_never_drops_a_feasible_bidder() {
         prescreen_would_keep < w.requests.len() as u32 * vehicles.len() as u32,
         "the prescreen must actually prune something on a multi-region map"
     );
+}
+
+/// The batched many-to-many kernel behind the prescreened candidate scoring:
+/// on a real multi-region network, `SpEngine::many_to_many` answers every
+/// (source, target) pair bit-identically to the pairwise `cost_uncached`
+/// queries it replaces — through the full hub-label index and through a
+/// halo-clipped per-shard slice (which may route whole matrices to the
+/// shared-index fallback).
+#[test]
+fn many_to_many_matches_pairwise_queries_bit_for_bit() {
+    let w = multi_workload(3);
+    let network = w.network();
+    let n = network.node_count() as u32;
+    let sources: Vec<u32> = (0..n).step_by(11).collect();
+    let targets: Vec<u32> = (0..n).step_by(13).collect();
+    assert!(sources.len() > 2 && targets.len() > 2);
+
+    let check = |engine: &structride_roadnet::SpEngine, label: &str| {
+        let matrix = engine.many_to_many(&sources, &targets);
+        assert_eq!(matrix.len(), sources.len() * targets.len());
+        for (i, &s) in sources.iter().enumerate() {
+            for (j, &t) in targets.iter().enumerate() {
+                let batched = matrix[i * targets.len() + j];
+                let pairwise = engine.cost_uncached(s, t);
+                assert_eq!(
+                    batched.to_bits(),
+                    pairwise.to_bits(),
+                    "{label}: ({s},{t}) batched={batched} pairwise={pairwise}"
+                );
+            }
+        }
+    };
+    check(&w.engine, "full index");
+
+    let shared = Arc::new(network.clone());
+    let labels = Arc::new(HubLabels::build(&shared));
+    let band = ShardingConfig::default().handoff_band;
+    let halo = &halo_vertices(network, &w.regions, band)[1];
+    let clipped = SpEngineBuilder::new().build_clipped(shared.clone(), labels, halo);
+    assert!(clipped.is_clipped());
+    check(&clipped, "halo-clipped slice");
+}
+
+/// The certified prescreen end to end: driving the SARD dispatcher over the
+/// same batches with and without a fleet index produces bit-identical
+/// assignments, group enumeration, and final fleets — while the prescreen
+/// actually skips vehicles (the whole point) on a multi-city map.
+#[test]
+fn sard_with_fleet_index_matches_the_full_scan_bit_for_bit() {
+    let w = multi_workload(3);
+    let config = StructRideConfig::default();
+    let engine = &w.engine;
+    let bbox = structride_spatial::RegionGrid::padded_bbox(engine.network().bounding_box());
+
+    let mut full_scan = SardDispatcher::new(config);
+    let mut prescreened = SardDispatcher::new(config);
+    let mut fleet_full = w.fresh_vehicles();
+    let mut fleet_pre = w.fresh_vehicles();
+    let mut pruned = 0u64;
+    for (bi, chunk) in w.requests.chunks(12).enumerate() {
+        let ctx_full = DispatchContext::for_batch(engine, config, 0.0, bi);
+        let out_full = full_scan.dispatch_batch(&ctx_full, &mut fleet_full, chunk);
+
+        let index = FleetIndex::build(bbox, config.grid_cells, engine.network(), &fleet_pre);
+        let ctx_pre = DispatchContext::for_batch(engine, config, 0.0, bi).with_fleet_index(&index);
+        let out_pre = prescreened.dispatch_batch(&ctx_pre, &mut fleet_pre, chunk);
+
+        assert_eq!(
+            out_full.assigned, out_pre.assigned,
+            "batch {bi} assignments"
+        );
+        assert_eq!(
+            ctx_full.scratch.snapshot().groups_enumerated,
+            ctx_pre.scratch.snapshot().groups_enumerated,
+            "batch {bi} group enumeration"
+        );
+        pruned += ctx_pre.scratch.snapshot().prescreen_pruned;
+    }
+    assert!(
+        pruned > 0,
+        "a multi-city fleet must have provably unreachable vehicles"
+    );
+    assert_eq!(fleet_full.len(), fleet_pre.len());
+    for (a, b) in fleet_full.iter().zip(&fleet_pre) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.free_at.to_bits(), b.free_at.to_bits());
+        assert_eq!(
+            a.planned_cost(engine).to_bits(),
+            b.planned_cost(engine).to_bits()
+        );
+    }
 }
 
 /// The top-m cap: uncapped (`top_m: 0`) bidding equals the default (the cap

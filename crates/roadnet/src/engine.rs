@@ -268,6 +268,58 @@ impl SpEngine {
         }
     }
 
+    /// Batched exact |S|×|T| travel-time matrix (row-major: entry
+    /// `i * targets.len() + j` is the cost from `sources[i]` to
+    /// `targets[j]`), bypassing the per-pair LRU cache.
+    ///
+    /// With hub labels this is one bucket-scatter + linear join pass per
+    /// source over the shared label arrays ([`HubLabels::many_to_many`])
+    /// instead of |S|·|T| independent binary merges; every entry is
+    /// **bit-identical** to the corresponding [`SpEngine::cost_uncached`]
+    /// call.  Clipped engines answer through their compact label slice when
+    /// every endpoint is inside the halo and through the shared full index
+    /// otherwise (counted as fallback queries); both give the same bits,
+    /// because restricted label vectors are verbatim copies of the full
+    /// ones.  All |S|·|T| pairs are counted as index queries — like every
+    /// SP counter, subject to no replay comparison.
+    pub fn many_to_many(&self, sources: &[NodeId], targets: &[NodeId]) -> Vec<f64> {
+        let pairs = (sources.len() * targets.len()) as u64;
+        self.index_queries.fetch_add(pairs, Ordering::Relaxed);
+        match &self.index {
+            SpIndex::Dijkstra => {
+                let mut out = Vec::with_capacity(sources.len() * targets.len());
+                for &s in sources {
+                    for &t in targets {
+                        out.push(if s == t {
+                            0.0
+                        } else {
+                            dijkstra::p2p(&self.net, s, t)
+                        });
+                    }
+                }
+                out
+            }
+            SpIndex::Full(labels) => labels.many_to_many(sources, targets),
+            SpIndex::Clipped { sub, slice, full } => {
+                let local_sources: Option<Vec<NodeId>> =
+                    sources.iter().map(|&v| sub.local(v)).collect();
+                let local_targets: Option<Vec<NodeId>> =
+                    targets.iter().map(|&v| sub.local(v)).collect();
+                match (local_sources, local_targets) {
+                    (Some(ls), Some(lt)) => slice.many_to_many(&ls, &lt),
+                    _ => {
+                        self.fallback_queries.fetch_add(pairs, Ordering::Relaxed);
+                        full.many_to_many(sources, targets)
+                    }
+                }
+            }
+            SpIndex::FallbackOnly { full } => {
+                self.fallback_queries.fetch_add(pairs, Ordering::Relaxed);
+                full.many_to_many(sources, targets)
+            }
+        }
+    }
+
     /// The halo clip this engine answers locally, if it is a clipped engine.
     pub fn clip(&self) -> Option<&SubNetwork> {
         match &self.index {
@@ -512,6 +564,47 @@ mod tests {
             full.cost_uncached(0, 23).to_bits()
         );
         assert_eq!(empty.fallback_queries(), 1);
+    }
+
+    /// The batched matrix must agree bit for bit with per-pair
+    /// `cost_uncached` for every engine variant: full labels, a clipped
+    /// engine answering in-halo (slice) and mixed (fallback) batches, and
+    /// the label-free Dijkstra engine.
+    #[test]
+    fn many_to_many_matches_cost_uncached_for_every_engine_variant() {
+        let net = Arc::new(line_graph(24));
+        let full = SpEngineBuilder::new().build_shared(net.clone());
+        let labels = match &full.index {
+            SpIndex::Full(l) => l.clone(),
+            _ => unreachable!("default build uses labels"),
+        };
+        let halo: Vec<u32> = (4..12).collect();
+        let clipped = SpEngineBuilder::new().build_clipped(net.clone(), labels, &halo);
+        let dijkstra = SpEngineBuilder::new()
+            .use_hub_labels(false)
+            .build(line_graph(24));
+
+        let check = |eng: &SpEngine, sources: &[u32], targets: &[u32]| {
+            let matrix = eng.many_to_many(sources, targets);
+            assert_eq!(matrix.len(), sources.len() * targets.len());
+            for (i, &s) in sources.iter().enumerate() {
+                for (j, &t) in targets.iter().enumerate() {
+                    assert_eq!(
+                        matrix[i * targets.len() + j].to_bits(),
+                        eng.cost_uncached(s, t).to_bits(),
+                        "({s},{t})"
+                    );
+                }
+            }
+        };
+        let in_halo: Vec<u32> = (4..12).collect();
+        let mixed: Vec<u32> = vec![0, 5, 8, 20, 23];
+        check(&full, &mixed, &in_halo);
+        check(&clipped, &in_halo, &in_halo); // answered by the slice
+        let before = clipped.fallback_queries();
+        check(&clipped, &mixed, &in_halo); // an outside endpoint: full-index fallback
+        assert!(clipped.fallback_queries() > before);
+        check(&dijkstra, &mixed, &mixed);
     }
 
     /// The sharded cache must agree with `cost_uncached` under concurrent

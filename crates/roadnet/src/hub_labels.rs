@@ -373,6 +373,65 @@ impl HubLabels {
         )
     }
 
+    /// Batched exact |S|×|T| travel-time matrix (row-major: entry
+    /// `i * targets.len() + j` is `query(sources[i], targets[j])`).
+    ///
+    /// Instead of |S|·|T| independent two-pointer merges, each source's
+    /// out-labels are scattered once into a dense per-hub bucket array
+    /// (hub ids are global ranks, so the array is sized by node count and
+    /// reset via a touched list), and every target's in-labels are joined
+    /// against the buckets in one linear pass.  The minimum is taken over
+    /// exactly the same multiset of `out.dist + inn.dist` sums as the
+    /// merge in [`HubLabels::query_with`], visited in the same increasing
+    /// hub-rank order (hubs missing from the source side contribute
+    /// `∞ + d = ∞`, which never wins `d < best`), so every entry is
+    /// **bit-identical** to the corresponding [`HubLabels::query`] —
+    /// including the `source == target → 0.0` special case.
+    pub fn many_to_many(&self, sources: &[NodeId], targets: &[NodeId]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(sources.len() * targets.len());
+        // Hub ids are *global* ranks even in a `restrict_to` slice, so size
+        // the bucket array by the largest rank actually referenced rather
+        // than by the (possibly smaller) local vertex count.
+        let max_hub = sources
+            .iter()
+            .flat_map(|&s| self.out_labels[s as usize].iter())
+            .chain(
+                targets
+                    .iter()
+                    .flat_map(|&t| self.in_labels[t as usize].iter()),
+            )
+            .map(|e| e.hub as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut bucket = vec![f64::INFINITY; max_hub];
+        let mut touched: Vec<u32> = Vec::new();
+        for &s in sources {
+            for e in &self.out_labels[s as usize] {
+                bucket[e.hub as usize] = e.dist;
+                touched.push(e.hub);
+            }
+            for &t in targets {
+                if s == t {
+                    out.push(0.0);
+                    continue;
+                }
+                let mut best = f64::INFINITY;
+                for e in &self.in_labels[t as usize] {
+                    let d = bucket[e.hub as usize] + e.dist;
+                    if d < best {
+                        best = d;
+                    }
+                }
+                out.push(best);
+            }
+            for &h in &touched {
+                bucket[h as usize] = f64::INFINITY;
+            }
+            touched.clear();
+        }
+        out
+    }
+
     /// Average number of label entries per node (an index-size diagnostic).
     pub fn average_label_size(&self) -> f64 {
         let n = self.out_labels.len().max(1);
@@ -471,6 +530,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The bucketed batched join must reproduce the two-pointer merge bit
+    /// for bit for every pair — infinities (no common hub) included.
+    #[test]
+    fn many_to_many_is_bit_identical_to_pairwise_queries() {
+        for seed in 0..4u64 {
+            let g = random_graph(60, 120, seed);
+            let labels = HubLabels::build(&g);
+            let sources: Vec<NodeId> = (0..60u32).step_by(3).collect();
+            let targets: Vec<NodeId> = (0..60u32).step_by(4).collect();
+            let matrix = labels.many_to_many(&sources, &targets);
+            assert_eq!(matrix.len(), sources.len() * targets.len());
+            for (i, &s) in sources.iter().enumerate() {
+                for (j, &t) in targets.iter().enumerate() {
+                    let batched = matrix[i * targets.len() + j];
+                    let single = labels.query(s, t);
+                    assert_eq!(
+                        batched.to_bits(),
+                        single.to_bits(),
+                        "seed {seed}: ({s},{t}) batched={batched} single={single}"
+                    );
+                }
+            }
+        }
+        // Disconnected components: the batched path preserves infinities.
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i as f64, 0.0));
+        }
+        b.add_bidirectional(0, 1, 1.0).unwrap();
+        b.add_bidirectional(2, 3, 1.0).unwrap();
+        let labels = HubLabels::build(&b.build().unwrap());
+        let m = labels.many_to_many(&[0, 2], &[1, 3]);
+        assert_eq!(m[0], 1.0);
+        assert!(m[1].is_infinite());
+        assert!(m[2].is_infinite());
+        assert_eq!(m[3], 1.0);
     }
 
     #[test]
