@@ -1,9 +1,9 @@
 //! Record/replay front end for the dispatcher-determinism harness.
 //!
 //! ```text
-//! replay record  [--quick] [--algo KEY] [--out PATH] [--shards N] [--ingest]
+//! replay record  [--quick] [--algo KEY] [--out PATH] [--shards N] [--ingest] [--traffic T]
 //! replay replay  --trace PATH [--algo KEY] [--threads N]
-//! replay verify  [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest]
+//! replay verify  [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest] [--traffic T]
 //! ```
 //!
 //! * `record` runs the quickstart-style workload under the chosen dispatcher
@@ -32,6 +32,12 @@
 //! (`--ingest --shards N`) is verified by re-running the sharded pipeline
 //! *from the recorded boundaries* and diffing the global traces.
 //!
+//! `--traffic T` (T ∈ {rush, incident}) switches `record`/`verify` to a
+//! time-dependent travel-time model compressed to the quickstart horizon:
+//! epoch boundaries roll mid-run, hub labels refresh, and the trace records
+//! the traffic config (format v3) so `replay` reproduces the exact epoch
+//! sequence from the batch clock alone.
+//!
 //! `KEY` ∈ {sard, rtv, prunegdp, gas, darm, ticket}; `ticket` records fine
 //! but is exempt from `verify` — its commit-order races are the algorithm
 //! being reproduced.
@@ -42,18 +48,20 @@ use structride_bench::replay_cli::{
     quickstart_params, record_ingested_run, record_run, record_sharded_ingested_run,
     record_sharded_run, regenerate_multi_workload, regenerate_workload, replay_run, rerun_sharded,
     rerun_sharded_ingested, sharded_quickstart_params, trace_dispatcher_key, trace_shards,
-    DETERMINISTIC_KEYS, DISPATCHER_KEYS,
+    traffic_by_name, DETERMINISTIC_KEYS, DISPATCHER_KEYS, TRAFFIC_KEYS,
 };
 use structride_core::replay::Trace;
 use structride_core::StructRideConfig;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: replay record [--quick] [--algo KEY] [--out PATH] [--shards N] [--ingest]\n\
+        "usage: replay record [--quick] [--algo KEY] [--out PATH] [--shards N] [--ingest] [--traffic T]\n\
          \x20      replay replay --trace PATH [--algo KEY] [--threads N]\n\
-         \x20      replay verify [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest]\n\
-         KEY: {}",
-        DISPATCHER_KEYS.join(", ")
+         \x20      replay verify [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest] [--traffic T]\n\
+         KEY: {}\n\
+         T: {}",
+        DISPATCHER_KEYS.join(", "),
+        TRAFFIC_KEYS.join(", ")
     );
     ExitCode::from(2)
 }
@@ -66,6 +74,7 @@ struct Args {
     threads: Option<usize>,
     shards: Option<usize>,
     ingest: bool,
+    traffic: Option<String>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
@@ -78,6 +87,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         threads: None,
         shards: None,
         ingest: false,
+        traffic: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -88,6 +98,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
             "--threads" => args.threads = Some(argv.next()?.parse().ok()?),
             "--shards" => args.shards = Some(argv.next()?.parse().ok()?),
             "--ingest" => args.ingest = true,
+            "--traffic" => args.traffic = Some(argv.next()?),
             _ => return None,
         }
     }
@@ -95,13 +106,24 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
 }
 
 /// The framework configuration `record`/`verify` run with: defaults, plus
-/// the quickstart ingest knobs when `--ingest` is on.
-fn run_config(args: &Args) -> StructRideConfig {
-    if args.ingest {
+/// the quickstart ingest knobs when `--ingest` is on and the chosen traffic
+/// scenario (compressed to the quickstart horizon) when `--traffic` is.
+/// `None` means the `--traffic` key is unknown.
+fn run_config(args: &Args) -> Option<StructRideConfig> {
+    let mut config = if args.ingest {
         StructRideConfig::default().with_ingest(ingest_quickstart_config(args.quick))
     } else {
         StructRideConfig::default()
+    };
+    if let Some(key) = args.traffic.as_deref() {
+        let horizon = if args.shards.is_some() {
+            sharded_quickstart_params(args.quick).horizon
+        } else {
+            quickstart_params(args.quick).horizon
+        };
+        config = config.with_traffic(traffic_by_name(key, horizon)?);
     }
+    Some(config)
 }
 
 fn print_trace_summary(trace: &Trace) {
@@ -127,7 +149,10 @@ fn print_trace_summary(trace: &Trace) {
 fn cmd_record(args: &Args) -> ExitCode {
     let algo = args.algo.as_deref().unwrap_or("sard");
     let out = args.out.as_deref().unwrap_or("replay-trace.txt");
-    let config = run_config(args);
+    let Some(config) = run_config(args) else {
+        eprintln!("unknown traffic scenario {:?}", args.traffic);
+        return usage();
+    };
     let recorded = match (args.ingest, args.shards) {
         (true, Some(shards)) => {
             record_sharded_ingested_run(sharded_quickstart_params(args.quick), config, algo, shards)
@@ -255,7 +280,10 @@ fn cmd_replay(args: &Args) -> ExitCode {
 /// threads asserting zero drift, then re-run with a different per-shard
 /// dispatcher and assert the drift is flagged.
 fn cmd_verify_sharded(args: &Args, algo: &str, shards: usize) -> ExitCode {
-    let config = run_config(args);
+    let Some(config) = run_config(args) else {
+        eprintln!("unknown traffic scenario {:?}", args.traffic);
+        return usage();
+    };
     let params = sharded_quickstart_params(args.quick);
     let recorded = if args.ingest {
         record_sharded_ingested_run(params, config, algo, shards)
@@ -334,7 +362,10 @@ fn cmd_verify(args: &Args) -> ExitCode {
     if let Some(shards) = args.shards {
         return cmd_verify_sharded(args, &algo, shards);
     }
-    let config = run_config(args);
+    let Some(config) = run_config(args) else {
+        eprintln!("unknown traffic scenario {:?}", args.traffic);
+        return usage();
+    };
     // An ingested recording goes through the same 1-vs-N replay loop below:
     // the realized boundaries are in the trace, and replay re-feeds them.
     let recorded = if args.ingest {

@@ -5,8 +5,9 @@
 //! homogeneous Poisson profile and a bursty-surge profile from
 //! `structride_datagen::arrivals` — through the monolithic and the sharded
 //! pipeline, and renders the rows both as TSV (stdout) and as the
-//! `BENCH_ingest.json` document (schema_version 1): sustained throughput,
-//! p50/p99 batch latency, queue depth and drop/timeout counts.  Together
+//! `BENCH_ingest.json` document (schema_version 2): sustained throughput,
+//! p50/p99 batch latency, p50/p99 end-to-end latency (request arrival →
+//! pickup commitment, v2), queue depth and drop/timeout counts.  Together
 //! with `BENCH_sharded.json` this is the perf-trajectory series CI uploads
 //! and guards (see `bench_guard`).
 
@@ -40,14 +41,15 @@ impl IngestBenchRow {
     /// The TSV header matching [`IngestBenchRow::tsv_row`].
     pub fn tsv_header() -> &'static str {
         "profile\tmode\tshards\tthreads\tarrivals\tdispatched\tdropped\ttimed_out\tbatches\
-         \tmean_batch\tservice_rate\tthroughput_rps\tp50_ms\tp99_ms\tmax_queue\tmean_queue\twall_s"
+         \tmean_batch\tservice_rate\tthroughput_rps\tp50_ms\tp99_ms\te2e_p50_ms\te2e_p99_ms\
+         \tmax_queue\tmean_queue\twall_s"
     }
 
     /// One tab-separated row.
     pub fn tsv_row(&self) -> String {
         let s = &self.stats;
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.2}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{}\t{:.2}\t{:.3}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.2}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{:.2}\t{:.3}",
             self.profile,
             self.mode,
             self.shards,
@@ -62,6 +64,8 @@ impl IngestBenchRow {
             s.throughput_rps,
             s.batch_latency_p50_ms,
             s.batch_latency_p99_ms,
+            s.e2e_latency_p50_ms,
+            s.e2e_latency_p99_ms,
             s.max_queue_depth,
             s.mean_queue_depth,
             s.wall_seconds,
@@ -75,7 +79,8 @@ impl IngestBenchRow {
              \"arrivals\":{},\"dispatched\":{},\"dropped_queue_full\":{},\"timed_out\":{},\
              \"batches\":{},\"mean_batch_size\":{:.6},\"service_rate\":{:.6},\
              \"throughput_rps\":{:.3},\"batch_latency_p50_ms\":{:.6},\
-             \"batch_latency_p99_ms\":{:.6},\"max_queue_depth\":{},\"mean_queue_depth\":{:.6},\
+             \"batch_latency_p99_ms\":{:.6},\"e2e_latency_p50_ms\":{:.6},\
+             \"e2e_latency_p99_ms\":{:.6},\"max_queue_depth\":{},\"mean_queue_depth\":{:.6},\
              \"wall_s\":{:.6}}}",
             self.profile,
             self.mode,
@@ -91,6 +96,8 @@ impl IngestBenchRow {
             s.throughput_rps,
             s.batch_latency_p50_ms,
             s.batch_latency_p99_ms,
+            s.e2e_latency_p50_ms,
+            s.e2e_latency_p99_ms,
             s.max_queue_depth,
             s.mean_queue_depth,
             s.wall_seconds,
@@ -98,12 +105,18 @@ impl IngestBenchRow {
     }
 }
 
+/// The `BENCH_ingest.json` schema version.  Append-only history:
+/// v1 the original ingest columns; v2 adds `e2e_latency_p50_ms` /
+/// `e2e_latency_p99_ms` (request arrival → pickup commitment, simulated
+/// delay decompressed to wall milliseconds by `time_scale`).
+pub const INGEST_SCHEMA_VERSION: u32 = 2;
+
 /// Renders the full `BENCH_ingest.json` document through the shared
 /// skeleton in [`crate::perf`] (kept in lockstep with its parser).  The
 /// schema is append-only: tooling parses it across PRs.
 pub fn render_bench_json(workload_name: &str, rows: &[IngestBenchRow]) -> String {
     let row_jsons: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
-    crate::perf::render_bench_doc("ingest", 1, workload_name, &row_jsons)
+    crate::perf::render_bench_doc("ingest", INGEST_SCHEMA_VERSION, workload_name, &row_jsons)
 }
 
 /// The ingest knobs the benchmark runs with: compress the stream hard so a
@@ -250,12 +263,20 @@ mod tests {
                 IngestBenchRow::tsv_header().split('\t').count()
             );
         }
+        // Every row commits at least one pickup, so the e2e latency series
+        // is populated (simulated delays decompressed to wall ms).
+        for r in &rows {
+            assert!(r.stats.e2e_latency_p50_ms > 0.0);
+            assert!(r.stats.e2e_latency_p99_ms >= r.stats.e2e_latency_p50_ms);
+        }
         let json = render_bench_json(&name, &rows);
         assert!(json.contains("\"bench\": \"ingest\""));
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"profile\":\"bursty\""));
         assert!(json.contains("\"mode\":\"sharded\""));
         assert_eq!(json.matches("\"throughput_rps\"").count(), 3);
+        assert_eq!(json.matches("\"e2e_latency_p50_ms\"").count(), 3);
+        assert_eq!(json.matches("\"e2e_latency_p99_ms\"").count(), 3);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

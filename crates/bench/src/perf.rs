@@ -1,7 +1,7 @@
 //! The perf-trajectory regression guard behind the `bench_guard` binary.
 //!
 //! `BENCH_*.json` documents (emitted by [`crate::shardbench`], schema
-//! version 3, and [`crate::ingestbench`], schema version 1 — the parser
+//! version 4, and [`crate::ingestbench`], schema version 2 — the parser
 //! accepts any version) carry a flat `rows` array of objects with string
 //! and number fields.  This module parses that shape
 //! with a deliberately small scanner — the workspace is offline, so no JSON
@@ -374,6 +374,8 @@ mod tests {
             migrations: 1,
             candidates_evaluated: 4_500,
             prescreen_pruned: 12_000,
+            label_refresh_s: 0.0,
+            epoch_rolls: 0,
         }
     }
 
@@ -437,6 +439,87 @@ mod tests {
         assert_eq!(report.comparisons.len(), 2);
     }
 
+    /// A committed schema-version-3 baseline (no label_refresh_s/epoch_rolls
+    /// columns, no rush_hour row) must keep guarding a schema-version-4 run:
+    /// row identity ignores the added traffic columns, and the rush_hour row
+    /// is a new row the trajectory may grow freely.
+    #[test]
+    fn v3_baselines_guard_v4_documents() {
+        let v3_baseline = "{\n  \"bench\": \"sharded_dispatch\",\n  \"schema_version\": 3,\n  \"workload\": \"w\",\n  \"rows\": [\n    {\"mode\":\"sharded\",\"shards\":3,\"layout\":\"1x3\",\"threads\":1,\"throughput_rps\":200.0,\"setup_s\":0.090000,\"label_bytes\":123456,\"candidates_evaluated\":4100,\"prescreen_pruned\":11000}\n  ]\n}\n";
+        let mut rush = sample_shard_row();
+        rush.mode = "rush_hour".into();
+        rush.label_refresh_s = 0.25;
+        rush.epoch_rolls = 5;
+        let rows = [sample_shard_row(), rush];
+        let v4_current = crate::shardbench::render_bench_json("w", &rows);
+        let report = guard_throughput(v3_baseline, &v4_current, 0.20, None, Some(1.0)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        // Only the pre-existing row is compared; rush_hour is new.
+        assert_eq!(report.comparisons.len(), 1);
+        // And the other direction (fresh v4 baseline, v4 current) guards
+        // both rows, the rush_hour row included.
+        let report = guard_throughput(&v4_current, &v4_current, 0.20, None, Some(1.0)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        assert_eq!(report.comparisons.len(), 2);
+    }
+
+    /// A committed ingest schema-version-1 baseline (no e2e latency columns)
+    /// must keep guarding a schema-version-2 run — including the latency
+    /// ceiling, whose metric predates v2 — and a fresh v2 baseline guards
+    /// itself.  Row identity ignores the added columns.
+    #[test]
+    fn ingest_v1_baselines_guard_v2_documents() {
+        let v1_baseline = "{\n  \"bench\": \"ingest\",\n  \"schema_version\": 1,\n  \"workload\": \"w\",\n  \"rows\": [\n    {\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":8,\"throughput_rps\":100.0,\"batch_latency_p99_ms\":16.5}\n  ]\n}\n";
+        let row = crate::ingestbench::IngestBenchRow {
+            profile: "poisson".into(),
+            mode: "monolithic".into(),
+            shards: 1,
+            threads: 2,
+            service_rate: 0.9,
+            stats: structride_core::IngestStats {
+                arrivals: 80,
+                throughput_rps: 95.0,
+                batch_latency_p99_ms: 17.0,
+                e2e_latency_p50_ms: 120.0,
+                e2e_latency_p99_ms: 480.0,
+                ..Default::default()
+            },
+        };
+        let v2_current = crate::ingestbench::render_bench_json("w", std::slice::from_ref(&row));
+        let parsed = parse_bench_doc(&v2_current).unwrap();
+        assert_eq!(parsed.schema_version, 2);
+        assert_eq!(
+            field(&parsed.rows[0], "e2e_latency_p99_ms"),
+            Some("480.000000")
+        );
+        let report = guard_throughput(v1_baseline, &v2_current, 0.20, Some(0.5), None).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        assert_eq!(report.comparisons.len(), 1);
+        let report = guard_throughput(&v2_current, &v2_current, 0.20, Some(0.5), None).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+    }
+
+    /// A v4 rush_hour regression fails with a message naming the full row
+    /// identity (bench + mode + shards) and both measured values — the
+    /// triage contract: a red CI gate must say *which* row and *by how much*
+    /// without the reader re-running the bench.
+    #[test]
+    fn rush_hour_regression_failure_names_row_identity_and_values() {
+        let mut rush = sample_shard_row();
+        rush.mode = "rush_hour".into();
+        let baseline = crate::shardbench::render_bench_json("w", std::slice::from_ref(&rush));
+        rush.throughput_rps = 90.0;
+        let current = crate::shardbench::render_bench_json("w", std::slice::from_ref(&rush));
+        let report = guard_throughput(&baseline, &current, 0.20, None, None).unwrap();
+        assert!(!report.is_pass());
+        let msg = &report.failures[0];
+        assert!(msg.contains("sharded_dispatch"), "{msg}");
+        assert!(msg.contains("mode=rush_hour"), "{msg}");
+        assert!(msg.contains("shards=3"), "{msg}");
+        assert!(msg.contains("180.0"), "{msg}");
+        assert!(msg.contains("90.0"), "{msg}");
+    }
+
     /// The setup ceiling mirrors the latency ceiling: throughput excludes
     /// setup entirely, so only this gate can catch a preprocessing
     /// regression (e.g. reverting to one label build per shard).
@@ -495,11 +578,13 @@ mod tests {
         let report = guard_throughput(&baseline, &current, 0.20, None, None).unwrap();
         assert!(!report.is_pass());
         assert_eq!(report.failures.len(), 1);
+        let msg = &report.failures[0];
         assert!(
-            report.failures[0].contains("profile=poisson"),
-            "{}",
-            report.failures[0]
+            msg.contains("ingest profile=poisson mode=monolithic shards=1"),
+            "{msg}"
         );
+        // Baseline and measured values appear in the message.
+        assert!(msg.contains("100.0") && msg.contains("70.0"), "{msg}");
     }
 
     #[test]

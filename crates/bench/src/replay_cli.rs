@@ -17,6 +17,7 @@ use structride_datagen::{
     CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
 };
 use structride_model::Request;
+use structride_roadnet::{SpEngine, SpEngineBuilder, TrafficConfig};
 
 /// The dispatcher keys `--algo` accepts.  `ticket` is deliberately absent
 /// from `verify`'s reach: TicketAssign+'s commit-order races are the
@@ -26,6 +27,36 @@ pub const DISPATCHER_KEYS: &[&str] = &["sard", "rtv", "prunegdp", "gas", "darm",
 
 /// Deterministic dispatchers — the ones the replay invariant applies to.
 pub const DETERMINISTIC_KEYS: &[&str] = &["sard", "rtv", "prunegdp", "gas", "darm"];
+
+/// The traffic scenario keys `--traffic` accepts.
+pub const TRAFFIC_KEYS: &[&str] = &["rush", "incident"];
+
+/// Builds a traffic scenario from its CLI key, compressed so `horizon`
+/// simulated seconds sweep several epochs.  `rush` is the double-peaked
+/// hourly profile; `incident` a city-wide slowdown window over the middle of
+/// the horizon (network-agnostic: the zone box is unbounded, the time window
+/// does the gating).
+pub fn traffic_by_name(key: &str, horizon: f64) -> Option<TrafficConfig> {
+    match key.to_ascii_lowercase().as_str() {
+        "rush" => Some(structride_datagen::rush_hour(
+            (horizon / 6.0).max(1.0),
+            (horizon / 12.0).max(0.5),
+        )),
+        "incident" => Some(structride_datagen::incident_spike(
+            (
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::INFINITY,
+            ),
+            2.5,
+            horizon * 0.25,
+            horizon * 0.6,
+            (horizon / 8.0).max(1.0),
+        )),
+        _ => None,
+    }
+}
 
 /// Constructs a fresh dispatcher from its CLI key.  The box is `Send` so
 /// the sharded pipeline can hand one dispatcher to each shard's worker.
@@ -103,6 +134,20 @@ pub fn regenerate_workload(meta: &TraceMeta) -> Option<Workload> {
     params_from_meta(meta).map(Workload::generate)
 }
 
+/// The engine a monolithic run needs under `config`: `None` (use the
+/// workload's own free-flow engine) when the traffic model is static,
+/// otherwise a fresh engine over the same network carrying the traffic
+/// model, so the simulator can roll its epoch from the batch clock.  The
+/// sharded pipelines need no equivalent — they build their per-shard
+/// engines from `config.traffic` themselves.
+pub fn traffic_engine(workload: &Workload, config: &StructRideConfig) -> Option<SpEngine> {
+    (!config.traffic.is_static()).then(|| {
+        SpEngineBuilder::new()
+            .traffic(config.traffic)
+            .build(workload.engine.network().clone())
+    })
+}
+
 /// Records a run of `algo_key` on the workload described by `params`.
 ///
 /// Returns the workload (for immediate in-process replays) and the trace,
@@ -115,6 +160,8 @@ pub fn record_run(
     algo_key: &str,
 ) -> Option<(Workload, Trace)> {
     let workload = Workload::generate(params);
+    let traffic = traffic_engine(&workload, &config);
+    let engine = traffic.as_ref().unwrap_or(&workload.engine);
     let simulator = Simulator::new(config);
     let mut recorder = TraceRecorder::new();
     // SARD is handled concretely so its build stats can be captured; every
@@ -122,7 +169,7 @@ pub fn record_run(
     let (algorithm, build_stats) = if algo_key.eq_ignore_ascii_case("sard") {
         let mut sard = SardDispatcher::new(config);
         simulator.run_recorded(
-            &workload.engine,
+            engine,
             &workload.requests,
             workload.fresh_vehicles(),
             &mut sard,
@@ -133,7 +180,7 @@ pub fn record_run(
     } else {
         let mut dispatcher = dispatcher_by_name(algo_key, config)?;
         simulator.run_recorded(
-            &workload.engine,
+            engine,
             &workload.requests,
             workload.fresh_vehicles(),
             dispatcher.as_mut(),
@@ -146,7 +193,7 @@ pub fn record_run(
     meta.params = params_to_meta(&params);
     meta.params
         .push(("dispatcher".to_string(), algo_key.to_ascii_lowercase()));
-    meta.sp_stats = Some(workload.engine.stats());
+    meta.sp_stats = Some(engine.stats());
     meta.build_stats = build_stats;
     Some((workload, recorder.into_trace(meta)))
 }
@@ -157,10 +204,13 @@ pub fn trace_dispatcher_key(trace: &Trace) -> Option<&str> {
 }
 
 /// Replays `trace` on `workload` with a fresh dispatcher built from
-/// `algo_key`.
+/// `algo_key`.  Traffic-aware traces replay on a fresh engine carrying the
+/// recorded traffic model, so epoch rolls replay exactly as recorded.
 pub fn replay_run(workload: &Workload, algo_key: &str, trace: &Trace) -> Option<DriftReport> {
     let mut dispatcher = dispatcher_by_name(algo_key, trace.meta.config)?;
-    Some(replay_trace(&workload.engine, dispatcher.as_mut(), trace))
+    let traffic = traffic_engine(workload, &trace.meta.config);
+    let engine = traffic.as_ref().unwrap_or(&workload.engine);
+    Some(replay_trace(engine, dispatcher.as_mut(), trace))
 }
 
 // ---------------------------------------------------------------------------
@@ -374,9 +424,11 @@ pub fn record_ingested_run(
 ) -> Option<(Workload, Trace)> {
     let mut dispatcher = dispatcher_by_name(algo_key, config)?;
     let workload = Workload::generate(params);
+    let traffic = traffic_engine(&workload, &config);
+    let engine = traffic.as_ref().unwrap_or(&workload.engine);
     let mut recorder = TraceRecorder::new();
     Simulator::new(config).run_ingested_recorded(
-        &workload.engine,
+        engine,
         workload.requests.iter().cloned(),
         workload.fresh_vehicles(),
         dispatcher.as_mut(),
@@ -389,7 +441,7 @@ pub fn record_ingested_run(
         .push(("mode".to_string(), "ingested".to_string()));
     meta.params
         .push(("dispatcher".to_string(), algo_key.to_ascii_lowercase()));
-    meta.sp_stats = Some(workload.engine.stats());
+    meta.sp_stats = Some(engine.stats());
     Some((workload, recorder.into_trace(meta)))
 }
 
@@ -473,6 +525,11 @@ mod tests {
             assert!(dispatcher_by_name(key, config).is_some(), "{key}");
         }
         assert!(dispatcher_by_name("nope", config).is_none());
+        for key in TRAFFIC_KEYS {
+            let traffic = traffic_by_name(key, 120.0).expect(key);
+            assert!(!traffic.is_static(), "{key}");
+        }
+        assert!(traffic_by_name("gridlock", 120.0).is_none());
         // Deterministic keys are a strict subset excluding ticket.
         assert!(DETERMINISTIC_KEYS
             .iter()
@@ -565,6 +622,34 @@ mod tests {
         assert!(report.is_clean(), "{report}");
         let drift = rerun_sharded_ingested(&workload, "gas", &trace).expect("rerun");
         assert!(!drift.is_clean(), "a different dispatcher must drift");
+    }
+
+    #[test]
+    fn traffic_record_and_replay_are_clean_across_regenerated_workloads() {
+        let traffic = structride_datagen::rush_hour(30.0, 15.0);
+        let config = StructRideConfig::default().with_traffic(traffic);
+        let (workload, trace) =
+            record_run(quickstart_params(true), config, "sard").expect("record");
+        assert_eq!(trace.meta.config.traffic, traffic);
+        let report = replay_run(&workload, "sard", &trace).expect("replay");
+        assert!(report.is_clean(), "{report}");
+        // Cross-process flow: the v3 text round-trips the traffic model and
+        // a regenerated workload replays the parsed trace clean.
+        let parsed = Trace::parse(&trace.to_text()).expect("parse");
+        assert_eq!(parsed.meta.config.traffic, traffic);
+        let regenerated = regenerate_workload(&parsed.meta).expect("regenerate");
+        let report = replay_run(&regenerated, "sard", &parsed).expect("replay");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn sharded_traffic_record_reruns_clean() {
+        let traffic = structride_datagen::rush_hour(30.0, 15.0);
+        let config = StructRideConfig::default().with_traffic(traffic);
+        let (workload, trace) =
+            record_sharded_run(sharded_quickstart_params(true), config, "sard", 3).expect("record");
+        let report = rerun_sharded(&workload, "sard", &trace).expect("rerun");
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

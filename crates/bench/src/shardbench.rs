@@ -19,11 +19,14 @@ use crate::harness::ExperimentScale;
 /// `layout`, `setup_reduction` and `label_bytes` columns (the per-shard
 /// sub-network engine work); version 3 added the `candidates_evaluated` and
 /// `prescreen_pruned` columns plus the `megafleet` large-fleet row (the
-/// persistent fleet-index candidate retrieval work).
+/// persistent fleet-index candidate retrieval work); version 4 added the
+/// `label_refresh_s` and `epoch_rolls` columns plus the `rush_hour`
+/// time-dependent-traffic row, where the per-epoch hub-label refresh is the
+/// measured hot path.
 /// [`crate::perf::parse_bench_doc`] parses all versions, and row identity
-/// (`mode` + `shards`) is unchanged for pre-existing rows, so version-1 and
-/// version-2 baselines still guard version-3 runs.
-pub const SHARDED_SCHEMA_VERSION: u32 = 3;
+/// (`mode` + `shards`) is unchanged for pre-existing rows, so version-1
+/// through version-3 baselines still guard version-4 runs.
+pub const SHARDED_SCHEMA_VERSION: u32 = 4;
 
 /// One benchmark row: one pipeline configuration over the shared workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,18 +74,24 @@ pub struct ShardBenchRow {
     pub candidates_evaluated: u64,
     /// Vehicles skipped by the certified fleet-index prescreen.
     pub prescreen_pruned: u64,
+    /// Wall-clock spent refreshing traffic-epoch artifacts (network
+    /// reweight + shared hub-label rebuild + halo re-slice), seconds.  Zero
+    /// for static (free-flow) rows.
+    pub label_refresh_s: f64,
+    /// Traffic epoch boundaries crossed during the run (0 for static rows).
+    pub epoch_rolls: u64,
 }
 
 impl ShardBenchRow {
     /// The TSV header matching [`ShardBenchRow::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations\tcandidates_evaluated\tprescreen_pruned"
+        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations\tcandidates_evaluated\tprescreen_pruned\tlabel_refresh_s\tepoch_rolls"
     }
 
     /// One tab-separated row.
     pub fn tsv_row(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{}",
             self.mode,
             self.shards,
             self.layout,
@@ -102,6 +111,8 @@ impl ShardBenchRow {
             self.migrations,
             self.candidates_evaluated,
             self.prescreen_pruned,
+            self.label_refresh_s,
+            self.epoch_rolls,
         )
     }
 
@@ -112,7 +123,8 @@ impl ShardBenchRow {
              \"setup_s\":{:.6},\"setup_reduction\":{:.3},\"label_bytes\":{},\
              \"per_batch_ms\":{:.6},\"throughput_rps\":{:.3},\"unified_cost\":{:.3},\
              \"handoffs\":{},\"migrations\":{},\
-             \"candidates_evaluated\":{},\"prescreen_pruned\":{}}}",
+             \"candidates_evaluated\":{},\"prescreen_pruned\":{},\
+             \"label_refresh_s\":{:.6},\"epoch_rolls\":{}}}",
             self.mode,
             self.shards,
             self.layout,
@@ -132,6 +144,8 @@ impl ShardBenchRow {
             self.migrations,
             self.candidates_evaluated,
             self.prescreen_pruned,
+            self.label_refresh_s,
+            self.epoch_rolls,
         )
     }
 }
@@ -161,6 +175,8 @@ struct RowStats {
     migrations: u64,
     candidates_evaluated: u64,
     prescreen_pruned: u64,
+    label_refresh_s: f64,
+    epoch_rolls: u64,
 }
 
 fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRow {
@@ -196,6 +212,8 @@ fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRo
         migrations: stats.migrations,
         candidates_evaluated: stats.candidates_evaluated,
         prescreen_pruned: stats.prescreen_pruned,
+        label_refresh_s: stats.label_refresh_s,
+        epoch_rolls: stats.epoch_rolls,
     }
 }
 
@@ -222,7 +240,9 @@ pub fn bench_workload(scale: &ExperimentScale) -> MultiRegionWorkload {
 /// region layout (strip layouts are `(1, k)`; the six-region CI row is
 /// `(2, 3)`, making the k-scaling of setup cost visible in the trajectory),
 /// plus one `megafleet` row — the same stream against a ten-times fleet —
-/// tracking the fleet-index prescreen's sublinear candidate retrieval.
+/// tracking the fleet-index prescreen's sublinear candidate retrieval, and
+/// one `rush_hour` row — the same stream under compressed-clock rush-hour
+/// traffic — where the per-epoch label refresh is the measured hot path.
 /// Every run starts from a fresh fleet and a cold cache.
 pub fn bench_sharded(
     scale: &ExperimentScale,
@@ -261,6 +281,8 @@ pub fn bench_sharded(
             migrations: 0,
             candidates_evaluated: mono.metrics.insertion_evaluations,
             prescreen_pruned: mono.metrics.prescreen_pruned,
+            label_refresh_s: 0.0,
+            epoch_rolls: 0,
         },
     ));
 
@@ -306,6 +328,8 @@ pub fn bench_sharded(
                 migrations: report.migrations,
                 candidates_evaluated: report.aggregate.insertion_evaluations,
                 prescreen_pruned: report.aggregate.prescreen_pruned,
+                label_refresh_s: report.label_refresh_seconds,
+                epoch_rolls: report.epoch_rolls,
             },
         ));
     }
@@ -360,6 +384,56 @@ pub fn bench_sharded(
             migrations: report.migrations,
             candidates_evaluated: report.aggregate.insertion_evaluations,
             prescreen_pruned: report.aggregate.prescreen_pruned,
+            label_refresh_s: report.label_refresh_seconds,
+            epoch_rolls: report.epoch_rolls,
+        },
+    ));
+
+    // Rush-hour row: the same three-city stream under the time-dependent
+    // rush profile on a compressed traffic clock, three shards.  Epochs are
+    // sized so the horizon sweeps free-flow *and* peak multipliers — every
+    // boundary forcing a full epoch-artifact refresh (network reweight +
+    // shared parallel hub-label rebuild + halo re-slice), which is exactly
+    // the hot path `label_refresh_s` measures.
+    let traffic = structride_datagen::rush_hour(
+        (scale.horizon / 6.0).max(1.0),
+        (scale.horizon / 12.0).max(0.5),
+    );
+    let rush_config = config.with_traffic(traffic);
+    let regions = region_grid_for(workload.network(), 1, 3);
+    let sim = ShardedSimulator::new(rush_config);
+    let report = sim.run(
+        workload.network(),
+        &regions,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        |_| Box::new(SardDispatcher::new(rush_config)),
+        &workload.name,
+    );
+    let setup_reduction = if report.setup_seconds > 0.0 {
+        3.0 * report.full_build_seconds / report.setup_seconds
+    } else {
+        1.0
+    };
+    rows.push(row(
+        "rush_hour",
+        3,
+        "1x3",
+        RowStats {
+            requests: report.aggregate.total_requests,
+            served: report.aggregate.served_requests,
+            batches: report.aggregate.batches,
+            wall_s: report.run_seconds,
+            setup_s: report.setup_seconds,
+            setup_reduction,
+            label_bytes: report.label_bytes,
+            unified_cost: report.aggregate.unified_cost,
+            handoffs: report.handoffs,
+            migrations: report.migrations,
+            candidates_evaluated: report.aggregate.insertion_evaluations,
+            prescreen_pruned: report.aggregate.prescreen_pruned,
+            label_refresh_s: report.label_refresh_seconds,
+            epoch_rolls: report.epoch_rolls,
         },
     ));
     (workload.name, rows)
@@ -396,7 +470,7 @@ mod tests {
             seed: 42,
         };
         let (name, rows) = bench_sharded(&scale, &[(1, 1), (1, 3), (2, 3)]);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         assert_eq!(rows[0].mode, "unsharded");
         assert!(rows.iter().skip(1).take(3).all(|r| r.mode == "sharded"));
         assert_eq!(rows[1].shards, 1);
@@ -406,6 +480,8 @@ mod tests {
         assert_eq!(rows[4].mode, "megafleet");
         assert_eq!(rows[4].shards, 3);
         assert_eq!(rows[4].layout, "1x3");
+        assert_eq!(rows[5].mode, "rush_hour");
+        assert_eq!(rows[5].shards, 3);
         for r in &rows {
             assert!(r.requests > 0);
             assert!(r.wall_s > 0.0);
@@ -446,18 +522,30 @@ mod tests {
         }
         assert!(rows[4].prescreen_pruned > rows[2].prescreen_pruned);
 
+        // Static rows never roll epochs; the rush-hour row must, and its
+        // label-refresh hot path must register wall time.
+        for r in rows.iter().take(5) {
+            assert_eq!(r.epoch_rolls, 0, "static row {} rolled", r.mode);
+            assert_eq!(r.label_refresh_s, 0.0);
+        }
+        assert!(rows[5].epoch_rolls > 0, "rush_hour row must cross epochs");
+        assert!(rows[5].label_refresh_s > 0.0);
+
         let json = render_bench_json(&name, &rows);
         assert!(json.contains("\"bench\": \"sharded_dispatch\""));
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"mode\":\"unsharded\""));
         assert!(json.contains("\"mode\":\"sharded\""));
         assert!(json.contains("\"mode\":\"megafleet\""));
+        assert!(json.contains("\"mode\":\"rush_hour\""));
         assert!(json.contains("\"layout\":\"2x3\""));
-        assert_eq!(json.matches("\"throughput_rps\"").count(), 5);
-        assert_eq!(json.matches("\"label_bytes\"").count(), 5);
-        assert_eq!(json.matches("\"setup_reduction\"").count(), 5);
-        assert_eq!(json.matches("\"candidates_evaluated\"").count(), 5);
-        assert_eq!(json.matches("\"prescreen_pruned\"").count(), 5);
+        assert_eq!(json.matches("\"throughput_rps\"").count(), 6);
+        assert_eq!(json.matches("\"label_bytes\"").count(), 6);
+        assert_eq!(json.matches("\"setup_reduction\"").count(), 6);
+        assert_eq!(json.matches("\"candidates_evaluated\"").count(), 6);
+        assert_eq!(json.matches("\"prescreen_pruned\"").count(), 6);
+        assert_eq!(json.matches("\"label_refresh_s\"").count(), 6);
+        assert_eq!(json.matches("\"epoch_rolls\"").count(), 6);
         // Minimal well-formedness: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

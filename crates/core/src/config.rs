@@ -3,6 +3,7 @@
 use crate::ingest::IngestConfig;
 use serde::{Deserialize, Serialize};
 use structride_model::CostParams;
+use structride_roadnet::TrafficConfig;
 use structride_sharegraph::{AnglePruning, BuilderConfig};
 
 /// Framework-level configuration shared by SARD and the batch simulator.
@@ -28,6 +29,11 @@ pub struct StructRideConfig {
     /// where wall-clock adaptive batching replaces the fixed Δ cadence; see
     /// [`crate::ingest`]).
     pub ingest: IngestConfig,
+    /// The time-dependent travel-time model (profile, congestion zones,
+    /// epoch granularity).  The default is static free flow, which keeps
+    /// every pre-traffic pipeline bit-identical; a non-static config makes
+    /// the simulators roll the engine's traffic epoch from the batch clock.
+    pub traffic: TrafficConfig,
 }
 
 impl Default for StructRideConfig {
@@ -40,6 +46,7 @@ impl Default for StructRideConfig {
             grid_cells: 64,
             max_candidate_vehicles: 8,
             ingest: IngestConfig::default(),
+            traffic: TrafficConfig::default(),
         }
     }
 }
@@ -78,6 +85,12 @@ impl StructRideConfig {
         self.ingest = ingest;
         self
     }
+
+    /// Returns a copy with a different traffic model.
+    pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
+        self.traffic = traffic;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +117,16 @@ mod tests {
         assert_eq!(b.vehicle_capacity, 6);
         assert_eq!(b.grid_cells, 32);
         assert_eq!(b.angle, c.angle);
+    }
+
+    #[test]
+    fn default_traffic_is_static() {
+        assert!(StructRideConfig::default().traffic.is_static());
+        let rush = StructRideConfig::default().with_traffic(TrafficConfig {
+            profile: structride_roadnet::TrafficProfile::Rush,
+            ..TrafficConfig::default()
+        });
+        assert!(!rush.traffic.is_static());
     }
 
     #[test]

@@ -110,6 +110,11 @@ pub struct DispatchContext<'a> {
     /// Zero-based index of this batch within the run (diagnostics/logging;
     /// the bundled dispatchers do not branch on it).
     pub batch_index: usize,
+    /// The traffic epoch the engine is serving this batch under (0 forever
+    /// for static engines).  Snapshotted from the engine when the context is
+    /// created — i.e. *after* the simulator's epoch roll for the batch — so
+    /// dispatch code can stamp diagnostics without re-deriving the epoch.
+    pub epoch: u64,
     /// Per-batch scratch counters (atomics; shared with parallel workers).
     pub scratch: BatchScratch,
     /// The persistent fleet index, when the caller maintains one.  Dispatchers
@@ -137,6 +142,7 @@ impl<'a> DispatchContext<'a> {
             config,
             now,
             batch_index,
+            epoch: engine.current_epoch(),
             scratch: BatchScratch::default(),
             fleet_index: None,
         }
@@ -170,6 +176,7 @@ mod tests {
         let ctx = DispatchContext::for_batch(&engine, config, 42.0, 7);
         assert_eq!(ctx.now, 42.0);
         assert_eq!(ctx.batch_index, 7);
+        assert_eq!(ctx.epoch, 0, "static engines pin epoch 0");
         assert_eq!(ctx.config.batch_period, config.batch_period);
         assert_eq!(ctx.engine.cost(0, 1), 5.0);
     }

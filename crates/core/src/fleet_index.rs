@@ -153,6 +153,18 @@ impl FleetIndex {
         self.min_tpm
     }
 
+    /// Replaces the cached travel-time-per-meter floor — called at a traffic
+    /// epoch boundary with the rate recomputed over the **reweighted**
+    /// network, so the reachability certificate keeps holding exactly under
+    /// the epoch's weights.  Passing a rate that is not a true per-meter
+    /// lower bound of the current weights would break prescreen soundness;
+    /// the simulators only ever pass
+    /// `SpEngine::min_time_per_meter()`, which is recomputed from the
+    /// epoch's own network.
+    pub fn set_min_time_per_meter(&mut self, rate: f64) {
+        self.min_tpm = rate;
+    }
+
     /// Visits every indexed slot within `radius` meters of `(x, y)` (exact
     /// Euclidean test on true coordinates) — the raw range query behind
     /// shortlists that rank survivors themselves.
@@ -375,6 +387,68 @@ mod tests {
         let index = index_for(&net, &vehicles);
         vehicles[1].node = 8; // moved without sync
         index.check_consistency(&net, &vehicles);
+    }
+
+    /// Satellite: prescreen soundness under congestion.  When an epoch roll
+    /// scales travel times up and `min_time_per_meter` tightens with the
+    /// reweighted network, no vehicle that can actually make the pickup
+    /// deadline (by true shortest-path time under the new weights) may ever
+    /// be pruned by the certified prescreen.
+    #[test]
+    fn tightened_rate_never_prunes_a_feasible_candidate() {
+        let base = line_network(30);
+        let vehicles = fleet(&base, &[0, 3, 7, 12, 18, 25, 29, 2, 14, 22]);
+        let mut index = index_for(&base, &vehicles);
+        // A deterministic pseudo-random walk over epoch multipliers,
+        // including spatially varying ones (a congestion box on the west
+        // half of the line).
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..40 {
+            let uniform = 1.0 + next() * 1.5;
+            let west_extra = 1.0 + next() * 2.0;
+            let epoch_net = base.reweighted(|from, to| {
+                let mid_x = (from.x + to.x) * 0.5;
+                if mid_x < 1500.0 {
+                    uniform * west_extra
+                } else {
+                    uniform
+                }
+            });
+            // The epoch-boundary update: the rate recomputed over the
+            // reweighted network, exactly as the simulators do it.
+            index.set_min_time_per_meter(epoch_net.min_time_per_meter());
+            let target = (next() * 30.0) as u32 % 30;
+            let deadline = next() * 400.0;
+            let p = epoch_net.coord(target);
+            let survivors = index.certified_candidates(&epoch_net, &vehicles, p.x, p.y, deadline);
+            // Reference: true feasibility under the epoch's weights.
+            let arrivals = structride_roadnet::dijkstra::sssp_reverse(&epoch_net, target);
+            for (slot, vehicle) in vehicles.iter().enumerate() {
+                let feasible = vehicle.free_at + arrivals[vehicle.node as usize] <= deadline;
+                if feasible {
+                    assert!(
+                        survivors.contains(&slot),
+                        "feasible slot {slot} pruned (deadline {deadline}, target {target})"
+                    );
+                }
+            }
+            // And the survivors still match the brute-force bound sweep.
+            let want = brute_force(
+                &epoch_net,
+                &vehicles,
+                epoch_net.min_time_per_meter(),
+                p.x,
+                p.y,
+                deadline,
+            );
+            assert_eq!(survivors, want);
+        }
     }
 
     #[test]

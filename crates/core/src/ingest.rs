@@ -97,7 +97,7 @@ impl Default for IngestConfig {
 
 /// Ingest-level statistics of one run — the quantities `BENCH_ingest.json`
 /// reports next to the usual [`RunMetrics`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IngestStats {
     /// Requests emitted by the arrival stream.
     pub arrivals: usize,
@@ -123,6 +123,14 @@ pub struct IngestStats {
     /// 99th-percentile wall-clock from batch open to dispatch complete,
     /// milliseconds.
     pub batch_latency_p99_ms: f64,
+    /// Median end-to-end request latency — scheduled arrival to pickup
+    /// commitment (the batch whose dispatch assigned the request, which for
+    /// pool-holding dispatchers like SARD can be several batches after
+    /// arrival) — in wall milliseconds (simulated delay decompressed by
+    /// [`IngestConfig::time_scale`]).
+    pub e2e_latency_p50_ms: f64,
+    /// 99th-percentile end-to-end request latency, wall milliseconds.
+    pub e2e_latency_p99_ms: f64,
     /// Wall-clock of the ingest phase (first arrival awaited → stream
     /// drained), seconds.
     pub wall_seconds: f64,
@@ -289,6 +297,20 @@ impl IngestClock {
     }
 }
 
+/// Sorts `samples` and returns a percentile closure over them
+/// (nearest-rank on the sorted order; `0.0` when empty).
+fn sorted_percentiles(mut samples: Vec<f64>) -> impl Fn(f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    move |p: f64| -> f64 {
+        if samples.is_empty() {
+            0.0
+        } else {
+            let idx = (p * (samples.len() - 1) as f64).round() as usize;
+            samples[idx.min(samples.len() - 1)]
+        }
+    }
+}
+
 /// Accumulates the per-batch observations behind [`IngestStats`].
 #[derive(Default)]
 struct IngestCollector {
@@ -297,6 +319,11 @@ struct IngestCollector {
     dispatched: usize,
     timed_out: usize,
     batches: usize,
+    /// Release instant of every request handed to the pipeline, pending its
+    /// pickup commitment (drained into `e2e_latencies_ms` on assignment).
+    pending_releases: std::collections::HashMap<RequestId, f64>,
+    /// End-to-end (arrival → pickup commitment) latencies, wall ms.
+    e2e_latencies_ms: Vec<f64>,
 }
 
 impl IngestCollector {
@@ -307,17 +334,37 @@ impl IngestCollector {
         self.batches += 1;
     }
 
-    fn finish(self, produced: &Produced, wall_seconds: f64) -> IngestStats {
-        let mut sorted = self.latencies_ms;
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let percentile = |p: f64| -> f64 {
-            if sorted.is_empty() {
-                0.0
-            } else {
-                let idx = (p * (sorted.len() - 1) as f64).round() as usize;
-                sorted[idx.min(sorted.len() - 1)]
+    /// Registers the scheduled arrival of every request in a dispatched
+    /// batch, so a later commitment can be timed against it.
+    fn observe_releases(&mut self, batch: &[Request]) {
+        for r in batch {
+            self.pending_releases.insert(r.id, r.release);
+        }
+    }
+
+    /// Times the pickup commitments of `assigned` against their recorded
+    /// arrivals: the simulated delay `now - release`, decompressed by
+    /// `time_scale` into wall milliseconds.  A pool-holding dispatcher may
+    /// commit a request many batches after its arrival — exactly the delay
+    /// this metric exists to surface.
+    fn observe_assigned<'a>(
+        &mut self,
+        now: f64,
+        assigned: impl Iterator<Item = &'a RequestId>,
+        time_scale: f64,
+    ) {
+        let time_scale = time_scale.max(1e-9);
+        for id in assigned {
+            if let Some(release) = self.pending_releases.remove(id) {
+                self.e2e_latencies_ms
+                    .push((now - release).max(0.0) / time_scale * 1000.0);
             }
-        };
+        }
+    }
+
+    fn finish(self, produced: &Produced, wall_seconds: f64) -> IngestStats {
+        let percentile = sorted_percentiles(self.latencies_ms);
+        let e2e = sorted_percentiles(self.e2e_latencies_ms);
         let mean_depth = if self.queue_depths.is_empty() {
             0.0
         } else {
@@ -338,6 +385,8 @@ impl IngestCollector {
             },
             batch_latency_p50_ms: percentile(0.50),
             batch_latency_p99_ms: percentile(0.99),
+            e2e_latency_p50_ms: e2e(0.50),
+            e2e_latency_p99_ms: e2e(0.99),
             wall_seconds,
             throughput_rps: if wall_seconds > 0.0 {
                 self.dispatched as f64 / wall_seconds
@@ -432,8 +481,13 @@ impl Simulator {
         let mut clock = IngestClock::new(start, icfg.time_scale);
         let mut collector = IngestCollector::default();
         let bbox = structride_spatial::RegionGrid::padded_bbox(engine.network().bounding_box());
-        let fleet_index =
+        let mut fleet_index =
             crate::FleetIndex::build(bbox, config.grid_cells, engine.network(), &vehicles);
+        if engine.traffic_active() {
+            // The index caches the free-flow reachability rate at build; pin
+            // the engine's current (epoch-certified) rate instead.
+            fleet_index.set_min_time_per_meter(engine.min_time_per_meter());
+        }
         let mut run = IngestedRun {
             engine,
             config,
@@ -456,7 +510,9 @@ impl Simulator {
                 let now = clock.advance_past(&batch);
                 let (live, expired) = drop_expired(batch, now);
                 collector.timed_out += expired;
-                run.step(now, &live, &mut recorder);
+                collector.observe_releases(&live);
+                let assigned = run.step(now, &live, &mut recorder);
+                collector.observe_assigned(now, assigned.iter(), icfg.time_scale);
                 collector.observe_batch(
                     live.len(),
                     opened.elapsed().as_secs_f64() * 1000.0,
@@ -485,7 +541,8 @@ impl Simulator {
             && run.batches <= MAX_BATCHES
         {
             let now = clock.tick(delta);
-            run.step(now, &[], &mut recorder);
+            let assigned = run.step(now, &[], &mut recorder);
+            collector.observe_assigned(now, assigned.iter(), icfg.time_scale);
         }
 
         // Let every committed schedule play out.
@@ -547,7 +604,19 @@ struct IngestedRun<'a> {
 }
 
 impl IngestedRun<'_> {
-    fn step(&mut self, now: f64, batch: &[Request], recorder: &mut Option<&mut TraceRecorder>) {
+    /// Runs one batch and returns the request ids committed by it.
+    fn step(
+        &mut self,
+        now: f64,
+        batch: &[Request],
+        recorder: &mut Option<&mut TraceRecorder>,
+    ) -> Vec<RequestId> {
+        // Traffic epoch roll before the advance sweep, exactly as in the
+        // clock-driven simulator (no-op for static engines).
+        if self.engine.roll_epoch_to(now) {
+            self.fleet_index
+                .set_min_time_per_meter(self.engine.min_time_per_meter());
+        }
         self.vehicles.par_iter_mut().for_each(|v| {
             v.advance_to(self.engine, now);
         });
@@ -574,7 +643,8 @@ impl IngestedRun<'_> {
         self.groups_enumerated += scratch.groups_enumerated;
         self.prescreen_pruned += scratch.prescreen_pruned;
         self.batches += 1;
-        self.served.extend(outcome.assigned);
+        self.served.extend(outcome.assigned.iter().copied());
+        outcome.assigned
     }
 }
 
@@ -673,7 +743,9 @@ impl ShardedSimulator {
                 let now = clock.advance_past(&batch);
                 let (live, expired) = drop_expired(batch, now);
                 collector.timed_out += expired;
-                run.step(now, &live, &mut recorder);
+                collector.observe_releases(&live);
+                let assigned = run.step(now, &live, &mut recorder);
+                collector.observe_assigned(now, assigned.iter(), icfg.time_scale);
                 collector.observe_batch(
                     live.len(),
                     opened.elapsed().as_secs_f64() * 1000.0,
@@ -696,7 +768,8 @@ impl ShardedSimulator {
         let delta = self.config().batch_period.max(1e-3);
         while run.pending() > 0 && clock.now() < horizon_end && run.batches() <= MAX_BATCHES {
             let now = clock.tick(delta);
-            run.step(now, &[], &mut recorder);
+            let assigned = run.step(now, &[], &mut recorder);
+            collector.observe_assigned(now, assigned.iter(), icfg.time_scale);
         }
 
         let report = run.finish(workload_name, horizon_end);
@@ -815,6 +888,27 @@ mod tests {
         assert_eq!(stats.batch_latency_p50_ms, 51.0);
         assert_eq!(stats.batch_latency_p99_ms, 99.0);
         assert_eq!(stats.throughput_rps, 100.0);
+    }
+
+    #[test]
+    fn e2e_latency_tracks_arrival_to_commitment() {
+        let mut c = IngestCollector::default();
+        // Simulated delays of 10/20/40 s at time_scale 2 decompress to
+        // 5000/10000/20000 wall ms.
+        c.observe_releases(&[req(1, 100.0), req(2, 100.0), req(3, 100.0)]);
+        c.observe_assigned(110.0, [1u32].iter(), 2.0);
+        c.observe_assigned(120.0, [2u32].iter(), 2.0);
+        // id 3 committed batches later; id 99 never offered (ignored).
+        c.observe_assigned(140.0, [3u32, 99].iter(), 2.0);
+        let stats = c.finish(
+            &Produced {
+                offered: (1..=3).map(|i| (i as u32, 1.0, 300.0)).collect(),
+                dropped_queue_full: 0,
+            },
+            1.0,
+        );
+        assert_eq!(stats.e2e_latency_p50_ms, 10000.0);
+        assert_eq!(stats.e2e_latency_p99_ms, 20000.0);
     }
 
     #[test]

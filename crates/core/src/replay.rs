@@ -37,19 +37,27 @@ use crate::dispatcher::{BatchOutcome, Dispatcher};
 use std::fmt;
 use std::str::FromStr;
 use structride_model::{Request, RequestId, Schedule, Vehicle, Waypoint, WaypointKind};
-use structride_roadnet::{SpEngine, SpStats};
+use structride_roadnet::{
+    CongestionZone, SpEngine, SpStats, TrafficConfig, TrafficProfile, MAX_TRAFFIC_ZONES,
+};
 use structride_sharegraph::builder::BuildStats;
 
 /// Magic first line of the v1 trace text format (pre-prescreen: 3-token
 /// outcome lines, no `prescreen_pruned` counter).
 const TRACE_HEADER_V1: &str = "structride-trace v1";
 
-/// Magic first line of the current (v2) trace text format, whose outcome
-/// lines carry the `prescreen_pruned` scratch counter.
+/// Magic first line of the v2 trace text format, whose outcome lines carry
+/// the `prescreen_pruned` scratch counter.
 const TRACE_HEADER_V2: &str = "structride-trace v2";
 
+/// Magic first line of the current (v3) trace text format, whose config line
+/// additionally records the traffic model (profile, epoch granularity,
+/// congestion zones).  v1/v2 traces parse with the static
+/// [`TrafficConfig::default`] and replay bit-identically.
+const TRACE_HEADER_V3: &str = "structride-trace v3";
+
 /// The trace format version new recordings are written at.
-const TRACE_VERSION: u32 = 2;
+const TRACE_VERSION: u32 = 3;
 
 /// A plain-data snapshot of one [`Vehicle`], captured before and after each
 /// dispatch call.
@@ -445,6 +453,10 @@ pub fn replay_trace(
     let mut report = DriftReport::default();
     let bbox = structride_spatial::RegionGrid::padded_bbox(engine.network().bounding_box());
     for batch in &trace.batches {
+        // Mirror the simulators: the engine serves each batch under the
+        // traffic epoch of the batch clock (no-op for static engines, i.e.
+        // every pre-traffic trace).
+        engine.roll_epoch_to(batch.now);
         let mut vehicles: Vec<Vehicle> = batch
             .fleet_before
             .iter()
@@ -455,12 +467,17 @@ pub fn replay_trace(
         // The certified survivor set depends only on vehicle positions (the
         // grid granularity never changes which vehicles survive), so a
         // fresh per-batch index reproduces the recorded counters.
-        let index = crate::fleet_index::FleetIndex::build(
+        let mut index = crate::fleet_index::FleetIndex::build(
             bbox,
             trace.meta.config.grid_cells,
             engine.network(),
             &vehicles,
         );
+        if engine.traffic_active() {
+            // The index caches the free-flow reachability rate at build; pin
+            // the current epoch's certified rate exactly as recording did.
+            index.set_min_time_per_meter(engine.min_time_per_meter());
+        }
         let ctx = DispatchContext::for_batch(engine, trace.meta.config, batch.now, batch.index)
             .with_fleet_index(&index);
         let outcome = dispatcher.dispatch_batch(&ctx, &mut vehicles, &batch.requests);
@@ -681,6 +698,43 @@ fn ids_to_token(ids: &[RequestId]) -> String {
         .join(",")
 }
 
+/// Renders the traffic profile as a single config token value:
+/// `none`, `rush`, or `custom:<24 colon-joined hourly factors>`.
+fn traffic_profile_token(profile: &TrafficProfile) -> String {
+    match profile {
+        TrafficProfile::None => "none".to_string(),
+        TrafficProfile::Rush => "rush".to_string(),
+        TrafficProfile::Custom(factors) => {
+            let joined = factors
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(":");
+            format!("custom:{joined}")
+        }
+    }
+}
+
+/// Renders the congestion zones as a single config token value: `-` when
+/// there are none, else `;`-joined `minx,miny,maxx,maxy,factor,from,until`
+/// tuples in slot order.
+fn traffic_zones_token(config: &TrafficConfig) -> String {
+    let zones: Vec<String> = config
+        .zones()
+        .map(|z| {
+            format!(
+                "{},{},{},{},{},{},{}",
+                z.min_x, z.min_y, z.max_x, z.max_y, z.factor, z.active_from, z.active_until
+            )
+        })
+        .collect();
+    if zones.is_empty() {
+        "-".to_string()
+    } else {
+        zones.join(";")
+    }
+}
+
 fn vehicle_to_line(v: &VehicleState) -> String {
     let sched = v
         .schedule
@@ -707,7 +761,9 @@ impl Trace {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         let m = &self.meta;
-        out.push_str(if m.version >= 2 {
+        out.push_str(if m.version >= 3 {
+            TRACE_HEADER_V3
+        } else if m.version >= 2 {
             TRACE_HEADER_V2
         } else {
             TRACE_HEADER_V1
@@ -719,7 +775,7 @@ impl Trace {
         out.push_str(&format!(
             "config batch_period={} alpha={} penalty={} shareability_capacity={} \
              angle_enabled={} angle_threshold={} grid_cells={} max_candidate_vehicles={} \
-             ingest_max_batch={} ingest_deadline={} ingest_queue={} ingest_time_scale={}\n",
+             ingest_max_batch={} ingest_deadline={} ingest_queue={} ingest_time_scale={}",
             c.batch_period,
             c.cost.alpha,
             c.cost.penalty_coefficient,
@@ -733,6 +789,18 @@ impl Trace {
             c.ingest.queue_capacity,
             c.ingest.time_scale
         ));
+        // The four traffic tokens exist only at v3+, so re-serializing a
+        // parsed v1/v2 trace stays byte-identical to its original text.
+        if m.version >= 3 {
+            out.push_str(&format!(
+                " traffic_profile={} traffic_epoch_s={} traffic_hour_s={} traffic_zones={}",
+                traffic_profile_token(&c.traffic.profile),
+                c.traffic.epoch_seconds,
+                c.traffic.hour_scale,
+                traffic_zones_token(&c.traffic)
+            ));
+        }
+        out.push('\n');
         for (k, v) in &m.params {
             out.push_str(&format!("param {k} {v}\n"));
         }
@@ -859,6 +927,67 @@ impl<'a> Parser<'a> {
         self.parse_scalar(value, key)
     }
 
+    /// Parses the `traffic_profile=` token: `none`, `rush`, or
+    /// `custom:<24 colon-joined hourly factors>`.
+    fn parse_traffic_profile(&self, token: &str) -> Result<TrafficProfile, TraceParseError> {
+        let value = token
+            .strip_prefix("traffic_profile=")
+            .ok_or_else(|| self.err(format!("expected traffic_profile=..., got {token:?}")))?;
+        match value {
+            "none" => Ok(TrafficProfile::None),
+            "rush" => Ok(TrafficProfile::Rush),
+            custom => {
+                let factors = custom
+                    .strip_prefix("custom:")
+                    .ok_or_else(|| self.err(format!("unknown traffic profile {value:?}")))?;
+                let parsed: Vec<f64> = factors
+                    .split(':')
+                    .map(|t| self.parse_scalar(t, "traffic profile factor"))
+                    .collect::<Result<_, _>>()?;
+                let hourly: [f64; 24] = parsed
+                    .try_into()
+                    .map_err(|_| self.err("custom traffic profile needs 24 factors"))?;
+                Ok(TrafficProfile::Custom(hourly))
+            }
+        }
+    }
+
+    /// Parses the `traffic_zones=` token: `-` for none, else `;`-joined
+    /// `minx,miny,maxx,maxy,factor,from,until` tuples.
+    fn parse_traffic_zones(
+        &self,
+        token: &str,
+    ) -> Result<[Option<CongestionZone>; MAX_TRAFFIC_ZONES], TraceParseError> {
+        let value = token
+            .strip_prefix("traffic_zones=")
+            .ok_or_else(|| self.err(format!("expected traffic_zones=..., got {token:?}")))?;
+        let mut zones: [Option<CongestionZone>; MAX_TRAFFIC_ZONES] = [None; MAX_TRAFFIC_ZONES];
+        if value == "-" {
+            return Ok(zones);
+        }
+        for (slot, tuple) in value.split(';').enumerate() {
+            if slot >= MAX_TRAFFIC_ZONES {
+                return Err(self.err(format!(
+                    "at most {MAX_TRAFFIC_ZONES} congestion zones supported"
+                )));
+            }
+            let parts: Vec<&str> = tuple.split(',').collect();
+            if parts.len() != 7 {
+                return Err(self.err(format!("malformed congestion zone {tuple:?}")));
+            }
+            zones[slot] = Some(CongestionZone {
+                min_x: self.parse_scalar(parts[0], "zone min_x")?,
+                min_y: self.parse_scalar(parts[1], "zone min_y")?,
+                max_x: self.parse_scalar(parts[2], "zone max_x")?,
+                max_y: self.parse_scalar(parts[3], "zone max_y")?,
+                factor: self.parse_scalar(parts[4], "zone factor")?,
+                active_from: self.parse_scalar(parts[5], "zone active_from")?,
+                active_until: self.parse_scalar(parts[6], "zone active_until")?,
+            });
+        }
+        Ok(zones)
+    }
+
     fn parse_ids(&self, token: &str) -> Result<Vec<RequestId>, TraceParseError> {
         if token.is_empty() {
             return Ok(Vec::new());
@@ -950,6 +1079,7 @@ impl<'a> Parser<'a> {
         let version = match header {
             TRACE_HEADER_V1 => 1,
             TRACE_HEADER_V2 => 2,
+            TRACE_HEADER_V3 => 3,
             _ => return Err(self.err(format!("unsupported trace header {header:?}"))),
         };
         let mut meta = TraceMeta {
@@ -968,12 +1098,13 @@ impl<'a> Parser<'a> {
                 meta.workload = rest.to_string();
             } else if let Some(rest) = line.strip_prefix("config ") {
                 let tokens: Vec<&str> = rest.split(' ').collect();
-                // 8 fields is the pre-ingest (v1 without ingest knobs) shape;
-                // those traces parse with the default ingest configuration.
-                if tokens.len() != 8 && tokens.len() != 12 {
-                    return Err(self.err("config line needs 8 or 12 fields"));
+                // 8 fields is the pre-ingest (v1 without ingest knobs) shape,
+                // 12 the pre-traffic (v2) shape; older traces parse with the
+                // default (static) traffic model and default ingest knobs.
+                if tokens.len() != 8 && tokens.len() != 12 && tokens.len() != 16 {
+                    return Err(self.err("config line needs 8, 12 or 16 fields"));
                 }
-                let ingest = if tokens.len() == 12 {
+                let ingest = if tokens.len() >= 12 {
                     crate::ingest::IngestConfig {
                         max_batch_size: self.parse_kv(tokens[8], "ingest_max_batch")?,
                         batch_deadline: self.parse_kv(tokens[9], "ingest_deadline")?,
@@ -982,6 +1113,16 @@ impl<'a> Parser<'a> {
                     }
                 } else {
                     crate::ingest::IngestConfig::default()
+                };
+                let traffic = if tokens.len() >= 16 {
+                    TrafficConfig {
+                        profile: self.parse_traffic_profile(tokens[12])?,
+                        epoch_seconds: self.parse_kv(tokens[13], "traffic_epoch_s")?,
+                        hour_scale: self.parse_kv(tokens[14], "traffic_hour_s")?,
+                        zones: self.parse_traffic_zones(tokens[15])?,
+                    }
+                } else {
+                    TrafficConfig::default()
                 };
                 meta.config = StructRideConfig {
                     batch_period: self.parse_kv(tokens[0], "batch_period")?,
@@ -997,6 +1138,7 @@ impl<'a> Parser<'a> {
                     grid_cells: self.parse_kv(tokens[6], "grid_cells")?,
                     max_candidate_vehicles: self.parse_kv(tokens[7], "max_candidate_vehicles")?,
                     ingest,
+                    traffic,
                 };
             } else if let Some(rest) = line.strip_prefix("param ") {
                 let (key, value) = rest
@@ -1289,9 +1431,9 @@ mod tests {
         let report = replay_trace(&engine, &mut dispatcher, &stale);
         assert!(report.is_clean(), "v1 counters must not drift:\n{report}");
 
-        // ...while the same perturbation in a v2 recording is drift.
+        // ...while the same perturbation in a v2+ recording is drift.
         let (engine, mut v2) = record_greedy();
-        assert_eq!(v2.meta.version, 2);
+        assert_eq!(v2.meta.version, TRACE_VERSION);
         for b in &mut v2.batches {
             b.scratch.insertion_evaluations += 1000;
         }
@@ -1341,12 +1483,79 @@ mod tests {
     #[test]
     fn v2_header_and_prescreen_counter_roundtrip() {
         let (_engine, mut trace) = record_greedy();
+        // Render in the legacy v2 format: prescreen counter present, no
+        // traffic tokens on the config line.
+        trace.meta.version = 2;
         trace.batches[0].scratch.prescreen_pruned = 17;
         let text = trace.to_text();
         assert!(text.starts_with("structride-trace v2\n"), "{text}");
         assert!(text.contains("prescreen_pruned=17"), "{text}");
+        assert!(!text.contains("traffic_profile"), "{text}");
         let parsed = Trace::parse(&text).expect("parse v2 trace");
         assert_eq!(parsed, trace);
+        assert_eq!(parsed.to_text(), text);
+        // Pre-traffic traces parse with the static traffic model.
+        assert!(parsed.meta.config.traffic.is_static());
+    }
+
+    #[test]
+    fn v3_traces_roundtrip_the_traffic_model() {
+        let (_engine, mut trace) = record_greedy();
+        assert_eq!(trace.meta.version, 3);
+        let text = trace.to_text();
+        assert!(text.starts_with("structride-trace v3\n"), "{text}");
+        assert!(
+            text.contains(
+                "traffic_profile=none traffic_epoch_s=3600 traffic_hour_s=3600 traffic_zones=-"
+            ),
+            "{text}"
+        );
+        let parsed = Trace::parse(&text).expect("parse v3 trace");
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.to_text(), text);
+
+        // A non-trivial model — rush profile plus two congestion zones —
+        // round-trips field for field, and a custom profile keeps all 24
+        // hourly factors bit-exact.
+        trace.meta.config.traffic = TrafficConfig {
+            profile: TrafficProfile::Rush,
+            epoch_seconds: 600.0,
+            hour_scale: 450.5,
+            ..TrafficConfig::default()
+        }
+        .with_zone(CongestionZone {
+            min_x: -10.0,
+            min_y: 0.25,
+            max_x: 1000.0,
+            max_y: 2000.0,
+            factor: 1.8,
+            active_from: 0.0,
+            active_until: 1200.0,
+        })
+        .with_zone(CongestionZone {
+            min_x: 50.0,
+            min_y: 50.0,
+            max_x: 60.0,
+            max_y: 60.0,
+            factor: 2.5,
+            active_from: 600.0,
+            active_until: f64::INFINITY,
+        });
+        let text = trace.to_text();
+        let parsed = Trace::parse(&text).expect("parse rush trace");
+        assert_eq!(parsed.meta.config.traffic, trace.meta.config.traffic);
+        assert_eq!(parsed.to_text(), text);
+
+        let mut factors = [1.0f64; 24];
+        factors[7] = 1.618033988749895;
+        factors[23] = 0.75;
+        trace.meta.config.traffic.profile = TrafficProfile::Custom(factors);
+        let text = trace.to_text();
+        let parsed = Trace::parse(&text).expect("parse custom-profile trace");
+        assert_eq!(
+            parsed.meta.config.traffic.profile,
+            trace.meta.config.traffic.profile
+        );
         assert_eq!(parsed.to_text(), text);
     }
 

@@ -193,6 +193,15 @@ pub struct ShardedReport {
     pub sp_fallback_queries: u64,
     /// Wall-clock of the batch loop and final drain, seconds.
     pub run_seconds: f64,
+    /// Wall-clock spent refreshing epoch artifacts at traffic epoch
+    /// boundaries — reweighting the shared network, rebuilding the shared
+    /// hub-label index, and re-slicing every shard's halo engine — in
+    /// seconds.  `0.0` for static (free-flow) runs; the `rush_hour` bench
+    /// row reports it as its measured hot path.
+    pub label_refresh_seconds: f64,
+    /// Number of traffic epoch boundaries crossed during the run (0 for
+    /// static runs).
+    pub epoch_rolls: u64,
 }
 
 /// One shard: engine + dispatcher + the fleet slice it currently owns.
@@ -215,6 +224,10 @@ struct Shard {
     insertion_evaluations: u64,
     groups_enumerated: u64,
     prescreen_pruned: u64,
+    /// SP / fallback query counts accumulated from engines retired at epoch
+    /// rolls (the engine is rebuilt per epoch, resetting its counters).
+    retired_sp_queries: u64,
+    retired_fallback_queries: u64,
     /// Outcome of the current batch (drained during merging).
     last_assigned: Vec<RequestId>,
     last_scratch: ScratchStats,
@@ -494,8 +507,21 @@ pub(crate) struct ShardedRun<'a> {
     full_build_seconds: f64,
     /// Shared global index + per-shard halo slices, bytes.
     label_bytes: usize,
-    /// The network's certified seconds-per-meter floor (0 = no bound).
+    /// The *current epoch's* certified seconds-per-meter floor (0 = no
+    /// bound).  Recomputed from the reweighted network at every epoch roll so
+    /// the top-m shortlist and the per-shard fleet-index prescreens stay
+    /// sound under congestion.
     min_tpm: f64,
+    /// The free-flow network, `Arc`-shared with every epoch's engines; epoch
+    /// rolls reweight *this*, never an already-reweighted copy.
+    base_net: Arc<RoadNetwork>,
+    /// Per-shard halo vertex sets, computed once at setup and reused by
+    /// every epoch's clipped-engine rebuild.
+    halos: Vec<Vec<NodeId>>,
+    /// Traffic epoch currently loaded into the shard engines.
+    current_epoch: u64,
+    epoch_rolls: u64,
+    label_refresh_seconds: f64,
     run_t0: Instant,
 }
 
@@ -518,8 +544,18 @@ impl<'a> ShardedRun<'a> {
     ) -> Self {
         let setup_t0 = Instant::now();
         let shared_net = Arc::new(network.clone());
+        // Epoch 0 of a static config is free flow, so the traffic-aware
+        // setup below reduces *exactly* to the pre-traffic path (same
+        // network Arc, same label build, engines tagged 0).
+        let traffic = sim.config().traffic;
+        let epoch0 = traffic.epoch_at(0.0);
+        let epoch_net = if epoch0.is_free_flow() {
+            shared_net.clone()
+        } else {
+            Arc::new(shared_net.reweighted(|a, b| epoch0.edge_multiplier(a, b)))
+        };
         let full_t0 = Instant::now();
-        let full_labels = Arc::new(HubLabels::build(&shared_net));
+        let full_labels = Arc::new(HubLabels::build(&epoch_net));
         let full_build_seconds = full_t0.elapsed().as_secs_f64();
         let halos = halo_vertices(network, regions, sim.sharding().handoff_band);
         // Clipped engines are independent per shard: extract + slice in
@@ -527,7 +563,9 @@ impl<'a> ShardedRun<'a> {
         let engines: Vec<SpEngine> = halos
             .par_iter()
             .map(|halo| {
-                SpEngineBuilder::new().build_clipped(shared_net.clone(), full_labels.clone(), halo)
+                SpEngineBuilder::new()
+                    .epoch_tag(epoch0.index)
+                    .build_clipped(epoch_net.clone(), full_labels.clone(), halo)
             })
             .collect();
         let label_bytes = full_labels.approx_bytes()
@@ -553,6 +591,8 @@ impl<'a> ShardedRun<'a> {
                 insertion_evaluations: 0,
                 groups_enumerated: 0,
                 prescreen_pruned: 0,
+                retired_sp_queries: 0,
+                retired_fallback_queries: 0,
                 last_assigned: Vec::new(),
                 last_scratch: ScratchStats::default(),
             })
@@ -563,10 +603,11 @@ impl<'a> ShardedRun<'a> {
             let home = regions.region_of(p.x, p.y) as usize;
             shards[home].vehicles.push(vehicle);
         }
+        let min_tpm = epoch_net.min_time_per_meter();
         for shard in &mut shards {
             shard.fleet_index.rebuild(network, &shard.vehicles);
+            shard.fleet_index.set_min_time_per_meter(min_tpm);
         }
-        let min_tpm = network.min_time_per_meter();
         ShardedRun {
             config: *sim.config(),
             sharding: *sim.sharding(),
@@ -583,8 +624,64 @@ impl<'a> ShardedRun<'a> {
             full_build_seconds,
             label_bytes,
             min_tpm,
+            base_net: shared_net,
+            halos,
+            current_epoch: epoch0.index,
+            epoch_rolls: 0,
+            label_refresh_seconds: 0.0,
             run_t0: Instant::now(),
         }
+    }
+
+    /// Rolls every shard engine to the traffic epoch containing `now`,
+    /// rebuilding the shared artifacts once: reweight the free-flow network,
+    /// one parallel [`HubLabels::build`] over it, then re-slice each shard's
+    /// halo engine (in parallel, collected in shard order).  The certified
+    /// seconds-per-meter floor and every shard's fleet-index prescreen rate
+    /// are re-pinned from the epoch network so prescreens stay sound under
+    /// congestion.  No-op for static configs and within an epoch.
+    ///
+    /// Engines are replaced wholesale, so the retiring engines' diagnostic
+    /// query counters are accumulated into the shard first (they are
+    /// excluded from replay comparisons but still reported).
+    fn roll_epoch_to(&mut self, now: f64) {
+        if self.config.traffic.is_static() {
+            return;
+        }
+        let epoch = self.config.traffic.epoch_at(now);
+        if epoch.index == self.current_epoch {
+            return;
+        }
+        let t0 = Instant::now();
+        for s in &mut self.shards {
+            s.retired_sp_queries += s.engine.stats().index_queries;
+            s.retired_fallback_queries += s.engine.fallback_queries();
+        }
+        let epoch_net = if epoch.is_free_flow() {
+            self.base_net.clone()
+        } else {
+            Arc::new(self.base_net.reweighted(|a, b| epoch.edge_multiplier(a, b)))
+        };
+        let labels = Arc::new(HubLabels::build(&epoch_net));
+        let engines: Vec<SpEngine> = self
+            .halos
+            .par_iter()
+            .map(|halo| {
+                SpEngineBuilder::new().epoch_tag(epoch.index).build_clipped(
+                    epoch_net.clone(),
+                    labels.clone(),
+                    halo,
+                )
+            })
+            .collect();
+        self.min_tpm = epoch_net.min_time_per_meter();
+        for (shard, engine) in self.shards.iter_mut().zip(engines) {
+            shard.engine = engine;
+            shard.fleet_index.set_min_time_per_meter(self.min_tpm);
+        }
+        self.current_epoch = epoch.index;
+        self.epoch_rolls += 1;
+        self.label_refresh_seconds += t0.elapsed().as_secs_f64();
     }
 
     /// Number of batches stepped so far.
@@ -604,12 +701,17 @@ impl<'a> ShardedRun<'a> {
     /// fleet to the shared clock, route the batch (home region or best-bid
     /// handoff), dispatch every shard's sub-batch in parallel, merge the
     /// outcomes in ascending shard order, and rebalance idle vehicles.
+    /// Returns the request ids committed this batch, in shard-merge order.
     pub(crate) fn step(
         &mut self,
         now: f64,
         batch: &[Request],
         recorder: &mut Option<&mut TraceRecorder>,
-    ) {
+    ) -> Vec<RequestId> {
+        // Roll the traffic epoch *before* the advance sweep so the whole
+        // batch — vehicle movement, routing bids, dispatch — sees one epoch
+        // (mirrors the monolithic simulator's ordering).
+        self.roll_epoch_to(now);
         self.now = now;
         let network = self.network;
         for_each_shard(&mut self.shards, &|s| {
@@ -719,6 +821,7 @@ impl<'a> ShardedRun<'a> {
             }
             self.migrations += moved;
         }
+        merged.assigned
     }
 
     /// Drains every committed schedule and assembles the report.
@@ -755,7 +858,7 @@ impl<'a> ShardedRun<'a> {
                         unserved_direct_cost,
                     ),
                     running_time: s.dispatch_time,
-                    sp_queries: s.engine.stats().index_queries,
+                    sp_queries: s.retired_sp_queries + s.engine.stats().index_queries,
                     // Actual label bytes of the shard's own index (the halo
                     // slice; the whole index for a single covering shard) —
                     // not a container-capacity estimate.
@@ -772,7 +875,7 @@ impl<'a> ShardedRun<'a> {
         let sp_fallback_queries = self
             .shards
             .iter()
-            .map(|s| s.engine.fallback_queries())
+            .map(|s| s.retired_fallback_queries + s.engine.fallback_queries())
             .sum();
         let vehicles = fleet_snapshot(&self.shards);
         let served = std::mem::take(&mut self.served);
@@ -789,6 +892,8 @@ impl<'a> ShardedRun<'a> {
             label_bytes: self.label_bytes,
             sp_fallback_queries,
             run_seconds: self.run_t0.elapsed().as_secs_f64(),
+            label_refresh_seconds: self.label_refresh_seconds,
+            epoch_rolls: self.epoch_rolls,
         }
     }
 }

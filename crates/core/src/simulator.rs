@@ -125,14 +125,37 @@ impl Simulator {
         let mut groups_enumerated = 0u64;
         let mut prescreen_pruned = 0u64;
 
+        // A traffic-enabled run needs an engine that actually carries the
+        // model (the caller builds it with `SpEngineBuilder::traffic`);
+        // mismatches would silently drop congestion, so fail loudly in
+        // debug builds.
+        debug_assert!(
+            engine.traffic_config() == Some(self.config.traffic)
+                || (engine.traffic_config().is_none() && self.config.traffic.is_static()),
+            "engine traffic model must match config.traffic"
+        );
+
         // The persistent fleet index: built once, then kept in sync with the
         // fleet incrementally batch over batch instead of being rebuilt.
         let bbox = structride_spatial::RegionGrid::padded_bbox(engine.network().bounding_box());
         let mut fleet_index =
             FleetIndex::build(bbox, self.config.grid_cells, engine.network(), &vehicles);
+        if engine.traffic_active() {
+            // The build above cached the free-flow base rate; pin the
+            // prescreen to the engine's current epoch instead.
+            fleet_index.set_min_time_per_meter(engine.min_time_per_meter());
+        }
 
         while next < ordered.len() || now < horizon_end {
             now += delta;
+            // Roll the traffic epoch from the batch clock (no-op for static
+            // engines).  The roll happens at this quiescent point — before
+            // the advance sweep and the dispatch — so the whole batch,
+            // including schedule execution, sees one consistent epoch, and
+            // the certified prescreen rate follows the reweighted network.
+            if engine.roll_epoch_to(now) {
+                fleet_index.set_min_time_per_meter(engine.min_time_per_meter());
+            }
             // Vehicles move along their committed schedules up to the batch
             // end.  Each vehicle only reads the shared engine and mutates its
             // own state, so the sweep fans out over the fleet.
@@ -412,6 +435,47 @@ mod tests {
         for id in &sard_report.served {
             assert!(delivered.contains(id));
         }
+    }
+
+    #[test]
+    fn traffic_run_rolls_epochs_and_stays_deterministic() {
+        use structride_roadnet::{SpEngineBuilder, TrafficConfig, TrafficProfile};
+        let w = tiny_workload();
+        // Compress the rush curve so the 240 s horizon sweeps several hours:
+        // one epoch (= one profile hour) every 30 s of simulation time.
+        let traffic = TrafficConfig {
+            profile: TrafficProfile::Rush,
+            epoch_seconds: 30.0,
+            hour_scale: 30.0,
+            ..TrafficConfig::default()
+        };
+        let config = StructRideConfig::default().with_traffic(traffic);
+        let engine = SpEngineBuilder::new()
+            .traffic(traffic)
+            .build(w.engine.network().clone());
+        let sim = Simulator::new(config);
+        let run = |engine: &structride_roadnet::SpEngine| {
+            let mut sard = SardDispatcher::new(config);
+            sim.run(engine, &w.requests, w.fresh_vehicles(), &mut sard, &w.name)
+        };
+        let first = run(&engine);
+        assert!(engine.epoch_rolls() > 0, "horizon must cross epochs");
+        assert!(first.metrics.served_requests > 0);
+        // Re-running on a fresh engine reproduces the identical outcome:
+        // the epoch is a pure function of (config, batch clock).
+        let engine2 = SpEngineBuilder::new()
+            .traffic(traffic)
+            .build(w.engine.network().clone());
+        let second = run(&engine2);
+        assert_eq!(
+            first.metrics.served_requests,
+            second.metrics.served_requests
+        );
+        assert_eq!(
+            first.metrics.unified_cost.to_bits(),
+            second.metrics.unified_cost.to_bits()
+        );
+        assert_eq!(first.served, second.served);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use structride_datagen::{
     CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
 };
 use structride_model::insertion;
-use structride_roadnet::{HubLabels, SpEngineBuilder};
+use structride_roadnet::{HubLabels, SpEngineBuilder, TrafficConfig, TrafficProfile};
 
 fn sard_factory(config: StructRideConfig) -> impl Fn(usize) -> ShardDispatcher {
     move |_| Box::new(SardDispatcher::new(config))
@@ -605,6 +605,89 @@ fn two_by_three_grid_sharding_runs_and_merges() {
     assert!(report.label_bytes > 0);
     assert!(report.full_build_seconds > 0.0);
     assert!(report.setup_seconds >= report.full_build_seconds);
+}
+
+#[test]
+fn rush_hour_sharded_run_rolls_epochs_and_is_worker_count_independent() {
+    let w = multi_workload(3);
+    // Compressed clock: epochs every 40 s with 20 s "hours", so the 200 s
+    // horizon sweeps free-flow *and* congested rush-profile multipliers
+    // (epoch starts 0..=200 cover hours 0..=10, peaking at 1.75 at hour 8).
+    let traffic = TrafficConfig {
+        profile: TrafficProfile::Rush,
+        epoch_seconds: 40.0,
+        hour_scale: 20.0,
+        ..TrafficConfig::default()
+    };
+    let config = StructRideConfig::default().with_traffic(traffic);
+    let sim = ShardedSimulator::new(config);
+
+    let run_with = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let mut recorder = TraceRecorder::new();
+            let report = sim.run_recorded(
+                w.network(),
+                &w.regions,
+                &w.requests,
+                w.fresh_vehicles(),
+                sard_factory(config),
+                &w.name,
+                &mut recorder,
+            );
+            let trace = recorder.into_trace(TraceMeta::new("SARD", &w.name, config));
+            (report, trace)
+        })
+    };
+
+    let (report1, trace1) = run_with(1);
+    let (report8, trace8) = run_with(8);
+
+    assert!(
+        report1.epoch_rolls > 0,
+        "horizon must cross epoch boundaries"
+    );
+    assert!(report1.label_refresh_seconds > 0.0);
+    assert!(report1.aggregate.served_requests > 0);
+    let drift = diff_traces(&trace1, &trace8);
+    assert!(
+        drift.is_clean(),
+        "rush-hour 1-vs-8 workers drifted:\n{drift}"
+    );
+    assert_eq!(report1.epoch_rolls, report8.epoch_rolls);
+    assert_eq!(
+        deterministic_fields(&report1.aggregate),
+        deterministic_fields(&report8.aggregate)
+    );
+    assert_eq!(report1.handoffs, report8.handoffs);
+    assert_eq!(report1.migrations, report8.migrations);
+    assert_eq!(report1.served, report8.served);
+    // The traffic model rides along in the recorded trace's config line.
+    let reparsed = structride_core::Trace::parse(&trace1.to_text()).expect("codec");
+    assert_eq!(reparsed.meta.config.traffic, traffic);
+    assert!(diff_traces(&trace1, &reparsed).is_clean());
+
+    // Congestion must actually change the pipeline: the same workload under
+    // a static model produces a different recording.
+    let static_sim = ShardedSimulator::new(StructRideConfig::default());
+    let mut recorder = TraceRecorder::new();
+    static_sim.run_recorded(
+        w.network(),
+        &w.regions,
+        &w.requests,
+        w.fresh_vehicles(),
+        sard_factory(StructRideConfig::default()),
+        &w.name,
+        &mut recorder,
+    );
+    let static_trace = recorder.into_trace(TraceMeta::new("SARD", &w.name, config));
+    assert!(
+        !diff_traces(&trace1, &static_trace).is_clean(),
+        "rush-hour congestion must perturb the recorded pipeline"
+    );
 }
 
 #[test]

@@ -27,7 +27,10 @@
 //!   how many regions are populated or how the consumer later shards it;
 //! * [`arrivals`] — streaming arrival processes (homogeneous Poisson and
 //!   bursty-surge profiles) emitting timestamped requests one at a time for
-//!   the ingest front end, instead of pre-materialised batches.
+//!   the ingest front end, instead of pre-materialised batches;
+//! * [`traffic`] — traffic scenario presets (compressed-clock rush hour,
+//!   localized incident spike) parameterizing the time-dependent travel-time
+//!   model of `structride_roadnet::traffic`.
 
 pub mod arrivals;
 pub mod city;
@@ -35,6 +38,7 @@ pub mod distributions;
 pub mod network;
 pub mod regions;
 pub mod requests;
+pub mod traffic;
 pub mod vehicles;
 pub mod workload;
 
@@ -43,5 +47,6 @@ pub use city::CityProfile;
 pub use network::{synthetic_city_network, NetworkParams};
 pub use regions::{derive_region_seed, MultiRegionParams, MultiRegionWorkload};
 pub use requests::RequestGenParams;
+pub use traffic::{incident_spike, rush_hour};
 pub use vehicles::FleetParams;
 pub use workload::{Workload, WorkloadParams};

@@ -28,8 +28,9 @@ use crate::graph::{NodeId, Point, RoadNetwork};
 use crate::hub_labels::HubLabels;
 use crate::sharded::{ShardedLruCache, DEFAULT_SHARDS};
 use crate::subnet::SubNetwork;
+use crate::traffic::{TrafficConfig, TrafficEpoch};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Counters describing the query workload seen by an [`SpEngine`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +49,8 @@ pub struct SpEngineBuilder {
     cache_capacity: usize,
     cache_shards: usize,
     use_hub_labels: bool,
+    traffic: TrafficConfig,
+    epoch_tag: u64,
 }
 
 impl Default for SpEngineBuilder {
@@ -56,6 +59,8 @@ impl Default for SpEngineBuilder {
             cache_capacity: 1 << 18,
             cache_shards: DEFAULT_SHARDS,
             use_hub_labels: true,
+            traffic: TrafficConfig::default(),
+            epoch_tag: 0,
         }
     }
 }
@@ -87,6 +92,31 @@ impl SpEngineBuilder {
         self
     }
 
+    /// Attaches a time-dependent traffic model.  A non-static config makes
+    /// [`SpEngineBuilder::build`] / [`build_shared`](Self::build_shared)
+    /// produce a **self-rolling** engine: the caller drives
+    /// [`SpEngine::roll_epoch_to`] from the batch clock and the engine
+    /// reweights the network, rebuilds its labels and recomputes
+    /// `min_time_per_meter` at every epoch boundary.  A static config (the
+    /// default) leaves the pre-traffic fast path completely untouched.
+    ///
+    /// `build_with_index` / `build_clipped` ignore this knob: prebuilt
+    /// shared labels are already epoch-specific, so the sharded pipeline
+    /// rolls epochs by rebuilding its engines over the reweighted network
+    /// and stamping them with [`SpEngineBuilder::epoch_tag`] instead.
+    pub fn traffic(mut self, config: TrafficConfig) -> Self {
+        self.traffic = config;
+        self
+    }
+
+    /// Stamps the engine's cache keys with an epoch tag (default 0).  Used
+    /// by the sharded pipeline when it rebuilds per-shard engines at an
+    /// epoch boundary, so entries from different epochs can never collide.
+    pub fn epoch_tag(mut self, tag: u64) -> Self {
+        self.epoch_tag = tag;
+        self
+    }
+
     /// Builds the engine for the given road network.
     pub fn build(self, net: RoadNetwork) -> SpEngine {
         self.build_shared(Arc::new(net))
@@ -94,14 +124,69 @@ impl SpEngineBuilder {
 
     /// Builds the engine over an [`Arc`]-shared road network (no clone) —
     /// the per-shard engines of the sharded pipeline all point at one global
-    /// network this way.
+    /// network this way.  With a non-static [`SpEngineBuilder::traffic`]
+    /// config, `net` is the free-flow base network and the engine starts in
+    /// the epoch covering `now = 0`.
     pub fn build_shared(self, net: Arc<RoadNetwork>) -> SpEngine {
+        if !self.traffic.is_static() {
+            return self.build_traffic(net);
+        }
         let index = if self.use_hub_labels {
             SpIndex::Full(Arc::new(HubLabels::build(&net)))
         } else {
             SpIndex::Dijkstra
         };
         self.assemble(net, index)
+    }
+
+    /// Builds a self-rolling traffic engine over the free-flow base `net`.
+    fn build_traffic(self, base: Arc<RoadNetwork>) -> SpEngine {
+        let config = self.traffic;
+        let epoch = config.epoch_at(0.0);
+        let (net, index, min_tpm) = Self::epoch_artifacts(&base, &epoch, self.use_hub_labels);
+        let runtime = TrafficRuntime {
+            config,
+            base: base.clone(),
+            use_hub_labels: self.use_hub_labels,
+            slot: RwLock::new(EpochSlot {
+                epoch: epoch.index,
+                net,
+                index,
+                min_tpm,
+            }),
+            refresh_seconds: Mutex::new(0.0),
+            rolls: AtomicU64::new(0),
+        };
+        let tag = epoch.index;
+        let mut engine = self.assemble(base, SpIndex::Dijkstra);
+        engine.traffic = Some(Box::new(runtime));
+        engine.epoch_tag.store(tag, Ordering::Relaxed);
+        engine
+    }
+
+    /// The per-epoch artifacts: reweighted network (shared base when the
+    /// epoch is free flow), label index, and the epoch's certified
+    /// `min_time_per_meter`.  A pure function of `(base, epoch)` — the
+    /// parallel [`HubLabels::build`] is bit-identical under any worker
+    /// count, so every process that agrees on the batch clock agrees on
+    /// these artifacts.
+    fn epoch_artifacts(
+        base: &Arc<RoadNetwork>,
+        epoch: &TrafficEpoch,
+        use_hub_labels: bool,
+    ) -> (Arc<RoadNetwork>, SpIndex, f64) {
+        let net = if epoch.is_free_flow() {
+            base.clone()
+        } else {
+            Arc::new(base.reweighted(|from, to| epoch.edge_multiplier(from, to)))
+        };
+        let index = if use_hub_labels {
+            SpIndex::Full(Arc::new(HubLabels::build(&net)))
+        } else {
+            SpIndex::Dijkstra
+        };
+        let min_tpm = net.min_time_per_meter();
+        (net, index, min_tpm)
     }
 
     /// Builds the engine around a prebuilt (shared) hub-label index instead
@@ -163,6 +248,8 @@ impl SpEngineBuilder {
         SpEngine {
             net,
             index,
+            traffic: None,
+            epoch_tag: AtomicU64::new(self.epoch_tag),
             cache: ShardedLruCache::new(self.cache_capacity, self.cache_shards),
             total_queries: AtomicU64::new(0),
             index_queries: AtomicU64::new(0),
@@ -170,6 +257,33 @@ impl SpEngineBuilder {
             fallback_queries: AtomicU64::new(0),
         }
     }
+}
+
+/// The interior state of a self-rolling traffic engine: the immutable model
+/// plus the current epoch's artifacts behind a read-write lock.  The lock is
+/// only ever written by [`SpEngine::roll_epoch_to`], which the pipelines call
+/// at quiescent batch boundaries (no concurrent queries in flight); during a
+/// batch every worker thread takes cheap uncontended read locks.
+#[derive(Debug)]
+struct TrafficRuntime {
+    config: TrafficConfig,
+    base: Arc<RoadNetwork>,
+    use_hub_labels: bool,
+    slot: RwLock<EpochSlot>,
+    /// Cumulative wall-clock seconds spent rebuilding epoch artifacts — the
+    /// measured hot path of the `rush_hour` bench row.
+    refresh_seconds: Mutex<f64>,
+    rolls: AtomicU64,
+}
+
+/// The artifacts of one traffic epoch: reweighted network, rebuilt label
+/// index, and the epoch's certified prescreen rate.
+#[derive(Debug)]
+struct EpochSlot {
+    epoch: u64,
+    net: Arc<RoadNetwork>,
+    index: SpIndex,
+    min_tpm: f64,
 }
 
 /// How an [`SpEngine`] resolves index queries (cache misses).
@@ -193,11 +307,20 @@ enum SpIndex {
 
 /// Shared shortest-path oracle: hub labels + sharded LRU cache + query
 /// counters.
+///
+/// Cache keys are **epoch-stamped** `(epoch_tag, source, target)` triples:
+/// static engines keep tag 0 forever, traffic engines bump the tag at every
+/// epoch roll (and clear the cache besides), so an entry cached under one
+/// epoch's weights can never answer a query in another.
 #[derive(Debug)]
 pub struct SpEngine {
     net: Arc<RoadNetwork>,
     index: SpIndex,
-    cache: ShardedLruCache<(NodeId, NodeId), f64>,
+    /// `Some` for self-rolling traffic engines; `None` keeps the static
+    /// fast path (no lock anywhere on the query path).
+    traffic: Option<Box<TrafficRuntime>>,
+    epoch_tag: AtomicU64,
+    cache: ShardedLruCache<(u64, NodeId, NodeId), f64>,
     total_queries: AtomicU64,
     index_queries: AtomicU64,
     cache_hits: AtomicU64,
@@ -210,7 +333,10 @@ impl SpEngine {
         SpEngineBuilder::default().build(net)
     }
 
-    /// The underlying road network.
+    /// The underlying road network.  For self-rolling traffic engines this
+    /// is the **free-flow base** (topology and coordinates are shared with
+    /// every epoch's reweighted copy); use [`SpEngine::min_time_per_meter`]
+    /// and the query methods for epoch-correct travel quantities.
     pub fn network(&self) -> &RoadNetwork {
         &self.net
     }
@@ -225,7 +351,8 @@ impl SpEngine {
         self.net.coord(node)
     }
 
-    /// Minimum travel time (seconds) from `source` to `target`.
+    /// Minimum travel time (seconds) from `source` to `target` under the
+    /// current epoch's weights.
     ///
     /// Results are exact; unreachable pairs return infinity.
     pub fn cost(&self, source: NodeId, target: NodeId) -> f64 {
@@ -233,7 +360,7 @@ impl SpEngine {
         if source == target {
             return 0.0;
         }
-        let key = (source, target);
+        let key = (self.epoch_tag.load(Ordering::Relaxed), source, target);
         if let Some(v) = self.cache.get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return v;
@@ -251,8 +378,26 @@ impl SpEngine {
     /// Travel time bypassing the cache (still counted as an index query).
     pub fn cost_uncached(&self, source: NodeId, target: NodeId) -> f64 {
         self.index_queries.fetch_add(1, Ordering::Relaxed);
-        match &self.index {
-            SpIndex::Dijkstra => dijkstra::p2p(&self.net, source, target),
+        match &self.traffic {
+            Some(rt) => {
+                let slot = rt.slot.read().unwrap();
+                self.resolve_cost(&slot.net, &slot.index, source, target)
+            }
+            None => self.resolve_cost(&self.net, &self.index, source, target),
+        }
+    }
+
+    /// Resolves one uncached query against a specific network + index pair
+    /// (the static fields, or a traffic engine's current epoch slot).
+    fn resolve_cost(
+        &self,
+        net: &RoadNetwork,
+        index: &SpIndex,
+        source: NodeId,
+        target: NodeId,
+    ) -> f64 {
+        match index {
+            SpIndex::Dijkstra => dijkstra::p2p(net, source, target),
             SpIndex::Full(labels) => labels.query(source, target),
             SpIndex::Clipped { sub, slice, full } => match (sub.local(source), sub.local(target)) {
                 (Some(ls), Some(lt)) => slice.query(ls, lt),
@@ -285,7 +430,25 @@ impl SpEngine {
     pub fn many_to_many(&self, sources: &[NodeId], targets: &[NodeId]) -> Vec<f64> {
         let pairs = (sources.len() * targets.len()) as u64;
         self.index_queries.fetch_add(pairs, Ordering::Relaxed);
-        match &self.index {
+        match &self.traffic {
+            Some(rt) => {
+                let slot = rt.slot.read().unwrap();
+                self.resolve_matrix(&slot.net, &slot.index, sources, targets, pairs)
+            }
+            None => self.resolve_matrix(&self.net, &self.index, sources, targets, pairs),
+        }
+    }
+
+    /// Resolves one batched matrix against a specific network + index pair.
+    fn resolve_matrix(
+        &self,
+        net: &RoadNetwork,
+        index: &SpIndex,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        pairs: u64,
+    ) -> Vec<f64> {
+        match index {
             SpIndex::Dijkstra => {
                 let mut out = Vec::with_capacity(sources.len() * targets.len());
                 for &s in sources {
@@ -293,7 +456,7 @@ impl SpEngine {
                         out.push(if s == t {
                             0.0
                         } else {
-                            dijkstra::p2p(&self.net, s, t)
+                            dijkstra::p2p(net, s, t)
                         });
                     }
                 }
@@ -351,10 +514,14 @@ impl SpEngine {
     /// fallback are *not* counted — sum them once per pipeline, not per
     /// shard.
     pub fn index_bytes(&self) -> usize {
-        match &self.index {
+        let bytes = |index: &SpIndex| match index {
             SpIndex::Dijkstra | SpIndex::FallbackOnly { .. } => 0,
             SpIndex::Full(labels) => labels.approx_bytes(),
             SpIndex::Clipped { slice, .. } => slice.approx_bytes(),
+        };
+        match &self.traffic {
+            Some(rt) => bytes(&rt.slot.read().unwrap().index),
+            None => bytes(&self.index),
         }
     }
 
@@ -362,13 +529,19 @@ impl SpEngine {
     /// single index query).  Useful for warming batch computations.
     pub fn one_to_all(&self, source: NodeId) -> Vec<f64> {
         self.index_queries.fetch_add(1, Ordering::Relaxed);
-        dijkstra::sssp(&self.net, source)
+        match &self.traffic {
+            Some(rt) => dijkstra::sssp(&rt.slot.read().unwrap().net, source),
+            None => dijkstra::sssp(&self.net, source),
+        }
     }
 
     /// Distances from every node to `source` (reverse Dijkstra).
     pub fn all_to_one(&self, target: NodeId) -> Vec<f64> {
         self.index_queries.fetch_add(1, Ordering::Relaxed);
-        dijkstra::sssp_reverse(&self.net, target)
+        match &self.traffic {
+            Some(rt) => dijkstra::sssp_reverse(&rt.slot.read().unwrap().net, target),
+            None => dijkstra::sssp_reverse(&self.net, target),
+        }
     }
 
     /// Straight-line (Euclidean) distance between the coordinates of two
@@ -393,6 +566,91 @@ impl SpEngine {
     /// comparable.
     pub fn clear_cache(&self) {
         self.cache.clear();
+    }
+
+    // -----------------------------------------------------------------------
+    // Time-dependent traffic
+    // -----------------------------------------------------------------------
+
+    /// True for self-rolling traffic engines (built with a non-static
+    /// [`SpEngineBuilder::traffic`] config).
+    pub fn traffic_active(&self) -> bool {
+        self.traffic.is_some()
+    }
+
+    /// The traffic model of a self-rolling engine, if any.
+    pub fn traffic_config(&self) -> Option<TrafficConfig> {
+        self.traffic.as_ref().map(|rt| rt.config)
+    }
+
+    /// The epoch tag stamped into cache keys: the current epoch index for
+    /// traffic engines, the builder-assigned tag (default 0) otherwise.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch_tag.load(Ordering::Relaxed)
+    }
+
+    /// Advances a self-rolling traffic engine to the epoch covering `now`.
+    /// Returns `true` when the epoch actually changed (network reweighted,
+    /// labels rebuilt, prescreen rate recomputed, cache invalidated).
+    ///
+    /// Static engines return `false` unconditionally, so pipelines can call
+    /// this every batch without guarding.  Must be called from the batch
+    /// control thread at a quiescent point — concurrent `cost()` callers in
+    /// the same instant could cache a fresh-epoch value under the old tag.
+    pub fn roll_epoch_to(&self, now: f64) -> bool {
+        let Some(rt) = &self.traffic else {
+            return false;
+        };
+        let epoch = rt.config.epoch_at(now);
+        if rt.slot.read().unwrap().epoch == epoch.index {
+            return false;
+        }
+        let t0 = std::time::Instant::now();
+        let (net, index, min_tpm) =
+            SpEngineBuilder::epoch_artifacts(&rt.base, &epoch, rt.use_hub_labels);
+        *rt.slot.write().unwrap() = EpochSlot {
+            epoch: epoch.index,
+            net,
+            index,
+            min_tpm,
+        };
+        self.epoch_tag.store(epoch.index, Ordering::Relaxed);
+        self.cache.clear();
+        rt.rolls.fetch_add(1, Ordering::Relaxed);
+        *rt.refresh_seconds.lock().unwrap() += t0.elapsed().as_secs_f64();
+        true
+    }
+
+    /// The certified prescreen rate for the **current** epoch's weights:
+    /// `travel_time(u, v) >= min_time_per_meter() * euclidean(u, v)` holds
+    /// for the network as currently weighted.  Static engines scan the base
+    /// network (callers should cache the value — it never changes); traffic
+    /// engines return the rate precomputed at the last epoch roll, which is
+    /// what keeps SARD/pruneGDP/GAS candidate retrieval and top-m handoff
+    /// bidding *sound* under congestion.
+    pub fn min_time_per_meter(&self) -> f64 {
+        match &self.traffic {
+            Some(rt) => rt.slot.read().unwrap().min_tpm,
+            None => self.net.min_time_per_meter(),
+        }
+    }
+
+    /// Cumulative wall-clock seconds a traffic engine has spent rebuilding
+    /// epoch artifacts in [`SpEngine::roll_epoch_to`] (0.0 for static
+    /// engines; the initial epoch-0 build counts as setup, not refresh).
+    pub fn label_refresh_seconds(&self) -> f64 {
+        self.traffic
+            .as_ref()
+            .map(|rt| *rt.refresh_seconds.lock().unwrap())
+            .unwrap_or(0.0)
+    }
+
+    /// Number of completed epoch rolls (0 for static engines).
+    pub fn epoch_rolls(&self) -> u64 {
+        self.traffic
+            .as_ref()
+            .map(|rt| rt.rolls.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Resets the query counters (the cache contents are kept).
@@ -605,6 +863,91 @@ mod tests {
         check(&clipped, &mixed, &in_halo); // an outside endpoint: full-index fallback
         assert!(clipped.fallback_queries() > before);
         check(&dijkstra, &mixed, &mixed);
+    }
+
+    fn rush_config() -> crate::traffic::TrafficConfig {
+        crate::traffic::TrafficConfig {
+            profile: crate::traffic::TrafficProfile::Rush,
+            epoch_seconds: 100.0,
+            hour_scale: 100.0, // one profile hour per epoch
+            ..crate::traffic::TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn static_engines_never_roll_and_traffic_engines_report_state() {
+        let eng = SpEngine::new(line_graph(10));
+        assert!(!eng.traffic_active());
+        assert!(!eng.roll_epoch_to(1e9));
+        assert_eq!(eng.current_epoch(), 0);
+        assert_eq!(eng.epoch_rolls(), 0);
+        assert_eq!(eng.label_refresh_seconds(), 0.0);
+
+        let traffic = SpEngineBuilder::new()
+            .traffic(rush_config())
+            .build(line_graph(10));
+        assert!(traffic.traffic_active());
+        assert_eq!(traffic.traffic_config(), Some(rush_config()));
+        // Rolling within epoch 0 is a no-op; crossing a boundary rolls.
+        assert!(!traffic.roll_epoch_to(50.0));
+        assert!(traffic.roll_epoch_to(650.0));
+        assert_eq!(traffic.current_epoch(), 6);
+        assert_eq!(traffic.epoch_rolls(), 1);
+        assert!(!traffic.roll_epoch_to(699.0));
+    }
+
+    #[test]
+    fn epoch_roll_scales_costs_and_keeps_prescreen_rate_certified() {
+        let traffic = SpEngineBuilder::new()
+            .traffic(rush_config())
+            .build(line_graph(12));
+        // Epoch 0 samples hour 0 (free flow): identical to a static engine.
+        let base = SpEngine::new(line_graph(12));
+        assert_eq!(
+            traffic.cost_uncached(0, 11).to_bits(),
+            base.cost_uncached(0, 11).to_bits()
+        );
+        assert_eq!(
+            traffic.min_time_per_meter().to_bits(),
+            base.network().min_time_per_meter().to_bits()
+        );
+        // Epoch 8 samples the morning peak: every cost scales by 1.75 and
+        // the certified rate tightens with it.
+        assert!(traffic.roll_epoch_to(820.0));
+        let peaked = traffic.cost_uncached(0, 11);
+        assert!((peaked - base.cost_uncached(0, 11) * 1.75).abs() < 1e-9);
+        assert!(
+            (traffic.min_time_per_meter() - base.network().min_time_per_meter() * 1.75).abs()
+                < 1e-12
+        );
+        // The rate still certifies the geometric lower bound under congestion.
+        for s in 0..12u32 {
+            for t in 0..12u32 {
+                let lb = traffic.min_time_per_meter() * traffic.euclidean(s, t);
+                assert!(traffic.cost_uncached(s, t) + 1e-9 >= lb, "({s},{t})");
+            }
+        }
+    }
+
+    /// Satellite: no stale SP hits across an epoch roll — a value cached
+    /// under one epoch's weights must never answer a query in the next.
+    #[test]
+    fn epoch_roll_invalidates_cached_entries() {
+        let traffic = SpEngineBuilder::new()
+            .traffic(rush_config())
+            .build(line_graph(12));
+        let free_flow = traffic.cost(0, 11);
+        assert_eq!(traffic.cost(0, 11), free_flow); // warmed
+        assert_eq!(traffic.stats().cache_hits, 1);
+        assert!(traffic.roll_epoch_to(820.0)); // hour 8: ×1.75
+        let peaked = traffic.cost(0, 11);
+        assert!(
+            (peaked - free_flow * 1.75).abs() < 1e-9,
+            "stale cache hit: {peaked} vs free-flow {free_flow}"
+        );
+        // And back across another boundary into a free-flow hour.
+        assert!(traffic.roll_epoch_to(2_100.0)); // hour 21: ×1.0
+        assert_eq!(traffic.cost(0, 11).to_bits(), free_flow.to_bits());
     }
 
     /// The sharded cache must agree with `cost_uncached` under concurrent

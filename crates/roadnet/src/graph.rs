@@ -177,6 +177,48 @@ impl RoadNetwork {
         }
     }
 
+    /// Returns a copy of the network with every edge weight multiplied by
+    /// `multiplier(from_coord, to_coord)` — the substrate of per-epoch
+    /// traffic reweighting ([`crate::traffic::TrafficEpoch::edge_multiplier`]).
+    ///
+    /// Topology, coordinates, and edge order are untouched; only the weight
+    /// arrays change.  The forward and reverse copy of each edge are scaled
+    /// by the *same* `w * multiplier(from, to)` product (identical operands,
+    /// identical rounding), so the two CSR views stay bit-consistent and a
+    /// backward search sees exactly the weights a forward search does.
+    /// Non-finite or negative products are clamped to `0.0` so a reweighted
+    /// network always satisfies the builder's weight invariants.
+    pub fn reweighted(&self, multiplier: impl Fn(Point, Point) -> f64) -> RoadNetwork {
+        let scale = |from: Point, to: Point, w: f64| {
+            let scaled = w * multiplier(from, to);
+            if scaled.is_finite() && scaled >= 0.0 {
+                scaled
+            } else {
+                0.0
+            }
+        };
+        let mut out = self.clone();
+        for node in self.nodes() {
+            let from = self.coord(node);
+            let lo = self.fwd_offsets[node as usize] as usize;
+            let hi = self.fwd_offsets[node as usize + 1] as usize;
+            for i in lo..hi {
+                let to = self.coord(self.fwd_targets[i]);
+                out.fwd_weights[i] = scale(from, to, self.fwd_weights[i]);
+            }
+        }
+        for node in self.nodes() {
+            let to = self.coord(node);
+            let lo = self.rev_offsets[node as usize] as usize;
+            let hi = self.rev_offsets[node as usize + 1] as usize;
+            for i in lo..hi {
+                let from = self.coord(self.rev_targets[i]);
+                out.rev_weights[i] = scale(from, to, self.rev_weights[i]);
+            }
+        }
+        out
+    }
+
     /// Approximate heap footprint of the graph in bytes (used by the memory
     /// accounting of Fig. 14).
     pub fn approx_bytes(&self) -> usize {
@@ -416,6 +458,38 @@ mod tests {
                 d[t as usize]
             );
         }
+    }
+
+    #[test]
+    fn reweighted_scales_forward_and_reverse_views_identically() {
+        let g = triangle();
+        let doubled = g.reweighted(|_, _| 2.0);
+        assert_eq!(doubled.node_count(), g.node_count());
+        assert_eq!(doubled.edge_count(), g.edge_count());
+        for node in g.nodes() {
+            assert_eq!(doubled.coord(node), g.coord(node));
+            let base: Vec<_> = g.out_edges(node).collect();
+            let scaled: Vec<_> = doubled.out_edges(node).collect();
+            for ((bt, bw), (st, sw)) in base.iter().zip(scaled.iter()) {
+                assert_eq!(bt, st);
+                assert_eq!(sw.to_bits(), (bw * 2.0).to_bits());
+            }
+            // Reverse view carries the same scaled weight bits.
+            for (source, w) in doubled.in_edges(node) {
+                let fwd = doubled
+                    .out_edges(source)
+                    .find(|&(t, _)| t == node)
+                    .map(|(_, w)| w)
+                    .expect("reverse edge must exist forward");
+                assert_eq!(w.to_bits(), fwd.to_bits());
+            }
+        }
+        // A positional multiplier scales the per-meter floor coherently.
+        let positional = g.reweighted(|from, _| if from.x < 0.5 { 3.0 } else { 1.0 });
+        assert!(positional.min_time_per_meter() >= g.min_time_per_meter());
+        // Pathological multipliers clamp to zero instead of poisoning CSR.
+        let clamped = g.reweighted(|_, _| f64::NAN);
+        assert!(clamped.out_edges(0).all(|(_, w)| w == 0.0));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod lru;
 pub mod path;
 pub mod sharded;
 pub mod subnet;
+pub mod traffic;
 
 pub use engine::{SpEngine, SpEngineBuilder, SpStats};
 pub use error::RoadNetError;
@@ -47,6 +48,7 @@ pub use lru::LruCache;
 pub use path::{expand_route, shortest_path, Path};
 pub use sharded::ShardedLruCache;
 pub use subnet::SubNetwork;
+pub use traffic::{CongestionZone, TrafficConfig, TrafficEpoch, TrafficProfile, MAX_TRAFFIC_ZONES};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, RoadNetError>;
