@@ -3,6 +3,7 @@
 //! ```text
 //! bench_guard --baseline PATH --current PATH [--max-regression FRACTION]
 //!             [--max-latency-increase FRACTION] [--max-setup-increase FRACTION]
+//!             [--max-refresh-s SECONDS]
 //! ```
 //!
 //! Compares the `throughput_rps` of every row of a committed
@@ -17,6 +18,11 @@
 //! `--max-setup-increase`, rows whose baseline carries a positive `setup_s`
 //! additionally fail when the current setup time rose beyond its own margin
 //! — the preprocessing ceiling locking in the sub-network-engine setup win.
+//! With `--max-refresh-s`, rows carrying `label_refresh_s` additionally fail
+//! when the current run's epoch-roll wall-clock exceeds that **absolute**
+//! number of seconds — the gate locking in the tiered epoch-roll repair
+//! engine (a wholesale-rebuild regression pays seconds per run; the
+//! incremental roll path pays milliseconds).
 
 use std::process::ExitCode;
 use structride_bench::perf::guard_throughput;
@@ -24,7 +30,8 @@ use structride_bench::perf::guard_throughput;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_guard --baseline PATH --current PATH [--max-regression FRACTION] \
-         [--max-latency-increase FRACTION] [--max-setup-increase FRACTION]"
+         [--max-latency-increase FRACTION] [--max-setup-increase FRACTION] \
+         [--max-refresh-s SECONDS]"
     );
     ExitCode::from(2)
 }
@@ -35,6 +42,7 @@ fn main() -> ExitCode {
     let mut max_regression = 0.20f64;
     let mut max_latency_increase: Option<f64> = None;
     let mut max_setup_increase: Option<f64> = None;
+    let mut max_refresh_s: Option<f64> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -57,6 +65,12 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 max_setup_increase = Some(raw);
+            }
+            "--max-refresh-s" => {
+                let Some(raw) = argv.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                max_refresh_s = Some(raw);
             }
             _ => return usage(),
         }
@@ -81,6 +95,7 @@ fn main() -> ExitCode {
         max_regression,
         max_latency_increase,
         max_setup_increase,
+        max_refresh_s,
     ) {
         Ok(report) => {
             for cmp in &report.comparisons {

@@ -1,7 +1,7 @@
 //! The perf-trajectory regression guard behind the `bench_guard` binary.
 //!
 //! `BENCH_*.json` documents (emitted by [`crate::shardbench`], schema
-//! version 4, and [`crate::ingestbench`], schema version 2 — the parser
+//! version 5, and [`crate::ingestbench`], schema version 2 — the parser
 //! accepts any version) carry a flat `rows` array of objects with string
 //! and number fields.  This module parses that shape
 //! with a deliberately small scanner — the workspace is offline, so no JSON
@@ -39,6 +39,15 @@ const LATENCY_METRIC: &str = "batch_latency_p99_ms";
 /// preprocessing win.  Rows whose baseline setup is 0 (the unsharded
 /// baseline, pre-built engines) are skipped.
 const SETUP_METRIC: &str = "setup_s";
+
+/// The optional epoch-refresh metric (lower is better).  Traffic rows spend
+/// wall-clock on the epoch-roll path (`label_refresh_s`); the tiered repair
+/// engine's whole point is keeping that path cheap, so the guard accepts an
+/// **absolute** ceiling in seconds — unlike the relative setup/latency
+/// margins, a hard bound survives baseline refreshes that would otherwise
+/// ratchet a regression in.  Rows without the metric (static benches) are
+/// unaffected.
+const REFRESH_METRIC: &str = "label_refresh_s";
 
 /// Renders the shared `BENCH_*.json` document skeleton.  Both emitters
 /// ([`crate::shardbench`], [`crate::ingestbench`]) go through this one
@@ -233,12 +242,18 @@ impl GuardReport {
 /// positive `setup_s` additionally fail when the current setup time exceeds
 /// the baseline by more than the fraction `m` — the preprocessing ceiling
 /// (see [`SETUP_METRIC`]).
+///
+/// With `max_refresh_s = Some(c)`, rows whose current run carries a
+/// `label_refresh_s` value additionally fail when it exceeds the absolute
+/// ceiling `c` seconds (see [`REFRESH_METRIC`]) — the gate locking in the
+/// tiered epoch-roll repair win.
 pub fn guard_throughput(
     baseline: &str,
     current: &str,
     max_regression: f64,
     max_latency_increase: Option<f64>,
     max_setup_increase: Option<f64>,
+    max_refresh_s: Option<f64>,
 ) -> Result<GuardReport, String> {
     let baseline = parse_bench_doc(baseline).map_err(|e| format!("baseline: {e}"))?;
     let current = parse_bench_doc(current).map_err(|e| format!("current: {e}"))?;
@@ -312,6 +327,15 @@ pub fn guard_throughput(
                 }
             }
         }
+        if let Some(ceiling) = max_refresh_s {
+            if let Some(cur_refresh) = metric_of(current_row, REFRESH_METRIC) {
+                if cur_refresh > ceiling {
+                    failures.push(format!(
+                        "{key}: {REFRESH_METRIC} {cur_refresh:.3} s exceeds the {ceiling:.3} s ceiling"
+                    ));
+                }
+            }
+        }
         comparisons.push(cmp);
     }
     Ok(GuardReport {
@@ -376,6 +400,9 @@ mod tests {
             prescreen_pruned: 12_000,
             label_refresh_s: 0.0,
             epoch_rolls: 0,
+            labels_rescaled: 0,
+            labels_rebuilt: 0,
+            shards_refreshed: 0,
         }
     }
 
@@ -409,11 +436,13 @@ mod tests {
         let v1_baseline = "{\n  \"bench\": \"sharded_dispatch\",\n  \"schema_version\": 1,\n  \"workload\": \"w\",\n  \"rows\": [\n    {\"mode\":\"sharded\",\"shards\":3,\"threads\":1,\"throughput_rps\":200.0,\"setup_s\":0.780000}\n  ]\n}\n";
         let row = sample_shard_row();
         let v2_current = crate::shardbench::render_bench_json("w", std::slice::from_ref(&row));
-        let report = guard_throughput(v1_baseline, &v2_current, 0.20, None, Some(1.0)).unwrap();
+        let report =
+            guard_throughput(v1_baseline, &v2_current, 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         assert_eq!(report.comparisons.len(), 1);
         // And the other direction (fresh v2 baseline, v2 current).
-        let report = guard_throughput(&v2_current, &v2_current, 0.20, None, Some(1.0)).unwrap();
+        let report =
+            guard_throughput(&v2_current, &v2_current, 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
     }
 
@@ -428,13 +457,15 @@ mod tests {
         mega.mode = "megafleet".into();
         let rows = [sample_shard_row(), mega];
         let v3_current = crate::shardbench::render_bench_json("w", &rows);
-        let report = guard_throughput(v2_baseline, &v3_current, 0.20, None, Some(1.0)).unwrap();
+        let report =
+            guard_throughput(v2_baseline, &v3_current, 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         // Only the pre-existing row is compared; megafleet is new.
         assert_eq!(report.comparisons.len(), 1);
         // And the other direction (fresh v3 baseline, v3 current) guards
         // both rows, including the new one.
-        let report = guard_throughput(&v3_current, &v3_current, 0.20, None, Some(1.0)).unwrap();
+        let report =
+            guard_throughput(&v3_current, &v3_current, 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         assert_eq!(report.comparisons.len(), 2);
     }
@@ -452,15 +483,85 @@ mod tests {
         rush.epoch_rolls = 5;
         let rows = [sample_shard_row(), rush];
         let v4_current = crate::shardbench::render_bench_json("w", &rows);
-        let report = guard_throughput(v3_baseline, &v4_current, 0.20, None, Some(1.0)).unwrap();
+        let report =
+            guard_throughput(v3_baseline, &v4_current, 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         // Only the pre-existing row is compared; rush_hour is new.
         assert_eq!(report.comparisons.len(), 1);
         // And the other direction (fresh v4 baseline, v4 current) guards
         // both rows, the rush_hour row included.
-        let report = guard_throughput(&v4_current, &v4_current, 0.20, None, Some(1.0)).unwrap();
+        let report =
+            guard_throughput(&v4_current, &v4_current, 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         assert_eq!(report.comparisons.len(), 2);
+    }
+
+    /// A committed schema-version-4 baseline (no repair-tier columns, no
+    /// incident_spike row) must keep guarding a schema-version-5 run: row
+    /// identity ignores the added tier columns, and the incident_spike row
+    /// is a new row the trajectory may grow freely.
+    #[test]
+    fn v4_baselines_guard_v5_documents() {
+        let v4_baseline = "{\n  \"bench\": \"sharded_dispatch\",\n  \"schema_version\": 4,\n  \"workload\": \"w\",\n  \"rows\": [\n    {\"mode\":\"rush_hour\",\"shards\":3,\"layout\":\"1x3\",\"threads\":1,\"throughput_rps\":200.0,\"setup_s\":0.090000,\"label_bytes\":123456,\"candidates_evaluated\":4100,\"prescreen_pruned\":11000,\"label_refresh_s\":4.473458,\"epoch_rolls\":15}\n  ]\n}\n";
+        let mut rush = sample_shard_row();
+        rush.mode = "rush_hour".into();
+        rush.label_refresh_s = 0.25;
+        rush.epoch_rolls = 15;
+        rush.labels_rescaled = 15;
+        let mut incident = sample_shard_row();
+        incident.mode = "incident_spike".into();
+        incident.label_refresh_s = 0.1;
+        incident.epoch_rolls = 3;
+        incident.labels_rescaled = 2;
+        incident.labels_rebuilt = 1;
+        incident.shards_refreshed = 4;
+        let rows = [rush, incident];
+        let v5_current = crate::shardbench::render_bench_json("w", &rows);
+        let report =
+            guard_throughput(v4_baseline, &v5_current, 0.20, None, Some(1.0), None).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        // Only the pre-existing rush_hour row is compared; incident is new.
+        assert_eq!(report.comparisons.len(), 1);
+        // And the other direction (fresh v5 baseline, v5 current) guards
+        // both rows, the incident_spike row included.
+        let report =
+            guard_throughput(&v5_current, &v5_current, 0.20, None, Some(1.0), None).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        assert_eq!(report.comparisons.len(), 2);
+    }
+
+    /// The refresh ceiling is absolute: the v4 baseline's 4.47 s wholesale
+    /// refresh would fail a 0.9 s gate, and the incremental engine's
+    /// sub-second refresh passes — the lock-in for the tiered repair win.
+    #[test]
+    fn refresh_ceiling_locks_in_the_incremental_roll_path() {
+        let mut rush = sample_shard_row();
+        rush.mode = "rush_hour".into();
+        rush.epoch_rolls = 15;
+        rush.labels_rescaled = 15;
+        rush.label_refresh_s = 0.25;
+        let fast = crate::shardbench::render_bench_json("w", std::slice::from_ref(&rush));
+        rush.label_refresh_s = 4.473458;
+        let slow = crate::shardbench::render_bench_json("w", std::slice::from_ref(&rush));
+        // Without the ceiling the guard is blind to the 18x refresh
+        // regression (identical throughput field in both documents).
+        let report = guard_throughput(&fast, &slow, 0.20, None, None, None).unwrap();
+        assert!(report.is_pass());
+        // With the ceiling the same documents fail, naming metric and row.
+        let report = guard_throughput(&fast, &slow, 0.20, None, None, Some(0.9)).unwrap();
+        assert!(!report.is_pass());
+        let msg = &report.failures[0];
+        assert!(msg.contains("label_refresh_s"), "{msg}");
+        assert!(msg.contains("mode=rush_hour"), "{msg}");
+        assert!(msg.contains("4.473"), "{msg}");
+        // The incremental run stays under the same gate.
+        let report = guard_throughput(&fast, &fast, 0.20, None, None, Some(0.9)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        // Static rows carry label_refresh_s = 0: never tripped.
+        let static_row = sample_shard_row();
+        let doc = crate::shardbench::render_bench_json("w", std::slice::from_ref(&static_row));
+        let report = guard_throughput(&doc, &doc, 0.20, None, None, Some(0.9)).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
     }
 
     /// A committed ingest schema-version-1 baseline (no e2e latency columns)
@@ -492,10 +593,12 @@ mod tests {
             field(&parsed.rows[0], "e2e_latency_p99_ms"),
             Some("480.000000")
         );
-        let report = guard_throughput(v1_baseline, &v2_current, 0.20, Some(0.5), None).unwrap();
+        let report =
+            guard_throughput(v1_baseline, &v2_current, 0.20, Some(0.5), None, None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         assert_eq!(report.comparisons.len(), 1);
-        let report = guard_throughput(&v2_current, &v2_current, 0.20, Some(0.5), None).unwrap();
+        let report =
+            guard_throughput(&v2_current, &v2_current, 0.20, Some(0.5), None, None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
     }
 
@@ -510,7 +613,7 @@ mod tests {
         let baseline = crate::shardbench::render_bench_json("w", std::slice::from_ref(&rush));
         rush.throughput_rps = 90.0;
         let current = crate::shardbench::render_bench_json("w", std::slice::from_ref(&rush));
-        let report = guard_throughput(&baseline, &current, 0.20, None, None).unwrap();
+        let report = guard_throughput(&baseline, &current, 0.20, None, None, None).unwrap();
         assert!(!report.is_pass());
         let msg = &report.failures[0];
         assert!(msg.contains("sharded_dispatch"), "{msg}");
@@ -531,10 +634,11 @@ mod tests {
             "{\"mode\":\"sharded\",\"shards\":3,\"throughput_rps\":128.0,\"setup_s\":0.950000}";
         let mk = |rows: &[&str]| doc(rows).replace("\"ingest\"", "\"sharded_dispatch\"");
         // Throughput-only guard: blind to the 3.5x setup regression.
-        let report = guard_throughput(&mk(&[base]), &mk(&[slow]), 0.20, None, None).unwrap();
+        let report = guard_throughput(&mk(&[base]), &mk(&[slow]), 0.20, None, None, None).unwrap();
         assert!(report.is_pass());
         // With the ceiling the same documents fail.
-        let report = guard_throughput(&mk(&[base]), &mk(&[slow]), 0.20, None, Some(1.0)).unwrap();
+        let report =
+            guard_throughput(&mk(&[base]), &mk(&[slow]), 0.20, None, Some(1.0), None).unwrap();
         assert!(!report.is_pass());
         assert!(
             report.failures[0].contains("setup_s"),
@@ -544,14 +648,16 @@ mod tests {
         // Within the ceiling (0.27 -> 0.4 s < +100%): passes.
         let ok =
             "{\"mode\":\"sharded\",\"shards\":3,\"throughput_rps\":128.0,\"setup_s\":0.400000}";
-        let report = guard_throughput(&mk(&[base]), &mk(&[ok]), 0.20, None, Some(1.0)).unwrap();
+        let report =
+            guard_throughput(&mk(&[base]), &mk(&[ok]), 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         // Zero-setup baselines (the unsharded row) are skipped.
         let free =
             "{\"mode\":\"unsharded\",\"shards\":1,\"throughput_rps\":128.0,\"setup_s\":0.000000}";
         let cur =
             "{\"mode\":\"unsharded\",\"shards\":1,\"throughput_rps\":128.0,\"setup_s\":0.500000}";
-        let report = guard_throughput(&mk(&[free]), &mk(&[cur]), 0.20, None, Some(1.0)).unwrap();
+        let report =
+            guard_throughput(&mk(&[free]), &mk(&[cur]), 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
     }
 
@@ -563,7 +669,7 @@ mod tests {
             "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":2,\"throughput_rps\":90.0}",
             "{\"profile\":\"bursty\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":2,\"throughput_rps\":55.0}",
         ]);
-        let report = guard_throughput(&baseline, &current, 0.20, None, None).unwrap();
+        let report = guard_throughput(&baseline, &current, 0.20, None, None, None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         assert_eq!(report.comparisons.len(), 2);
     }
@@ -575,7 +681,7 @@ mod tests {
             "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"threads\":8,\"throughput_rps\":70.0}",
             ROW_B,
         ]);
-        let report = guard_throughput(&baseline, &current, 0.20, None, None).unwrap();
+        let report = guard_throughput(&baseline, &current, 0.20, None, None, None).unwrap();
         assert!(!report.is_pass());
         assert_eq!(report.failures.len(), 1);
         let msg = &report.failures[0];
@@ -595,7 +701,7 @@ mod tests {
             ROW_A,
             "{\"profile\":\"poisson\",\"mode\":\"sharded\",\"shards\":2,\"threads\":8,\"throughput_rps\":10.0}",
         ]);
-        let report = guard_throughput(&baseline, &current, 0.20, None, None).unwrap();
+        let report = guard_throughput(&baseline, &current, 0.20, None, None, None).unwrap();
         assert!(!report.is_pass());
         assert!(report.failures[0].contains("missing"));
         // The new row is not compared (the trajectory may grow freely).
@@ -613,10 +719,12 @@ mod tests {
         let slow =
             "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"throughput_rps\":128.0,\"batch_latency_p99_ms\":40.0}";
         // Throughput-only guard: blind to the slowdown.
-        let report = guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, None, None).unwrap();
+        let report =
+            guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, None, None, None).unwrap();
         assert!(report.is_pass());
         // With the latency ceiling the same documents fail.
-        let report = guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, Some(0.5), None).unwrap();
+        let report =
+            guard_throughput(&doc(&[base]), &doc(&[slow]), 0.20, Some(0.5), None, None).unwrap();
         assert!(!report.is_pass());
         assert!(
             report.failures[0].contains("batch_latency_p99_ms"),
@@ -626,11 +734,12 @@ mod tests {
         // Within the ceiling (16.5 -> 20 ms < +50%): passes.
         let ok =
             "{\"profile\":\"poisson\",\"mode\":\"monolithic\",\"shards\":1,\"throughput_rps\":128.0,\"batch_latency_p99_ms\":20.0}";
-        let report = guard_throughput(&doc(&[base]), &doc(&[ok]), 0.20, Some(0.5), None).unwrap();
+        let report =
+            guard_throughput(&doc(&[base]), &doc(&[ok]), 0.20, Some(0.5), None, None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         // Rows without the latency field (the sharded bench) are unaffected.
         let report =
-            guard_throughput(&doc(&[ROW_A]), &doc(&[ROW_A]), 0.20, Some(0.5), None).unwrap();
+            guard_throughput(&doc(&[ROW_A]), &doc(&[ROW_A]), 0.20, Some(0.5), None, None).unwrap();
         assert!(report.is_pass());
     }
 
@@ -639,7 +748,7 @@ mod tests {
         assert!(parse_bench_doc("not json").is_err());
         assert!(parse_bench_doc("{\"bench\": \"x\"}").is_err());
         let sharded = doc(&[ROW_A]).replace("\"ingest\"", "\"sharded_dispatch\"");
-        let err = guard_throughput(&doc(&[ROW_A]), &sharded, 0.2, None, None).unwrap_err();
+        let err = guard_throughput(&doc(&[ROW_A]), &sharded, 0.2, None, None, None).unwrap_err();
         assert!(err.contains("mismatch"), "{err}");
     }
 }

@@ -22,11 +22,14 @@ use crate::harness::ExperimentScale;
 /// persistent fleet-index candidate retrieval work); version 4 added the
 /// `label_refresh_s` and `epoch_rolls` columns plus the `rush_hour`
 /// time-dependent-traffic row, where the per-epoch hub-label refresh is the
-/// measured hot path.
+/// measured hot path; version 5 added the `labels_rescaled`,
+/// `labels_rebuilt` and `shards_refreshed` repair-tier columns plus the
+/// `incident_spike` zoned-traffic row (the tiered epoch-roll repair work —
+/// the trajectory now shows *which* tier each roll took).
 /// [`crate::perf::parse_bench_doc`] parses all versions, and row identity
 /// (`mode` + `shards`) is unchanged for pre-existing rows, so version-1
-/// through version-3 baselines still guard version-4 runs.
-pub const SHARDED_SCHEMA_VERSION: u32 = 4;
+/// through version-4 baselines still guard version-5 runs.
+pub const SHARDED_SCHEMA_VERSION: u32 = 5;
 
 /// One benchmark row: one pipeline configuration over the shared workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,24 +77,34 @@ pub struct ShardBenchRow {
     pub candidates_evaluated: u64,
     /// Vehicles skipped by the certified fleet-index prescreen.
     pub prescreen_pruned: u64,
-    /// Wall-clock spent refreshing traffic-epoch artifacts (network
-    /// reweight + shared hub-label rebuild + halo re-slice), seconds.  Zero
+    /// Wall-clock spent on the epoch-roll path (memo lookups, background
+    /// prebuild joins, scoped zone repairs, halo re-cuts), seconds.  Zero
     /// for static (free-flow) rows.
     pub label_refresh_s: f64,
     /// Traffic epoch boundaries crossed during the run (0 for static rows).
     pub epoch_rolls: u64,
+    /// Epoch rolls into spatially uniform weights (Tier 1: labels from the
+    /// signature memo or a background prebuild, never a roll-path rebuild).
+    pub labels_rescaled: u64,
+    /// Epoch rolls into zoned weights (Tier 2: labels from a scoped repair
+    /// against the same-profile uniform reference).
+    pub labels_rebuilt: u64,
+    /// Per-shard halo re-cuts summed over all weight-changing rolls; below
+    /// `epoch_rolls × shards` means the Tier-3 shard-selective skip kept
+    /// some clips (and their caches) live across rolls.
+    pub shards_refreshed: u64,
 }
 
 impl ShardBenchRow {
     /// The TSV header matching [`ShardBenchRow::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations\tcandidates_evaluated\tprescreen_pruned\tlabel_refresh_s\tepoch_rolls"
+        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations\tcandidates_evaluated\tprescreen_pruned\tlabel_refresh_s\tepoch_rolls\tlabels_rescaled\tlabels_rebuilt\tshards_refreshed"
     }
 
     /// One tab-separated row.
     pub fn tsv_row(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{}\t{}",
             self.mode,
             self.shards,
             self.layout,
@@ -113,6 +126,9 @@ impl ShardBenchRow {
             self.prescreen_pruned,
             self.label_refresh_s,
             self.epoch_rolls,
+            self.labels_rescaled,
+            self.labels_rebuilt,
+            self.shards_refreshed,
         )
     }
 
@@ -124,7 +140,8 @@ impl ShardBenchRow {
              \"per_batch_ms\":{:.6},\"throughput_rps\":{:.3},\"unified_cost\":{:.3},\
              \"handoffs\":{},\"migrations\":{},\
              \"candidates_evaluated\":{},\"prescreen_pruned\":{},\
-             \"label_refresh_s\":{:.6},\"epoch_rolls\":{}}}",
+             \"label_refresh_s\":{:.6},\"epoch_rolls\":{},\
+             \"labels_rescaled\":{},\"labels_rebuilt\":{},\"shards_refreshed\":{}}}",
             self.mode,
             self.shards,
             self.layout,
@@ -146,6 +163,9 @@ impl ShardBenchRow {
             self.prescreen_pruned,
             self.label_refresh_s,
             self.epoch_rolls,
+            self.labels_rescaled,
+            self.labels_rebuilt,
+            self.shards_refreshed,
         )
     }
 }
@@ -177,6 +197,9 @@ struct RowStats {
     prescreen_pruned: u64,
     label_refresh_s: f64,
     epoch_rolls: u64,
+    labels_rescaled: u64,
+    labels_rebuilt: u64,
+    shards_refreshed: u64,
 }
 
 fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRow {
@@ -214,6 +237,9 @@ fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRo
         prescreen_pruned: stats.prescreen_pruned,
         label_refresh_s: stats.label_refresh_s,
         epoch_rolls: stats.epoch_rolls,
+        labels_rescaled: stats.labels_rescaled,
+        labels_rebuilt: stats.labels_rebuilt,
+        shards_refreshed: stats.shards_refreshed,
     }
 }
 
@@ -240,9 +266,11 @@ pub fn bench_workload(scale: &ExperimentScale) -> MultiRegionWorkload {
 /// region layout (strip layouts are `(1, k)`; the six-region CI row is
 /// `(2, 3)`, making the k-scaling of setup cost visible in the trajectory),
 /// plus one `megafleet` row — the same stream against a ten-times fleet —
-/// tracking the fleet-index prescreen's sublinear candidate retrieval, and
-/// one `rush_hour` row — the same stream under compressed-clock rush-hour
-/// traffic — where the per-epoch label refresh is the measured hot path.
+/// tracking the fleet-index prescreen's sublinear candidate retrieval, one
+/// `rush_hour` row — the same stream under compressed-clock rush-hour
+/// traffic, all Tier-1 (uniform) epoch rolls — and one `incident_spike`
+/// row — a bounded congestion zone flipping on and off mid-horizon,
+/// exercising the Tier-2 scoped repair and Tier-3 shard-selective skip.
 /// Every run starts from a fresh fleet and a cold cache.
 pub fn bench_sharded(
     scale: &ExperimentScale,
@@ -283,6 +311,9 @@ pub fn bench_sharded(
             prescreen_pruned: mono.metrics.prescreen_pruned,
             label_refresh_s: 0.0,
             epoch_rolls: 0,
+            labels_rescaled: 0,
+            labels_rebuilt: 0,
+            shards_refreshed: 0,
         },
     ));
 
@@ -330,6 +361,9 @@ pub fn bench_sharded(
                 prescreen_pruned: report.aggregate.prescreen_pruned,
                 label_refresh_s: report.label_refresh_seconds,
                 epoch_rolls: report.epoch_rolls,
+                labels_rescaled: report.labels_rescaled,
+                labels_rebuilt: report.labels_rebuilt,
+                shards_refreshed: report.shards_refreshed,
             },
         ));
     }
@@ -386,28 +420,60 @@ pub fn bench_sharded(
             prescreen_pruned: report.aggregate.prescreen_pruned,
             label_refresh_s: report.label_refresh_seconds,
             epoch_rolls: report.epoch_rolls,
+            labels_rescaled: report.labels_rescaled,
+            labels_rebuilt: report.labels_rebuilt,
+            shards_refreshed: report.shards_refreshed,
         },
     ));
 
     // Rush-hour row: the same three-city stream under the time-dependent
     // rush profile on a compressed traffic clock, three shards.  Epochs are
-    // sized so the horizon sweeps free-flow *and* peak multipliers — every
-    // boundary forcing a full epoch-artifact refresh (network reweight +
-    // shared parallel hub-label rebuild + halo re-slice), which is exactly
-    // the hot path `label_refresh_s` measures.
+    // sized so the horizon sweeps free-flow *and* peak multipliers.  Rush is
+    // zone-free, so every boundary is a Tier-1 roll: the labels come from
+    // the epoch store's signature memo or a background prebuild overlapping
+    // dispatch, and `label_refresh_s` measures only the roll path (memo
+    // lookups, prebuild joins, halo re-cuts) — not wholesale rebuilds.
     let traffic = structride_datagen::rush_hour(
         (scale.horizon / 6.0).max(1.0),
         (scale.horizon / 12.0).max(0.5),
     );
-    let rush_config = config.with_traffic(traffic);
+    rows.push(traffic_row("rush_hour", &workload, config, traffic));
+
+    // Incident-spike row: free-flow background with one severe slowdown
+    // over the westernmost third of the map for the middle of the horizon —
+    // the zoned path `rush_hour`'s uniform profile never hits.  Rolling
+    // into (and out of) the incident exercises Tier 2 (scoped label repair
+    // seeded by the zone's reweighted edges) and Tier 3 (the eastern
+    // shard's halo is untouched, so its clip and cache survive the roll).
+    let (min_x, min_y, max_x, max_y) = workload.network().bounding_box();
+    let incident = structride_datagen::incident_spike(
+        (min_x, min_y, min_x + (max_x - min_x) / 3.0, max_y),
+        2.5,
+        scale.horizon / 4.0,
+        scale.horizon / 2.0,
+        (scale.horizon / 6.0).max(1.0),
+    );
+    rows.push(traffic_row("incident_spike", &workload, config, incident));
+    (workload.name, rows)
+}
+
+/// Runs the shared workload under `traffic` on the three-shard strip layout
+/// and renders one bench row.
+fn traffic_row(
+    mode: &str,
+    workload: &MultiRegionWorkload,
+    config: StructRideConfig,
+    traffic: structride_roadnet::TrafficConfig,
+) -> ShardBenchRow {
+    let traffic_config = config.with_traffic(traffic);
     let regions = region_grid_for(workload.network(), 1, 3);
-    let sim = ShardedSimulator::new(rush_config);
+    let sim = ShardedSimulator::new(traffic_config);
     let report = sim.run(
         workload.network(),
         &regions,
         &workload.requests,
         workload.fresh_vehicles(),
-        |_| Box::new(SardDispatcher::new(rush_config)),
+        |_| Box::new(SardDispatcher::new(traffic_config)),
         &workload.name,
     );
     let setup_reduction = if report.setup_seconds > 0.0 {
@@ -415,8 +481,8 @@ pub fn bench_sharded(
     } else {
         1.0
     };
-    rows.push(row(
-        "rush_hour",
+    row(
+        mode,
         3,
         "1x3",
         RowStats {
@@ -434,9 +500,11 @@ pub fn bench_sharded(
             prescreen_pruned: report.aggregate.prescreen_pruned,
             label_refresh_s: report.label_refresh_seconds,
             epoch_rolls: report.epoch_rolls,
+            labels_rescaled: report.labels_rescaled,
+            labels_rebuilt: report.labels_rebuilt,
+            shards_refreshed: report.shards_refreshed,
         },
-    ));
-    (workload.name, rows)
+    )
 }
 
 /// Runs [`bench_sharded`], prints the TSV rows and writes the JSON document
@@ -470,7 +538,7 @@ mod tests {
             seed: 42,
         };
         let (name, rows) = bench_sharded(&scale, &[(1, 1), (1, 3), (2, 3)]);
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 7);
         assert_eq!(rows[0].mode, "unsharded");
         assert!(rows.iter().skip(1).take(3).all(|r| r.mode == "sharded"));
         assert_eq!(rows[1].shards, 1);
@@ -482,6 +550,8 @@ mod tests {
         assert_eq!(rows[4].layout, "1x3");
         assert_eq!(rows[5].mode, "rush_hour");
         assert_eq!(rows[5].shards, 3);
+        assert_eq!(rows[6].mode, "incident_spike");
+        assert_eq!(rows[6].shards, 3);
         for r in &rows {
             assert!(r.requests > 0);
             assert!(r.wall_s > 0.0);
@@ -522,30 +592,55 @@ mod tests {
         }
         assert!(rows[4].prescreen_pruned > rows[2].prescreen_pruned);
 
-        // Static rows never roll epochs; the rush-hour row must, and its
-        // label-refresh hot path must register wall time.
+        // Static rows never roll epochs; the traffic rows must, and their
+        // label-refresh roll path must register wall time.
         for r in rows.iter().take(5) {
             assert_eq!(r.epoch_rolls, 0, "static row {} rolled", r.mode);
             assert_eq!(r.label_refresh_s, 0.0);
+            assert_eq!(r.labels_rescaled + r.labels_rebuilt, 0);
+            assert_eq!(r.shards_refreshed, 0);
         }
         assert!(rows[5].epoch_rolls > 0, "rush_hour row must cross epochs");
         assert!(rows[5].label_refresh_s > 0.0);
+        // Rush is zone-free: every roll is a Tier-1 (uniform) roll.
+        assert_eq!(rows[5].labels_rescaled, rows[5].epoch_rolls);
+        assert_eq!(rows[5].labels_rebuilt, 0);
+        // The incident row flips a bounded zone on and off: at least one
+        // Tier-2 (zoned scoped-repair) roll, and the zone-free eastern
+        // shard's Tier-3 skip keeps shards_refreshed below rolls × shards.
+        assert!(rows[6].epoch_rolls > 0, "incident row must cross epochs");
+        assert!(rows[6].labels_rebuilt > 0, "incident row must hit Tier 2");
+        assert_eq!(
+            rows[6].labels_rescaled + rows[6].labels_rebuilt,
+            rows[6].epoch_rolls
+        );
+        assert!(
+            rows[6].shards_refreshed < rows[6].epoch_rolls * rows[6].shards as u64,
+            "Tier-3 skip never fired: {} refreshes over {} rolls × {} shards",
+            rows[6].shards_refreshed,
+            rows[6].epoch_rolls,
+            rows[6].shards
+        );
 
         let json = render_bench_json(&name, &rows);
         assert!(json.contains("\"bench\": \"sharded_dispatch\""));
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"mode\":\"unsharded\""));
         assert!(json.contains("\"mode\":\"sharded\""));
         assert!(json.contains("\"mode\":\"megafleet\""));
         assert!(json.contains("\"mode\":\"rush_hour\""));
+        assert!(json.contains("\"mode\":\"incident_spike\""));
         assert!(json.contains("\"layout\":\"2x3\""));
-        assert_eq!(json.matches("\"throughput_rps\"").count(), 6);
-        assert_eq!(json.matches("\"label_bytes\"").count(), 6);
-        assert_eq!(json.matches("\"setup_reduction\"").count(), 6);
-        assert_eq!(json.matches("\"candidates_evaluated\"").count(), 6);
-        assert_eq!(json.matches("\"prescreen_pruned\"").count(), 6);
-        assert_eq!(json.matches("\"label_refresh_s\"").count(), 6);
-        assert_eq!(json.matches("\"epoch_rolls\"").count(), 6);
+        assert_eq!(json.matches("\"throughput_rps\"").count(), 7);
+        assert_eq!(json.matches("\"label_bytes\"").count(), 7);
+        assert_eq!(json.matches("\"setup_reduction\"").count(), 7);
+        assert_eq!(json.matches("\"candidates_evaluated\"").count(), 7);
+        assert_eq!(json.matches("\"prescreen_pruned\"").count(), 7);
+        assert_eq!(json.matches("\"label_refresh_s\"").count(), 7);
+        assert_eq!(json.matches("\"epoch_rolls\"").count(), 7);
+        assert_eq!(json.matches("\"labels_rescaled\"").count(), 7);
+        assert_eq!(json.matches("\"labels_rebuilt\"").count(), 7);
+        assert_eq!(json.matches("\"shards_refreshed\"").count(), 7);
         // Minimal well-formedness: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -102,7 +102,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 use structride_model::{insertion, unified_cost, Request, RequestId, Vehicle};
-use structride_roadnet::{HubLabels, NodeId, RoadNetwork, SpEngine, SpEngineBuilder};
+use structride_roadnet::{EpochStore, HubLabels, NodeId, RoadNetwork, SpEngine, SpEngineBuilder};
 use structride_spatial::{RegionGrid, RegionId};
 
 /// A dispatcher owned by one shard (must be `Send`: shards dispatch on
@@ -193,15 +193,28 @@ pub struct ShardedReport {
     pub sp_fallback_queries: u64,
     /// Wall-clock of the batch loop and final drain, seconds.
     pub run_seconds: f64,
-    /// Wall-clock spent refreshing epoch artifacts at traffic epoch
-    /// boundaries — reweighting the shared network, rebuilding the shared
-    /// hub-label index, and re-slicing every shard's halo engine — in
-    /// seconds.  `0.0` for static (free-flow) runs; the `rush_hour` bench
-    /// row reports it as its measured hot path.
+    /// Wall-clock spent on the epoch-roll path at traffic epoch boundaries:
+    /// memo lookups and prebuild joins for uniform epochs, scoped label
+    /// repairs for zoned epochs, and any halo re-cuts — in seconds.  Label
+    /// builds finished on the [`EpochStore`]'s background threads before
+    /// their epoch arrives are not booked here (they overlap dispatch).
+    /// `0.0` for static (free-flow) runs.
     pub label_refresh_seconds: f64,
     /// Number of traffic epoch boundaries crossed during the run (0 for
     /// static runs).
     pub epoch_rolls: u64,
+    /// Epoch rolls whose new weights were spatially uniform (Tier 1: the
+    /// labels came from the epoch store's signature memo or a background
+    /// prebuild — never a roll-path wholesale rebuild).
+    pub labels_rescaled: u64,
+    /// Epoch rolls whose new weights were zoned (Tier 2: labels produced by
+    /// a scoped repair against the same-profile uniform reference).
+    pub labels_rebuilt: u64,
+    /// Total per-shard halo re-cuts across all weight-changing rolls — the
+    /// complement of the Tier-3 skip.  `rolls × shards` would mean no shard
+    /// ever skipped; lower numbers mean zone activity left some halos
+    /// untouched and their clips (and caches) stayed live.
+    pub shards_refreshed: u64,
 }
 
 /// One shard: engine + dispatcher + the fleet slice it currently owns.
@@ -224,10 +237,6 @@ struct Shard {
     insertion_evaluations: u64,
     groups_enumerated: u64,
     prescreen_pruned: u64,
-    /// SP / fallback query counts accumulated from engines retired at epoch
-    /// rolls (the engine is rebuilt per epoch, resetting its counters).
-    retired_sp_queries: u64,
-    retired_fallback_queries: u64,
     /// Outcome of the current batch (drained during merging).
     last_assigned: Vec<RequestId>,
     last_scratch: ScratchStats,
@@ -508,19 +517,18 @@ pub(crate) struct ShardedRun<'a> {
     /// Shared global index + per-shard halo slices, bytes.
     label_bytes: usize,
     /// The *current epoch's* certified seconds-per-meter floor (0 = no
-    /// bound).  Recomputed from the reweighted network at every epoch roll so
-    /// the top-m shortlist and the per-shard fleet-index prescreens stay
-    /// sound under congestion.
+    /// bound).  Re-pinned from the epoch artifacts at every roll so the
+    /// top-m shortlist and the per-shard fleet-index prescreens stay sound
+    /// under congestion.
     min_tpm: f64,
-    /// The free-flow network, `Arc`-shared with every epoch's engines; epoch
-    /// rolls reweight *this*, never an already-reweighted copy.
-    base_net: Arc<RoadNetwork>,
-    /// Per-shard halo vertex sets, computed once at setup and reused by
-    /// every epoch's clipped-engine rebuild.
-    halos: Vec<Vec<NodeId>>,
+    /// The shared tiered epoch-roll repair engine all shard engines roll
+    /// through (`None` for static configs).
+    store: Option<Arc<EpochStore>>,
     /// Traffic epoch currently loaded into the shard engines.
     current_epoch: u64,
     epoch_rolls: u64,
+    labels_rescaled: u64,
+    labels_rebuilt: u64,
     label_refresh_seconds: f64,
     run_t0: Instant,
 }
@@ -544,31 +552,48 @@ impl<'a> ShardedRun<'a> {
     ) -> Self {
         let setup_t0 = Instant::now();
         let shared_net = Arc::new(network.clone());
-        // Epoch 0 of a static config is free flow, so the traffic-aware
-        // setup below reduces *exactly* to the pre-traffic path (same
-        // network Arc, same label build, engines tagged 0).
         let traffic = sim.config().traffic;
         let epoch0 = traffic.epoch_at(0.0);
-        let epoch_net = if epoch0.is_free_flow() {
-            shared_net.clone()
-        } else {
-            Arc::new(shared_net.reweighted(|a, b| epoch0.edge_multiplier(a, b)))
-        };
-        let full_t0 = Instant::now();
-        let full_labels = Arc::new(HubLabels::build(&epoch_net));
-        let full_build_seconds = full_t0.elapsed().as_secs_f64();
         let halos = halo_vertices(network, regions, sim.sharding().handoff_band);
-        // Clipped engines are independent per shard: extract + slice in
-        // parallel, collected in shard order (deterministic).
-        let engines: Vec<SpEngine> = halos
-            .par_iter()
-            .map(|halo| {
-                SpEngineBuilder::new()
-                    .epoch_tag(epoch0.index)
-                    .build_clipped(epoch_net.clone(), full_labels.clone(), halo)
-            })
-            .collect();
-        let label_bytes = full_labels.approx_bytes()
+        // Static configs keep the pre-traffic fast path: one shared label
+        // build, static clipped engines, no epoch store.  Traffic configs
+        // build the shared EpochStore (its initial-epoch label build is the
+        // timed full build — bit-identical to the static path when epoch 0
+        // is free flow) and per-shard *self-rolling* clipped engines over
+        // it, so every later epoch boundary is handled inside
+        // `SpEngine::roll_epoch_to` instead of by an external rebuild.
+        let (store, full_build_seconds, engines, min_tpm, full_label_bytes);
+        if traffic.is_static() {
+            let full_t0 = Instant::now();
+            let full_labels = Arc::new(HubLabels::build(&shared_net));
+            full_build_seconds = full_t0.elapsed().as_secs_f64();
+            // Clipped engines are independent per shard: extract + slice in
+            // parallel, collected in shard order (deterministic).
+            engines = halos
+                .par_iter()
+                .map(|halo| {
+                    SpEngineBuilder::new()
+                        .epoch_tag(epoch0.index)
+                        .build_clipped(shared_net.clone(), full_labels.clone(), halo)
+                })
+                .collect::<Vec<SpEngine>>();
+            min_tpm = shared_net.min_time_per_meter();
+            full_label_bytes = full_labels.approx_bytes();
+            store = None;
+        } else {
+            let full_t0 = Instant::now();
+            let epoch_store = EpochStore::new(shared_net.clone(), traffic, true);
+            full_build_seconds = full_t0.elapsed().as_secs_f64();
+            engines = halos
+                .par_iter()
+                .map(|halo| SpEngineBuilder::new().build_traffic_clipped(epoch_store.clone(), halo))
+                .collect::<Vec<SpEngine>>();
+            let initial = epoch_store.initial_artifacts();
+            min_tpm = initial.min_tpm();
+            full_label_bytes = initial.labels().map(|l| l.approx_bytes()).unwrap_or(0);
+            store = Some(epoch_store);
+        }
+        let label_bytes = full_label_bytes
             + engines
                 .iter()
                 .map(|e| if e.is_clipped() { e.index_bytes() } else { 0 })
@@ -591,8 +616,6 @@ impl<'a> ShardedRun<'a> {
                 insertion_evaluations: 0,
                 groups_enumerated: 0,
                 prescreen_pruned: 0,
-                retired_sp_queries: 0,
-                retired_fallback_queries: 0,
                 last_assigned: Vec::new(),
                 last_scratch: ScratchStats::default(),
             })
@@ -603,10 +626,15 @@ impl<'a> ShardedRun<'a> {
             let home = regions.region_of(p.x, p.y) as usize;
             shards[home].vehicles.push(vehicle);
         }
-        let min_tpm = epoch_net.min_time_per_meter();
         for shard in &mut shards {
             shard.fleet_index.rebuild(network, &shard.vehicles);
             shard.fleet_index.set_min_time_per_meter(min_tpm);
+        }
+        // Kick the background label prebuild only now — after setup_seconds
+        // is measured — so the builder threads overlap the batch loop
+        // instead of contending with the halo extraction above.
+        if let Some(store) = &store {
+            store.ensure_prebuild();
         }
         ShardedRun {
             config: *sim.config(),
@@ -624,26 +652,30 @@ impl<'a> ShardedRun<'a> {
             full_build_seconds,
             label_bytes,
             min_tpm,
-            base_net: shared_net,
-            halos,
+            store,
             current_epoch: epoch0.index,
             epoch_rolls: 0,
+            labels_rescaled: 0,
+            labels_rebuilt: 0,
             label_refresh_seconds: 0.0,
             run_t0: Instant::now(),
         }
     }
 
-    /// Rolls every shard engine to the traffic epoch containing `now`,
-    /// rebuilding the shared artifacts once: reweight the free-flow network,
-    /// one parallel [`HubLabels::build`] over it, then re-slice each shard's
-    /// halo engine (in parallel, collected in shard order).  The certified
-    /// seconds-per-meter floor and every shard's fleet-index prescreen rate
-    /// are re-pinned from the epoch network so prescreens stay sound under
-    /// congestion.  No-op for static configs and within an epoch.
+    /// Rolls every shard engine to the traffic epoch containing `now`
+    /// through the shared [`EpochStore`]: the first engine to ask for the
+    /// new signature fetches it (memo hit, background-prebuild join, or
+    /// on-demand scoped repair), every other shard gets the memoized
+    /// artifacts for free, and clipped engines whose halo the transition
+    /// provably did not touch skip their re-cut entirely (Tier 3) — their
+    /// slices and caches stay live across the roll.  Every shard's
+    /// fleet-index prescreen rate is re-pinned from the epoch artifacts so
+    /// prescreens stay sound under congestion.  No-op for static configs
+    /// and within an epoch.
     ///
-    /// Engines are replaced wholesale, so the retiring engines' diagnostic
-    /// query counters are accumulated into the shard first (they are
-    /// excluded from replay comparisons but still reported).
+    /// Engines persist across rolls, so their diagnostic query counters
+    /// simply keep accumulating (they are excluded from replay comparisons
+    /// but still reported).
     fn roll_epoch_to(&mut self, now: f64) {
         if self.config.traffic.is_static() {
             return;
@@ -653,31 +685,20 @@ impl<'a> ShardedRun<'a> {
             return;
         }
         let t0 = Instant::now();
-        for s in &mut self.shards {
-            s.retired_sp_queries += s.engine.stats().index_queries;
-            s.retired_fallback_queries += s.engine.fallback_queries();
+        for_each_shard(&mut self.shards, &|s| {
+            if s.engine.roll_epoch_to(now) {
+                s.fleet_index
+                    .set_min_time_per_meter(s.engine.min_time_per_meter());
+            }
+        });
+        if let Some(store) = &self.store {
+            // Memo hit: every shard engine just rolled to this signature.
+            self.min_tpm = store.artifacts_for(&epoch).min_tpm();
         }
-        let epoch_net = if epoch.is_free_flow() {
-            self.base_net.clone()
+        if epoch.uniform_multiplier().is_some() {
+            self.labels_rescaled += 1;
         } else {
-            Arc::new(self.base_net.reweighted(|a, b| epoch.edge_multiplier(a, b)))
-        };
-        let labels = Arc::new(HubLabels::build(&epoch_net));
-        let engines: Vec<SpEngine> = self
-            .halos
-            .par_iter()
-            .map(|halo| {
-                SpEngineBuilder::new().epoch_tag(epoch.index).build_clipped(
-                    epoch_net.clone(),
-                    labels.clone(),
-                    halo,
-                )
-            })
-            .collect();
-        self.min_tpm = epoch_net.min_time_per_meter();
-        for (shard, engine) in self.shards.iter_mut().zip(engines) {
-            shard.engine = engine;
-            shard.fleet_index.set_min_time_per_meter(self.min_tpm);
+            self.labels_rebuilt += 1;
         }
         self.current_epoch = epoch.index;
         self.epoch_rolls += 1;
@@ -858,7 +879,7 @@ impl<'a> ShardedRun<'a> {
                         unserved_direct_cost,
                     ),
                     running_time: s.dispatch_time,
-                    sp_queries: s.retired_sp_queries + s.engine.stats().index_queries,
+                    sp_queries: s.engine.stats().index_queries,
                     // Actual label bytes of the shard's own index (the halo
                     // slice; the whole index for a single covering shard) —
                     // not a container-capacity estimate.
@@ -875,7 +896,7 @@ impl<'a> ShardedRun<'a> {
         let sp_fallback_queries = self
             .shards
             .iter()
-            .map(|s| s.retired_fallback_queries + s.engine.fallback_queries())
+            .map(|s| s.engine.fallback_queries())
             .sum();
         let vehicles = fleet_snapshot(&self.shards);
         let served = std::mem::take(&mut self.served);
@@ -894,6 +915,9 @@ impl<'a> ShardedRun<'a> {
             run_seconds: self.run_t0.elapsed().as_secs_f64(),
             label_refresh_seconds: self.label_refresh_seconds,
             epoch_rolls: self.epoch_rolls,
+            labels_rescaled: self.labels_rescaled,
+            labels_rebuilt: self.labels_rebuilt,
+            shards_refreshed: self.shards.iter().map(|s| s.engine.slice_refreshes()).sum(),
         }
     }
 }

@@ -25,11 +25,12 @@
 
 use crate::dijkstra;
 use crate::graph::{NodeId, Point, RoadNetwork};
-use crate::hub_labels::HubLabels;
+use crate::hub_labels::{BuildPlan, HubLabels};
 use crate::sharded::{ShardedLruCache, DEFAULT_SHARDS};
 use crate::subnet::SubNetwork;
-use crate::traffic::{TrafficConfig, TrafficEpoch};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::traffic::{EpochSignature, TrafficConfig, TrafficEpoch};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Counters describing the query workload seen by an [`SpEngine`].
@@ -96,14 +97,16 @@ impl SpEngineBuilder {
     /// [`SpEngineBuilder::build`] / [`build_shared`](Self::build_shared)
     /// produce a **self-rolling** engine: the caller drives
     /// [`SpEngine::roll_epoch_to`] from the batch clock and the engine
-    /// reweights the network, rebuilds its labels and recomputes
-    /// `min_time_per_meter` at every epoch boundary.  A static config (the
-    /// default) leaves the pre-traffic fast path completely untouched.
+    /// swaps in the covering epoch's artifacts — reweighted network, label
+    /// index, certified `min_time_per_meter` — from a shared [`EpochStore`]
+    /// at every epoch boundary.  A static config (the default) leaves the
+    /// pre-traffic fast path completely untouched.
     ///
-    /// `build_with_index` / `build_clipped` ignore this knob: prebuilt
-    /// shared labels are already epoch-specific, so the sharded pipeline
-    /// rolls epochs by rebuilding its engines over the reweighted network
-    /// and stamping them with [`SpEngineBuilder::epoch_tag`] instead.
+    /// `build_with_index` / `build_clipped` ignore this knob (their prebuilt
+    /// shared labels are static by construction); self-rolling *clipped*
+    /// engines are built with
+    /// [`build_traffic_clipped`](Self::build_traffic_clipped) over an
+    /// explicit store instead.
     pub fn traffic(mut self, config: TrafficConfig) -> Self {
         self.traffic = config;
         self
@@ -139,54 +142,68 @@ impl SpEngineBuilder {
         self.assemble(net, index)
     }
 
-    /// Builds a self-rolling traffic engine over the free-flow base `net`.
+    /// Builds a self-rolling traffic engine over the free-flow base `net`,
+    /// with its own private [`EpochStore`].
     fn build_traffic(self, base: Arc<RoadNetwork>) -> SpEngine {
-        let config = self.traffic;
-        let epoch = config.epoch_at(0.0);
-        let (net, index, min_tpm) = Self::epoch_artifacts(&base, &epoch, self.use_hub_labels);
+        let store = EpochStore::new(base, self.traffic, self.use_hub_labels);
+        self.build_traffic_full(store)
+    }
+
+    /// Builds a self-rolling **full-index** engine over a shared
+    /// [`EpochStore`] — the monolithic form of
+    /// [`build_traffic_clipped`](Self::build_traffic_clipped).  The
+    /// builder's own [`SpEngineBuilder::traffic`] config is ignored; the
+    /// store's config drives the rolls.
+    pub fn build_traffic_full(self, store: Arc<EpochStore>) -> SpEngine {
+        self.assemble_traffic(store, None)
+    }
+
+    /// Builds a self-rolling **halo-clipped** engine over a shared
+    /// [`EpochStore`]: the engine starts from the store's initial epoch
+    /// artifacts (sub-network induced by `halo`, label slice restricted to
+    /// it) and re-derives its clip from each subsequent epoch's artifacts
+    /// inside [`SpEngine::roll_epoch_to`] — including the shard-selective
+    /// skip that keeps the clip, slice and cache alive when no halo vertex
+    /// was touched by the transition.  Degenerate halos behave exactly as in
+    /// [`build_clipped`](Self::build_clipped).
+    ///
+    /// # Panics
+    /// Panics if `halo` names a vertex outside the store's network.
+    pub fn build_traffic_clipped(self, store: Arc<EpochStore>, halo: &[NodeId]) -> SpEngine {
+        self.assemble_traffic(store, Some(halo.to_vec()))
+    }
+
+    fn assemble_traffic(self, store: Arc<EpochStore>, halo: Option<Vec<NodeId>>) -> SpEngine {
+        let use_hub_labels = self.use_hub_labels;
+        let epoch = store.initial_epoch();
+        let artifact = store.initial_artifacts();
+        let index = match &halo {
+            Some(h) => clipped_index_for(&artifact, h, use_hub_labels),
+            None => full_index_for(&artifact, use_hub_labels),
+        };
+        let base = store.base().clone();
         let runtime = TrafficRuntime {
-            config,
-            base: base.clone(),
-            use_hub_labels: self.use_hub_labels,
+            config: store.config(),
+            store,
+            use_hub_labels,
+            halo,
             slot: RwLock::new(EpochSlot {
                 epoch: epoch.index,
-                net,
+                artifact,
                 index,
-                min_tpm,
             }),
             refresh_seconds: Mutex::new(0.0),
             rolls: AtomicU64::new(0),
+            rescaled: AtomicU64::new(0),
+            rebuilt: AtomicU64::new(0),
+            slice_refreshes: AtomicU64::new(0),
+            fallback_mark: AtomicU64::new(0),
         };
         let tag = epoch.index;
         let mut engine = self.assemble(base, SpIndex::Dijkstra);
         engine.traffic = Some(Box::new(runtime));
         engine.epoch_tag.store(tag, Ordering::Relaxed);
         engine
-    }
-
-    /// The per-epoch artifacts: reweighted network (shared base when the
-    /// epoch is free flow), label index, and the epoch's certified
-    /// `min_time_per_meter`.  A pure function of `(base, epoch)` — the
-    /// parallel [`HubLabels::build`] is bit-identical under any worker
-    /// count, so every process that agrees on the batch clock agrees on
-    /// these artifacts.
-    fn epoch_artifacts(
-        base: &Arc<RoadNetwork>,
-        epoch: &TrafficEpoch,
-        use_hub_labels: bool,
-    ) -> (Arc<RoadNetwork>, SpIndex, f64) {
-        let net = if epoch.is_free_flow() {
-            base.clone()
-        } else {
-            Arc::new(base.reweighted(|from, to| epoch.edge_multiplier(from, to)))
-        };
-        let index = if use_hub_labels {
-            SpIndex::Full(Arc::new(HubLabels::build(&net)))
-        } else {
-            SpIndex::Dijkstra
-        };
-        let min_tpm = net.min_time_per_meter();
-        (net, index, min_tpm)
     }
 
     /// Builds the engine around a prebuilt (shared) hub-label index instead
@@ -267,23 +284,77 @@ impl SpEngineBuilder {
 #[derive(Debug)]
 struct TrafficRuntime {
     config: TrafficConfig,
-    base: Arc<RoadNetwork>,
+    store: Arc<EpochStore>,
     use_hub_labels: bool,
+    /// `Some(halo)` for clipped engines: the engine re-derives its clip and
+    /// label slice from each epoch's artifacts (or keeps them across a roll
+    /// that provably left every halo vertex untouched).
+    halo: Option<Vec<NodeId>>,
     slot: RwLock<EpochSlot>,
-    /// Cumulative wall-clock seconds spent rebuilding epoch artifacts — the
-    /// measured hot path of the `rush_hour` bench row.
+    /// Cumulative wall-clock seconds spent *on the roll path* swapping in
+    /// epoch artifacts (memo lookups, waits on background prebuilds, scoped
+    /// repairs, slice re-cuts) — the measured hot path of the `rush_hour`
+    /// bench row.  Background prebuild time overlaps dispatch and is not
+    /// booked here.
     refresh_seconds: Mutex<f64>,
     rolls: AtomicU64,
+    /// Tier-1 rolls: served by a uniform (zone-free) epoch artifact — same
+    /// signature, memo hit, or a joined background prebuild; no pruned
+    /// search ran against this roll's weights on demand.
+    rescaled: AtomicU64,
+    /// Tier-2 rolls: the epoch's zone activity required a scoped
+    /// (worst-case full) label rebuild against a uniform reference.
+    rebuilt: AtomicU64,
+    /// Clipped-engine rolls that re-cut the halo sub-network and label
+    /// slice (the complement of the Tier-3 "shard untouched, keep it" skip).
+    slice_refreshes: AtomicU64,
+    /// `fallback_queries` at the instant the cache was last cleared.  A
+    /// Tier-3 skip may keep the cache only when this still matches: cached
+    /// fallback answers involve out-of-halo vertices whose costs the roll
+    /// may have changed.
+    fallback_mark: AtomicU64,
 }
 
-/// The artifacts of one traffic epoch: reweighted network, rebuilt label
-/// index, and the epoch's certified prescreen rate.
+/// The engine's view of one traffic epoch: the shared artifacts plus the
+/// engine-local index (full, or clipped to this engine's halo).
 #[derive(Debug)]
 struct EpochSlot {
     epoch: u64,
-    net: Arc<RoadNetwork>,
+    artifact: Arc<EpochArtifacts>,
     index: SpIndex,
-    min_tpm: f64,
+}
+
+/// The index a full-network traffic engine queries for one epoch.
+fn full_index_for(artifact: &EpochArtifacts, use_hub_labels: bool) -> SpIndex {
+    match artifact.labels() {
+        Some(labels) if use_hub_labels => SpIndex::Full(labels.clone()),
+        _ => SpIndex::Dijkstra,
+    }
+}
+
+/// The index a halo-clipped traffic engine queries for one epoch: the
+/// sub-network induced by `halo` over the epoch's reweighted network plus
+/// the label slice restricted to it, with the same degenerate cases as
+/// [`SpEngineBuilder::build_clipped`].
+fn clipped_index_for(artifact: &EpochArtifacts, halo: &[NodeId], use_hub_labels: bool) -> SpIndex {
+    let Some(labels) = artifact.labels().filter(|_| use_hub_labels) else {
+        return SpIndex::Dijkstra;
+    };
+    if halo.is_empty() {
+        return SpIndex::FallbackOnly {
+            full: labels.clone(),
+        };
+    }
+    let sub = SubNetwork::extract(artifact.net(), halo).expect("halo vertices must be in range");
+    if sub.covers_parent() {
+        return SpIndex::Full(labels.clone());
+    }
+    let slice = labels.restrict_to(sub.to_global());
+    SpIndex::Clipped {
+        sub: Box::new(sub),
+        slice,
+        full: labels.clone(),
+    }
 }
 
 /// How an [`SpEngine`] resolves index queries (cache misses).
@@ -303,6 +374,384 @@ enum SpIndex {
     /// A clipped engine whose halo is empty (e.g. a shard whose region holds
     /// no road-network vertex): every query uses the shared full index.
     FallbackOnly { full: Arc<HubLabels> },
+}
+
+/// The shared artifacts of one traffic epoch *signature*: reweighted
+/// network, label index, build plan (for uniform reference epochs), the
+/// certified prescreen rate, and — for zoned epochs — the set of vertices
+/// the zone activity actually touched.
+///
+/// Artifacts are a pure function of `(base network, signature)`: the
+/// parallel [`HubLabels::build`] and the scoped [`BuildPlan::repair`] are
+/// bit-identical under any worker count and to each other, so it never
+/// matters *when* or *on which thread* an artifact was produced — which is
+/// what makes both the signature memo and the background prebuild sound.
+#[derive(Debug)]
+pub struct EpochArtifacts {
+    signature: EpochSignature,
+    net: Arc<RoadNetwork>,
+    labels: Option<Arc<HubLabels>>,
+    /// Recorded construction, kept for **uniform** artifacts when the config
+    /// carries zones: the reference a zoned epoch's scoped repair starts
+    /// from.
+    plan: Option<Arc<BuildPlan>>,
+    min_tpm: f64,
+    /// For zoned artifacts: `changed[v]` iff `v`'s label vectors or an
+    /// incident edge weight differ from the same-profile uniform reference.
+    /// `None` for uniform artifacts (the empty set).
+    changed: Option<Vec<bool>>,
+    /// Roots the scoped repair kept / re-searched (`0 / 0` for uniform
+    /// artifacts).
+    pub roots_kept: usize,
+    /// See [`EpochArtifacts::roots_kept`].
+    pub roots_rebuilt: usize,
+}
+
+impl EpochArtifacts {
+    /// The weight fingerprint these artifacts were built for.
+    pub fn signature(&self) -> &EpochSignature {
+        &self.signature
+    }
+
+    /// The epoch's reweighted road network (the shared free-flow base when
+    /// the epoch is free flow).
+    pub fn net(&self) -> &Arc<RoadNetwork> {
+        &self.net
+    }
+
+    /// The epoch's hub-label index (`None` when the store was built without
+    /// labels).
+    pub fn labels(&self) -> Option<&Arc<HubLabels>> {
+        self.labels.as_ref()
+    }
+
+    /// The epoch's certified `min_time_per_meter` prescreen rate.
+    pub fn min_tpm(&self) -> f64 {
+        self.min_tpm
+    }
+
+    /// True when every edge scales by one profile factor (Tier-1 artifact);
+    /// false when zone activity made the reweighting spatially non-uniform
+    /// (Tier-2 artifact, produced by a scoped repair).
+    pub fn is_uniform(&self) -> bool {
+        self.changed.is_none()
+    }
+
+    /// True when some vertex of `halo` was touched by this artifact's zone
+    /// activity — its label vectors or an incident edge weight differ from
+    /// the same-profile uniform reference.  Always false for uniform
+    /// artifacts.
+    pub fn changed_intersects(&self, halo: &[NodeId]) -> bool {
+        match &self.changed {
+            None => false,
+            Some(changed) => halo.iter().any(|&v| changed[v as usize]),
+        }
+    }
+}
+
+/// Builds the artifacts of a uniform (zone-free) signature: every edge
+/// scales by `signature.uniform_factor()`, bit-identically to reweighting by
+/// [`TrafficEpoch::edge_multiplier`] for an epoch with that profile factor
+/// and no effective zones.
+fn build_uniform_artifacts(
+    base: &Arc<RoadNetwork>,
+    signature: EpochSignature,
+    use_hub_labels: bool,
+    record_plan: bool,
+) -> EpochArtifacts {
+    let factor = signature.uniform_factor();
+    let net = if factor == 1.0 {
+        base.clone()
+    } else {
+        Arc::new(base.reweighted(|_, _| factor))
+    };
+    let (labels, plan) = match (use_hub_labels, record_plan) {
+        (true, true) => {
+            let (labels, plan) = HubLabels::build_with_plan(&net);
+            (Some(Arc::new(labels)), Some(Arc::new(plan)))
+        }
+        (true, false) => (Some(Arc::new(HubLabels::build(&net))), None),
+        (false, _) => (None, None),
+    };
+    EpochArtifacts {
+        signature,
+        min_tpm: net.min_time_per_meter(),
+        net,
+        labels,
+        plan,
+        changed: None,
+        roots_kept: 0,
+        roots_rebuilt: 0,
+    }
+}
+
+/// Builds the artifacts of a zoned epoch by scoped repair against the
+/// same-profile uniform `reference`: reweight with per-edge flags, re-search
+/// only the roots whose recorded searches touched a flagged vertex, splice
+/// everything else in verbatim ([`BuildPlan::repair`] — bit-identical to a
+/// wholesale `HubLabels::build` over the reweighted network).
+fn build_zoned_artifacts(
+    base: &Arc<RoadNetwork>,
+    epoch: &TrafficEpoch,
+    reference: &EpochArtifacts,
+    use_hub_labels: bool,
+) -> EpochArtifacts {
+    let signature = epoch.signature();
+    let (net, seeds) = base.reweighted_with_flags(
+        |from, to| epoch.edge_multiplier(from, to),
+        signature.uniform_factor(),
+    );
+    let net = Arc::new(net);
+    let (labels, changed, roots_kept, roots_rebuilt) = if use_hub_labels {
+        let plan = reference
+            .plan
+            .as_ref()
+            .expect("uniform reference artifacts record a build plan when zones are configured");
+        let repair = plan.repair(&net, &seeds);
+        (
+            Some(Arc::new(repair.labels)),
+            repair.changed,
+            repair.roots_kept,
+            repair.roots_rebuilt,
+        )
+    } else {
+        (None, seeds, 0, 0)
+    };
+    EpochArtifacts {
+        signature,
+        min_tpm: net.min_time_per_meter(),
+        net,
+        labels,
+        plan: None,
+        changed: Some(changed),
+        roots_kept,
+        roots_rebuilt,
+    }
+}
+
+/// A memoized artifact, or the handle of a background prebuild in flight.
+#[derive(Debug)]
+enum SignatureSlot {
+    Pending(std::thread::JoinHandle<EpochArtifacts>),
+    Ready(Arc<EpochArtifacts>),
+}
+
+/// Memoized, background-prefetched per-epoch artifacts, shared by every
+/// engine rolling through the same traffic model — the tiered epoch-roll
+/// repair engine.
+///
+/// Artifacts are keyed by [`TrafficEpoch::signature`], a bit-exact
+/// fingerprint of everything that can affect an edge weight, so two epochs
+/// with equal signatures (e.g. the free-flow hours on both sides of a rush
+/// peak, or any revisit of an hourly factor) share one artifact and one
+/// build.  Per signature, the cheapest sound producer is chosen:
+///
+/// * **Uniform signatures** (no effective zones — every roll of a zone-free
+///   `Rush`/`Custom` profile) are built by the parallel wholesale builder,
+///   but *off the roll path*: [`EpochStore::ensure_prebuild`] enumerates the
+///   distinct uniform signatures of the profile's first day and builds each
+///   one on a background thread while dispatch proceeds under the current
+///   epoch.  A roll that arrives before its prebuild finishes joins it (the
+///   wait is booked as refresh time); every later roll to that signature is
+///   a memo hit.  A from-scratch *rescale* of the stored label distances
+///   would be cheaper still but is **not sound**: the prune check compares
+///   two floating-point sums of the same path length accumulated in
+///   different association orders, and a uniform factor re-rounds both
+///   sides independently, flipping knife-edge settle/prune decisions — see
+///   [`BuildPlan`].
+/// * **Zoned signatures** are built by scoped repair
+///   ([`BuildPlan::repair`]) against the same-profile uniform reference:
+///   only roots whose recorded searches touched a reweighted vertex
+///   re-search; everything else is spliced in verbatim.  The artifact also
+///   records *which* vertices changed, which is what lets clipped engines
+///   skip their refresh entirely when their halo was not touched (Tier 3).
+///
+/// Every producer is bit-identical to `HubLabels::build` over the epoch's
+/// reweighted network (property-tested across zone-flip sequences and
+/// worker counts), so engines sharing a store answer exactly as if each
+/// roll rebuilt wholesale — only faster.
+#[derive(Debug)]
+pub struct EpochStore {
+    base: Arc<RoadNetwork>,
+    config: TrafficConfig,
+    use_hub_labels: bool,
+    /// Plans are recorded on uniform artifacts only when the config carries
+    /// zones that could later demand a scoped repair against them.
+    record_plans: bool,
+    initial_epoch: TrafficEpoch,
+    initial: Arc<EpochArtifacts>,
+    memo: Mutex<HashMap<EpochSignature, SignatureSlot>>,
+    prebuild_started: AtomicBool,
+}
+
+impl EpochStore {
+    /// Builds the store and the artifacts of the epoch covering `now = 0` —
+    /// the setup-time cost.  Background prebuilding starts lazily at the
+    /// first [`SpEngine::roll_epoch_to`] call (see
+    /// [`EpochStore::ensure_prebuild`]) so it never contends with the rest
+    /// of setup.
+    pub fn new(base: Arc<RoadNetwork>, config: TrafficConfig, use_hub_labels: bool) -> Arc<Self> {
+        let record_plans = config.zones.iter().any(Option::is_some);
+        let initial_epoch = config.epoch_at(0.0);
+        let signature = initial_epoch.signature();
+        let mut memo = HashMap::new();
+        let initial = if signature.is_uniform() {
+            Arc::new(build_uniform_artifacts(
+                &base,
+                signature,
+                use_hub_labels,
+                record_plans,
+            ))
+        } else {
+            let reference = Arc::new(build_uniform_artifacts(
+                &base,
+                signature.profile_only(),
+                use_hub_labels,
+                record_plans,
+            ));
+            let artifact = Arc::new(build_zoned_artifacts(
+                &base,
+                &initial_epoch,
+                &reference,
+                use_hub_labels,
+            ));
+            memo.insert(signature.profile_only(), SignatureSlot::Ready(reference));
+            artifact
+        };
+        memo.insert(signature, SignatureSlot::Ready(initial.clone()));
+        Arc::new(EpochStore {
+            base,
+            config,
+            use_hub_labels,
+            record_plans,
+            initial_epoch,
+            initial,
+            memo: Mutex::new(memo),
+            prebuild_started: AtomicBool::new(false),
+        })
+    }
+
+    /// The traffic model every sharing engine rolls by.
+    pub fn config(&self) -> TrafficConfig {
+        self.config
+    }
+
+    /// The free-flow base network all artifacts reweight.
+    pub fn base(&self) -> &Arc<RoadNetwork> {
+        &self.base
+    }
+
+    /// The epoch covering `now = 0`.
+    pub fn initial_epoch(&self) -> TrafficEpoch {
+        self.initial_epoch
+    }
+
+    /// The artifacts built at store creation (for the initial epoch).
+    pub fn initial_artifacts(&self) -> Arc<EpochArtifacts> {
+        self.initial.clone()
+    }
+
+    /// Starts the background prebuild: one builder thread per distinct
+    /// uniform signature among the epochs of the profile's first day (capped
+    /// at 64 epochs examined), so the label builds overlap dispatch instead
+    /// of stalling epoch rolls.  Idempotent and cheap after the first call;
+    /// called by every [`SpEngine::roll_epoch_to`], so stores driven by any
+    /// pipeline start prefetching at the first batch.
+    pub fn ensure_prebuild(&self) {
+        if !self.use_hub_labels || self.prebuild_started.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let width = if self.config.epoch_seconds.is_finite() && self.config.epoch_seconds > 0.0 {
+            self.config.epoch_seconds
+        } else {
+            3600.0
+        };
+        if !(self.config.hour_scale.is_finite() && self.config.hour_scale > 0.0) {
+            // The profile hour never advances: only the initial signature's
+            // profile factor can ever occur, and it is already built.
+            return;
+        }
+        let day_epochs = ((24.0 * self.config.hour_scale / width).ceil() as usize).clamp(1, 64);
+        let mut memo = self.memo.lock().unwrap();
+        for e in 1..=day_epochs {
+            let epoch = self.config.epoch_at(e as f64 * width);
+            if epoch.uniform_multiplier().is_none() {
+                continue;
+            }
+            let signature = epoch.signature();
+            if memo.contains_key(&signature) {
+                continue;
+            }
+            let base = self.base.clone();
+            let record_plans = self.record_plans;
+            let handle = std::thread::spawn(move || {
+                build_uniform_artifacts(&base, signature, true, record_plans)
+            });
+            memo.insert(signature, SignatureSlot::Pending(handle));
+        }
+    }
+
+    /// The artifacts for `epoch`: a memo hit, a join on the signature's
+    /// background prebuild, or an on-demand build (scoped repair for zoned
+    /// signatures).  Identical bits regardless of which path ran.
+    pub fn artifacts_for(&self, epoch: &TrafficEpoch) -> Arc<EpochArtifacts> {
+        let signature = epoch.signature();
+        let mut memo = self.memo.lock().unwrap();
+        match memo.remove(&signature) {
+            Some(SignatureSlot::Ready(artifact)) => {
+                memo.insert(signature, SignatureSlot::Ready(artifact.clone()));
+                artifact
+            }
+            Some(SignatureSlot::Pending(handle)) => {
+                let artifact = Arc::new(handle.join().expect("prebuild thread panicked"));
+                memo.insert(signature, SignatureSlot::Ready(artifact.clone()));
+                artifact
+            }
+            None => {
+                let artifact = if signature.is_uniform() {
+                    Arc::new(build_uniform_artifacts(
+                        &self.base,
+                        signature,
+                        self.use_hub_labels,
+                        self.record_plans,
+                    ))
+                } else {
+                    let reference = self.uniform_reference(&mut memo, signature.profile_only());
+                    Arc::new(build_zoned_artifacts(
+                        &self.base,
+                        epoch,
+                        &reference,
+                        self.use_hub_labels,
+                    ))
+                };
+                memo.insert(signature, SignatureSlot::Ready(artifact.clone()));
+                artifact
+            }
+        }
+    }
+
+    /// The uniform reference artifacts for a zoned signature's profile
+    /// factor, materializing them (join or build) under the held memo lock.
+    fn uniform_reference(
+        &self,
+        memo: &mut HashMap<EpochSignature, SignatureSlot>,
+        signature: EpochSignature,
+    ) -> Arc<EpochArtifacts> {
+        let artifact = match memo.remove(&signature) {
+            Some(SignatureSlot::Ready(artifact)) => artifact,
+            Some(SignatureSlot::Pending(handle)) => {
+                Arc::new(handle.join().expect("prebuild thread panicked"))
+            }
+            None => Arc::new(build_uniform_artifacts(
+                &self.base,
+                signature,
+                self.use_hub_labels,
+                self.record_plans,
+            )),
+        };
+        memo.insert(signature, SignatureSlot::Ready(artifact.clone()));
+        artifact
+    }
 }
 
 /// Shared shortest-path oracle: hub labels + sharded LRU cache + query
@@ -381,7 +830,7 @@ impl SpEngine {
         match &self.traffic {
             Some(rt) => {
                 let slot = rt.slot.read().unwrap();
-                self.resolve_cost(&slot.net, &slot.index, source, target)
+                self.resolve_cost(slot.artifact.net(), &slot.index, source, target)
             }
             None => self.resolve_cost(&self.net, &self.index, source, target),
         }
@@ -433,7 +882,7 @@ impl SpEngine {
         match &self.traffic {
             Some(rt) => {
                 let slot = rt.slot.read().unwrap();
-                self.resolve_matrix(&slot.net, &slot.index, sources, targets, pairs)
+                self.resolve_matrix(slot.artifact.net(), &slot.index, sources, targets, pairs)
             }
             None => self.resolve_matrix(&self.net, &self.index, sources, targets, pairs),
         }
@@ -491,13 +940,20 @@ impl SpEngine {
         }
     }
 
-    /// True for engines built by [`SpEngineBuilder::build_clipped`] with a
-    /// proper (non-covering) halo, including the empty-halo degenerate case.
+    /// True for engines built by [`SpEngineBuilder::build_clipped`] or
+    /// [`SpEngineBuilder::build_traffic_clipped`] with a proper
+    /// (non-covering) halo, including the empty-halo degenerate case.
     pub fn is_clipped(&self) -> bool {
-        matches!(
-            self.index,
-            SpIndex::Clipped { .. } | SpIndex::FallbackOnly { .. }
-        )
+        let clipped = |index: &SpIndex| {
+            matches!(
+                index,
+                SpIndex::Clipped { .. } | SpIndex::FallbackOnly { .. }
+            )
+        };
+        match &self.traffic {
+            Some(rt) => clipped(&rt.slot.read().unwrap().index),
+            None => clipped(&self.index),
+        }
     }
 
     /// Index queries that left the halo and were answered by the shared full
@@ -530,7 +986,7 @@ impl SpEngine {
     pub fn one_to_all(&self, source: NodeId) -> Vec<f64> {
         self.index_queries.fetch_add(1, Ordering::Relaxed);
         match &self.traffic {
-            Some(rt) => dijkstra::sssp(&rt.slot.read().unwrap().net, source),
+            Some(rt) => dijkstra::sssp(rt.slot.read().unwrap().artifact.net(), source),
             None => dijkstra::sssp(&self.net, source),
         }
     }
@@ -539,7 +995,7 @@ impl SpEngine {
     pub fn all_to_one(&self, target: NodeId) -> Vec<f64> {
         self.index_queries.fetch_add(1, Ordering::Relaxed);
         match &self.traffic {
-            Some(rt) => dijkstra::sssp_reverse(&rt.slot.read().unwrap().net, target),
+            Some(rt) => dijkstra::sssp_reverse(rt.slot.read().unwrap().artifact.net(), target),
             None => dijkstra::sssp_reverse(&self.net, target),
         }
     }
@@ -583,39 +1039,111 @@ impl SpEngine {
         self.traffic.as_ref().map(|rt| rt.config)
     }
 
-    /// The epoch tag stamped into cache keys: the current epoch index for
-    /// traffic engines, the builder-assigned tag (default 0) otherwise.
+    /// The current traffic epoch index for self-rolling engines, the
+    /// builder-assigned tag (default 0) otherwise.  Note this is no longer
+    /// the cache-key tag: cache keys carry a private *era* counter that
+    /// advances only when a roll actually changes edge weights, so entries
+    /// survive rolls between bit-identical epochs.
     pub fn current_epoch(&self) -> u64 {
-        self.epoch_tag.load(Ordering::Relaxed)
+        match &self.traffic {
+            Some(rt) => rt.slot.read().unwrap().epoch,
+            None => self.epoch_tag.load(Ordering::Relaxed),
+        }
     }
 
-    /// Advances a self-rolling traffic engine to the epoch covering `now`.
-    /// Returns `true` when the epoch actually changed (network reweighted,
-    /// labels rebuilt, prescreen rate recomputed, cache invalidated).
+    /// Advances a self-rolling traffic engine to the epoch covering `now`,
+    /// taking the cheapest sound repair for the transition.  Returns `true`
+    /// when the epoch actually changed.
+    ///
+    /// The tiers, cheapest first — every one answers queries bit-identically
+    /// to a wholesale reweight-and-rebuild at the new epoch:
+    ///
+    /// 1. **Same signature**: the new epoch's weights are bit-equal to the
+    ///    current ones ([`TrafficEpoch::signature`]), so the artifacts,
+    ///    clip, *and cache* all stay live; only the epoch index advances.
+    /// 2. **Artifact swap**: fetch the new signature's artifacts from the
+    ///    shared [`EpochStore`] (memo hit, prebuild join, or on-demand
+    ///    uniform build / zoned scoped repair).
+    /// 3. **Shard-selective clip retention**: a clipped engine re-cuts its
+    ///    sub-network and label slice only when the transition could touch
+    ///    its halo — a profile-factor change, or zone activity intersecting
+    ///    the halo on either side of the roll.  Otherwise the clip is
+    ///    retained against the new full index, and the cache too if no
+    ///    fallback query escaped the halo since it was last cleared.
     ///
     /// Static engines return `false` unconditionally, so pipelines can call
     /// this every batch without guarding.  Must be called from the batch
     /// control thread at a quiescent point — concurrent `cost()` callers in
-    /// the same instant could cache a fresh-epoch value under the old tag.
+    /// the same instant could cache a fresh-epoch value under the old era.
     pub fn roll_epoch_to(&self, now: f64) -> bool {
         let Some(rt) = &self.traffic else {
             return false;
         };
+        rt.store.ensure_prebuild();
         let epoch = rt.config.epoch_at(now);
         if rt.slot.read().unwrap().epoch == epoch.index {
             return false;
         }
         let t0 = std::time::Instant::now();
-        let (net, index, min_tpm) =
-            SpEngineBuilder::epoch_artifacts(&rt.base, &epoch, rt.use_hub_labels);
-        *rt.slot.write().unwrap() = EpochSlot {
-            epoch: epoch.index,
-            net,
-            index,
-            min_tpm,
+        let mut slot = rt.slot.write().unwrap();
+        if slot.epoch == epoch.index {
+            return false;
+        }
+        let signature = epoch.signature();
+        if *slot.artifact.signature() == signature {
+            // Tier 1, degenerate: identical weights — everything stays live.
+            slot.epoch = epoch.index;
+            drop(slot);
+            rt.rescaled.fetch_add(1, Ordering::Relaxed);
+            rt.rolls.fetch_add(1, Ordering::Relaxed);
+            *rt.refresh_seconds.lock().unwrap() += t0.elapsed().as_secs_f64();
+            return true;
+        }
+        let artifact = rt.store.artifacts_for(&epoch);
+        if artifact.is_uniform() {
+            rt.rescaled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            rt.rebuilt.fetch_add(1, Ordering::Relaxed);
+        }
+        let old_artifact = std::mem::replace(&mut slot.artifact, artifact.clone());
+        let old_index = std::mem::replace(&mut slot.index, SpIndex::Dijkstra);
+        let mut kept_clip = false;
+        slot.index = match (&rt.halo, old_index) {
+            (Some(halo), SpIndex::Clipped { sub, slice, .. })
+                if old_artifact.signature().same_profile(&signature)
+                    && !old_artifact.changed_intersects(halo)
+                    && !artifact.changed_intersects(halo) =>
+            {
+                // Tier 3: no reweighted edge touches the halo, so the
+                // sub-network and label slice are bit-equal to fresh cuts.
+                kept_clip = true;
+                SpIndex::Clipped {
+                    sub,
+                    slice,
+                    full: artifact
+                        .labels()
+                        .expect("clipped traffic engines are built with labels")
+                        .clone(),
+                }
+            }
+            (Some(halo), _) => {
+                rt.slice_refreshes.fetch_add(1, Ordering::Relaxed);
+                clipped_index_for(&artifact, halo, rt.use_hub_labels)
+            }
+            (None, _) => full_index_for(&artifact, rt.use_hub_labels),
         };
-        self.epoch_tag.store(epoch.index, Ordering::Relaxed);
-        self.cache.clear();
+        slot.epoch = epoch.index;
+        drop(slot);
+        // Cache era: entries answered through a retained clip stayed inside
+        // the halo, where no weight changed — keep them.  Any fallback since
+        // the last clear may have crossed reweighted edges, so the era must
+        // advance (which orphans the old entries) and the cache is emptied.
+        let fallbacks = self.fallback_queries.load(Ordering::Relaxed);
+        if !(kept_clip && fallbacks == rt.fallback_mark.load(Ordering::Relaxed)) {
+            self.epoch_tag.fetch_add(1, Ordering::Relaxed);
+            self.cache.clear();
+            rt.fallback_mark.store(fallbacks, Ordering::Relaxed);
+        }
         rt.rolls.fetch_add(1, Ordering::Relaxed);
         *rt.refresh_seconds.lock().unwrap() += t0.elapsed().as_secs_f64();
         true
@@ -630,14 +1158,17 @@ impl SpEngine {
     /// bidding *sound* under congestion.
     pub fn min_time_per_meter(&self) -> f64 {
         match &self.traffic {
-            Some(rt) => rt.slot.read().unwrap().min_tpm,
+            Some(rt) => rt.slot.read().unwrap().artifact.min_tpm(),
             None => self.net.min_time_per_meter(),
         }
     }
 
-    /// Cumulative wall-clock seconds a traffic engine has spent rebuilding
-    /// epoch artifacts in [`SpEngine::roll_epoch_to`] (0.0 for static
-    /// engines; the initial epoch-0 build counts as setup, not refresh).
+    /// Cumulative wall-clock seconds spent *on the roll path* in
+    /// [`SpEngine::roll_epoch_to`]: memo lookups, joins on background
+    /// prebuilds, on-demand scoped repairs, and clip re-cuts.  Label builds
+    /// that finish on a background thread before their epoch arrives are
+    /// *not* booked here — they overlap dispatch.  0.0 for static engines;
+    /// the initial epoch's build counts as setup, not refresh.
     pub fn label_refresh_seconds(&self) -> f64 {
         self.traffic
             .as_ref()
@@ -653,6 +1184,37 @@ impl SpEngine {
             .unwrap_or(0)
     }
 
+    /// Rolls that took Tier 1 — the new epoch's weights were uniform (or
+    /// bit-identical to the current ones), so the labels came from the
+    /// signature memo, a background prebuild, or were kept outright.  0 for
+    /// static engines.
+    pub fn labels_rescaled(&self) -> u64 {
+        self.traffic
+            .as_ref()
+            .map(|rt| rt.rescaled.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Rolls that took Tier 2 — zone activity made the weights spatially
+    /// non-uniform and the labels were produced by a scoped repair against
+    /// the same-profile uniform reference.  0 for static engines.
+    pub fn labels_rebuilt(&self) -> u64 {
+        self.traffic
+            .as_ref()
+            .map(|rt| rt.rebuilt.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Weight-changing rolls on which this clipped engine actually re-cut
+    /// its sub-network and label slice — the complement of the Tier-3 skip.
+    /// 0 for static and non-clipped engines.
+    pub fn slice_refreshes(&self) -> u64 {
+        self.traffic
+            .as_ref()
+            .map(|rt| rt.slice_refreshes.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
     /// Resets the query counters (the cache contents are kept).
     pub fn reset_stats(&self) {
         self.total_queries.store(0, Ordering::Relaxed);
@@ -664,7 +1226,13 @@ impl SpEngine {
     /// maps + cache) in bytes.  The network and any shared full index may be
     /// `Arc`-shared with other engines; they are counted here as if owned.
     pub fn approx_bytes(&self) -> usize {
-        let clip_bytes = self.clip().map(SubNetwork::approx_bytes).unwrap_or(0);
+        let clip_bytes = match &self.traffic {
+            Some(rt) => match &rt.slot.read().unwrap().index {
+                SpIndex::Clipped { sub, .. } => sub.approx_bytes(),
+                _ => 0,
+            },
+            None => self.clip().map(SubNetwork::approx_bytes).unwrap_or(0),
+        };
         self.net.approx_bytes() + self.index_bytes() + clip_bytes + self.cache.approx_bytes()
     }
 }
@@ -1000,5 +1568,136 @@ mod tests {
             stats.cache_hits > 0,
             "overlapping streams must produce hits"
         );
+    }
+
+    /// Satellite: across a shard-selective roll, an untouched shard's SP
+    /// cache survives (its warm entries keep answering as cache hits) while
+    /// a refreshed shard serves no stale value — every post-roll answer is
+    /// bit-identical to a wholesale traffic engine rolled to the same
+    /// instant.  Two clipped engines over one [`EpochStore`] model the
+    /// sharded topology: a western shard whose halo the congestion zone
+    /// never touches, and an eastern shard inside the zone.
+    #[test]
+    fn shard_selective_roll_keeps_untouched_shard_caches_live_without_stale_hits() {
+        // Nodes sit at x = 0, 10, …, 230; the zone covers edge midpoints
+        // from edge 15–16 (x = 155) eastwards, so its changed-node set is
+        // {15, …, 23} — disjoint from the western halo, inside the eastern.
+        let zone = |from: f64, until: f64| crate::traffic::CongestionZone {
+            min_x: 152.0,
+            min_y: -5.0,
+            max_x: 240.0,
+            max_y: 5.0,
+            factor: 2.0,
+            active_from: from,
+            active_until: until,
+        };
+        let cfg = crate::traffic::TrafficConfig {
+            epoch_seconds: 100.0,
+            ..crate::traffic::TrafficConfig::default()
+        }
+        .with_zone(zone(100.0, 200.0))
+        .with_zone(zone(300.0, 400.0));
+        let net = Arc::new(line_graph(24));
+        let store = EpochStore::new(net.clone(), cfg, true);
+        let west = SpEngineBuilder::new()
+            .build_traffic_clipped(store.clone(), &(0..9).collect::<Vec<_>>());
+        let east =
+            SpEngineBuilder::new().build_traffic_clipped(store, &(10..21).collect::<Vec<_>>());
+        let wholesale = SpEngineBuilder::new().traffic(cfg).build_shared(net);
+
+        // Warm both shard caches with in-halo queries (slice-answered).
+        let west_free = west.cost(1, 7);
+        assert_eq!(west.cost(1, 7).to_bits(), west_free.to_bits());
+        assert_eq!(west.stats().cache_hits, 1);
+        let east_free = east.cost(10, 20);
+        assert_eq!(east.cost(10, 20).to_bits(), east_free.to_bits());
+        assert_eq!(east.stats().cache_hits, 1);
+
+        // Roll into the zoned epoch.  The zone misses the western halo on
+        // both sides of the boundary, so the west shard's clip AND cache
+        // survive; the east shard re-cuts its slice and drops its cache.
+        for eng in [&west, &east, &wholesale] {
+            assert!(eng.roll_epoch_to(150.0));
+        }
+        assert_eq!(
+            west.slice_refreshes(),
+            0,
+            "untouched shard must keep its clip"
+        );
+        assert_eq!(
+            east.slice_refreshes(),
+            1,
+            "zone-hit shard must re-cut its slice"
+        );
+        assert_eq!(west.cost(1, 7).to_bits(), west_free.to_bits());
+        assert_eq!(
+            west.stats().cache_hits,
+            2,
+            "untouched shard's warm entry must survive the roll as a live hit"
+        );
+        assert_eq!(
+            west.cost(1, 7).to_bits(),
+            wholesale.cost_uncached(1, 7).to_bits(),
+            "surviving cache entry must still be the wholesale answer"
+        );
+        let east_peak = east.cost(10, 20);
+        assert_eq!(
+            east.stats().cache_hits,
+            1,
+            "refreshed shard must re-miss: its pre-roll cache is gone"
+        );
+        assert_ne!(
+            east_peak.to_bits(),
+            east_free.to_bits(),
+            "zone must slow the east"
+        );
+        assert_eq!(
+            east_peak.to_bits(),
+            wholesale.cost_uncached(10, 20).to_bits()
+        );
+
+        // Roll back to free flow (a memoized uniform epoch): the west shard
+        // skips again and the whole system returns bit-identically to the
+        // pre-zone answers.
+        for eng in [&west, &east, &wholesale] {
+            assert!(eng.roll_epoch_to(250.0));
+        }
+        assert_eq!(west.slice_refreshes(), 0);
+        assert_eq!(east.cost(10, 20).to_bits(), east_free.to_bits());
+        assert_eq!(west.cost(1, 7).to_bits(), west_free.to_bits());
+
+        // A fallback answer (out-of-halo target) is cached under the *full*
+        // labels, which the next zoned epoch replaces — so even though the
+        // west clip survives that roll, its cache must not.
+        let west_cross_free = west.cost(2, 20);
+        assert!(west.fallback_queries() > 0);
+        for eng in [&west, &east, &wholesale] {
+            assert!(eng.roll_epoch_to(350.0));
+        }
+        assert_eq!(
+            west.slice_refreshes(),
+            0,
+            "clip retention is independent of cache fate"
+        );
+        let west_cross_peak = west.cost(2, 20);
+        assert_ne!(
+            west_cross_peak.to_bits(),
+            west_cross_free.to_bits(),
+            "a stale fallback entry must not survive into the zoned epoch"
+        );
+        assert_eq!(
+            west_cross_peak.to_bits(),
+            wholesale.cost_uncached(2, 20).to_bits()
+        );
+        // In-halo west answers are untouched by the far-away zone.
+        assert_eq!(west.cost(1, 7).to_bits(), west_free.to_bits());
+
+        // Tier accounting over the three weight-changing rolls: zoned,
+        // memoized-uniform, zoned.
+        for eng in [&west, &east, &wholesale] {
+            assert_eq!(eng.epoch_rolls(), 3);
+            assert_eq!(eng.labels_rebuilt(), 2);
+            assert_eq!(eng.labels_rescaled(), 1);
+        }
     }
 }

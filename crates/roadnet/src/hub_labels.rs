@@ -81,6 +81,15 @@ struct SearchScratch {
     /// `(node, settled distance)` pairs in settle order — the label entries
     /// the search produced, merged into the labeling after the join.
     settled: Vec<(NodeId, f64)>,
+    /// Root-label scatter, indexed by hub rank: before each search the
+    /// root's own label vector is scattered here so the per-pop prune check
+    /// scans only the settled node's labels with O(1) root lookups instead
+    /// of merging two sorted vectors.  The candidate set and the addition
+    /// per candidate are exactly those of [`HubLabels::query_with`], so the
+    /// prune decisions — and hence the labeling — are bit-identical.
+    dense: Vec<f64>,
+    /// Priority queue reused across roots (capacity survives the drain).
+    heap: BinaryHeap<HeapEntry>,
 }
 
 impl SearchScratch {
@@ -89,7 +98,50 @@ impl SearchScratch {
             dist: vec![f64::INFINITY; n],
             touched: Vec::new(),
             settled: Vec::new(),
+            dense: vec![f64::INFINITY; n],
+            heap: BinaryHeap::new(),
         }
+    }
+}
+
+/// Per-root record of a recorded build: the settled `(node, dist)` lists of
+/// both directions (exactly the label entries the root produced) plus the
+/// sorted union of every vertex either search assigned a tentative distance.
+/// The touched set is what [`BuildPlan::repair`] intersects against the
+/// flagged vertices to decide whether the root's searches can be skipped:
+/// every edge the searches scanned has both endpoints in `touched`, and every
+/// label vector a prune certificate consulted belongs to a touched vertex
+/// (the root itself is touched too).
+#[derive(Debug, Clone)]
+struct RootPlan {
+    fwd: Vec<(NodeId, f64)>,
+    bwd: Vec<(NodeId, f64)>,
+    touched: Vec<NodeId>,
+}
+
+/// Observer hook for the pruned search; the no-op impl compiles away in the
+/// plain builds, the recording impl captures the per-root touched set.  The
+/// hook is strictly passive — it never influences the search.
+trait SettleRecorder {
+    fn on_finish(&mut self, touched: &[NodeId]);
+}
+
+/// The passive recorder used by the plain builds.
+struct NoRecord;
+impl SettleRecorder for NoRecord {
+    #[inline(always)]
+    fn on_finish(&mut self, _: &[NodeId]) {}
+}
+
+/// Captures the touched set of one search before the scratch resets it.
+#[derive(Default)]
+struct TouchRecorder {
+    touched: Vec<NodeId>,
+}
+
+impl SettleRecorder for TouchRecorder {
+    fn on_finish(&mut self, touched: &[NodeId]) {
+        self.touched.extend_from_slice(touched);
     }
 }
 
@@ -140,8 +192,8 @@ impl HubLabels {
                 let snapshot = &labels;
                 let (fwd, bwd) = (&mut fwd, &mut bwd);
                 rayon::join(
-                    || Self::collect_search(net, landmark, true, snapshot, fwd),
-                    || Self::collect_search(net, landmark, false, snapshot, bwd),
+                    || Self::collect_search(net, landmark, true, snapshot, fwd, &mut NoRecord),
+                    || Self::collect_search(net, landmark, false, snapshot, bwd, &mut NoRecord),
                 );
             }
             // Deterministic merge order: forward entries (in-labels) first,
@@ -160,6 +212,69 @@ impl HubLabels {
             }
         }
         labels
+    }
+
+    /// [`HubLabels::build`], additionally recording the [`BuildPlan`]: for
+    /// every root and direction, the settled `(node, dist)` list (exactly the
+    /// entries the root contributed) plus the per-root touched set.  The
+    /// recorder hook is passive, so the returned labeling is bit-identical to
+    /// [`HubLabels::build`] on the same network.
+    pub fn build_with_plan(net: &RoadNetwork) -> (HubLabels, BuildPlan) {
+        let n = net.node_count();
+        let (order, rank) = Self::ordering(net);
+
+        let mut labels = HubLabels {
+            out_labels: vec![Vec::new(); n],
+            in_labels: vec![Vec::new(); n],
+        };
+
+        let mut fwd = SearchScratch::new(n);
+        let mut bwd = SearchScratch::new(n);
+        let mut roots = Vec::with_capacity(n);
+
+        for &landmark in &order {
+            let lrank = rank[landmark as usize];
+            let mut fwd_rec = TouchRecorder::default();
+            let mut bwd_rec = TouchRecorder::default();
+            {
+                let snapshot = &labels;
+                let (fwd, bwd) = (&mut fwd, &mut bwd);
+                let (fwd_rec, bwd_rec) = (&mut fwd_rec, &mut bwd_rec);
+                rayon::join(
+                    || Self::collect_search(net, landmark, true, snapshot, fwd, fwd_rec),
+                    || Self::collect_search(net, landmark, false, snapshot, bwd, bwd_rec),
+                );
+            }
+            for &(node, d) in &fwd.settled {
+                labels.in_labels[node as usize].push(LabelEntry {
+                    hub: lrank,
+                    dist: d,
+                });
+            }
+            for &(node, d) in &bwd.settled {
+                labels.out_labels[node as usize].push(LabelEntry {
+                    hub: lrank,
+                    dist: d,
+                });
+            }
+            let mut touched = fwd_rec.touched;
+            touched.extend(bwd_rec.touched);
+            touched.sort_unstable();
+            touched.dedup();
+            roots.push(RootPlan {
+                fwd: std::mem::take(&mut fwd.settled),
+                bwd: std::mem::take(&mut bwd.settled),
+                touched,
+            });
+        }
+        (
+            labels,
+            BuildPlan {
+                order,
+                roots,
+                node_count: n,
+            },
+        )
     }
 
     /// The sequential reference construction: identical output to
@@ -216,11 +331,32 @@ impl HubLabels {
         forward: bool,
         labels: &HubLabels,
         scratch: &mut SearchScratch,
+        rec: &mut impl SettleRecorder,
     ) {
         scratch.settled.clear();
-        let dist = &mut scratch.dist;
-        let touched = &mut scratch.touched;
-        let mut heap = BinaryHeap::new();
+        let SearchScratch {
+            dist,
+            touched,
+            settled,
+            dense,
+            heap,
+        } = scratch;
+        // Scatter the root's own label vector into the rank-indexed dense
+        // array.  Each prune check below then scans only the popped node's
+        // labels: a hub the root lacks reads `INFINITY` and can never win,
+        // so the candidate minimum is over exactly the common hubs — the
+        // same pairs, added in the same operand order, as the sorted-merge
+        // [`HubLabels::query_with`] computes.  Bit-identical, just O(|node|)
+        // per pop instead of O(|root| + |node|).
+        let root_labels = if forward {
+            &labels.out_labels[landmark as usize]
+        } else {
+            &labels.in_labels[landmark as usize]
+        };
+        for e in root_labels {
+            dense[e.hub as usize] = e.dist;
+        }
+        heap.clear();
         dist[landmark as usize] = 0.0;
         touched.push(landmark);
         heap.push(HeapEntry {
@@ -232,34 +368,44 @@ impl HubLabels {
             if d > dist[node as usize] {
                 continue;
             }
-            let certified = if forward {
-                labels.query_with(
-                    &labels.out_labels[landmark as usize],
-                    &labels.in_labels[node as usize],
-                )
+            // The prune decision is `min(candidates) <= d`, which is true
+            // iff *some* candidate is `<= d` — so stop at the first
+            // certifying hub.  Decision-identical to comparing the full
+            // minimum, hence the labeling stays bit-identical.
+            let pruned = if forward {
+                labels.in_labels[node as usize]
+                    .iter()
+                    .any(|e| dense[e.hub as usize] + e.dist <= d)
             } else {
-                labels.query_with(
-                    &labels.out_labels[node as usize],
-                    &labels.in_labels[landmark as usize],
-                )
+                labels.out_labels[node as usize]
+                    .iter()
+                    .any(|e| e.dist + dense[e.hub as usize] <= d)
             };
-            if certified <= d {
+            if pruned {
                 continue;
             }
-            scratch.settled.push((node, d));
-            let edges: Box<dyn Iterator<Item = (NodeId, f64)>> = if forward {
-                Box::new(net.out_edges(node))
-            } else {
-                Box::new(net.in_edges(node))
-            };
-            for (to, w) in edges {
+            settled.push((node, d));
+            let mut relax = |to: NodeId, w: f64| {
                 let nd = d + w;
                 if nd < dist[to as usize] {
                     dist[to as usize] = nd;
                     touched.push(to);
                     heap.push(HeapEntry { dist: nd, node: to });
                 }
+            };
+            if forward {
+                for (to, w) in net.out_edges(node) {
+                    relax(to, w);
+                }
+            } else {
+                for (to, w) in net.in_edges(node) {
+                    relax(to, w);
+                }
             }
+        }
+        rec.on_finish(touched);
+        for e in root_labels {
+            dense[e.hub as usize] = f64::INFINITY;
         }
         for &v in touched.iter() {
             dist[v as usize] = f64::INFINITY;
@@ -483,6 +629,180 @@ impl HubLabels {
     }
 }
 
+/// A recording of the pruned-landmark construction at one **reference**
+/// epoch that re-derives the labeling of a *locally* perturbed copy of the
+/// reference network — same weights everywhere except a flagged set of edges
+/// (a congestion zone flipping on or off) — without re-running most searches.
+///
+/// [`BuildPlan::repair`] keeps every root whose recorded touched set avoids
+/// all flagged vertices: such a root's searches scan only edges whose weights
+/// are **bitwise identical** to the reference and consult only label vectors
+/// that are bitwise identical to the reference's, so re-running them would
+/// retrace the recorded execution step for step — the recorded entries are
+/// copied verbatim instead.  Dirty roots re-run the real pruned searches
+/// against the new weights, and every vertex whose resulting entries differ
+/// from the recorded ones joins the flagged set before later roots decide.
+/// A single rank-order pass is sound because prune certificates only consult
+/// labels of earlier-rank roots.
+///
+/// Note there is deliberately **no** "rescale the recorded distances by a
+/// factor" repair: the prune check compares two floating-point sums of the
+/// same exact path length accumulated in different association orders, and
+/// multiplying every weight by a factor re-rounds both sides independently —
+/// the knife-edge settle/prune decisions flip, so a rescaled replay is *not*
+/// bit-identical to a wholesale rebuild.  Uniform factor changes are instead
+/// served by caching whole artifacts per epoch signature (see
+/// `roadnet::engine::EpochStore`).
+#[derive(Debug, Clone)]
+pub struct BuildPlan {
+    /// Degree-descending root order (root `i` has hub rank `i`);
+    /// topology-only, hence identical for every reweighting of the network.
+    order: Vec<NodeId>,
+    roots: Vec<RootPlan>,
+    node_count: usize,
+}
+
+/// The result of a scoped [`BuildPlan::repair`].
+#[derive(Debug)]
+pub struct LabelRepair {
+    pub labels: HubLabels,
+    /// `changed[v]` — `v`'s label vectors differ from the reference labeling,
+    /// or `v` is an endpoint of an edge whose weight differs from the
+    /// reference.  Everything outside this set kept its reference vectors
+    /// verbatim *and* all its incident edges kept their reference weights.
+    pub changed: Vec<bool>,
+    /// Roots whose searches were skipped by copying the recorded entries.
+    pub roots_kept: usize,
+    /// Roots that re-ran the real pruned searches.
+    pub roots_rebuilt: usize,
+}
+
+impl BuildPlan {
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Approximate heap footprint of the recording in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let entries: usize = self.roots.iter().map(|r| r.fwd.len() + r.bwd.len()).sum();
+        let touched: usize = self.roots.iter().map(|r| r.touched.len()).sum();
+        entries * std::mem::size_of::<(NodeId, f64)>()
+            + touched * std::mem::size_of::<NodeId>()
+            + self.order.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Flags every vertex whose actual settled entries differ from the
+    /// recorded ones (missing, extra, or different bits).
+    fn diff_settled(
+        recorded: &[(NodeId, f64)],
+        actual: &[(NodeId, f64)],
+        expected: &mut [f64],
+        in_expected: &mut [bool],
+        flagged: &mut [bool],
+    ) {
+        for &(node, d) in recorded {
+            expected[node as usize] = d;
+            in_expected[node as usize] = true;
+        }
+        for &(node, d) in actual {
+            if !in_expected[node as usize] || expected[node as usize].to_bits() != d.to_bits() {
+                flagged[node as usize] = true;
+            }
+            in_expected[node as usize] = false;
+        }
+        for &(node, _) in recorded {
+            if in_expected[node as usize] {
+                flagged[node as usize] = true;
+                in_expected[node as usize] = false;
+            }
+        }
+    }
+
+    /// Scoped rebuild: the labeling of `net` — the reference network with a
+    /// flagged set of edges reweighted — bit-identical to
+    /// `HubLabels::build(net)`.
+    ///
+    /// `seeds[v]` must be set for both endpoints of every edge whose weight
+    /// differs bitwise from the reference network's
+    /// ([`RoadNetwork::reweighted_with_flags`] against the reference's
+    /// uniform factor produces exactly this).
+    pub fn repair(&self, net: &RoadNetwork, seeds: &[bool]) -> LabelRepair {
+        assert_eq!(net.node_count(), self.node_count, "plan/network mismatch");
+        assert_eq!(seeds.len(), self.node_count, "seed flags sized by nodes");
+        let n = self.node_count;
+        let mut flagged = seeds.to_vec();
+        let mut labels = HubLabels {
+            out_labels: vec![Vec::new(); n],
+            in_labels: vec![Vec::new(); n],
+        };
+        let mut fwd = SearchScratch::new(n);
+        let mut bwd = SearchScratch::new(n);
+        let mut expected = vec![f64::INFINITY; n];
+        let mut in_expected = vec![false; n];
+        let mut roots_kept = 0usize;
+        let mut roots_rebuilt = 0usize;
+
+        for (ridx, root) in self.roots.iter().enumerate() {
+            let hub = ridx as u32;
+            if root.touched.iter().all(|&v| !flagged[v as usize]) {
+                roots_kept += 1;
+                for &(node, d) in &root.fwd {
+                    labels.in_labels[node as usize].push(LabelEntry { hub, dist: d });
+                }
+                for &(node, d) in &root.bwd {
+                    labels.out_labels[node as usize].push(LabelEntry { hub, dist: d });
+                }
+                continue;
+            }
+            roots_rebuilt += 1;
+            let landmark = self.order[ridx];
+            {
+                let snapshot = &labels;
+                let (fwd, bwd) = (&mut fwd, &mut bwd);
+                rayon::join(
+                    || HubLabels::collect_search(net, landmark, true, snapshot, fwd, &mut NoRecord),
+                    || {
+                        HubLabels::collect_search(
+                            net,
+                            landmark,
+                            false,
+                            snapshot,
+                            bwd,
+                            &mut NoRecord,
+                        )
+                    },
+                );
+            }
+            Self::diff_settled(
+                &root.fwd,
+                &fwd.settled,
+                &mut expected,
+                &mut in_expected,
+                &mut flagged,
+            );
+            Self::diff_settled(
+                &root.bwd,
+                &bwd.settled,
+                &mut expected,
+                &mut in_expected,
+                &mut flagged,
+            );
+            for &(node, d) in &fwd.settled {
+                labels.in_labels[node as usize].push(LabelEntry { hub, dist: d });
+            }
+            for &(node, d) in &bwd.settled {
+                labels.out_labels[node as usize].push(LabelEntry { hub, dist: d });
+            }
+        }
+        LabelRepair {
+            labels,
+            changed: flagged,
+            roots_kept,
+            roots_rebuilt,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,6 +959,166 @@ mod tests {
     fn restriction_rejects_out_of_range_ids() {
         let g = random_graph(10, 10, 3);
         HubLabels::build(&g).restrict_to(&[0, 99]);
+    }
+
+    /// The recorder hook is passive: the recorded build returns the same
+    /// labeling as the plain build, and a repair with no flagged edges keeps
+    /// every root and reproduces it bit for bit.
+    #[test]
+    fn recorded_build_is_passive_and_repairs_to_itself() {
+        for seed in 0..4u64 {
+            let g = random_graph(60, 120, seed);
+            let plain = HubLabels::build(&g);
+            let (labels, plan) = HubLabels::build_with_plan(&g);
+            assert_eq!(labels, plain, "seed {seed}: recording changed the build");
+            let repair = plan.repair(&g, &[false; 60]);
+            assert_eq!(repair.labels, plain, "seed {seed}: identity repair drifted");
+            assert_eq!(repair.roots_kept, 60);
+            assert_eq!(repair.roots_rebuilt, 0);
+            assert!(repair.changed.iter().all(|&c| !c));
+            assert!(plan.approx_bytes() > 0);
+            assert_eq!(plan.node_count(), 60);
+        }
+    }
+
+    /// Tier 2 soundness: the scoped repair must be bit-identical to a
+    /// wholesale rebuild when a zone scales part of the reference network
+    /// differently, across random zone placements and 1/4/8 workers — and it
+    /// must actually keep some roots (the scoping is not a disguised full
+    /// rebuild).
+    /// A road-network-like random graph: a 2-D street grid with random edge
+    /// weights, so a spatial congestion zone perturbs a *local*
+    /// neighbourhood that shortest paths can route around.
+    fn random_grid_graph(w: usize, h: usize, seed: u64) -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = RoadNetworkBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(Point::new(x as f64, y as f64));
+            }
+        }
+        let id = |x: usize, y: usize| (y * w + x) as u32;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    b.add_bidirectional(id(x, y), id(x + 1, y), rng.gen_range(1.0..10.0))
+                        .unwrap();
+                }
+                if y + 1 < h {
+                    b.add_bidirectional(id(x, y), id(x, y + 1), rng.gen_range(1.0..10.0))
+                        .unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scoped_repair_matches_wholesale_rebuild_across_worker_counts() {
+        for seed in 0..6u64 {
+            let g = random_grid_graph(10, 7, seed);
+            // The reference epoch: the whole network at one uniform factor.
+            let factor = 1.15;
+            let reference = g.reweighted(|_, _| factor);
+            let (ref_labels, plan) = HubLabels::build_with_plan(&reference);
+            // A congestion zone over the far corner of the grid, on top of
+            // the uniform factor.
+            let (zx, zy) = (7.5 - (seed as f64) * 0.5, 4.5);
+            let zone_factor = factor * 2.5;
+            let mult = |from: Point, to: Point| {
+                let mx = 0.5 * (from.x + to.x);
+                let my = 0.5 * (from.y + to.y);
+                if mx >= zx && my >= zy {
+                    zone_factor
+                } else {
+                    factor
+                }
+            };
+            let (net, seeds) = g.reweighted_with_flags(mult, factor);
+            assert_eq!(net, g.reweighted(mult), "flag variant changed weights");
+            let wholesale = HubLabels::build(&net);
+            let repair = plan.repair(&net, &seeds);
+            assert_eq!(
+                repair.labels, wholesale,
+                "seed {seed}: scoped repair drifted from rebuild"
+            );
+            assert!(
+                repair.roots_kept > 0,
+                "seed {seed}: a localised zone should leave some roots untouched"
+            );
+            assert_eq!(repair.roots_kept + repair.roots_rebuilt, 70);
+            // The changed set is what shard-selective refresh trusts: every
+            // vertex outside it must hold its reference vectors verbatim.
+            for v in 0..70usize {
+                if !repair.changed[v] {
+                    assert_eq!(
+                        repair.labels.out_labels[v], ref_labels.out_labels[v],
+                        "seed {seed}: unflagged vertex {v} changed out-labels"
+                    );
+                    assert_eq!(
+                        repair.labels.in_labels[v], ref_labels.in_labels[v],
+                        "seed {seed}: unflagged vertex {v} changed in-labels"
+                    );
+                }
+            }
+            // Worker counts must not matter (rayon::join inside repair).
+            for threads in [1usize, 4, 8] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool");
+                let under_pool = pool.install(|| plan.repair(&net, &seeds));
+                assert_eq!(
+                    under_pool.labels, wholesale,
+                    "seed {seed}: repair drifted under {threads} workers"
+                );
+            }
+        }
+    }
+
+    /// Random sequences of zone flips: each epoch picks its own zone window
+    /// (or none) on top of a per-sequence uniform factor, and the repair
+    /// against that factor's reference plan must match a wholesale rebuild
+    /// every time — including the no-zone epochs, which repair to the
+    /// reference itself.
+    #[test]
+    fn repair_matches_rebuild_across_random_flip_sequences() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = random_grid_graph(8, 8, 11);
+        for _ in 0..4 {
+            let factor: f64 = rng.gen_range(0.5..2.0);
+            let reference = g.reweighted(|_, _| factor);
+            let (ref_labels, plan) = HubLabels::build_with_plan(&reference);
+            for _ in 0..4 {
+                let zoned = rng.gen_range(0u32..3) > 0;
+                if !zoned {
+                    let repair = plan.repair(&reference, &[false; 64]);
+                    assert_eq!(repair.labels, ref_labels);
+                    continue;
+                }
+                let lo_x: f64 = rng.gen_range(0.0..6.0);
+                let hi_x = lo_x + rng.gen_range(1.0..4.0);
+                let lo_y: f64 = rng.gen_range(0.0..6.0);
+                let hi_y = lo_y + rng.gen_range(1.0..4.0);
+                let zone_factor = factor * rng.gen_range(1.2..3.0);
+                let mult = |from: Point, to: Point| {
+                    let mx = 0.5 * (from.x + to.x);
+                    let my = 0.5 * (from.y + to.y);
+                    if mx >= lo_x && mx <= hi_x && my >= lo_y && my <= hi_y {
+                        zone_factor
+                    } else {
+                        factor
+                    }
+                };
+                let (net, seeds) = g.reweighted_with_flags(mult, factor);
+                let repair = plan.repair(&net, &seeds);
+                assert_eq!(
+                    repair.labels,
+                    HubLabels::build(&net),
+                    "flip at [{lo_x},{hi_x}]x[{lo_y},{hi_y}] x{zone_factor} drifted"
+                );
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod sharded;
 pub mod subnet;
 pub mod traffic;
 
-pub use engine::{SpEngine, SpEngineBuilder, SpStats};
+pub use engine::{EpochArtifacts, EpochStore, SpEngine, SpEngineBuilder, SpStats};
 pub use error::RoadNetError;
 pub use graph::{EdgeId, NodeId, Point, RoadNetwork, RoadNetworkBuilder};
 pub use hub_labels::HubLabels;

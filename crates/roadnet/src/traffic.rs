@@ -255,6 +255,90 @@ impl TrafficEpoch {
     pub fn is_free_flow(&self) -> bool {
         self.profile_multiplier == 1.0 && self.active_zones().next().is_none()
     }
+
+    /// The zones of this epoch that can actually change an edge weight:
+    /// active, with a finite positive factor (the same filter
+    /// [`TrafficEpoch::edge_multiplier`] applies before multiplying).
+    fn effective_zones(&self) -> impl Iterator<Item = &CongestionZone> {
+        self.active_zones()
+            .filter(|z| z.factor.is_finite() && z.factor > 0.0)
+    }
+
+    /// The single multiplier every edge scales by this epoch, when one
+    /// exists: `Some(f)` iff no effective zone is active, in which case
+    /// [`TrafficEpoch::edge_multiplier`] returns `f` bit-for-bit for every
+    /// edge.  `None` when zone factors make the scaling spatially non-uniform
+    /// (the epoch-roll repair engine then takes the scoped-rebuild path).
+    pub fn uniform_multiplier(&self) -> Option<f64> {
+        if self.effective_zones().next().is_none() {
+            Some(self.profile_multiplier.max(MIN_MULTIPLIER))
+        } else {
+            None
+        }
+    }
+
+    /// A bit-exact fingerprint of everything in this epoch that can affect
+    /// an edge weight: the profile factor plus the geometry and factor of
+    /// every effective zone.  Two epochs with equal signatures produce
+    /// bit-identical reweighted networks regardless of their indices or
+    /// start instants — the key the epoch-artifact memo is indexed by.
+    pub fn signature(&self) -> EpochSignature {
+        let mut zones = [None; MAX_TRAFFIC_ZONES];
+        for (slot, zone) in zones.iter_mut().zip(self.effective_zones()) {
+            *slot = Some([
+                zone.min_x.to_bits(),
+                zone.min_y.to_bits(),
+                zone.max_x.to_bits(),
+                zone.max_y.to_bits(),
+                zone.factor.to_bits(),
+            ]);
+        }
+        EpochSignature {
+            profile: self.profile_multiplier.to_bits(),
+            zones,
+        }
+    }
+}
+
+/// See [`TrafficEpoch::signature`].  `Eq`/`Hash` over raw float bits, so the
+/// fingerprint distinguishes exactly what the reweighting distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpochSignature {
+    profile: u64,
+    zones: [Option<[u64; 5]>; MAX_TRAFFIC_ZONES],
+}
+
+impl EpochSignature {
+    /// True when the two signatures apply the same global profile factor and
+    /// differ only in zone activity — the case where an epoch transition
+    /// leaves every edge outside the flipped zones bit-identical.
+    pub fn same_profile(&self, other: &EpochSignature) -> bool {
+        self.profile == other.profile
+    }
+
+    /// True when no effective zone participates: every edge scales by the
+    /// profile factor alone (see [`TrafficEpoch::uniform_multiplier`]).
+    pub fn is_uniform(&self) -> bool {
+        self.zones.iter().all(Option::is_none)
+    }
+
+    /// The signature of the *zone-free reference* epoch with this profile
+    /// factor — the key under which the epoch-artifact store files the
+    /// uniform labeling that scoped repairs start from.
+    pub fn profile_only(&self) -> EpochSignature {
+        EpochSignature {
+            profile: self.profile,
+            zones: [None; MAX_TRAFFIC_ZONES],
+        }
+    }
+
+    /// The single edge multiplier of the zone-free reference epoch:
+    /// bit-identical to what [`TrafficEpoch::edge_multiplier`] returns for
+    /// every edge of an epoch with this profile factor and no effective
+    /// zones.
+    pub fn uniform_factor(&self) -> f64 {
+        f64::from_bits(self.profile).max(MIN_MULTIPLIER)
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +444,52 @@ mod tests {
             .epoch_at(0.0)
             .edge_multiplier(Point::new(10.0, 10.0), Point::new(20.0, 20.0));
         assert_eq!(m, MIN_MULTIPLIER);
+    }
+
+    #[test]
+    fn uniform_multiplier_and_signature_track_zone_activity() {
+        let config = TrafficConfig {
+            profile: TrafficProfile::Rush,
+            epoch_seconds: 100.0,
+            hour_scale: 100.0,
+            ..TrafficConfig::default()
+        }
+        .with_zone(zone(2.0, 1000.0, 2000.0));
+        // Zone inactive: the epoch scales uniformly by its profile factor,
+        // which is exactly what edge_multiplier reports everywhere.
+        let uniform = config.epoch_at(850.0);
+        let f = uniform.uniform_multiplier().expect("no active zone");
+        assert_eq!(f.to_bits(), RUSH_PROFILE[8].to_bits());
+        assert_eq!(
+            uniform
+                .edge_multiplier(Point::new(10.0, 10.0), Point::new(20.0, 20.0))
+                .to_bits(),
+            f.to_bits()
+        );
+        // Zone active: no single factor covers edges in and out of the box.
+        let mixed = config.epoch_at(1500.0);
+        assert_eq!(mixed.uniform_multiplier(), None);
+        assert_ne!(mixed.signature(), uniform.signature());
+        // Same hour re-derived later (rush hour 8 == hour 32 mod 24): the
+        // signatures match even though index/start differ.
+        let again = config.epoch_at(850.0 + 2400.0);
+        assert_ne!(again.index, uniform.index);
+        assert_eq!(again.signature(), uniform.signature());
+        assert!(again.signature().same_profile(&uniform.signature()));
+        // Profile change flips the signature and same_profile.
+        let other_hour = config.epoch_at(650.0);
+        assert_ne!(other_hour.signature(), uniform.signature());
+        assert!(!other_hour.signature().same_profile(&uniform.signature()));
+        // A weight-inert zone (non-finite / non-positive factor) does not
+        // break uniformity: edge_multiplier skips it, so must the signature.
+        let inert = TrafficConfig::default().with_zone(zone(-3.0, 0.0, 1e9));
+        let epoch = inert.epoch_at(10.0);
+        assert!(!epoch.is_free_flow(), "zone is active, just inert");
+        assert_eq!(epoch.uniform_multiplier(), Some(1.0));
+        assert_eq!(
+            epoch.signature(),
+            TrafficConfig::default().epoch_at(10.0).signature()
+        );
     }
 
     #[test]
