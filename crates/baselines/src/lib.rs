@@ -37,8 +37,32 @@ pub use prunegdp::PruneGdp;
 pub use rtv::Rtv;
 pub use ticket::TicketAssignPlus;
 
+use structride_core::{DispatcherBuilder, DispatcherKind};
 use structride_model::RequestId;
 use structride_sharegraph::ShareabilityGraph;
+
+/// The full dispatcher registry of the workspace: the core dispatchers
+/// (SARD, exact assignment) plus every baseline this crate provides.
+///
+/// This is the registry the replay CLI and the bench drivers build from —
+/// the single successor to the hand-maintained key lists and per-driver
+/// constructor closures.  Constructors match the historical ones exactly
+/// (same config plumbing), so dispatchers built here behave identically to
+/// the pre-registry code paths and pre-change traces replay clean.
+pub fn standard_registry() -> DispatcherBuilder {
+    DispatcherBuilder::core()
+        .register(DispatcherKind::Rtv, |config| {
+            Box::new(Rtv::new(config.cost.penalty_coefficient))
+        })
+        .register(DispatcherKind::PruneGdp, |_| Box::new(PruneGdp::new()))
+        .register(DispatcherKind::Gas, |_| Box::new(Gas::default()))
+        .register(DispatcherKind::Darm, |_| {
+            Box::new(DemandRepositioning::new())
+        })
+        .register(DispatcherKind::Ticket, |_| {
+            Box::new(TicketAssignPlus::default())
+        })
+}
 
 /// Builds the complete graph over the given request ids.
 ///
@@ -62,6 +86,27 @@ pub(crate) fn complete_graph(ids: &[RequestId]) -> ShareabilityGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn standard_registry_builds_every_kind() {
+        let registry = standard_registry();
+        let config = structride_core::StructRideConfig::default();
+        assert_eq!(
+            registry.keys(),
+            vec!["sard", "assign", "rtv", "prunegdp", "gas", "darm", "ticket"]
+        );
+        for kind in registry.all() {
+            let d = registry.build(kind, &config).expect("registered");
+            assert!(!d.name().is_empty());
+        }
+        // The legacy alias still resolves, and only ticket is exempt from
+        // the replay invariant.
+        assert_eq!(registry.from_key("gdp"), Some(DispatcherKind::PruneGdp));
+        assert_eq!(
+            registry.deterministic_keys(),
+            vec!["sard", "assign", "rtv", "prunegdp", "gas", "darm"]
+        );
+    }
 
     #[test]
     fn complete_graph_connects_every_pair() {

@@ -121,7 +121,10 @@ impl Dispatcher for TicketAssignPlus {
 
         let mut ids = assigned.into_inner();
         ids.sort_unstable();
-        BatchOutcome { assigned: ids }
+        BatchOutcome {
+            assigned: ids,
+            solver: None,
+        }
     }
 
     fn memory_bytes(&self) -> usize {

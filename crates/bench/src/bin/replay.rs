@@ -38,17 +38,20 @@
 //! the traffic config (format v3) so `replay` reproduces the exact epoch
 //! sequence from the batch clock alone.
 //!
-//! `KEY` ∈ {sard, rtv, prunegdp, gas, darm, ticket}; `ticket` records fine
-//! but is exempt from `verify` — its commit-order races are the algorithm
-//! being reproduced.
+//! `KEY` is any registered dispatcher key — `sard`, `assign` (the exact
+//! global-assignment dispatcher), `rtv`, `prunegdp` (alias `gdp`), `gas`,
+//! `darm`, `ticket` — as reported by the dispatcher registry
+//! (`structride_baselines::standard_registry`); `ticket` records fine but is
+//! exempt from `verify` — its commit-order races are the algorithm being
+//! reproduced.
 
 use std::process::ExitCode;
 use structride_bench::replay_cli::{
-    dispatcher_by_name, ingest_quickstart_config, is_sharded_ingested_trace, is_sharded_trace,
-    quickstart_params, record_ingested_run, record_run, record_sharded_ingested_run,
-    record_sharded_run, regenerate_multi_workload, regenerate_workload, replay_run, rerun_sharded,
-    rerun_sharded_ingested, sharded_quickstart_params, trace_dispatcher_key, trace_shards,
-    traffic_by_name, DETERMINISTIC_KEYS, DISPATCHER_KEYS, TRAFFIC_KEYS,
+    deterministic_keys, dispatcher_by_name, dispatcher_keys, ingest_quickstart_config,
+    is_sharded_ingested_trace, is_sharded_trace, quickstart_params, record_ingested_run,
+    record_run, record_sharded_ingested_run, record_sharded_run, regenerate_multi_workload,
+    regenerate_workload, replay_run, rerun_sharded, rerun_sharded_ingested,
+    sharded_quickstart_params, trace_dispatcher_key, trace_shards, traffic_by_name, TRAFFIC_KEYS,
 };
 use structride_core::replay::Trace;
 use structride_core::StructRideConfig;
@@ -60,7 +63,7 @@ fn usage() -> ExitCode {
          \x20      replay verify [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest] [--traffic T]\n\
          KEY: {}\n\
          T: {}",
-        DISPATCHER_KEYS.join(", "),
+        dispatcher_keys().join(", "),
         TRAFFIC_KEYS.join(", ")
     );
     ExitCode::from(2)
@@ -126,6 +129,16 @@ fn run_config(args: &Args) -> Option<StructRideConfig> {
     Some(config)
 }
 
+/// Exit path for an unresolvable dispatcher key: name the registered keys
+/// so a typo is a one-glance fix.
+fn unknown_dispatcher(key: &str) -> ExitCode {
+    eprintln!(
+        "unknown dispatcher {key:?}; registered keys: {}",
+        dispatcher_keys().join(", ")
+    );
+    ExitCode::from(2)
+}
+
 fn print_trace_summary(trace: &Trace) {
     let assigned: usize = trace.batches.iter().map(|b| b.assigned.len()).sum();
     eprintln!(
@@ -170,8 +183,7 @@ fn cmd_record(args: &Args) -> ExitCode {
         }
     };
     let Some(trace) = recorded else {
-        eprintln!("unknown dispatcher {algo:?}");
-        return ExitCode::from(2);
+        return unknown_dispatcher(algo);
     };
     print_trace_summary(&trace);
     if let Err(e) = trace.save(out) {
@@ -249,8 +261,8 @@ fn cmd_replay(args: &Args) -> ExitCode {
             }
         });
         let Some(report) = report else {
-            eprintln!("unknown dispatcher {algo:?} or malformed sharded metadata");
-            return ExitCode::from(2);
+            eprintln!("malformed sharded metadata, or:");
+            return unknown_dispatcher(&algo);
         };
         println!("{report}");
         return if report.is_clean() {
@@ -264,8 +276,7 @@ fn cmd_replay(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let Some(report) = replay_in_pool(&workload, &algo, &trace, args.threads) else {
-        eprintln!("unknown dispatcher {algo:?}");
-        return ExitCode::from(2);
+        return unknown_dispatcher(&algo);
     };
     println!("{report}");
     if report.is_clean() {
@@ -291,8 +302,7 @@ fn cmd_verify_sharded(args: &Args, algo: &str, shards: usize) -> ExitCode {
         record_sharded_run(params, config, algo, shards)
     };
     let Some((workload, trace)) = recorded else {
-        eprintln!("unknown dispatcher {algo:?}");
-        return ExitCode::from(2);
+        return unknown_dispatcher(algo);
     };
     print_trace_summary(&trace);
     // Exercise the codec: the parsed form must re-verify identically.
@@ -316,8 +326,7 @@ fn cmd_verify_sharded(args: &Args, algo: &str, shards: usize) -> ExitCode {
         .max(2);
     for threads in [1, many] {
         let Some(report) = in_pool(Some(threads), || rerun(algo, &trace)) else {
-            eprintln!("unknown dispatcher {algo:?}");
-            return ExitCode::from(2);
+            return unknown_dispatcher(algo);
         };
         println!("shards={shards} threads={threads}: {report}");
         if !report.is_clean() {
@@ -332,8 +341,7 @@ fn cmd_verify_sharded(args: &Args, algo: &str, shards: usize) -> ExitCode {
         "prunegdp"
     };
     let Some(report) = rerun(other, &trace) else {
-        eprintln!("unknown dispatcher {other:?}");
-        return ExitCode::from(2);
+        return unknown_dispatcher(other);
     };
     if report.is_clean() {
         eprintln!(
@@ -352,10 +360,10 @@ fn cmd_verify_sharded(args: &Args, algo: &str, shards: usize) -> ExitCode {
 
 fn cmd_verify(args: &Args) -> ExitCode {
     let algo = args.algo.as_deref().unwrap_or("sard").to_ascii_lowercase();
-    if !DETERMINISTIC_KEYS.contains(&algo.as_str()) {
+    if !deterministic_keys().contains(&algo.as_str()) {
         eprintln!(
             "{algo:?} is exempt from the replay invariant; verify accepts {}",
-            DETERMINISTIC_KEYS.join(", ")
+            deterministic_keys().join(", ")
         );
         return ExitCode::from(2);
     }
@@ -374,8 +382,7 @@ fn cmd_verify(args: &Args) -> ExitCode {
         record_run(quickstart_params(args.quick), config, &algo)
     };
     let Some((workload, trace)) = recorded else {
-        eprintln!("unknown dispatcher {algo:?}");
-        return ExitCode::from(2);
+        return unknown_dispatcher(&algo);
     };
     print_trace_summary(&trace);
 
@@ -395,8 +402,7 @@ fn cmd_verify(args: &Args) -> ExitCode {
         .max(2);
     for threads in [1, many] {
         let Some(report) = replay_in_pool(&workload, &algo, &trace, Some(threads)) else {
-            eprintln!("unknown dispatcher {algo:?}");
-            return ExitCode::from(2);
+            return unknown_dispatcher(&algo);
         };
         println!("threads={threads}: {report}");
         if !report.is_clean() {
@@ -413,8 +419,7 @@ fn cmd_verify(args: &Args) -> ExitCode {
         "prunegdp"
     };
     let Some(report) = replay_in_pool(&workload, other, &trace, None) else {
-        eprintln!("unknown dispatcher {other:?}");
-        return ExitCode::from(2);
+        return unknown_dispatcher(other);
     };
     if report.is_clean() {
         eprintln!("self-test FAILED: replaying {other} against a {algo} trace reported no drift");
@@ -435,11 +440,11 @@ fn main() -> ExitCode {
     let Some((subcommand, args)) = parse_args(argv) else {
         return usage();
     };
-    // Fail fast on a bad --algo in any subcommand.
+    // Fail fast on a bad --algo in any subcommand, naming the registered
+    // keys so a typo is a one-glance fix.
     if let Some(algo) = args.algo.as_deref() {
         if dispatcher_by_name(algo, StructRideConfig::default()).is_none() {
-            eprintln!("unknown dispatcher {algo:?}");
-            return usage();
+            return unknown_dispatcher(algo);
         }
     }
     match subcommand.as_str() {

@@ -1,8 +1,9 @@
 //! The experiment implementations — one function per paper figure/table.
 
-use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
+use structride_baselines::standard_registry;
 use structride_core::{
-    DispatchContext, Dispatcher, RunMetrics, SardDispatcher, Simulator, StructRideConfig,
+    DispatchContext, Dispatcher, DispatcherKind, RunMetrics, SardDispatcher, Simulator,
+    StructRideConfig,
 };
 use structride_datagen::{CityProfile, Workload, WorkloadParams};
 use structride_sharegraph::angle::{sharing_probability, LogNormal};
@@ -59,29 +60,36 @@ pub enum SuiteKind {
 }
 
 fn suite(kind: SuiteKind, config: StructRideConfig) -> Vec<Box<dyn Dispatcher>> {
-    let pr = config.cost.penalty_coefficient;
-    match kind {
-        SuiteKind::Full => vec![
-            Box::new(Rtv::new(pr)),
-            Box::new(PruneGdp::new()),
-            Box::new(DemandRepositioning::new()),
-            Box::new(Gas::default()),
-            Box::new(TicketAssignPlus::default()),
-            Box::new(SardDispatcher::new(config)),
+    // Suite membership is a list of registry kinds; construction goes
+    // through `standard_registry`, the same constructors the replay CLI and
+    // the bench drivers resolve (experiment order is preserved: SARD last).
+    let kinds: &[DispatcherKind] = match kind {
+        SuiteKind::Full => &[
+            DispatcherKind::Rtv,
+            DispatcherKind::PruneGdp,
+            DispatcherKind::Darm,
+            DispatcherKind::Gas,
+            DispatcherKind::Ticket,
+            DispatcherKind::Sard,
         ],
-        SuiteKind::BatchOnly => vec![
-            Box::new(Rtv::new(pr)),
-            Box::new(Gas::default()),
-            Box::new(SardDispatcher::new(config)),
+        SuiteKind::BatchOnly => &[
+            DispatcherKind::Rtv,
+            DispatcherKind::Gas,
+            DispatcherKind::Sard,
         ],
-        SuiteKind::Traditional => vec![
-            Box::new(Rtv::new(pr)),
-            Box::new(PruneGdp::new()),
-            Box::new(Gas::default()),
-            Box::new(TicketAssignPlus::default()),
-            Box::new(SardDispatcher::new(config)),
+        SuiteKind::Traditional => &[
+            DispatcherKind::Rtv,
+            DispatcherKind::PruneGdp,
+            DispatcherKind::Gas,
+            DispatcherKind::Ticket,
+            DispatcherKind::Sard,
         ],
-    }
+    };
+    let registry = standard_registry();
+    kinds
+        .iter()
+        .map(|&k| -> Box<dyn Dispatcher> { registry.build(k, &config).expect("registered kind") })
+        .collect()
 }
 
 /// Runs every dispatcher of `kind` on `workload` and returns their metrics.

@@ -11,8 +11,9 @@
 //! with `BENCH_sharded.json` this is the perf-trajectory series CI uploads
 //! and guards (see `bench_guard`).
 
+use structride_baselines::standard_registry;
 use structride_core::shard::{region_strips_for, ShardedSimulator};
-use structride_core::{IngestConfig, IngestStats, SardDispatcher, Simulator, StructRideConfig};
+use structride_core::{DispatcherKind, IngestConfig, IngestStats, Simulator, StructRideConfig};
 use structride_datagen::{
     ArrivalProfile, ArrivalStream, ArrivalStreamParams, CityProfile, Workload, WorkloadParams,
 };
@@ -169,18 +170,21 @@ pub fn bench_ingest(scale: &ExperimentScale) -> (String, Vec<IngestBenchRow>) {
         ..WorkloadParams::small(CityProfile::NycLike)
     });
     let config = StructRideConfig::default().with_ingest(bench_ingest_config(scale));
+    let registry = standard_registry();
     let threads = rayon::current_num_threads();
     let mut rows = Vec::new();
 
     for profile_key in ["poisson", "bursty"] {
         let params = arrival_params(profile_key, &workload, scale);
         workload.engine.clear_cache();
-        let mut sard = SardDispatcher::new(config);
+        let mut sard = registry
+            .build(DispatcherKind::Sard, &config)
+            .expect("core dispatcher registered");
         let report = Simulator::new(config).run_ingested(
             &workload.engine,
             ArrivalStream::new(&workload.engine, &params),
             workload.fresh_vehicles(),
-            &mut sard,
+            sard.as_mut(),
             &workload.name,
         );
         rows.push(IngestBenchRow {
@@ -202,7 +206,11 @@ pub fn bench_ingest(scale: &ExperimentScale) -> (String, Vec<IngestBenchRow>) {
         &regions,
         ArrivalStream::new(&workload.engine, &params),
         workload.fresh_vehicles(),
-        |_| Box::new(SardDispatcher::new(config)),
+        |_| {
+            registry
+                .build(DispatcherKind::Sard, &config)
+                .expect("core dispatcher registered")
+        },
         &workload.name,
     );
     // Uniform denominator across rows: the sharded aggregate only counts

@@ -1,7 +1,7 @@
 //! The perf-trajectory regression guard behind the `bench_guard` binary.
 //!
 //! `BENCH_*.json` documents (emitted by [`crate::shardbench`], schema
-//! version 5, and [`crate::ingestbench`], schema version 2 — the parser
+//! version 6, and [`crate::ingestbench`], schema version 2 — the parser
 //! accepts any version) carry a flat `rows` array of objects with string
 //! and number fields.  This module parses that shape
 //! with a deliberately small scanner — the workspace is offline, so no JSON
@@ -403,6 +403,7 @@ mod tests {
             labels_rescaled: 0,
             labels_rebuilt: 0,
             shards_refreshed: 0,
+            unified_cost_delta_vs_sard: 0.0,
         }
     }
 
@@ -526,6 +527,40 @@ mod tests {
         // both rows, the incident_spike row included.
         let report =
             guard_throughput(&v5_current, &v5_current, 0.20, None, Some(1.0), None).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        assert_eq!(report.comparisons.len(), 2);
+    }
+
+    /// A committed schema-version-5 baseline (no unified_cost_delta_vs_sard
+    /// column, no assign row) must keep guarding a schema-version-6 run: row
+    /// identity ignores the added column, and the assign row is a new row
+    /// the trajectory may grow freely.
+    #[test]
+    fn v5_baselines_guard_v6_documents() {
+        let v5_baseline = "{\n  \"bench\": \"sharded_dispatch\",\n  \"schema_version\": 5,\n  \"workload\": \"w\",\n  \"rows\": [\n    {\"mode\":\"sharded\",\"shards\":3,\"layout\":\"1x3\",\"threads\":1,\"throughput_rps\":200.0,\"setup_s\":0.090000,\"label_bytes\":123456,\"candidates_evaluated\":4100,\"prescreen_pruned\":11000,\"label_refresh_s\":0.000000,\"epoch_rolls\":0,\"labels_rescaled\":0,\"labels_rebuilt\":0,\"shards_refreshed\":0}\n  ]\n}\n";
+        let mut assign = sample_shard_row();
+        assign.mode = "assign".into();
+        assign.shards = 1;
+        assign.layout = "1x1".into();
+        assign.unified_cost_delta_vs_sard = -12.5;
+        let rows = [sample_shard_row(), assign];
+        let v6_current = crate::shardbench::render_bench_json("w", &rows);
+        let report =
+            guard_throughput(v5_baseline, &v6_current, 0.20, None, Some(1.0), None).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        // Only the pre-existing sharded row is compared; assign is new.
+        assert_eq!(report.comparisons.len(), 1);
+        // The new column round-trips through the renderer and parser.
+        let parsed = parse_bench_doc(&v6_current).unwrap();
+        assert_eq!(parsed.schema_version, 6);
+        assert_eq!(
+            field(&parsed.rows[1], "unified_cost_delta_vs_sard"),
+            Some("-12.500")
+        );
+        // And the other direction (fresh v6 baseline, v6 current) guards
+        // both rows, the assign row included.
+        let report =
+            guard_throughput(&v6_current, &v6_current, 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         assert_eq!(report.comparisons.len(), 2);
     }

@@ -7,7 +7,7 @@
 //! metadata.  Floats in the metadata round-trip exactly through the text
 //! format, making cross-process replays bit-identical.
 
-use structride_baselines::{DemandRepositioning, Gas, PruneGdp, Rtv, TicketAssignPlus};
+use structride_baselines::standard_registry;
 use structride_core::replay::{
     diff_traces, replay_trace, DriftReport, Trace, TraceMeta, TraceRecorder,
 };
@@ -19,14 +19,20 @@ use structride_datagen::{
 use structride_model::Request;
 use structride_roadnet::{SpEngine, SpEngineBuilder, TrafficConfig};
 
-/// The dispatcher keys `--algo` accepts.  `ticket` is deliberately absent
-/// from `verify`'s reach: TicketAssign+'s commit-order races are the
-/// algorithm under study, so it is exempt from the replay invariant (see the
-/// `structride_core::replay` module docs).
-pub const DISPATCHER_KEYS: &[&str] = &["sard", "rtv", "prunegdp", "gas", "darm", "ticket"];
+/// The dispatcher keys `--algo` accepts, straight from the registry
+/// ([`standard_registry`]) — the hand-maintained key lists this module used
+/// to carry are gone.
+pub fn dispatcher_keys() -> Vec<&'static str> {
+    standard_registry().keys()
+}
 
 /// Deterministic dispatchers — the ones the replay invariant applies to.
-pub const DETERMINISTIC_KEYS: &[&str] = &["sard", "rtv", "prunegdp", "gas", "darm"];
+/// `ticket` is deliberately absent: TicketAssign+'s commit-order races are
+/// the algorithm under study, so it is exempt (see the
+/// `structride_core::replay` module docs).
+pub fn deterministic_keys() -> Vec<&'static str> {
+    standard_registry().deterministic_keys()
+}
 
 /// The traffic scenario keys `--traffic` accepts.
 pub const TRAFFIC_KEYS: &[&str] = &["rush", "incident"];
@@ -58,21 +64,14 @@ pub fn traffic_by_name(key: &str, horizon: f64) -> Option<TrafficConfig> {
     }
 }
 
-/// Constructs a fresh dispatcher from its CLI key.  The box is `Send` so
-/// the sharded pipeline can hand one dispatcher to each shard's worker.
+/// Constructs a fresh dispatcher from its CLI key via the registry.  The
+/// box is `Send` so the sharded pipeline can hand one dispatcher to each
+/// shard's worker.
 pub fn dispatcher_by_name(
     key: &str,
     config: StructRideConfig,
 ) -> Option<Box<dyn Dispatcher + Send>> {
-    match key.to_ascii_lowercase().as_str() {
-        "sard" => Some(Box::new(SardDispatcher::new(config))),
-        "rtv" => Some(Box::new(Rtv::new(config.cost.penalty_coefficient))),
-        "prunegdp" | "gdp" => Some(Box::new(PruneGdp::new())),
-        "gas" => Some(Box::new(Gas::default())),
-        "darm" => Some(Box::new(DemandRepositioning::new())),
-        "ticket" => Some(Box::new(TicketAssignPlus::default())),
-        _ => None,
-    }
+    standard_registry().build_by_key(&key.to_ascii_lowercase(), &config)
 }
 
 /// The quickstart-style workload the `record`/`verify` subcommands use.
@@ -521,9 +520,15 @@ mod tests {
     #[test]
     fn every_key_builds_a_dispatcher() {
         let config = StructRideConfig::default();
-        for key in DISPATCHER_KEYS {
+        let keys = dispatcher_keys();
+        for key in &keys {
             assert!(dispatcher_by_name(key, config).is_some(), "{key}");
         }
+        // The registry carries the exact dispatcher, and mixed case and the
+        // legacy alias still resolve.
+        assert!(keys.contains(&"assign"));
+        assert!(dispatcher_by_name("SARD", config).is_some());
+        assert!(dispatcher_by_name("gdp", config).is_some());
         assert!(dispatcher_by_name("nope", config).is_none());
         for key in TRAFFIC_KEYS {
             let traffic = traffic_by_name(key, 120.0).expect(key);
@@ -531,10 +536,10 @@ mod tests {
         }
         assert!(traffic_by_name("gridlock", 120.0).is_none());
         // Deterministic keys are a strict subset excluding ticket.
-        assert!(DETERMINISTIC_KEYS
-            .iter()
-            .all(|k| DISPATCHER_KEYS.contains(k)));
-        assert!(!DETERMINISTIC_KEYS.contains(&"ticket"));
+        let deterministic = deterministic_keys();
+        assert!(deterministic.iter().all(|k| keys.contains(k)));
+        assert!(!deterministic.contains(&"ticket"));
+        assert!(deterministic.contains(&"assign"));
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! service rate; parsed by tooling, so the schema below is append-only).
 
 use std::time::Instant;
+use structride_baselines::standard_registry;
 use structride_core::shard::{region_grid_for, ShardedSimulator};
-use structride_core::{SardDispatcher, Simulator, StructRideConfig};
+use structride_core::{DispatcherKind, Simulator, StructRideConfig};
 use structride_datagen::{CityProfile, MultiRegionParams, MultiRegionWorkload};
 
 use crate::harness::ExperimentScale;
@@ -25,11 +26,15 @@ use crate::harness::ExperimentScale;
 /// measured hot path; version 5 added the `labels_rescaled`,
 /// `labels_rebuilt` and `shards_refreshed` repair-tier columns plus the
 /// `incident_spike` zoned-traffic row (the tiered epoch-roll repair work —
-/// the trajectory now shows *which* tier each roll took).
+/// the trajectory now shows *which* tier each roll took); version 6 added
+/// the `unified_cost_delta_vs_sard` column plus the `assign` row — the
+/// exact global-assignment dispatcher over the same monolithic workload,
+/// whose delta against the SARD baseline row must stay ≤ 0 (the exact
+/// solve is never pricier than the heuristic).
 /// [`crate::perf::parse_bench_doc`] parses all versions, and row identity
 /// (`mode` + `shards`) is unchanged for pre-existing rows, so version-1
-/// through version-4 baselines still guard version-5 runs.
-pub const SHARDED_SCHEMA_VERSION: u32 = 5;
+/// through version-5 baselines still guard version-6 runs.
+pub const SHARDED_SCHEMA_VERSION: u32 = 6;
 
 /// One benchmark row: one pipeline configuration over the shared workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,18 +98,23 @@ pub struct ShardBenchRow {
     /// `epoch_rolls × shards` means the Tier-3 shard-selective skip kept
     /// some clips (and their caches) live across rolls.
     pub shards_refreshed: u64,
+    /// `unified_cost − (SARD baseline row's unified_cost)`.  Meaningful on
+    /// the `assign` row, where ≤ 0 is the guarded invariant (the exact
+    /// global assignment never prices above the heuristic on the tracked
+    /// workload); 0 on every other row.
+    pub unified_cost_delta_vs_sard: f64,
 }
 
 impl ShardBenchRow {
     /// The TSV header matching [`ShardBenchRow::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations\tcandidates_evaluated\tprescreen_pruned\tlabel_refresh_s\tepoch_rolls\tlabels_rescaled\tlabels_rebuilt\tshards_refreshed"
+        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations\tcandidates_evaluated\tprescreen_pruned\tlabel_refresh_s\tepoch_rolls\tlabels_rescaled\tlabels_rebuilt\tshards_refreshed\tunified_cost_delta_vs_sard"
     }
 
     /// One tab-separated row.
     pub fn tsv_row(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{}\t{}\t{:.1}",
             self.mode,
             self.shards,
             self.layout,
@@ -129,6 +139,7 @@ impl ShardBenchRow {
             self.labels_rescaled,
             self.labels_rebuilt,
             self.shards_refreshed,
+            self.unified_cost_delta_vs_sard,
         )
     }
 
@@ -141,7 +152,8 @@ impl ShardBenchRow {
              \"handoffs\":{},\"migrations\":{},\
              \"candidates_evaluated\":{},\"prescreen_pruned\":{},\
              \"label_refresh_s\":{:.6},\"epoch_rolls\":{},\
-             \"labels_rescaled\":{},\"labels_rebuilt\":{},\"shards_refreshed\":{}}}",
+             \"labels_rescaled\":{},\"labels_rebuilt\":{},\"shards_refreshed\":{},\
+             \"unified_cost_delta_vs_sard\":{:.3}}}",
             self.mode,
             self.shards,
             self.layout,
@@ -166,6 +178,7 @@ impl ShardBenchRow {
             self.labels_rescaled,
             self.labels_rebuilt,
             self.shards_refreshed,
+            self.unified_cost_delta_vs_sard,
         )
     }
 }
@@ -240,6 +253,9 @@ fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRo
         labels_rescaled: stats.labels_rescaled,
         labels_rebuilt: stats.labels_rebuilt,
         shards_refreshed: stats.shards_refreshed,
+        // Only the `assign` row carries a meaningful delta; it is patched in
+        // after the SARD baseline cost is known.
+        unified_cost_delta_vs_sard: 0.0,
     }
 }
 
@@ -278,17 +294,23 @@ pub fn bench_sharded(
 ) -> (String, Vec<ShardBenchRow>) {
     let workload = bench_workload(scale);
     let config = StructRideConfig::default();
+    let registry = standard_registry();
     let mut rows = Vec::new();
 
-    // Unsharded baseline: one SARD over the whole fleet and stream.
+    // Unsharded baseline: one SARD over the whole fleet and stream.  Every
+    // dispatcher in this benchmark is built through the registry — the same
+    // constructors the replay CLI resolves, so bench and replay measure
+    // identical code paths.
     workload.engine.clear_cache();
-    let mut sard = SardDispatcher::new(config);
+    let mut sard = registry
+        .build(DispatcherKind::Sard, &config)
+        .expect("core dispatcher registered");
     let t0 = Instant::now();
     let mono = Simulator::new(config).run(
         &workload.engine,
         &workload.requests,
         workload.fresh_vehicles(),
-        &mut sard,
+        sard.as_mut(),
         &workload.name,
     );
     let wall = t0.elapsed().as_secs_f64();
@@ -331,7 +353,11 @@ pub fn bench_sharded(
             &regions,
             &workload.requests,
             workload.fresh_vehicles(),
-            |_| Box::new(SardDispatcher::new(config)),
+            |_| {
+                registry
+                    .build(DispatcherKind::Sard, &config)
+                    .expect("core dispatcher registered")
+            },
             &workload.name,
         );
         // What the pre-sub-network design would have paid: one full label
@@ -393,7 +419,11 @@ pub fn bench_sharded(
         &regions,
         &mega.requests,
         mega.fresh_vehicles(),
-        |_| Box::new(SardDispatcher::new(config)),
+        |_| {
+            registry
+                .build(DispatcherKind::Sard, &config)
+                .expect("core dispatcher registered")
+        },
         &mega.name,
     );
     let setup_reduction = if report.setup_seconds > 0.0 {
@@ -454,6 +484,51 @@ pub fn bench_sharded(
         (scale.horizon / 6.0).max(1.0),
     );
     rows.push(traffic_row("incident_spike", &workload, config, incident));
+
+    // Exact-assignment row: the same monolithic workload under the exact
+    // LAP dispatcher (registry key `assign`).  The delta column tracks its
+    // unified cost against the SARD baseline row — the guarded invariant is
+    // delta ≤ 0: solving the batch assignment to optimality never prices
+    // above the heuristic on the tracked workload.
+    workload.engine.clear_cache();
+    let mut assign = registry
+        .build(DispatcherKind::Assign, &config)
+        .expect("core dispatcher registered");
+    let t0 = Instant::now();
+    let exact = Simulator::new(config).run(
+        &workload.engine,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        assign.as_mut(),
+        &workload.name,
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    let mut assign_row = row(
+        "assign",
+        1,
+        "1x1",
+        RowStats {
+            requests: exact.metrics.total_requests,
+            served: exact.metrics.served_requests,
+            batches: exact.metrics.batches,
+            wall_s: wall,
+            setup_s: 0.0,
+            setup_reduction: 1.0,
+            label_bytes: workload.engine.index_bytes(),
+            unified_cost: exact.metrics.unified_cost,
+            handoffs: 0,
+            migrations: 0,
+            candidates_evaluated: exact.metrics.insertion_evaluations,
+            prescreen_pruned: exact.metrics.prescreen_pruned,
+            label_refresh_s: 0.0,
+            epoch_rolls: 0,
+            labels_rescaled: 0,
+            labels_rebuilt: 0,
+            shards_refreshed: 0,
+        },
+    );
+    assign_row.unified_cost_delta_vs_sard = exact.metrics.unified_cost - rows[0].unified_cost;
+    rows.push(assign_row);
     (workload.name, rows)
 }
 
@@ -466,6 +541,7 @@ fn traffic_row(
     traffic: structride_roadnet::TrafficConfig,
 ) -> ShardBenchRow {
     let traffic_config = config.with_traffic(traffic);
+    let registry = standard_registry();
     let regions = region_grid_for(workload.network(), 1, 3);
     let sim = ShardedSimulator::new(traffic_config);
     let report = sim.run(
@@ -473,7 +549,11 @@ fn traffic_row(
         &regions,
         &workload.requests,
         workload.fresh_vehicles(),
-        |_| Box::new(SardDispatcher::new(traffic_config)),
+        |_| {
+            registry
+                .build(DispatcherKind::Sard, &traffic_config)
+                .expect("core dispatcher registered")
+        },
         &workload.name,
     );
     let setup_reduction = if report.setup_seconds > 0.0 {
@@ -538,7 +618,7 @@ mod tests {
             seed: 42,
         };
         let (name, rows) = bench_sharded(&scale, &[(1, 1), (1, 3), (2, 3)]);
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         assert_eq!(rows[0].mode, "unsharded");
         assert!(rows.iter().skip(1).take(3).all(|r| r.mode == "sharded"));
         assert_eq!(rows[1].shards, 1);
@@ -552,6 +632,9 @@ mod tests {
         assert_eq!(rows[5].shards, 3);
         assert_eq!(rows[6].mode, "incident_spike");
         assert_eq!(rows[6].shards, 3);
+        assert_eq!(rows[7].mode, "assign");
+        assert_eq!(rows[7].shards, 1);
+        assert_eq!(rows[7].layout, "1x1");
         for r in &rows {
             assert!(r.requests > 0);
             assert!(r.wall_s > 0.0);
@@ -594,7 +677,10 @@ mod tests {
 
         // Static rows never roll epochs; the traffic rows must, and their
         // label-refresh roll path must register wall time.
-        for r in rows.iter().take(5) {
+        for r in rows
+            .iter()
+            .filter(|r| !matches!(r.mode.as_str(), "rush_hour" | "incident_spike"))
+        {
             assert_eq!(r.epoch_rolls, 0, "static row {} rolled", r.mode);
             assert_eq!(r.label_refresh_s, 0.0);
             assert_eq!(r.labels_rescaled + r.labels_rebuilt, 0);
@@ -622,25 +708,49 @@ mod tests {
             rows[6].shards
         );
 
+        // The exact-assignment row: never pricier than the SARD baseline,
+        // and the delta column records exactly that difference.
+        assert!(
+            rows[7].unified_cost_delta_vs_sard <= 1e-9,
+            "assign unified cost {} exceeds SARD baseline {} (delta {})",
+            rows[7].unified_cost,
+            rows[0].unified_cost,
+            rows[7].unified_cost_delta_vs_sard
+        );
+        assert!(
+            (rows[7].unified_cost_delta_vs_sard - (rows[7].unified_cost - rows[0].unified_cost))
+                .abs()
+                < 1e-9
+        );
+        for r in rows.iter().take(7) {
+            assert_eq!(
+                r.unified_cost_delta_vs_sard, 0.0,
+                "{} carries a delta",
+                r.mode
+            );
+        }
+
         let json = render_bench_json(&name, &rows);
         assert!(json.contains("\"bench\": \"sharded_dispatch\""));
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains("\"mode\":\"unsharded\""));
         assert!(json.contains("\"mode\":\"sharded\""));
         assert!(json.contains("\"mode\":\"megafleet\""));
         assert!(json.contains("\"mode\":\"rush_hour\""));
         assert!(json.contains("\"mode\":\"incident_spike\""));
+        assert!(json.contains("\"mode\":\"assign\""));
         assert!(json.contains("\"layout\":\"2x3\""));
-        assert_eq!(json.matches("\"throughput_rps\"").count(), 7);
-        assert_eq!(json.matches("\"label_bytes\"").count(), 7);
-        assert_eq!(json.matches("\"setup_reduction\"").count(), 7);
-        assert_eq!(json.matches("\"candidates_evaluated\"").count(), 7);
-        assert_eq!(json.matches("\"prescreen_pruned\"").count(), 7);
-        assert_eq!(json.matches("\"label_refresh_s\"").count(), 7);
-        assert_eq!(json.matches("\"epoch_rolls\"").count(), 7);
-        assert_eq!(json.matches("\"labels_rescaled\"").count(), 7);
-        assert_eq!(json.matches("\"labels_rebuilt\"").count(), 7);
-        assert_eq!(json.matches("\"shards_refreshed\"").count(), 7);
+        assert_eq!(json.matches("\"throughput_rps\"").count(), 8);
+        assert_eq!(json.matches("\"label_bytes\"").count(), 8);
+        assert_eq!(json.matches("\"setup_reduction\"").count(), 8);
+        assert_eq!(json.matches("\"candidates_evaluated\"").count(), 8);
+        assert_eq!(json.matches("\"prescreen_pruned\"").count(), 8);
+        assert_eq!(json.matches("\"label_refresh_s\"").count(), 8);
+        assert_eq!(json.matches("\"epoch_rolls\"").count(), 8);
+        assert_eq!(json.matches("\"labels_rescaled\"").count(), 8);
+        assert_eq!(json.matches("\"labels_rebuilt\"").count(), 8);
+        assert_eq!(json.matches("\"shards_refreshed\"").count(), 8);
+        assert_eq!(json.matches("\"unified_cost_delta_vs_sard\"").count(), 8);
         // Minimal well-formedness: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

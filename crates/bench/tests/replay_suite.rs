@@ -4,9 +4,9 @@
 //! text form, under 1 and N worker threads.
 
 use structride_bench::replay_cli::{
-    is_sharded_trace, quickstart_params, record_run, record_sharded_run, regenerate_multi_workload,
-    regenerate_workload, replay_run, rerun_sharded, sharded_quickstart_params,
-    trace_dispatcher_key, trace_shards, DETERMINISTIC_KEYS,
+    deterministic_keys, is_sharded_trace, quickstart_params, record_run, record_sharded_run,
+    regenerate_multi_workload, regenerate_workload, replay_run, rerun_sharded,
+    sharded_quickstart_params, trace_dispatcher_key, trace_shards,
 };
 use structride_core::replay::Trace;
 use structride_core::StructRideConfig;
@@ -14,11 +14,11 @@ use structride_core::StructRideConfig;
 #[test]
 fn every_deterministic_dispatcher_replays_its_own_trace_clean() {
     let config = StructRideConfig::default();
-    for key in DETERMINISTIC_KEYS {
+    for key in deterministic_keys() {
         let (workload, trace) =
             record_run(quickstart_params(true), config, key).expect("known dispatcher");
         assert!(!trace.batches.is_empty(), "{key}: nothing recorded");
-        assert_eq!(trace_dispatcher_key(&trace), Some(*key));
+        assert_eq!(trace_dispatcher_key(&trace), Some(key));
         let report = replay_run(&workload, key, &trace).expect("known dispatcher");
         assert!(
             report.is_clean(),

@@ -27,6 +27,7 @@
 //! use it where run-for-run reproducibility matters.
 
 use crate::context::DispatchContext;
+use crate::lap::SolverStats;
 use structride_model::{Request, RequestId, Vehicle};
 
 /// What a dispatcher did with one batch.
@@ -34,6 +35,12 @@ use structride_model::{Request, RequestId, Vehicle};
 pub struct BatchOutcome {
     /// Requests assigned (committed into some vehicle schedule) in this call.
     pub assigned: Vec<RequestId>,
+    /// Telemetry of the exact-assignment solve behind this batch, when the
+    /// dispatcher used one ([`crate::assign::AssignDispatcher`], exact RTV).
+    /// Heuristic dispatchers leave it `None`.  Deliberately *not* part of
+    /// the recorded trace format (v3 traces parse and compare unchanged):
+    /// replay pins decisions, and solver telemetry is derived, not decided.
+    pub solver: Option<SolverStats>,
 }
 
 impl BatchOutcome {

@@ -3,6 +3,9 @@
 //! This crate assembles the pieces built in the substrate crates into the
 //! StructRide framework of §II-B / Fig. 2:
 //!
+//! * [`assign`] — the exact global-assignment dispatcher: batch cost matrix
+//!   over the certified candidate sets, solved to optimality per round by
+//!   the [`lap`] kernel;
 //! * [`config`] — the experiment knobs of Table III (batch period Δ, penalty
 //!   coefficient `p_r`, angle threshold δ, …);
 //! * [`context`] — the per-batch [`DispatchContext`](context::DispatchContext)
@@ -22,6 +25,12 @@
 //!   dispatcher latency instead of the simulated Δ
 //!   ([`Simulator::run_ingested`](simulator::Simulator) and the sharded
 //!   equivalent);
+//! * [`lap`] — the in-workspace exact solvers: a deterministic Kuhn–Munkres
+//!   LAP kernel over rectangular, partially-forbidden cost matrices and a
+//!   branch-and-bound over its relaxation for the trip-group choice step;
+//! * [`registry`] — the dispatcher registry: [`DispatcherKind`] keys plus a
+//!   [`DispatcherBuilder`] mapping keys to constructors, the single place
+//!   the replay CLI and every bench driver build dispatchers from;
 //! * [`replay`] — the record/replay harness: a
 //!   [`TraceRecorder`](replay::TraceRecorder) capturing per-batch
 //!   `(inputs, fleet-state, outcome)` tuples from the simulator, and
@@ -41,27 +50,33 @@
 //! * [`metrics`] — the run-level metrics the paper reports (unified cost,
 //!   service rate, running time, shortest-path queries, memory footprint).
 
+pub mod assign;
 pub mod config;
 pub mod context;
 pub mod dispatcher;
 pub mod fleet_index;
 pub mod grouping;
 pub mod ingest;
+pub mod lap;
 pub mod metrics;
 pub mod ordering;
+pub mod registry;
 pub mod replay;
 pub mod sard;
 pub mod shard;
 pub mod simulator;
 
+pub use assign::AssignDispatcher;
 pub use config::StructRideConfig;
 pub use context::{BatchScratch, DispatchContext, ScratchStats};
 pub use dispatcher::{BatchOutcome, Dispatcher};
 pub use fleet_index::{FleetIndex, REACH_GRACE};
 pub use grouping::{enumerate_groups, CandidateGroup};
 pub use ingest::{AdaptiveBatcher, IngestConfig, IngestReport, IngestStats, ShardedIngestReport};
+pub use lap::{GroupCandidate, GroupChoice, LapSolution, SolverStats, FORBIDDEN};
 pub use metrics::RunMetrics;
 pub use ordering::{InsertionOrdering, OrderingStudy};
+pub use registry::{DispatcherBuilder, DispatcherKind};
 pub use replay::{
     diff_traces, replay_trace, BatchDivergence, BatchRecord, DriftReport, FieldDelta, Trace,
     TraceMeta, TraceParseError, TraceRecorder, VehicleState,
