@@ -11,7 +11,9 @@
 
 use crate::complete_graph;
 use std::collections::HashMap;
-use structride_core::{enumerate_groups, BatchOutcome, DispatchContext, Dispatcher};
+use structride_core::{
+    enumerate_groups, BatchOutcome, DispatchContext, Dispatcher, PendingSnapshot,
+};
 use structride_model::{Request, RequestId, Vehicle};
 
 /// The GAS batch dispatcher.
@@ -161,6 +163,33 @@ impl Dispatcher for Gas {
         // The pool plus the peak additive-tree size (groups hold a schedule of
         // a handful of way-points each).
         self.pending.capacity() * (std::mem::size_of::<Request>() + 16) + self.peak_groups * 256
+    }
+
+    fn take_pending(&mut self) -> Vec<Request> {
+        let mut pool: Vec<Request> = self.pending.drain().map(|(_, r)| r).collect();
+        pool.sort_unstable_by_key(|r| r.id);
+        pool
+    }
+
+    fn restore_pending(&mut self, pool: Vec<Request>) {
+        for r in pool {
+            self.pending.insert(r.id, r);
+        }
+    }
+
+    fn checkpoint_pending(&self) -> PendingSnapshot {
+        let mut pool: Vec<Request> = self.pending.values().cloned().collect();
+        pool.sort_unstable_by_key(|r| r.id);
+        PendingSnapshot {
+            pool,
+            edges: Vec::new(),
+        }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: PendingSnapshot) {
+        for r in snapshot.pool {
+            self.pending.insert(r.id, r);
+        }
     }
 }
 

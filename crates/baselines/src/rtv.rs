@@ -20,7 +20,7 @@
 use std::collections::{HashMap, HashSet};
 use structride_core::lap::{self, SolverStats};
 use structride_core::{
-    enumerate_groups, BatchOutcome, CandidateGroup, DispatchContext, Dispatcher,
+    enumerate_groups, BatchOutcome, CandidateGroup, DispatchContext, Dispatcher, PendingSnapshot,
 };
 use structride_model::{Request, RequestId, Vehicle};
 use structride_sharegraph::{pairwise_shareable, ShareabilityGraph};
@@ -227,7 +227,16 @@ impl Dispatcher for Rtv {
                 gain: c.gain,
             })
             .collect();
-        let choice = lap::solve_group_choice(&group_candidates, &incumbent, Self::NODE_BUDGET);
+        // The per-batch deadline budget, when the fault injector carries one,
+        // overrides the generous default — the B&B then trips early and the
+        // commit degrades to the greedy+swap incumbent (never worse, by the
+        // seeding contract).
+        let budget = ctx
+            .config
+            .faults
+            .solver_budget_at(ctx.batch_index)
+            .unwrap_or(Self::NODE_BUDGET);
+        let choice = lap::solve_group_choice(&group_candidates, &incumbent, budget);
         let mut outcome = BatchOutcome::empty();
         for &idx in &choice.chosen {
             let c = &candidates[idx];
@@ -244,6 +253,7 @@ impl Dispatcher for Rtv {
             bb_nodes: choice.nodes,
             rounds: 1,
             optimal: choice.optimal,
+            fallbacks: u64::from(!choice.optimal),
         });
         outcome
     }
@@ -256,6 +266,33 @@ impl Dispatcher for Rtv {
         // The RTV graph (trip candidates, each holding a schedule) dominates —
         // the paper reports RTV using a multiple of the other methods' memory.
         self.pending.capacity() * (std::mem::size_of::<Request>() + 16) + self.peak_candidates * 512
+    }
+
+    fn take_pending(&mut self) -> Vec<Request> {
+        let mut pool: Vec<Request> = self.pending.drain().map(|(_, r)| r).collect();
+        pool.sort_unstable_by_key(|r| r.id);
+        pool
+    }
+
+    fn restore_pending(&mut self, pool: Vec<Request>) {
+        for r in pool {
+            self.pending.insert(r.id, r);
+        }
+    }
+
+    fn checkpoint_pending(&self) -> PendingSnapshot {
+        let mut pool: Vec<Request> = self.pending.values().cloned().collect();
+        pool.sort_unstable_by_key(|r| r.id);
+        PendingSnapshot {
+            pool,
+            edges: Vec::new(),
+        }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: PendingSnapshot) {
+        for r in snapshot.pool {
+            self.pending.insert(r.id, r);
+        }
     }
 }
 
@@ -432,6 +469,57 @@ mod tests {
                     .collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn injected_deadline_budget_degrades_to_the_incumbent_and_counts_it() {
+        use structride_core::{FaultConfig, StructRideConfig};
+        // A 1-node budget on the greedy-blocking fixture trips before the
+        // exact answer (291) can be proven: the commit stays at the seeded
+        // incumbent — the pair trip with gain 288, the anytime floor.
+        let candidates = blocking_candidates();
+        let incumbent = Rtv::greedy_swap_reference(&candidates, 2);
+        let group_candidates: Vec<lap::GroupCandidate> = candidates
+            .iter()
+            .map(|c| lap::GroupCandidate {
+                vehicle: c.vehicle,
+                requests: c.group.members.clone(),
+                gain: c.gain,
+            })
+            .collect();
+        let choice = lap::solve_group_choice(&group_candidates, &incumbent, 1);
+        assert!(!choice.optimal, "a 1-node budget cannot prove optimality");
+        assert!((choice.gain - 288.0).abs() < 1e-9, "incumbent floor holds");
+        // The dispatch path reads the same budget from the fault config in
+        // the context, and SolverStats counts one fallback exactly when the
+        // solve lost its optimality proof.
+        let engine = line_engine(6);
+        let requests = vec![req(1, 0, 4, 40.0, 1.6), req(2, 1, 3, 40.0, 1.6)];
+        let config = StructRideConfig::default().with_faults(FaultConfig {
+            solver_node_budget: 1,
+            ..FaultConfig::default()
+        });
+        let mut vehicles = vec![Vehicle::new(0, 0, 4), Vehicle::new(1, 1, 4)];
+        let degraded_ctx = DispatchContext::new(&engine, config, 0.0);
+        let mut rtv = Rtv::default();
+        let out = rtv.dispatch_batch(&degraded_ctx, &mut vehicles, &requests);
+        let solver = out.solver.expect("telemetry");
+        assert_eq!(solver.fallbacks, u64::from(!solver.optimal));
+        // Whatever the degraded mode committed is feasible — the incumbent
+        // floor, never a dropped batch.
+        for v in &vehicles {
+            if !v.schedule.is_empty() {
+                assert!(v.evaluate_current(&engine).feasible);
+            }
+        }
+        // Without the injected budget the same batch is exact and reports
+        // zero fallbacks — the inert default changes nothing.
+        let mut vehicles = vec![Vehicle::new(0, 0, 4), Vehicle::new(1, 1, 4)];
+        let mut exact = Rtv::default();
+        let out = exact.dispatch_batch(&ctx(&engine, 0.0), &mut vehicles, &requests);
+        let solver = out.solver.expect("telemetry");
+        assert!(solver.optimal);
+        assert_eq!(solver.fallbacks, 0);
     }
 
     #[test]

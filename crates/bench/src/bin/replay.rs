@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! replay record  [--quick] [--algo KEY] [--out PATH] [--shards N] [--ingest] [--traffic T]
+//!                [--chaos] [--checkpoint PATH]
 //! replay replay  --trace PATH [--algo KEY] [--threads N]
+//! replay resume  --trace PATH --checkpoint PATH [--threads N]
 //! replay verify  [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest] [--traffic T]
+//!                [--chaos]
 //! ```
 //!
 //! * `record` runs the quickstart-style workload under the chosen dispatcher
@@ -35,8 +38,20 @@
 //! `--traffic T` (T ∈ {rush, incident}) switches `record`/`verify` to a
 //! time-dependent travel-time model compressed to the quickstart horizon:
 //! epoch boundaries roll mid-run, hub labels refresh, and the trace records
-//! the traffic config (format v3) so `replay` reproduces the exact epoch
+//! the traffic config (format v3+) so `replay` reproduces the exact epoch
 //! sequence from the batch clock alone.
+//!
+//! `--chaos` turns on the deterministic fault injector's chaos preset
+//! (`FaultConfig::chaos()`: periodic shard outages with failover, a solver
+//! node budget, a checkpoint cadence).  The fault config lands in the trace
+//! (format v4), so a faulted recording replays bit-identically — the
+//! degraded-mode schedule is pure in `(config, batch clock)`.  With
+//! `--checkpoint PATH`, `record` also writes the run's mid-run checkpoint
+//! (full simulation state at a fault-plan checkpoint boundary) to `PATH`;
+//! `resume` then loads it, continues the run to completion, and verifies it
+//! finishes bit-identically to the uninterrupted reference (re-run
+//! in-process from the trace metadata) — the kill-at-checkpoint/restore
+//! smoke, exercised under 1 and N worker threads in CI.
 //!
 //! `KEY` is any registered dispatcher key — `sard`, `assign` (the exact
 //! global-assignment dispatcher), `rtv`, `prunegdp` (alias `gdp`), `gas`,
@@ -49,18 +64,20 @@ use std::process::ExitCode;
 use structride_bench::replay_cli::{
     deterministic_keys, dispatcher_by_name, dispatcher_keys, ingest_quickstart_config,
     is_sharded_ingested_trace, is_sharded_trace, quickstart_params, record_ingested_run,
-    record_run, record_sharded_ingested_run, record_sharded_run, regenerate_multi_workload,
-    regenerate_workload, replay_run, rerun_sharded, rerun_sharded_ingested,
-    sharded_quickstart_params, trace_dispatcher_key, trace_shards, traffic_by_name, TRAFFIC_KEYS,
+    record_run, record_run_checkpointed, record_sharded_ingested_run, record_sharded_run,
+    record_sharded_run_checkpointed, regenerate_multi_workload, regenerate_workload, replay_run,
+    rerun_sharded, rerun_sharded_ingested, resume_and_verify, sharded_quickstart_params,
+    trace_dispatcher_key, trace_shards, traffic_by_name, TRAFFIC_KEYS,
 };
-use structride_core::replay::Trace;
-use structride_core::StructRideConfig;
+use structride_core::replay::{Checkpoint, Trace};
+use structride_core::{FaultConfig, StructRideConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: replay record [--quick] [--algo KEY] [--out PATH] [--shards N] [--ingest] [--traffic T]\n\
+        "usage: replay record [--quick] [--algo KEY] [--out PATH] [--shards N] [--ingest] [--traffic T] [--chaos] [--checkpoint PATH]\n\
          \x20      replay replay --trace PATH [--algo KEY] [--threads N]\n\
-         \x20      replay verify [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest] [--traffic T]\n\
+         \x20      replay resume --trace PATH --checkpoint PATH [--threads N]\n\
+         \x20      replay verify [--quick] [--algo KEY] [--threads N] [--shards N] [--ingest] [--traffic T] [--chaos]\n\
          KEY: {}\n\
          T: {}",
         dispatcher_keys().join(", "),
@@ -78,6 +95,8 @@ struct Args {
     shards: Option<usize>,
     ingest: bool,
     traffic: Option<String>,
+    chaos: bool,
+    checkpoint: Option<String>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
@@ -91,6 +110,8 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         shards: None,
         ingest: false,
         traffic: None,
+        chaos: false,
+        checkpoint: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -102,6 +123,8 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
             "--shards" => args.shards = Some(argv.next()?.parse().ok()?),
             "--ingest" => args.ingest = true,
             "--traffic" => args.traffic = Some(argv.next()?),
+            "--chaos" => args.chaos = true,
+            "--checkpoint" => args.checkpoint = Some(argv.next()?),
             _ => return None,
         }
     }
@@ -125,6 +148,9 @@ fn run_config(args: &Args) -> Option<StructRideConfig> {
             quickstart_params(args.quick).horizon
         };
         config = config.with_traffic(traffic_by_name(key, horizon)?);
+    }
+    if args.chaos {
+        config = config.with_faults(FaultConfig::chaos());
     }
     Some(config)
 }
@@ -166,20 +192,64 @@ fn cmd_record(args: &Args) -> ExitCode {
         eprintln!("unknown traffic scenario {:?}", args.traffic);
         return usage();
     };
-    let recorded = match (args.ingest, args.shards) {
-        (true, Some(shards)) => {
-            record_sharded_ingested_run(sharded_quickstart_params(args.quick), config, algo, shards)
-                .map(|(_, trace)| trace)
+    let recorded = if let Some(ckpt_path) = args.checkpoint.as_deref() {
+        // Checkpointed record: same trace as the plain flows, plus the
+        // run's mid-run checkpoint written to `ckpt_path` for `resume`.
+        if args.ingest {
+            eprintln!("--checkpoint applies to the clock-driven pipelines; drop --ingest");
+            return usage();
         }
-        (true, None) => {
-            record_ingested_run(quickstart_params(args.quick), config, algo).map(|(_, trace)| trace)
+        if config.faults.checkpoint_every == 0 {
+            eprintln!("--checkpoint needs a checkpoint cadence; pass --chaos");
+            return usage();
         }
-        (false, Some(shards)) => {
-            record_sharded_run(sharded_quickstart_params(args.quick), config, algo, shards)
-                .map(|(_, trace)| trace)
+        let recorded = match args.shards {
+            Some(shards) => record_sharded_run_checkpointed(
+                sharded_quickstart_params(args.quick),
+                config,
+                algo,
+                shards,
+            )
+            .map(|(_, trace, ckpts)| (trace, ckpts)),
+            None => record_run_checkpointed(quickstart_params(args.quick), config, algo)
+                .map(|(_, trace, ckpts)| (trace, ckpts)),
+        };
+        let Some((trace, checkpoints)) = recorded else {
+            return unknown_dispatcher(algo);
+        };
+        if checkpoints.is_empty() {
+            eprintln!("no checkpoint boundary fell within the horizon; nothing to resume from");
+            return ExitCode::FAILURE;
         }
-        (false, None) => {
-            record_run(quickstart_params(args.quick), config, algo).map(|(_, trace)| trace)
+        let picked = &checkpoints[checkpoints.len() / 2];
+        if let Err(e) = picked.save(ckpt_path) {
+            eprintln!("failed to write {ckpt_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "# wrote {ckpt_path} (mid-run checkpoint at batch {}, 1 of {})",
+            picked.batches,
+            checkpoints.len()
+        );
+        Some(trace)
+    } else {
+        match (args.ingest, args.shards) {
+            (true, Some(shards)) => record_sharded_ingested_run(
+                sharded_quickstart_params(args.quick),
+                config,
+                algo,
+                shards,
+            )
+            .map(|(_, trace)| trace),
+            (true, None) => record_ingested_run(quickstart_params(args.quick), config, algo)
+                .map(|(_, trace)| trace),
+            (false, Some(shards)) => {
+                record_sharded_run(sharded_quickstart_params(args.quick), config, algo, shards)
+                    .map(|(_, trace)| trace)
+            }
+            (false, None) => {
+                record_run(quickstart_params(args.quick), config, algo).map(|(_, trace)| trace)
+            }
         }
     };
     let Some(trace) = recorded else {
@@ -282,6 +352,59 @@ fn cmd_replay(args: &Args) -> ExitCode {
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The kill-at-checkpoint/restore smoke: load the checkpoint a faulted
+/// `record --checkpoint` run wrote, resume the run from it (under the
+/// requested worker-thread count) and verify it finishes bit-identically to
+/// the uninterrupted reference re-run in-process from the trace metadata.
+fn cmd_resume(args: &Args) -> ExitCode {
+    let (Some(trace_path), Some(ckpt_path)) = (args.trace.as_deref(), args.checkpoint.as_deref())
+    else {
+        return usage();
+    };
+    let trace = match Trace::load(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to load {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let checkpoint = match Checkpoint::load(ckpt_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load {ckpt_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_trace_summary(&trace);
+    eprintln!(
+        "# checkpoint: batch {} now {} shards {} ({})",
+        checkpoint.batches,
+        checkpoint.now,
+        checkpoint.shards.len(),
+        if checkpoint.sharded {
+            "sharded"
+        } else {
+            "monolithic"
+        }
+    );
+    let Some(mismatches) = in_pool(args.threads, || resume_and_verify(&trace, &checkpoint)) else {
+        eprintln!("trace metadata lacks regeneration parameters or names an unknown dispatcher");
+        return ExitCode::FAILURE;
+    };
+    if mismatches.is_empty() {
+        println!(
+            "resume OK: run resumed from batch {} finished bit-identically to the uninterrupted reference",
+            checkpoint.batches
+        );
+        ExitCode::SUCCESS
+    } else {
+        for m in &mismatches {
+            eprintln!("resume drift: {m}");
+        }
         ExitCode::FAILURE
     }
 }
@@ -450,6 +573,7 @@ fn main() -> ExitCode {
     match subcommand.as_str() {
         "record" => cmd_record(&args),
         "replay" => cmd_replay(&args),
+        "resume" => cmd_resume(&args),
         "verify" => cmd_verify(&args),
         _ => usage(),
     }

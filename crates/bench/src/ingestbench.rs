@@ -187,6 +187,7 @@ pub fn bench_ingest(scale: &ExperimentScale) -> (String, Vec<IngestBenchRow>) {
             sard.as_mut(),
             &workload.name,
         );
+        let report = report.expect("ingest producer replays a generated stream");
         rows.push(IngestBenchRow {
             profile: profile_key.to_string(),
             mode: "monolithic".to_string(),
@@ -213,6 +214,7 @@ pub fn bench_ingest(scale: &ExperimentScale) -> (String, Vec<IngestBenchRow>) {
         },
         &workload.name,
     );
+    let sharded = sharded.expect("ingest producer replays a generated stream");
     // Uniform denominator across rows: the sharded aggregate only counts
     // *routed* requests (load-shed and timed-out arrivals never reach a
     // shard), so divide by arrivals here, exactly like the monolithic rows.

@@ -404,6 +404,10 @@ mod tests {
             labels_rebuilt: 0,
             shards_refreshed: 0,
             unified_cost_delta_vs_sard: 0.0,
+            faults_injected: 0,
+            solver_fallbacks: 0,
+            batches_degraded: 0,
+            service_rate_degraded: 0.0,
         }
     }
 
@@ -550,9 +554,13 @@ mod tests {
         assert!(report.is_pass(), "{:?}", report.failures);
         // Only the pre-existing sharded row is compared; assign is new.
         assert_eq!(report.comparisons.len(), 1);
-        // The new column round-trips through the renderer and parser.
+        // The new column round-trips through the renderer and parser (the
+        // renderer always stamps the current schema version).
         let parsed = parse_bench_doc(&v6_current).unwrap();
-        assert_eq!(parsed.schema_version, 6);
+        assert_eq!(
+            parsed.schema_version,
+            crate::shardbench::SHARDED_SCHEMA_VERSION
+        );
         assert_eq!(
             field(&parsed.rows[1], "unified_cost_delta_vs_sard"),
             Some("-12.500")
@@ -561,6 +569,47 @@ mod tests {
         // both rows, the assign row included.
         let report =
             guard_throughput(&v6_current, &v6_current, 0.20, None, Some(1.0), None).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        assert_eq!(report.comparisons.len(), 2);
+    }
+
+    /// A committed schema-version-6 baseline (no fault-telemetry columns,
+    /// no chaos row) must keep guarding a schema-version-7 run: row
+    /// identity ignores the added columns, and the chaos row is a new row
+    /// the trajectory may grow freely.
+    #[test]
+    fn v6_baselines_guard_v7_documents() {
+        let v6_baseline = "{\n  \"bench\": \"sharded_dispatch\",\n  \"schema_version\": 6,\n  \"workload\": \"w\",\n  \"rows\": [\n    {\"mode\":\"sharded\",\"shards\":3,\"layout\":\"1x3\",\"threads\":1,\"throughput_rps\":200.0,\"setup_s\":0.090000,\"label_bytes\":123456,\"candidates_evaluated\":4100,\"prescreen_pruned\":11000,\"label_refresh_s\":0.000000,\"epoch_rolls\":0,\"labels_rescaled\":0,\"labels_rebuilt\":0,\"shards_refreshed\":0,\"unified_cost_delta_vs_sard\":0.000}\n  ]\n}\n";
+        let mut chaos = sample_shard_row();
+        chaos.mode = "chaos".into();
+        chaos.faults_injected = 2;
+        chaos.solver_fallbacks = 5;
+        chaos.batches_degraded = 6;
+        chaos.service_rate_degraded = 0.75;
+        let rows = [sample_shard_row(), chaos];
+        let v7_current = crate::shardbench::render_bench_json("w", &rows);
+        let report =
+            guard_throughput(v6_baseline, &v7_current, 0.20, None, Some(1.0), None).unwrap();
+        assert!(report.is_pass(), "{:?}", report.failures);
+        // Only the pre-existing sharded row is compared; chaos is new.
+        assert_eq!(report.comparisons.len(), 1);
+        // The new columns round-trip through the renderer and parser.
+        let parsed = parse_bench_doc(&v7_current).unwrap();
+        assert_eq!(
+            parsed.schema_version,
+            crate::shardbench::SHARDED_SCHEMA_VERSION
+        );
+        assert_eq!(field(&parsed.rows[1], "faults_injected"), Some("2"));
+        assert_eq!(field(&parsed.rows[1], "solver_fallbacks"), Some("5"));
+        assert_eq!(field(&parsed.rows[1], "batches_degraded"), Some("6"));
+        assert_eq!(
+            field(&parsed.rows[1], "service_rate_degraded"),
+            Some("0.750000")
+        );
+        // And the other direction (fresh v7 baseline, v7 current) guards
+        // both rows, the chaos row included.
+        let report =
+            guard_throughput(&v7_current, &v7_current, 0.20, None, Some(1.0), None).unwrap();
         assert!(report.is_pass(), "{:?}", report.failures);
         assert_eq!(report.comparisons.len(), 2);
     }

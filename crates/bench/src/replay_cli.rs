@@ -9,14 +9,17 @@
 
 use structride_baselines::standard_registry;
 use structride_core::replay::{
-    diff_traces, replay_trace, DriftReport, Trace, TraceMeta, TraceRecorder,
+    diff_traces, replay_trace, Checkpoint, DriftReport, Trace, TraceMeta, TraceRecorder,
+    VehicleState,
 };
 use structride_core::shard::{region_strips_for, ShardedSimulator, ShardingConfig};
-use structride_core::{Dispatcher, IngestConfig, SardDispatcher, Simulator, StructRideConfig};
+use structride_core::{
+    Dispatcher, IngestConfig, RunMetrics, SardDispatcher, Simulator, StructRideConfig,
+};
 use structride_datagen::{
     CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
 };
-use structride_model::Request;
+use structride_model::{Request, Vehicle};
 use structride_roadnet::{SpEngine, SpEngineBuilder, TrafficConfig};
 
 /// The dispatcher keys `--algo` accepts, straight from the registry
@@ -383,6 +386,266 @@ pub fn rerun_sharded(
 }
 
 // ---------------------------------------------------------------------------
+// Checkpointed (faulted) runs
+// ---------------------------------------------------------------------------
+
+/// Like [`record_run`], but also collects the [`Checkpoint`]s the run's
+/// fault-plan cadence produces (empty unless
+/// `config.faults.checkpoint_every > 0`).  Capture is a pure read, so the
+/// returned trace is identical to what [`record_run`] records.
+pub fn record_run_checkpointed(
+    params: WorkloadParams,
+    config: StructRideConfig,
+    algo_key: &str,
+) -> Option<(Workload, Trace, Vec<Checkpoint>)> {
+    let mut dispatcher = dispatcher_by_name(algo_key, config)?;
+    let workload = Workload::generate(params);
+    let traffic = traffic_engine(&workload, &config);
+    let engine = traffic.as_ref().unwrap_or(&workload.engine);
+    let mut recorder = TraceRecorder::new();
+    let mut checkpoints = Vec::new();
+    Simulator::new(config).run_recorded_with_checkpoints(
+        engine,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        dispatcher.as_mut(),
+        &workload.name,
+        &mut recorder,
+        &mut |c| checkpoints.push(c),
+    );
+    let mut meta = TraceMeta::new(dispatcher.name(), &workload.name, config);
+    meta.params = params_to_meta(&params);
+    meta.params
+        .push(("dispatcher".to_string(), algo_key.to_ascii_lowercase()));
+    meta.sp_stats = Some(engine.stats());
+    Some((workload, recorder.into_trace(meta), checkpoints))
+}
+
+/// Like [`record_sharded_run`], but also collects the [`Checkpoint`]s the
+/// run's fault-plan cadence produces.
+pub fn record_sharded_run_checkpointed(
+    params: MultiRegionParams,
+    config: StructRideConfig,
+    algo_key: &str,
+    shards: usize,
+) -> Option<(MultiRegionWorkload, Trace, Vec<Checkpoint>)> {
+    let probe = dispatcher_by_name(algo_key, config)?;
+    let algorithm = probe.name().to_string();
+    let workload = MultiRegionWorkload::generate(params.clone());
+    let regions = region_strips_for(workload.network(), shards.max(1) as u32);
+    let sharding = ShardingConfig::default();
+    let mut recorder = TraceRecorder::new();
+    let mut checkpoints = Vec::new();
+    ShardedSimulator::with_sharding(config, sharding).run_recorded_with_checkpoints(
+        workload.network(),
+        &regions,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        |_| dispatcher_by_name(algo_key, config).expect("validated dispatcher key"),
+        &workload.name,
+        &mut recorder,
+        &mut |c| checkpoints.push(c),
+    );
+    let mut meta = TraceMeta::new(algorithm, &workload.name, config);
+    meta.params = multi_params_to_meta(&params, shards.max(1), &sharding);
+    meta.params
+        .push(("dispatcher".to_string(), algo_key.to_ascii_lowercase()));
+    Some((workload, recorder.into_trace(meta), checkpoints))
+}
+
+/// Compares the deterministic halves of two [`RunMetrics`] (wall-clock
+/// diagnostics — `running_time`, `sp_queries`, `memory_bytes` — excluded,
+/// exactly as in replay comparisons; floats by bit pattern).
+fn metrics_mismatches(label: &str, resumed: &RunMetrics, reference: &RunMetrics) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut check = |field: &str, same: bool| {
+        if !same {
+            out.push(format!("{label}: {field} diverged"));
+        }
+    };
+    check("algorithm", resumed.algorithm == reference.algorithm);
+    check("workload", resumed.workload == reference.workload);
+    check(
+        "total_requests",
+        resumed.total_requests == reference.total_requests,
+    );
+    check(
+        "served_requests",
+        resumed.served_requests == reference.served_requests,
+    );
+    check(
+        "total_travel",
+        resumed.total_travel.to_bits() == reference.total_travel.to_bits(),
+    );
+    check(
+        "unserved_direct_cost",
+        resumed.unserved_direct_cost.to_bits() == reference.unserved_direct_cost.to_bits(),
+    );
+    check(
+        "unified_cost",
+        resumed.unified_cost.to_bits() == reference.unified_cost.to_bits(),
+    );
+    check("batches", resumed.batches == reference.batches);
+    check(
+        "insertion_evaluations",
+        resumed.insertion_evaluations == reference.insertion_evaluations,
+    );
+    check(
+        "groups_enumerated",
+        resumed.groups_enumerated == reference.groups_enumerated,
+    );
+    out
+}
+
+/// Bit-compares two final fleets through [`VehicleState::capture`].
+fn fleet_mismatch(resumed: &[Vehicle], reference: &[Vehicle]) -> Option<String> {
+    let a: Vec<VehicleState> = resumed.iter().map(VehicleState::capture).collect();
+    let b: Vec<VehicleState> = reference.iter().map(VehicleState::capture).collect();
+    (a != b).then(|| "final fleet state diverged".to_string())
+}
+
+/// Resumes `checkpoint` and verifies the finished run lands bit-identically
+/// on the uninterrupted reference, which is re-run in process from the
+/// trace metadata (all generation is seeded, so the regenerated workload is
+/// the recorded one).
+///
+/// Returns `None` when the trace names no (or an unknown) dispatcher or its
+/// metadata fails to regenerate; otherwise `Some(mismatches)` — empty means
+/// zero drift.
+pub fn resume_and_verify(trace: &Trace, checkpoint: &Checkpoint) -> Option<Vec<String>> {
+    let algo_key = trace_dispatcher_key(trace)?.to_string();
+    dispatcher_by_name(&algo_key, trace.meta.config)?;
+    let config = trace.meta.config;
+    let mut mismatches = Vec::new();
+    if checkpoint.workload != trace.meta.workload {
+        mismatches.push(format!(
+            "checkpoint workload {:?} does not match trace workload {:?}",
+            checkpoint.workload, trace.meta.workload
+        ));
+        return Some(mismatches);
+    }
+    if checkpoint.config != config {
+        mismatches.push("checkpoint and trace disagree on the framework configuration".to_string());
+        return Some(mismatches);
+    }
+    if checkpoint.sharded {
+        let workload = regenerate_multi_workload(&trace.meta)?;
+        let shards = trace_shards(trace)?;
+        let sharding = trace_sharding(trace)?;
+        if checkpoint.shards.len() != shards {
+            mismatches.push(format!(
+                "checkpoint has {} shard sections but the trace was recorded with {shards} shards",
+                checkpoint.shards.len()
+            ));
+            return Some(mismatches);
+        }
+        let regions = region_strips_for(workload.network(), shards.max(1) as u32);
+        let sim = ShardedSimulator::with_sharding(config, sharding);
+        let make =
+            |_: usize| dispatcher_by_name(&algo_key, config).expect("validated dispatcher key");
+        let reference = sim.run(
+            workload.network(),
+            &regions,
+            &workload.requests,
+            workload.fresh_vehicles(),
+            make,
+            &workload.name,
+        );
+        let resumed = sim.resume(
+            workload.network(),
+            &regions,
+            &workload.requests,
+            make,
+            checkpoint,
+        );
+        mismatches.extend(metrics_mismatches(
+            "aggregate",
+            &resumed.aggregate,
+            &reference.aggregate,
+        ));
+        for (i, (a, b)) in resumed
+            .per_shard
+            .iter()
+            .zip(&reference.per_shard)
+            .enumerate()
+        {
+            mismatches.extend(metrics_mismatches(&format!("shard {i}"), a, b));
+        }
+        if resumed.served != reference.served {
+            mismatches.push("served request set diverged".to_string());
+        }
+        mismatches.extend(fleet_mismatch(&resumed.vehicles, &reference.vehicles));
+        let counters = [
+            ("handoffs", resumed.handoffs, reference.handoffs),
+            ("handoff_bids", resumed.handoff_bids, reference.handoff_bids),
+            ("migrations", resumed.migrations, reference.migrations),
+            ("epoch_rolls", resumed.epoch_rolls, reference.epoch_rolls),
+            (
+                "faults_injected",
+                resumed.faults_injected,
+                reference.faults_injected,
+            ),
+            (
+                "batches_degraded",
+                resumed.batches_degraded,
+                reference.batches_degraded,
+            ),
+            (
+                "degraded_offered",
+                resumed.degraded_offered,
+                reference.degraded_offered,
+            ),
+            (
+                "degraded_served",
+                resumed.degraded_served,
+                reference.degraded_served,
+            ),
+        ];
+        for (name, a, b) in counters {
+            if a != b {
+                mismatches.push(format!("{name} diverged: resumed {a} vs reference {b}"));
+            }
+        }
+    } else {
+        let workload = regenerate_workload(&trace.meta)?;
+        let sim = Simulator::new(config);
+        // Traffic epoch state lives inside the engine, so the reference and
+        // the resumed run each get a fresh one (static runs share the
+        // workload's free-flow engine — its caches don't affect decisions).
+        let reference = {
+            let traffic = traffic_engine(&workload, &config);
+            let engine = traffic.as_ref().unwrap_or(&workload.engine);
+            let mut dispatcher =
+                dispatcher_by_name(&algo_key, config).expect("validated dispatcher key");
+            sim.run(
+                engine,
+                &workload.requests,
+                workload.fresh_vehicles(),
+                dispatcher.as_mut(),
+                &workload.name,
+            )
+        };
+        let resumed = {
+            let traffic = traffic_engine(&workload, &config);
+            let engine = traffic.as_ref().unwrap_or(&workload.engine);
+            let mut dispatcher =
+                dispatcher_by_name(&algo_key, config).expect("validated dispatcher key");
+            sim.resume(engine, &workload.requests, dispatcher.as_mut(), checkpoint)
+        };
+        mismatches.extend(metrics_mismatches(
+            "run",
+            &resumed.metrics,
+            &reference.metrics,
+        ));
+        if resumed.served != reference.served {
+            mismatches.push("served request set diverged".to_string());
+        }
+        mismatches.extend(fleet_mismatch(&resumed.vehicles, &reference.vehicles));
+    }
+    Some(mismatches)
+}
+
+// ---------------------------------------------------------------------------
 // Ingested traces
 // ---------------------------------------------------------------------------
 
@@ -426,14 +689,16 @@ pub fn record_ingested_run(
     let traffic = traffic_engine(&workload, &config);
     let engine = traffic.as_ref().unwrap_or(&workload.engine);
     let mut recorder = TraceRecorder::new();
-    Simulator::new(config).run_ingested_recorded(
-        engine,
-        workload.requests.iter().cloned(),
-        workload.fresh_vehicles(),
-        dispatcher.as_mut(),
-        &workload.name,
-        &mut recorder,
-    );
+    Simulator::new(config)
+        .run_ingested_recorded(
+            engine,
+            workload.requests.iter().cloned(),
+            workload.fresh_vehicles(),
+            dispatcher.as_mut(),
+            &workload.name,
+            &mut recorder,
+        )
+        .expect("ingest producer replays a generated stream");
     let mut meta = TraceMeta::new(dispatcher.name(), &workload.name, config);
     meta.params = params_to_meta(&params);
     meta.params
@@ -458,15 +723,17 @@ pub fn record_sharded_ingested_run(
     let regions = region_strips_for(workload.network(), shards.max(1) as u32);
     let sharding = ShardingConfig::default();
     let mut recorder = TraceRecorder::new();
-    ShardedSimulator::with_sharding(config, sharding).run_ingested_recorded(
-        workload.network(),
-        &regions,
-        workload.requests.iter().cloned(),
-        workload.fresh_vehicles(),
-        |_| dispatcher_by_name(algo_key, config).expect("validated dispatcher key"),
-        &workload.name,
-        &mut recorder,
-    );
+    ShardedSimulator::with_sharding(config, sharding)
+        .run_ingested_recorded(
+            workload.network(),
+            &regions,
+            workload.requests.iter().cloned(),
+            workload.fresh_vehicles(),
+            |_| dispatcher_by_name(algo_key, config).expect("validated dispatcher key"),
+            &workload.name,
+            &mut recorder,
+        )
+        .expect("ingest producer replays a generated stream");
     let mut meta = TraceMeta::new(algorithm, &workload.name, config);
     meta.params = multi_params_to_meta(&params, shards.max(1), &sharding);
     // multi_params_to_meta marks mode=sharded; this trace needs the
@@ -655,6 +922,49 @@ mod tests {
             record_sharded_run(sharded_quickstart_params(true), config, "sard", 3).expect("record");
         let report = rerun_sharded(&workload, "sard", &trace).expect("rerun");
         assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn chaos_checkpointed_sharded_record_reruns_clean_and_resumes_clean() {
+        let traffic = structride_datagen::rush_hour(30.0, 15.0);
+        let config = StructRideConfig::default()
+            .with_traffic(traffic)
+            .with_faults(structride_core::FaultConfig::chaos());
+        let (workload, trace, checkpoints) =
+            record_sharded_run_checkpointed(sharded_quickstart_params(true), config, "sard", 3)
+                .expect("record");
+        assert!(!checkpoints.is_empty(), "the chaos cadence must fire");
+        assert!(checkpoints.iter().all(|c| c.sharded));
+        // The faulted trace replays clean (the fault schedule re-derives
+        // from the config serialized into the trace).
+        let report = rerun_sharded(&workload, "sard", &trace).expect("rerun");
+        assert!(report.is_clean(), "{report}");
+        // A run resumed from the text-round-tripped mid-run checkpoint
+        // finishes bit-identically to the uninterrupted reference.
+        let picked = &checkpoints[checkpoints.len() / 2];
+        let reparsed = Checkpoint::parse(&picked.to_text()).expect("checkpoint codec");
+        let mismatches = resume_and_verify(&trace, &reparsed).expect("resume");
+        assert!(mismatches.is_empty(), "{mismatches:?}");
+        // A checkpoint from some other run is rejected loudly, not resumed.
+        let mut bogus = reparsed;
+        bogus.workload = "other-workload".to_string();
+        let mismatches = resume_and_verify(&trace, &bogus).expect("resume");
+        assert!(!mismatches.is_empty());
+    }
+
+    #[test]
+    fn chaos_checkpointed_monolithic_record_resumes_clean() {
+        // `assign` so the chaos solver node budget actually gates the exact
+        // solver on the resumed half too.
+        let config = StructRideConfig::default().with_faults(structride_core::FaultConfig::chaos());
+        let (workload, trace, checkpoints) =
+            record_run_checkpointed(quickstart_params(true), config, "assign").expect("record");
+        assert!(!checkpoints.is_empty(), "the chaos cadence must fire");
+        assert!(checkpoints.iter().all(|c| !c.sharded));
+        let report = replay_run(&workload, "assign", &trace).expect("replay");
+        assert!(report.is_clean(), "{report}");
+        let mismatches = resume_and_verify(&trace, &checkpoints[0]).expect("resume");
+        assert!(mismatches.is_empty(), "{mismatches:?}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::time::Instant;
 use structride_baselines::standard_registry;
 use structride_core::shard::{region_grid_for, ShardedSimulator};
-use structride_core::{DispatcherKind, Simulator, StructRideConfig};
+use structride_core::{DispatcherKind, FaultConfig, Simulator, StructRideConfig};
 use structride_datagen::{CityProfile, MultiRegionParams, MultiRegionWorkload};
 
 use crate::harness::ExperimentScale;
@@ -30,11 +30,18 @@ use crate::harness::ExperimentScale;
 /// the `unified_cost_delta_vs_sard` column plus the `assign` row — the
 /// exact global-assignment dispatcher over the same monolithic workload,
 /// whose delta against the SARD baseline row must stay ≤ 0 (the exact
-/// solve is never pricier than the heuristic).
+/// solve is never pricier than the heuristic); version 7 added the
+/// `faults_injected`, `solver_fallbacks`, `batches_degraded` and
+/// `service_rate_degraded` fault-telemetry columns plus the `chaos` row —
+/// the same three-city stream on three shards under the deterministic
+/// chaos fault preset ([`FaultConfig::chaos`]): periodic shard outages
+/// absorbed by handoff-bid failover and per-batch solver node budgets with
+/// incumbent fallback, making degraded-mode service visible in the
+/// trajectory.
 /// [`crate::perf::parse_bench_doc`] parses all versions, and row identity
 /// (`mode` + `shards`) is unchanged for pre-existing rows, so version-1
-/// through version-5 baselines still guard version-6 runs.
-pub const SHARDED_SCHEMA_VERSION: u32 = 6;
+/// through version-6 baselines still guard version-7 runs.
+pub const SHARDED_SCHEMA_VERSION: u32 = 7;
 
 /// One benchmark row: one pipeline configuration over the shared workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,18 +110,31 @@ pub struct ShardBenchRow {
     /// global assignment never prices above the heuristic on the tracked
     /// workload); 0 on every other row.
     pub unified_cost_delta_vs_sard: f64,
+    /// Outage windows opened by the deterministic fault injector (0 on every
+    /// row but `chaos`, whose schedule is [`FaultConfig::chaos`]).
+    pub faults_injected: u64,
+    /// Exact-solver rounds that tripped the per-batch node budget and fell
+    /// back to their seeded incumbent (0 under the inert default config).
+    pub solver_fallbacks: u64,
+    /// Batches executed in degraded mode — some shard down, its pool
+    /// rerouted through the handoff-bid auction (0 on healthy rows).
+    pub batches_degraded: u64,
+    /// Service rate over the degraded batches alone: assigned / routed while
+    /// a shard was down (0 when no batch ran degraded).  The headline of the
+    /// `chaos` row — how much service survives an outage.
+    pub service_rate_degraded: f64,
 }
 
 impl ShardBenchRow {
     /// The TSV header matching [`ShardBenchRow::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations\tcandidates_evaluated\tprescreen_pruned\tlabel_refresh_s\tepoch_rolls\tlabels_rescaled\tlabels_rebuilt\tshards_refreshed\tunified_cost_delta_vs_sard"
+        "mode\tshards\tlayout\tthreads\trequests\tserved\tservice_rate\tbatches\twall_s\tsetup_s\tsetup_reduction\tlabel_bytes\tper_batch_ms\tthroughput_rps\tunified_cost\thandoffs\tmigrations\tcandidates_evaluated\tprescreen_pruned\tlabel_refresh_s\tepoch_rolls\tlabels_rescaled\tlabels_rebuilt\tshards_refreshed\tunified_cost_delta_vs_sard\tfaults_injected\tsolver_fallbacks\tbatches_degraded\tservice_rate_degraded"
     }
 
     /// One tab-separated row.
     pub fn tsv_row(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{}\t{}\t{:.1}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.3}\t{:.1}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{}\t{}\t{:.1}\t{}\t{}\t{}\t{:.3}",
             self.mode,
             self.shards,
             self.layout,
@@ -140,6 +160,10 @@ impl ShardBenchRow {
             self.labels_rebuilt,
             self.shards_refreshed,
             self.unified_cost_delta_vs_sard,
+            self.faults_injected,
+            self.solver_fallbacks,
+            self.batches_degraded,
+            self.service_rate_degraded,
         )
     }
 
@@ -153,7 +177,9 @@ impl ShardBenchRow {
              \"candidates_evaluated\":{},\"prescreen_pruned\":{},\
              \"label_refresh_s\":{:.6},\"epoch_rolls\":{},\
              \"labels_rescaled\":{},\"labels_rebuilt\":{},\"shards_refreshed\":{},\
-             \"unified_cost_delta_vs_sard\":{:.3}}}",
+             \"unified_cost_delta_vs_sard\":{:.3},\
+             \"faults_injected\":{},\"solver_fallbacks\":{},\
+             \"batches_degraded\":{},\"service_rate_degraded\":{:.6}}}",
             self.mode,
             self.shards,
             self.layout,
@@ -179,6 +205,10 @@ impl ShardBenchRow {
             self.labels_rebuilt,
             self.shards_refreshed,
             self.unified_cost_delta_vs_sard,
+            self.faults_injected,
+            self.solver_fallbacks,
+            self.batches_degraded,
+            self.service_rate_degraded,
         )
     }
 }
@@ -213,6 +243,10 @@ struct RowStats {
     labels_rescaled: u64,
     labels_rebuilt: u64,
     shards_refreshed: u64,
+    faults_injected: u64,
+    solver_fallbacks: u64,
+    batches_degraded: u64,
+    service_rate_degraded: f64,
 }
 
 fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRow {
@@ -256,6 +290,10 @@ fn row(mode: &str, shards: usize, layout: &str, stats: RowStats) -> ShardBenchRo
         // Only the `assign` row carries a meaningful delta; it is patched in
         // after the SARD baseline cost is known.
         unified_cost_delta_vs_sard: 0.0,
+        faults_injected: stats.faults_injected,
+        solver_fallbacks: stats.solver_fallbacks,
+        batches_degraded: stats.batches_degraded,
+        service_rate_degraded: stats.service_rate_degraded,
     }
 }
 
@@ -286,8 +324,12 @@ pub fn bench_workload(scale: &ExperimentScale) -> MultiRegionWorkload {
 /// `rush_hour` row — the same stream under compressed-clock rush-hour
 /// traffic, all Tier-1 (uniform) epoch rolls — and one `incident_spike`
 /// row — a bounded congestion zone flipping on and off mid-horizon,
-/// exercising the Tier-2 scoped repair and Tier-3 shard-selective skip.
-/// Every run starts from a fresh fleet and a cold cache.
+/// exercising the Tier-2 scoped repair and Tier-3 shard-selective skip —
+/// one `assign` row — the exact global-assignment dispatcher, monolithic,
+/// carrying the `unified_cost_delta_vs_sard` invariant — and one `chaos`
+/// row — three shards under [`FaultConfig::chaos`], populating the
+/// fault-telemetry columns.  Every run starts from a fresh fleet and a
+/// cold cache.
 pub fn bench_sharded(
     scale: &ExperimentScale,
     layouts: &[(u32, u32)],
@@ -336,6 +378,10 @@ pub fn bench_sharded(
             labels_rescaled: 0,
             labels_rebuilt: 0,
             shards_refreshed: 0,
+            faults_injected: 0,
+            solver_fallbacks: mono.metrics.solver_fallbacks,
+            batches_degraded: 0,
+            service_rate_degraded: 0.0,
         },
     ));
 
@@ -390,6 +436,10 @@ pub fn bench_sharded(
                 labels_rescaled: report.labels_rescaled,
                 labels_rebuilt: report.labels_rebuilt,
                 shards_refreshed: report.shards_refreshed,
+                faults_injected: report.faults_injected,
+                solver_fallbacks: report.aggregate.solver_fallbacks,
+                batches_degraded: report.batches_degraded,
+                service_rate_degraded: report.service_rate_degraded(),
             },
         ));
     }
@@ -453,6 +503,10 @@ pub fn bench_sharded(
             labels_rescaled: report.labels_rescaled,
             labels_rebuilt: report.labels_rebuilt,
             shards_refreshed: report.shards_refreshed,
+            faults_injected: report.faults_injected,
+            solver_fallbacks: report.aggregate.solver_fallbacks,
+            batches_degraded: report.batches_degraded,
+            service_rate_degraded: report.service_rate_degraded(),
         },
     ));
 
@@ -525,10 +579,72 @@ pub fn bench_sharded(
             labels_rescaled: 0,
             labels_rebuilt: 0,
             shards_refreshed: 0,
+            faults_injected: 0,
+            solver_fallbacks: exact.metrics.solver_fallbacks,
+            batches_degraded: 0,
+            service_rate_degraded: 0.0,
         },
     );
     assign_row.unified_cost_delta_vs_sard = exact.metrics.unified_cost - rows[0].unified_cost;
     rows.push(assign_row);
+
+    // Chaos row: the same three-city stream on three shards under the
+    // deterministic chaos fault preset — periodic shard outages (the
+    // handoff-bid auction reroutes the down shard's pool to the best live
+    // shard), a per-batch node budget on the exact per-shard assignment
+    // solver (incumbent fallback on trip), and a checkpoint cadence.  The
+    // fault-telemetry columns put degraded-mode service in the trajectory:
+    // `service_rate_degraded` is the service rate over outage batches
+    // alone.  The schedule is a pure function of the config, so this row is
+    // as reproducible as every other.
+    let chaos_config = config.with_faults(FaultConfig::chaos());
+    let regions = region_grid_for(workload.network(), 1, 3);
+    let sim = ShardedSimulator::new(chaos_config);
+    let report = sim.run(
+        workload.network(),
+        &regions,
+        &workload.requests,
+        workload.fresh_vehicles(),
+        |_| {
+            registry
+                .build(DispatcherKind::Assign, &chaos_config)
+                .expect("core dispatcher registered")
+        },
+        &workload.name,
+    );
+    let setup_reduction = if report.setup_seconds > 0.0 {
+        3.0 * report.full_build_seconds / report.setup_seconds
+    } else {
+        1.0
+    };
+    rows.push(row(
+        "chaos",
+        3,
+        "1x3",
+        RowStats {
+            requests: report.aggregate.total_requests,
+            served: report.aggregate.served_requests,
+            batches: report.aggregate.batches,
+            wall_s: report.run_seconds,
+            setup_s: report.setup_seconds,
+            setup_reduction,
+            label_bytes: report.label_bytes,
+            unified_cost: report.aggregate.unified_cost,
+            handoffs: report.handoffs,
+            migrations: report.migrations,
+            candidates_evaluated: report.aggregate.insertion_evaluations,
+            prescreen_pruned: report.aggregate.prescreen_pruned,
+            label_refresh_s: report.label_refresh_seconds,
+            epoch_rolls: report.epoch_rolls,
+            labels_rescaled: report.labels_rescaled,
+            labels_rebuilt: report.labels_rebuilt,
+            shards_refreshed: report.shards_refreshed,
+            faults_injected: report.faults_injected,
+            solver_fallbacks: report.aggregate.solver_fallbacks,
+            batches_degraded: report.batches_degraded,
+            service_rate_degraded: report.service_rate_degraded(),
+        },
+    ));
     (workload.name, rows)
 }
 
@@ -583,6 +699,10 @@ fn traffic_row(
             labels_rescaled: report.labels_rescaled,
             labels_rebuilt: report.labels_rebuilt,
             shards_refreshed: report.shards_refreshed,
+            faults_injected: report.faults_injected,
+            solver_fallbacks: report.aggregate.solver_fallbacks,
+            batches_degraded: report.batches_degraded,
+            service_rate_degraded: report.service_rate_degraded(),
         },
     )
 }
@@ -618,7 +738,7 @@ mod tests {
             seed: 42,
         };
         let (name, rows) = bench_sharded(&scale, &[(1, 1), (1, 3), (2, 3)]);
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 9);
         assert_eq!(rows[0].mode, "unsharded");
         assert!(rows.iter().skip(1).take(3).all(|r| r.mode == "sharded"));
         assert_eq!(rows[1].shards, 1);
@@ -635,6 +755,9 @@ mod tests {
         assert_eq!(rows[7].mode, "assign");
         assert_eq!(rows[7].shards, 1);
         assert_eq!(rows[7].layout, "1x1");
+        assert_eq!(rows[8].mode, "chaos");
+        assert_eq!(rows[8].shards, 3);
+        assert_eq!(rows[8].layout, "1x3");
         for r in &rows {
             assert!(r.requests > 0);
             assert!(r.wall_s > 0.0);
@@ -722,7 +845,7 @@ mod tests {
                 .abs()
                 < 1e-9
         );
-        for r in rows.iter().take(7) {
+        for r in rows.iter().filter(|r| r.mode != "assign") {
             assert_eq!(
                 r.unified_cost_delta_vs_sard, 0.0,
                 "{} carries a delta",
@@ -730,27 +853,54 @@ mod tests {
             );
         }
 
+        // Fault telemetry: only the chaos row injects anything.  Its run
+        // is long enough to cross at least one outage window, and the
+        // degraded-mode service rate is a well-formed rate over the outage
+        // batches alone.
+        for r in rows.iter().filter(|r| r.mode != "chaos") {
+            assert_eq!(r.faults_injected, 0, "{} injected faults", r.mode);
+            assert_eq!(r.solver_fallbacks, 0, "{} tripped a budget", r.mode);
+            assert_eq!(r.batches_degraded, 0, "{} ran degraded", r.mode);
+            assert_eq!(r.service_rate_degraded, 0.0);
+        }
+        assert!(rows[8].faults_injected > 0, "chaos row saw no outage");
+        assert!(rows[8].batches_degraded > 0, "chaos row never degraded");
+        assert!(
+            rows[8].batches_degraded < rows[8].batches as u64,
+            "chaos row was degraded the whole run"
+        );
+        assert!(
+            (0.0..=1.0).contains(&rows[8].service_rate_degraded),
+            "degraded service rate {} out of range",
+            rows[8].service_rate_degraded
+        );
+
         let json = render_bench_json(&name, &rows);
         assert!(json.contains("\"bench\": \"sharded_dispatch\""));
-        assert!(json.contains("\"schema_version\": 6"));
+        assert!(json.contains("\"schema_version\": 7"));
         assert!(json.contains("\"mode\":\"unsharded\""));
         assert!(json.contains("\"mode\":\"sharded\""));
         assert!(json.contains("\"mode\":\"megafleet\""));
         assert!(json.contains("\"mode\":\"rush_hour\""));
         assert!(json.contains("\"mode\":\"incident_spike\""));
         assert!(json.contains("\"mode\":\"assign\""));
+        assert!(json.contains("\"mode\":\"chaos\""));
         assert!(json.contains("\"layout\":\"2x3\""));
-        assert_eq!(json.matches("\"throughput_rps\"").count(), 8);
-        assert_eq!(json.matches("\"label_bytes\"").count(), 8);
-        assert_eq!(json.matches("\"setup_reduction\"").count(), 8);
-        assert_eq!(json.matches("\"candidates_evaluated\"").count(), 8);
-        assert_eq!(json.matches("\"prescreen_pruned\"").count(), 8);
-        assert_eq!(json.matches("\"label_refresh_s\"").count(), 8);
-        assert_eq!(json.matches("\"epoch_rolls\"").count(), 8);
-        assert_eq!(json.matches("\"labels_rescaled\"").count(), 8);
-        assert_eq!(json.matches("\"labels_rebuilt\"").count(), 8);
-        assert_eq!(json.matches("\"shards_refreshed\"").count(), 8);
-        assert_eq!(json.matches("\"unified_cost_delta_vs_sard\"").count(), 8);
+        assert_eq!(json.matches("\"throughput_rps\"").count(), 9);
+        assert_eq!(json.matches("\"label_bytes\"").count(), 9);
+        assert_eq!(json.matches("\"setup_reduction\"").count(), 9);
+        assert_eq!(json.matches("\"candidates_evaluated\"").count(), 9);
+        assert_eq!(json.matches("\"prescreen_pruned\"").count(), 9);
+        assert_eq!(json.matches("\"label_refresh_s\"").count(), 9);
+        assert_eq!(json.matches("\"epoch_rolls\"").count(), 9);
+        assert_eq!(json.matches("\"labels_rescaled\"").count(), 9);
+        assert_eq!(json.matches("\"labels_rebuilt\"").count(), 9);
+        assert_eq!(json.matches("\"shards_refreshed\"").count(), 9);
+        assert_eq!(json.matches("\"unified_cost_delta_vs_sard\"").count(), 9);
+        assert_eq!(json.matches("\"faults_injected\"").count(), 9);
+        assert_eq!(json.matches("\"solver_fallbacks\"").count(), 9);
+        assert_eq!(json.matches("\"batches_degraded\"").count(), 9);
+        assert_eq!(json.matches("\"service_rate_degraded\"").count(), 9);
         // Minimal well-formedness: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

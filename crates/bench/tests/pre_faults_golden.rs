@@ -1,0 +1,89 @@
+//! Golden pre-change traces: the inert fault default moves nothing.
+//!
+//! The four traces under `tests/data/pre_faults_*.trace` were recorded
+//! immediately before the fault-injection subsystem landed (format v3 —
+//! their config lines carry no fault tokens, so parsing yields
+//! `FaultConfig::default()`).  Replaying them through today's pipeline
+//! proves the satellite guarantee end to end: with faults disabled, the
+//! static SARD, exact-assignment, traffic-aware RTV and 3-shard sharded
+//! pipelines all reproduce their pre-change decisions bit for bit, under
+//! 1 and 4 worker threads alike.  The schedule-level half of the contract
+//! (pure, worker-count-independent fault plans) is property-tested in
+//! `crates/core/tests/fault_plan_purity.rs`.
+
+use structride_bench::replay_cli::{
+    is_sharded_trace, regenerate_multi_workload, regenerate_workload, replay_run, rerun_sharded,
+    trace_dispatcher_key,
+};
+use structride_core::replay::Trace;
+use structride_core::FaultConfig;
+
+fn in_pool<R: Send>(threads: usize, op: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+        .install(op)
+}
+
+fn golden_trace(file: &str) -> Trace {
+    let path = format!("{}/tests/data/{file}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).expect("golden trace file exists");
+    let trace = Trace::parse(&text).expect("golden trace parses");
+    assert!(!trace.batches.is_empty(), "{file}: empty golden trace");
+    // The pre-fault format has no fault tokens, so the parsed config must
+    // be the inert default — that *is* the backward-compatibility contract.
+    assert_eq!(
+        trace.meta.config.faults,
+        FaultConfig::default(),
+        "{file}: pre-fault trace must parse to the inert fault default"
+    );
+    assert!(trace.meta.config.faults.is_inert());
+    trace
+}
+
+#[test]
+fn pre_fault_monolithic_traces_replay_with_zero_drift() {
+    for file in [
+        "pre_faults_sard.trace",
+        "pre_faults_assign.trace",
+        "pre_faults_rtv_rush.trace",
+    ] {
+        let trace = golden_trace(file);
+        assert!(!is_sharded_trace(&trace), "{file}: expected monolithic");
+        let key = trace_dispatcher_key(&trace)
+            .expect("golden trace records its dispatcher")
+            .to_string();
+        let workload =
+            regenerate_workload(&trace.meta).expect("golden trace records generation params");
+        for threads in [1usize, 4] {
+            let report =
+                in_pool(threads, || replay_run(&workload, &key, &trace)).expect("known dispatcher");
+            assert!(
+                report.is_clean(),
+                "{file} drifted under the inert fault default ({threads} threads):\n{report}"
+            );
+            assert_eq!(report.batches_compared, trace.batches.len());
+        }
+    }
+}
+
+#[test]
+fn pre_fault_sharded_trace_reruns_with_zero_drift() {
+    let trace = golden_trace("pre_faults_sharded_rush.trace");
+    assert!(is_sharded_trace(&trace));
+    let key = trace_dispatcher_key(&trace)
+        .expect("golden trace records its dispatcher")
+        .to_string();
+    let workload =
+        regenerate_multi_workload(&trace.meta).expect("golden trace records generation params");
+    for threads in [1usize, 4] {
+        let report =
+            in_pool(threads, || rerun_sharded(&workload, &key, &trace)).expect("known dispatcher");
+        assert!(
+            report.is_clean(),
+            "sharded golden trace drifted under the inert fault default ({threads} threads):\n{report}"
+        );
+        assert_eq!(report.batches_compared, trace.batches.len());
+    }
+}

@@ -45,7 +45,7 @@
 
 use crate::config::StructRideConfig;
 use crate::context::DispatchContext;
-use crate::dispatcher::{BatchOutcome, Dispatcher};
+use crate::dispatcher::{BatchOutcome, Dispatcher, PendingSnapshot};
 use crate::lap::{self, SolverStats};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -132,6 +132,37 @@ impl AssignDispatcher {
     }
 }
 
+/// The seeded greedy incumbent used when the per-batch solver budget trips
+/// (see [`crate::faults`]): rows in pool order each take their cheapest
+/// still-free real column when that beats their own dummy, otherwise the
+/// dummy.  Deterministic (ties break toward the lowest column index, same as
+/// the LAP kernel) and never worse than the all-dummy assignment — the
+/// anytime floor the degraded mode guarantees.
+fn greedy_incumbent(costs: &[Vec<f64>], n_cols: usize) -> Vec<usize> {
+    let mut taken = vec![false; n_cols];
+    let mut row_to_col = Vec::with_capacity(costs.len());
+    for (i, row) in costs.iter().enumerate() {
+        let mut best: Option<(f64, usize)> = None;
+        for (j, &c) in row[..n_cols].iter().enumerate() {
+            if taken[j] || !c.is_finite() {
+                continue;
+            }
+            if best.is_none_or(|(bc, _)| c < bc) {
+                best = Some((c, j));
+            }
+        }
+        let dummy = n_cols + i;
+        match best {
+            Some((c, j)) if c < row[dummy] => {
+                taken[j] = true;
+                row_to_col.push(j);
+            }
+            _ => row_to_col.push(dummy),
+        }
+    }
+    row_to_col
+}
+
 impl Dispatcher for AssignDispatcher {
     fn name(&self) -> &'static str {
         "ASSIGN"
@@ -160,6 +191,12 @@ impl Dispatcher for AssignDispatcher {
         }
 
         let cost_params = ctx.config.cost;
+        // The per-batch solver budget, injected purely from the batch clock
+        // (see `crate::faults`).  The LAP has no node counter, so its work
+        // unit is matrix cells; rounds that would blow the budget fall back
+        // to the greedy incumbent instead of the exact solve.
+        let budget = ctx.config.faults.solver_budget_at(ctx.batch_index);
+        let mut cells_spent: u64 = 0;
         loop {
             // Sequential order-recording prefilter: the pool in ascending
             // request-id order fixes both the row order and the merge order.
@@ -218,12 +255,27 @@ impl Dispatcher for AssignDispatcher {
                 .collect();
             self.peak_cells = self.peak_cells.max(n_rows * (n_cols + n_rows));
 
-            let solution = lap::solve_dense(&costs)
-                .expect("instance is feasible by construction (per-row dummy columns)");
+            let cells = (n_rows * (n_cols + n_rows)) as u64;
+            let assignment = match budget {
+                Some(limit) if cells_spent.saturating_add(cells) > limit => {
+                    // Deadline tripped: degrade to the greedy incumbent —
+                    // still a valid assignment, provably no worse than
+                    // leaving every pooled request stranded.
+                    stats.fallbacks += 1;
+                    stats.optimal = false;
+                    greedy_incumbent(&costs, n_cols)
+                }
+                _ => {
+                    cells_spent = cells_spent.saturating_add(cells);
+                    lap::solve_dense(&costs)
+                        .expect("instance is feasible by construction (per-row dummy columns)")
+                        .row_to_col
+                }
+            };
 
             let mut committed = 0usize;
             for (i, (rid, _)) in rows.iter().enumerate() {
-                let j = solution.row_to_col[i];
+                let j = assignment[i];
                 if j >= n_cols {
                     continue; // left unassigned this round
                 }
@@ -260,6 +312,33 @@ impl Dispatcher for AssignDispatcher {
     fn memory_bytes(&self) -> usize {
         self.pending.capacity() * (std::mem::size_of::<Request>() + 16)
             + self.peak_cells * std::mem::size_of::<f64>()
+    }
+
+    fn take_pending(&mut self) -> Vec<Request> {
+        let mut pool: Vec<Request> = self.pending.drain().map(|(_, r)| r).collect();
+        pool.sort_unstable_by_key(|r| r.id);
+        pool
+    }
+
+    fn restore_pending(&mut self, pool: Vec<Request>) {
+        for r in pool {
+            self.pending.insert(r.id, r);
+        }
+    }
+
+    fn checkpoint_pending(&self) -> PendingSnapshot {
+        let mut pool: Vec<Request> = self.pending.values().cloned().collect();
+        pool.sort_unstable_by_key(|r| r.id);
+        PendingSnapshot {
+            pool,
+            edges: Vec::new(),
+        }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: PendingSnapshot) {
+        for r in snapshot.pool {
+            self.pending.insert(r.id, r);
+        }
     }
 }
 
@@ -360,6 +439,66 @@ mod tests {
         assert!(solver.rounds >= 2, "pooling happens across rounds");
         assert!(vehicles[0].schedule.contains_request(1));
         assert!(vehicles[0].schedule.contains_request(2));
+    }
+
+    #[test]
+    fn tripped_solver_budget_degrades_to_the_greedy_incumbent() {
+        use crate::faults::FaultConfig;
+        let engine = line_engine(8);
+        let requests = vec![req(1, 1, 3, 200.0, 20.0), req(2, 1, 4, 200.0, 30.0)];
+        // A 1-cell budget trips on the very first round.
+        let degraded_config = StructRideConfig::default().with_faults(FaultConfig {
+            solver_node_budget: 1,
+            ..FaultConfig::default()
+        });
+        let mut degraded = AssignDispatcher::new(degraded_config);
+        let mut fleet = vec![Vehicle::new(0, 1, 1), Vehicle::new(1, 2, 1)];
+        let ctx_degraded = DispatchContext::new(&engine, degraded_config, 0.0);
+        let out = degraded.dispatch_batch(&ctx_degraded, &mut fleet, &requests);
+        let solver = out.solver.expect("telemetry");
+        assert!(solver.fallbacks >= 1, "budget must trip");
+        assert!(!solver.optimal, "a fallback solve is not proven optimal");
+        // The greedy incumbent still serves both requests here (distinct
+        // vehicles are each request's cheapest feasible column in turn) —
+        // the anytime floor, not a dropped batch.
+        assert_eq!(out.assigned, vec![1, 2]);
+        // Without a budget the same batch reports zero fallbacks and stays
+        // exact — the inert default changes nothing.
+        let mut exact = AssignDispatcher::new(StructRideConfig::default());
+        let mut fleet = vec![Vehicle::new(0, 1, 1), Vehicle::new(1, 2, 1)];
+        let out = exact.dispatch_batch(&ctx(&engine, 0.0), &mut fleet, &requests);
+        let solver = out.solver.expect("telemetry");
+        assert_eq!(solver.fallbacks, 0);
+        assert!(solver.optimal);
+    }
+
+    #[test]
+    fn degraded_dispatch_is_deterministic_across_runs() {
+        use crate::faults::FaultConfig;
+        let w = Workload::generate(WorkloadParams {
+            num_requests: 40,
+            num_vehicles: 8,
+            horizon: 180.0,
+            scale: 0.3,
+            ..WorkloadParams::small(CityProfile::NycLike)
+        });
+        let config = StructRideConfig::default().with_faults(FaultConfig {
+            solver_node_budget: 64,
+            ..FaultConfig::default()
+        });
+        let sim = Simulator::new(config);
+        let run = || {
+            let mut d = AssignDispatcher::new(config);
+            sim.run(&w.engine, &w.requests, w.fresh_vehicles(), &mut d, &w.name)
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(
+            first.metrics.unified_cost.to_bits(),
+            second.metrics.unified_cost.to_bits(),
+            "degraded mode must stay run-for-run deterministic"
+        );
+        assert_eq!(first.served, second.served);
     }
 
     #[test]

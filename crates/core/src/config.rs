@@ -1,5 +1,6 @@
 //! Configuration of the StructRide framework (the knobs of Table III).
 
+use crate::faults::FaultConfig;
 use crate::ingest::IngestConfig;
 use serde::{Deserialize, Serialize};
 use structride_model::CostParams;
@@ -34,6 +35,11 @@ pub struct StructRideConfig {
     /// every pre-traffic pipeline bit-identical; a non-static config makes
     /// the simulators roll the engine's traffic epoch from the batch clock.
     pub traffic: TrafficConfig,
+    /// The deterministic fault injector (shard outages, solver deadlines,
+    /// checkpoint cadence; see [`crate::faults`]).  The default is inert,
+    /// which keeps every pre-fault pipeline bit-identical; a non-inert
+    /// config derives the injection schedule purely from the batch clock.
+    pub faults: FaultConfig,
 }
 
 impl Default for StructRideConfig {
@@ -47,6 +53,7 @@ impl Default for StructRideConfig {
             max_candidate_vehicles: 8,
             ingest: IngestConfig::default(),
             traffic: TrafficConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -91,6 +98,12 @@ impl StructRideConfig {
         self.traffic = traffic;
         self
     }
+
+    /// Returns a copy with a different fault-injection config.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +140,17 @@ mod tests {
             ..TrafficConfig::default()
         });
         assert!(!rush.traffic.is_static());
+    }
+
+    #[test]
+    fn default_faults_are_inert() {
+        assert!(StructRideConfig::default().faults.is_inert());
+        let chaotic = StructRideConfig::default().with_faults(FaultConfig {
+            outage_every: 10,
+            outage_batches: 2,
+            ..FaultConfig::default()
+        });
+        assert!(!chaotic.faults.is_inert());
     }
 
     #[test]

@@ -50,6 +50,33 @@ impl BatchOutcome {
     }
 }
 
+/// A non-destructive snapshot of a dispatcher's carried state, taken at a
+/// batch boundary by the checkpoint codec (see [`crate::replay`]).
+///
+/// `pool` is the carried-over pending pool sorted by request id.  `edges`
+/// is the dispatcher's derived pairwise structure over that pool when it
+/// keeps one (SARD's shareability graph), as canonical `(low, high)` pairs
+/// in ascending order.  The edges ride along because they are *not* a pure
+/// function of the pool at restore time: each edge was evaluated when its
+/// later endpoint arrived, possibly under an earlier traffic epoch, so
+/// re-deriving them after a restore could flip marginal pairs and break the
+/// bit-identical-resume guarantee.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PendingSnapshot {
+    /// Carried-over requests, sorted by id.
+    pub pool: Vec<Request>,
+    /// Derived pairwise edges over `pool` (empty for dispatchers without a
+    /// pairwise structure), as ascending `(low, high)` id pairs.
+    pub edges: Vec<(RequestId, RequestId)>,
+}
+
+impl PendingSnapshot {
+    /// True when the snapshot carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty() && self.edges.is_empty()
+    }
+}
+
 /// A vehicle-request dispatcher (SARD or one of the baselines).
 pub trait Dispatcher {
     /// Human-readable algorithm name, as used in the paper's plots.
@@ -86,6 +113,57 @@ pub trait Dispatcher {
     /// quantity compared in Fig. 14.
     fn memory_bytes(&self) -> usize {
         0
+    }
+
+    /// Drains and returns the carried-over pending pool, sorted by request
+    /// id — the canonical pool snapshot used by shard-outage failover (the
+    /// dead shard's waiting requests are rerouted to live shards, see
+    /// [`crate::faults`]) and by the batch-boundary checkpoint codec
+    /// ([`crate::replay`]).  After this call [`Dispatcher::pending_requests`]
+    /// must report 0.  Dispatchers without a pool keep the default empty
+    /// drain; a dispatcher that *does* carry requests **must** override this
+    /// together with [`Dispatcher::restore_pending`], or failover and
+    /// checkpointing silently lose its held requests.
+    fn take_pending(&mut self) -> Vec<Request> {
+        Vec::new()
+    }
+
+    /// Re-seeds the pending pool from a drained/checkpointed snapshot.  The
+    /// requests must be treated exactly like requests carried over from an
+    /// earlier batch: retried on the next `dispatch_batch`, expired on their
+    /// deadlines.  The default rejects non-empty pools — a pool-less
+    /// dispatcher can never be asked to hold one.
+    fn restore_pending(&mut self, pool: Vec<Request>) {
+        assert!(
+            pool.is_empty(),
+            "{} holds no pending pool but was asked to restore {} requests",
+            self.name(),
+            pool.len()
+        );
+    }
+
+    /// Snapshots the carried state *without* disturbing it — the capture
+    /// half of the batch-boundary checkpoint codec ([`crate::replay`]).
+    /// Unlike [`Dispatcher::take_pending`] (which drains), this is a pure
+    /// read, so a run that writes checkpoints stays bit-identical to one
+    /// that does not.  Pool-carrying dispatchers **must** override this
+    /// together with [`Dispatcher::restore_snapshot`].
+    fn checkpoint_pending(&self) -> PendingSnapshot {
+        PendingSnapshot::default()
+    }
+
+    /// Reinstates a [`PendingSnapshot`] into a freshly constructed
+    /// dispatcher — the restore half of checkpoint/resume.  The contract is
+    /// bit-identity: after restoring, every later `dispatch_batch` must
+    /// decide exactly as the checkpointed dispatcher would have.  The
+    /// default rejects non-empty snapshots.
+    fn restore_snapshot(&mut self, snapshot: PendingSnapshot) {
+        assert!(
+            snapshot.is_empty(),
+            "{} holds no pending pool but was asked to restore a snapshot of {} requests",
+            self.name(),
+            snapshot.pool.len()
+        );
     }
 }
 

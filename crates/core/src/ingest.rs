@@ -138,6 +138,47 @@ pub struct IngestStats {
     pub throughput_rps: f64,
 }
 
+/// Failure of an ingested run.
+///
+/// The dispatch pipeline itself is infallible once the stream flows; what
+/// can fail is the **producer thread** replaying the arrival stream (an
+/// arrivals iterator is arbitrary caller code).  A panic there used to
+/// cascade — `join().expect(...)` re-panicked the consumer, taking the
+/// whole run (and every sibling shard) down with a double panic.  It now
+/// surfaces as a structured error the caller can report or recover from;
+/// the batches dispatched before the panic are simply abandoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The producer thread panicked while replaying the arrival stream;
+    /// carries the panic message when the payload was a string (the
+    /// `panic!("...")` / `expect` cases).
+    ProducerPanicked(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::ProducerPanicked(msg) => {
+                write!(f, "ingest producer thread panicked: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Renders a panic payload's message — the `&str` / `String` cases every
+/// `panic!`/`expect` produces; anything else gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The output of one ingested run on the monolithic pipeline.
 #[derive(Debug, Clone)]
 pub struct IngestReport {
@@ -298,9 +339,13 @@ impl IngestClock {
 }
 
 /// Sorts `samples` and returns a percentile closure over them
-/// (nearest-rank on the sorted order; `0.0` when empty).
+/// (nearest-rank on the sorted order; `0.0` when empty).  Total order, not
+/// partial: a NaN that sneaks into the samples (a pathological clock, a
+/// `0.0/0.0` somewhere upstream) sorts to the positive end instead of
+/// panicking the whole run — the low/mid percentiles stay finite and only
+/// the extreme ones surface the NaN.
 fn sorted_percentiles(mut samples: Vec<f64>) -> impl Fn(f64) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    samples.sort_by(f64::total_cmp);
     move |p: f64| -> f64 {
         if samples.is_empty() {
             0.0
@@ -417,6 +462,11 @@ impl Simulator {
     /// pre-materialised workload slice or a lazy
     /// `structride_datagen::ArrivalStream`.  See the module docs for the
     /// batching and replay semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::ProducerPanicked`] when the arrivals iterator panics
+    /// on the producer thread.
     pub fn run_ingested<I>(
         &self,
         engine: &SpEngine,
@@ -424,7 +474,7 @@ impl Simulator {
         vehicles: Vec<Vehicle>,
         dispatcher: &mut dyn Dispatcher,
         workload_name: &str,
-    ) -> IngestReport
+    ) -> Result<IngestReport, IngestError>
     where
         I: IntoIterator<Item = Request>,
         I::IntoIter: Send,
@@ -445,7 +495,7 @@ impl Simulator {
         dispatcher: &mut dyn Dispatcher,
         workload_name: &str,
         recorder: &mut TraceRecorder,
-    ) -> IngestReport
+    ) -> Result<IngestReport, IngestError>
     where
         I: IntoIterator<Item = Request>,
         I::IntoIter: Send,
@@ -468,7 +518,7 @@ impl Simulator {
         dispatcher: &mut dyn Dispatcher,
         workload_name: &str,
         mut recorder: Option<&mut TraceRecorder>,
-    ) -> IngestReport
+    ) -> Result<IngestReport, IngestError>
     where
         I: IntoIterator<Item = Request>,
         I::IntoIter: Send,
@@ -500,6 +550,7 @@ impl Simulator {
             insertion_evaluations: 0,
             groups_enumerated: 0,
             prescreen_pruned: 0,
+            solver_fallbacks: 0,
         };
 
         let arrivals = arrivals.into_iter();
@@ -522,8 +573,13 @@ impl Simulator {
                     break;
                 }
             }
-            producer.join().expect("producer thread panicked")
-        });
+            // A panicked producer drops `tx`, which ends the batcher loop
+            // above; surface the panic as a structured error instead of
+            // re-panicking the consumer.
+            producer
+                .join()
+                .map_err(|payload| IngestError::ProducerPanicked(panic_message(payload.as_ref())))
+        })?;
         let wall_seconds = start.elapsed().as_secs_f64();
 
         // The carried-over tail: the stream is over, but a dispatcher with a
@@ -573,14 +629,15 @@ impl Simulator {
             insertion_evaluations: run.insertion_evaluations,
             groups_enumerated: run.groups_enumerated,
             prescreen_pruned: run.prescreen_pruned,
+            solver_fallbacks: run.solver_fallbacks,
         };
         let ingest = collector.finish(&produced, wall_seconds);
-        IngestReport {
+        Ok(IngestReport {
             metrics,
             vehicles: run.vehicles,
             served: run.served,
             ingest,
-        }
+        })
     }
 }
 
@@ -601,6 +658,7 @@ struct IngestedRun<'a> {
     insertion_evaluations: u64,
     groups_enumerated: u64,
     prescreen_pruned: u64,
+    solver_fallbacks: u64,
 }
 
 impl IngestedRun<'_> {
@@ -642,6 +700,7 @@ impl IngestedRun<'_> {
         self.insertion_evaluations += scratch.insertion_evaluations;
         self.groups_enumerated += scratch.groups_enumerated;
         self.prescreen_pruned += scratch.prescreen_pruned;
+        self.solver_fallbacks += outcome.solver.map_or(0, |st| st.fallbacks);
         self.batches += 1;
         self.served.extend(outcome.assigned.iter().copied());
         outcome.assigned
@@ -654,6 +713,11 @@ impl ShardedSimulator {
     /// per-shard inboxes (home region or best-bid handoff, exactly as in the
     /// clock-driven mode) and every shard dispatches its sub-batch in
     /// parallel.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::ProducerPanicked`] when the arrivals iterator panics
+    /// on the producer thread.
     pub fn run_ingested<I, F>(
         &self,
         network: &RoadNetwork,
@@ -662,7 +726,7 @@ impl ShardedSimulator {
         vehicles: Vec<Vehicle>,
         make_dispatcher: F,
         workload_name: &str,
-    ) -> ShardedIngestReport
+    ) -> Result<ShardedIngestReport, IngestError>
     where
         I: IntoIterator<Item = Request>,
         I::IntoIter: Send,
@@ -693,7 +757,7 @@ impl ShardedSimulator {
         make_dispatcher: F,
         workload_name: &str,
         recorder: &mut TraceRecorder,
-    ) -> ShardedIngestReport
+    ) -> Result<ShardedIngestReport, IngestError>
     where
         I: IntoIterator<Item = Request>,
         I::IntoIter: Send,
@@ -720,7 +784,7 @@ impl ShardedSimulator {
         make_dispatcher: &dyn Fn(usize) -> ShardDispatcher,
         workload_name: &str,
         mut recorder: Option<&mut TraceRecorder>,
-    ) -> ShardedIngestReport
+    ) -> Result<ShardedIngestReport, IngestError>
     where
         I: IntoIterator<Item = Request>,
         I::IntoIter: Send,
@@ -755,8 +819,12 @@ impl ShardedSimulator {
                     break;
                 }
             }
-            producer.join().expect("producer thread panicked")
-        });
+            // As in the monolithic pipeline: a producer panic becomes a
+            // structured error, not a cascading one.
+            producer
+                .join()
+                .map_err(|payload| IngestError::ProducerPanicked(panic_message(payload.as_ref())))
+        })?;
         let wall_seconds = start.elapsed().as_secs_f64();
 
         // Carried-over tail at the Δ cadence, as in the monolithic mode.
@@ -774,7 +842,7 @@ impl ShardedSimulator {
 
         let report = run.finish(workload_name, horizon_end);
         let ingest = collector.finish(&produced, wall_seconds);
-        ShardedIngestReport { report, ingest }
+        Ok(ShardedIngestReport { report, ingest })
     }
 }
 
@@ -909,6 +977,21 @@ mod tests {
         );
         assert_eq!(stats.e2e_latency_p50_ms, 10000.0);
         assert_eq!(stats.e2e_latency_p99_ms, 20000.0);
+    }
+
+    #[test]
+    fn percentiles_tolerate_nan_samples() {
+        // Regression: the percentile sort used `partial_cmp(..).expect(..)`
+        // and panicked the whole run on a single NaN sample.  total_cmp
+        // sorts NaN to the positive end instead: the low/mid percentiles
+        // stay finite and only the extreme ones surface the NaN.
+        let p = sorted_percentiles(vec![4.0, f64::NAN, 1.0, 2.0, 3.0]);
+        assert_eq!(p(0.0), 1.0);
+        assert_eq!(p(0.5), 3.0);
+        assert!(p(1.0).is_nan());
+        // All-NaN input still answers (with NaN) rather than panicking.
+        let p = sorted_percentiles(vec![f64::NAN]);
+        assert!(p(0.5).is_nan());
     }
 
     #[test]

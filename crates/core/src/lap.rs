@@ -63,6 +63,12 @@ pub struct SolverStats {
     /// branch-and-bound node budget clears this; the LAP alone always
     /// proves optimality).
     pub optimal: bool,
+    /// Degraded-mode solves within the batch: how many times a tripped
+    /// per-batch solver budget (see [`crate::faults`]) made the dispatcher
+    /// fall back to its seeded incumbent instead of the exact solution.
+    /// `0` whenever no budget was injected or every solve finished inside
+    /// it.
+    pub fallbacks: u64,
 }
 
 /// A minimum-cost row→column assignment found by [`solve_dense`].

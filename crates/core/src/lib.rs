@@ -16,6 +16,11 @@
 //! * [`dispatcher`] — the [`Dispatcher`](dispatcher::Dispatcher) trait that the
 //!   SARD algorithm and every baseline implement, so the batched simulator can
 //!   drive any of them interchangeably;
+//! * [`faults`] — deterministic fault injection: a pure, seeded
+//!   [`FaultPlan`](faults::FaultPlan) derived from `(FaultConfig, batch
+//!   clock)` alone (the traffic-epoch purity contract) scheduling shard
+//!   outages, solver deadline budgets and checkpoint boundaries, each with
+//!   a graceful-degradation path;
 //! * [`grouping`] — Algorithm 2, the modified additive tree that enumerates
 //!   feasible request groups per vehicle while keeping a single schedule per
 //!   node (ordered by shareability);
@@ -54,6 +59,7 @@ pub mod assign;
 pub mod config;
 pub mod context;
 pub mod dispatcher;
+pub mod faults;
 pub mod fleet_index;
 pub mod grouping;
 pub mod ingest;
@@ -69,17 +75,21 @@ pub mod simulator;
 pub use assign::AssignDispatcher;
 pub use config::StructRideConfig;
 pub use context::{BatchScratch, DispatchContext, ScratchStats};
-pub use dispatcher::{BatchOutcome, Dispatcher};
+pub use dispatcher::{BatchOutcome, Dispatcher, PendingSnapshot};
+pub use faults::{FaultConfig, FaultPlan};
 pub use fleet_index::{FleetIndex, REACH_GRACE};
 pub use grouping::{enumerate_groups, CandidateGroup};
-pub use ingest::{AdaptiveBatcher, IngestConfig, IngestReport, IngestStats, ShardedIngestReport};
+pub use ingest::{
+    AdaptiveBatcher, IngestConfig, IngestError, IngestReport, IngestStats, ShardedIngestReport,
+};
 pub use lap::{GroupCandidate, GroupChoice, LapSolution, SolverStats, FORBIDDEN};
 pub use metrics::RunMetrics;
 pub use ordering::{InsertionOrdering, OrderingStudy};
 pub use registry::{DispatcherBuilder, DispatcherKind};
 pub use replay::{
-    diff_traces, replay_trace, BatchDivergence, BatchRecord, DriftReport, FieldDelta, Trace,
-    TraceMeta, TraceParseError, TraceRecorder, VehicleState,
+    diff_traces, replay_trace, BatchDivergence, BatchRecord, Checkpoint, CheckpointCounters,
+    DriftReport, FieldDelta, ShardCheckpoint, Trace, TraceMeta, TraceParseError, TraceRecorder,
+    VehicleState,
 };
 pub use sard::SardDispatcher;
 pub use shard::{

@@ -42,6 +42,10 @@ pub struct RunMetrics {
     /// `(request, vehicle)` pairs pruned by the certified candidate
     /// prescreen before any exact insertion was attempted (same caveat).
     pub prescreen_pruned: u64,
+    /// Degraded-mode solves: batches where an injected solver deadline
+    /// (see [`crate::faults`]) made an exact dispatcher fall back to its
+    /// seeded incumbent.  Always 0 under the inert default fault config.
+    pub solver_fallbacks: u64,
 }
 
 impl RunMetrics {
@@ -104,6 +108,7 @@ impl RunMetrics {
             insertion_evaluations: self.insertion_evaluations + other.insertion_evaluations,
             groups_enumerated: self.groups_enumerated + other.groups_enumerated,
             prescreen_pruned: self.prescreen_pruned + other.prescreen_pruned,
+            solver_fallbacks: self.solver_fallbacks + other.solver_fallbacks,
         }
     }
 
@@ -160,6 +165,7 @@ mod tests {
             insertion_evaluations: 900,
             groups_enumerated: 321,
             prescreen_pruned: 4_100,
+            solver_fallbacks: 7,
         }
     }
 
@@ -207,6 +213,7 @@ mod tests {
             insertion_evaluations: 1_500,
             groups_enumerated: 600,
             prescreen_pruned: 9_000,
+            solver_fallbacks: 60,
         };
         // Three disjoint parts of the same run (batch-synchronous shards:
         // every part saw all 50 batches).
@@ -222,6 +229,7 @@ mod tests {
                 500,
                 100,
                 3_000,
+                10,
             ),
             (
                 120,
@@ -234,6 +242,7 @@ mod tests {
                 700,
                 350,
                 4_000,
+                45,
             ),
             (
                 80,
@@ -246,10 +255,11 @@ mod tests {
                 300,
                 150,
                 2_000,
+                5,
             ),
         ]
         .map(
-            |(req, srv, travel, unserved, rt, sp, mem, ins, grp, pre)| RunMetrics {
+            |(req, srv, travel, unserved, rt, sp, mem, ins, grp, pre, fb)| RunMetrics {
                 algorithm: "SARD".into(),
                 workload: "multi".into(),
                 total_requests: req,
@@ -264,6 +274,7 @@ mod tests {
                 insertion_evaluations: ins,
                 groups_enumerated: grp,
                 prescreen_pruned: pre,
+                solver_fallbacks: fb,
             },
         );
         let merged = RunMetrics::merge_all(&parts, &params).expect("non-empty parts");
@@ -323,6 +334,7 @@ mod tests {
             insertion_evaluations: 0,
             groups_enumerated: 0,
             prescreen_pruned: 0,
+            solver_fallbacks: 0,
         };
         let merged = a.merge(&empty, &params);
         assert_eq!(merged, a);
@@ -355,6 +367,7 @@ mod tests {
         assert_eq!(doubled.insertion_evaluations, 2 * a.insertion_evaluations);
         assert_eq!(doubled.groups_enumerated, 2 * a.groups_enumerated);
         assert_eq!(doubled.prescreen_pruned, 2 * a.prescreen_pruned);
+        assert_eq!(doubled.solver_fallbacks, 2 * a.solver_fallbacks);
         assert_eq!(doubled.batches, a.batches, "batches is a max, not a sum");
         assert_eq!(
             doubled.unified_cost,
@@ -388,6 +401,7 @@ mod tests {
             insertion_evaluations: 13,
             groups_enumerated: 2,
             prescreen_pruned: 41,
+            solver_fallbacks: 3,
         };
         let ab = a.merge(&b, &params);
         let ba = b.merge(&a, &params);
@@ -404,7 +418,7 @@ mod tests {
                 m.batches,
                 m.insertion_evaluations,
                 m.groups_enumerated,
-                m.prescreen_pruned,
+                (m.prescreen_pruned, m.solver_fallbacks),
             )
         };
         assert_eq!(numeric(&ab), numeric(&ba));

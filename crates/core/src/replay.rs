@@ -33,7 +33,7 @@
 
 use crate::config::StructRideConfig;
 use crate::context::{DispatchContext, ScratchStats};
-use crate::dispatcher::{BatchOutcome, Dispatcher};
+use crate::dispatcher::{BatchOutcome, Dispatcher, PendingSnapshot};
 use std::fmt;
 use std::str::FromStr;
 use structride_model::{Request, RequestId, Schedule, Vehicle, Waypoint, WaypointKind};
@@ -50,14 +50,21 @@ const TRACE_HEADER_V1: &str = "structride-trace v1";
 /// the `prescreen_pruned` scratch counter.
 const TRACE_HEADER_V2: &str = "structride-trace v2";
 
-/// Magic first line of the current (v3) trace text format, whose config line
+/// Magic first line of the v3 trace text format, whose config line
 /// additionally records the traffic model (profile, epoch granularity,
 /// congestion zones).  v1/v2 traces parse with the static
 /// [`TrafficConfig::default`] and replay bit-identically.
 const TRACE_HEADER_V3: &str = "structride-trace v3";
 
+/// Magic first line of the current (v4) trace text format, whose config line
+/// additionally records the fault-injection model (outage cadence, solver
+/// budget, checkpoint cadence).  v1/v2/v3 traces parse with the inert
+/// [`FaultConfig::default`](crate::faults::FaultConfig) and replay
+/// bit-identically.
+const TRACE_HEADER_V4: &str = "structride-trace v4";
+
 /// The trace format version new recordings are written at.
-const TRACE_VERSION: u32 = 3;
+const TRACE_VERSION: u32 = 4;
 
 /// A plain-data snapshot of one [`Vehicle`], captured before and after each
 /// dispatch call.
@@ -756,12 +763,61 @@ fn vehicle_to_line(v: &VehicleState) -> String {
     )
 }
 
+/// Serializes a [`StructRideConfig`] to the `config ` line body shared by the
+/// trace and checkpoint text formats.  `version` gates the trailing token
+/// groups: the four traffic tokens exist only at v3+ and the five fault
+/// tokens only at v4+, so re-serializing a parsed older trace stays
+/// byte-identical to its original text.  Checkpoints always serialize at the
+/// current version (all tokens).
+fn config_to_tokens(c: &StructRideConfig, version: u32) -> String {
+    let mut out = format!(
+        "batch_period={} alpha={} penalty={} shareability_capacity={} \
+         angle_enabled={} angle_threshold={} grid_cells={} max_candidate_vehicles={} \
+         ingest_max_batch={} ingest_deadline={} ingest_queue={} ingest_time_scale={}",
+        c.batch_period,
+        c.cost.alpha,
+        c.cost.penalty_coefficient,
+        c.shareability_capacity,
+        c.angle.enabled,
+        c.angle.threshold,
+        c.grid_cells,
+        c.max_candidate_vehicles,
+        c.ingest.max_batch_size,
+        c.ingest.batch_deadline,
+        c.ingest.queue_capacity,
+        c.ingest.time_scale
+    );
+    if version >= 3 {
+        out.push_str(&format!(
+            " traffic_profile={} traffic_epoch_s={} traffic_hour_s={} traffic_zones={}",
+            traffic_profile_token(&c.traffic.profile),
+            c.traffic.epoch_seconds,
+            c.traffic.hour_scale,
+            traffic_zones_token(&c.traffic)
+        ));
+    }
+    if version >= 4 {
+        out.push_str(&format!(
+            " faults_seed={} faults_outage_every={} faults_outage_batches={} \
+             faults_solver_budget={} faults_checkpoint_every={}",
+            c.faults.seed,
+            c.faults.outage_every,
+            c.faults.outage_batches,
+            c.faults.solver_node_budget,
+            c.faults.checkpoint_every
+        ));
+    }
+    out
+}
+
 impl Trace {
     /// Serializes the trace to its versioned text form.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         let m = &self.meta;
-        out.push_str(if m.version >= 3 {
+        out.push_str(if m.version >= 4 {
+            TRACE_HEADER_V4
+        } else if m.version >= 3 {
             TRACE_HEADER_V3
         } else if m.version >= 2 {
             TRACE_HEADER_V2
@@ -771,36 +827,10 @@ impl Trace {
         out.push('\n');
         out.push_str(&format!("algorithm {}\n", m.algorithm));
         out.push_str(&format!("workload {}\n", m.workload));
-        let c = &m.config;
         out.push_str(&format!(
-            "config batch_period={} alpha={} penalty={} shareability_capacity={} \
-             angle_enabled={} angle_threshold={} grid_cells={} max_candidate_vehicles={} \
-             ingest_max_batch={} ingest_deadline={} ingest_queue={} ingest_time_scale={}",
-            c.batch_period,
-            c.cost.alpha,
-            c.cost.penalty_coefficient,
-            c.shareability_capacity,
-            c.angle.enabled,
-            c.angle.threshold,
-            c.grid_cells,
-            c.max_candidate_vehicles,
-            c.ingest.max_batch_size,
-            c.ingest.batch_deadline,
-            c.ingest.queue_capacity,
-            c.ingest.time_scale
+            "config {}\n",
+            config_to_tokens(&m.config, m.version)
         ));
-        // The four traffic tokens exist only at v3+, so re-serializing a
-        // parsed v1/v2 trace stays byte-identical to its original text.
-        if m.version >= 3 {
-            out.push_str(&format!(
-                " traffic_profile={} traffic_epoch_s={} traffic_hour_s={} traffic_zones={}",
-                traffic_profile_token(&c.traffic.profile),
-                c.traffic.epoch_seconds,
-                c.traffic.hour_scale,
-                traffic_zones_token(&c.traffic)
-            ));
-        }
-        out.push('\n');
         for (k, v) in &m.params {
             out.push_str(&format!("param {k} {v}\n"));
         }
@@ -876,6 +906,224 @@ impl Trace {
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Trace> {
         let text = std::fs::read_to_string(path)?;
         Trace::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Magic first line of the checkpoint text format (see [`Checkpoint`]).
+const CHECKPOINT_HEADER_V1: &str = "structride-checkpoint v1";
+
+/// Run-level counters carried across a checkpoint boundary.  Monolithic runs
+/// leave the sharded-only fields (handoffs, migrations, epoch/label rolls,
+/// fault telemetry) at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointCounters {
+    /// Requests routed to a non-home shard by the handoff auction.
+    pub handoffs: u64,
+    /// Bids evaluated by the handoff auction.
+    pub handoff_bids: u64,
+    /// Idle vehicles migrated between shards by rebalancing.
+    pub migrations: u64,
+    /// Traffic-epoch boundaries crossed.
+    pub epoch_rolls: u64,
+    /// Epoch rolls served by the uniform-rescale tier.
+    pub labels_rescaled: u64,
+    /// Epoch rolls that rebuilt or repaired label state.
+    pub labels_rebuilt: u64,
+    /// Shard outages injected by the fault plan.
+    pub faults_injected: u64,
+    /// Batches stepped with a shard down.
+    pub batches_degraded: u64,
+    /// Requests offered while degraded (orphans + batch arrivals).
+    pub degraded_offered: u64,
+    /// Requests assigned while degraded.
+    pub degraded_served: u64,
+}
+
+/// One shard's slice of a [`Checkpoint`] — or the entire state of a
+/// monolithic run (which checkpoints as a single shard with empty `routed`
+/// and `served` ledgers, since the monolithic simulator accounts globally).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Accumulated insertion-evaluation scratch counter.
+    pub insertion_evaluations: u64,
+    /// Accumulated group-enumeration scratch counter.
+    pub groups_enumerated: u64,
+    /// Accumulated certified-prescreen prune counter.
+    pub prescreen_pruned: u64,
+    /// Accumulated degraded exact solves
+    /// ([`SolverStats::fallbacks`](crate::lap::SolverStats)).
+    pub solver_fallbacks: u64,
+    /// Every request ever routed to this shard with its direct cost (the
+    /// per-shard unserved-penalty ledger), in routing order.
+    pub routed: Vec<(RequestId, f64)>,
+    /// Requests this shard served, sorted by id.
+    pub served: Vec<RequestId>,
+    /// The shard's fleet in slot order (slot order is load-bearing: the
+    /// fleet index is keyed by slot, and migrations reorder slots).
+    pub fleet: Vec<VehicleState>,
+    /// The shard dispatcher's carried pool and derived edges.
+    pub pending: PendingSnapshot,
+}
+
+/// A full simulation snapshot at a batch boundary, written by
+/// [`Simulator::run_with_checkpoints`](crate::Simulator::run_with_checkpoints)
+/// /
+/// [`ShardedSimulator::run_with_checkpoints`](crate::ShardedSimulator::run_with_checkpoints)
+/// whenever the fault plan's checkpoint cadence fires (see
+/// [`FaultConfig::checkpoint_every`](crate::faults::FaultConfig)), and
+/// consumed by the matching `resume` entry points.
+///
+/// The contract is **bit-identical resume**: a run restored from a
+/// checkpoint must finish with exactly the decisions, served sets and
+/// deterministic metrics of the uninterrupted run.  To that end the
+/// checkpoint serializes every piece of decision-bearing state — clock,
+/// stream cursor, fleets (floats in Rust's shortest round-trip form),
+/// dispatcher pools *and* their derived shareability edges (edges are
+/// epoch-dependent at evaluation time, so they must not be re-derived) —
+/// while wall-clock diagnostics (dispatch seconds, shortest-path query
+/// counts, memory estimates) are deliberately left out, exactly as replay
+/// comparisons exclude them.
+///
+/// The *future* request stream is **not** serialized: resume requires the
+/// caller to supply the same request slice as the original run (workloads
+/// are deterministic generators), and `next_request` indexes into its
+/// release-sorted order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Dispatcher name (`RunMetrics::algorithm`).
+    pub algorithm: String,
+    /// Workload name the run was started with.
+    pub workload: String,
+    /// The framework configuration (includes the fault plan, so the resumed
+    /// run re-derives the identical outage/budget/checkpoint schedule).
+    pub config: StructRideConfig,
+    /// Whether this snapshot came from the sharded driver.
+    pub sharded: bool,
+    /// Simulation clock at capture (the end of the last stepped batch).
+    pub now: f64,
+    /// Batches stepped so far == the index of the next batch to dispatch.
+    pub batches: usize,
+    /// Requests of the release-sorted stream already offered.
+    pub next_request: usize,
+    /// Globally served request ids, sorted.
+    pub served: Vec<RequestId>,
+    /// Run-level counters.
+    pub counters: CheckpointCounters,
+    /// Per-shard state (exactly one entry for monolithic runs).
+    pub shards: Vec<ShardCheckpoint>,
+}
+
+fn routed_to_token(routed: &[(RequestId, f64)]) -> String {
+    routed
+        .iter()
+        .map(|(id, cost)| format!("{id}:{cost}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn edges_to_token(edges: &[(RequestId, RequestId)]) -> String {
+    edges
+        .iter()
+        .map(|(a, b)| format!("{a}-{b}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn request_to_line(r: &Request) -> String {
+    format!(
+        "request {} {} {} {} {} {} {} {}",
+        r.id,
+        r.source,
+        r.destination,
+        r.riders,
+        r.release,
+        r.deadline,
+        r.pickup_deadline,
+        r.shortest_cost
+    )
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to its line-oriented text form (floats in
+    /// Rust's shortest round-trip representation, like traces).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CHECKPOINT_HEADER_V1);
+        out.push('\n');
+        out.push_str(&format!("algorithm {}\n", self.algorithm));
+        out.push_str(&format!("workload {}\n", self.workload));
+        out.push_str(&format!(
+            "config {}\n",
+            config_to_tokens(&self.config, TRACE_VERSION)
+        ));
+        out.push_str(&format!(
+            "mode {}\n",
+            if self.sharded { "sharded" } else { "mono" }
+        ));
+        out.push_str(&format!(
+            "clock now={} batches={} next_request={}\n",
+            self.now, self.batches, self.next_request
+        ));
+        out.push_str(&format!("served {}\n", ids_to_token(&self.served)));
+        let c = &self.counters;
+        out.push_str(&format!(
+            "counters handoffs={} handoff_bids={} migrations={} epoch_rolls={} \
+             labels_rescaled={} labels_rebuilt={} faults_injected={} batches_degraded={} \
+             degraded_offered={} degraded_served={}\n",
+            c.handoffs,
+            c.handoff_bids,
+            c.migrations,
+            c.epoch_rolls,
+            c.labels_rescaled,
+            c.labels_rebuilt,
+            c.faults_injected,
+            c.batches_degraded,
+            c.degraded_offered,
+            c.degraded_served
+        ));
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!("shard {i}\n"));
+            out.push_str(&format!(
+                "scratch insertion_evaluations={} groups_enumerated={} prescreen_pruned={} \
+                 solver_fallbacks={}\n",
+                s.insertion_evaluations,
+                s.groups_enumerated,
+                s.prescreen_pruned,
+                s.solver_fallbacks
+            ));
+            out.push_str(&format!("routed {}\n", routed_to_token(&s.routed)));
+            out.push_str(&format!("served {}\n", ids_to_token(&s.served)));
+            out.push_str("fleet\n");
+            for v in &s.fleet {
+                out.push_str(&vehicle_to_line(v));
+                out.push('\n');
+            }
+            out.push_str("pool\n");
+            for r in &s.pending.pool {
+                out.push_str(&request_to_line(r));
+                out.push('\n');
+            }
+            out.push_str(&format!("edges {}\n", edges_to_token(&s.pending.edges)));
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Parses a checkpoint from its text form.
+    pub fn parse(text: &str) -> Result<Checkpoint, TraceParseError> {
+        Parser::new(text).parse_checkpoint()
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a checkpoint from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Checkpoint> {
+        let text = std::fs::read_to_string(path)?;
+        Checkpoint::parse(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 }
@@ -1074,12 +1322,92 @@ impl<'a> Parser<'a> {
         Ok(fleet)
     }
 
+    /// Parses a `request ` line body (8 space-separated fields) — shared by
+    /// the trace batches and the checkpoint pool sections.
+    fn parse_request(&self, rest: &str) -> Result<Request, TraceParseError> {
+        let tokens: Vec<&str> = rest.split(' ').collect();
+        if tokens.len() != 8 {
+            return Err(self.err("request line needs 8 fields"));
+        }
+        Ok(Request::new(
+            self.parse_scalar(tokens[0], "request id")?,
+            self.parse_scalar(tokens[1], "request source")?,
+            self.parse_scalar(tokens[2], "request destination")?,
+            self.parse_scalar(tokens[3], "request riders")?,
+            self.parse_scalar(tokens[4], "request release")?,
+            self.parse_scalar(tokens[5], "request deadline")?,
+            self.parse_scalar(tokens[6], "request pickup_deadline")?,
+            self.parse_scalar(tokens[7], "request shortest_cost")?,
+        ))
+    }
+
+    /// Parses a `config ` line body — shared by the trace and checkpoint
+    /// formats.  8 fields is the pre-ingest (v1 without ingest knobs) shape,
+    /// 12 the pre-traffic (v2) shape, 16 the pre-fault (v3) shape; older
+    /// shapes parse with the default (static) traffic model, default ingest
+    /// knobs and the inert fault config.
+    fn parse_config(&self, rest: &str) -> Result<StructRideConfig, TraceParseError> {
+        let tokens: Vec<&str> = rest.split(' ').collect();
+        if tokens.len() != 8 && tokens.len() != 12 && tokens.len() != 16 && tokens.len() != 21 {
+            return Err(self.err("config line needs 8, 12, 16 or 21 fields"));
+        }
+        let ingest = if tokens.len() >= 12 {
+            crate::ingest::IngestConfig {
+                max_batch_size: self.parse_kv(tokens[8], "ingest_max_batch")?,
+                batch_deadline: self.parse_kv(tokens[9], "ingest_deadline")?,
+                queue_capacity: self.parse_kv(tokens[10], "ingest_queue")?,
+                time_scale: self.parse_kv(tokens[11], "ingest_time_scale")?,
+            }
+        } else {
+            crate::ingest::IngestConfig::default()
+        };
+        let traffic = if tokens.len() >= 16 {
+            TrafficConfig {
+                profile: self.parse_traffic_profile(tokens[12])?,
+                epoch_seconds: self.parse_kv(tokens[13], "traffic_epoch_s")?,
+                hour_scale: self.parse_kv(tokens[14], "traffic_hour_s")?,
+                zones: self.parse_traffic_zones(tokens[15])?,
+            }
+        } else {
+            TrafficConfig::default()
+        };
+        let faults = if tokens.len() >= 21 {
+            crate::faults::FaultConfig {
+                seed: self.parse_kv(tokens[16], "faults_seed")?,
+                outage_every: self.parse_kv(tokens[17], "faults_outage_every")?,
+                outage_batches: self.parse_kv(tokens[18], "faults_outage_batches")?,
+                solver_node_budget: self.parse_kv(tokens[19], "faults_solver_budget")?,
+                checkpoint_every: self.parse_kv(tokens[20], "faults_checkpoint_every")?,
+            }
+        } else {
+            crate::faults::FaultConfig::default()
+        };
+        Ok(StructRideConfig {
+            batch_period: self.parse_kv(tokens[0], "batch_period")?,
+            cost: structride_model::CostParams {
+                alpha: self.parse_kv(tokens[1], "alpha")?,
+                penalty_coefficient: self.parse_kv(tokens[2], "penalty")?,
+            },
+            shareability_capacity: self.parse_kv(tokens[3], "shareability_capacity")?,
+            angle: structride_sharegraph::AnglePruning {
+                enabled: self.parse_kv(tokens[4], "angle_enabled")?,
+                threshold: self.parse_kv(tokens[5], "angle_threshold")?,
+            },
+            grid_cells: self.parse_kv(tokens[6], "grid_cells")?,
+            max_candidate_vehicles: self.parse_kv(tokens[7], "max_candidate_vehicles")?,
+            ingest,
+            traffic,
+            faults,
+        })
+    }
+
     fn parse(mut self) -> Result<Trace, TraceParseError> {
         let header = self.next_line().ok_or_else(|| self.err("empty trace"))?;
         let version = match header {
             TRACE_HEADER_V1 => 1,
             TRACE_HEADER_V2 => 2,
             TRACE_HEADER_V3 => 3,
+            TRACE_HEADER_V4 => 4,
             _ => return Err(self.err(format!("unsupported trace header {header:?}"))),
         };
         let mut meta = TraceMeta {
@@ -1097,49 +1425,7 @@ impl<'a> Parser<'a> {
             } else if let Some(rest) = line.strip_prefix("workload ") {
                 meta.workload = rest.to_string();
             } else if let Some(rest) = line.strip_prefix("config ") {
-                let tokens: Vec<&str> = rest.split(' ').collect();
-                // 8 fields is the pre-ingest (v1 without ingest knobs) shape,
-                // 12 the pre-traffic (v2) shape; older traces parse with the
-                // default (static) traffic model and default ingest knobs.
-                if tokens.len() != 8 && tokens.len() != 12 && tokens.len() != 16 {
-                    return Err(self.err("config line needs 8, 12 or 16 fields"));
-                }
-                let ingest = if tokens.len() >= 12 {
-                    crate::ingest::IngestConfig {
-                        max_batch_size: self.parse_kv(tokens[8], "ingest_max_batch")?,
-                        batch_deadline: self.parse_kv(tokens[9], "ingest_deadline")?,
-                        queue_capacity: self.parse_kv(tokens[10], "ingest_queue")?,
-                        time_scale: self.parse_kv(tokens[11], "ingest_time_scale")?,
-                    }
-                } else {
-                    crate::ingest::IngestConfig::default()
-                };
-                let traffic = if tokens.len() >= 16 {
-                    TrafficConfig {
-                        profile: self.parse_traffic_profile(tokens[12])?,
-                        epoch_seconds: self.parse_kv(tokens[13], "traffic_epoch_s")?,
-                        hour_scale: self.parse_kv(tokens[14], "traffic_hour_s")?,
-                        zones: self.parse_traffic_zones(tokens[15])?,
-                    }
-                } else {
-                    TrafficConfig::default()
-                };
-                meta.config = StructRideConfig {
-                    batch_period: self.parse_kv(tokens[0], "batch_period")?,
-                    cost: structride_model::CostParams {
-                        alpha: self.parse_kv(tokens[1], "alpha")?,
-                        penalty_coefficient: self.parse_kv(tokens[2], "penalty")?,
-                    },
-                    shareability_capacity: self.parse_kv(tokens[3], "shareability_capacity")?,
-                    angle: structride_sharegraph::AnglePruning {
-                        enabled: self.parse_kv(tokens[4], "angle_enabled")?,
-                        threshold: self.parse_kv(tokens[5], "angle_threshold")?,
-                    },
-                    grid_cells: self.parse_kv(tokens[6], "grid_cells")?,
-                    max_candidate_vehicles: self.parse_kv(tokens[7], "max_candidate_vehicles")?,
-                    ingest,
-                    traffic,
-                };
+                meta.config = self.parse_config(rest)?;
             } else if let Some(rest) = line.strip_prefix("param ") {
                 let (key, value) = rest
                     .split_once(' ')
@@ -1191,20 +1477,7 @@ impl<'a> Parser<'a> {
                     break;
                 }
                 let line = self.next_line().expect("peeked line exists");
-                let tokens: Vec<&str> = line["request ".len()..].split(' ').collect();
-                if tokens.len() != 8 {
-                    return Err(self.err("request line needs 8 fields"));
-                }
-                requests.push(Request::new(
-                    self.parse_scalar(tokens[0], "request id")?,
-                    self.parse_scalar(tokens[1], "request source")?,
-                    self.parse_scalar(tokens[2], "request destination")?,
-                    self.parse_scalar(tokens[3], "request riders")?,
-                    self.parse_scalar(tokens[4], "request release")?,
-                    self.parse_scalar(tokens[5], "request deadline")?,
-                    self.parse_scalar(tokens[6], "request pickup_deadline")?,
-                    self.parse_scalar(tokens[7], "request shortest_cost")?,
-                ));
+                requests.push(self.parse_request(&line["request ".len()..])?);
             }
 
             let fleet_before = self.parse_fleet("fleet before")?;
@@ -1256,6 +1529,190 @@ impl<'a> Parser<'a> {
         }
 
         Ok(Trace { meta, batches })
+    }
+
+    /// Consumes the next line, requiring prefix `what ` and returning the
+    /// remainder; a bare `what` line (no payload) returns the empty string.
+    fn expect_line(&mut self, what: &str) -> Result<&'a str, TraceParseError> {
+        let line = self
+            .next_line()
+            .ok_or_else(|| self.err(format!("missing {what} line")))?;
+        if line == what {
+            return Ok("");
+        }
+        line.strip_prefix(what)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .ok_or_else(|| self.err(format!("expected a {what} line, got {line:?}")))
+    }
+
+    fn parse_routed(&self, token: &str) -> Result<Vec<(RequestId, f64)>, TraceParseError> {
+        if token.is_empty() {
+            return Ok(Vec::new());
+        }
+        token
+            .split(';')
+            .map(|t| {
+                let (id, cost) = t
+                    .split_once(':')
+                    .ok_or_else(|| self.err("routed entry needs id:cost"))?;
+                Ok((
+                    self.parse_scalar(id, "routed id")?,
+                    self.parse_scalar(cost, "routed cost")?,
+                ))
+            })
+            .collect()
+    }
+
+    fn parse_edges(&self, token: &str) -> Result<Vec<(RequestId, RequestId)>, TraceParseError> {
+        if token.is_empty() {
+            return Ok(Vec::new());
+        }
+        token
+            .split(';')
+            .map(|t| {
+                let (a, b) = t
+                    .split_once('-')
+                    .ok_or_else(|| self.err("edge entry needs a-b"))?;
+                Ok((
+                    self.parse_scalar(a, "edge endpoint")?,
+                    self.parse_scalar(b, "edge endpoint")?,
+                ))
+            })
+            .collect()
+    }
+
+    fn parse_checkpoint(mut self) -> Result<Checkpoint, TraceParseError> {
+        let header = self
+            .next_line()
+            .ok_or_else(|| self.err("empty checkpoint"))?;
+        if header != CHECKPOINT_HEADER_V1 {
+            return Err(self.err(format!("unsupported checkpoint header {header:?}")));
+        }
+        let algorithm = self.expect_line("algorithm")?.to_string();
+        let workload = self.expect_line("workload")?.to_string();
+        let config_rest = self.expect_line("config")?;
+        let config = self.parse_config(config_rest)?;
+        let sharded = match self.expect_line("mode")? {
+            "sharded" => true,
+            "mono" => false,
+            other => return Err(self.err(format!("unknown checkpoint mode {other:?}"))),
+        };
+        let clock: Vec<&str> = self.expect_line("clock")?.split(' ').collect();
+        if clock.len() != 3 {
+            return Err(self.err("clock line needs 3 fields"));
+        }
+        let now: f64 = self.parse_kv(clock[0], "now")?;
+        let batches: usize = self.parse_kv(clock[1], "batches")?;
+        let next_request: usize = self.parse_kv(clock[2], "next_request")?;
+        let served_tok = self.expect_line("served")?;
+        let served = self.parse_ids(served_tok)?;
+        let counters: Vec<&str> = self.expect_line("counters")?.split(' ').collect();
+        if counters.len() != 10 {
+            return Err(self.err("counters line needs 10 fields"));
+        }
+        let counters = CheckpointCounters {
+            handoffs: self.parse_kv(counters[0], "handoffs")?,
+            handoff_bids: self.parse_kv(counters[1], "handoff_bids")?,
+            migrations: self.parse_kv(counters[2], "migrations")?,
+            epoch_rolls: self.parse_kv(counters[3], "epoch_rolls")?,
+            labels_rescaled: self.parse_kv(counters[4], "labels_rescaled")?,
+            labels_rebuilt: self.parse_kv(counters[5], "labels_rebuilt")?,
+            faults_injected: self.parse_kv(counters[6], "faults_injected")?,
+            batches_degraded: self.parse_kv(counters[7], "batches_degraded")?,
+            degraded_offered: self.parse_kv(counters[8], "degraded_offered")?,
+            degraded_served: self.parse_kv(counters[9], "degraded_served")?,
+        };
+
+        let mut shards = Vec::new();
+        while let Some(line) = self.next_line() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("shard ")
+                .ok_or_else(|| self.err(format!("expected a shard header, got {line:?}")))?;
+            let index: usize = self.parse_scalar(rest, "shard index")?;
+            if index != shards.len() {
+                return Err(self.err(format!(
+                    "shard sections must be in order: expected {}, got {index}",
+                    shards.len()
+                )));
+            }
+            let scratch: Vec<&str> = self.expect_line("scratch")?.split(' ').collect();
+            if scratch.len() != 4 {
+                return Err(self.err("scratch line needs 4 fields"));
+            }
+            let insertion_evaluations = self.parse_kv(scratch[0], "insertion_evaluations")?;
+            let groups_enumerated = self.parse_kv(scratch[1], "groups_enumerated")?;
+            let prescreen_pruned = self.parse_kv(scratch[2], "prescreen_pruned")?;
+            let solver_fallbacks = self.parse_kv(scratch[3], "solver_fallbacks")?;
+            let routed_tok = self.expect_line("routed")?;
+            let routed = self.parse_routed(routed_tok)?;
+            let served_tok = self.expect_line("served")?;
+            let shard_served = self.parse_ids(served_tok)?;
+            let marker = self
+                .next_line()
+                .ok_or_else(|| self.err("missing fleet marker"))?;
+            if marker != "fleet" {
+                return Err(self.err(format!("expected \"fleet\", got {marker:?}")));
+            }
+            let mut fleet = Vec::new();
+            while let Some(line) = self.peek() {
+                if !line.starts_with("vehicle ") {
+                    break;
+                }
+                let line = self.next_line().expect("peeked line exists");
+                fleet.push(self.parse_vehicle(line)?);
+            }
+            let marker = self
+                .next_line()
+                .ok_or_else(|| self.err("missing pool marker"))?;
+            if marker != "pool" {
+                return Err(self.err(format!("expected \"pool\", got {marker:?}")));
+            }
+            let mut pool = Vec::new();
+            while let Some(line) = self.peek() {
+                if !line.starts_with("request ") {
+                    break;
+                }
+                let line = self.next_line().expect("peeked line exists");
+                pool.push(self.parse_request(&line["request ".len()..])?);
+            }
+            let edges_tok = self.expect_line("edges")?;
+            let edges = self.parse_edges(edges_tok)?;
+            let end = self
+                .next_line()
+                .ok_or_else(|| self.err("missing end marker"))?;
+            if end != "end" {
+                return Err(self.err(format!("expected \"end\", got {end:?}")));
+            }
+            shards.push(ShardCheckpoint {
+                insertion_evaluations,
+                groups_enumerated,
+                prescreen_pruned,
+                solver_fallbacks,
+                routed,
+                served: shard_served,
+                fleet,
+                pending: PendingSnapshot { pool, edges },
+            });
+        }
+        if shards.is_empty() {
+            return Err(self.err("checkpoint needs at least one shard section"));
+        }
+
+        Ok(Checkpoint {
+            algorithm,
+            workload,
+            config,
+            sharded,
+            now,
+            batches,
+            next_request,
+            served,
+            counters,
+            shards,
+        })
     }
 }
 
@@ -1384,6 +1841,74 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_text_roundtrips_exactly() {
+        let mut vehicle = Vehicle::new(3, 1, 4);
+        vehicle.free_at = 12.25;
+        vehicle.executed_travel = 0.1 + 0.2; // a float that doesn't print short
+        vehicle.assigned = vec![7, 9];
+        let pool_req = req(11, 0, 5, 7.5, 5.0);
+        let faults = crate::faults::FaultConfig {
+            seed: 7,
+            outage_every: 10,
+            outage_batches: 3,
+            solver_node_budget: 500,
+            checkpoint_every: 8,
+        };
+        let ckpt = Checkpoint {
+            algorithm: "SARD".into(),
+            workload: "rush".into(),
+            config: StructRideConfig::default().with_faults(faults),
+            sharded: true,
+            now: 25.0,
+            batches: 5,
+            next_request: 42,
+            served: vec![1, 2, 7],
+            counters: CheckpointCounters {
+                handoffs: 3,
+                handoff_bids: 17,
+                migrations: 2,
+                epoch_rolls: 4,
+                labels_rescaled: 3,
+                labels_rebuilt: 1,
+                faults_injected: 1,
+                batches_degraded: 2,
+                degraded_offered: 9,
+                degraded_served: 6,
+            },
+            shards: vec![
+                ShardCheckpoint {
+                    insertion_evaluations: 100,
+                    groups_enumerated: 40,
+                    prescreen_pruned: 8,
+                    solver_fallbacks: 1,
+                    routed: vec![(1, 1.5), (7, 0.30000000000000004)],
+                    served: vec![1, 7],
+                    fleet: vec![VehicleState::capture(&vehicle)],
+                    pending: PendingSnapshot {
+                        pool: vec![pool_req],
+                        edges: vec![(11, 13)],
+                    },
+                },
+                // An idle shard: every section empty.
+                ShardCheckpoint::default(),
+            ],
+        };
+        let text = ckpt.to_text();
+        let parsed = Checkpoint::parse(&text).expect("parse checkpoint");
+        assert_eq!(parsed, ckpt);
+        // Serialization is stable: text -> checkpoint -> text is the identity.
+        assert_eq!(parsed.to_text(), text);
+        // The shared config tokens carry the fault plan through.
+        assert_eq!(parsed.config.faults, faults);
+
+        assert!(Checkpoint::parse("garbage").is_err());
+        assert!(
+            Checkpoint::parse(CHECKPOINT_HEADER_V1).is_err(),
+            "a header alone is not a checkpoint"
+        );
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(Trace::parse("").is_err());
         assert!(Trace::parse("not a trace\n").is_err());
@@ -1501,7 +2026,9 @@ mod tests {
     #[test]
     fn v3_traces_roundtrip_the_traffic_model() {
         let (_engine, mut trace) = record_greedy();
-        assert_eq!(trace.meta.version, 3);
+        // Render in the legacy v3 format: traffic tokens present, no fault
+        // tokens on the config line.
+        trace.meta.version = 3;
         let text = trace.to_text();
         assert!(text.starts_with("structride-trace v3\n"), "{text}");
         assert!(
@@ -1510,6 +2037,7 @@ mod tests {
             ),
             "{text}"
         );
+        assert!(!text.contains("faults_seed"), "{text}");
         let parsed = Trace::parse(&text).expect("parse v3 trace");
         assert_eq!(parsed, trace);
         assert_eq!(parsed.to_text(), text);
@@ -1557,6 +2085,50 @@ mod tests {
             trace.meta.config.traffic.profile
         );
         assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn v4_traces_roundtrip_the_fault_config() {
+        let (_engine, mut trace) = record_greedy();
+        // Fresh recordings are v4: the fault tokens ride on the config line
+        // so a faulted run's replay derives the identical injection schedule.
+        assert_eq!(trace.meta.version, TRACE_VERSION);
+        let text = trace.to_text();
+        assert!(text.starts_with("structride-trace v4\n"), "{text}");
+        assert!(
+            text.contains(
+                "faults_seed=0 faults_outage_every=0 faults_outage_batches=0 \
+                 faults_solver_budget=0 faults_checkpoint_every=0"
+            ),
+            "{text}"
+        );
+        let parsed = Trace::parse(&text).expect("parse v4 trace");
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.to_text(), text);
+        assert!(parsed.meta.config.faults.is_inert());
+
+        // A chaos config round-trips field for field.
+        trace.meta.config.faults = crate::FaultConfig {
+            seed: 0xDEAD_BEEF,
+            outage_every: 12,
+            outage_batches: 3,
+            solver_node_budget: 4096,
+            checkpoint_every: 8,
+        };
+        let text = trace.to_text();
+        let parsed = Trace::parse(&text).expect("parse chaos trace");
+        assert_eq!(parsed.meta.config.faults, trace.meta.config.faults);
+        assert_eq!(parsed.to_text(), text);
+
+        // Pre-fault (v3 and older) traces parse with the inert config and
+        // re-serialize byte-identically — the zero-drift guarantee for every
+        // trace recorded before the fault injector existed.
+        trace.meta.config.faults = crate::FaultConfig::default();
+        trace.meta.version = 3;
+        let v3_text = trace.to_text();
+        let v3_parsed = Trace::parse(&v3_text).expect("parse v3 trace");
+        assert!(v3_parsed.meta.config.faults.is_inert());
+        assert_eq!(v3_parsed.to_text(), v3_text);
     }
 
     #[test]

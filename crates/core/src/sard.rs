@@ -34,7 +34,7 @@
 
 use crate::config::StructRideConfig;
 use crate::context::DispatchContext;
-use crate::dispatcher::{BatchOutcome, Dispatcher};
+use crate::dispatcher::{BatchOutcome, Dispatcher, PendingSnapshot};
 use crate::grouping::{enumerate_groups, CandidateGroup};
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -47,6 +47,18 @@ pub struct SardDispatcher {
     /// The dynamic shareability-graph builder; it owns the working set `R_p`
     /// of unassigned, unexpired requests carried across batches.
     builder: Option<ShareabilityGraphBuilder>,
+    /// Pool handed back through [`Dispatcher::restore_pending`] (shard-outage
+    /// failover), waiting for the next batch to *re-evaluate* shareability
+    /// over it — correct there, because the requests land on a different
+    /// shard whose graph never contained them.
+    restored: Vec<Request>,
+    /// Snapshot handed back through [`Dispatcher::restore_snapshot`]
+    /// (checkpoint resume), waiting for the next batch to reinstate pool and
+    /// edges *verbatim* via [`ShareabilityGraphBuilder::restore`].  Edges are
+    /// carried rather than re-derived because pairwise shareability depends
+    /// on the traffic epoch at evaluation time — re-checking under the
+    /// resume-time epoch could flip marginal pairs and break bit-identity.
+    snapshot: Option<PendingSnapshot>,
     /// Peak dispatcher memory observed (Fig. 14 accounting).
     peak_memory: usize,
 }
@@ -57,6 +69,8 @@ impl SardDispatcher {
         SardDispatcher {
             config,
             builder: None,
+            restored: Vec::new(),
+            snapshot: None,
             peak_memory: 0,
         }
     }
@@ -121,6 +135,19 @@ impl Dispatcher for SardDispatcher {
         let builder = self
             .builder
             .get_or_insert_with(|| ShareabilityGraphBuilder::new(engine, builder_config));
+
+        // A checkpoint snapshot reinstates its pool *and* edges verbatim —
+        // no re-evaluation, so the resumed graph is the checkpointed graph.
+        if let Some(snapshot) = self.snapshot.take() {
+            builder.restore(engine, snapshot.pool, &snapshot.edges);
+        }
+
+        // A failover pool re-enters the graph as fresh arrivals: this shard
+        // never saw these requests, so their edges are evaluated now.
+        if !self.restored.is_empty() {
+            let restored = std::mem::take(&mut self.restored);
+            builder.add_batch(engine, &restored);
+        }
 
         // Requests whose pickup deadline already passed can no longer be
         // served — drop them before they pollute the candidate queues.
@@ -341,12 +368,61 @@ impl Dispatcher for SardDispatcher {
     }
 
     fn pending_requests(&self) -> usize {
-        self.builder.as_ref().map(|b| b.len()).unwrap_or(0)
+        self.restored.len()
+            + self.snapshot.as_ref().map(|s| s.pool.len()).unwrap_or(0)
+            + self.builder.as_ref().map(|b| b.len()).unwrap_or(0)
     }
 
     fn memory_bytes(&self) -> usize {
         self.peak_memory
             .max(self.builder.as_ref().map(|b| b.approx_bytes()).unwrap_or(0))
+    }
+
+    fn take_pending(&mut self) -> Vec<Request> {
+        // The working set lives inside the shareability graph: drop the
+        // graph with it (it is derived state — pure pairwise shareability of
+        // the pooled requests — and is rebuilt on restore).
+        let mut pool = std::mem::take(&mut self.restored);
+        if let Some(snapshot) = self.snapshot.take() {
+            pool.extend(snapshot.pool);
+        }
+        if let Some(builder) = self.builder.take() {
+            pool.extend(builder.requests().values().cloned());
+        }
+        pool.sort_unstable_by_key(|r| r.id);
+        pool
+    }
+
+    fn restore_pending(&mut self, pool: Vec<Request>) {
+        self.restored.extend(pool);
+    }
+
+    fn checkpoint_pending(&self) -> PendingSnapshot {
+        let mut pool: Vec<Request> = self.restored.clone();
+        let mut edges: Vec<(RequestId, RequestId)> = Vec::new();
+        if let Some(snapshot) = &self.snapshot {
+            pool.extend(snapshot.pool.iter().cloned());
+            edges.extend(snapshot.edges.iter().copied());
+        }
+        if let Some(builder) = &self.builder {
+            pool.extend(builder.requests().values().cloned());
+            edges.extend(builder.graph().edges_sorted());
+        }
+        pool.sort_unstable_by_key(|r| r.id);
+        edges.sort_unstable();
+        PendingSnapshot { pool, edges }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: PendingSnapshot) {
+        match &mut self.snapshot {
+            Some(held) => {
+                held.pool.extend(snapshot.pool);
+                held.pool.sort_unstable_by_key(|r| r.id);
+                held.edges.extend(snapshot.edges);
+                held.edges.sort_unstable();
+            }
+            None => self.snapshot = Some(snapshot),
+        }
     }
 }
 

@@ -96,7 +96,7 @@ use crate::context::{DispatchContext, ScratchStats};
 use crate::dispatcher::{BatchOutcome, Dispatcher};
 use crate::fleet_index::{FleetIndex, REACH_GRACE};
 use crate::metrics::RunMetrics;
-use crate::replay::TraceRecorder;
+use crate::replay::{Checkpoint, CheckpointCounters, ShardCheckpoint, TraceRecorder, VehicleState};
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -210,11 +210,35 @@ pub struct ShardedReport {
     /// Epoch rolls whose new weights were zoned (Tier 2: labels produced by
     /// a scoped repair against the same-profile uniform reference).
     pub labels_rebuilt: u64,
+    /// Outage windows opened by the deterministic fault injector (see
+    /// [`crate::faults`]) — 0 under the inert default config.
+    pub faults_injected: u64,
+    /// Batches executed in degraded mode (some shard down).
+    pub batches_degraded: u64,
+    /// Requests routed during degraded batches, including the down shard's
+    /// rerouted pending pool — the denominator of
+    /// [`ShardedReport::service_rate_degraded`].
+    pub degraded_offered: u64,
+    /// Requests assigned during degraded batches.
+    pub degraded_served: u64,
     /// Total per-shard halo re-cuts across all weight-changing rolls — the
     /// complement of the Tier-3 skip.  `rolls × shards` would mean no shard
     /// ever skipped; lower numbers mean zone activity left some halos
     /// untouched and their clips (and caches) stayed live.
     pub shards_refreshed: u64,
+}
+
+impl ShardedReport {
+    /// Service rate over the degraded batches alone: assigned / routed while
+    /// some shard was down (`0.0` when no batch ran degraded).  The number
+    /// the chaos bench row reports — how much service survives an outage.
+    pub fn service_rate_degraded(&self) -> f64 {
+        if self.degraded_offered == 0 {
+            0.0
+        } else {
+            self.degraded_served as f64 / self.degraded_offered as f64
+        }
+    }
 }
 
 /// One shard: engine + dispatcher + the fleet slice it currently owns.
@@ -240,6 +264,13 @@ struct Shard {
     /// Outcome of the current batch (drained during merging).
     last_assigned: Vec<RequestId>,
     last_scratch: ScratchStats,
+    /// `true` while the fault plan marks this shard down (see
+    /// [`crate::faults`]): its fleet is frozen and it neither bids, receives
+    /// requests, nor dispatches until recovery.
+    down: bool,
+    /// Degraded solves by this shard's dispatcher (summed
+    /// [`SolverStats::fallbacks`](crate::lap::SolverStats)).
+    solver_fallbacks: u64,
 }
 
 /// Where the router sent one request.
@@ -372,6 +403,13 @@ fn home_decision(request: &Request, network: &RoadNetwork, regions: &RegionGrid)
 /// insertions only over its top-m shortlist (see [`ShardView::shortlist`])
 /// instead of its whole fleet.  Pure reads — exact costs, stable tie-breaks
 /// — so the decision is independent of the worker count.
+///
+/// When the fault plan marks a shard `down` it never wins: it is dropped
+/// from the auction, and a request *homed* to it fails over through the same
+/// bid machinery to the down region's adjacent live shards (lowest-id live
+/// neighbour when no bid is feasible).  With `down = None` this is exactly
+/// the pre-fault routing rule.
+#[allow(clippy::too_many_arguments)]
 fn route_request(
     request: &Request,
     network: &RoadNetwork,
@@ -380,18 +418,34 @@ fn route_request(
     band: f64,
     top_m: usize,
     min_tpm: f64,
+    down: Option<usize>,
 ) -> RouteDecision {
     let p = network.coord(request.source);
     let home = regions.region_of(p.x, p.y) as usize;
-    if band <= 0.0 {
-        return RouteDecision {
-            winner: home,
-            home,
-            bids: 0,
-        };
+    let mut candidates: Vec<usize> = if band > 0.0 {
+        regions
+            .regions_within(p.x, p.y, band)
+            .into_iter()
+            .map(|c| c as usize)
+            .collect()
+    } else {
+        vec![home]
+    };
+    if down == Some(home) {
+        // Failover: the home shard is dead — its adjacent live shards join
+        // the auction even when the request sits deep inside the region.
+        for a in regions.adjacent(home as RegionId) {
+            let a = a as usize;
+            if !candidates.contains(&a) {
+                candidates.push(a);
+            }
+        }
+        candidates.sort_unstable();
     }
-    let candidates = regions.regions_within(p.x, p.y, band);
-    if candidates.len() <= 1 {
+    if let Some(d) = down {
+        candidates.retain(|&c| c != d);
+    }
+    if down != Some(home) && candidates.len() <= 1 {
         return RouteDecision {
             winner: home,
             home,
@@ -403,7 +457,6 @@ fn route_request(
     // shard id.
     let mut best: Option<(f64, usize)> = None;
     for &c in &candidates {
-        let c = c as usize;
         let shard = &shards[c];
         for idx in shard.shortlist(network, request, top_m, min_tpm) {
             let vehicle = &shard.vehicles[idx];
@@ -415,8 +468,17 @@ fn route_request(
             }
         }
     }
+    // No feasible bid keeps the request home — unless home is the down
+    // shard, where the lowest-id live neighbour holds it instead (it waits
+    // in that shard's pool and is stranded only if no later batch serves
+    // it: exact accounting either way).
+    let fallback = if down == Some(home) {
+        candidates.first().copied().unwrap_or(home)
+    } else {
+        home
+    };
     RouteDecision {
-        winner: best.map(|(_, c)| c).unwrap_or(home),
+        winner: best.map(|(_, c)| c).unwrap_or(fallback),
         home,
         bids,
     }
@@ -429,20 +491,29 @@ fn route_request(
 /// requests donates its lowest-id idle vehicles (up to `max_moves`) to each
 /// adjacent shard holding more pending requests than vehicles.  Donated
 /// vehicles append to the receiving fleet, keeping both fleets' orders
-/// deterministic.
-fn rebalance(shards: &mut [Shard], regions: &RegionGrid, max_moves: usize) -> u64 {
+/// deterministic.  A `down` shard neither donates nor receives: its fleet is
+/// frozen for the outage.
+fn rebalance(
+    shards: &mut [Shard],
+    regions: &RegionGrid,
+    max_moves: usize,
+    down: Option<usize>,
+) -> u64 {
     let pending: Vec<usize> = shards
         .iter()
         .map(|s| s.dispatcher.pending_requests())
         .collect();
     let mut moved_total = 0u64;
     for donor in 0..shards.len() {
-        if pending[donor] > 0 {
+        if pending[donor] > 0 || down == Some(donor) {
             continue;
         }
         let mut budget = max_moves;
         'targets: for t in regions.adjacent(donor as RegionId) {
             let t = t as usize;
+            if down == Some(t) {
+                continue;
+            }
             while budget > 0 && pending[t] > shards[t].vehicles.len() {
                 let Some(pos) = shards[donor]
                     .vehicles
@@ -530,6 +601,10 @@ pub(crate) struct ShardedRun<'a> {
     labels_rescaled: u64,
     labels_rebuilt: u64,
     label_refresh_seconds: f64,
+    faults_injected: u64,
+    batches_degraded: u64,
+    degraded_offered: u64,
+    degraded_served: u64,
     run_t0: Instant,
 }
 
@@ -618,6 +693,8 @@ impl<'a> ShardedRun<'a> {
                 prescreen_pruned: 0,
                 last_assigned: Vec::new(),
                 last_scratch: ScratchStats::default(),
+                down: false,
+                solver_fallbacks: 0,
             })
             .collect();
         let setup_seconds = setup_t0.elapsed().as_secs_f64();
@@ -658,6 +735,10 @@ impl<'a> ShardedRun<'a> {
             labels_rescaled: 0,
             labels_rebuilt: 0,
             label_refresh_seconds: 0.0,
+            faults_injected: 0,
+            batches_degraded: 0,
+            degraded_offered: 0,
+            degraded_served: 0,
             run_t0: Instant::now(),
         }
     }
@@ -731,18 +812,73 @@ impl<'a> ShardedRun<'a> {
     ) -> Vec<RequestId> {
         // Roll the traffic epoch *before* the advance sweep so the whole
         // batch — vehicle movement, routing bids, dispatch — sees one epoch
-        // (mirrors the monolithic simulator's ordering).
+        // (mirrors the monolithic simulator's ordering).  Down shards roll
+        // too: an outage kills the dispatcher, not the map.
         self.roll_epoch_to(now);
         self.now = now;
+        // The batch's fault plan: pure in (config, batch index, shard
+        // count), so a replay or a resumed checkpoint derives the identical
+        // schedule (see `crate::faults`).
+        let plan = self.config.faults.plan_at(self.batches, self.shards.len());
+        let prev_down = (self.batches > 0)
+            .then(|| {
+                self.config
+                    .faults
+                    .plan_at(self.batches - 1, self.shards.len())
+                    .down_shard
+            })
+            .flatten();
+        let down = plan.down_shard;
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            s.down = down == Some(i);
+        }
         let network = self.network;
         for_each_shard(&mut self.shards, &|s| {
+            // A down shard's fleet is frozen — `advance_to` is a pure
+            // fast-forward of committed schedules, so the recovery batch
+            // catches it up deterministically.
+            if s.down {
+                return;
+            }
             s.vehicles.par_iter_mut().for_each(|v| {
                 v.advance_to(&s.engine, now);
             });
             s.fleet_index.sync(network, &s.vehicles);
         });
+        // Recovery boundary: the shard that was down last batch just
+        // fast-forwarded across the whole outage in the sweep above —
+        // rebuild its fleet index from scratch and re-admit the region (the
+        // routing below includes it again).
+        if let Some(r) = prev_down {
+            if down != Some(r) {
+                let s = &mut self.shards[r];
+                s.fleet_index.rebuild(network, &s.vehicles);
+            }
+        }
         if let Some(rec) = recorder.as_deref_mut() {
             rec.batch_started(self.batches, now, batch, &fleet_snapshot(&self.shards));
+        }
+
+        // Outage injection: the moment a shard goes down, its carried-over
+        // pending pool is drained and rerouted below through the same
+        // handoff-bid auction as boundary requests.  The drained requests
+        // leave the victim's penalty ledger and re-enter the winner's, so
+        // served/stranded accounting stays exact.
+        let mut orphaned: Vec<Request> = Vec::new();
+        if plan.outage_starts {
+            self.faults_injected += 1;
+            let victim = down.expect("outage_starts implies a down shard");
+            orphaned = self.shards[victim].dispatcher.take_pending();
+            if !orphaned.is_empty() {
+                let ids: HashSet<RequestId> = orphaned.iter().map(|r| r.id).collect();
+                self.shards[victim]
+                    .routed
+                    .retain(|(id, _)| !ids.contains(id));
+            }
+        }
+        if down.is_some() {
+            self.batches_degraded += 1;
+            self.degraded_offered += (orphaned.len() + batch.len()) as u64;
         }
 
         // Route the batch: home region or best-bid handoff.  Pure reads
@@ -757,16 +893,24 @@ impl<'a> ShardedRun<'a> {
                 let p = self.network.coord(r.source);
                 self.regions.is_boundary(p.x, p.y, band)
             });
-        let decisions: Vec<RouteDecision> = if has_boundary_request {
+        let mut orphan_decisions: Vec<RouteDecision> = Vec::new();
+        let decisions: Vec<RouteDecision> = if has_boundary_request || down.is_some() {
             let views: Vec<ShardView<'_>> = self.shards.iter().map(ShardView::new).collect();
             let views = &views;
             let top_m = self.sharding.top_m;
             let min_tpm = self.min_tpm;
             let network = self.network;
             let regions = self.regions;
+            // The dead shard's drained pool fails over through the same
+            // auction, ahead of the batch's own requests (they were released
+            // earlier).
+            orphan_decisions = orphaned
+                .par_iter()
+                .map(|r| route_request(r, network, regions, views, band, top_m, min_tpm, down))
+                .collect();
             batch
                 .par_iter()
-                .map(|r| route_request(r, network, regions, views, band, top_m, min_tpm))
+                .map(|r| route_request(r, network, regions, views, band, top_m, min_tpm, down))
                 .collect()
         } else {
             batch
@@ -774,7 +918,11 @@ impl<'a> ShardedRun<'a> {
                 .map(|r| home_decision(r, self.network, self.regions))
                 .collect()
         };
-        for (request, decision) in batch.iter().zip(&decisions) {
+        let routed = orphaned
+            .iter()
+            .zip(&orphan_decisions)
+            .chain(batch.iter().zip(&decisions));
+        for (request, decision) in routed {
             if decision.winner != decision.home {
                 self.handoffs += 1;
             }
@@ -788,6 +936,15 @@ impl<'a> ShardedRun<'a> {
         let config = self.config;
         let batch_index = self.batches;
         for_each_shard(&mut self.shards, &|s| {
+            if s.down {
+                // The dead shard neither received requests nor dispatches;
+                // its previous batch's outcome must not leak into this
+                // batch's merge.
+                debug_assert!(s.inbox.is_empty(), "no requests route to a down shard");
+                s.last_assigned = Vec::new();
+                s.last_scratch = ScratchStats::default();
+                return;
+            }
             let inbox = std::mem::take(&mut s.inbox);
             // Scoped so the context's borrow of the fleet index ends before
             // the post-dispatch resync below.
@@ -807,6 +964,7 @@ impl<'a> ShardedRun<'a> {
             s.insertion_evaluations += scratch.insertion_evaluations;
             s.groups_enumerated += scratch.groups_enumerated;
             s.prescreen_pruned += scratch.prescreen_pruned;
+            s.solver_fallbacks += outcome.solver.map_or(0, |st| st.fallbacks);
             s.last_scratch = scratch;
             s.last_assigned = outcome.assigned;
         });
@@ -822,6 +980,9 @@ impl<'a> ShardedRun<'a> {
             merged_scratch.prescreen_pruned += s.last_scratch.prescreen_pruned;
             merged.assigned.append(&mut s.last_assigned);
         }
+        if down.is_some() {
+            self.degraded_served += merged.assigned.len() as u64;
+        }
         self.batches += 1;
         if let Some(rec) = recorder.as_deref_mut() {
             rec.batch_finished(&merged, &fleet_snapshot(&self.shards), merged_scratch);
@@ -832,6 +993,7 @@ impl<'a> ShardedRun<'a> {
                 &mut self.shards,
                 self.regions,
                 self.sharding.max_migrations_per_batch,
+                down,
             );
             if moved > 0 {
                 // Migration removes/appends across fleet slices, shifting
@@ -843,6 +1005,119 @@ impl<'a> ShardedRun<'a> {
             self.migrations += moved;
         }
         merged.assigned
+    }
+
+    /// Snapshots the full mutable run state at a batch boundary — a pure
+    /// read (non-destructive dispatcher snapshots, cloned ledgers), so a
+    /// checkpointing run steps bit-identically to a non-checkpointing one.
+    /// Wall-clock diagnostics (dispatch/setup/label-refresh seconds,
+    /// shortest-path query counters) are deliberately not captured; resumed
+    /// runs re-accumulate them from zero, exactly as replay comparisons
+    /// exclude them.
+    pub(crate) fn capture(&self, workload_name: &str, next_request: usize) -> Checkpoint {
+        let mut served: Vec<RequestId> = self.served.iter().copied().collect();
+        served.sort_unstable();
+        Checkpoint {
+            algorithm: self.shards[0].dispatcher.name().to_string(),
+            workload: workload_name.to_string(),
+            config: self.config,
+            sharded: true,
+            now: self.now,
+            batches: self.batches,
+            next_request,
+            served,
+            counters: CheckpointCounters {
+                handoffs: self.handoffs,
+                handoff_bids: self.handoff_bids,
+                migrations: self.migrations,
+                epoch_rolls: self.epoch_rolls,
+                labels_rescaled: self.labels_rescaled,
+                labels_rebuilt: self.labels_rebuilt,
+                faults_injected: self.faults_injected,
+                batches_degraded: self.batches_degraded,
+                degraded_offered: self.degraded_offered,
+                degraded_served: self.degraded_served,
+            },
+            shards: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let mut shard_served: Vec<RequestId> = s.served.iter().copied().collect();
+                    shard_served.sort_unstable();
+                    ShardCheckpoint {
+                        insertion_evaluations: s.insertion_evaluations,
+                        groups_enumerated: s.groups_enumerated,
+                        prescreen_pruned: s.prescreen_pruned,
+                        solver_fallbacks: s.solver_fallbacks,
+                        routed: s.routed.clone(),
+                        served: shard_served,
+                        fleet: s.vehicles.iter().map(VehicleState::capture).collect(),
+                        pending: s.dispatcher.checkpoint_pending(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Reinstates a captured state into a freshly built run (same network,
+    /// regions and shard count).  Fleets are restored in slot order (slot
+    /// order is load-bearing after migrations), dispatcher pools and edges
+    /// verbatim, and every shard engine is rolled to the checkpoint's
+    /// traffic epoch — a pure function of (config, batch clock), so one
+    /// direct roll lands exactly where the original run's incremental rolls
+    /// did.
+    pub(crate) fn restore(&mut self, ckpt: &Checkpoint) {
+        assert!(
+            ckpt.sharded,
+            "a monolithic checkpoint resumes through Simulator::resume"
+        );
+        assert_eq!(
+            ckpt.shards.len(),
+            self.shards.len(),
+            "checkpoint shard count must match the region layout"
+        );
+        self.served = ckpt.served.iter().copied().collect();
+        self.batches = ckpt.batches;
+        self.now = ckpt.now;
+        let c = &ckpt.counters;
+        self.handoffs = c.handoffs;
+        self.handoff_bids = c.handoff_bids;
+        self.migrations = c.migrations;
+        self.faults_injected = c.faults_injected;
+        self.batches_degraded = c.batches_degraded;
+        self.degraded_offered = c.degraded_offered;
+        self.degraded_served = c.degraded_served;
+        for (shard, s) in self.shards.iter_mut().zip(&ckpt.shards) {
+            shard.vehicles = s.fleet.iter().map(VehicleState::restore).collect();
+            shard.routed = s.routed.clone();
+            shard.served = s.served.iter().copied().collect();
+            shard.insertion_evaluations = s.insertion_evaluations;
+            shard.groups_enumerated = s.groups_enumerated;
+            shard.prescreen_pruned = s.prescreen_pruned;
+            shard.solver_fallbacks = s.solver_fallbacks;
+            shard.dispatcher.restore_snapshot(s.pending.clone());
+        }
+        // Prime the traffic epoch, then pin the roll telemetry to the
+        // checkpointed totals (the one direct roll above would otherwise
+        // count as a single transition).
+        self.roll_epoch_to(ckpt.now);
+        self.epoch_rolls = c.epoch_rolls;
+        self.labels_rescaled = c.labels_rescaled;
+        self.labels_rebuilt = c.labels_rebuilt;
+        // The restored fleets replaced the slices wholesale: rebuild every
+        // slot-keyed index and re-pin its certified prescreen rate, exactly
+        // as the migration path does.
+        let network = self.network;
+        let is_static = self.config.traffic.is_static();
+        let min_tpm = self.min_tpm;
+        for s in self.shards.iter_mut() {
+            s.fleet_index.rebuild(network, &s.vehicles);
+            s.fleet_index.set_min_time_per_meter(if is_static {
+                min_tpm
+            } else {
+                s.engine.min_time_per_meter()
+            });
+        }
     }
 
     /// Drains every committed schedule and assembles the report.
@@ -888,6 +1163,7 @@ impl<'a> ShardedRun<'a> {
                     insertion_evaluations: s.insertion_evaluations,
                     groups_enumerated: s.groups_enumerated,
                     prescreen_pruned: s.prescreen_pruned,
+                    solver_fallbacks: s.solver_fallbacks,
                 }
             })
             .collect();
@@ -917,6 +1193,10 @@ impl<'a> ShardedRun<'a> {
             epoch_rolls: self.epoch_rolls,
             labels_rescaled: self.labels_rescaled,
             labels_rebuilt: self.labels_rebuilt,
+            faults_injected: self.faults_injected,
+            batches_degraded: self.batches_degraded,
+            degraded_offered: self.degraded_offered,
+            degraded_served: self.degraded_served,
             shards_refreshed: self.shards.iter().map(|s| s.engine.slice_refreshes()).sum(),
         }
     }
@@ -979,6 +1259,71 @@ impl ShardedSimulator {
             &make_dispatcher,
             workload_name,
             None,
+            None,
+            None,
+        )
+    }
+
+    /// Like [`ShardedSimulator::run`], but hands a [`Checkpoint`] to `sink`
+    /// at every batch boundary the fault plan's checkpoint cadence marks
+    /// (see [`FaultConfig::checkpoint_every`](crate::faults::FaultConfig)).
+    /// Capture is a pure read, so a checkpointing run finishes
+    /// bit-identically to a non-checkpointing one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_checkpoints<F>(
+        &self,
+        network: &RoadNetwork,
+        regions: &RegionGrid,
+        requests: &[Request],
+        vehicles: Vec<Vehicle>,
+        make_dispatcher: F,
+        workload_name: &str,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> ShardedReport
+    where
+        F: Fn(usize) -> ShardDispatcher,
+    {
+        self.run_impl(
+            network,
+            regions,
+            requests,
+            vehicles,
+            &make_dispatcher,
+            workload_name,
+            None,
+            Some(sink),
+            None,
+        )
+    }
+
+    /// Continues a sharded run from `checkpoint` and finishes it
+    /// bit-identically to the uninterrupted run (aggregate and per-shard
+    /// deterministic metrics, served set, final fleet; wall-clock
+    /// diagnostics re-accumulate from zero).  `network`, `regions`,
+    /// `requests` and `make_dispatcher` must match the original run — the
+    /// checkpoint carries the fleets and pools, not the map or the future
+    /// request stream.
+    pub fn resume<F>(
+        &self,
+        network: &RoadNetwork,
+        regions: &RegionGrid,
+        requests: &[Request],
+        make_dispatcher: F,
+        checkpoint: &Checkpoint,
+    ) -> ShardedReport
+    where
+        F: Fn(usize) -> ShardDispatcher,
+    {
+        self.run_impl(
+            network,
+            regions,
+            requests,
+            Vec::new(),
+            &make_dispatcher,
+            &checkpoint.workload.clone(),
+            None,
+            None,
+            Some(checkpoint),
         )
     }
 
@@ -1008,6 +1353,40 @@ impl ShardedSimulator {
             &make_dispatcher,
             workload_name,
             Some(recorder),
+            None,
+            None,
+        )
+    }
+
+    /// Like [`ShardedSimulator::run_recorded`], but also hands a
+    /// [`Checkpoint`] to `sink` at every boundary the fault plan's cadence
+    /// marks — the replay CLI's record flow, which needs the reference trace
+    /// and a mid-run checkpoint from a single run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_recorded_with_checkpoints<F>(
+        &self,
+        network: &RoadNetwork,
+        regions: &RegionGrid,
+        requests: &[Request],
+        vehicles: Vec<Vehicle>,
+        make_dispatcher: F,
+        workload_name: &str,
+        recorder: &mut TraceRecorder,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> ShardedReport
+    where
+        F: Fn(usize) -> ShardDispatcher,
+    {
+        self.run_impl(
+            network,
+            regions,
+            requests,
+            vehicles,
+            &make_dispatcher,
+            workload_name,
+            Some(recorder),
+            Some(sink),
+            None,
         )
     }
 
@@ -1058,6 +1437,8 @@ impl ShardedSimulator {
         make_dispatcher: &dyn Fn(usize) -> ShardDispatcher,
         workload_name: &str,
         mut recorder: Option<&mut TraceRecorder>,
+        mut sink: Option<&mut dyn FnMut(Checkpoint)>,
+        resume_from: Option<&Checkpoint>,
     ) -> ShardedReport {
         let mut run = ShardedRun::new(self, network, regions, vehicles, make_dispatcher);
 
@@ -1075,6 +1456,11 @@ impl ShardedSimulator {
 
         let mut next = 0usize;
         let mut now = 0.0;
+        if let Some(ckpt) = resume_from {
+            run.restore(ckpt);
+            next = ckpt.next_request;
+            now = ckpt.now;
+        }
         while next < ordered.len() || now < horizon_end {
             now += delta;
             let start = next;
@@ -1087,6 +1473,15 @@ impl ShardedSimulator {
             // and no shard holds a carried-over request.
             if next == ordered.len() && run.pending() == 0 {
                 break;
+            }
+            // Checkpoint boundary — placed after the early exit (a finished
+            // run never writes one), asking whether a checkpoint is due
+            // before dispatching the *next* batch.  The cadence flag is
+            // shard-count independent (see `FaultPlan::checkpoint`).
+            if self.config.faults.plan_at(run.batches(), 1).checkpoint {
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink(run.capture(workload_name, next));
+                }
             }
             if run.batches() > 10_000_000 {
                 break;

@@ -17,7 +17,7 @@ use crate::context::DispatchContext;
 use crate::dispatcher::Dispatcher;
 use crate::fleet_index::FleetIndex;
 use crate::metrics::RunMetrics;
-use crate::replay::TraceRecorder;
+use crate::replay::{Checkpoint, CheckpointCounters, ShardCheckpoint, TraceRecorder, VehicleState};
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -64,7 +64,16 @@ impl Simulator {
         dispatcher: &mut dyn Dispatcher,
         workload_name: &str,
     ) -> SimulationReport {
-        self.run_impl(engine, requests, vehicles, dispatcher, workload_name, None)
+        self.run_impl(
+            engine,
+            requests,
+            vehicles,
+            dispatcher,
+            workload_name,
+            None,
+            None,
+            None,
+        )
     }
 
     /// Like [`Simulator::run`], but records every `(batch, fleet-state,
@@ -88,9 +97,95 @@ impl Simulator {
             dispatcher,
             workload_name,
             Some(recorder),
+            None,
+            None,
         )
     }
 
+    /// Like [`Simulator::run`], but hands a [`Checkpoint`] to `sink` at every
+    /// batch boundary the fault plan's checkpoint cadence marks (see
+    /// [`FaultConfig::checkpoint_every`](crate::faults::FaultConfig)).
+    /// Capture is a pure read of the simulation state, so a checkpointing
+    /// run finishes bit-identically to a non-checkpointing one.
+    pub fn run_with_checkpoints(
+        &self,
+        engine: &SpEngine,
+        requests: &[Request],
+        vehicles: Vec<Vehicle>,
+        dispatcher: &mut dyn Dispatcher,
+        workload_name: &str,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SimulationReport {
+        self.run_impl(
+            engine,
+            requests,
+            vehicles,
+            dispatcher,
+            workload_name,
+            None,
+            Some(sink),
+            None,
+        )
+    }
+
+    /// Like [`Simulator::run_recorded`], but also hands a [`Checkpoint`] to
+    /// `sink` at every boundary the fault plan's cadence marks — the replay
+    /// CLI's record flow, which needs the reference trace and a mid-run
+    /// checkpoint from a single run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_recorded_with_checkpoints(
+        &self,
+        engine: &SpEngine,
+        requests: &[Request],
+        vehicles: Vec<Vehicle>,
+        dispatcher: &mut dyn Dispatcher,
+        workload_name: &str,
+        recorder: &mut TraceRecorder,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SimulationReport {
+        self.run_impl(
+            engine,
+            requests,
+            vehicles,
+            dispatcher,
+            workload_name,
+            Some(recorder),
+            Some(sink),
+            None,
+        )
+    }
+
+    /// Continues a run from `checkpoint` and finishes it bit-identically to
+    /// the uninterrupted run (deterministic metrics, served set, final fleet;
+    /// wall-clock diagnostics excluded, as in replay comparisons).
+    ///
+    /// `requests` must be the same request stream the original run was
+    /// started with (checkpoints carry a cursor into its release-sorted
+    /// order, not the future requests), `dispatcher` a freshly constructed
+    /// dispatcher of the checkpointed algorithm, and `engine` an engine over
+    /// the same network — its traffic epoch is primed to the checkpoint
+    /// clock before the first resumed batch.  The fleet is restored from the
+    /// checkpoint; the caller supplies none.
+    pub fn resume(
+        &self,
+        engine: &SpEngine,
+        requests: &[Request],
+        dispatcher: &mut dyn Dispatcher,
+        checkpoint: &Checkpoint,
+    ) -> SimulationReport {
+        self.run_impl(
+            engine,
+            requests,
+            Vec::new(),
+            dispatcher,
+            &checkpoint.workload.clone(),
+            None,
+            None,
+            Some(checkpoint),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_impl(
         &self,
         engine: &SpEngine,
@@ -99,6 +194,8 @@ impl Simulator {
         dispatcher: &mut dyn Dispatcher,
         workload_name: &str,
         mut recorder: Option<&mut TraceRecorder>,
+        mut sink: Option<&mut dyn FnMut(Checkpoint)>,
+        resume_from: Option<&Checkpoint>,
     ) -> SimulationReport {
         let mut ordered: Vec<Request> = requests.to_vec();
         ordered.sort_by(|a, b| {
@@ -124,6 +221,34 @@ impl Simulator {
         let mut insertion_evaluations = 0u64;
         let mut groups_enumerated = 0u64;
         let mut prescreen_pruned = 0u64;
+        let mut solver_fallbacks = 0u64;
+
+        // Resume: reinstate every piece of decision-bearing state the
+        // checkpoint carries, exactly as the capture below wrote it.  The
+        // loop then continues from `now += delta` just as the uninterrupted
+        // run would have.
+        if let Some(ckpt) = resume_from {
+            assert!(
+                !ckpt.sharded,
+                "a sharded checkpoint resumes through ShardedSimulator::resume"
+            );
+            assert_eq!(
+                ckpt.shards.len(),
+                1,
+                "a monolithic checkpoint holds exactly one shard section"
+            );
+            let s = &ckpt.shards[0];
+            vehicles = s.fleet.iter().map(VehicleState::restore).collect();
+            dispatcher.restore_snapshot(s.pending.clone());
+            served = ckpt.served.iter().copied().collect();
+            next = ckpt.next_request;
+            now = ckpt.now;
+            batches = ckpt.batches;
+            insertion_evaluations = s.insertion_evaluations;
+            groups_enumerated = s.groups_enumerated;
+            prescreen_pruned = s.prescreen_pruned;
+            solver_fallbacks = s.solver_fallbacks;
+        }
 
         // A traffic-enabled run needs an engine that actually carries the
         // model (the caller builds it with `SpEngineBuilder::traffic`);
@@ -143,6 +268,12 @@ impl Simulator {
         if engine.traffic_active() {
             // The build above cached the free-flow base rate; pin the
             // prescreen to the engine's current epoch instead.
+            fleet_index.set_min_time_per_meter(engine.min_time_per_meter());
+        }
+        // Prime a resumed engine to the checkpoint's epoch: the epoch is a
+        // pure function of (traffic config, batch clock), so one roll lands
+        // exactly where the uninterrupted run's incremental rolls did.
+        if resume_from.is_some() && engine.roll_epoch_to(now) {
             fleet_index.set_min_time_per_meter(engine.min_time_per_meter());
         }
 
@@ -191,6 +322,7 @@ impl Simulator {
             insertion_evaluations += scratch.insertion_evaluations;
             groups_enumerated += scratch.groups_enumerated;
             prescreen_pruned += scratch.prescreen_pruned;
+            solver_fallbacks += outcome.solver.map_or(0, |st| st.fallbacks);
             batches += 1;
             served.extend(outcome.assigned);
             // Once the request stream is exhausted and the dispatcher holds no
@@ -202,6 +334,40 @@ impl Simulator {
             // travel, never serve a request.
             if next == ordered.len() && dispatcher.pending_requests() == 0 {
                 break;
+            }
+            // Checkpoint boundary: `batches` was just incremented, so the
+            // plan's flag asks "is a checkpoint due before dispatching batch
+            // `batches`?" — capturing the state this iteration left behind.
+            // Placed after the early exit so an already-finished run never
+            // writes a checkpoint.  Capture is a pure read (fleet snapshot,
+            // non-destructive dispatcher snapshot), so runs with and without
+            // a sink stay bit-identical.
+            if self.config.faults.plan_at(batches, 1).checkpoint {
+                if let Some(sink) = sink.as_deref_mut() {
+                    let mut served_sorted: Vec<RequestId> = served.iter().copied().collect();
+                    served_sorted.sort_unstable();
+                    sink(Checkpoint {
+                        algorithm: dispatcher.name().to_string(),
+                        workload: workload_name.to_string(),
+                        config: self.config,
+                        sharded: false,
+                        now,
+                        batches,
+                        next_request: next,
+                        served: served_sorted,
+                        counters: CheckpointCounters::default(),
+                        shards: vec![ShardCheckpoint {
+                            insertion_evaluations,
+                            groups_enumerated,
+                            prescreen_pruned,
+                            solver_fallbacks,
+                            routed: Vec::new(),
+                            served: Vec::new(),
+                            fleet: vehicles.iter().map(VehicleState::capture).collect(),
+                            pending: dispatcher.checkpoint_pending(),
+                        }],
+                    });
+                }
             }
             // Safety valve: Δ is positive, so this always terminates, but guard
             // against pathological configurations anyway.
@@ -237,6 +403,7 @@ impl Simulator {
             insertion_evaluations,
             groups_enumerated,
             prescreen_pruned,
+            solver_fallbacks,
         };
         SimulationReport {
             metrics,

@@ -1,0 +1,278 @@
+//! Batch-boundary checkpoint/restore property tests.
+//!
+//! The contract under test (see `structride_core::replay::Checkpoint`):
+//! a run that writes checkpoints finishes bit-identically to one that does
+//! not, and a run resumed from any checkpoint — after a text-codec
+//! round-trip, under any worker-thread count — finishes bit-identically to
+//! the uninterrupted run: same deterministic metrics, same served set, same
+//! final fleet.  Exercised monolithically and on a faulted 3-shard rush-hour
+//! run (traffic epochs, shard outages and failover all crossing the
+//! checkpoint boundary).
+
+use structride_core::shard::{region_grid_for, ShardDispatcher, ShardedSimulator};
+use structride_core::{
+    Checkpoint, FaultConfig, RunMetrics, SardDispatcher, Simulator, StructRideConfig, VehicleState,
+};
+use structride_datagen::{
+    CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
+};
+use structride_model::Vehicle;
+use structride_roadnet::{SpEngine, SpEngineBuilder, TrafficConfig, TrafficProfile};
+
+fn sard_factory(config: StructRideConfig) -> impl Fn(usize) -> ShardDispatcher {
+    move |_| Box::new(SardDispatcher::new(config))
+}
+
+fn single_city_workload() -> Workload {
+    Workload::generate(WorkloadParams {
+        num_requests: 90,
+        num_vehicles: 12,
+        horizon: 240.0,
+        scale: 0.3,
+        ..WorkloadParams::small(CityProfile::NycLike)
+    })
+}
+
+fn multi_workload(regions: usize) -> MultiRegionWorkload {
+    let cities = [
+        CityProfile::ChengduLike,
+        CityProfile::NycLike,
+        CityProfile::CainiaoLike,
+    ];
+    MultiRegionWorkload::generate(MultiRegionParams {
+        requests_per_region: 60,
+        vehicles_per_region: 8,
+        horizon: 200.0,
+        scale: 0.3,
+        ..MultiRegionParams::small(cities.iter().cycle().take(regions).copied().collect())
+    })
+}
+
+/// The deterministic [`RunMetrics`] fields (wall-clock diagnostics —
+/// `running_time`, `sp_queries`, `memory_bytes` — excluded, as everywhere).
+fn deterministic_fields(
+    m: &RunMetrics,
+) -> (String, String, usize, usize, u64, u64, u64, usize, u64, u64) {
+    (
+        m.algorithm.clone(),
+        m.workload.clone(),
+        m.total_requests,
+        m.served_requests,
+        m.total_travel.to_bits(),
+        m.unserved_direct_cost.to_bits(),
+        m.unified_cost.to_bits(),
+        m.batches,
+        m.insertion_evaluations,
+        m.groups_enumerated,
+    )
+}
+
+/// Bit-comparable snapshot of a final fleet.
+fn fleet_states(vehicles: &[Vehicle]) -> Vec<VehicleState> {
+    vehicles.iter().map(VehicleState::capture).collect()
+}
+
+fn in_pool<T>(threads: usize, f: impl FnOnce() -> T + Send) -> T
+where
+    T: Send,
+{
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+#[test]
+fn monolithic_checkpoint_resume_is_bit_identical() {
+    let w = single_city_workload();
+    let traffic = TrafficConfig {
+        profile: TrafficProfile::Rush,
+        epoch_seconds: 40.0,
+        hour_scale: 20.0,
+        ..TrafficConfig::default()
+    };
+    let faults = FaultConfig {
+        seed: 3,
+        checkpoint_every: 4,
+        ..FaultConfig::default()
+    };
+    let config = StructRideConfig::default()
+        .with_traffic(traffic)
+        .with_faults(faults);
+    let sim = Simulator::new(config);
+    let fresh_engine = || -> SpEngine {
+        SpEngineBuilder::new()
+            .traffic(traffic)
+            .build(w.engine.network().clone())
+    };
+
+    let baseline = in_pool(1, || {
+        let engine = fresh_engine();
+        let mut sard = SardDispatcher::new(config);
+        sim.run(&engine, &w.requests, w.fresh_vehicles(), &mut sard, &w.name)
+    });
+    assert!(baseline.metrics.served_requests > 0);
+
+    // A checkpointing run is bit-identical to a plain run (capture is a
+    // pure read) — even under a different worker count.
+    let mut checkpoints: Vec<Checkpoint> = Vec::new();
+    let with_ckpts = in_pool(4, || {
+        let engine = fresh_engine();
+        let mut sard = SardDispatcher::new(config);
+        sim.run_with_checkpoints(
+            &engine,
+            &w.requests,
+            w.fresh_vehicles(),
+            &mut sard,
+            &w.name,
+            &mut |c| checkpoints.push(c),
+        )
+    });
+    assert_eq!(
+        deterministic_fields(&with_ckpts.metrics),
+        deterministic_fields(&baseline.metrics),
+        "writing checkpoints must not perturb the run"
+    );
+    assert_eq!(with_ckpts.served, baseline.served);
+    assert!(
+        checkpoints.len() >= 2,
+        "the cadence must fire at least twice over {} batches",
+        baseline.metrics.batches
+    );
+    for (i, c) in checkpoints.iter().enumerate() {
+        assert!(!c.sharded);
+        assert_eq!(c.batches, (i + 1) * faults.checkpoint_every as usize);
+        assert_eq!(c.config.faults, faults);
+    }
+
+    // Resume from a mid-run checkpoint — after a text-codec round-trip, at
+    // 1 and 4 worker threads — and land exactly on the uninterrupted run.
+    let picked = &checkpoints[checkpoints.len() / 2];
+    let reparsed = Checkpoint::parse(&picked.to_text()).expect("checkpoint codec");
+    assert_eq!(&reparsed, picked);
+    for threads in [1usize, 4] {
+        let resumed = in_pool(threads, || {
+            let engine = fresh_engine();
+            let mut sard = SardDispatcher::new(config);
+            sim.resume(&engine, &w.requests, &mut sard, &reparsed)
+        });
+        assert_eq!(
+            deterministic_fields(&resumed.metrics),
+            deterministic_fields(&baseline.metrics),
+            "resume at {threads} threads must finish bit-identically"
+        );
+        assert_eq!(resumed.served, baseline.served);
+        assert_eq!(
+            fleet_states(&resumed.vehicles),
+            fleet_states(&baseline.vehicles),
+            "final fleet state must match bit for bit"
+        );
+    }
+}
+
+#[test]
+fn faulted_sharded_rush_checkpoint_resume_is_bit_identical() {
+    let w = multi_workload(3);
+    // Rush-profile congestion with a compressed clock (epochs every 40 s),
+    // shard outages every 6 batches for 2 batches, checkpoints every 5:
+    // outages, failover reroutes and epoch rolls all cross checkpoint
+    // boundaries.
+    let traffic = TrafficConfig {
+        profile: TrafficProfile::Rush,
+        epoch_seconds: 40.0,
+        hour_scale: 20.0,
+        ..TrafficConfig::default()
+    };
+    let faults = FaultConfig {
+        seed: 7,
+        outage_every: 6,
+        outage_batches: 2,
+        checkpoint_every: 5,
+        ..FaultConfig::default()
+    };
+    let config = StructRideConfig::default()
+        .with_traffic(traffic)
+        .with_faults(faults);
+    let sim = ShardedSimulator::new(config);
+    let regions = region_grid_for(w.network(), 1, 3);
+
+    let baseline = in_pool(1, || {
+        sim.run(
+            w.network(),
+            &regions,
+            &w.requests,
+            w.fresh_vehicles(),
+            sard_factory(config),
+            &w.name,
+        )
+    });
+    assert!(baseline.faults_injected > 0, "outages must fire");
+    assert!(baseline.epoch_rolls > 0, "epochs must roll");
+    assert!(baseline.aggregate.served_requests > 0);
+
+    let mut checkpoints: Vec<Checkpoint> = Vec::new();
+    let with_ckpts = in_pool(1, || {
+        sim.run_with_checkpoints(
+            w.network(),
+            &regions,
+            &w.requests,
+            w.fresh_vehicles(),
+            sard_factory(config),
+            &w.name,
+            &mut |c| checkpoints.push(c),
+        )
+    });
+    assert_eq!(
+        deterministic_fields(&with_ckpts.aggregate),
+        deterministic_fields(&baseline.aggregate),
+        "writing checkpoints must not perturb the sharded run"
+    );
+    assert_eq!(with_ckpts.served, baseline.served);
+    assert!(checkpoints.len() >= 2);
+
+    // Pick the checkpoint closest to mid-run and push it through the file
+    // codec, exactly as the CI kill/resume smoke does.
+    let picked = &checkpoints[checkpoints.len() / 2];
+    assert!(picked.sharded);
+    assert_eq!(picked.shards.len(), 3);
+    assert_eq!(picked.config.faults, faults);
+    let path = std::env::temp_dir().join(format!("structride_ckpt_{}.txt", std::process::id()));
+    picked.save(&path).expect("save checkpoint");
+    let loaded = Checkpoint::load(&path).expect("load checkpoint");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(&loaded, picked);
+
+    for threads in [1usize, 4] {
+        let resumed = in_pool(threads, || {
+            sim.resume(
+                w.network(),
+                &regions,
+                &w.requests,
+                sard_factory(config),
+                &loaded,
+            )
+        });
+        assert_eq!(
+            deterministic_fields(&resumed.aggregate),
+            deterministic_fields(&baseline.aggregate),
+            "sharded resume at {threads} threads must finish bit-identically"
+        );
+        for (a, b) in resumed.per_shard.iter().zip(&baseline.per_shard) {
+            assert_eq!(deterministic_fields(a), deterministic_fields(b));
+        }
+        assert_eq!(resumed.served, baseline.served);
+        assert_eq!(
+            fleet_states(&resumed.vehicles),
+            fleet_states(&baseline.vehicles)
+        );
+        assert_eq!(resumed.handoffs, baseline.handoffs);
+        assert_eq!(resumed.handoff_bids, baseline.handoff_bids);
+        assert_eq!(resumed.migrations, baseline.migrations);
+        assert_eq!(resumed.epoch_rolls, baseline.epoch_rolls);
+        assert_eq!(resumed.faults_injected, baseline.faults_injected);
+        assert_eq!(resumed.batches_degraded, baseline.batches_degraded);
+        assert_eq!(resumed.degraded_offered, baseline.degraded_offered);
+        assert_eq!(resumed.degraded_served, baseline.degraded_served);
+    }
+}

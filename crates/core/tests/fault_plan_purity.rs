@@ -1,0 +1,85 @@
+//! Property tests of the fault-injection purity contract.
+//!
+//! Everything the injector schedules must be a pure function of
+//! `(FaultConfig, batch clock, shard count)`: no RNG state, no wall clock,
+//! no worker-count dependence.  That contract is what makes faulted runs
+//! recordable, replayable and resumable bit-identically — so it gets the
+//! same property-test treatment as the schedule invariants in
+//! `structride_model`.
+
+use proptest::prelude::*;
+use structride_core::{FaultConfig, FaultPlan};
+
+/// The full injection schedule over `batches` batches, derived batch-wise
+/// through a rayon pool of `threads` workers (each batch's plan computed on
+/// whatever worker picks it up).
+fn schedule_in_pool(
+    config: FaultConfig,
+    n_shards: usize,
+    batches: usize,
+    threads: usize,
+) -> Vec<FaultPlan> {
+    use rayon::prelude::*;
+    let indices: Vec<usize> = (0..batches).collect();
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(|| {
+            indices
+                .par_iter()
+                .map(|&b| config.plan_at(b, n_shards))
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The same `(FaultConfig, clock)` yields the identical injection
+    /// schedule across 1/4/8 worker threads and across re-derivations —
+    /// the purity contract behind faulted-replay determinism.
+    #[test]
+    fn injection_schedule_is_identical_across_1_4_8_workers_and_reruns(
+        seed in 0u64..1_000_000,
+        outage_every in 0u32..12,
+        outage_batches in 0u32..6,
+        solver_node_budget in 0u64..1_000,
+        checkpoint_every in 0u32..10,
+        n_shards in 1usize..9,
+    ) {
+        let config = FaultConfig {
+            seed,
+            outage_every,
+            outage_batches,
+            solver_node_budget,
+            checkpoint_every,
+        };
+        let reference: Vec<FaultPlan> =
+            (0..150).map(|b| config.plan_at(b, n_shards)).collect();
+        // Re-derivation on the same thread is exact.
+        let again: Vec<FaultPlan> =
+            (0..150).map(|b| config.plan_at(b, n_shards)).collect();
+        prop_assert_eq!(&again, &reference);
+        // And so is batch-parallel derivation under every worker count.
+        for threads in [1usize, 4, 8] {
+            let parallel = schedule_in_pool(config, n_shards, 150, threads);
+            prop_assert_eq!(&parallel, &reference, "{} workers diverged", threads);
+        }
+    }
+
+    /// The inert default config schedules nothing, ever — the guarantee
+    /// that lets every pre-fault pipeline keep its recorded behavior (the
+    /// golden pre-change traces are replayed in
+    /// `crates/bench/tests/pre_faults_golden.rs`).
+    #[test]
+    fn default_config_schedules_nothing(
+        batch in 0usize..10_000,
+        n_shards in 1usize..9,
+    ) {
+        let config = FaultConfig::default();
+        prop_assert!(config.is_inert());
+        prop_assert_eq!(config.plan_at(batch, n_shards), FaultPlan::default());
+        prop_assert_eq!(config.solver_budget_at(batch), None);
+    }
+}

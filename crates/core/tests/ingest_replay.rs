@@ -9,7 +9,7 @@
 use structride_core::replay::{diff_traces, replay_trace, TraceMeta, TraceRecorder};
 use structride_core::shard::region_strips_for;
 use structride_core::{
-    IngestConfig, SardDispatcher, ShardedSimulator, Simulator, StructRideConfig,
+    IngestConfig, IngestError, SardDispatcher, ShardedSimulator, Simulator, StructRideConfig,
 };
 use structride_datagen::{
     CityProfile, MultiRegionParams, MultiRegionWorkload, Workload, WorkloadParams,
@@ -48,13 +48,15 @@ fn ingested_run_accounts_for_every_arrival() {
     let w = small_workload();
     let config = StructRideConfig::default().with_ingest(ingest_config());
     let mut sard = SardDispatcher::new(config);
-    let report = Simulator::new(config).run_ingested(
-        &w.engine,
-        w.requests.iter().cloned(),
-        w.fresh_vehicles(),
-        &mut sard,
-        &w.name,
-    );
+    let report = Simulator::new(config)
+        .run_ingested(
+            &w.engine,
+            w.requests.iter().cloned(),
+            w.fresh_vehicles(),
+            &mut sard,
+            &w.name,
+        )
+        .expect("healthy producer");
     let stats = &report.ingest;
     assert_eq!(stats.arrivals, w.requests.len());
     assert_eq!(
@@ -79,14 +81,16 @@ fn recorded_ingested_run_replays_bit_identically_across_worker_counts() {
     let config = StructRideConfig::default().with_ingest(ingest_config());
     let mut recorder = TraceRecorder::new();
     let mut sard = SardDispatcher::new(config);
-    Simulator::new(config).run_ingested_recorded(
-        &w.engine,
-        w.requests.iter().cloned(),
-        w.fresh_vehicles(),
-        &mut sard,
-        &w.name,
-        &mut recorder,
-    );
+    Simulator::new(config)
+        .run_ingested_recorded(
+            &w.engine,
+            w.requests.iter().cloned(),
+            w.fresh_vehicles(),
+            &mut sard,
+            &w.name,
+            &mut recorder,
+        )
+        .expect("healthy producer");
     let trace = recorder.into_trace(TraceMeta::new("SARD", &w.name, config));
     assert!(!trace.batches.is_empty());
 
@@ -124,15 +128,17 @@ fn sharded_ingested_run_reruns_bit_identically_from_recorded_boundaries() {
     let sim = ShardedSimulator::new(config);
 
     let mut recorder = TraceRecorder::new();
-    let ingested = sim.run_ingested_recorded(
-        workload.network(),
-        &regions,
-        workload.requests.iter().cloned(),
-        workload.fresh_vehicles(),
-        |_| Box::new(SardDispatcher::new(config)),
-        &workload.name,
-        &mut recorder,
-    );
+    let ingested = sim
+        .run_ingested_recorded(
+            workload.network(),
+            &regions,
+            workload.requests.iter().cloned(),
+            workload.fresh_vehicles(),
+            |_| Box::new(SardDispatcher::new(config)),
+            &workload.name,
+            &mut recorder,
+        )
+        .expect("healthy producer");
     assert!(ingested.report.aggregate.served_requests > 0);
     let trace = recorder.into_trace(TraceMeta::new("SARD", &workload.name, config));
     assert!(!trace.batches.is_empty());
@@ -165,4 +171,28 @@ fn sharded_ingested_run_reruns_bit_identically_from_recorded_boundaries() {
         );
         assert_eq!(report.batches_compared, trace.batches.len());
     }
+}
+
+#[test]
+fn panicked_producer_surfaces_as_a_structured_error() {
+    let w = small_workload();
+    let config = StructRideConfig::default().with_ingest(ingest_config());
+    let mut sard = SardDispatcher::new(config);
+    // A corrupt arrival source: five real requests, then a panic on the
+    // producer thread.  This used to cascade — `join().expect(..)`
+    // re-panicked the consumer — and must now come back as a structured
+    // error carrying the producer's message.
+    let poisoned = w
+        .requests
+        .iter()
+        .take(5)
+        .cloned()
+        .chain(std::iter::once_with(|| -> structride_model::Request {
+            panic!("corrupt arrival record")
+        }));
+    let err = Simulator::new(config)
+        .run_ingested(&w.engine, poisoned, w.fresh_vehicles(), &mut sard, &w.name)
+        .expect_err("producer panic must surface as an error");
+    let IngestError::ProducerPanicked(msg) = err;
+    assert!(msg.contains("corrupt arrival record"), "{msg}");
 }

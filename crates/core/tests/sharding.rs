@@ -13,7 +13,7 @@ use structride_core::shard::{
     ShardingConfig,
 };
 use structride_core::{
-    DispatchContext, Dispatcher, FleetIndex, RunMetrics, SardDispatcher, Simulator,
+    DispatchContext, Dispatcher, FaultConfig, FleetIndex, RunMetrics, SardDispatcher, Simulator,
     StructRideConfig,
 };
 use structride_datagen::{
@@ -687,6 +687,105 @@ fn rush_hour_sharded_run_rolls_epochs_and_is_worker_count_independent() {
     assert!(
         !diff_traces(&trace1, &static_trace).is_clean(),
         "rush-hour congestion must perturb the recorded pipeline"
+    );
+}
+
+/// The shard-outage degraded mode end to end: a 3-shard run with a
+/// deterministic outage schedule keeps exact request accounting (every
+/// request routed exactly once, served ⊆ delivered), stays bit-identical
+/// across worker counts, records a replayable trace whose config line
+/// carries the fault schedule, and actually perturbs the pipeline relative
+/// to the healthy run.
+#[test]
+fn shard_outage_fails_over_requests_and_keeps_exact_accounting() {
+    let w = multi_workload(3);
+    let faults = FaultConfig {
+        seed: 7,
+        outage_every: 6,
+        outage_batches: 2,
+        ..FaultConfig::default()
+    };
+    let config = StructRideConfig::default().with_faults(faults);
+
+    let run_with = |config: StructRideConfig, threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let mut recorder = TraceRecorder::new();
+            let report = ShardedSimulator::new(config).run_recorded(
+                w.network(),
+                &w.regions,
+                &w.requests,
+                w.fresh_vehicles(),
+                sard_factory(config),
+                &w.name,
+                &mut recorder,
+            );
+            let trace = recorder.into_trace(TraceMeta::new("SARD", &w.name, config));
+            (report, trace)
+        })
+    };
+
+    let (report1, trace1) = run_with(config, 1);
+    let (report8, trace8) = run_with(config, 8);
+
+    // The outage schedule fired and was survived.
+    assert!(report1.faults_injected > 0, "outage windows must open");
+    assert!(report1.batches_degraded >= report1.faults_injected);
+    assert!(report1.aggregate.served_requests > 0, "degraded ≠ dead");
+    assert!(report1.degraded_served <= report1.degraded_offered);
+    let rate = report1.service_rate_degraded();
+    assert!((0.0..=1.0).contains(&rate), "degraded rate {rate} in [0,1]");
+
+    // Exact accounting under failover: every request is routed to exactly
+    // one live dispatcher (rerouted orphans are not double-counted), and the
+    // served bookkeeping matches the delivered fleet state.
+    let routed: usize = report1.per_shard.iter().map(|m| m.total_requests).sum();
+    assert_eq!(routed, w.requests.len());
+    let served: usize = report1.per_shard.iter().map(|m| m.served_requests).sum();
+    assert_eq!(served, report1.served.len());
+    let delivered: HashSet<u32> = report1
+        .vehicles
+        .iter()
+        .flat_map(|v| v.completed.iter().copied())
+        .collect();
+    for id in &report1.served {
+        assert!(delivered.contains(id), "served request {id} was delivered");
+    }
+    let merged = RunMetrics::merge_all(&report1.per_shard, &config.cost).expect("parts");
+    assert_eq!(merged, report1.aggregate);
+
+    // The degraded pipeline keeps the standing determinism invariant.
+    let drift = diff_traces(&trace1, &trace8);
+    assert!(drift.is_clean(), "faulted 1-vs-8 workers drifted:\n{drift}");
+    assert_eq!(
+        deterministic_fields(&report1.aggregate),
+        deterministic_fields(&report8.aggregate)
+    );
+    assert_eq!(report1.faults_injected, report8.faults_injected);
+    assert_eq!(report1.batches_degraded, report8.batches_degraded);
+    assert_eq!(report1.degraded_offered, report8.degraded_offered);
+    assert_eq!(report1.degraded_served, report8.degraded_served);
+    assert_eq!(report1.served, report8.served);
+
+    // The fault schedule rides along in the trace config line, so a
+    // replaying process re-derives the exact same outages.
+    let reparsed = structride_core::Trace::parse(&trace1.to_text()).expect("codec");
+    assert_eq!(reparsed.meta.config.faults, faults);
+    assert!(diff_traces(&trace1, &reparsed).is_clean());
+
+    // Outages must actually change the pipeline, and the inert default must
+    // not: the healthy run is bit-identical to the pre-fault pipeline.
+    let (healthy, healthy_trace) = run_with(StructRideConfig::default(), 1);
+    assert_eq!(healthy.faults_injected, 0);
+    assert_eq!(healthy.batches_degraded, 0);
+    assert_eq!(healthy.degraded_offered, 0);
+    assert_eq!(healthy.service_rate_degraded(), 0.0);
+    assert!(
+        !diff_traces(&trace1, &healthy_trace).is_clean(),
+        "an injected outage must perturb the recorded pipeline"
     );
 }
 

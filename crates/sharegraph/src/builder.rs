@@ -320,6 +320,41 @@ impl ShareabilityGraphBuilder {
         survivors
     }
 
+    /// Reinstates a checkpointed live set verbatim: the requests plus the
+    /// exact recorded edge set, with no prefiltering and no shareability
+    /// re-evaluation.
+    ///
+    /// The carried edges were evaluated when their later endpoint originally
+    /// arrived — possibly under an earlier traffic epoch, whose travel times
+    /// differ from today's — so re-running the exact checks now could flip
+    /// marginal pairs and drift a resumed run away from the uninterrupted
+    /// one.  Restoring the recorded set keeps the graph bit-identical.  The
+    /// build counters deliberately stay untouched: the run that originally
+    /// evaluated the pairs booked that work.
+    pub fn restore(
+        &mut self,
+        engine: &SpEngine,
+        requests: Vec<Request>,
+        edges: &[(RequestId, RequestId)],
+    ) {
+        for r in requests {
+            if self.requests.contains_key(&r.id) {
+                continue;
+            }
+            self.graph.add_node(r.id);
+            let src = engine.coord(r.source);
+            self.source_index.insert(r.id as u64, src.x, src.y);
+            self.requests.insert(r.id, r);
+        }
+        for &(a, b) in edges {
+            debug_assert!(
+                self.requests.contains_key(&a) && self.requests.contains_key(&b),
+                "checkpointed edge ({a},{b}) references an unknown request"
+            );
+            self.graph.add_edge(a, b);
+        }
+    }
+
     /// Removes a request (assigned or expired) from the graph and indexes.
     pub fn remove_request(&mut self, id: RequestId) -> bool {
         let existed = self.requests.remove(&id).is_some();
@@ -440,6 +475,42 @@ mod tests {
         let expired = builder.remove_expired(1_000.0);
         assert_eq!(expired, vec![2]);
         assert!(builder.is_empty());
+    }
+
+    #[test]
+    fn restore_reinstates_requests_and_edges_without_reevaluating() {
+        let engine = line_engine();
+        let mut original = ShareabilityGraphBuilder::new(&engine, BuilderConfig::default());
+        original.add_batch(
+            &engine,
+            &[
+                req(1, 0, 4, 0.0, 40.0, 1.5),
+                req(2, 1, 3, 0.0, 20.0, 1.5),
+                req(3, 4, 0, 0.0, 40.0, 1.1),
+            ],
+        );
+        let pool: Vec<Request> = {
+            let mut p: Vec<Request> = original.requests().values().cloned().collect();
+            p.sort_unstable_by_key(|r| r.id);
+            p
+        };
+        let edges = original.graph().edges_sorted();
+        assert!(!edges.is_empty());
+
+        let mut restored = ShareabilityGraphBuilder::new(&engine, BuilderConfig::default());
+        restored.restore(&engine, pool, &edges);
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.graph().edges_sorted(), edges);
+        // No evaluation work was re-booked.
+        assert_eq!(restored.stats(), BuildStats::default());
+        // The restored live set keeps growing exactly like the original.
+        let newcomer = req(4, 2, 4, 1.0, 20.0, 1.5);
+        original.add_batch(&engine, std::slice::from_ref(&newcomer));
+        restored.add_batch(&engine, &[newcomer]);
+        assert_eq!(
+            restored.graph().edges_sorted(),
+            original.graph().edges_sorted()
+        );
     }
 
     #[test]

@@ -163,6 +163,23 @@ impl ShareabilityGraph {
         removed as isize - common.len() as isize
     }
 
+    /// Every undirected edge exactly once, as `(low, high)` id pairs in
+    /// ascending order — the canonical listing the checkpoint codec
+    /// serializes (the adjacency sets themselves iterate in hash order, so
+    /// this is the only deterministic view of the edge set).
+    pub fn edges_sorted(&self) -> Vec<(RequestId, RequestId)> {
+        let mut edges: Vec<(RequestId, RequestId)> = Vec::with_capacity(self.edge_count);
+        for (&a, neighbors) in &self.adjacency {
+            for &b in neighbors {
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges
+    }
+
     /// Removes every node not in `keep` (used when a batch ends and expired
     /// requests must leave the graph).
     pub fn retain_nodes(&mut self, keep: &HashSet<RequestId>) {
@@ -273,6 +290,13 @@ mod tests {
         assert_eq!(loss, 3);
         assert!(g.has_edge(100, 3));
         assert!(!g.has_edge(100, 4));
+    }
+
+    #[test]
+    fn edges_sorted_lists_each_edge_once_in_order() {
+        let g = figure1_graph();
+        assert_eq!(g.edges_sorted(), vec![(1, 2), (1, 3), (2, 3), (2, 4)]);
+        assert!(ShareabilityGraph::new().edges_sorted().is_empty());
     }
 
     #[test]

@@ -64,6 +64,7 @@ fn main() {
             &mut sard,
             &workload.name,
         );
+        let report = report.expect("ingest producer replays a generated stream");
         let s = &report.ingest;
         println!("\n== ingested SARD, {name} arrivals ==");
         println!(
